@@ -1,0 +1,61 @@
+// Regenerates paper Figure 5: per-benchmark run-time overhead relative to
+// native execution for all 25 PARSEC/SPLASH stand-ins, three synchronization
+// agents, 2..4 variants.
+//
+// The shape claims to check against the paper:
+//   * wall-of-clocks beats partial-order beats/competes-with total-order on
+//     sync-heavy benchmarks;
+//   * sync-quiet benchmarks (blackscholes, radix, lu, freqmine) are close to
+//     1.0x under every agent;
+//   * syscall-heavy benchmarks (dedup, water_spatial) pay monitor overheads
+//     under every agent.
+//
+// Variant count defaults to 2; set MVEE_BENCH_VARIANTS=4 for the full sweep
+// (slower).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace mvee;
+  using namespace mvee::bench;
+  SetLogLevel(LogLevel::kError);
+
+  const double scale = BenchScale(2.0);
+  uint32_t max_variants = 2;
+  if (const char* env = std::getenv("MVEE_BENCH_VARIANTS")) {
+    const int value = std::atoi(env);
+    if (value >= 2 && value <= 4) {
+      max_variants = static_cast<uint32_t>(value);
+    }
+  }
+
+  constexpr AgentKind kAgents[] = {AgentKind::kTotalOrder, AgentKind::kPartialOrder,
+                                   AgentKind::kWallOfClocks};
+
+  PrintHeader("Figure 5: per-benchmark overhead relative to native (1.00 = native)");
+  std::printf("scale=%.3f, variants=2..%u\n\n", scale, max_variants);
+
+  for (uint32_t variants = 2; variants <= max_variants; ++variants) {
+    std::printf("--- %u variants ---\n", variants);
+    std::printf("%-7s %-15s %10s %8s %8s %8s\n", "suite", "benchmark", "native(s)", "TO",
+                "PO", "WoC");
+    for (const auto& config : AllWorkloads()) {
+      const NativeRun native = RunNative(config, scale);
+      std::printf("%-7s %-15s %10.3f", config.suite, config.name, native.seconds);
+      for (AgentKind agent : kAgents) {
+        const MveeRun run = RunUnderMvee(config, scale, variants, agent);
+        if (run.ok && native.seconds > 0) {
+          std::printf(" %7.2fx", run.seconds / native.seconds);
+        } else {
+          std::printf("   FAIL ");
+        }
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Regenerates paper Table 1: aggregated average slowdowns for the three
+// synchronization agents with 2, 3 and 4 variants.
+//
+//                      2 variants   3 variants   4 variants
+//   total-order agent     2.76x        2.83x        2.87x
+//   partial-order agent   2.83x        2.83x        3.00x
+//   wall-of-clocks agent  1.14x        1.27x        1.38x
+//
+// The claim to reproduce is the *ordering*: WoC dramatically cheaper than TO
+// and PO at every variant count, costs growing with variant count. The sweep
+// uses a representative subset of benchmarks by default (set
+// MVEE_BENCH_FULL=1 for all 25).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "mvee/util/stats.h"
+
+int main() {
+  using namespace mvee;
+  using namespace mvee::bench;
+  SetLogLevel(LogLevel::kError);
+
+  const double scale = BenchScale(2.0);
+  const bool full = std::getenv("MVEE_BENCH_FULL") != nullptr;
+
+  // Representative subset spanning the rate regimes of Table 2.
+  const std::vector<std::string> subset = {
+      "blackscholes",   // quiet
+      "dedup",          // syscall-heavy pipeline
+      "fluidanimate",   // sync-heavy fine-grained locks
+      "streamcluster",  // barrier-heavy
+      "swaptions",      // atomic-hammer
+      "radiosity",      // extreme sync + syscall task queue
+      "ocean_cp",       // moderate barrier phases
+      "volrend",        // task queue
+  };
+
+  std::vector<const WorkloadConfig*> workloads;
+  if (full) {
+    for (const auto& config : AllWorkloads()) {
+      workloads.push_back(&config);
+    }
+  } else {
+    for (const auto& name : subset) {
+      workloads.push_back(FindWorkload(name));
+    }
+  }
+
+  constexpr AgentKind kAgents[] = {AgentKind::kTotalOrder, AgentKind::kPartialOrder,
+                                   AgentKind::kWallOfClocks};
+  constexpr double kPaper[3][3] = {{2.76, 2.83, 2.87},   // TO
+                                   {2.83, 2.83, 3.00},   // PO
+                                   {1.14, 1.27, 1.38}};  // WoC
+
+  PrintHeader("Table 1: aggregated average slowdowns per agent (paper values in parens)");
+  std::printf("scale=%.3f, %zu benchmarks%s\n\n", scale, workloads.size(),
+              full ? " (full suite)" : " (representative subset)");
+
+  // Native baselines first.
+  std::vector<double> native_seconds;
+  for (const auto* config : workloads) {
+    native_seconds.push_back(RunNative(*config, scale).seconds);
+  }
+
+  std::printf("%-22s %16s %16s %16s\n", "", "2 variants", "3 variants", "4 variants");
+  for (size_t a = 0; a < 3; ++a) {
+    std::printf("%-22s", std::string(AgentKindName(kAgents[a])).append(" agent").c_str());
+    for (uint32_t variants = 2; variants <= 4; ++variants) {
+      SampleStats slowdowns;
+      for (size_t w = 0; w < workloads.size(); ++w) {
+        const MveeRun run = RunUnderMvee(*workloads[w], scale, variants, kAgents[a]);
+        if (run.ok && native_seconds[w] > 0) {
+          slowdowns.Add(run.seconds / native_seconds[w]);
+        }
+      }
+      std::printf("  %6.2fx (%4.2fx)", slowdowns.Mean(), kPaper[a][variants - 2]);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Regenerates paper Table 2: native run times, system-call rates and sync-op
+// rates for all 25 PARSEC/SPLASH stand-ins with four worker threads.
+//
+// Absolute numbers differ from the paper (synthetic kernels, scaled inputs,
+// different machine); what must hold is the *regime structure*: which
+// benchmarks are syscall-heavy, which are sync-op-heavy, which are quiet.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace mvee;
+  using namespace mvee::bench;
+  SetLogLevel(LogLevel::kError);
+
+  const double scale = BenchScale(2.0);
+  PrintHeader("Table 2: native run times, syscall and sync-op rates (4 worker threads)");
+  std::printf("scale=%.3f  (paper values in parentheses)\n\n", scale);
+  std::printf("%-7s %-15s %10s %18s %18s\n", "suite", "benchmark", "runtime(s)",
+              "syscalls(K/s)", "syncops(K/s)");
+
+  for (const auto& config : AllWorkloads()) {
+    const NativeRun run = RunNative(config, scale);
+    const double syscall_rate = run.seconds > 0 ? run.syscalls / run.seconds / 1000.0 : 0;
+    const double sync_rate = run.seconds > 0 ? run.sync_ops / run.seconds / 1000.0 : 0;
+    std::printf("%-7s %-15s %6.2f (%6.2f) %8.2f (%7.2f) %9.2f (%9.2f)\n", config.suite,
+                config.name, run.seconds, config.paper_runtime_sec, syscall_rate,
+                config.paper_syscall_rate_k, sync_rate, config.paper_sync_rate_k);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Regenerates paper Table 3: sync ops identified per module by the two-stage
+// analysis — type (i) LOCK-prefixed, type (ii) XCHG, type (iii) aliasing
+// aligned load/stores — over the synthetic binary corpus, plus the worked
+// examples of Listings 1 and 2 and the _Atomic propagation workflow
+// (§4.3.1).
+
+#include <cstdio>
+
+#include "mvee/analysis/atomic_check.h"
+#include "mvee/analysis/corpus.h"
+#include "mvee/analysis/field_sensitive.h"
+#include "mvee/analysis/syncop_analysis.h"
+
+int main() {
+  using namespace mvee;
+
+  std::printf("\n================================================================\n");
+  std::printf("Table 3: identified sync ops per module (paper values in parens)\n");
+  std::printf("================================================================\n");
+  std::printf("%-22s %13s %13s %13s %9s\n", "module", "(i) LOCK", "(ii) XCHG",
+              "(iii) ld/st", "unmarked");
+
+  const auto specs = Table3Specs();
+  for (const auto& spec : specs) {
+    const SyncOpReport report = IdentifySyncOps(BuildSyntheticModule(spec));
+    std::printf("%-22s %5zu (%5zu) %5zu (%5zu) %5zu (%5zu) %9zu\n", report.module_name.c_str(),
+                report.type_i.size(), spec.type_i, report.type_ii.size(), spec.type_ii,
+                report.type_iii.size(), spec.type_iii, report.unmarked_memops);
+  }
+
+  std::printf("\n--- Worked examples (paper Listings 1 & 2) ---\n");
+  {
+    const SyncOpReport listing1 = IdentifySyncOps(BuildListing1Module());
+    std::printf("listing1 (ad-hoc spinlock): type(i)=%zu type(iii)=%zu; "
+                "stage 2 marked the unlock store at %s\n",
+                listing1.type_i.size(), listing1.type_iii.size(),
+                listing1.type_iii.empty() ? "<missed!>"
+                                          : listing1.type_iii[0].source_line.c_str());
+  }
+  {
+    const SyncOpReport base = IdentifySyncOps(BuildListing2Module());
+    SyncOpAnalysisOptions volatile_opt;
+    volatile_opt.treat_volatile_as_sync = true;
+    const SyncOpReport extended = IdentifySyncOps(BuildListing2Module(), volatile_opt);
+    std::printf("listing2 (volatile condvar): base analysis found %zu (documented "
+                "limitation), volatile extension found %zu\n",
+                base.TotalSyncOps(), extended.TotalSyncOps());
+  }
+
+  std::printf("\n--- _Atomic qualifier propagation (Figure 3 workflow) ---\n");
+  for (const auto& spec : specs) {
+    const MirModule module = BuildSyntheticModule(spec);
+    const SyncOpReport report = IdentifySyncOps(module);
+    const PropagationResult propagation = PropagateQualifiers(module, report.sync_objects);
+    std::printf("%-22s qualified %3zu objects, %4zu pointers, fixpoint in %d compiles, "
+                "%zu hard errors\n",
+                module.name.c_str(), propagation.qualified_objects.size(),
+                propagation.qualified_regs.size(), propagation.iterations,
+                propagation.hard_errors.size());
+  }
+
+  std::printf("\n--- Heap field-sensitivity (§4.3.1's DSA/SVF complaint) ---\n");
+  std::printf("STL refcounting pattern (§5.3): heap nodes, LOCK XADD on field 0,\n"
+              "plain payload accesses on fields 1..4. Spurious marks per analysis:\n");
+  {
+    const RefcountHeapCorpus corpus = BuildRefcountHeapModule(
+        /*nodes=*/32, /*payload_fields=*/4, /*accesses_per_field=*/3);
+    const SyncOpReport steensgaard = IdentifySyncOps(corpus.module);
+    const SyncOpReport andersen = IdentifySyncOpsAndersen(corpus.module);
+    const SyncOpReport sensitive = IdentifySyncOpsFieldSensitive(corpus.module);
+    const size_t total_plain = corpus.payload_memops;
+    auto spurious = [&](const SyncOpReport& report) {
+      return report.type_iii.size() - corpus.real_type_iii;
+    };
+    std::printf("  ground truth: %zu real type (iii), %zu plain payload memops\n",
+                corpus.real_type_iii, total_plain);
+    std::printf("  %-28s type(iii)=%4zu  spurious=%4zu (%5.1f%% of payload)\n",
+                "steensgaard (DSA-style)", steensgaard.type_iii.size(),
+                spurious(steensgaard), 100.0 * spurious(steensgaard) / total_plain);
+    std::printf("  %-28s type(iii)=%4zu  spurious=%4zu (%5.1f%% of payload)\n",
+                "andersen (SVF-as-queried)", andersen.type_iii.size(), spurious(andersen),
+                100.0 * spurious(andersen) / total_plain);
+    std::printf("  %-28s type(iii)=%4zu  spurious=%4zu (%5.1f%% of payload)\n",
+                "andersen field-sensitive", sensitive.type_iii.size(), spurious(sensitive),
+                100.0 * spurious(sensitive) / total_plain);
+    std::printf("  (the paper reports \"the majority of type (iii) instructions that\n"
+                "   target heap-allocated variables\" are spuriously marked by both\n"
+                "   DSA and SVF; field-granular heap queries eliminate that.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared helpers for the benchmark harnesses (one binary per paper table /
+// figure — see DESIGN.md §4).
+
+#ifndef MVEE_BENCH_COMMON_H_
+#define MVEE_BENCH_COMMON_H_
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mvee/agents/sync_agent.h"
+#include "mvee/monitor/mvee.h"
+#include "mvee/monitor/native.h"
+#include "mvee/util/log.h"
+#include "mvee/workloads/workload.h"
+
+namespace mvee {
+namespace bench {
+
+// Scale factor for the workload volumes. The paper machine runs the full
+// PARSEC/SPLASH inputs for minutes each; the harness defaults to a scale
+// that finishes the full sweep in a few minutes on one core. Override with
+// MVEE_BENCH_SCALE=0.05 etc.
+inline double BenchScale(double fallback = 0.02) {
+  if (const char* env = std::getenv("MVEE_BENCH_SCALE")) {
+    const double value = std::atof(env);
+    if (value > 0) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+// Thread-safe sync-op counting agent for native rate measurements (Table 2).
+class RateCountingAgent final : public SyncAgent {
+ public:
+  void BeforeSyncOp(uint32_t, const void*) override {}
+  void AfterSyncOp(uint32_t, const void*) override {
+    ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  AgentRole role() const override { return AgentRole::kMaster; }
+  const char* name() const override { return "rate-counting"; }
+  uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> ops_{0};
+};
+
+struct NativeRun {
+  double seconds = 0.0;
+  uint64_t syscalls = 0;
+  uint64_t sync_ops = 0;
+};
+
+// Runs a workload natively (no MVEE) and reports wall time + rates.
+inline NativeRun RunNative(const WorkloadConfig& config, double scale) {
+  NativeRunner runner;
+  RateCountingAgent agent;
+  runner.set_agent(&agent);
+  const auto start = std::chrono::steady_clock::now();
+  runner.Run(MakeWorkloadProgram(config, scale));
+  const auto end = std::chrono::steady_clock::now();
+  NativeRun result;
+  result.seconds = std::chrono::duration_cast<std::chrono::duration<double>>(end - start).count();
+  result.syscalls = runner.counters().total;
+  result.sync_ops = agent.ops();
+  return result;
+}
+
+struct MveeRun {
+  double seconds = 0.0;
+  bool ok = false;
+  MveeReport report;
+};
+
+// Runs a workload under the MVEE with `variants` variants and `agent`.
+inline MveeRun RunUnderMvee(const WorkloadConfig& config, double scale, uint32_t variants,
+                            AgentKind agent) {
+  MveeOptions options;
+  options.num_variants = variants;
+  options.agent = agent;
+  options.enable_aslr = false;  // Matches the paper's performance runs (§5.1).
+  // Generous for legitimate replay lag at bench scale, short enough that a
+  // pathological agent stall (PO on the atomic-heavy stand-ins) does not
+  // dominate the sweep's wall time.
+  options.rendezvous_timeout = std::chrono::milliseconds(30000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(30000);
+  options.agent_config.buffer_capacity = 1 << 16;
+  Mvee mvee(options);
+  MveeRun result;
+  result.ok = mvee.Run(MakeWorkloadProgram(config, scale)).ok();
+  result.report = mvee.report();
+  result.seconds = result.report.wall_seconds;
+  return result;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace mvee
+
+#endif  // MVEE_BENCH_COMMON_H_

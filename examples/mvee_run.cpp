@@ -1,0 +1,159 @@
+// mvee_run: command-line driver for the MVEE.
+//
+//   $ ./mvee_run                                 # list workloads
+//   $ ./mvee_run dedup                           # defaults: woc, 2 variants
+//   $ ./mvee_run radiosity --agent=to --variants=4 --scale=0.1
+//   $ ./mvee_run barnes --agent=pvo --policy=sensitive --loose --no-aslr
+//
+// Runs one PARSEC/SPLASH benchmark stand-in natively and under the MVEE
+// with the requested configuration, then prints a one-run report: wall
+// times, overhead factor, syscall/sync-op counters, and the divergence
+// verdict. The whole public surface of the library in ~150 lines.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mvee/monitor/mvee.h"
+#include "mvee/monitor/native.h"
+#include "mvee/util/log.h"
+#include "mvee/workloads/workload.h"
+
+using namespace mvee;
+
+namespace {
+
+void PrintUsageAndWorkloads() {
+  std::printf(
+      "usage: mvee_run <workload> [options]\n"
+      "  --agent=to|po|woc|pvo|null   replication agent (default woc)\n"
+      "  --variants=N                 2-4 variants (default 2)\n"
+      "  --scale=F                    workload scale factor (default 0.05)\n"
+      "  --policy=all|sensitive       lockstep comparison policy (default all)\n"
+      "  --loose                      VARAN-style loose sync model\n"
+      "  --no-aslr                    disable simulated ASLR\n"
+      "  --dcl                        disjoint code layouts\n"
+      "  --seed=N                     diversity/kernel seed\n\n"
+      "workloads:\n");
+  for (const WorkloadConfig& config : AllWorkloads()) {
+    std::printf("  %-16s %-7s %-14s paper: %6.1fs, %7.2fK syscalls/s, %9.2fK sync ops/s\n",
+                config.name, config.suite, WorkloadShapeName(config.shape),
+                config.paper_runtime_sec, config.paper_syscall_rate_k,
+                config.paper_sync_rate_k);
+  }
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarn);
+  if (argc < 2) {
+    PrintUsageAndWorkloads();
+    return 1;
+  }
+  const WorkloadConfig* workload = FindWorkload(argv[1]);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'\n\n", argv[1]);
+    PrintUsageAndWorkloads();
+    return 1;
+  }
+
+  MveeOptions options;
+  double scale = 0.05;
+  for (int i = 2; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--agent", &value)) {
+      if (value == "to") {
+        options.agent = AgentKind::kTotalOrder;
+      } else if (value == "po") {
+        options.agent = AgentKind::kPartialOrder;
+      } else if (value == "woc") {
+        options.agent = AgentKind::kWallOfClocks;
+      } else if (value == "pvo") {
+        options.agent = AgentKind::kPerVariableOrder;
+      } else if (value == "null") {
+        options.agent = AgentKind::kNull;
+      } else {
+        std::fprintf(stderr, "unknown agent '%s'\n", value.c_str());
+        return 1;
+      }
+    } else if (ParseFlag(argv[i], "--variants", &value)) {
+      options.num_variants = static_cast<uint32_t>(std::atoi(value.c_str()));
+      if (options.num_variants < 2 || options.num_variants > 4) {
+        std::fprintf(stderr, "--variants must be 2-4\n");
+        return 1;
+      }
+    } else if (ParseFlag(argv[i], "--scale", &value)) {
+      scale = std::atof(value.c_str());
+      if (scale <= 0) {
+        std::fprintf(stderr, "--scale must be > 0\n");
+        return 1;
+      }
+    } else if (ParseFlag(argv[i], "--policy", &value)) {
+      options.policy = value == "sensitive" ? MonitorPolicy::kLockstepSensitive
+                                            : MonitorPolicy::kLockstepAll;
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (std::strcmp(argv[i], "--loose") == 0) {
+      options.sync_model = SyncModel::kLoose;
+    } else if (std::strcmp(argv[i], "--no-aslr") == 0) {
+      options.enable_aslr = false;
+    } else if (std::strcmp(argv[i], "--dcl") == 0) {
+      options.enable_dcl = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  options.rendezvous_timeout = std::chrono::milliseconds(120000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(120000);
+
+  // Native baseline.
+  std::printf("workload %s (%s, %s shape), scale %.3f\n", workload->name, workload->suite,
+              WorkloadShapeName(workload->shape), scale);
+  NativeRunner native;
+  const auto native_start = std::chrono::steady_clock::now();
+  if (!native.Run(MakeWorkloadProgram(*workload, scale)).ok()) {
+    std::fprintf(stderr, "native run failed\n");
+    return 1;
+  }
+  const double native_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - native_start).count();
+  std::printf("native: %.3fs\n", native_seconds);
+
+  // MVEE run.
+  Mvee mvee(options);
+  const Status status = mvee.Run(MakeWorkloadProgram(*workload, scale));
+  const MveeReport& report = mvee.report();
+  std::printf("mvee (%u variants, %s agent, %s policy, %s model): %.3fs (%.2fx native)\n",
+              options.num_variants, AgentKindName(options.agent),
+              options.policy == MonitorPolicy::kLockstepAll ? "all" : "sensitive",
+              options.sync_model == SyncModel::kLockstep ? "lockstep" : "loose",
+              report.wall_seconds,
+              native_seconds > 0 ? report.wall_seconds / native_seconds : 0.0);
+  std::printf("  syscalls: %llu replicated, %llu ordered, %llu local\n",
+              (unsigned long long)report.syscalls.replicated,
+              (unsigned long long)report.syscalls.ordered,
+              (unsigned long long)report.syscalls.local);
+  std::printf("  sync ops: %llu recorded, %llu replayed, %llu replay stalls\n",
+              (unsigned long long)report.sync_ops_recorded,
+              (unsigned long long)report.sync_ops_replayed,
+              (unsigned long long)report.replay_stalls);
+  if (status.ok()) {
+    std::printf("verdict: no divergence\n");
+    return 0;
+  }
+  std::printf("verdict: %s — %s\n", status.ToString().c_str(),
+              report.divergence_detail.c_str());
+  return 2;
+}

@@ -1,0 +1,70 @@
+// Runs one of the PARSEC/SPLASH benchmark stand-ins natively and under the
+// MVEE with each synchronization agent, printing the relative overheads —
+// a single-benchmark slice of the paper's Figure 5.
+//
+//   $ ./parsec_under_mvee [benchmark] [scale]
+//   $ ./parsec_under_mvee fluidanimate 0.05
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mvee/monitor/mvee.h"
+#include "mvee/monitor/native.h"
+#include "mvee/util/log.h"
+#include "mvee/workloads/workload.h"
+
+using namespace mvee;
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kError);
+
+  const std::string name = argc > 1 ? argv[1] : "streamcluster";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.05;
+
+  const WorkloadConfig* config = FindWorkload(name);
+  if (config == nullptr) {
+    std::printf("unknown benchmark '%s'; available:\n", name.c_str());
+    for (const auto& workload : AllWorkloads()) {
+      std::printf("  %s/%s\n", workload.suite, workload.name);
+    }
+    return 1;
+  }
+  std::printf("%s/%s (%s shape), scale %.3f, %u worker threads\n", config->suite,
+              config->name, WorkloadShapeName(config->shape), scale, config->worker_threads);
+
+  // Native baseline.
+  double native_seconds = 0;
+  {
+    NativeRunner runner;
+    const auto start = std::chrono::steady_clock::now();
+    runner.Run(MakeWorkloadProgram(*config, scale));
+    native_seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    std::printf("native: %.3fs (%lu syscalls)\n", native_seconds,
+                (unsigned long)runner.counters().total);
+  }
+
+  // Two variants under each agent.
+  for (AgentKind agent : {AgentKind::kTotalOrder, AgentKind::kPartialOrder,
+                          AgentKind::kWallOfClocks}) {
+    MveeOptions options;
+    options.num_variants = 2;
+    options.agent = agent;
+    options.rendezvous_timeout = std::chrono::milliseconds(120000);
+    options.agent_config.replay_deadline = std::chrono::milliseconds(120000);
+    Mvee mvee(options);
+    const Status status = mvee.Run(MakeWorkloadProgram(*config, scale));
+    if (!status.ok()) {
+      std::printf("%-15s FAILED: %s\n", AgentKindName(agent), status.ToString().c_str());
+      continue;
+    }
+    const MveeReport& report = mvee.report();
+    std::printf("%-15s %.3fs (%.2fx native), %lu sync ops, %lu replay stalls\n",
+                AgentKindName(agent), report.wall_seconds,
+                native_seconds > 0 ? report.wall_seconds / native_seconds : 0,
+                (unsigned long)report.sync_ops_recorded,
+                (unsigned long)report.replay_stalls);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Deterministic signal delivery: a SIGHUP-style config reload under the MVEE.
+//
+//   $ ./signal_reload
+//
+// A server-ish program serves requests from worker threads while the
+// operator sends it an asynchronous "reload configuration" signal. Under a
+// naive MVEE this is a divergence time bomb: the kernel would deliver the
+// signal to each variant at a different point, the variants would reload
+// config between different requests, and their responses would differ. Here
+// the monitor defers delivery to the lockstep rendezvous, so every variant
+// reloads between the *same* two requests — the run stays divergence-free
+// and the served responses are identical across variants by construction
+// (the MVEE's output comparison proves it).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "mvee/monitor/mvee.h"
+#include "mvee/sync/primitives.h"
+#include "mvee/util/log.h"
+
+using namespace mvee;
+
+namespace {
+
+constexpr int32_t kSigReload = 1;  // "SIGHUP"
+constexpr int kRequests = 40;
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarn);
+
+  MveeOptions options;
+  options.num_variants = 3;
+  options.agent = AgentKind::kWallOfClocks;
+
+  Mvee mvee(options);
+  const Status status = mvee.Run([](VariantEnv& env) {
+    struct Server {
+      Mutex lock;
+      int config_version = 1;
+      std::string responses;  // "v1 v1 v2 v2 ..." — the served versions.
+      InstrumentedAtomic<int32_t> served{0};
+    };
+    auto server = std::make_shared<Server>();
+
+    // The reload handler: bumps the config version. Delivered at the same
+    // request boundary in every variant.
+    env.Sigaction(kSigReload, [server](VariantEnv&) {
+      LockGuard<Mutex> guard(server->lock);
+      ++server->config_version;
+    });
+
+    // Two workers serve "requests"; each response records which config
+    // version it was served under.
+    auto worker = [server](VariantEnv& wenv) {
+      while (true) {
+        const int32_t index = server->served.FetchAdd(1);
+        if (index >= kRequests) {
+          break;
+        }
+        {
+          LockGuard<Mutex> guard(server->lock);
+          server->responses += "v" + std::to_string(server->config_version) + " ";
+        }
+        wenv.Gettid();  // The request's syscall — and a delivery point.
+        if (index == kRequests / 2) {
+          // Mid-run, the "operator" (here: the program itself, so the demo
+          // is self-contained) sends the reload signal to the main thread.
+          wenv.Kill(/*tid=*/0, kSigReload);
+        }
+      }
+    };
+    ThreadHandle worker_a = env.Spawn(worker);
+    ThreadHandle worker_b = env.Spawn(worker);
+
+    // Main thread pumps syscalls (its rendezvous are the delivery points)
+    // until the reload landed and all requests are served.
+    int spins = 0;
+    while (spins++ < 1000) {
+      env.Gettid();
+      LockGuard<Mutex> guard(server->lock);
+      if (server->config_version > 1 && server->served.Load() >= kRequests) {
+        break;
+      }
+    }
+    env.Join(worker_a);
+    env.Join(worker_b);
+
+    // Publish the full response log: the lockstep write comparison fails if
+    // any variant reloaded at a different request boundary.
+    const int64_t fd = env.Open("result/responses",
+                                VOpenFlags::kWrite | VOpenFlags::kCreate);
+    env.Write(fd, server->responses);
+    env.Close(fd);
+  });
+
+  if (!status.ok()) {
+    std::printf("divergence: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto file = mvee.kernel().vfs().Open("result/responses", false);
+  const auto bytes = file->Contents();
+  const std::string responses(bytes.begin(), bytes.end());
+  std::printf("3 variants served %d requests with a mid-run reload, no divergence.\n"
+              "responses (identical in every variant): %s\n",
+              kRequests, responses.c_str());
+  const bool saw_v2 = responses.find("v2") != std::string::npos;
+  std::printf("reload %s\n", saw_v2 ? "took effect mid-stream" : "not observed (!)");
+  return saw_v2 ? 0 : 1;
+}

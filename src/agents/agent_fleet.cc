@@ -1,0 +1,70 @@
+#include "mvee/agents/agent_fleet.h"
+
+namespace mvee {
+
+namespace {
+
+// Non-owning shim so CreateAgent can return unique_ptr uniformly for kNull.
+class NullAgentShim final : public SyncAgent {
+ public:
+  void BeforeSyncOp(uint32_t, const void*) override {}
+  void AfterSyncOp(uint32_t, const void*) override {}
+  AgentRole role() const override { return AgentRole::kMaster; }
+  const char* name() const override { return "null"; }
+};
+
+}  // namespace
+
+AgentFleet::AgentFleet(AgentKind kind, const AgentConfig& config, AgentControl control)
+    : kind_(kind) {
+  switch (kind_) {
+    case AgentKind::kNull:
+      break;
+    case AgentKind::kTotalOrder:
+      total_order_ = std::make_unique<TotalOrderRuntime>(config, control);
+      break;
+    case AgentKind::kPartialOrder:
+      partial_order_ = std::make_unique<PartialOrderRuntime>(config, control);
+      break;
+    case AgentKind::kWallOfClocks:
+      wall_of_clocks_ = std::make_unique<WallOfClocksRuntime>(config, control);
+      break;
+    case AgentKind::kPerVariableOrder:
+      per_variable_ = std::make_unique<PerVariableRuntime>(config, control);
+      break;
+  }
+}
+
+std::unique_ptr<SyncAgent> AgentFleet::CreateAgent(uint32_t variant_index) {
+  switch (kind_) {
+    case AgentKind::kNull:
+      return std::make_unique<NullAgentShim>();
+    case AgentKind::kTotalOrder:
+      return total_order_->CreateAgent(variant_index);
+    case AgentKind::kPartialOrder:
+      return partial_order_->CreateAgent(variant_index);
+    case AgentKind::kWallOfClocks:
+      return wall_of_clocks_->CreateAgent(variant_index);
+    case AgentKind::kPerVariableOrder:
+      return per_variable_->CreateAgent(variant_index);
+  }
+  return nullptr;
+}
+
+const AgentStats* AgentFleet::stats() const {
+  switch (kind_) {
+    case AgentKind::kNull:
+      return nullptr;
+    case AgentKind::kTotalOrder:
+      return &total_order_->stats();
+    case AgentKind::kPartialOrder:
+      return &partial_order_->stats();
+    case AgentKind::kWallOfClocks:
+      return &wall_of_clocks_->stats();
+    case AgentKind::kPerVariableOrder:
+      return &per_variable_->stats();
+  }
+  return nullptr;
+}
+
+}  // namespace mvee

@@ -1,0 +1,26 @@
+#include "mvee/agents/context.h"
+
+namespace mvee {
+
+namespace {
+
+SyncContext* NullContext() {
+  static SyncContext context{NullAgent::Instance(), nullptr, 0};
+  return &context;
+}
+
+thread_local SyncContext* tls_context = nullptr;
+
+}  // namespace
+
+SyncContext* SyncContext::Current() {
+  return tls_context != nullptr ? tls_context : NullContext();
+}
+
+SyncContext* SyncContext::Install(SyncContext* context) {
+  SyncContext* previous = tls_context;
+  tls_context = context;
+  return previous;
+}
+
+}  // namespace mvee

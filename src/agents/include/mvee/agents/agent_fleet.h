@@ -1,0 +1,42 @@
+// AgentFleet: owns the shared runtime of one replication strategy and hands
+// out the per-variant agent handles. The MVEE creates one fleet per run and
+// "injects" an agent into each variant (the paper's LD_PRELOAD injection,
+// §4.5, collapses here to wiring the agent into the variant's thread-local
+// sync context).
+
+#ifndef MVEE_AGENTS_AGENT_FLEET_H_
+#define MVEE_AGENTS_AGENT_FLEET_H_
+
+#include <memory>
+
+#include "mvee/agents/partial_order.h"
+#include "mvee/agents/per_variable.h"
+#include "mvee/agents/sync_agent.h"
+#include "mvee/agents/total_order.h"
+#include "mvee/agents/wall_of_clocks.h"
+
+namespace mvee {
+
+class AgentFleet {
+ public:
+  AgentFleet(AgentKind kind, const AgentConfig& config, AgentControl control);
+
+  // Creates the agent for `variant_index` (0 = master). For kNull the
+  // process-wide NullAgent is returned via a non-owning wrapper.
+  std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
+
+  AgentKind kind() const { return kind_; }
+  // Aggregated recorder/replayer statistics; nullptr for kNull.
+  const AgentStats* stats() const;
+
+ private:
+  AgentKind kind_;
+  std::unique_ptr<TotalOrderRuntime> total_order_;
+  std::unique_ptr<PartialOrderRuntime> partial_order_;
+  std::unique_ptr<WallOfClocksRuntime> wall_of_clocks_;
+  std::unique_ptr<PerVariableRuntime> per_variable_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_AGENTS_AGENT_FLEET_H_

@@ -1,0 +1,85 @@
+// Partial-order (PO) replication agent (paper §4.5, Figure 4b).
+//
+// The master records (thread, sync-variable key) pairs into one global
+// buffer under the same global instrumentation lock as the TO agent. Slaves,
+// however, only enforce the recorded order between *dependent* ops — ops on
+// the same sync variable. A slave thread scans a lookahead window for its
+// next entry and may execute as soon as every unconsumed earlier entry with
+// the same key has been consumed. This eliminates TO's unnecessary stalls at
+// the cost of window scans and extra memory pressure (§4.5).
+
+#ifndef MVEE_AGENTS_PARTIAL_ORDER_H_
+#define MVEE_AGENTS_PARTIAL_ORDER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mvee/agents/sync_agent.h"
+#include "mvee/util/spsc_ring.h"
+
+namespace mvee {
+
+class PartialOrderRuntime {
+ public:
+  PartialOrderRuntime(const AgentConfig& config, AgentControl control);
+
+  std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
+
+  const AgentStats& stats() const { return stats_; }
+
+ private:
+  friend class PartialOrderAgent;
+
+  struct Entry {
+    uint32_t tid = 0;
+    uint64_t key = 0;  // master-space sync-variable identity
+  };
+
+  // Per-slave-variant replay state.
+  struct SlaveState {
+    // consumed[seq & mask]: whether entry seq has been replayed. Reset when
+    // the base cursor passes, so the producer can reuse the slot.
+    std::vector<std::atomic<uint8_t>> consumed;
+    // Next entry index each thread will look for (owned by that thread).
+    std::vector<std::atomic<uint64_t>> next_index_by_tid;
+    // Protects base-cursor advancement; readers load the atomic directly
+    // (base only moves forward, stale reads are safe).
+    std::mutex base_mutex;
+    std::atomic<uint64_t> base{0};
+    size_t consumer_id = 0;
+  };
+
+  AgentConfig config_;
+  AgentControl control_;
+  AgentStats stats_;
+  BroadcastRing<Entry> ring_;
+  std::atomic_flag master_lock_ = ATOMIC_FLAG_INIT;
+  std::vector<std::unique_ptr<SlaveState>> slaves_;  // index: variant-1
+};
+
+class PartialOrderAgent final : public SyncAgent {
+ public:
+  PartialOrderAgent(PartialOrderRuntime* runtime, AgentRole role,
+                    PartialOrderRuntime::SlaveState* slave);
+
+  void BeforeSyncOp(uint32_t tid, const void* addr) override;
+  void AfterSyncOp(uint32_t tid, const void* addr) override;
+  AgentRole role() const override { return role_; }
+  const char* name() const override { return "partial-order"; }
+
+ private:
+  // Index of the entry this thread matched in BeforeSyncOp, consumed in
+  // AfterSyncOp. One pending op per thread.
+  static constexpr uint32_t kMaxThreads = 256;
+
+  PartialOrderRuntime* const runtime_;
+  const AgentRole role_;
+  PartialOrderRuntime::SlaveState* const slave_;
+  uint64_t pending_index_[kMaxThreads] = {};
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_AGENTS_PARTIAL_ORDER_H_

@@ -1,0 +1,113 @@
+// Per-variable-order (PVO) replication agent — the collision-free limit of
+// wall-of-clocks (paper §4.5, last paragraph).
+//
+// The paper's WoC agent hashes sync-variable addresses onto a fixed pool of
+// clocks because agents may not allocate memory dynamically (§3.3); hash
+// collisions then cause unnecessary serialization in the slaves. This agent
+// explores the other end of that trade-off: it gives every distinct sync
+// variable (at 8-byte granularity, same rationale as WoC's bucketing) its
+// *own* logical clock, using a statically preallocated, insert-only,
+// lock-free open-addressing table. No collisions — and therefore no
+// unnecessary serialization — until the table saturates, at which point the
+// agent degrades gracefully to hashed (WoC-style) assignment and counts the
+// overflow.
+//
+// This is the ablation baseline for bench_ablation_agents: it bounds from
+// above what WoC could gain from a perfect (dynamic) address→clock map, and
+// it makes the cost concrete: the table plus per-variant clock mirrors are
+// ~16x the memory of the WoC wall for the same workload.
+
+#ifndef MVEE_AGENTS_PER_VARIABLE_H_
+#define MVEE_AGENTS_PER_VARIABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "mvee/agents/sync_agent.h"
+#include "mvee/util/hash.h"
+#include "mvee/util/spsc_ring.h"
+
+namespace mvee {
+
+class PerVariableRuntime {
+ public:
+  PerVariableRuntime(const AgentConfig& config, AgentControl control);
+
+  std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
+
+  const AgentStats& stats() const { return stats_; }
+  size_t table_capacity() const { return table_capacity_; }
+
+  // Number of distinct sync variables that received a private clock so far.
+  uint64_t VariablesMapped() const {
+    return variables_mapped_.load(std::memory_order_relaxed);
+  }
+  // Inserts that hit the probe limit and fell back to hashed assignment.
+  uint64_t TableOverflows() const {
+    return table_overflows_.load(std::memory_order_relaxed);
+  }
+
+  // Maps a master-side sync-variable address to its clock id, inserting a
+  // fresh private clock on first sight. Thread-safe, lock-free, allocation-
+  // free. Exposed for tests and the ablation bench.
+  uint32_t ClockOf(const void* addr);
+
+ private:
+  friend class PerVariableAgent;
+
+  struct Entry {
+    uint32_t clock_id = 0;
+    uint64_t time = 0;
+  };
+
+  struct alignas(64) MasterClock {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    uint64_t time = 0;
+  };
+
+  struct alignas(64) SlaveClock {
+    std::atomic<uint64_t> time{0};
+  };
+
+  AgentConfig config_;
+  AgentControl control_;
+  AgentStats stats_;
+  size_t table_capacity_;  // Power of two.
+  uint64_t table_mask_;
+  std::atomic<uint64_t> variables_mapped_{0};
+  std::atomic<uint64_t> table_overflows_{0};
+  // Insert-only table: keys_[i] holds the 8-byte-bucketed address owning
+  // clock i, or 0 if clock i is still free. The table index *is* the clock
+  // id, so a successful insert allocates the clock in the same CAS.
+  std::vector<std::atomic<uint64_t>> keys_;
+  std::vector<MasterClock> master_clocks_;
+  std::vector<std::unique_ptr<BroadcastRing<Entry>>> rings_;
+  std::vector<std::vector<SlaveClock>> slave_clocks_;
+};
+
+class PerVariableAgent final : public SyncAgent {
+ public:
+  PerVariableAgent(PerVariableRuntime* runtime, AgentRole role, uint32_t variant_index);
+
+  void BeforeSyncOp(uint32_t tid, const void* addr) override;
+  void AfterSyncOp(uint32_t tid, const void* addr) override;
+  AgentRole role() const override { return role_; }
+  const char* name() const override { return "per-variable-order"; }
+
+ private:
+  static constexpr uint32_t kMaxThreads = 256;
+
+  PerVariableRuntime* const runtime_;
+  const AgentRole role_;
+  const uint32_t variant_index_;
+  struct Pending {
+    uint32_t clock_id = 0;
+    uint64_t time = 0;
+  };
+  Pending pending_[kMaxThreads];
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_AGENTS_PER_VARIABLE_H_

@@ -1,0 +1,119 @@
+// Synchronization agents (paper §4.5).
+//
+// An agent implements the before_sync_op / after_sync_op pair that the
+// compiler-side instrumentation inserts around every sync op (Listing 3).
+// The *master* variant's agent records the order in which sync ops execute
+// into shared sync buffers; each *slave* variant's agent replays that order,
+// stalling slave threads whose next op would violate it (§3.2, Figure 2).
+//
+// Protocol contract for all agents:
+//   BeforeSyncOp(tid, addr);
+//   <the atomic instruction itself>
+//   AfterSyncOp(tid, addr);
+//
+// Master agents make (record + execute) atomic per ordering domain by holding
+// an instrumentation lock across the op: a single global lock for the
+// total-order and partial-order agents (the source of their cache-contention
+// problems, §4.5), or a per-clock lock for wall-of-clocks.
+//
+// Agents never allocate memory on the hot path (§3.3): all buffers and clock
+// pools are preallocated when the shared runtime is created.
+
+#ifndef MVEE_AGENTS_SYNC_AGENT_H_
+#define MVEE_AGENTS_SYNC_AGENT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace mvee {
+
+// Role assigned at attach time. The paper's agents learn this through the
+// "self-awareness" pseudo-syscall; here the MVEE wires it directly and also
+// exposes the pseudo-syscall to programs (§4.5).
+enum class AgentRole : uint8_t {
+  kMaster = 0,
+  kSlave,
+};
+
+// Hot-path statistics. Relaxed atomics: approximate under concurrency,
+// exact after quiescence.
+struct AgentStats {
+  std::atomic<uint64_t> ops_recorded{0};
+  std::atomic<uint64_t> ops_replayed{0};
+  std::atomic<uint64_t> record_stalls{0};   // producer blocked on full buffer
+  std::atomic<uint64_t> replay_stalls{0};   // slave blocked waiting its turn
+};
+
+// Shared configuration for agent runtimes.
+struct AgentConfig {
+  uint32_t max_threads = 64;           // Max logical threads per variant.
+  uint32_t num_variants = 2;           // Master + slaves.
+  size_t buffer_capacity = 1 << 16;    // Entries per sync buffer (power of 2).
+  size_t clock_count = 4096;           // Wall-of-clocks wall size.
+  size_t po_window = 1 << 12;          // Partial-order lookahead window.
+  // Replay stall deadline; exceeded => the runtime calls on_stall and the
+  // waiting thread unwinds with VariantKilled. Detects uninstrumented sync
+  // ops (the nginx scenario of §5.5).
+  std::chrono::milliseconds replay_deadline{10000};
+};
+
+// Per-variant agent handle.
+class SyncAgent {
+ public:
+  virtual ~SyncAgent() = default;
+
+  // Called immediately before the sync op on `addr` executes in thread `tid`.
+  virtual void BeforeSyncOp(uint32_t tid, const void* addr) = 0;
+  // Called immediately after the sync op completed.
+  virtual void AfterSyncOp(uint32_t tid, const void* addr) = 0;
+
+  virtual AgentRole role() const = 0;
+  virtual const char* name() const = 0;
+};
+
+// Abort/stall plumbing shared by the agent runtimes. The monitor installs
+// the abort flag (tripped on divergence) and the stall callback (reports a
+// divergence itself).
+struct AgentControl {
+  const std::atomic<bool>* abort_flag = nullptr;
+  std::function<void(const std::string&)> on_stall;
+
+  bool aborted() const {
+    return abort_flag != nullptr && abort_flag->load(std::memory_order_acquire);
+  }
+};
+
+// A no-op agent: used for native baselines and as the "weak symbol" fallback
+// the paper describes in §4.4 (program calls the agent if present, no-ops
+// otherwise).
+class NullAgent final : public SyncAgent {
+ public:
+  void BeforeSyncOp(uint32_t, const void*) override {}
+  void AfterSyncOp(uint32_t, const void*) override {}
+  AgentRole role() const override { return AgentRole::kMaster; }
+  const char* name() const override { return "null"; }
+
+  // Process-wide instance for uninstrumented / native execution.
+  static NullAgent* Instance();
+};
+
+// Which replication strategy an MVEE uses.
+enum class AgentKind : uint8_t {
+  kNull = 0,
+  kTotalOrder,
+  kPartialOrder,
+  kWallOfClocks,
+  // Ablation: WoC's collision-free limit — one private clock per sync
+  // variable from a preallocated lock-free address table (§4.5 trade-off).
+  kPerVariableOrder,
+};
+
+const char* AgentKindName(AgentKind kind);
+
+}  // namespace mvee
+
+#endif  // MVEE_AGENTS_SYNC_AGENT_H_

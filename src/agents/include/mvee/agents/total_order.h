@@ -1,0 +1,66 @@
+// Total-order (TO) replication agent (paper §4.5, Figure 4a).
+//
+// The master replays all sync ops into one global buffer in the exact order
+// they executed; a global instrumentation lock held across each op makes
+// (execute + record) atomic, so the recorded order equals the execution
+// order. Slaves consume the buffer strictly front-to-back: a slave thread may
+// execute its next sync op only when the front entry names that thread. Even
+// unrelated critical sections are therefore serialized in the slaves — the
+// "unnecessary stalls" the paper illustrates with the red bar in Figure 4(a).
+
+#ifndef MVEE_AGENTS_TOTAL_ORDER_H_
+#define MVEE_AGENTS_TOTAL_ORDER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "mvee/agents/sync_agent.h"
+#include "mvee/util/spsc_ring.h"
+
+namespace mvee {
+
+// Shared state: one broadcast ring, one global master lock.
+class TotalOrderRuntime {
+ public:
+  TotalOrderRuntime(const AgentConfig& config, AgentControl control);
+
+  // Creates the agent handle for variant `variant_index` (0 = master).
+  std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
+
+  const AgentStats& stats() const { return stats_; }
+  uint64_t OpsRecorded() const { return stats_.ops_recorded.load(std::memory_order_relaxed); }
+
+ private:
+  friend class TotalOrderAgent;
+
+  struct Entry {
+    uint32_t tid = 0;
+  };
+
+  AgentConfig config_;
+  AgentControl control_;
+  AgentStats stats_;
+  BroadcastRing<Entry> ring_;
+  std::atomic_flag master_lock_ = ATOMIC_FLAG_INIT;
+  std::vector<size_t> consumer_ids_;  // consumer id per slave variant (index-1)
+};
+
+class TotalOrderAgent final : public SyncAgent {
+ public:
+  TotalOrderAgent(TotalOrderRuntime* runtime, AgentRole role, size_t consumer_id);
+
+  void BeforeSyncOp(uint32_t tid, const void* addr) override;
+  void AfterSyncOp(uint32_t tid, const void* addr) override;
+  AgentRole role() const override { return role_; }
+  const char* name() const override { return "total-order"; }
+
+ private:
+  TotalOrderRuntime* const runtime_;
+  const AgentRole role_;
+  const size_t consumer_id_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_AGENTS_TOTAL_ORDER_H_

@@ -1,0 +1,106 @@
+// Wall-of-clocks (WoC) replication agent (paper §4.5, Figure 4c).
+//
+// Sync variables are hashed onto a fixed, statically allocated pool of
+// logical clocks (agents may not allocate dynamically, §3.3; collisions are
+// tolerated and merely over-serialize, §4.5 last paragraph — including the
+// deliberate bucketing of adjacent 32-bit variables in one 64-bit line).
+//
+// Recording: the master thread acquires the per-clock lock, executes the op,
+// logs (clock id, clock time) into *its own* SPSC sync buffer, increments the
+// clock, releases. One buffer per master thread means each buffer has a
+// single producer and the agent introduces no cross-thread sharing beyond
+// what the program's own lock contention already implies.
+//
+// Replay: slave thread t pops the next (clock, time) entry from buffer t and
+// waits until its variant's local copy of that clock reaches `time`; after
+// executing the op it increments the local clock. Slaves never see the
+// master's clocks or other buffers — the buffer contents alone are enough to
+// reproduce the clock increments (§4.5), which also makes the agent fully
+// address-space-layout agnostic (§4.5.1).
+
+#ifndef MVEE_AGENTS_WALL_OF_CLOCKS_H_
+#define MVEE_AGENTS_WALL_OF_CLOCKS_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "mvee/agents/sync_agent.h"
+#include "mvee/util/hash.h"
+#include "mvee/util/spsc_ring.h"
+
+namespace mvee {
+
+class WallOfClocksRuntime {
+ public:
+  WallOfClocksRuntime(const AgentConfig& config, AgentControl control);
+
+  std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
+
+  const AgentStats& stats() const { return stats_; }
+  size_t clock_count() const { return config_.clock_count; }
+
+  // Maps a sync-variable address to its clock id (exposed for tests and the
+  // collision ablation bench).
+  uint32_t ClockOf(const void* addr) const {
+    return static_cast<uint32_t>(ClockAddressHash(reinterpret_cast<uint64_t>(addr)) %
+                                 config_.clock_count);
+  }
+
+ private:
+  friend class WallOfClocksAgent;
+
+  struct Entry {
+    uint32_t clock_id = 0;
+    uint64_t time = 0;
+  };
+
+  // Master-side clock: spinlock + time, one cache line each to avoid false
+  // sharing across clocks.
+  struct alignas(64) MasterClock {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    uint64_t time = 0;
+  };
+
+  // Slave-side local clock copy.
+  struct alignas(64) SlaveClock {
+    std::atomic<uint64_t> time{0};
+  };
+
+  AgentConfig config_;
+  AgentControl control_;
+  AgentStats stats_;
+  std::vector<MasterClock> master_clocks_;
+  // One ring per master thread; slaves of variant v consume with id v-1.
+  std::vector<std::unique_ptr<BroadcastRing<Entry>>> rings_;
+  // local_clocks_[v-1][c] for slave variant v.
+  std::vector<std::vector<SlaveClock>> slave_clocks_;
+};
+
+class WallOfClocksAgent final : public SyncAgent {
+ public:
+  WallOfClocksAgent(WallOfClocksRuntime* runtime, AgentRole role, uint32_t variant_index);
+
+  void BeforeSyncOp(uint32_t tid, const void* addr) override;
+  void AfterSyncOp(uint32_t tid, const void* addr) override;
+  AgentRole role() const override { return role_; }
+  const char* name() const override { return "wall-of-clocks"; }
+
+ private:
+  static constexpr uint32_t kMaxThreads = 256;
+
+  WallOfClocksRuntime* const runtime_;
+  const AgentRole role_;
+  const uint32_t variant_index_;
+  // Per-thread scratch carrying state from Before to After (one pending op
+  // per thread; owned exclusively by that thread).
+  struct Pending {
+    uint32_t clock_id = 0;
+    uint64_t time = 0;
+  };
+  Pending pending_[kMaxThreads];
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_AGENTS_WALL_OF_CLOCKS_H_

@@ -1,0 +1,194 @@
+#include "mvee/agents/partial_order.h"
+
+#include <chrono>
+#include <string>
+
+#include "mvee/util/spin.h"
+#include "mvee/util/variant_killed.h"
+
+namespace mvee {
+
+PartialOrderRuntime::PartialOrderRuntime(const AgentConfig& config, AgentControl control)
+    : config_(config), control_(std::move(control)), ring_(config.buffer_capacity) {
+  for (uint32_t v = 1; v < config_.num_variants; ++v) {
+    auto slave = std::make_unique<SlaveState>();
+    slave->consumed = std::vector<std::atomic<uint8_t>>(config_.buffer_capacity);
+    slave->next_index_by_tid = std::vector<std::atomic<uint64_t>>(config_.max_threads);
+    slave->consumer_id = ring_.RegisterConsumer();
+    slaves_.push_back(std::move(slave));
+  }
+}
+
+std::unique_ptr<SyncAgent> PartialOrderRuntime::CreateAgent(uint32_t variant_index) {
+  if (variant_index == 0) {
+    return std::make_unique<PartialOrderAgent>(this, AgentRole::kMaster, nullptr);
+  }
+  return std::make_unique<PartialOrderAgent>(this, AgentRole::kSlave,
+                                             slaves_[variant_index - 1].get());
+}
+
+PartialOrderAgent::PartialOrderAgent(PartialOrderRuntime* runtime, AgentRole role,
+                                     PartialOrderRuntime::SlaveState* slave)
+    : runtime_(runtime), role_(role), slave_(slave) {}
+
+void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
+  (void)addr;  // The key is recorded in AfterSyncOp (master) / read from the buffer (slave).
+  if (runtime_->control_.aborted() && AlreadyUnwinding()) {
+    return;  // Teardown: no second throw from destructor-driven sync ops.
+  }
+  if (role_ == AgentRole::kMaster) {
+    SpinWait waiter;
+    while (runtime_->master_lock_.test_and_set(std::memory_order_acquire)) {
+      if (runtime_->control_.aborted()) {
+        throw VariantKilled{};
+      }
+      waiter.Pause();
+    }
+    return;
+  }
+
+  // Slave replay. Step 1: locate this thread's next recorded entry by
+  // scanning forward from where the previous scan stopped (each global entry
+  // is scanned at most once per thread, so the scan is amortized O(1)).
+  const uint64_t mask = runtime_->config_.buffer_capacity - 1;
+  auto& ring = runtime_->ring_;
+  const auto deadline =
+      std::chrono::steady_clock::now() + runtime_->config_.replay_deadline;
+  SpinWait waiter;
+  bool stalled = false;
+
+  auto check_deadline = [&](const char* phase) {
+    if (runtime_->control_.aborted()) {
+      throw VariantKilled{};
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      if (runtime_->control_.on_stall) {
+        runtime_->control_.on_stall(std::string("partial-order replay deadline (") + phase +
+                                    ", tid " + std::to_string(tid) + ")");
+      }
+      throw VariantKilled{};
+    }
+  };
+
+  // The scan may look at most `po_window` entries past the retire base (the
+  // paper's lookahead window): a thread whose next entry lies beyond it
+  // stalls until other threads consume the in-window entries. Progress is
+  // guaranteed for any window >= 1 because the entry at `base` is always the
+  // owning thread's next entry. Small windows bound scan cost and memory
+  // freshness at the price of TO-like stalls (ablation 5 sweeps this).
+  const uint64_t window = runtime_->config_.po_window;
+  uint64_t index = slave_->next_index_by_tid[tid].load(std::memory_order_relaxed);
+  PartialOrderRuntime::Entry mine;
+  for (;;) {
+    const uint64_t base_now = slave_->base.load(std::memory_order_acquire);
+    if (index < base_now) {
+      // Everything below base is consumed — including all of this thread's
+      // earlier entries — so its next entry is at or above base. Skipping
+      // ahead is therefore lossless, and it keeps the scan out of retired
+      // slots the producer may already be reusing.
+      index = base_now;
+    }
+    if (index >= base_now + window) {
+      if (!stalled) {
+        stalled = true;
+        runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      }
+      check_deadline("window");
+      waiter.Pause();
+      continue;
+    }
+    PartialOrderRuntime::Entry entry;
+    if (!ring.TryRead(index, &entry)) {
+      if (!stalled) {
+        stalled = true;
+        runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      }
+      check_deadline("scan");
+      waiter.Pause();
+      continue;
+    }
+    if (entry.tid == tid) {
+      mine = entry;
+      break;
+    }
+    ++index;
+  }
+  pending_index_[tid] = index;
+
+  // Step 2: wait until every unconsumed earlier entry with the same key has
+  // been replayed. This is the window scan the paper describes; it preserves
+  // the recorded order between dependent ops only.
+  waiter.Reset();
+  for (;;) {
+    bool blocked = false;
+    // base only moves forward; a stale (smaller) value is safe, it only
+    // lengthens the scan.
+    const uint64_t base = slave_->base.load(std::memory_order_acquire);
+    for (uint64_t j = base; j < index; ++j) {
+      if (slave_->consumed[j & mask].load(std::memory_order_acquire) != 0) {
+        continue;
+      }
+      PartialOrderRuntime::Entry other;
+      if (!ring.TryRead(j, &other)) {
+        continue;  // Retired concurrently.
+      }
+      if (other.key == mine.key) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      return;
+    }
+    if (!stalled) {
+      stalled = true;
+      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+    }
+    check_deadline("dependence");
+    waiter.Pause();
+  }
+}
+
+void PartialOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
+  if (runtime_->control_.aborted() && AlreadyUnwinding()) {
+    return;
+  }
+  if (role_ == AgentRole::kMaster) {
+    PartialOrderRuntime::Entry entry;
+    entry.tid = tid;
+    entry.key = reinterpret_cast<uint64_t>(addr);
+    if (!runtime_->ring_.TryPush(entry)) {
+      runtime_->stats_.record_stalls.fetch_add(1, std::memory_order_relaxed);
+      SpinWait waiter;
+      while (!runtime_->ring_.TryPush(entry)) {
+        if (runtime_->control_.aborted()) {
+          runtime_->master_lock_.clear(std::memory_order_release);
+          throw VariantKilled{};
+        }
+        waiter.Pause();
+      }
+    }
+    runtime_->stats_.ops_recorded.fetch_add(1, std::memory_order_relaxed);
+    runtime_->master_lock_.clear(std::memory_order_release);
+    return;
+  }
+
+  const uint64_t mask = runtime_->config_.buffer_capacity - 1;
+  const uint64_t index = pending_index_[tid];
+  slave_->consumed[index & mask].store(1, std::memory_order_release);
+  slave_->next_index_by_tid[tid].store(index + 1, std::memory_order_relaxed);
+  runtime_->stats_.ops_replayed.fetch_add(1, std::memory_order_relaxed);
+
+  // Retire a consumed prefix so the producer can reuse the slots.
+  std::lock_guard<std::mutex> lock(slave_->base_mutex);
+  auto& ring = runtime_->ring_;
+  uint64_t base = slave_->base.load(std::memory_order_relaxed);
+  while (base < ring.WriteCursor() &&
+         slave_->consumed[base & mask].load(std::memory_order_acquire) != 0) {
+    slave_->consumed[base & mask].store(0, std::memory_order_relaxed);
+    ring.Advance(slave_->consumer_id);
+    slave_->base.store(++base, std::memory_order_release);
+  }
+}
+
+}  // namespace mvee

@@ -1,0 +1,199 @@
+#include "mvee/agents/per_variable.h"
+
+#include <chrono>
+#include <string>
+
+#include "mvee/util/spin.h"
+#include "mvee/util/variant_killed.h"
+
+namespace mvee {
+
+namespace {
+
+constexpr size_t kProbeLimit = 64;
+
+size_t NextPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+PerVariableRuntime::PerVariableRuntime(const AgentConfig& config, AgentControl control)
+    : config_(config),
+      control_(std::move(control)),
+      table_capacity_(NextPow2(config.clock_count * 8)),
+      table_mask_(table_capacity_ - 1),
+      keys_(table_capacity_),
+      master_clocks_(table_capacity_),
+      slave_clocks_(config.num_variants > 0 ? config.num_variants - 1 : 0) {
+  for (auto& key : keys_) {
+    key.store(0, std::memory_order_relaxed);
+  }
+  rings_.reserve(config_.max_threads);
+  for (uint32_t t = 0; t < config_.max_threads; ++t) {
+    auto ring = std::make_unique<BroadcastRing<Entry>>(config_.buffer_capacity);
+    for (uint32_t v = 1; v < config_.num_variants; ++v) {
+      ring->RegisterConsumer();
+    }
+    rings_.push_back(std::move(ring));
+  }
+  for (auto& clocks : slave_clocks_) {
+    clocks = std::vector<SlaveClock>(table_capacity_);
+  }
+}
+
+uint32_t PerVariableRuntime::ClockOf(const void* addr) {
+  // Bucket at 8-byte granularity for the same CMPXCHG8B reason as WoC; +1 so
+  // the null bucket can never collide with the empty-slot sentinel 0.
+  const uint64_t key = (reinterpret_cast<uint64_t>(addr) >> 3) + 1;
+  uint64_t index = ClockAddressHash(key) & table_mask_;
+  for (size_t probe = 0; probe < kProbeLimit; ++probe) {
+    const uint64_t current = keys_[index].load(std::memory_order_acquire);
+    if (current == key) {
+      return static_cast<uint32_t>(index);
+    }
+    if (current == 0) {
+      uint64_t expected = 0;
+      if (keys_[index].compare_exchange_strong(expected, key, std::memory_order_acq_rel)) {
+        variables_mapped_.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<uint32_t>(index);
+      }
+      if (expected == key) {
+        return static_cast<uint32_t>(index);  // Lost the race to ourselves.
+      }
+      // Lost to a different key; keep probing from here.
+    }
+    index = (index + 1) & table_mask_;
+  }
+  // Table region saturated: degrade to WoC-style hashed assignment. The
+  // clock still exists (every table index has one); we merely share it.
+  table_overflows_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<uint32_t>(ClockAddressHash(key) & table_mask_);
+}
+
+std::unique_ptr<SyncAgent> PerVariableRuntime::CreateAgent(uint32_t variant_index) {
+  const AgentRole role = variant_index == 0 ? AgentRole::kMaster : AgentRole::kSlave;
+  return std::make_unique<PerVariableAgent>(this, role, variant_index);
+}
+
+PerVariableAgent::PerVariableAgent(PerVariableRuntime* runtime, AgentRole role,
+                                   uint32_t variant_index)
+    : runtime_(runtime), role_(role), variant_index_(variant_index) {}
+
+void PerVariableAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
+  if (runtime_->control_.aborted() && AlreadyUnwinding()) {
+    return;
+  }
+
+  if (role_ == AgentRole::kMaster) {
+    const uint32_t clock_id = runtime_->ClockOf(addr);
+    auto& clock = runtime_->master_clocks_[clock_id];
+    SpinWait waiter;
+    while (clock.lock.test_and_set(std::memory_order_acquire)) {
+      if (runtime_->control_.aborted()) {
+        throw VariantKilled{};
+      }
+      waiter.Pause();
+    }
+    pending_[tid].clock_id = clock_id;
+    pending_[tid].time = clock.time;
+    return;
+  }
+
+  // Slave: addresses differ per variant under ASLR/DCL, so the slave never
+  // consults the table — the recorded clock id alone drives replay, which is
+  // what makes the agent address-space-layout agnostic (§4.5.1).
+  auto& ring = *runtime_->rings_[tid];
+  const size_t consumer = variant_index_ - 1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + runtime_->config_.replay_deadline;
+  SpinWait waiter;
+  bool stalled = false;
+
+  PerVariableRuntime::Entry entry;
+  while (!ring.Peek(consumer, 0, &entry)) {
+    if (runtime_->control_.aborted()) {
+      throw VariantKilled{};
+    }
+    if (!stalled) {
+      stalled = true;
+      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      if (runtime_->control_.on_stall) {
+        runtime_->control_.on_stall("per-variable replay deadline (no entry, tid " +
+                                    std::to_string(tid) + ")");
+      }
+      throw VariantKilled{};
+    }
+    waiter.Pause();
+  }
+
+  auto& local_clock = runtime_->slave_clocks_[consumer][entry.clock_id].time;
+  waiter.Reset();
+  while (local_clock.load(std::memory_order_acquire) != entry.time) {
+    if (runtime_->control_.aborted()) {
+      throw VariantKilled{};
+    }
+    if (!stalled) {
+      stalled = true;
+      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      if (runtime_->control_.on_stall) {
+        runtime_->control_.on_stall("per-variable replay deadline (clock " +
+                                    std::to_string(entry.clock_id) + " stuck at " +
+                                    std::to_string(local_clock.load()) + ", want " +
+                                    std::to_string(entry.time) + ", tid " +
+                                    std::to_string(tid) + ")");
+      }
+      throw VariantKilled{};
+    }
+    waiter.Pause();
+  }
+  pending_[tid].clock_id = entry.clock_id;
+  pending_[tid].time = entry.time;
+}
+
+void PerVariableAgent::AfterSyncOp(uint32_t tid, const void* addr) {
+  (void)addr;
+  if (runtime_->control_.aborted() && AlreadyUnwinding()) {
+    return;
+  }
+  if (role_ == AgentRole::kMaster) {
+    const Pending pending = pending_[tid];
+    auto& clock = runtime_->master_clocks_[pending.clock_id];
+    auto& ring = *runtime_->rings_[tid];
+    PerVariableRuntime::Entry entry;
+    entry.clock_id = pending.clock_id;
+    entry.time = pending.time;
+    if (!ring.TryPush(entry)) {
+      runtime_->stats_.record_stalls.fetch_add(1, std::memory_order_relaxed);
+      SpinWait waiter;
+      while (!ring.TryPush(entry)) {
+        if (runtime_->control_.aborted()) {
+          clock.lock.clear(std::memory_order_release);
+          throw VariantKilled{};
+        }
+        waiter.Pause();
+      }
+    }
+    clock.time = pending.time + 1;
+    runtime_->stats_.ops_recorded.fetch_add(1, std::memory_order_relaxed);
+    clock.lock.clear(std::memory_order_release);
+    return;
+  }
+
+  const size_t consumer = variant_index_ - 1;
+  const Pending pending = pending_[tid];
+  runtime_->slave_clocks_[consumer][pending.clock_id].time.store(pending.time + 1,
+                                                                 std::memory_order_release);
+  runtime_->rings_[tid]->Advance(consumer);
+  runtime_->stats_.ops_replayed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace mvee

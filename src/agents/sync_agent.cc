@@ -1,0 +1,26 @@
+#include "mvee/agents/sync_agent.h"
+
+namespace mvee {
+
+NullAgent* NullAgent::Instance() {
+  static NullAgent instance;
+  return &instance;
+}
+
+const char* AgentKindName(AgentKind kind) {
+  switch (kind) {
+    case AgentKind::kNull:
+      return "null";
+    case AgentKind::kTotalOrder:
+      return "total-order";
+    case AgentKind::kPartialOrder:
+      return "partial-order";
+    case AgentKind::kWallOfClocks:
+      return "wall-of-clocks";
+    case AgentKind::kPerVariableOrder:
+      return "per-variable-order";
+  }
+  return "unknown";
+}
+
+}  // namespace mvee

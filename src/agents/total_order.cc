@@ -1,0 +1,102 @@
+#include "mvee/agents/total_order.h"
+
+#include <chrono>
+
+#include "mvee/util/spin.h"
+#include "mvee/util/variant_killed.h"
+
+namespace mvee {
+
+TotalOrderRuntime::TotalOrderRuntime(const AgentConfig& config, AgentControl control)
+    : config_(config), control_(std::move(control)), ring_(config.buffer_capacity) {
+  // One consumer cursor per slave variant. All threads of a slave variant
+  // share one cursor: the total order is variant-global.
+  consumer_ids_.resize(config_.num_variants, 0);
+  for (uint32_t v = 1; v < config_.num_variants; ++v) {
+    consumer_ids_[v] = ring_.RegisterConsumer();
+  }
+}
+
+std::unique_ptr<SyncAgent> TotalOrderRuntime::CreateAgent(uint32_t variant_index) {
+  const AgentRole role = variant_index == 0 ? AgentRole::kMaster : AgentRole::kSlave;
+  return std::make_unique<TotalOrderAgent>(this, role, consumer_ids_[variant_index]);
+}
+
+TotalOrderAgent::TotalOrderAgent(TotalOrderRuntime* runtime, AgentRole role, size_t consumer_id)
+    : runtime_(runtime), role_(role), consumer_id_(consumer_id) {}
+
+void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
+  (void)addr;
+  if (runtime_->control_.aborted() && AlreadyUnwinding()) {
+    return;  // Teardown: no second throw from destructor-driven sync ops.
+  }
+  if (role_ == AgentRole::kMaster) {
+    // Global instrumentation lock held across the sync op: the recorded
+    // order is the execution order. This read-write sharing on one cache
+    // line is the scalability problem §4.5 attributes to the simple agents.
+    SpinWait waiter;
+    while (runtime_->master_lock_.test_and_set(std::memory_order_acquire)) {
+      if (runtime_->control_.aborted()) {
+        throw VariantKilled{};
+      }
+      waiter.Pause();
+    }
+    return;
+  }
+
+  // Slave: stall until the front of the buffer names this thread. Only the
+  // named thread advances the cursor, so concurrent peeks are safe.
+  const auto deadline =
+      std::chrono::steady_clock::now() + runtime_->config_.replay_deadline;
+  SpinWait waiter;
+  bool stalled = false;
+  for (;;) {
+    if (runtime_->control_.aborted()) {
+      throw VariantKilled{};
+    }
+    TotalOrderRuntime::Entry entry;
+    if (runtime_->ring_.Peek(consumer_id_, 0, &entry) && entry.tid == tid) {
+      return;
+    }
+    if (!stalled) {
+      stalled = true;
+      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      if (runtime_->control_.on_stall) {
+        runtime_->control_.on_stall("total-order replay deadline exceeded (tid " +
+                                    std::to_string(tid) + ")");
+      }
+      throw VariantKilled{};
+    }
+    waiter.Pause();
+  }
+}
+
+void TotalOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
+  (void)addr;
+  if (runtime_->control_.aborted() && AlreadyUnwinding()) {
+    return;
+  }
+  if (role_ == AgentRole::kMaster) {
+    if (!runtime_->ring_.TryPush(TotalOrderRuntime::Entry{tid})) {
+      runtime_->stats_.record_stalls.fetch_add(1, std::memory_order_relaxed);
+      SpinWait waiter;
+      while (!runtime_->ring_.TryPush(TotalOrderRuntime::Entry{tid})) {
+        if (runtime_->control_.aborted()) {
+          runtime_->master_lock_.clear(std::memory_order_release);
+          throw VariantKilled{};
+        }
+        waiter.Pause();
+      }
+    }
+    runtime_->stats_.ops_recorded.fetch_add(1, std::memory_order_relaxed);
+    runtime_->master_lock_.clear(std::memory_order_release);
+    return;
+  }
+
+  runtime_->ring_.Advance(consumer_id_);
+  runtime_->stats_.ops_replayed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace mvee

@@ -1,0 +1,154 @@
+#include "mvee/agents/wall_of_clocks.h"
+
+#include <chrono>
+#include <string>
+
+#include "mvee/util/spin.h"
+#include "mvee/util/variant_killed.h"
+
+namespace mvee {
+
+WallOfClocksRuntime::WallOfClocksRuntime(const AgentConfig& config, AgentControl control)
+    : config_(config),
+      control_(std::move(control)),
+      master_clocks_(config.clock_count),
+      slave_clocks_(config.num_variants > 0 ? config.num_variants - 1 : 0) {
+  rings_.reserve(config_.max_threads);
+  for (uint32_t t = 0; t < config_.max_threads; ++t) {
+    auto ring = std::make_unique<BroadcastRing<Entry>>(config_.buffer_capacity);
+    // Consumer v-1 of every ring belongs to slave variant v.
+    for (uint32_t v = 1; v < config_.num_variants; ++v) {
+      ring->RegisterConsumer();
+    }
+    rings_.push_back(std::move(ring));
+  }
+  for (auto& clocks : slave_clocks_) {
+    clocks = std::vector<SlaveClock>(config_.clock_count);
+  }
+}
+
+std::unique_ptr<SyncAgent> WallOfClocksRuntime::CreateAgent(uint32_t variant_index) {
+  const AgentRole role = variant_index == 0 ? AgentRole::kMaster : AgentRole::kSlave;
+  return std::make_unique<WallOfClocksAgent>(this, role, variant_index);
+}
+
+WallOfClocksAgent::WallOfClocksAgent(WallOfClocksRuntime* runtime, AgentRole role,
+                                     uint32_t variant_index)
+    : runtime_(runtime), role_(role), variant_index_(variant_index) {}
+
+void WallOfClocksAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
+  if (runtime_->control_.aborted() && AlreadyUnwinding()) {
+    return;  // Teardown: no second throw from destructor-driven sync ops.
+  }
+  const uint32_t clock_id = runtime_->ClockOf(addr);
+
+  if (role_ == AgentRole::kMaster) {
+    // Lock the clock bucket across the op so that the recorded per-clock
+    // order equals the execution order. Contention here mirrors the
+    // program's own contention on the corresponding sync variables (§4.5:
+    // overhead "scales with the pre-existing resource contention").
+    auto& clock = runtime_->master_clocks_[clock_id];
+    SpinWait waiter;
+    while (clock.lock.test_and_set(std::memory_order_acquire)) {
+      if (runtime_->control_.aborted()) {
+        throw VariantKilled{};
+      }
+      waiter.Pause();
+    }
+    pending_[tid].clock_id = clock_id;
+    pending_[tid].time = clock.time;
+    return;
+  }
+
+  // Slave: fetch this thread's next recorded entry, then wait for the local
+  // clock copy to reach the recorded time.
+  auto& ring = *runtime_->rings_[tid];
+  const size_t consumer = variant_index_ - 1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + runtime_->config_.replay_deadline;
+  SpinWait waiter;
+  bool stalled = false;
+
+  WallOfClocksRuntime::Entry entry;
+  while (!ring.Peek(consumer, 0, &entry)) {
+    if (runtime_->control_.aborted()) {
+      throw VariantKilled{};
+    }
+    if (!stalled) {
+      stalled = true;
+      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      if (runtime_->control_.on_stall) {
+        runtime_->control_.on_stall("wall-of-clocks replay deadline (no entry, tid " +
+                                    std::to_string(tid) + ")");
+      }
+      throw VariantKilled{};
+    }
+    waiter.Pause();
+  }
+
+  auto& local_clock = runtime_->slave_clocks_[consumer][entry.clock_id].time;
+  waiter.Reset();
+  while (local_clock.load(std::memory_order_acquire) != entry.time) {
+    if (runtime_->control_.aborted()) {
+      throw VariantKilled{};
+    }
+    if (!stalled) {
+      stalled = true;
+      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      if (runtime_->control_.on_stall) {
+        runtime_->control_.on_stall("wall-of-clocks replay deadline (clock " +
+                                    std::to_string(entry.clock_id) + " stuck at " +
+                                    std::to_string(local_clock.load()) + ", want " +
+                                    std::to_string(entry.time) + ", tid " +
+                                    std::to_string(tid) + ")");
+      }
+      throw VariantKilled{};
+    }
+    waiter.Pause();
+  }
+  pending_[tid].clock_id = entry.clock_id;
+  pending_[tid].time = entry.time;
+}
+
+void WallOfClocksAgent::AfterSyncOp(uint32_t tid, const void* addr) {
+  (void)addr;
+  if (runtime_->control_.aborted() && AlreadyUnwinding()) {
+    return;
+  }
+  if (role_ == AgentRole::kMaster) {
+    const Pending pending = pending_[tid];
+    auto& clock = runtime_->master_clocks_[pending.clock_id];
+    auto& ring = *runtime_->rings_[tid];
+    WallOfClocksRuntime::Entry entry;
+    entry.clock_id = pending.clock_id;
+    entry.time = pending.time;
+    if (!ring.TryPush(entry)) {
+      runtime_->stats_.record_stalls.fetch_add(1, std::memory_order_relaxed);
+      SpinWait waiter;
+      while (!ring.TryPush(entry)) {
+        if (runtime_->control_.aborted()) {
+          clock.lock.clear(std::memory_order_release);
+          throw VariantKilled{};
+        }
+        waiter.Pause();
+      }
+    }
+    clock.time = pending.time + 1;
+    runtime_->stats_.ops_recorded.fetch_add(1, std::memory_order_relaxed);
+    clock.lock.clear(std::memory_order_release);
+    return;
+  }
+
+  const size_t consumer = variant_index_ - 1;
+  const Pending pending = pending_[tid];
+  runtime_->slave_clocks_[consumer][pending.clock_id].time.store(pending.time + 1,
+                                                                 std::memory_order_release);
+  runtime_->rings_[tid]->Advance(consumer);
+  runtime_->stats_.ops_replayed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace mvee

@@ -1,0 +1,129 @@
+#include "mvee/analysis/andersen.h"
+
+#include <deque>
+
+#include "mvee/analysis/syncop_analysis.h"
+
+namespace mvee {
+
+AndersenAnalysis::AndersenAnalysis(const MirModule& module) {
+  points_to_.resize(module.register_count);
+  copy_targets_.resize(module.register_count);
+
+  // Seed constraints and build the copy graph.
+  std::deque<int32_t> worklist;
+  auto enqueue = [&](int32_t reg) { worklist.push_back(reg); };
+
+  for (const auto& function : module.functions) {
+    for (const auto& inst : function.instructions) {
+      switch (inst.op) {
+        case MirOp::kAddrOf:
+        case MirOp::kAlloc:
+          if (points_to_[inst.dst].insert(inst.object).second) {
+            enqueue(inst.dst);
+          }
+          break;
+        case MirOp::kMov:
+        case MirOp::kGep:
+          copy_targets_[inst.src].push_back(inst.dst);
+          enqueue(inst.src);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Worklist fixpoint: propagate pts(src) into pts(dst) along copy edges.
+  while (!worklist.empty()) {
+    ++solver_iterations_;
+    const int32_t reg = worklist.front();
+    worklist.pop_front();
+    for (int32_t target : copy_targets_[reg]) {
+      bool changed = false;
+      for (int32_t obj : points_to_[reg]) {
+        changed |= points_to_[target].insert(obj).second;
+      }
+      if (changed) {
+        worklist.push_back(target);
+      }
+    }
+  }
+}
+
+const std::set<int32_t>& AndersenAnalysis::PointsTo(int32_t reg) const {
+  if (reg < 0 || static_cast<size_t>(reg) >= points_to_.size()) {
+    return empty_;
+  }
+  return points_to_[reg];
+}
+
+bool AndersenAnalysis::MayAlias(int32_t reg_a, int32_t reg_b) const {
+  const auto& a = PointsTo(reg_a);
+  const auto& b = PointsTo(reg_b);
+  for (int32_t obj : a) {
+    if (b.count(obj) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AndersenAnalysis::MayPointInto(int32_t reg, const std::set<int32_t>& objects) const {
+  for (int32_t obj : PointsTo(reg)) {
+    if (objects.count(obj) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SyncOpReport IdentifySyncOpsAndersen(const MirModule& module,
+                                     const SyncOpAnalysisOptions& options) {
+  SyncOpReport report;
+  report.module_name = module.name;
+
+  AndersenAnalysis points_to(module);
+
+  for (const auto& function : module.functions) {
+    for (size_t i = 0; i < function.instructions.size(); ++i) {
+      const MirInst& inst = function.instructions[i];
+      if (inst.op == MirOp::kLockRmw) {
+        report.type_i.push_back({function.name, i, inst.source_line, inst.op});
+        for (int32_t obj : points_to.PointsTo(inst.ptr)) {
+          report.sync_objects.insert(obj);
+        }
+      } else if (inst.op == MirOp::kXchg) {
+        report.type_ii.push_back({function.name, i, inst.source_line, inst.op});
+        for (int32_t obj : points_to.PointsTo(inst.ptr)) {
+          report.sync_objects.insert(obj);
+        }
+      }
+    }
+  }
+
+  if (options.treat_volatile_as_sync) {
+    for (size_t obj = 0; obj < module.objects.size(); ++obj) {
+      if (module.objects[obj].is_volatile) {
+        report.sync_objects.insert(static_cast<int32_t>(obj));
+      }
+    }
+  }
+
+  for (const auto& function : module.functions) {
+    for (size_t i = 0; i < function.instructions.size(); ++i) {
+      const MirInst& inst = function.instructions[i];
+      if (inst.op != MirOp::kLoad && inst.op != MirOp::kStore) {
+        continue;
+      }
+      if (points_to.MayPointInto(inst.ptr, report.sync_objects)) {
+        report.type_iii.push_back({function.name, i, inst.source_line, inst.op});
+      } else {
+        ++report.unmarked_memops;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mvee

@@ -1,0 +1,125 @@
+#include "mvee/analysis/atomic_check.h"
+
+namespace mvee {
+
+AtomicCheckResult CheckAtomicQualifiers(const MirModule& module,
+                                        const std::set<int32_t>& qualified_regs,
+                                        const AtomicCheckOptions& options) {
+  AtomicCheckResult result;
+  auto qualified = [&](int32_t reg) { return qualified_regs.count(reg) != 0; };
+
+  for (const auto& function : module.functions) {
+    for (size_t i = 0; i < function.instructions.size(); ++i) {
+      const MirInst& inst = function.instructions[i];
+      switch (inst.op) {
+        case MirOp::kAddrOf:
+          // &object of a qualified object flowing into a non-qualified
+          // pointer: the discipline requires the pointer to be qualified.
+          if (module.objects[inst.object].atomic_qualified && !qualified(inst.dst)) {
+            result.diagnostics.push_back({AtomicDiagnostic::Kind::kErrorCastFromAtomic,
+                                          function.name, i, inst.source_line});
+          }
+          break;
+        case MirOp::kMov:
+        case MirOp::kGep:
+          if (qualified(inst.src) && !qualified(inst.dst)) {
+            result.diagnostics.push_back({AtomicDiagnostic::Kind::kErrorCastFromAtomic,
+                                          function.name, i, inst.source_line});
+          } else if (!qualified(inst.src) && qualified(inst.dst)) {
+            result.diagnostics.push_back({AtomicDiagnostic::Kind::kWarningCastToAtomic,
+                                          function.name, i, inst.source_line});
+          }
+          break;
+        case MirOp::kAsmBlock:
+          // AsmBlockAnalyzable blocks (src == 1) are exempt when improvement
+          // 3 is enabled — the checker can reason about them.
+          if (qualified(inst.ptr) && !(options.permit_analyzable_asm && inst.src == 1)) {
+            result.diagnostics.push_back({AtomicDiagnostic::Kind::kErrorAtomicInAsm,
+                                          function.name, i, inst.source_line});
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return result;
+}
+
+PropagationResult PropagateQualifiers(const MirModule& module,
+                                      const std::set<int32_t>& seed_objects,
+                                      const AtomicCheckOptions& options) {
+  PropagationResult result;
+  result.qualified_objects = seed_objects;
+
+  // Improvement 1: volatile variables are sync variables too (§4.3); fold
+  // them into the seed so the refactoring loop qualifies their pointers.
+  if (options.auto_qualify_volatile) {
+    for (size_t obj = 0; obj < module.objects.size(); ++obj) {
+      if (module.objects[obj].is_volatile) {
+        result.qualified_objects.insert(static_cast<int32_t>(obj));
+      }
+    }
+  }
+
+  // Iterate "compiles": after each one, qualify the pointers the
+  // diagnostics point at (refactoring step), until clean.
+  for (;;) {
+    ++result.iterations;
+    bool changed = false;
+
+    // Refactoring pass: qualify pointers along def-use chains, both
+    // directions (§4.3.1: "propagate the _Atomic type-qualifier up and down
+    // the def-use chains of all pointers to sync variables").
+    for (const auto& function : module.functions) {
+      for (const auto& inst : function.instructions) {
+        switch (inst.op) {
+          case MirOp::kAddrOf:
+          case MirOp::kAlloc:
+            if (result.qualified_objects.count(inst.object) != 0 &&
+                result.qualified_regs.insert(inst.dst).second) {
+              changed = true;
+            }
+            break;
+          case MirOp::kMov:
+          case MirOp::kGep:
+            // Down the chain: dst inherits src's qualifier.
+            if (result.qualified_regs.count(inst.src) != 0 &&
+                result.qualified_regs.insert(inst.dst).second) {
+              changed = true;
+            }
+            // Up the chain: if the destination must be qualified, the source
+            // feeding it must be too.
+            if (result.qualified_regs.count(inst.dst) != 0 &&
+                result.qualified_regs.insert(inst.src).second) {
+              changed = true;
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  // Final compile: the only diagnostics left must be hard errors (inline
+  // assembly touching qualified variables), which no refactoring fixes.
+  // Evaluate against a module whose seed objects carry the qualifier.
+  MirModule qualified_module = module;
+  for (int32_t obj : result.qualified_objects) {
+    qualified_module.objects[obj].atomic_qualified = true;
+  }
+  const AtomicCheckResult final_check =
+      CheckAtomicQualifiers(qualified_module, result.qualified_regs, options);
+  for (const auto& diagnostic : final_check.diagnostics) {
+    if (diagnostic.kind == AtomicDiagnostic::Kind::kErrorAtomicInAsm) {
+      result.hard_errors.push_back(diagnostic);
+    }
+  }
+  return result;
+}
+
+}  // namespace mvee

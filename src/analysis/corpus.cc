@@ -1,0 +1,206 @@
+#include "mvee/analysis/corpus.h"
+
+#include <string>
+
+#include "mvee/util/hash.h"
+#include "mvee/util/rng.h"
+
+namespace mvee {
+
+std::vector<CorpusSpec> Table3Specs() {
+  // Counts from paper Table 3.
+  return {
+      {"libc-2.19.so", 319, 409, 94, 600, 400},
+      {"libpthreads-2.19.so", 163, 81, 160, 120, 150},
+      {"libgomp.so", 68, 38, 13, 90, 80},
+      {"libstdc++.so", 162, 3, 25, 300, 250},
+      {"bodytrack", 201, 0, 8, 500, 700},
+      {"facesim", 385, 0, 8, 800, 900},
+      {"raytrace", 170, 0, 8, 400, 600},
+      {"vips", 4, 0, 6, 350, 300},
+  };
+}
+
+MirModule BuildSyntheticModule(const CorpusSpec& spec, uint64_t seed) {
+  MirBuilder builder(spec.module_name);
+  Rng rng(seed ^ FnvHashBytes(spec.module_name, std::string(spec.module_name).size()));
+
+  // Sync variables: a pool shared by the atomic sites, so stage 2 has real
+  // aliasing structure to resolve (several sites per variable, pointer
+  // copies in between).
+  const size_t sync_object_count = 1 + (spec.type_i + spec.type_ii) / 8;
+  std::vector<int32_t> sync_objects;
+  std::vector<int32_t> sync_pointers;  // One canonical pointer per object.
+  builder.Function(std::string(spec.module_name) + "::atomics");
+  for (size_t i = 0; i < sync_object_count; ++i) {
+    const int32_t object =
+        builder.Object("sync_var_" + std::to_string(i), MirStorage::kGlobal);
+    const int32_t pointer = builder.Reg();
+    builder.AddrOf(pointer, object, "sync.c:" + std::to_string(10 + i));
+    sync_objects.push_back(object);
+    sync_pointers.push_back(pointer);
+  }
+
+  // Type (i) sites: LOCK RMW through a (possibly copied) pointer.
+  for (size_t i = 0; i < spec.type_i; ++i) {
+    const int32_t base = sync_pointers[rng.NextBelow(sync_pointers.size())];
+    int32_t pointer = base;
+    if (rng.NextBool(0.5)) {
+      pointer = builder.Reg();
+      builder.Mov(pointer, base);
+    }
+    builder.LockRmw(pointer, "lock.c:" + std::to_string(100 + i));
+  }
+
+  // Type (ii) sites: XCHG.
+  for (size_t i = 0; i < spec.type_ii; ++i) {
+    const int32_t base = sync_pointers[rng.NextBelow(sync_pointers.size())];
+    builder.Xchg(base, "xchg.c:" + std::to_string(300 + i));
+  }
+
+  // Type (iii) sites: aligned load/store reached through pointer chains that
+  // alias the sync variables (unlock stores, state reads).
+  for (size_t i = 0; i < spec.type_iii; ++i) {
+    const int32_t base = sync_pointers[rng.NextBelow(sync_pointers.size())];
+    const int32_t alias = builder.Reg();
+    if (rng.NextBool(0.3)) {
+      builder.Gep(alias, base);  // Field access into the sync object.
+    } else {
+      builder.Mov(alias, base);
+    }
+    if (rng.NextBool(0.5)) {
+      builder.Store(alias, "unlock.c:" + std::to_string(500 + i));
+    } else {
+      builder.Load(alias, "read.c:" + std::to_string(500 + i));
+    }
+  }
+
+  // Noise: private objects with their own loads/stores. The analysis must
+  // leave every one of these unmarked.
+  builder.Function(std::string(spec.module_name) + "::noise");
+  for (size_t i = 0; i < spec.noise_memops; ++i) {
+    const bool on_heap = rng.NextBool(0.5);
+    const int32_t object = builder.Object("private_" + std::to_string(i),
+                                          on_heap ? MirStorage::kHeap : MirStorage::kStack);
+    const int32_t pointer = builder.Reg();
+    if (on_heap) {
+      builder.Alloc(pointer, object);
+    } else {
+      builder.AddrOf(pointer, object);
+    }
+    if (rng.NextBool(0.5)) {
+      builder.Load(pointer, "noise.c:" + std::to_string(i));
+    } else {
+      builder.Store(pointer, "noise.c:" + std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i < spec.noise_computes; ++i) {
+    builder.Compute("math.c:" + std::to_string(i));
+  }
+
+  return builder.Build();
+}
+
+std::vector<MirModule> BuildTable3Corpus() {
+  std::vector<MirModule> corpus;
+  for (const auto& spec : Table3Specs()) {
+    corpus.push_back(BuildSyntheticModule(spec));
+  }
+  return corpus;
+}
+
+MirModule BuildListing1Module() {
+  // int spinlock;
+  // spinlock_lock:   while (!CAS(ptr, 0, 1)) sched_yield();   // LOCK CMPXCHG
+  // spinlock_unlock: *ptr = 0;                                // plain store
+  MirBuilder builder("listing1_spinlock");
+  const int32_t spinlock = builder.Object("spinlock", MirStorage::kGlobal);
+  builder.Function("spinlock_lock");
+  const int32_t lock_ptr = builder.Reg();
+  builder.AddrOf(lock_ptr, spinlock, "listing1.c:12");
+  builder.LockRmw(lock_ptr, "listing1.c:4");
+  builder.Function("spinlock_unlock");
+  const int32_t unlock_ptr = builder.Reg();
+  builder.Mov(unlock_ptr, lock_ptr, "listing1.c:8");
+  builder.Store(unlock_ptr, "listing1.c:9");
+  // A bystander store that must not be marked.
+  builder.Function("unrelated");
+  const int32_t other = builder.Object("counter", MirStorage::kGlobal);
+  const int32_t other_ptr = builder.Reg();
+  builder.AddrOf(other_ptr, other);
+  builder.Store(other_ptr, "listing1.c:20");
+  return builder.Build();
+}
+
+MirModule BuildListing2Module() {
+  // volatile int flag;
+  // signal_thread:        flag = 1;       // plain store
+  // wait_until_signaled:  while(!flag);   // plain load
+  MirBuilder builder("listing2_condvar");
+  const int32_t flag =
+      builder.Object("flag", MirStorage::kGlobal, /*is_volatile=*/true);
+  builder.Function("signal_thread");
+  const int32_t store_ptr = builder.Reg();
+  builder.AddrOf(store_ptr, flag, "listing2.c:3");
+  builder.Store(store_ptr, "listing2.c:4");
+  builder.Function("wait_until_signaled");
+  const int32_t load_ptr = builder.Reg();
+  builder.AddrOf(load_ptr, flag, "listing2.c:7");
+  builder.Load(load_ptr, "listing2.c:8");
+  return builder.Build();
+}
+
+MirModule BuildAsmViolationModule() {
+  MirBuilder builder("asm_violation");
+  const int32_t var = builder.Object("qualified_lock", MirStorage::kGlobal,
+                                     /*is_volatile=*/false, /*atomic_qualified=*/true);
+  builder.Function("bad_asm");
+  const int32_t pointer = builder.Reg();
+  builder.AddrOf(pointer, var, "asm.c:5");
+  builder.AsmBlock(pointer, "asm.c:6");
+  return builder.Build();
+}
+
+RefcountHeapCorpus BuildRefcountHeapModule(size_t nodes, size_t payload_fields,
+                                           size_t accesses_per_field) {
+  // struct node { atomic<int> refcount; /* field 0 */
+  //               T data[payload];      /* fields 1..payload */ };
+  // node* n = new node;
+  // __atomic_add_fetch(&n->refcount, 1);   // LOCK XADD, field 0
+  // n->data[k] = ...; ... = n->data[k];    // plain member accesses
+  RefcountHeapCorpus corpus;
+  MirBuilder builder("stl_refcount_heap");
+  builder.Function("shared_container_ops");
+  for (size_t node = 0; node < nodes; ++node) {
+    const int32_t object =
+        builder.Object("node" + std::to_string(node), MirStorage::kHeap);
+    const int32_t base = builder.Reg();
+    builder.Alloc(base, object, "stl.h:100");
+
+    // Refcount manipulation: member select of field 0, then LOCK XADD, plus
+    // one plain reload of the counter (a genuine type (iii) access).
+    const int32_t refcount_ptr = builder.Reg();
+    builder.GepField(refcount_ptr, base, 0, "stl.h:110");
+    builder.LockRmw(refcount_ptr, "stl.h:111");
+    builder.Load(refcount_ptr, "stl.h:112");
+    ++corpus.real_type_iii;
+
+    // Payload traffic: member selects of fields 1..payload, plain accesses.
+    for (size_t field = 1; field <= payload_fields; ++field) {
+      const int32_t field_ptr = builder.Reg();
+      builder.GepField(field_ptr, base, static_cast<int32_t>(field), "stl.h:120");
+      for (size_t access = 0; access < accesses_per_field; ++access) {
+        if (access % 2 == 0) {
+          builder.Store(field_ptr, "stl.h:121");
+        } else {
+          builder.Load(field_ptr, "stl.h:122");
+        }
+        ++corpus.payload_memops;
+      }
+    }
+  }
+  corpus.module = builder.Build();
+  return corpus;
+}
+
+}  // namespace mvee

@@ -1,0 +1,170 @@
+#include "mvee/analysis/field_sensitive.h"
+
+#include <deque>
+
+namespace mvee {
+
+bool LocsMayAlias(const FieldLoc& a, const FieldLoc& b) {
+  if (a.object != b.object) {
+    return false;
+  }
+  return a.field == FieldLoc::kAnyField || b.field == FieldLoc::kAnyField ||
+         a.field == b.field;
+}
+
+FieldSensitiveAnalysis::FieldSensitiveAnalysis(const MirModule& module) {
+  points_to_.resize(module.register_count);
+  copy_targets_.resize(module.register_count);
+  gep_targets_.resize(module.register_count);
+
+  std::deque<int32_t> worklist;
+  auto enqueue = [&](int32_t reg) { worklist.push_back(reg); };
+
+  for (const auto& function : module.functions) {
+    for (const auto& inst : function.instructions) {
+      switch (inst.op) {
+        case MirOp::kAddrOf:
+        case MirOp::kAlloc:
+          // &object and fresh allocations point at the object's base field.
+          if (points_to_[inst.dst].insert({inst.object, 0}).second) {
+            enqueue(inst.dst);
+          }
+          break;
+        case MirOp::kMov:
+          copy_targets_[inst.src].push_back(inst.dst);
+          enqueue(inst.src);
+          break;
+        case MirOp::kGep:
+          gep_targets_[inst.src].push_back({inst.dst, inst.field});
+          enqueue(inst.src);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Worklist fixpoint over copy and field-select edges.
+  while (!worklist.empty()) {
+    ++solver_iterations_;
+    const int32_t reg = worklist.front();
+    worklist.pop_front();
+
+    for (int32_t target : copy_targets_[reg]) {
+      bool changed = false;
+      for (const FieldLoc& loc : points_to_[reg]) {
+        changed |= points_to_[target].insert(loc).second;
+      }
+      if (changed) {
+        worklist.push_back(target);
+      }
+    }
+
+    for (const GepEdge& edge : gep_targets_[reg]) {
+      bool changed = false;
+      for (const FieldLoc& loc : points_to_[reg]) {
+        FieldLoc derived = loc;
+        if (edge.field == FieldLoc::kAnyField || loc.field == FieldLoc::kAnyField) {
+          // Opaque arithmetic, or arithmetic on an already-smeared pointer:
+          // the result may address any field (the SVF conservatism §4.3.1
+          // complains about).
+          derived.field = FieldLoc::kAnyField;
+        } else if (loc.field == 0) {
+          derived.field = edge.field;  // Member select off the object base.
+        } else {
+          // Field-of-field (nested aggregates are not modelled): smear.
+          derived.field = FieldLoc::kAnyField;
+        }
+        changed |= points_to_[edge.target].insert(derived).second;
+      }
+      if (changed) {
+        worklist.push_back(edge.target);
+      }
+    }
+  }
+}
+
+const std::set<FieldLoc>& FieldSensitiveAnalysis::PointsTo(int32_t reg) const {
+  if (reg < 0 || static_cast<size_t>(reg) >= points_to_.size()) {
+    return empty_;
+  }
+  return points_to_[reg];
+}
+
+bool FieldSensitiveAnalysis::MayAlias(int32_t reg_a, int32_t reg_b) const {
+  for (const FieldLoc& a : PointsTo(reg_a)) {
+    for (const FieldLoc& b : PointsTo(reg_b)) {
+      if (LocsMayAlias(a, b)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool FieldSensitiveAnalysis::MayPointInto(int32_t reg,
+                                          const std::set<FieldLoc>& locs) const {
+  for (const FieldLoc& mine : PointsTo(reg)) {
+    for (const FieldLoc& other : locs) {
+      if (LocsMayAlias(mine, other)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+SyncOpReport IdentifySyncOpsFieldSensitive(const MirModule& module,
+                                           const SyncOpAnalysisOptions& options) {
+  SyncOpReport report;
+  report.module_name = module.name;
+
+  FieldSensitiveAnalysis points_to(module);
+  std::set<FieldLoc> sync_locs;
+
+  // Stage 1: type (i)/(ii) instructions seed the sync-variable locations at
+  // field granularity.
+  for (const auto& function : module.functions) {
+    for (size_t i = 0; i < function.instructions.size(); ++i) {
+      const MirInst& inst = function.instructions[i];
+      if (inst.op != MirOp::kLockRmw && inst.op != MirOp::kXchg) {
+        continue;
+      }
+      auto& bucket = inst.op == MirOp::kLockRmw ? report.type_i : report.type_ii;
+      bucket.push_back({function.name, i, inst.source_line, inst.op});
+      for (const FieldLoc& loc : points_to.PointsTo(inst.ptr)) {
+        sync_locs.insert(loc);
+        report.sync_objects.insert(loc.object);
+      }
+    }
+  }
+
+  // Volatile extension: a volatile qualifier covers the whole object.
+  if (options.treat_volatile_as_sync) {
+    for (size_t obj = 0; obj < module.objects.size(); ++obj) {
+      if (module.objects[obj].is_volatile) {
+        sync_locs.insert({static_cast<int32_t>(obj), FieldLoc::kAnyField});
+        report.sync_objects.insert(static_cast<int32_t>(obj));
+      }
+    }
+  }
+
+  // Stage 2 at field granularity: a load/store of a *different field* of an
+  // object whose refcount field is locked stays unmarked.
+  for (const auto& function : module.functions) {
+    for (size_t i = 0; i < function.instructions.size(); ++i) {
+      const MirInst& inst = function.instructions[i];
+      if (inst.op != MirOp::kLoad && inst.op != MirOp::kStore) {
+        continue;
+      }
+      if (points_to.MayPointInto(inst.ptr, sync_locs)) {
+        report.type_iii.push_back({function.name, i, inst.source_line, inst.op});
+      } else {
+        ++report.unmarked_memops;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mvee

@@ -1,0 +1,88 @@
+// Explicit _Atomic type-qualification workflow (paper §4.3.1, Figure 3).
+//
+// The paper modifies clang to impose a stronger typing discipline:
+//   (i)   warning  — pointer to non-qualified cast to pointer to qualified,
+//   (ii)  error    — pointer to qualified cast to non-qualified,
+//   (iii) error    — qualified variable used in inline assembly.
+// The programmer then refactors, recompiles, and repeats until a fixpoint
+// where every sync variable and every pointer to one is fully qualified.
+//
+// Here the same is modelled on MIR: CheckAtomicQualifiers produces the
+// diagnostics for a given qualification state, and PropagateQualifiers runs
+// the whole refactor-until-clean loop automatically, reporting how many
+// "compile" iterations the fixpoint took.
+
+#ifndef MVEE_ANALYSIS_ATOMIC_CHECK_H_
+#define MVEE_ANALYSIS_ATOMIC_CHECK_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mvee/analysis/mir.h"
+
+namespace mvee {
+
+struct AtomicDiagnostic {
+  enum class Kind : uint8_t {
+    kWarningCastToAtomic = 0,  // non-qualified -> qualified pointer
+    kErrorCastFromAtomic,      // qualified -> non-qualified pointer (discard)
+    kErrorAtomicInAsm,         // qualified variable in inline assembly
+  };
+  Kind kind;
+  std::string function;
+  size_t instruction_index;
+  std::string source_line;
+};
+
+struct AtomicCheckResult {
+  std::vector<AtomicDiagnostic> diagnostics;
+  bool HasErrors() const {
+    for (const auto& diagnostic : diagnostics) {
+      if (diagnostic.kind != AtomicDiagnostic::Kind::kWarningCastToAtomic) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// The §4.3.1 "can still be improved in several ways" extensions, implemented:
+struct AtomicCheckOptions {
+  // Improvement 1: assign the _Atomic qualifier automatically to volatile
+  // variables (they are sync variables accessed only via aligned load/store,
+  // which the stage-1 script cannot see).
+  bool auto_qualify_volatile = false;
+  // Improvement 3: permit _Atomic in easy-to-analyze inline assembly blocks
+  // (MirBuilder::AsmBlockAnalyzable) instead of rejecting all of them.
+  bool permit_analyzable_asm = false;
+};
+
+// One "compilation" with the modified clang: reports every qualification
+// violation given the current set of qualified pointer registers
+// (`qualified_regs`) and the objects' atomic_qualified flags.
+AtomicCheckResult CheckAtomicQualifiers(const MirModule& module,
+                                        const std::set<int32_t>& qualified_regs,
+                                        const AtomicCheckOptions& options = {});
+
+struct PropagationResult {
+  std::set<int32_t> qualified_regs;     // Pointers that ended up qualified.
+  std::set<int32_t> qualified_objects;  // Objects (seed + discovered).
+  int iterations = 0;                   // "Compiles" until the fixpoint.
+  // Sites that can never be made clean (qualified vars in inline asm);
+  // the paper's tool rejects these outright.
+  std::vector<AtomicDiagnostic> hard_errors;
+};
+
+// Runs the Figure 3 loop: starting from `seed_objects` (the sync variables
+// stage 1/2 identified), repeatedly qualifies every pointer reachable along
+// def-use chains (both directions) until a compile produces no new
+// diagnostics.
+PropagationResult PropagateQualifiers(const MirModule& module,
+                                      const std::set<int32_t>& seed_objects,
+                                      const AtomicCheckOptions& options = {});
+
+}  // namespace mvee
+
+#endif  // MVEE_ANALYSIS_ATOMIC_CHECK_H_

@@ -1,0 +1,184 @@
+// MIR: a miniature typed instruction IR for the sync-op identification
+// analysis (paper §4.3).
+//
+// The paper's pipeline runs on x86 binaries (stage 1, a Ruby disassembler
+// script) and on source/LLVM IR (stage 2, points-to analysis; §4.3.1's
+// _Atomic qualifier propagation). MIR stands in for both: it is expressive
+// enough to carry the three instruction classes the analysis cares about —
+//   type (i)   LOCK-prefixed read-modify-writes,
+//   type (ii)  XCHG,
+//   type (iii) aligned loads/stores —
+// plus the pointer-flow instructions (address-of, copy, field/offset
+// arithmetic, heap allocation) that points-to analysis needs, and the
+// volatile/_Atomic qualifiers of §4.3's extensions.
+
+#ifndef MVEE_ANALYSIS_MIR_H_
+#define MVEE_ANALYSIS_MIR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvee {
+
+// Instruction opcodes.
+enum class MirOp : uint8_t {
+  kLockRmw = 0,  // type (i): LOCK CMPXCHG / LOCK XADD / LOCK INC ... via ptr
+  kXchg,         // type (ii): XCHG reg, [ptr]
+  kLoad,         // type (iii) candidate: dst_reg = *ptr (aligned)
+  kStore,        // type (iii) candidate: *ptr = src_reg (aligned)
+  kAddrOf,       // ptr_dst = &object
+  kMov,          // ptr_dst = ptr_src (register copy / cast)
+  kGep,          // ptr_dst = ptr_src + offset (field / array arithmetic)
+  kAlloc,        // ptr_dst = malloc(...) — fresh heap object
+  kCompute,      // pure computation; no pointers (noise for the analysis)
+  kAsmBlock,     // opaque inline-assembly block touching `ptr`
+};
+
+// Storage class of a memory object.
+enum class MirStorage : uint8_t {
+  kGlobal = 0,
+  kStack,
+  kHeap,
+};
+
+// A named memory object (potential sync variable).
+struct MirObject {
+  std::string name;
+  MirStorage storage = MirStorage::kGlobal;
+  bool is_volatile = false;   // §4.3's volatile extension seed.
+  bool atomic_qualified = false;  // §4.3.1's explicit _Atomic qualifier.
+};
+
+// One instruction. `ptr` names the pointer register operand (for memory
+// ops), `object` a directly-referenced object (AddrOf), and dst/src are
+// pointer registers for the flow instructions. -1 = unused.
+struct MirInst {
+  MirOp op = MirOp::kCompute;
+  int32_t ptr = -1;     // Pointer operand register.
+  int32_t dst = -1;     // Destination pointer register.
+  int32_t src = -1;     // Source pointer register.
+  int32_t object = -1;  // MirObject index (kAddrOf / kAlloc result object).
+  std::string source_line;  // "file.c:123" — the paper maps binary
+                            // instructions back to source via debug info.
+  // kGep only: statically-known field index, or -1 for opaque pointer
+  // arithmetic. The field-sensitive analysis (field_sensitive.h) keys on
+  // this; -1 degrades it to "any field", reproducing the paper's complaint
+  // that SVF "is overly conservative when analyzing programs containing
+  // pointer arithmetic" (§4.3.1).
+  int32_t field = -1;
+};
+
+// A function: a straight-line list of instructions (control flow is
+// irrelevant to a flow-insensitive points-to analysis).
+struct MirFunction {
+  std::string name;
+  std::vector<MirInst> instructions;
+};
+
+// A module ("binary" / "shared library").
+struct MirModule {
+  std::string name;
+  std::vector<MirObject> objects;
+  std::vector<MirFunction> functions;
+  int32_t register_count = 0;
+
+  size_t InstructionCount() const {
+    size_t total = 0;
+    for (const auto& function : functions) {
+      total += function.instructions.size();
+    }
+    return total;
+  }
+};
+
+// Convenience builder so corpus code stays readable.
+class MirBuilder {
+ public:
+  explicit MirBuilder(std::string module_name) { module_.name = std::move(module_name); }
+
+  // Declares an object; returns its index.
+  int32_t Object(const std::string& name, MirStorage storage = MirStorage::kGlobal,
+                 bool is_volatile = false, bool atomic_qualified = false) {
+    module_.objects.push_back({name, storage, is_volatile, atomic_qualified});
+    return static_cast<int32_t>(module_.objects.size() - 1);
+  }
+
+  // Allocates a fresh pointer register.
+  int32_t Reg() { return module_.register_count++; }
+
+  // Starts a new function; subsequent Emit calls append to it.
+  void Function(const std::string& name) { module_.functions.push_back({name, {}}); }
+
+  void Emit(MirInst inst) {
+    if (module_.functions.empty()) {
+      Function("f0");
+    }
+    module_.functions.back().instructions.push_back(std::move(inst));
+  }
+
+  // Shorthand emitters. All return the builder for chaining.
+  MirBuilder& AddrOf(int32_t dst, int32_t object, const std::string& line = "") {
+    Emit({MirOp::kAddrOf, -1, dst, -1, object, line});
+    return *this;
+  }
+  MirBuilder& Mov(int32_t dst, int32_t src, const std::string& line = "") {
+    Emit({MirOp::kMov, -1, dst, src, -1, line});
+    return *this;
+  }
+  MirBuilder& Gep(int32_t dst, int32_t src, const std::string& line = "") {
+    Emit({MirOp::kGep, -1, dst, src, -1, line});
+    return *this;
+  }
+  // Field-select with a statically known field index (a struct member
+  // access); plain Gep models opaque pointer arithmetic.
+  MirBuilder& GepField(int32_t dst, int32_t src, int32_t field,
+                       const std::string& line = "") {
+    Emit({MirOp::kGep, -1, dst, src, -1, line, field});
+    return *this;
+  }
+  MirBuilder& Alloc(int32_t dst, int32_t object, const std::string& line = "") {
+    Emit({MirOp::kAlloc, -1, dst, -1, object, line});
+    return *this;
+  }
+  MirBuilder& LockRmw(int32_t ptr, const std::string& line = "") {
+    Emit({MirOp::kLockRmw, ptr, -1, -1, -1, line});
+    return *this;
+  }
+  MirBuilder& Xchg(int32_t ptr, const std::string& line = "") {
+    Emit({MirOp::kXchg, ptr, -1, -1, -1, line});
+    return *this;
+  }
+  MirBuilder& Load(int32_t ptr, const std::string& line = "") {
+    Emit({MirOp::kLoad, ptr, -1, -1, -1, line});
+    return *this;
+  }
+  MirBuilder& Store(int32_t ptr, const std::string& line = "") {
+    Emit({MirOp::kStore, ptr, -1, -1, -1, line});
+    return *this;
+  }
+  MirBuilder& Compute(const std::string& line = "") {
+    Emit({MirOp::kCompute, -1, -1, -1, -1, line});
+    return *this;
+  }
+  MirBuilder& AsmBlock(int32_t ptr, const std::string& line = "") {
+    Emit({MirOp::kAsmBlock, ptr, -1, -1, -1, line});
+    return *this;
+  }
+  // An inline-assembly block simple enough for the checker to analyze —
+  // §4.3.1's third proposed improvement ("permit the use of _Atomic in
+  // easy-to-analyze inline assembly blocks"). Marked via src = 1.
+  MirBuilder& AsmBlockAnalyzable(int32_t ptr, const std::string& line = "") {
+    Emit({MirOp::kAsmBlock, ptr, -1, 1, -1, line});
+    return *this;
+  }
+
+  MirModule Build() { return std::move(module_); }
+
+ private:
+  MirModule module_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_ANALYSIS_MIR_H_

@@ -1,0 +1,132 @@
+#include "mvee/analysis/points_to.h"
+
+namespace mvee {
+
+PointsToAnalysis::PointsToAnalysis(const MirModule& module) {
+  reg_count_ = module.register_count;
+  object_count_ = static_cast<int32_t>(module.objects.size());
+  const int32_t node_count = reg_count_ + object_count_;
+  parent_.resize(node_count);
+  for (int32_t i = 0; i < node_count; ++i) {
+    parent_[i] = i;
+  }
+  successor_.assign(node_count, -1);
+
+  // One pass suffices: Steensgaard constraints are solved online by
+  // unification (each operation maintains the invariant that every class has
+  // at most one successor class).
+  for (const auto& function : module.functions) {
+    for (const auto& inst : function.instructions) {
+      switch (inst.op) {
+        case MirOp::kAddrOf:
+        case MirOp::kAlloc: {
+          // dst may point to object: unify succ(dst) with the object class.
+          const int32_t object_node = reg_count_ + inst.object;
+          const int32_t succ = SuccessorOf(inst.dst);
+          Union(succ, object_node);
+          break;
+        }
+        case MirOp::kMov:
+        case MirOp::kGep: {
+          // dst = src (field-insensitive): unify successors.
+          UnifySuccessors(inst.dst, inst.src);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+int32_t PointsToAnalysis::Find(int32_t node) const {
+  while (parent_[node] != node) {
+    parent_[node] = parent_[parent_[node]];
+    node = parent_[node];
+  }
+  return node;
+}
+
+void PointsToAnalysis::Union(int32_t a, int32_t b) {
+  const int32_t root_a = Find(a);
+  const int32_t root_b = Find(b);
+  if (root_a == root_b) {
+    return;
+  }
+  parent_[root_b] = root_a;
+  // Merge successors: if both classes had one, those must unify too
+  // (recursive join — the heart of Steensgaard's near-linear algorithm).
+  const int32_t succ_a = successor_[root_a];
+  const int32_t succ_b = successor_[root_b];
+  if (succ_b != -1) {
+    if (succ_a == -1) {
+      successor_[root_a] = succ_b;
+    } else {
+      Union(succ_a, succ_b);
+    }
+  }
+}
+
+int32_t PointsToAnalysis::SuccessorOf(int32_t node) {
+  const int32_t root = Find(node);
+  if (successor_[root] == -1) {
+    // Create a fresh placeholder class: use the node itself as its own
+    // successor anchor by allocating... we reuse the object-less case by
+    // pointing at a synthetic class. To stay allocation-free we lazily use
+    // the root's slot: a self-successor placeholder would corrupt alias
+    // queries, so instead grow the universe with a synthetic node.
+    parent_.push_back(static_cast<int32_t>(parent_.size()));
+    successor_.push_back(-1);
+    successor_[root] = static_cast<int32_t>(parent_.size() - 1);
+  }
+  return successor_[Find(node)];
+}
+
+void PointsToAnalysis::UnifySuccessors(int32_t a, int32_t b) {
+  const int32_t succ_a = SuccessorOf(a);
+  const int32_t succ_b = SuccessorOf(b);
+  Union(succ_a, succ_b);
+}
+
+std::set<int32_t> PointsToAnalysis::PointsTo(int32_t reg) const {
+  std::set<int32_t> result;
+  if (reg < 0 || reg >= reg_count_) {
+    return result;
+  }
+  const int32_t root = Find(reg);
+  const int32_t succ = successor_[root];
+  if (succ == -1) {
+    return result;
+  }
+  const int32_t succ_root = Find(succ);
+  for (int32_t obj = 0; obj < object_count_; ++obj) {
+    if (Find(reg_count_ + obj) == succ_root) {
+      result.insert(obj);
+    }
+  }
+  return result;
+}
+
+bool PointsToAnalysis::MayAlias(int32_t reg_a, int32_t reg_b) const {
+  if (reg_a < 0 || reg_b < 0) {
+    return false;
+  }
+  const int32_t succ_a = successor_[Find(reg_a)];
+  const int32_t succ_b = successor_[Find(reg_b)];
+  if (succ_a == -1 || succ_b == -1) {
+    return false;
+  }
+  return Find(succ_a) == Find(succ_b);
+}
+
+bool PointsToAnalysis::MayPointInto(int32_t reg, const std::set<int32_t>& objects) const {
+  const std::set<int32_t> pts = PointsTo(reg);
+  for (int32_t obj : pts) {
+    if (objects.count(obj) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mvee

@@ -1,0 +1,159 @@
+// DThreads/Grace-style global-barrier determinism (Liu et al. [28],
+// Berger et al. [11]).
+//
+// Execution alternates parallel and serial phases. In a parallel phase,
+// every unfinished thread runs — conceptually concurrently — until it
+// reaches its next synchronization point (lock, unlock, flag store, or
+// syscall); instruction counts do not influence ordering, only timing. The
+// serial phase then executes the pending sync ops in deterministic thread-id
+// order behind a *global barrier that requires every unfinished thread to
+// arrive*.
+//
+// Two properties the study measures:
+//   - Diversity-insensitivity: the schedule depends only on each thread's
+//     sync-op sequence, so cost perturbation changes nothing. Barrier DMT
+//     does not suffer the Kendo/CoreDet divergence problem...
+//   - ...but ad-hoc poll loops are fatal (paper §6): a thread spinning on a
+//     flag with no sync op never arrives, the barrier never completes, and
+//     the flag store it is waiting for — itself a serialized sync op — can
+//     never execute. Detected and reported as a deadlock. This is why the
+//     paper's MVEE cannot simply adopt DThreads-style scheduling.
+//
+// Makespan model: per round, the parallel phase costs the maximum compute
+// any arriving thread performed; the serial phase adds its ops' costs.
+
+#include <string>
+
+#include "mvee/dmt/scheduler.h"
+#include "src/dmt/observer.h"
+
+namespace mvee::dmt {
+
+namespace {
+
+constexpr uint32_t kNoHolder = UINT32_MAX;
+
+bool IsSyncPoint(OpKind kind) {
+  return kind == OpKind::kLock || kind == OpKind::kUnlock || kind == OpKind::kSetFlag ||
+         kind == OpKind::kSyscall;
+}
+
+}  // namespace
+
+Schedule BarrierScheduler::Run(const Program& program) {
+  Schedule schedule;
+  RunState state(program, &schedule);
+  const uint32_t threads = program.thread_count();
+
+  std::vector<size_t> cursor(threads, 0);
+  std::vector<uint32_t> holder(program.lock_count, kNoHolder);
+  // Threads that attempted a lock in a previous serial phase and found it
+  // held; they re-attempt without running a parallel leg.
+  std::vector<bool> lock_pending(threads, false);
+  uint32_t stalled_rounds = 0;
+
+  auto unfinished = [&](uint32_t t) { return cursor[t] < program.threads[t].size(); };
+
+  for (;;) {
+    bool any_unfinished = false;
+    for (uint32_t t = 0; t < threads; ++t) {
+      any_unfinished = any_unfinished || unfinished(t);
+    }
+    if (!any_unfinished) {
+      break;
+    }
+
+    // --- Parallel phase: run every unfinished thread to its next sync point.
+    uint64_t round_parallel_cost = 0;
+    bool all_arrived = true;
+    for (uint32_t t = 0; t < threads; ++t) {
+      if (!unfinished(t) || lock_pending[t]) {
+        continue;  // Pending threads wait at the barrier already.
+      }
+      uint64_t run_cost = 0;
+      while (unfinished(t)) {
+        const Op& op = program.threads[t][cursor[t]];
+        if (op.kind == OpKind::kCompute) {
+          run_cost += op.cost;
+          ++cursor[t];
+          continue;
+        }
+        if (op.kind == OpKind::kWaitFlag) {
+          if (state.FlagSet(op.var)) {
+            state.RecordWaitFlag(t, op.var);
+            ++cursor[t];
+            continue;  // Satisfied flag read is a plain load; keep running.
+          }
+          all_arrived = false;  // Spinning with no sync op: never arrives.
+          break;
+        }
+        break;  // At a sync point: stop and arrive at the barrier.
+      }
+      round_parallel_cost = std::max(round_parallel_cost, run_cost);
+    }
+    schedule.makespan += round_parallel_cost;
+
+    if (!all_arrived) {
+      // The barrier cannot complete, so no serial phase runs — and the flag
+      // store the spinner waits for is a serialized sync op, so it can never
+      // execute either. After a few fruitless rounds, report the deadlock.
+      if (++stalled_rounds >= config_.stall_rounds_limit) {
+        schedule.completed = false;
+        schedule.failure =
+            "barrier: poll loop never reaches the global barrier (ad-hoc "
+            "synchronization, paper §6)";
+        return schedule;
+      }
+      continue;
+    }
+    stalled_rounds = 0;
+
+    // --- Serial phase: pending sync ops in deterministic tid order.
+    bool progressed = false;
+    for (uint32_t t = 0; t < threads; ++t) {
+      if (!unfinished(t)) {
+        continue;
+      }
+      const Op& op = program.threads[t][cursor[t]];
+      if (!IsSyncPoint(op.kind)) {
+        continue;  // Thread is mid-compute or spinning; nothing pending.
+      }
+      switch (op.kind) {
+        case OpKind::kLock:
+          if (holder[op.var] != kNoHolder) {
+            lock_pending[t] = true;  // Retry next round.
+            continue;
+          }
+          holder[op.var] = t;
+          lock_pending[t] = false;
+          state.RecordLock(t, op.var);
+          break;
+        case OpKind::kUnlock:
+          holder[op.var] = kNoHolder;
+          state.RecordUnlock(t, op.var);
+          break;
+        case OpKind::kSetFlag:
+          state.RecordSetFlag(t, op.var);
+          break;
+        case OpKind::kSyscall:
+          state.RecordSyscall(t);
+          break;
+        default:
+          continue;
+      }
+      schedule.makespan +=
+          op.kind == OpKind::kSyscall ? config_.costs.syscall : config_.costs.sync;
+      ++cursor[t];
+      progressed = true;
+    }
+
+    if (!progressed) {
+      schedule.completed = false;
+      schedule.failure = "barrier: serial phase made no progress (deadlock)";
+      return schedule;
+    }
+  }
+  return schedule;
+}
+
+}  // namespace mvee::dmt

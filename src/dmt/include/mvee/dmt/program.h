@@ -1,0 +1,89 @@
+// Abstract data-race-free programs for the DMT-vs-Record/Replay study.
+//
+// The paper argues (§2.1, §6) that deterministic multithreading (DMT) is a
+// poor fit for MVEEs because DMT systems schedule threads by *logical
+// progress* — retired-instruction counts read from hardware performance
+// counters — and software diversification changes instruction counts. Each
+// diversified variant then gets a schedule that is fixed but *different*,
+// which is exactly the "benign divergence" MVEEs must avoid. Record/Replay,
+// by contrast, replays the master's observed order and is insensitive to
+// progress perturbations.
+//
+// This module makes that argument measurable. A DmtProgram is a per-thread
+// sequence of abstract operations (compute blocks with instruction costs,
+// well-nested lock/unlock pairs, MVEE-visible syscalls, and ad-hoc flag
+// synchronization à la the paper's Listing 2). Diversification is modelled
+// by perturbing compute costs (PerturbCosts) — the precise effect diversity
+// has on a performance-counter-driven scheduler. The schedulers in
+// scheduler.h then execute these programs deterministically and we compare
+// the schedules across "variants".
+
+#ifndef MVEE_DMT_PROGRAM_H_
+#define MVEE_DMT_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mvee::dmt {
+
+enum class OpKind : uint8_t {
+  kCompute = 0,  // `cost` simulated instructions, no communication.
+  kLock,         // Acquire lock `var`.
+  kUnlock,       // Release lock `var`.
+  kSyscall,      // MVEE-visible system call; carries the thread's observation
+                 // digest as its "argument" (see schedule.h).
+  kSetFlag,      // Ad-hoc synchronization: store 1 to flag `var` (the plain
+                 // volatile store of the paper's Listing 2).
+  kWaitFlag,     // Ad-hoc synchronization: spin until flag `var` is set. The
+                 // spin itself performs no sync op — the pattern that breaks
+                 // sync-op-barrier DMT systems (§6).
+};
+
+const char* OpKindName(OpKind kind);
+
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  uint32_t var = 0;    // Lock id (kLock/kUnlock) or flag id (kSetFlag/kWaitFlag).
+  uint64_t cost = 0;   // Simulated instructions (kCompute; others use fixed costs).
+};
+
+// One abstract data-race-free multithreaded program.
+struct Program {
+  uint32_t lock_count = 0;
+  uint32_t flag_count = 0;
+  std::vector<std::vector<Op>> threads;
+
+  uint32_t thread_count() const { return static_cast<uint32_t>(threads.size()); }
+  // Total simulated instructions across all threads (compute costs plus the
+  // fixed costs schedulers charge for sync ops).
+  uint64_t TotalCost() const;
+};
+
+// Knobs for the random program generator. Generated programs are data-race
+// free by construction: locks are never nested (so no deadlock), every lock
+// has a matching unlock, and flag waits always have a flag setter in another
+// thread that is not itself gated on the waiting thread.
+struct ProgramSpec {
+  uint32_t threads = 4;
+  uint32_t locks = 8;
+  uint32_t sections_per_thread = 50;  // Critical sections per thread.
+  uint64_t compute_cost_mean = 200;   // Instructions between sections.
+  uint64_t critical_cost_mean = 40;   // Instructions inside a section.
+  double syscall_probability = 0.3;   // P(syscall after a section).
+  // Ad-hoc flag pairs: thread 2k sets flag k that thread 2k+1 waits on
+  // mid-program. 0 disables.
+  uint32_t flag_pairs = 0;
+};
+
+Program GenerateProgram(const ProgramSpec& spec, uint64_t seed);
+
+// Models software diversification as seen by a performance-counter-driven
+// scheduler: every compute cost is scaled by an independent factor drawn
+// uniformly from [1-epsilon, 1+epsilon] (result clamped to >= 1). epsilon=0
+// returns an identical copy. The *logic* of the program (ops, vars, order)
+// is untouched — diversified variants are functionally equivalent.
+Program PerturbCosts(const Program& program, double epsilon, uint64_t seed);
+
+}  // namespace mvee::dmt
+
+#endif  // MVEE_DMT_PROGRAM_H_

@@ -1,0 +1,56 @@
+// Record/Replay in the abstract scheduler world — the paper's chosen
+// alternative to DMT (§2.1 second alternative, §3).
+//
+// RecordMaster runs the program under the (nondeterministic) OS scheduler
+// and keeps the resulting schedule as the master recording. ReplayScheduler
+// then executes any cost-perturbed variant of the same program while
+// enforcing the recorded per-variable acquisition order and per-flag store
+// order — exactly what the sync agents do with their sync buffers (§3.2).
+// Because the enforcement keys on *logical* variables and positions rather
+// than on thread progress, the replayed schedule's MVEE-visible behaviour
+// matches the master's for any cost perturbation: R+R is diversity-immune
+// where DMT is not.
+
+#ifndef MVEE_DMT_REPLAY_H_
+#define MVEE_DMT_REPLAY_H_
+
+#include <cstdint>
+
+#include "mvee/dmt/program.h"
+#include "mvee/dmt/schedule.h"
+#include "mvee/dmt/scheduler.h"
+
+namespace mvee::dmt {
+
+// Records a master schedule with an OsScheduler seeded by `seed`.
+Schedule RecordMaster(const Program& program, uint64_t seed, uint64_t slice = 128);
+
+// Replays `recording` on (a possibly cost-perturbed copy of) the same
+// program. The replayer is itself driven by a different seeded interleaver
+// (`scheduler_seed`) to demonstrate that enforcement, not scheduling luck,
+// reproduces the order: any thread about to perform a sync op that is not
+// next in the recorded per-variable order is stalled, like a slave variant
+// thread suspended by its agent (§3.2).
+class ReplayScheduler final : public Scheduler {
+ public:
+  ReplayScheduler(const Schedule& recording, uint32_t lock_count, uint32_t flag_count,
+                  uint64_t scheduler_seed, const OpCosts& costs = {});
+
+  Schedule Run(const Program& program) override;
+  const char* name() const override { return "rr-replay"; }
+
+  // Replay stalls encountered (slave threads suspended waiting their turn) —
+  // the replay-cost counter the agents' stats expose.
+  uint64_t stalls() const { return stalls_; }
+
+ private:
+  std::vector<std::vector<uint32_t>> lock_order_;  // Per lock: recorded tid sequence.
+  std::vector<std::vector<uint32_t>> flag_order_;  // Per flag: recorded setter sequence.
+  uint64_t scheduler_seed_;
+  OpCosts costs_;
+  uint64_t stalls_ = 0;
+};
+
+}  // namespace mvee::dmt
+
+#endif  // MVEE_DMT_REPLAY_H_

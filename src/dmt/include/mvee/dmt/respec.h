@@ -1,0 +1,79 @@
+// Respec-style speculative online replay (Lee et al. [25], paper §6).
+//
+// Respec records an *imprecise* synchronization order in the master and
+// replays it speculatively in the slaves; at the end of each replay epoch
+// it compares the processes' state (including register contents) and rolls
+// the slaves back on mismatch. The paper doubts this can work for a
+// security-oriented MVEE: "diversity in the variants makes it hard (if not
+// impossible) to detect whether the variants have diverged at the end of a
+// replay interval" — diversified variants *never* have equal low-level
+// state, so the epoch check cannot distinguish scheduling divergence from
+// harmless layout differences.
+//
+// This module makes that argument measurable. The epoch replayer runs a
+// variant without per-op enforcement, splits execution into epochs of
+// `epoch_ops` sync ops, and compares an end-of-epoch state digest against
+// the master's. Two digest models:
+//
+//   kLogical  — digests only logical state (per-variable acquisition counts
+//               and orders): what an idealized, diversity-aware checker
+//               could see. Mismatches happen only on real scheduling
+//               divergence; rollback + strict re-execution repairs them.
+//   kConcrete — additionally folds each variant's (simulated) address-space
+//               layout into the digest, as a register/memory-level
+//               comparison of diversified variants would: every epoch
+//               mismatches, the replayer degenerates to rollback-always,
+//               and speculation buys nothing. This is the §6 objection.
+
+#ifndef MVEE_DMT_RESPEC_H_
+#define MVEE_DMT_RESPEC_H_
+
+#include <cstdint>
+
+#include "mvee/dmt/program.h"
+#include "mvee/dmt/schedule.h"
+#include "mvee/dmt/scheduler.h"
+
+namespace mvee::dmt {
+
+enum class EpochDigestModel : uint8_t {
+  kLogical = 0,  // Layout-independent logical state only.
+  kConcrete,     // Includes diversity-dependent layout (register-level).
+};
+
+struct RespecConfig {
+  uint32_t epoch_ops = 64;  // Sync ops per speculative epoch.
+  EpochDigestModel digest_model = EpochDigestModel::kLogical;
+  // Per-variant layout seed folded into concrete digests (stands in for the
+  // diversified address-space contents Respec would compare). Equal seeds =
+  // identical variants; different seeds = diversified variants.
+  uint64_t layout_seed = 0;
+  uint64_t scheduler_seed = 1;
+  // Probability that the speculative pass follows the master's recorded
+  // global order at each step — Respec's "imprecise order" hints. 1.0 means
+  // perfect hints (epochs always match logically); lower values make the
+  // speculative interleaving drift and trigger rollbacks.
+  double hint_fidelity = 0.95;
+  // A rollback re-executes the epoch strictly; if the digest still
+  // mismatches (possible only under kConcrete with diversified layouts) the
+  // epoch check is undecidable and the run aborts after this many attempts.
+  uint32_t max_retries = 1;
+  OpCosts costs;
+};
+
+struct RespecReport {
+  uint32_t epochs = 0;
+  uint32_t rollbacks = 0;
+  // Virtual cycles spent on work that was rolled back and re-executed.
+  uint64_t wasted_cycles = 0;
+  Schedule schedule;
+};
+
+// Runs `program` as a Respec slave against the recorded `master` schedule
+// and the master's layout seed (for the concrete digest model).
+RespecReport RunRespecSlave(const Program& program, const Schedule& master,
+                            uint64_t master_layout_seed, const RespecConfig& config);
+
+}  // namespace mvee::dmt
+
+#endif  // MVEE_DMT_RESPEC_H_

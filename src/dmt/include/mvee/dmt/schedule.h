@@ -1,0 +1,78 @@
+// Schedules and schedule comparison for the DMT-vs-R+R study.
+//
+// A schedule is what one "variant" of an abstract program did: the global
+// order of synchronization events, the stream of MVEE-visible syscalls, and
+// a virtual makespan. Comparing two variants' schedules is the abstract
+// version of what the MVEE monitor does at its rendezvous points: syscall
+// streams are compared per logical thread (each carries an observation
+// digest standing in for its arguments), so two variants "diverge" exactly
+// when some thread observed a different interleaving — the benign divergence
+// of paper §1/§3.1.
+
+#ifndef MVEE_DMT_SCHEDULE_H_
+#define MVEE_DMT_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mvee/dmt/program.h"
+
+namespace mvee::dmt {
+
+// One synchronization event in global order.
+struct SyncEvent {
+  uint32_t tid = 0;
+  uint32_t var = 0;
+  OpKind kind = OpKind::kLock;  // kLock, kUnlock, kSetFlag, or kWaitFlag.
+
+  friend bool operator==(const SyncEvent&, const SyncEvent&) = default;
+};
+
+// One MVEE-visible syscall. `digest` plays the role of the call's arguments:
+// it hashes everything the calling thread has observed through synchronization
+// so far (which acquisition of each lock it got, which flag versions it saw).
+// If two variants' threads interleave differently, their digests differ and a
+// lockstep monitor would flag divergence on the first affected call.
+struct SyscallEvent {
+  uint32_t tid = 0;
+  uint64_t digest = 0;
+
+  friend bool operator==(const SyscallEvent&, const SyscallEvent&) = default;
+};
+
+struct Schedule {
+  std::vector<SyncEvent> sync_order;       // Global sync-op order.
+  std::vector<SyscallEvent> syscall_order; // Global syscall order.
+  uint64_t makespan = 0;                   // Virtual cycles (scheduler-defined model).
+  bool completed = true;                   // false: deadlock/livelock detected.
+  std::string failure;                     // Diagnostic when !completed.
+};
+
+// Per-variable acquisition orders: result[v] is the sequence of tids that
+// acquired lock v, in order. This is the object the paper's agents replicate.
+std::vector<std::vector<uint32_t>> PerVariableOrders(const Schedule& schedule,
+                                                     uint32_t lock_count);
+
+// Outcome of comparing two variants' schedules the way an MVEE would.
+struct ScheduleDivergence {
+  bool diverged = false;
+  // Index (into the per-thread syscall stream) of the first mismatching
+  // syscall, and the thread it happened on. Meaningful only if diverged.
+  uint32_t first_tid = 0;
+  size_t first_index = 0;
+  // Fraction of per-variable acquisition positions that differ (0 = schedules
+  // identical, 1 = nothing lines up). A scalar "how benignly divergent".
+  double mismatch_fraction = 0.0;
+};
+
+// Compares per-thread syscall digest streams (the monitor's view) and
+// per-variable acquisition orders (the agents' view). `lock_count` must
+// cover both schedules.
+ScheduleDivergence CompareSchedules(const Schedule& a, const Schedule& b,
+                                    uint32_t thread_count, uint32_t lock_count);
+
+}  // namespace mvee::dmt
+
+#endif  // MVEE_DMT_SCHEDULE_H_

@@ -1,0 +1,129 @@
+// Deterministic multithreading schedulers (paper §2.1 and §6 related work).
+//
+// Each scheduler is a discrete-event simulator that executes an abstract
+// Program (program.h) and emits the Schedule it produced. All of them are
+// deterministic functions of (program, config) — run twice, get the same
+// schedule — which is the DMT guarantee. The study's point is *which inputs*
+// the schedule is a function of:
+//
+//   KendoScheduler    — weak determinism via deterministic logical clocks
+//                       fed by retired-instruction counts (Kendo [32],
+//                       RFDet [29]). Schedule depends on compute costs =>
+//                       diversity-sensitive.
+//   QuantumScheduler  — serial token round-robin with instruction-count
+//                       quanta (CoreDet [9], DMP [15], dOS-style). Schedule
+//                       depends on where quantum boundaries land =>
+//                       diversity-sensitive.
+//   BarrierScheduler  — global barrier at sync ops (DThreads [28], Grace
+//                       [11]-style). Schedule depends only on each thread's
+//                       sync-op *sequence* => diversity-insensitive, but
+//                       incompatible with ad-hoc poll loops (threads that
+//                       never execute a sync op never reach the barrier, §6)
+//                       and pays a big makespan cost on imbalanced phases.
+//   OsScheduler       — NOT deterministic: a seeded random interleaver that
+//                       models the native OS scheduler. Used as the source
+//                       of master schedules for record/replay (replay.h) and
+//                       to measure natural run-to-run nondeterminism.
+
+#ifndef MVEE_DMT_SCHEDULER_H_
+#define MVEE_DMT_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "mvee/dmt/program.h"
+#include "mvee/dmt/schedule.h"
+
+namespace mvee::dmt {
+
+// Fixed instruction costs schedulers charge for non-compute ops.
+struct OpCosts {
+  uint64_t sync = 4;      // Lock/unlock/flag ops.
+  uint64_t syscall = 50;  // Kernel round trip.
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual Schedule Run(const Program& program) = 0;
+  virtual const char* name() const = 0;
+};
+
+// --- Kendo-style deterministic logical clocks ---
+
+struct KendoConfig {
+  // Clock bump charged while waiting for a contended lock (models the
+  // det_mutex_lock retry loop's instruction cost).
+  uint64_t wait_bump = 16;
+  OpCosts costs;
+};
+
+class KendoScheduler final : public Scheduler {
+ public:
+  explicit KendoScheduler(const KendoConfig& config = {}) : config_(config) {}
+  Schedule Run(const Program& program) override;
+  const char* name() const override { return "kendo"; }
+
+ private:
+  KendoConfig config_;
+};
+
+// --- CoreDet/DMP-style serial token with instruction quanta ---
+
+struct QuantumConfig {
+  uint64_t quantum = 1000;  // Instructions per token turn.
+  OpCosts costs;
+};
+
+class QuantumScheduler final : public Scheduler {
+ public:
+  explicit QuantumScheduler(const QuantumConfig& config = {}) : config_(config) {}
+  Schedule Run(const Program& program) override;
+  const char* name() const override { return "quantum"; }
+
+ private:
+  QuantumConfig config_;
+};
+
+// --- DThreads-style global barrier at sync ops ---
+
+struct BarrierConfig {
+  // A thread spinning in kWaitFlag for this many rounds while every other
+  // thread sits at the barrier is reported as the poll-loop deadlock of §6.
+  uint32_t stall_rounds_limit = 3;
+  OpCosts costs;
+};
+
+class BarrierScheduler final : public Scheduler {
+ public:
+  explicit BarrierScheduler(const BarrierConfig& config = {}) : config_(config) {}
+  Schedule Run(const Program& program) override;
+  const char* name() const override { return "barrier"; }
+
+ private:
+  BarrierConfig config_;
+};
+
+// --- Seeded random interleaver (the "native OS") ---
+
+struct OsConfig {
+  uint64_t seed = 1;
+  // Maximum compute instructions executed per scheduling decision; smaller
+  // slices yield more interleavings.
+  uint64_t slice = 128;
+  OpCosts costs;
+};
+
+class OsScheduler final : public Scheduler {
+ public:
+  explicit OsScheduler(const OsConfig& config = {}) : config_(config) {}
+  Schedule Run(const Program& program) override;
+  const char* name() const override { return "os-random"; }
+
+ private:
+  OsConfig config_;
+};
+
+}  // namespace mvee::dmt
+
+#endif  // MVEE_DMT_SCHEDULER_H_

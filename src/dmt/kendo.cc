@@ -1,0 +1,115 @@
+// Kendo-style weak determinism (Olszewski et al. [32], RFDet [29]).
+//
+// Each thread carries a deterministic logical clock fed by its simulated
+// retired-instruction count. A thread may take a scheduling step only when
+// its clock is the minimum among unfinished threads (ties broken by thread
+// id), and a thread spinning on a contended lock bumps its clock so the
+// holder eventually becomes the minimum and can proceed. The resulting
+// schedule is a deterministic function of the per-op instruction costs —
+// which is precisely why diversified variants, whose costs differ, end up
+// with different (though individually stable) schedules (paper §2.1).
+
+#include <string>
+
+#include "mvee/dmt/scheduler.h"
+#include "src/dmt/observer.h"
+
+namespace mvee::dmt {
+
+namespace {
+
+constexpr uint32_t kNoHolder = UINT32_MAX;
+
+}  // namespace
+
+Schedule KendoScheduler::Run(const Program& program) {
+  Schedule schedule;
+  RunState state(program, &schedule);
+  const uint32_t threads = program.thread_count();
+
+  std::vector<size_t> cursor(threads, 0);
+  std::vector<uint64_t> clock(threads, 0);
+  std::vector<uint32_t> holder(program.lock_count, kNoHolder);
+  uint32_t finished = 0;
+  for (uint32_t t = 0; t < threads; ++t) {
+    if (program.threads[t].empty()) {
+      ++finished;
+    }
+  }
+
+  // Generous bound: every op takes O(1) steps plus bounded spinning.
+  const uint64_t step_limit = 64 * (program.TotalCost() + 1024);
+  uint64_t steps = 0;
+
+  while (finished < threads) {
+    if (++steps > step_limit) {
+      schedule.completed = false;
+      schedule.failure = "kendo: step limit exceeded (livelock)";
+      return schedule;
+    }
+    // Deterministic turn: unfinished thread with min (clock, tid).
+    uint32_t turn = kNoHolder;
+    for (uint32_t t = 0; t < threads; ++t) {
+      if (cursor[t] >= program.threads[t].size()) {
+        continue;
+      }
+      if (turn == kNoHolder || clock[t] < clock[turn]) {
+        turn = t;
+      }
+    }
+
+    const Op& op = program.threads[turn][cursor[turn]];
+    switch (op.kind) {
+      case OpKind::kCompute:
+        clock[turn] += op.cost;
+        ++cursor[turn];
+        break;
+      case OpKind::kLock:
+        if (holder[op.var] == kNoHolder) {
+          holder[op.var] = turn;
+          state.RecordLock(turn, op.var);
+          clock[turn] += config_.costs.sync;
+          ++cursor[turn];
+        } else {
+          // det_mutex_lock retry: charge the spin, stay on this op.
+          clock[turn] += config_.wait_bump;
+        }
+        break;
+      case OpKind::kUnlock:
+        holder[op.var] = kNoHolder;
+        state.RecordUnlock(turn, op.var);
+        clock[turn] += config_.costs.sync;
+        ++cursor[turn];
+        break;
+      case OpKind::kSyscall:
+        state.RecordSyscall(turn);
+        clock[turn] += config_.costs.syscall;
+        ++cursor[turn];
+        break;
+      case OpKind::kSetFlag:
+        state.RecordSetFlag(turn, op.var);
+        clock[turn] += config_.costs.sync;
+        ++cursor[turn];
+        break;
+      case OpKind::kWaitFlag:
+        if (state.FlagSet(op.var)) {
+          state.RecordWaitFlag(turn, op.var);
+          clock[turn] += config_.costs.sync;
+          ++cursor[turn];
+        } else {
+          clock[turn] += config_.wait_bump;
+        }
+        break;
+    }
+    if (cursor[turn] >= program.threads[turn].size()) {
+      ++finished;
+    }
+  }
+
+  for (uint32_t t = 0; t < threads; ++t) {
+    schedule.makespan = std::max(schedule.makespan, clock[t]);
+  }
+  return schedule;
+}
+
+}  // namespace mvee::dmt

@@ -1,0 +1,85 @@
+// Internal: per-thread observation tracking shared by the DMT simulators.
+//
+// Every scheduler must attribute identical "observations" to identical
+// interleavings so that schedules from different schedulers are comparable.
+// A thread observes synchronization when it acquires a lock (it sees the
+// state left by the previous holder — modelled as the acquisition index on
+// that lock) and when a flag wait completes (it sees the flag version).
+// Syscalls snapshot the digest as their "arguments".
+
+#ifndef MVEE_DMT_OBSERVER_H_
+#define MVEE_DMT_OBSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mvee/dmt/program.h"
+#include "mvee/dmt/schedule.h"
+#include "mvee/util/hash.h"
+
+namespace mvee::dmt {
+
+class ThreadObserver {
+ public:
+  void ObserveLockAcquire(uint32_t var, uint64_t acquisition_index) {
+    digest_.UpdateValue(var);
+    digest_.UpdateValue(acquisition_index);
+  }
+
+  void ObserveFlag(uint32_t var, uint64_t version) {
+    digest_.UpdateValue(~static_cast<uint64_t>(var));
+    digest_.UpdateValue(version);
+  }
+
+  uint64_t Snapshot() const { return digest_.Finish(); }
+
+ private:
+  FnvDigest digest_;
+};
+
+// Common bookkeeping for one simulated run: per-lock acquisition counters,
+// flag versions, per-thread observers, and event recording into a Schedule.
+class RunState {
+ public:
+  RunState(const Program& program, Schedule* out)
+      : out_(out),
+        acquisitions_(program.lock_count, 0),
+        flag_versions_(program.flag_count, 0),
+        observers_(program.thread_count()) {}
+
+  bool FlagSet(uint32_t var) const { return flag_versions_[var] != 0; }
+
+  void RecordLock(uint32_t tid, uint32_t var) {
+    observers_[tid].ObserveLockAcquire(var, acquisitions_[var]);
+    ++acquisitions_[var];
+    out_->sync_order.push_back({tid, var, OpKind::kLock});
+  }
+
+  void RecordUnlock(uint32_t tid, uint32_t var) {
+    out_->sync_order.push_back({tid, var, OpKind::kUnlock});
+  }
+
+  void RecordSetFlag(uint32_t tid, uint32_t var) {
+    ++flag_versions_[var];
+    out_->sync_order.push_back({tid, var, OpKind::kSetFlag});
+  }
+
+  void RecordWaitFlag(uint32_t tid, uint32_t var) {
+    observers_[tid].ObserveFlag(var, flag_versions_[var]);
+    out_->sync_order.push_back({tid, var, OpKind::kWaitFlag});
+  }
+
+  void RecordSyscall(uint32_t tid) {
+    out_->syscall_order.push_back({tid, observers_[tid].Snapshot()});
+  }
+
+ private:
+  Schedule* out_;
+  std::vector<uint64_t> acquisitions_;
+  std::vector<uint64_t> flag_versions_;
+  std::vector<ThreadObserver> observers_;
+};
+
+}  // namespace mvee::dmt
+
+#endif  // MVEE_DMT_OBSERVER_H_

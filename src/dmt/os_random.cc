@@ -1,0 +1,124 @@
+// Seeded random interleaver modelling the native OS scheduler.
+//
+// Not deterministic in the DMT sense: two runs with different seeds produce
+// different schedules, which is exactly the run-to-run nondeterminism that
+// makes unsynchronized multi-variant execution diverge (paper §1). Used as
+// the master-schedule source for record/replay and as the baseline for the
+// natural-nondeterminism measurements in bench_dmt_vs_rr.
+//
+// Makespan model: threads execute in parallel; each has a local virtual
+// time. Acquiring a lock waits for the previous holder's release time;
+// waiting on a flag waits for the store's timestamp.
+
+#include <string>
+
+#include "mvee/dmt/scheduler.h"
+#include "mvee/util/rng.h"
+#include "src/dmt/observer.h"
+
+namespace mvee::dmt {
+
+namespace {
+
+constexpr uint32_t kNoHolder = UINT32_MAX;
+
+}  // namespace
+
+Schedule OsScheduler::Run(const Program& program) {
+  Schedule schedule;
+  RunState state(program, &schedule);
+  const uint32_t threads = program.thread_count();
+  Rng rng(SplitMix64(config_.seed));
+
+  std::vector<size_t> cursor(threads, 0);
+  std::vector<uint64_t> compute_done(threads, 0);
+  std::vector<uint64_t> local_time(threads, 0);
+  std::vector<uint32_t> holder(program.lock_count, kNoHolder);
+  std::vector<uint64_t> release_time(program.lock_count, 0);
+  std::vector<uint64_t> flag_set_time(program.flag_count, 0);
+
+  auto unfinished = [&](uint32_t t) { return cursor[t] < program.threads[t].size(); };
+
+  for (;;) {
+    // Collect runnable threads: unfinished and not blocked.
+    uint32_t runnable[256];
+    uint32_t runnable_count = 0;
+    uint32_t unfinished_count = 0;
+    for (uint32_t t = 0; t < threads; ++t) {
+      if (!unfinished(t)) {
+        continue;
+      }
+      ++unfinished_count;
+      const Op& op = program.threads[t][cursor[t]];
+      if (op.kind == OpKind::kLock && holder[op.var] != kNoHolder) {
+        continue;
+      }
+      if (op.kind == OpKind::kWaitFlag && !state.FlagSet(op.var)) {
+        continue;
+      }
+      runnable[runnable_count++] = t;
+    }
+    if (unfinished_count == 0) {
+      break;
+    }
+    if (runnable_count == 0) {
+      schedule.completed = false;
+      schedule.failure = "os-random: all unfinished threads blocked (deadlock)";
+      return schedule;
+    }
+
+    const uint32_t turn = runnable[rng.NextBelow(runnable_count)];
+    const Op& op = program.threads[turn][cursor[turn]];
+    switch (op.kind) {
+      case OpKind::kCompute: {
+        const uint64_t remaining = op.cost - compute_done[turn];
+        const uint64_t chunk = std::min(config_.slice, remaining);
+        compute_done[turn] += chunk;
+        local_time[turn] += chunk;
+        if (compute_done[turn] >= op.cost) {
+          compute_done[turn] = 0;
+          ++cursor[turn];
+        }
+        break;
+      }
+      case OpKind::kLock:
+        holder[op.var] = turn;
+        local_time[turn] = std::max(local_time[turn], release_time[op.var]) +
+                           config_.costs.sync;
+        state.RecordLock(turn, op.var);
+        ++cursor[turn];
+        break;
+      case OpKind::kUnlock:
+        holder[op.var] = kNoHolder;
+        local_time[turn] += config_.costs.sync;
+        release_time[op.var] = local_time[turn];
+        state.RecordUnlock(turn, op.var);
+        ++cursor[turn];
+        break;
+      case OpKind::kSyscall:
+        local_time[turn] += config_.costs.syscall;
+        state.RecordSyscall(turn);
+        ++cursor[turn];
+        break;
+      case OpKind::kSetFlag:
+        local_time[turn] += config_.costs.sync;
+        flag_set_time[op.var] = local_time[turn];
+        state.RecordSetFlag(turn, op.var);
+        ++cursor[turn];
+        break;
+      case OpKind::kWaitFlag:
+        local_time[turn] = std::max(local_time[turn], flag_set_time[op.var]) +
+                           config_.costs.sync;
+        state.RecordWaitFlag(turn, op.var);
+        ++cursor[turn];
+        break;
+    }
+  }
+
+  for (uint32_t t = 0; t < threads; ++t) {
+    schedule.makespan = std::max(schedule.makespan, local_time[t]);
+  }
+  return schedule;
+}
+
+}  // namespace mvee::dmt

@@ -1,0 +1,127 @@
+#include "mvee/dmt/program.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "mvee/util/rng.h"
+
+namespace mvee::dmt {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCompute:
+      return "compute";
+    case OpKind::kLock:
+      return "lock";
+    case OpKind::kUnlock:
+      return "unlock";
+    case OpKind::kSyscall:
+      return "syscall";
+    case OpKind::kSetFlag:
+      return "set-flag";
+    case OpKind::kWaitFlag:
+      return "wait-flag";
+  }
+  return "unknown";
+}
+
+uint64_t Program::TotalCost() const {
+  uint64_t total = 0;
+  for (const auto& ops : threads) {
+    for (const auto& op : ops) {
+      total += op.kind == OpKind::kCompute ? op.cost : 1;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// Cost jittered uniformly in [mean/2, 3*mean/2], at least 1.
+uint64_t JitteredCost(Rng& rng, uint64_t mean) {
+  if (mean == 0) {
+    return 1;
+  }
+  const uint64_t lo = std::max<uint64_t>(1, mean / 2);
+  return rng.NextInRange(lo, mean + mean / 2);
+}
+
+}  // namespace
+
+Program GenerateProgram(const ProgramSpec& spec, uint64_t seed) {
+  Rng rng(SplitMix64(seed));
+  Program program;
+  program.lock_count = spec.locks;
+  program.flag_count = spec.flag_pairs;
+  program.threads.resize(spec.threads);
+
+  for (uint32_t t = 0; t < spec.threads; ++t) {
+    auto& ops = program.threads[t];
+    for (uint32_t s = 0; s < spec.sections_per_thread; ++s) {
+      ops.push_back({OpKind::kCompute, 0, JitteredCost(rng, spec.compute_cost_mean)});
+      const auto lock = static_cast<uint32_t>(rng.NextBelow(spec.locks));
+      ops.push_back({OpKind::kLock, lock, 0});
+      ops.push_back({OpKind::kCompute, 0, JitteredCost(rng, spec.critical_cost_mean)});
+      ops.push_back({OpKind::kUnlock, lock, 0});
+      if (rng.NextBool(spec.syscall_probability)) {
+        ops.push_back({OpKind::kSyscall, 0, 0});
+      }
+    }
+  }
+
+  // Ad-hoc flag pairs (Listing 2-style): the waiter starts spinning on the
+  // flag early in its execution; the setter stores it late — the "wait in an
+  // infinite loop for an asynchronous event" pattern of §6. Ops are only
+  // inserted at section boundaries (no lock held), so locks are always
+  // eventually released; schedulers that tolerate sync-free spinning (Kendo,
+  // quantum, the OS) complete these programs, while global-barrier DMT
+  // deadlocks on them by design.
+  auto insert_at_boundary = [](std::vector<Op>& ops, size_t target, const Op& op) {
+    int64_t held = -1;
+    size_t index = 0;
+    for (; index < ops.size(); ++index) {
+      if (index >= target && held == -1) {
+        break;
+      }
+      if (ops[index].kind == OpKind::kLock) {
+        held = ops[index].var;
+      } else if (ops[index].kind == OpKind::kUnlock) {
+        held = -1;
+      }
+    }
+    ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(index), op);
+  };
+  for (uint32_t pair = 0; pair < spec.flag_pairs; ++pair) {
+    const uint32_t setter = (2 * pair) % spec.threads;
+    const uint32_t waiter = (2 * pair + 1) % spec.threads;
+    if (setter == waiter) {
+      continue;
+    }
+    auto& setter_ops = program.threads[setter];
+    auto& waiter_ops = program.threads[waiter];
+    insert_at_boundary(setter_ops, 3 * setter_ops.size() / 4, {OpKind::kSetFlag, pair, 0});
+    insert_at_boundary(waiter_ops, waiter_ops.size() / 4, {OpKind::kWaitFlag, pair, 0});
+  }
+  return program;
+}
+
+Program PerturbCosts(const Program& program, double epsilon, uint64_t seed) {
+  Program copy = program;
+  if (epsilon <= 0.0) {
+    return copy;
+  }
+  Rng rng(SplitMix64(seed ^ 0xd1ffe5ed));
+  for (auto& ops : copy.threads) {
+    for (auto& op : ops) {
+      if (op.kind != OpKind::kCompute) {
+        continue;
+      }
+      const double factor = 1.0 + epsilon * (2.0 * rng.NextDouble() - 1.0);
+      const auto scaled = static_cast<uint64_t>(static_cast<double>(op.cost) * factor);
+      op.cost = std::max<uint64_t>(1, scaled);
+    }
+  }
+  return copy;
+}
+
+}  // namespace mvee::dmt

@@ -1,0 +1,125 @@
+// CoreDet/DMP-style serial token scheduling with instruction-count quanta
+// (Bergan et al. [9], Devietti et al. [15]).
+//
+// A token rotates round-robin over the threads. The holder executes up to
+// `quantum` simulated instructions; synchronization and syscalls execute
+// (serially, in token order) within the turn. A thread blocked on a held
+// lock or an unset flag yields the token immediately. The schedule is a
+// deterministic function of where quantum boundaries fall in each thread's
+// instruction stream — so perturbing compute costs (diversity) shifts the
+// boundaries and changes lock interleavings (paper §2.1: quanta "cannot be
+// based on time ... DMT systems allocate quanta based on logical thread
+// progress").
+//
+// The makespan model is DMP-Serial: the token serializes execution, so
+// virtual time advances with every instruction the holder retires. This
+// deliberately reflects the high cost of serial-mode DMT.
+
+#include <string>
+
+#include "mvee/dmt/scheduler.h"
+#include "src/dmt/observer.h"
+
+namespace mvee::dmt {
+
+namespace {
+
+constexpr uint32_t kNoHolder = UINT32_MAX;
+
+}  // namespace
+
+Schedule QuantumScheduler::Run(const Program& program) {
+  Schedule schedule;
+  RunState state(program, &schedule);
+  const uint32_t threads = program.thread_count();
+
+  std::vector<size_t> cursor(threads, 0);
+  std::vector<uint64_t> compute_done(threads, 0);  // Progress into current compute op.
+  std::vector<uint32_t> holder(program.lock_count, kNoHolder);
+  uint64_t virtual_time = 0;
+  uint32_t finished = 0;
+  for (uint32_t t = 0; t < threads; ++t) {
+    if (program.threads[t].empty()) {
+      ++finished;
+    }
+  }
+
+  uint32_t token = 0;
+  uint32_t idle_rotations = 0;  // Consecutive turns with zero progress.
+
+  while (finished < threads) {
+    if (idle_rotations > threads + 1) {
+      schedule.completed = false;
+      schedule.failure = "quantum: no thread can make progress (deadlock)";
+      return schedule;
+    }
+    const uint32_t turn = token;
+    token = (token + 1) % threads;
+    if (cursor[turn] >= program.threads[turn].size()) {
+      ++idle_rotations;
+      continue;
+    }
+
+    uint64_t budget = config_.quantum;
+    bool progressed = false;
+    while (budget > 0 && cursor[turn] < program.threads[turn].size()) {
+      const Op& op = program.threads[turn][cursor[turn]];
+      if (op.kind == OpKind::kCompute) {
+        const uint64_t remaining = op.cost - compute_done[turn];
+        const uint64_t chunk = std::min(budget, remaining);
+        compute_done[turn] += chunk;
+        virtual_time += chunk;
+        budget -= chunk;
+        progressed = progressed || chunk > 0;
+        if (compute_done[turn] >= op.cost) {
+          compute_done[turn] = 0;
+          ++cursor[turn];
+        }
+        continue;
+      }
+      if (op.kind == OpKind::kLock && holder[op.var] != kNoHolder) {
+        break;  // Blocked: yield the token.
+      }
+      if (op.kind == OpKind::kWaitFlag && !state.FlagSet(op.var)) {
+        break;  // Spinning: yield the token (the spin burns no quantum here).
+      }
+      switch (op.kind) {
+        case OpKind::kLock:
+          holder[op.var] = turn;
+          state.RecordLock(turn, op.var);
+          break;
+        case OpKind::kUnlock:
+          holder[op.var] = kNoHolder;
+          state.RecordUnlock(turn, op.var);
+          break;
+        case OpKind::kSyscall:
+          state.RecordSyscall(turn);
+          break;
+        case OpKind::kSetFlag:
+          state.RecordSetFlag(turn, op.var);
+          break;
+        case OpKind::kWaitFlag:
+          state.RecordWaitFlag(turn, op.var);
+          break;
+        case OpKind::kCompute:
+          break;  // Handled above.
+      }
+      const uint64_t cost =
+          op.kind == OpKind::kSyscall ? config_.costs.syscall : config_.costs.sync;
+      virtual_time += cost;
+      budget -= std::min(budget, cost);
+      progressed = true;
+      ++cursor[turn];
+    }
+
+    if (cursor[turn] >= program.threads[turn].size()) {
+      ++finished;
+    }
+    idle_rotations = progressed ? 0 : idle_rotations + 1;
+  }
+
+  schedule.makespan = virtual_time;
+  return schedule;
+}
+
+}  // namespace mvee::dmt

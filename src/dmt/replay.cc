@@ -1,0 +1,162 @@
+// Record/Replay over abstract programs — see replay.h.
+
+#include "mvee/dmt/replay.h"
+
+#include <string>
+
+#include "mvee/util/rng.h"
+#include "src/dmt/observer.h"
+
+namespace mvee::dmt {
+
+namespace {
+
+constexpr uint32_t kNoHolder = UINT32_MAX;
+
+}  // namespace
+
+Schedule RecordMaster(const Program& program, uint64_t seed, uint64_t slice) {
+  OsConfig config;
+  config.seed = seed;
+  config.slice = slice;
+  OsScheduler scheduler(config);
+  return scheduler.Run(program);
+}
+
+ReplayScheduler::ReplayScheduler(const Schedule& recording, uint32_t lock_count,
+                                 uint32_t flag_count, uint64_t scheduler_seed,
+                                 const OpCosts& costs)
+    : lock_order_(lock_count), flag_order_(flag_count), scheduler_seed_(scheduler_seed),
+      costs_(costs) {
+  for (const auto& event : recording.sync_order) {
+    if (event.kind == OpKind::kLock && event.var < lock_count) {
+      lock_order_[event.var].push_back(event.tid);
+    } else if (event.kind == OpKind::kSetFlag && event.var < flag_count) {
+      flag_order_[event.var].push_back(event.tid);
+    }
+  }
+}
+
+Schedule ReplayScheduler::Run(const Program& program) {
+  Schedule schedule;
+  RunState state(program, &schedule);
+  const uint32_t threads = program.thread_count();
+  Rng rng(SplitMix64(scheduler_seed_ ^ 0x5e7ae5ULL));
+
+  std::vector<size_t> cursor(threads, 0);
+  std::vector<uint64_t> compute_done(threads, 0);
+  std::vector<uint64_t> local_time(threads, 0);
+  std::vector<uint32_t> holder(program.lock_count, kNoHolder);
+  std::vector<uint64_t> release_time(program.lock_count, 0);
+  std::vector<size_t> lock_position(program.lock_count, 0);  // Next index in lock_order_.
+  std::vector<size_t> flag_position(program.flag_count, 0);
+  std::vector<uint64_t> flag_set_time(program.flag_count, 0);
+  stalls_ = 0;
+
+  auto unfinished = [&](uint32_t t) { return cursor[t] < program.threads[t].size(); };
+
+  // A thread may acquire lock v only when it is the next recorded acquirer
+  // — the agents' slave-side stall (§3.2) in abstract form.
+  auto may_run = [&](uint32_t t) -> bool {
+    const Op& op = program.threads[t][cursor[t]];
+    switch (op.kind) {
+      case OpKind::kLock: {
+        if (holder[op.var] != kNoHolder) {
+          return false;
+        }
+        const auto& order = lock_order_[op.var];
+        return lock_position[op.var] < order.size() && order[lock_position[op.var]] == t;
+      }
+      case OpKind::kSetFlag: {
+        const auto& order = flag_order_[op.var];
+        return flag_position[op.var] < order.size() && order[flag_position[op.var]] == t;
+      }
+      case OpKind::kWaitFlag:
+        return state.FlagSet(op.var);
+      default:
+        return true;
+    }
+  };
+
+  for (;;) {
+    uint32_t runnable[256];
+    uint32_t runnable_count = 0;
+    uint32_t unfinished_count = 0;
+    uint32_t blocked_by_replay = 0;
+    for (uint32_t t = 0; t < threads; ++t) {
+      if (!unfinished(t)) {
+        continue;
+      }
+      ++unfinished_count;
+      if (may_run(t)) {
+        runnable[runnable_count++] = t;
+      } else {
+        ++blocked_by_replay;
+      }
+    }
+    if (unfinished_count == 0) {
+      break;
+    }
+    if (runnable_count == 0) {
+      schedule.completed = false;
+      schedule.failure = "rr-replay: recorded order unsatisfiable (program/recording "
+                         "mismatch — uninstrumented sync op or wrong program)";
+      return schedule;
+    }
+    stalls_ += blocked_by_replay;
+
+    const uint32_t turn = runnable[rng.NextBelow(runnable_count)];
+    const Op& op = program.threads[turn][cursor[turn]];
+    switch (op.kind) {
+      case OpKind::kCompute: {
+        const uint64_t remaining = op.cost - compute_done[turn];
+        const uint64_t chunk = std::min<uint64_t>(128, remaining);
+        compute_done[turn] += chunk;
+        local_time[turn] += chunk;
+        if (compute_done[turn] >= op.cost) {
+          compute_done[turn] = 0;
+          ++cursor[turn];
+        }
+        break;
+      }
+      case OpKind::kLock:
+        holder[op.var] = turn;
+        ++lock_position[op.var];
+        local_time[turn] = std::max(local_time[turn], release_time[op.var]) + costs_.sync;
+        state.RecordLock(turn, op.var);
+        ++cursor[turn];
+        break;
+      case OpKind::kUnlock:
+        holder[op.var] = kNoHolder;
+        local_time[turn] += costs_.sync;
+        release_time[op.var] = local_time[turn];
+        state.RecordUnlock(turn, op.var);
+        ++cursor[turn];
+        break;
+      case OpKind::kSyscall:
+        local_time[turn] += costs_.syscall;
+        state.RecordSyscall(turn);
+        ++cursor[turn];
+        break;
+      case OpKind::kSetFlag:
+        ++flag_position[op.var];
+        local_time[turn] += costs_.sync;
+        flag_set_time[op.var] = local_time[turn];
+        state.RecordSetFlag(turn, op.var);
+        ++cursor[turn];
+        break;
+      case OpKind::kWaitFlag:
+        local_time[turn] = std::max(local_time[turn], flag_set_time[op.var]) + costs_.sync;
+        state.RecordWaitFlag(turn, op.var);
+        ++cursor[turn];
+        break;
+    }
+  }
+
+  for (uint32_t t = 0; t < threads; ++t) {
+    schedule.makespan = std::max(schedule.makespan, local_time[t]);
+  }
+  return schedule;
+}
+
+}  // namespace mvee::dmt

@@ -1,0 +1,312 @@
+// Respec-style epoch-speculative replay — see respec.h.
+
+#include "mvee/dmt/respec.h"
+
+#include <string>
+#include <vector>
+
+#include "mvee/util/hash.h"
+#include "mvee/util/rng.h"
+
+namespace mvee::dmt {
+
+namespace {
+
+constexpr int32_t kNoHolder = -1;
+
+// Full simulator state, value-copyable so an epoch can be rolled back by
+// restoring the pre-epoch snapshot.
+struct SimState {
+  std::vector<size_t> cursor;
+  std::vector<uint64_t> local_time;
+  std::vector<int32_t> holder;
+  std::vector<size_t> lock_position;       // Next index into the per-var order.
+  std::vector<uint64_t> flag_version;
+  std::vector<size_t> flag_position;
+  std::vector<std::vector<uint32_t>> acquirers;  // Per lock: tids so far.
+  std::vector<FnvDigest> observers;              // Per thread.
+  Schedule schedule;
+  uint64_t ops_executed = 0;  // Sync ops (lock/unlock/flag) executed so far.
+
+  explicit SimState(const Program& program)
+      : cursor(program.thread_count(), 0),
+        local_time(program.thread_count(), 0),
+        holder(program.lock_count, kNoHolder),
+        lock_position(program.lock_count, 0),
+        flag_version(program.flag_count, 0),
+        flag_position(program.flag_count, 0),
+        acquirers(program.lock_count),
+        observers(program.thread_count()) {}
+
+  bool Finished(const Program& program) const {
+    for (uint32_t t = 0; t < program.thread_count(); ++t) {
+      if (cursor[t] < program.threads[t].size()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  uint64_t TotalCycles() const {
+    uint64_t max = 0;
+    for (uint64_t time : local_time) {
+      max = std::max(max, time);
+    }
+    return max;
+  }
+
+  // The end-of-epoch state digest. Logical: per-variable acquisition
+  // sequences and flag versions — layout-independent. Concrete additionally
+  // folds the variant's layout seed, as a register/memory-level comparison
+  // of a diversified variant inevitably does.
+  uint64_t Digest(EpochDigestModel model, uint64_t layout_seed) const {
+    FnvDigest digest;
+    for (const auto& order : acquirers) {
+      for (uint32_t tid : order) {
+        digest.UpdateValue(tid);
+      }
+      digest.UpdateValue(order.size());
+    }
+    for (uint64_t version : flag_version) {
+      digest.UpdateValue(version);
+    }
+    if (model == EpochDigestModel::kConcrete) {
+      digest.UpdateValue(SplitMix64(layout_seed));
+    }
+    return digest.Finish();
+  }
+};
+
+// Executes one op of `tid` (must be eligible). Returns true if it was a
+// sync op (counts toward the epoch budget).
+bool ExecuteOp(const Program& program, SimState& state, uint32_t tid,
+               const OpCosts& costs) {
+  const Op& op = program.threads[tid][state.cursor[tid]];
+  switch (op.kind) {
+    case OpKind::kCompute:
+      state.local_time[tid] += op.cost;
+      ++state.cursor[tid];
+      return false;
+    case OpKind::kLock:
+      state.holder[op.var] = static_cast<int32_t>(tid);
+      ++state.lock_position[op.var];
+      state.observers[tid].UpdateValue(op.var);
+      state.observers[tid].UpdateValue(state.acquirers[op.var].size());
+      state.acquirers[op.var].push_back(tid);
+      state.local_time[tid] += costs.sync;
+      state.schedule.sync_order.push_back({tid, op.var, OpKind::kLock});
+      ++state.cursor[tid];
+      ++state.ops_executed;
+      return true;
+    case OpKind::kUnlock:
+      state.holder[op.var] = kNoHolder;
+      state.local_time[tid] += costs.sync;
+      state.schedule.sync_order.push_back({tid, op.var, OpKind::kUnlock});
+      ++state.cursor[tid];
+      ++state.ops_executed;
+      return true;
+    case OpKind::kSyscall:
+      state.local_time[tid] += costs.syscall;
+      state.schedule.syscall_order.push_back({tid, state.observers[tid].Finish()});
+      ++state.cursor[tid];
+      return false;
+    case OpKind::kSetFlag:
+      ++state.flag_version[op.var];
+      ++state.flag_position[op.var];
+      state.local_time[tid] += costs.sync;
+      state.schedule.sync_order.push_back({tid, op.var, OpKind::kSetFlag});
+      ++state.cursor[tid];
+      ++state.ops_executed;
+      return true;
+    case OpKind::kWaitFlag:
+      state.observers[tid].UpdateValue(~static_cast<uint64_t>(op.var));
+      state.observers[tid].UpdateValue(state.flag_version[op.var]);
+      state.local_time[tid] += costs.sync;
+      state.schedule.sync_order.push_back({tid, op.var, OpKind::kWaitFlag});
+      ++state.cursor[tid];
+      ++state.ops_executed;
+      return true;
+  }
+  return false;
+}
+
+// May `tid` run its next op under per-variable-order enforcement?
+bool Eligible(const Program& program, const SimState& state,
+              const std::vector<std::vector<uint32_t>>& lock_order,
+              const std::vector<std::vector<uint32_t>>& flag_order, uint32_t tid) {
+  if (state.cursor[tid] >= program.threads[tid].size()) {
+    return false;
+  }
+  const Op& op = program.threads[tid][state.cursor[tid]];
+  switch (op.kind) {
+    case OpKind::kLock: {
+      if (state.holder[op.var] != kNoHolder) {
+        return false;
+      }
+      const auto& order = lock_order[op.var];
+      const size_t position = state.lock_position[op.var];
+      return position < order.size() && order[position] == tid;
+    }
+    case OpKind::kSetFlag: {
+      const auto& order = flag_order[op.var];
+      const size_t position = state.flag_position[op.var];
+      return position < order.size() && order[position] == tid;
+    }
+    case OpKind::kWaitFlag:
+      return state.flag_version[op.var] != 0;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+RespecReport RunRespecSlave(const Program& program, const Schedule& master,
+                            uint64_t master_layout_seed, const RespecConfig& config) {
+  RespecReport report;
+  Rng rng(SplitMix64(config.scheduler_seed ^ 0x4e59ec0ULL));
+
+  // Per-variable recorded orders (the enforcement skeleton) and the global
+  // recorded sync order (the speculation hints + strict re-execution path).
+  std::vector<std::vector<uint32_t>> lock_order(program.lock_count);
+  std::vector<std::vector<uint32_t>> flag_order(program.flag_count);
+  for (const auto& event : master.sync_order) {
+    if (event.kind == OpKind::kLock) {
+      lock_order[event.var].push_back(event.tid);
+    } else if (event.kind == OpKind::kSetFlag) {
+      flag_order[event.var].push_back(event.tid);
+    }
+  }
+
+  // Master logical digests at each epoch boundary: replay the master's own
+  // recorded order through a state machine.
+  std::vector<uint64_t> master_digests;
+  {
+    SimState master_state(program);
+    uint64_t boundary = config.epoch_ops;
+    // Strict pass over the master's global order.
+    for (const auto& event : master.sync_order) {
+      // Run the owning thread up to and through this sync op.
+      while (!ExecuteOp(program, master_state, event.tid, config.costs)) {
+      }
+      if (master_state.ops_executed >= boundary) {
+        master_digests.push_back(
+            master_state.Digest(config.digest_model, master_layout_seed));
+        boundary += config.epoch_ops;
+      }
+    }
+    // Final partial epoch.
+    master_digests.push_back(master_state.Digest(config.digest_model, master_layout_seed));
+  }
+
+  SimState state(program);
+  uint64_t master_cursor = 0;  // Position in master.sync_order for hints/strict mode.
+
+  auto run_strict_epoch = [&](SimState& strict_state, uint64_t from, uint64_t budget) {
+    uint64_t consumed = 0;
+    for (uint64_t i = from; i < master.sync_order.size() && consumed < budget; ++i) {
+      const SyncEvent& event = master.sync_order[i];
+      while (!ExecuteOp(program, strict_state, event.tid, config.costs)) {
+      }
+      ++consumed;
+    }
+    // Drain trailing non-sync ops (compute/syscalls) of finished threads at
+    // the end of the program.
+    if (from + budget >= master.sync_order.size()) {
+      for (uint32_t t = 0; t < program.thread_count(); ++t) {
+        while (strict_state.cursor[t] < program.threads[t].size() &&
+               program.threads[t][strict_state.cursor[t]].kind != OpKind::kLock &&
+               program.threads[t][strict_state.cursor[t]].kind != OpKind::kUnlock &&
+               program.threads[t][strict_state.cursor[t]].kind != OpKind::kSetFlag &&
+               program.threads[t][strict_state.cursor[t]].kind != OpKind::kWaitFlag) {
+          ExecuteOp(program, strict_state, t, config.costs);
+        }
+      }
+    }
+  };
+
+  while (!state.Finished(program)) {
+    const SimState snapshot = state;  // Rollback point.
+    const uint64_t epoch_start_ops = state.ops_executed;
+    const uint64_t epoch_budget =
+        std::min<uint64_t>(config.epoch_ops,
+                           master.sync_order.size() - std::min<uint64_t>(
+                                                          master.sync_order.size(),
+                                                          epoch_start_ops));
+
+    // --- Speculative pass: per-variable enforcement + probabilistic hints.
+    bool progressed = true;
+    while (state.ops_executed - epoch_start_ops < std::max<uint64_t>(epoch_budget, 1) &&
+           !state.Finished(program) && progressed) {
+      // Prefer the master's next recorded thread with hint_fidelity.
+      uint32_t pick = UINT32_MAX;
+      const uint64_t next_master = epoch_start_ops + (state.ops_executed - epoch_start_ops);
+      if (next_master < master.sync_order.size() && rng.NextBool(config.hint_fidelity)) {
+        const uint32_t hinted = master.sync_order[next_master].tid;
+        if (Eligible(program, state, lock_order, flag_order, hinted)) {
+          pick = hinted;
+        }
+      }
+      if (pick == UINT32_MAX) {
+        uint32_t eligible[256];
+        uint32_t count = 0;
+        for (uint32_t t = 0; t < program.thread_count(); ++t) {
+          if (Eligible(program, state, lock_order, flag_order, t)) {
+            eligible[count++] = t;
+          }
+        }
+        if (count == 0) {
+          progressed = false;
+          break;
+        }
+        pick = eligible[rng.NextBelow(count)];
+      }
+      // Run the picked thread through its next sync op (or to completion of
+      // local ops if it finishes first).
+      while (state.cursor[pick] < program.threads[pick].size()) {
+        if (ExecuteOp(program, state, pick, config.costs)) {
+          break;
+        }
+      }
+    }
+
+    // --- Epoch check.
+    ++report.epochs;
+    const size_t epoch_index =
+        std::min<size_t>(report.epochs - 1, master_digests.size() - 1);
+    const uint64_t expected = master_digests[epoch_index];
+    const uint64_t actual = state.Digest(config.digest_model, config.layout_seed);
+    if (actual == expected) {
+      master_cursor = state.ops_executed;
+      continue;  // Commit.
+    }
+
+    // --- Rollback + strict re-execution.
+    ++report.rollbacks;
+    report.wasted_cycles += state.TotalCycles() - snapshot.TotalCycles();
+    bool repaired = false;
+    for (uint32_t attempt = 0; attempt < config.max_retries && !repaired; ++attempt) {
+      state = snapshot;
+      run_strict_epoch(state, master_cursor, std::max<uint64_t>(epoch_budget, 1));
+      repaired = state.Digest(config.digest_model, config.layout_seed) == expected;
+    }
+    if (!repaired) {
+      // Strict replay reproduced the master's logical schedule exactly and
+      // the digests STILL differ: the mismatch is diversity, not
+      // divergence, and the epoch check cannot tell them apart (§6).
+      state.schedule.completed = false;
+      state.schedule.failure =
+          "respec: epoch state check cannot distinguish divergence from "
+          "diversity (register-level comparison of diversified variants, §6)";
+      report.schedule = std::move(state.schedule);
+      return report;
+    }
+    master_cursor = state.ops_executed;
+  }
+
+  report.schedule = std::move(state.schedule);
+  report.schedule.makespan = state.TotalCycles();
+  return report;
+}
+
+}  // namespace mvee::dmt

@@ -1,0 +1,82 @@
+#include "mvee/dmt/schedule.h"
+
+#include <algorithm>
+
+namespace mvee::dmt {
+
+std::vector<std::vector<uint32_t>> PerVariableOrders(const Schedule& schedule,
+                                                     uint32_t lock_count) {
+  std::vector<std::vector<uint32_t>> orders(lock_count);
+  for (const auto& event : schedule.sync_order) {
+    if (event.kind == OpKind::kLock && event.var < lock_count) {
+      orders[event.var].push_back(event.tid);
+    }
+  }
+  return orders;
+}
+
+ScheduleDivergence CompareSchedules(const Schedule& a, const Schedule& b,
+                                    uint32_t thread_count, uint32_t lock_count) {
+  ScheduleDivergence result;
+
+  // A variant that deadlocked under its scheduler is maximally divergent:
+  // the MVEE's rendezvous would time out waiting for its next call.
+  if (!a.completed || !b.completed) {
+    result.diverged = true;
+    result.mismatch_fraction = 1.0;
+    return result;
+  }
+
+  // Monitor's view: per-thread syscall digest streams (each thread-set is
+  // compared in lockstep, as ReMon does per-thread-set).
+  std::vector<std::vector<uint64_t>> streams_a(thread_count);
+  std::vector<std::vector<uint64_t>> streams_b(thread_count);
+  for (const auto& event : a.syscall_order) {
+    streams_a[event.tid].push_back(event.digest);
+  }
+  for (const auto& event : b.syscall_order) {
+    streams_b[event.tid].push_back(event.digest);
+  }
+  for (uint32_t t = 0; t < thread_count && !result.diverged; ++t) {
+    const size_t n = std::min(streams_a[t].size(), streams_b[t].size());
+    for (size_t i = 0; i < n; ++i) {
+      if (streams_a[t][i] != streams_b[t][i]) {
+        result.diverged = true;
+        result.first_tid = t;
+        result.first_index = i;
+        break;
+      }
+    }
+    if (!result.diverged && streams_a[t].size() != streams_b[t].size()) {
+      result.diverged = true;
+      result.first_tid = t;
+      result.first_index = n;
+    }
+  }
+
+  // Agents' view: per-variable acquisition orders. The mismatch fraction
+  // quantifies how much of the schedule fails to line up.
+  const auto orders_a = PerVariableOrders(a, lock_count);
+  const auto orders_b = PerVariableOrders(b, lock_count);
+  size_t total = 0;
+  size_t mismatched = 0;
+  for (uint32_t v = 0; v < lock_count; ++v) {
+    const size_t n = std::max(orders_a[v].size(), orders_b[v].size());
+    const size_t common = std::min(orders_a[v].size(), orders_b[v].size());
+    total += n;
+    mismatched += n - common;
+    for (size_t i = 0; i < common; ++i) {
+      if (orders_a[v][i] != orders_b[v][i]) {
+        ++mismatched;
+      }
+    }
+  }
+  result.mismatch_fraction = total == 0 ? 0.0 : static_cast<double>(mismatched) /
+                                                    static_cast<double>(total);
+  if (mismatched > 0) {
+    result.diverged = true;
+  }
+  return result;
+}
+
+}  // namespace mvee::dmt

@@ -1,0 +1,114 @@
+// Mvee: the multi-variant execution environment.
+//
+// Runs N diversified copies (variants) of a program in lockstep, monitoring
+// them at the system-call level, replicating I/O results from the master to
+// the slaves, ordering shared-resource calls with a logical clock, and
+// replaying the master's synchronization-operation order in the slaves
+// through an injected agent (paper §§2-4).
+//
+// Usage:
+//   MveeOptions options;
+//   options.num_variants = 3;
+//   options.agent = AgentKind::kWallOfClocks;
+//   Mvee mvee(options);
+//   Status status = mvee.Run([](VariantEnv& env) {
+//     // variant program: runs once per variant, lockstepped
+//   });
+//   // status.ok() => no divergence; mvee.report() has the counters.
+
+#ifndef MVEE_MONITOR_MVEE_H_
+#define MVEE_MONITOR_MVEE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mvee/agents/agent_fleet.h"
+#include "mvee/monitor/options.h"
+#include "mvee/monitor/reporter.h"
+#include "mvee/monitor/thread_set.h"
+#include "mvee/util/status.h"
+#include "mvee/variant/env.h"
+#include "mvee/vkernel/vkernel.h"
+
+namespace mvee {
+
+// Final run report (Table 2's rate counters come from here).
+struct MveeReport {
+  Status status;
+  SyscallCounters syscalls;
+  uint64_t sync_ops_recorded = 0;
+  uint64_t sync_ops_replayed = 0;
+  uint64_t replay_stalls = 0;
+  uint64_t record_stalls = 0;
+  double wall_seconds = 0.0;
+  std::string divergence_detail;
+};
+
+class Mvee : public TrapInterface {
+ public:
+  // `external_kernel` lets several runs (or out-of-MVEE load generators)
+  // share one virtual machine; pass nullptr to own a private kernel.
+  explicit Mvee(const MveeOptions& options, VirtualKernel* external_kernel = nullptr);
+  ~Mvee() override;
+
+  Mvee(const Mvee&) = delete;
+  Mvee& operator=(const Mvee&) = delete;
+
+  // Runs `program` to completion in every variant. Returns OK if all
+  // variants exited cleanly, kDivergence/kTimeout if the MVEE shut them
+  // down. Not reentrant.
+  Status Run(Program program);
+
+  const MveeReport& report() const { return report_; }
+  VirtualKernel& kernel() { return *kernel_; }
+  DivergenceReporter& reporter() { return reporter_; }
+
+  // Snapshot of every thread-set monitor's state plus kernel wait counts;
+  // intended for watchdogs diagnosing stuck runs.
+  std::string DumpState();
+
+  // Queues an asynchronous signal for logical thread `tid` from outside the
+  // variants (the MVEE-level analogue of a signal arriving from the kernel).
+  // Delivered to every variant's handler at that thread's next rendezvous.
+  void RaiseSignal(uint32_t tid, int32_t sig);
+
+  // TrapInterface:
+  int64_t Trap(uint32_t variant, uint32_t tid, SyscallRequest& request) override;
+  void StartThread(uint32_t variant, uint32_t child_tid, ThreadFn fn) override;
+  void JoinThread(uint32_t variant, uint32_t tid) override;
+  void SetSignalHandler(uint32_t variant, int32_t sig, SignalHandler handler) override;
+
+ private:
+  struct VariantState {
+    std::unique_ptr<ProcessState> process;
+    std::unique_ptr<DiversityMap> diversity;
+    std::unique_ptr<SyncAgent> agent;
+    std::mutex threads_mutex;
+    std::map<uint32_t, std::thread> threads;
+    // POSIX-style process-wide handler table (per variant).
+    std::mutex handlers_mutex;
+    std::map<int32_t, SignalHandler> signal_handlers;
+  };
+
+  ThreadSetMonitor* GetThreadSet(uint32_t tid);
+  void RunVariantThread(uint32_t variant, uint32_t tid, const ThreadFn& fn);
+
+  MveeOptions options_;
+  std::unique_ptr<VirtualKernel> owned_kernel_;
+  VirtualKernel* kernel_;
+  DivergenceReporter reporter_;
+  std::unique_ptr<AgentFleet> fleet_;
+  MonitorShared shared_;
+  std::vector<std::unique_ptr<VariantState>> variants_;
+  std::mutex sets_mutex_;
+  std::map<uint32_t, std::unique_ptr<ThreadSetMonitor>> thread_sets_;
+  MveeReport report_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_MONITOR_MVEE_H_

@@ -1,0 +1,70 @@
+// NativeRunner: executes a variant program outside the MVEE.
+//
+// This is the "native execution" baseline of the paper's evaluation (§5.1:
+// "We measured the native run time by running the non-instrumented binaries
+// outside our MVEE"). Syscalls go straight to the virtual kernel — no
+// rendezvous, no comparison, no ordering, no replication — and sync ops hit
+// the NullAgent.
+
+#ifndef MVEE_MONITOR_NATIVE_H_
+#define MVEE_MONITOR_NATIVE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mvee/agents/sync_agent.h"
+#include "mvee/syscall/record.h"
+#include "mvee/util/status.h"
+#include "mvee/variant/env.h"
+#include "mvee/vkernel/vkernel.h"
+
+namespace mvee {
+
+class NativeRunner : public TrapInterface {
+ public:
+  explicit NativeRunner(VirtualKernel* external_kernel = nullptr, uint64_t seed = 0x5eedULL);
+  ~NativeRunner() override;
+
+  // Runs `program` as a single uninstrumented process. Always returns OK
+  // unless the program itself misbehaves.
+  Status Run(Program program);
+
+  VirtualKernel& kernel() { return *kernel_; }
+  const SyscallCounters& counters() const { return counters_; }
+
+  // Installs a custom agent for the program's sync ops (default: NullAgent).
+  // Used by the Table 2 harness to count native sync-op rates; must outlive
+  // Run().
+  void set_agent(SyncAgent* agent) { agent_ = agent; }
+
+  // TrapInterface:
+  int64_t Trap(uint32_t variant, uint32_t tid, SyscallRequest& request) override;
+  void StartThread(uint32_t variant, uint32_t child_tid, ThreadFn fn) override;
+  void JoinThread(uint32_t variant, uint32_t tid) override;
+  void SetSignalHandler(uint32_t variant, int32_t sig, SignalHandler handler) override;
+
+ private:
+  void RunThread(uint32_t tid, const ThreadFn& fn);
+
+  std::unique_ptr<VirtualKernel> owned_kernel_;
+  VirtualKernel* kernel_;
+  std::unique_ptr<DiversityMap> diversity_;
+  std::unique_ptr<ProcessState> process_;
+  std::atomic<uint32_t> next_tid_{1};
+  std::mutex threads_mutex_;
+  std::map<uint32_t, std::thread> threads_;
+  SyscallCounters counters_;
+  std::mutex counters_mutex_;
+  SyncAgent* agent_ = nullptr;  // nullptr => NullAgent.
+  // Signal state (handlers are process-wide, signals target logical tids).
+  std::mutex signals_mutex_;
+  std::map<int32_t, SignalHandler> signal_handlers_;
+  std::map<uint32_t, std::vector<int32_t>> pending_signals_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_MONITOR_NATIVE_H_

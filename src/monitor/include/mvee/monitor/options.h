@@ -1,0 +1,66 @@
+// MVEE configuration.
+
+#ifndef MVEE_MONITOR_OPTIONS_H_
+#define MVEE_MONITOR_OPTIONS_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "mvee/agents/sync_agent.h"
+
+namespace mvee {
+
+// Which system calls the monitor compares in lockstep across variants
+// (paper §5.1 tested "a variety of monitoring policies ranging from strict
+// lockstepping on all system calls to lockstepping only on security-
+// sensitive system calls").
+enum class MonitorPolicy : uint8_t {
+  kLockstepAll = 0,        // Compare every call.
+  kLockstepSensitive,      // Compare only security-sensitive calls.
+};
+
+// Variant synchronization model (paper §2 "The variant synchronization
+// model is a key differentiator among MVEEs"):
+//  - kLockstep: security-oriented; no variant proceeds past a monitored call
+//    until all variants made an equivalent call (ReMon/GHUMVEE).
+//  - kLoose: reliability-oriented (VARAN-style, §6): the leader runs ahead
+//    and deposits syscall records in a ring buffer; followers consume and
+//    verify asynchronously. Divergence detection is delayed by the buffer
+//    depth — the security/latency trade-off the paper describes.
+enum class SyncModel : uint8_t {
+  kLockstep = 0,
+  kLoose,
+};
+
+struct MveeOptions {
+  // Number of variants (master + slaves). The paper evaluates 2-4.
+  uint32_t num_variants = 2;
+  // Replication strategy for sync ops.
+  AgentKind agent = AgentKind::kWallOfClocks;
+  // Comparison policy.
+  MonitorPolicy policy = MonitorPolicy::kLockstepAll;
+  // Synchronization model (lockstep = paper's security model).
+  SyncModel sync_model = SyncModel::kLockstep;
+  // Ring depth per thread set in kLoose mode (how far the leader may run
+  // ahead of the slowest follower).
+  size_t loose_buffer_depth = 256;
+  // Simulated disjoint code layouts (§5.1 correctness runs use DCL): each
+  // variant's address ranges are made mutually non-overlapping.
+  bool enable_dcl = false;
+  // Simulated ASLR: per-variant randomized heap/map bases.
+  bool enable_aslr = true;
+  // Enforce the syscall ordering clock on shared-resource calls (§4.1).
+  // Disabling reproduces the benign-divergence failure mode of §3.1.
+  bool order_resource_calls = true;
+  // Seed for diversity and kernel randomness.
+  uint64_t seed = 0x5eedULL;
+  // Lockstep rendezvous deadline; exceeded => divergence (variants made
+  // different numbers/kinds of calls, e.g. uninstrumented sync ops, §5.5).
+  std::chrono::milliseconds rendezvous_timeout{10000};
+  // Agent tuning.
+  AgentConfig agent_config;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_MONITOR_OPTIONS_H_

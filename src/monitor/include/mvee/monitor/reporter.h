@@ -1,0 +1,48 @@
+// Divergence detection and MVEE shutdown fan-out.
+//
+// The first divergence (or stall/timeout) report wins; it trips the global
+// abort flag, wakes every parked variant thread (monitor rendezvous, kernel
+// futexes, listeners, pipes) and records the detail for the final report.
+// "MVEEs terminate execution upon detection of divergence" (paper §1).
+
+#ifndef MVEE_MONITOR_REPORTER_H_
+#define MVEE_MONITOR_REPORTER_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mvee/util/status.h"
+
+namespace mvee {
+
+class DivergenceReporter {
+ public:
+  // Registers a wakeup hook to run when the reporter trips (thread-set
+  // monitors broadcast their CVs; the kernel wakes futexes and closes
+  // listeners). Hooks run once, on the reporting thread.
+  void AddShutdownHook(std::function<void()> hook);
+
+  // Reports a divergence/timeout. Only the first report is recorded; all
+  // reports trip the abort flag.
+  void Report(StatusCode code, const std::string& detail);
+
+  bool tripped() const { return tripped_.load(std::memory_order_acquire); }
+  const std::atomic<bool>* abort_flag() const { return &tripped_; }
+  // Status of the first report; OK if never tripped.
+  Status status() const;
+
+ private:
+  std::atomic<bool> tripped_{false};
+  mutable std::mutex mutex_;
+  Status first_status_;
+  bool have_status_ = false;
+  std::vector<std::function<void()>> hooks_;
+  bool hooks_run_ = false;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_MONITOR_REPORTER_H_

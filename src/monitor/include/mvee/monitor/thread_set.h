@@ -1,0 +1,155 @@
+// ThreadSetMonitor: one monitor per set of equivalent variant threads.
+//
+// ReMon is "a multithreaded monitor ... each of ReMon's threads monitors one
+// set of equivalent variant threads" (paper §4). Here the monitor is passive
+// (runs on the trapping variant threads themselves, like the decentralized
+// designs of §2) but the unit of monitoring is the same: all variants' copies
+// of logical thread T rendezvous here on every syscall.
+//
+// Round protocol:
+//   1. gather    — every variant deposits its request; the last arriver
+//                  compares the diversity-normalized argument digests
+//                  (divergence => MVEE shutdown) and opens the round.
+//   2. execute   — class-dependent:
+//        kReplicated: master executes against the kernel (may block); the
+//                     result + output bytes are published to the slaves,
+//                     which apply local side effects only (§4.1).
+//        kOrdered:    master executes inside the syscall-ordering critical
+//                     section and publishes its Lamport timestamp; each
+//                     slave spins until its private clock matches, executes
+//                     locally, and increments its clock (§4.1).
+//        kLocal:      every variant executes locally, unordered.
+//        kControl:    handled by the monitor itself (self-aware, clone,
+//                     exit) without touching the kernel.
+//   3. drain     — the last consumer resets the round.
+
+#ifndef MVEE_MONITOR_THREAD_SET_H_
+#define MVEE_MONITOR_THREAD_SET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mvee/monitor/options.h"
+#include "mvee/monitor/reporter.h"
+#include "mvee/syscall/record.h"
+#include "mvee/util/spsc_ring.h"
+#include "mvee/vkernel/vkernel.h"
+
+namespace mvee {
+
+// Shared pieces every ThreadSetMonitor needs; owned by Mvee.
+struct MonitorShared {
+  const MveeOptions* options = nullptr;
+  VirtualKernel* kernel = nullptr;
+  DivergenceReporter* reporter = nullptr;
+  std::vector<ProcessState*> processes;  // per variant
+
+  // Syscall ordering clock (§4.1): one master-side clock for the whole
+  // variant, one private replay clock per slave variant.
+  std::mutex order_mutex;
+  uint64_t order_next_ts = 0;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> slave_order_clocks;
+
+  // Logical tid allocator for sys_clone (identical across variants because
+  // it is assigned once per rendezvous).
+  std::atomic<uint32_t> next_tid{1};
+
+  // Aggregate counters (master-side, one per round).
+  SyscallCounters counters;
+  std::mutex counters_mutex;
+
+  // Deferred asynchronous signals, keyed by target logical tid. Enqueued by
+  // sys_tgkill rendezvous or by Mvee::RaiseSignal (the external-source
+  // case); latched into the target thread set's next round so every variant
+  // delivers the handler at the same syscall boundary — the way GHUMVEE-
+  // style monitors make async signal delivery deterministic.
+  std::mutex signal_mutex;
+  std::map<uint32_t, std::deque<int32_t>> pending_signals;
+};
+
+class ThreadSetMonitor {
+ public:
+  ThreadSetMonitor(uint32_t tid, MonitorShared* shared);
+
+  // Executes one syscall for (variant, this thread set) under the configured
+  // synchronization model. Lockstep blocks until the round completes; loose
+  // mode lets the leader run ahead (ring-buffered). Throws VariantKilled on
+  // MVEE shutdown. If `delivered_signals` is non-null it receives the
+  // signals latched for this round; the caller (Mvee::Trap) runs the
+  // variant's handlers for them after the round — the rendezvous *is* the
+  // deterministic delivery point.
+  int64_t RunSyscall(uint32_t variant, SyscallRequest& request,
+                     std::vector<int32_t>* delivered_signals = nullptr);
+
+  // Wakes all parked threads (reporter shutdown hook).
+  void NotifyShutdown();
+
+  // One-line state snapshot ("tid=3 phase=exec arrived=2/2 master_done=1
+  // last=sys_futex") for hang diagnostics.
+  std::string DebugString();
+
+  uint32_t tid() const { return tid_; }
+
+ private:
+  // Returns true if this request's arguments must be compared under the
+  // configured policy.
+  bool MustCompare(const SyscallRequest& request) const;
+
+  // Digest comparison for the gathered round (with mutex_ held); returns a
+  // non-empty divergence detail on mismatch.
+  std::string CompareRound() const;
+
+  // Master-side execution; returns the master's result. Runs unlocked.
+  SyscallResult ExecuteMaster(SyscallRequest& request, SyscallClass klass);
+
+  // Slave-side execution from a copied master result. Runs unlocked so that
+  // divergence reports never occur while holding mutex_.
+  int64_t ExecuteSlave(uint32_t variant, SyscallRequest& request, SyscallClass klass,
+                       const SyscallResult& master);
+
+  // VARAN-style loose path: leader deposits records, followers consume and
+  // verify asynchronously (§2's reliability-oriented model).
+  int64_t RunSyscallLoose(uint32_t variant, SyscallRequest& request,
+                          std::vector<int32_t>* delivered_signals);
+
+  // One leader-deposited record in loose mode.
+  struct LooseRecord {
+    Sysno sysno = Sysno::kExit;
+    uint64_t digest = 0;
+    int64_t control_retval = 0;
+    SyscallResult result;
+    std::vector<int32_t> signals;  // Latched at the leader's delivery point.
+  };
+
+  // Enqueues a kill's signal (round preprocessing, exactly once) and pops
+  // everything pending for this thread set into `out`.
+  void RouteSignals(const SyscallRequest& request, std::vector<int32_t>* out);
+
+  const uint32_t tid_;
+  MonitorShared* const shared_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  enum class Phase { kGather, kExecute, kDone };
+  Phase phase_ = Phase::kGather;
+  uint32_t arrived_ = 0;
+  uint32_t drained_ = 0;
+  std::vector<SyscallRequest*> requests_;
+  std::vector<uint64_t> digests_;
+  SyscallResult master_result_;
+  bool master_done_ = false;
+  int64_t control_retval_ = 0;  // clone tid etc., shared by all variants
+  std::vector<int32_t> round_signals_;  // Signals latched for this round.
+
+  // Loose mode: one ring per thread set; consumer v-1 belongs to variant v.
+  std::unique_ptr<BroadcastRing<std::shared_ptr<LooseRecord>>> loose_ring_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_MONITOR_THREAD_SET_H_

@@ -1,0 +1,255 @@
+#include "mvee/monitor/mvee.h"
+
+#include <chrono>
+
+#include "mvee/util/log.h"
+#include "mvee/util/variant_killed.h"
+
+namespace mvee {
+
+namespace {
+
+// Routes the sync primitives' futex needs through the monitor as sys_futex
+// traps (replicated class).
+class EnvFutexHook final : public FutexHook {
+ public:
+  explicit EnvFutexHook(VariantEnv* env) : env_(env) {}
+
+  int64_t FutexWait(const std::atomic<int32_t>* word, int32_t expected) override {
+    return env_->FutexWait(word, expected);
+  }
+  int64_t FutexWake(const std::atomic<int32_t>* word, int32_t count) override {
+    return env_->FutexWake(word, count);
+  }
+
+ private:
+  VariantEnv* const env_;
+};
+
+}  // namespace
+
+Mvee::Mvee(const MveeOptions& options, VirtualKernel* external_kernel) : options_(options) {
+  if (external_kernel != nullptr) {
+    kernel_ = external_kernel;
+  } else {
+    owned_kernel_ = std::make_unique<VirtualKernel>(options_.seed);
+    kernel_ = owned_kernel_.get();
+  }
+
+  // Agent runtime shared by all variants (the sync buffers of §4.5).
+  AgentConfig agent_config = options_.agent_config;
+  agent_config.num_variants = options_.num_variants;
+  AgentControl control;
+  control.abort_flag = reporter_.abort_flag();
+  control.on_stall = [this](const std::string& detail) {
+    reporter_.Report(StatusCode::kTimeout, "sync-op replay stall: " + detail);
+  };
+  fleet_ = std::make_unique<AgentFleet>(options_.agent, agent_config, control);
+
+  // Variant states: kernel process + simulated diversity + injected agent.
+  for (uint32_t v = 0; v < options_.num_variants; ++v) {
+    auto state = std::make_unique<VariantState>();
+    state->diversity = std::make_unique<DiversityMap>(v, options_.seed, options_.enable_aslr,
+                                                      options_.enable_dcl);
+    state->process = std::make_unique<ProcessState>(
+        /*pid=*/1000, state->diversity->heap_base(), state->diversity->map_base());
+    state->agent = fleet_->CreateAgent(v);
+    variants_.push_back(std::move(state));
+  }
+
+  shared_.options = &options_;
+  shared_.kernel = kernel_;
+  shared_.reporter = &reporter_;
+  for (auto& variant : variants_) {
+    shared_.processes.push_back(variant->process.get());
+  }
+  for (uint32_t v = 0; v < options_.num_variants; ++v) {
+    shared_.slave_order_clocks.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+
+  // Shutdown fan-out: wake anything blocked in the kernel.
+  reporter_.AddShutdownHook([this] { kernel_->ShutdownBlockedCalls(); });
+}
+
+Mvee::~Mvee() {
+  // Defensive: make sure no variant thread is left running.
+  for (auto& variant : variants_) {
+    std::lock_guard<std::mutex> lock(variant->threads_mutex);
+    for (auto& [tid, thread] : variant->threads) {
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
+  }
+}
+
+std::string Mvee::DumpState() {
+  std::ostringstream out;
+  out << "kernel futex waiters: " << kernel_->futexes().WaiterCount() << " [" << kernel_->futexes().DebugString() << "]\n";
+  std::lock_guard<std::mutex> lock(sets_mutex_);
+  for (auto& [tid, monitor] : thread_sets_) {
+    out << "  " << monitor->DebugString() << "\n";
+  }
+  return out.str();
+}
+
+ThreadSetMonitor* Mvee::GetThreadSet(uint32_t tid) {
+  std::lock_guard<std::mutex> lock(sets_mutex_);
+  auto it = thread_sets_.find(tid);
+  if (it != thread_sets_.end()) {
+    return it->second.get();
+  }
+  auto monitor = std::make_unique<ThreadSetMonitor>(tid, &shared_);
+  ThreadSetMonitor* raw = monitor.get();
+  reporter_.AddShutdownHook([raw] { raw->NotifyShutdown(); });
+  thread_sets_[tid] = std::move(monitor);
+  return raw;
+}
+
+int64_t Mvee::Trap(uint32_t variant, uint32_t tid, SyscallRequest& request) {
+  if (reporter_.tripped()) {
+    if (AlreadyUnwinding()) {
+      return -EINTR;  // Destructor-driven trap during teardown: no rendezvous.
+    }
+    throw VariantKilled{};
+  }
+  std::vector<int32_t> signals;
+  const int64_t retval = GetThreadSet(tid)->RunSyscall(variant, request, &signals);
+
+  // Deferred signal delivery (GHUMVEE-style): the rendezvous that just
+  // completed is the deterministic delivery point — every variant's copy of
+  // this thread runs the handler here, after the same syscall. Handlers may
+  // themselves make syscalls; those rendezvous normally (all variants run
+  // the same handler code).
+  for (int32_t sig : signals) {
+    SignalHandler handler;
+    {
+      VariantState& state = *variants_[variant];
+      std::lock_guard<std::mutex> lock(state.handlers_mutex);
+      auto entry = state.signal_handlers.find(sig);
+      if (entry != state.signal_handlers.end()) {
+        handler = entry->second;
+      }
+    }
+    if (handler) {
+      VariantEnv env(this, variant, tid, variants_[variant]->diversity.get());
+      handler(env);
+    }
+    // No handler: default disposition is ignore (the virtual kernel has no
+    // process to terminate with SIGKILL semantics).
+  }
+  return retval;
+}
+
+void Mvee::RaiseSignal(uint32_t tid, int32_t sig) {
+  std::lock_guard<std::mutex> lock(shared_.signal_mutex);
+  shared_.pending_signals[tid].push_back(sig);
+}
+
+void Mvee::SetSignalHandler(uint32_t variant, int32_t sig, SignalHandler handler) {
+  VariantState& state = *variants_[variant];
+  std::lock_guard<std::mutex> lock(state.handlers_mutex);
+  state.signal_handlers[sig] = std::move(handler);
+}
+
+void Mvee::RunVariantThread(uint32_t variant, uint32_t tid, const ThreadFn& fn) {
+  VariantState& state = *variants_[variant];
+  VariantEnv env(this, variant, tid, state.diversity.get());
+  EnvFutexHook futex_hook(&env);
+  SyncContext context{state.agent.get(), &futex_hook, tid};
+  ScopedSyncContext scoped(&context);
+  try {
+    fn(env);
+    // Implicit sys_exit on return: the last rendezvous of this thread set.
+    SyscallRequest exit_request;
+    exit_request.sysno = Sysno::kExit;
+    env.Syscall(exit_request);
+  } catch (const VariantKilled&) {
+    // MVEE shutdown: unwind quietly; Run() reports the recorded status.
+  }
+}
+
+void Mvee::StartThread(uint32_t variant, uint32_t child_tid, ThreadFn fn) {
+  VariantState& state = *variants_[variant];
+  std::thread thread([this, variant, child_tid, fn = std::move(fn)] {
+    RunVariantThread(variant, child_tid, fn);
+  });
+  std::lock_guard<std::mutex> lock(state.threads_mutex);
+  state.threads[child_tid] = std::move(thread);
+}
+
+void Mvee::JoinThread(uint32_t variant, uint32_t tid) {
+  VariantState& state = *variants_[variant];
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(state.threads_mutex);
+    auto it = state.threads.find(tid);
+    if (it == state.threads.end()) {
+      return;
+    }
+    to_join = std::move(it->second);
+    state.threads.erase(it);
+  }
+  if (to_join.joinable()) {
+    to_join.join();
+  }
+}
+
+Status Mvee::Run(Program program) {
+  const auto start = std::chrono::steady_clock::now();
+  MVEE_LOG(kInfo) << "MVEE starting " << options_.num_variants << " variants, agent="
+                  << AgentKindName(options_.agent);
+
+  // Bootstrap: start logical thread 0 in every variant (the paper's
+  // bootstrap process hands control to the monitors once variants are
+  // initialized, §4).
+  for (uint32_t v = 0; v < options_.num_variants; ++v) {
+    StartThread(v, /*child_tid=*/0, program);
+  }
+
+  // Wait for the main thread of every variant, then for any stragglers the
+  // program spawned but did not join.
+  for (uint32_t v = 0; v < options_.num_variants; ++v) {
+    JoinThread(v, 0);
+  }
+  for (auto& variant : variants_) {
+    for (;;) {
+      std::thread to_join;
+      {
+        std::lock_guard<std::mutex> lock(variant->threads_mutex);
+        if (variant->threads.empty()) {
+          break;
+        }
+        auto it = variant->threads.begin();
+        to_join = std::move(it->second);
+        variant->threads.erase(it);
+      }
+      if (to_join.joinable()) {
+        to_join.join();
+      }
+    }
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  report_.status = reporter_.tripped()
+                       ? reporter_.status()
+                       : Status::Ok();
+  report_.divergence_detail = reporter_.status().message();
+  {
+    std::lock_guard<std::mutex> lock(shared_.counters_mutex);
+    report_.syscalls = shared_.counters;
+  }
+  if (const AgentStats* stats = fleet_->stats()) {
+    report_.sync_ops_recorded = stats->ops_recorded.load(std::memory_order_relaxed);
+    report_.sync_ops_replayed = stats->ops_replayed.load(std::memory_order_relaxed);
+    report_.replay_stalls = stats->replay_stalls.load(std::memory_order_relaxed);
+    report_.record_stalls = stats->record_stalls.load(std::memory_order_relaxed);
+  }
+  report_.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start).count();
+  MVEE_LOG(kInfo) << "MVEE finished: " << report_.status.ToString() << " in "
+                  << report_.wall_seconds << "s";
+  return report_.status;
+}
+
+}  // namespace mvee

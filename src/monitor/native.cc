@@ -1,0 +1,163 @@
+#include "mvee/monitor/native.h"
+
+#include "mvee/agents/context.h"
+#include "mvee/util/variant_killed.h"
+
+namespace mvee {
+
+namespace {
+
+// Native futex hook: straight to the kernel futex table, no monitor.
+class NativeFutexHook final : public FutexHook {
+ public:
+  explicit NativeFutexHook(FutexTable* futexes) : futexes_(futexes) {}
+
+  int64_t FutexWait(const std::atomic<int32_t>* word, int32_t expected) override {
+    return futexes_->Wait(reinterpret_cast<uint64_t>(word), word, expected);
+  }
+  int64_t FutexWake(const std::atomic<int32_t>* word, int32_t count) override {
+    return futexes_->Wake(reinterpret_cast<uint64_t>(word), count);
+  }
+
+ private:
+  FutexTable* const futexes_;
+};
+
+}  // namespace
+
+NativeRunner::NativeRunner(VirtualKernel* external_kernel, uint64_t seed) {
+  if (external_kernel != nullptr) {
+    kernel_ = external_kernel;
+  } else {
+    owned_kernel_ = std::make_unique<VirtualKernel>(seed);
+    kernel_ = owned_kernel_.get();
+  }
+  diversity_ = std::make_unique<DiversityMap>(/*variant_index=*/0, seed, /*enable_aslr=*/true);
+  process_ = std::make_unique<ProcessState>(/*pid=*/1000, diversity_->heap_base(),
+                                            diversity_->map_base());
+}
+
+NativeRunner::~NativeRunner() {
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (auto& [tid, thread] : threads_) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+}
+
+int64_t NativeRunner::Trap(uint32_t variant, uint32_t tid, SyscallRequest& request) {
+  (void)variant;
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    counters_.Count(ClassOf(request.sysno));
+  }
+  if (request.sysno == Sysno::kClone) {
+    return next_tid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (request.sysno == Sysno::kMveeSelfAware) {
+    return -1;  // "Not running under an MVEE."
+  }
+  if (request.sysno == Sysno::kSigaction) {
+    return 0;  // Handler already stored via SetSignalHandler.
+  }
+  if (request.sysno == Sysno::kKill) {
+    std::lock_guard<std::mutex> lock(signals_mutex_);
+    pending_signals_[static_cast<uint32_t>(request.arg0)].push_back(
+        static_cast<int32_t>(request.arg1));
+    return 0;
+  }
+  const int64_t retval = kernel_->Execute(*process_, request).retval;
+
+  // Native delivery mirrors the MVEE's: at the target thread's next trap (a
+  // real kernel also delivers at kernel-exit boundaries).
+  std::vector<int32_t> signals;
+  {
+    std::lock_guard<std::mutex> lock(signals_mutex_);
+    auto pending = pending_signals_.find(tid);
+    if (pending != pending_signals_.end()) {
+      signals.swap(pending->second);
+    }
+  }
+  for (int32_t sig : signals) {
+    SignalHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(signals_mutex_);
+      auto entry = signal_handlers_.find(sig);
+      if (entry != signal_handlers_.end()) {
+        handler = entry->second;
+      }
+    }
+    if (handler) {
+      VariantEnv env(this, /*variant_index=*/0, tid, diversity_.get());
+      handler(env);
+    }
+  }
+  return retval;
+}
+
+void NativeRunner::SetSignalHandler(uint32_t variant, int32_t sig, SignalHandler handler) {
+  (void)variant;
+  std::lock_guard<std::mutex> lock(signals_mutex_);
+  signal_handlers_[sig] = std::move(handler);
+}
+
+void NativeRunner::RunThread(uint32_t tid, const ThreadFn& fn) {
+  VariantEnv env(this, /*variant_index=*/0, tid, diversity_.get());
+  NativeFutexHook futex_hook(&kernel_->futexes());
+  SyncContext context{agent_ != nullptr ? agent_ : NullAgent::Instance(), &futex_hook, tid};
+  ScopedSyncContext scoped(&context);
+  try {
+    fn(env);
+  } catch (const VariantKilled&) {
+    // Only possible if user code throws it; swallow for symmetry.
+  }
+}
+
+void NativeRunner::StartThread(uint32_t variant, uint32_t child_tid, ThreadFn fn) {
+  (void)variant;
+  std::thread thread(
+      [this, child_tid, fn = std::move(fn)] { RunThread(child_tid, fn); });
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  threads_[child_tid] = std::move(thread);
+}
+
+void NativeRunner::JoinThread(uint32_t variant, uint32_t tid) {
+  (void)variant;
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    auto it = threads_.find(tid);
+    if (it == threads_.end()) {
+      return;
+    }
+    to_join = std::move(it->second);
+    threads_.erase(it);
+  }
+  if (to_join.joinable()) {
+    to_join.join();
+  }
+}
+
+Status NativeRunner::Run(Program program) {
+  StartThread(0, 0, program);
+  JoinThread(0, 0);
+  for (;;) {
+    std::thread to_join;
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      if (threads_.empty()) {
+        break;
+      }
+      auto it = threads_.begin();
+      to_join = std::move(it->second);
+      threads_.erase(it);
+    }
+    if (to_join.joinable()) {
+      to_join.join();
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mvee

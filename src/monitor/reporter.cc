@@ -1,0 +1,41 @@
+#include "mvee/monitor/reporter.h"
+
+#include "mvee/util/log.h"
+
+namespace mvee {
+
+void DivergenceReporter::AddShutdownHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (hooks_run_) {
+    hook();  // Late registration after a trip: run immediately.
+    return;
+  }
+  hooks_.push_back(std::move(hook));
+}
+
+void DivergenceReporter::Report(StatusCode code, const std::string& detail) {
+  std::vector<std::function<void()>> to_run;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!have_status_) {
+      first_status_ = Status(code, detail);
+      have_status_ = true;
+      MVEE_LOG(kWarn) << "MVEE shutdown: " << first_status_.ToString();
+    }
+    tripped_.store(true, std::memory_order_release);
+    if (!hooks_run_) {
+      hooks_run_ = true;
+      to_run.swap(hooks_);
+    }
+  }
+  for (auto& hook : to_run) {
+    hook();
+  }
+}
+
+Status DivergenceReporter::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return have_status_ ? first_status_ : Status::Ok();
+}
+
+}  // namespace mvee

@@ -1,0 +1,483 @@
+#include "mvee/monitor/thread_set.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "mvee/util/spin.h"
+#include "mvee/util/variant_killed.h"
+
+namespace mvee {
+
+ThreadSetMonitor::ThreadSetMonitor(uint32_t tid, MonitorShared* shared)
+    : tid_(tid), shared_(shared) {
+  const uint32_t n = shared_->options->num_variants;
+  requests_.resize(n, nullptr);
+  digests_.resize(n, 0);
+  if (shared_->options->sync_model == SyncModel::kLoose) {
+    // Ring depth = how far the leader may run ahead (§2 reliability model).
+    size_t depth = 2;
+    while (depth < shared_->options->loose_buffer_depth) {
+      depth <<= 1;
+    }
+    loose_ring_ = std::make_unique<BroadcastRing<std::shared_ptr<LooseRecord>>>(depth);
+    for (uint32_t v = 1; v < n; ++v) {
+      loose_ring_->RegisterConsumer();
+    }
+  }
+}
+
+std::string ThreadSetMonitor::DebugString() {
+  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+  std::ostringstream out;
+  out << "tid=" << tid_;
+  if (!lock.owns_lock()) {
+    out << " <mutex busy>";
+    return out.str();
+  }
+  out << " phase=" << (phase_ == Phase::kGather ? "gather" : "execute") << " arrived="
+      << arrived_ << " drained=" << drained_ << " master_done=" << master_done_;
+  for (size_t v = 0; v < requests_.size(); ++v) {
+    if (requests_[v] != nullptr) {
+      out << " v" << v << "=" << SysnoName(requests_[v]->sysno);
+    }
+  }
+  return out.str();
+}
+
+void ThreadSetMonitor::NotifyShutdown() {
+  // Empty critical section: serializes with any waiter's predicate check so
+  // the notification cannot land in the unlock-to-sleep window. Callers must
+  // never hold mutex_ when reporting (RunSyscall unlocks first).
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  cv_.notify_all();
+}
+
+bool ThreadSetMonitor::MustCompare(const SyscallRequest& request) const {
+  switch (shared_->options->policy) {
+    case MonitorPolicy::kLockstepAll:
+      return true;
+    case MonitorPolicy::kLockstepSensitive:
+      return SensitivityOf(request.sysno) == SyscallSensitivity::kSensitive;
+  }
+  return true;
+}
+
+std::string ThreadSetMonitor::CompareRound() const {
+  const uint32_t n = shared_->options->num_variants;
+  if (!MustCompare(*requests_[0])) {
+    return "";
+  }
+  for (uint32_t v = 1; v < n; ++v) {
+    if (requests_[v]->sysno != requests_[0]->sysno) {
+      std::ostringstream detail;
+      detail << "thread " << tid_ << ": syscall number mismatch: " << requests_[0]->ToString()
+             << " (variant 0) vs " << requests_[v]->ToString() << " (variant " << v << ")";
+      return detail.str();
+    }
+    if (digests_[v] != digests_[0]) {
+      std::ostringstream detail;
+      detail << "thread " << tid_ << ": argument mismatch on " << requests_[0]->ToString()
+             << " (variant 0) vs " << requests_[v]->ToString() << " (variant " << v << ")";
+      return detail.str();
+    }
+  }
+  return "";
+}
+
+void ThreadSetMonitor::RouteSignals(const SyscallRequest& request, std::vector<int32_t>* out) {
+  std::lock_guard<std::mutex> lock(shared_->signal_mutex);
+  if (request.sysno == Sysno::kKill) {
+    shared_->pending_signals[static_cast<uint32_t>(request.arg0)].push_back(
+        static_cast<int32_t>(request.arg1));
+  }
+  auto pending = shared_->pending_signals.find(tid_);
+  if (pending != shared_->pending_signals.end()) {
+    out->assign(pending->second.begin(), pending->second.end());
+    pending->second.clear();
+  } else {
+    out->clear();
+  }
+}
+
+SyscallResult ThreadSetMonitor::ExecuteMaster(SyscallRequest& request, SyscallClass klass) {
+  ProcessState& process = *shared_->processes[0];
+  switch (klass) {
+    case SyscallClass::kReplicated: {
+      const bool ordering = shared_->options->order_resource_calls;
+      // Descriptor-allocating replicated calls need their fd-table effect
+      // ordered against the ordered open/close stream, or slave fd numbering
+      // drifts. sys_accept blocks, so only its *allocation half* enters the
+      // critical section (two-phase accept); sys_socket is non-blocking and
+      // runs entirely inside.
+      if (ordering && request.sysno == Sysno::kAccept) {
+        int64_t error = 0;
+        auto conn = shared_->kernel->AcceptBlocking(process,
+                                                    static_cast<int32_t>(request.arg0), &error);
+        SyscallResult result;
+        if (conn == nullptr) {
+          result.retval = error;
+          return result;
+        }
+        std::lock_guard<std::mutex> order_lock(shared_->order_mutex);
+        result.retval = shared_->kernel->FinishAccept(process, std::move(conn));
+        result.order_timestamp = shared_->order_next_ts++;
+        return result;
+      }
+      if (ordering && request.sysno == Sysno::kSocket) {
+        std::lock_guard<std::mutex> order_lock(shared_->order_mutex);
+        SyscallResult result = shared_->kernel->Execute(process, request);
+        result.order_timestamp = shared_->order_next_ts++;
+        return result;
+      }
+      // May block (I/O, futex). No ordering-clock critical section is held,
+      // which is exactly why blocking calls must be in this class (§4.1
+      // Limitations).
+      return shared_->kernel->Execute(process, request);
+    }
+
+    case SyscallClass::kOrdered: {
+      if (!shared_->options->order_resource_calls) {
+        return shared_->kernel->Execute(process, request);
+      }
+      // Lamport timestamp under the variant-wide critical section: the
+      // recorded cross-thread order of shared-resource calls is the order
+      // they really executed in (§4.1).
+      std::lock_guard<std::mutex> order_lock(shared_->order_mutex);
+      SyscallResult result = shared_->kernel->Execute(process, request);
+      result.order_timestamp = shared_->order_next_ts++;
+      return result;
+    }
+
+    case SyscallClass::kLocal:
+      return shared_->kernel->Execute(process, request);
+
+    case SyscallClass::kControl: {
+      SyscallResult result;
+      switch (request.sysno) {
+        case Sysno::kMveeSelfAware:
+          result.retval = 0;  // Master's variant index.
+          break;
+        case Sysno::kClone:
+          result.retval = control_retval_;
+          break;
+        default:
+          result.retval = 0;
+          break;
+      }
+      return result;
+    }
+  }
+  return SyscallResult{};
+}
+
+int64_t ThreadSetMonitor::ExecuteSlave(uint32_t variant, SyscallRequest& request,
+                                       SyscallClass klass, const SyscallResult& master) {
+  // Runs WITHOUT mutex_ held; reporting from here is safe.
+  ProcessState& process = *shared_->processes[variant];
+  switch (klass) {
+    case SyscallClass::kReplicated: {
+      if (!master.out_bytes.empty() && !request.out_data.empty()) {
+        const size_t count = std::min(master.out_bytes.size(), request.out_data.size());
+        std::memcpy(request.out_data.data(), master.out_bytes.data(), count);
+      }
+      // Shadow-fd installation must land at the same point of this variant's
+      // ordered-call stream as the master's allocation did (see
+      // ExecuteMaster's two-phase accept).
+      const bool fd_allocating =
+          request.sysno == Sysno::kAccept || request.sysno == Sysno::kSocket;
+      if (fd_allocating && shared_->options->order_resource_calls && master.retval >= 0) {
+        auto& clock = *shared_->slave_order_clocks[variant];
+        const uint64_t want = master.order_timestamp;
+        SpinWait waiter;
+        const auto deadline =
+            std::chrono::steady_clock::now() + shared_->options->rendezvous_timeout;
+        while (clock.load(std::memory_order_acquire) != want) {
+          if (shared_->reporter->tripped()) {
+            throw VariantKilled{};
+          }
+          if (std::chrono::steady_clock::now() > deadline) {
+            shared_->reporter->Report(StatusCode::kTimeout,
+                                      "thread " + std::to_string(tid_) +
+                                          ": ordering clock stall applying shadow fd");
+            throw VariantKilled{};
+          }
+          waiter.Pause();
+        }
+        const int64_t check = shared_->kernel->ApplyReplicatedEffect(process, request, master);
+        clock.store(want + 1, std::memory_order_release);
+        if (check != master.retval) {
+          std::ostringstream detail;
+          detail << "thread " << tid_ << ": shadow fd mismatch on " << SysnoName(request.sysno)
+                 << ": master " << master.retval << " vs variant " << variant << " fd "
+                 << check;
+          shared_->reporter->Report(StatusCode::kDivergence, detail.str());
+          throw VariantKilled{};
+        }
+        return master.retval;
+      }
+      const int64_t check = shared_->kernel->ApplyReplicatedEffect(process, request, master);
+      const bool allocates_fd =
+          request.sysno == Sysno::kAccept || request.sysno == Sysno::kSocket;
+      if (allocates_fd && master.retval >= 0 && check != master.retval) {
+        std::ostringstream detail;
+        detail << "thread " << tid_ << ": shadow fd mismatch on " << SysnoName(request.sysno)
+               << ": master " << master.retval << " vs variant " << variant << " fd " << check;
+        shared_->reporter->Report(StatusCode::kDivergence, detail.str());
+        throw VariantKilled{};
+      }
+      return master.retval;
+    }
+
+    case SyscallClass::kOrdered: {
+      if (shared_->options->order_resource_calls) {
+        // Spin until this variant's private ordering clock reaches the
+        // recorded timestamp (§4.1).
+        auto& clock = *shared_->slave_order_clocks[variant];
+        const uint64_t want = master.order_timestamp;
+        SpinWait waiter;
+        const auto deadline =
+            std::chrono::steady_clock::now() + shared_->options->rendezvous_timeout;
+        while (clock.load(std::memory_order_acquire) != want) {
+          if (shared_->reporter->tripped()) {
+            throw VariantKilled{};
+          }
+          if (std::chrono::steady_clock::now() > deadline) {
+            std::ostringstream detail;
+            detail << "thread " << tid_ << ": ordering clock stall in variant " << variant
+                   << " (at " << clock.load() << ", want " << want << ") for "
+                   << request.ToString();
+            shared_->reporter->Report(StatusCode::kTimeout, detail.str());
+            throw VariantKilled{};
+          }
+          waiter.Pause();
+        }
+        const int64_t retval = shared_->kernel->Execute(process, request).retval;
+        clock.store(want + 1, std::memory_order_release);
+        return retval;
+      }
+      return shared_->kernel->Execute(process, request).retval;
+    }
+
+    case SyscallClass::kLocal:
+      return shared_->kernel->Execute(process, request).retval;
+
+    case SyscallClass::kControl:
+      switch (request.sysno) {
+        case Sysno::kMveeSelfAware:
+          return variant;
+        case Sysno::kClone:
+          return control_retval_;
+        default:
+          return 0;
+      }
+  }
+  return -1;
+}
+
+int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& request,
+                                          std::vector<int32_t>* delivered_signals) {
+  const SyscallClass klass = ClassOf(request.sysno);
+  DivergenceReporter* reporter = shared_->reporter;
+  if (reporter->tripped()) {
+    throw VariantKilled{};
+  }
+
+  if (variant == 0) {
+    // Leader: execute immediately, deposit the record, never wait for the
+    // followers (except for ring backpressure).
+    if (request.sysno == Sysno::kClone) {
+      control_retval_ = shared_->next_tid.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> counters_lock(shared_->counters_mutex);
+      shared_->counters.Count(klass);
+    }
+    auto record = std::make_shared<LooseRecord>();
+    record->sysno = request.sysno;
+    record->digest = request.ComparableDigest();
+    record->control_retval = control_retval_;
+    // The leader's delivery point becomes everyone's: followers replay the
+    // handler at the same record index.
+    RouteSignals(request, &record->signals);
+    if (delivered_signals != nullptr) {
+      *delivered_signals = record->signals;
+    }
+    record->result = ExecuteMaster(request, klass);
+    const int64_t retval =
+        klass == SyscallClass::kControl ? record->control_retval : record->result.retval;
+    SpinWait waiter;
+    while (!loose_ring_->TryPush(record)) {
+      if (reporter->tripped()) {
+        throw VariantKilled{};
+      }
+      waiter.Pause();
+    }
+    if (request.sysno == Sysno::kMveeSelfAware) {
+      return 0;
+    }
+    return retval;
+  }
+
+  // Follower: consume the leader's next record for this thread set and
+  // verify it matches this variant's call — asynchronously, possibly long
+  // after the leader performed it.
+  const size_t consumer = variant - 1;
+  std::shared_ptr<LooseRecord> record;
+  SpinWait waiter;
+  const auto deadline = std::chrono::steady_clock::now() + shared_->options->rendezvous_timeout;
+  while (!loose_ring_->Peek(consumer, 0, &record)) {
+    if (reporter->tripped()) {
+      throw VariantKilled{};
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      reporter->Report(StatusCode::kTimeout,
+                       "thread " + std::to_string(tid_) +
+                           ": loose follower starved waiting for leader record");
+      throw VariantKilled{};
+    }
+    waiter.Pause();
+  }
+  loose_ring_->Advance(consumer);
+  if (delivered_signals != nullptr) {
+    *delivered_signals = record->signals;
+  }
+
+  if (record->sysno != request.sysno) {
+    reporter->Report(StatusCode::kDivergence,
+                     "thread " + std::to_string(tid_) + ": loose-mode syscall mismatch: leader " +
+                         SysnoName(record->sysno) + " vs follower " + request.ToString());
+    throw VariantKilled{};
+  }
+  if (MustCompare(request) && record->digest != request.ComparableDigest()) {
+    reporter->Report(StatusCode::kDivergence,
+                     "thread " + std::to_string(tid_) +
+                         ": loose-mode argument mismatch on " + request.ToString());
+    throw VariantKilled{};
+  }
+  if (klass == SyscallClass::kControl) {
+    // Handle control calls from the record directly: control_retval_ is
+    // leader-thread state and must not be written concurrently.
+    switch (request.sysno) {
+      case Sysno::kMveeSelfAware:
+        return variant;
+      case Sysno::kClone:
+        return record->control_retval;
+      default:
+        return 0;
+    }
+  }
+  return ExecuteSlave(variant, request, klass, record->result);
+}
+
+int64_t ThreadSetMonitor::RunSyscall(uint32_t variant, SyscallRequest& request,
+                                     std::vector<int32_t>* delivered_signals) {
+  if (shared_->options->sync_model == SyncModel::kLoose) {
+    return RunSyscallLoose(variant, request, delivered_signals);
+  }
+  const SyscallClass klass = ClassOf(request.sysno);
+  const uint32_t n = shared_->options->num_variants;
+  const auto timeout = shared_->options->rendezvous_timeout;
+  DivergenceReporter* reporter = shared_->reporter;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+
+  // Wait for the previous round to fully drain.
+  if (!cv_.wait_for(lock, timeout,
+                    [&] { return phase_ == Phase::kGather || reporter->tripped(); })) {
+    lock.unlock();
+    reporter->Report(StatusCode::kTimeout,
+                     "thread " + std::to_string(tid_) + ": previous round never drained");
+    throw VariantKilled{};
+  }
+  if (reporter->tripped()) {
+    throw VariantKilled{};
+  }
+
+  requests_[variant] = &request;
+  digests_[variant] = request.ComparableDigest();
+  ++arrived_;
+
+  if (arrived_ == n) {
+    // Last arriver: compare in lockstep (§2). Divergence kills the MVEE.
+    const std::string mismatch = CompareRound();
+    if (!mismatch.empty()) {
+      lock.unlock();
+      reporter->Report(StatusCode::kDivergence, mismatch);
+      throw VariantKilled{};
+    }
+    // Control-call preprocessing shared by all variants.
+    if (requests_[0]->sysno == Sysno::kClone) {
+      control_retval_ = shared_->next_tid.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Route signals exactly once per round: a kill enqueues for its target,
+    // and anything pending for THIS thread set is latched so every variant
+    // delivers at this same syscall boundary.
+    RouteSignals(*requests_[0], &round_signals_);
+    {
+      std::lock_guard<std::mutex> counters_lock(shared_->counters_mutex);
+      shared_->counters.Count(klass);
+    }
+    phase_ = Phase::kExecute;
+    cv_.notify_all();
+  } else {
+    // Lockstep: no variant proceeds until all variants made an equivalent
+    // call (§2). A sibling that never arrives (e.g. divergence through an
+    // uninstrumented sync op changed its control flow) trips the timeout.
+    if (!cv_.wait_for(lock, timeout,
+                      [&] { return phase_ == Phase::kExecute || reporter->tripped(); })) {
+      std::ostringstream detail;
+      detail << "thread " << tid_ << ": lockstep rendezvous timeout at " << request.ToString()
+             << " (variant " << variant << ", " << arrived_ << "/" << n << " arrived)";
+      lock.unlock();
+      reporter->Report(StatusCode::kTimeout, detail.str());
+      throw VariantKilled{};
+    }
+    if (reporter->tripped()) {
+      throw VariantKilled{};
+    }
+  }
+
+  int64_t retval = 0;
+  if (variant == 0) {
+    lock.unlock();
+    SyscallResult result = ExecuteMaster(request, klass);
+    lock.lock();
+    master_result_ = std::move(result);
+    master_done_ = true;
+    retval = master_result_.retval;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return master_done_ || reporter->tripped(); });
+    if (reporter->tripped()) {
+      throw VariantKilled{};
+    }
+    // Copy the round's master result so the slave can leave the lock; the
+    // round state may be reset by the time the slave finishes.
+    const SyscallResult master_copy = master_result_;
+    lock.unlock();
+    retval = ExecuteSlave(variant, request, klass, master_copy);
+    lock.lock();
+  }
+
+  // Copy this round's latched signals before the round state resets; the
+  // caller delivers them once the rendezvous is fully unwound.
+  if (delivered_signals != nullptr) {
+    *delivered_signals = round_signals_;
+  }
+
+  ++drained_;
+  if (drained_ == n) {
+    arrived_ = 0;
+    drained_ = 0;
+    master_done_ = false;
+    master_result_ = SyscallResult{};
+    round_signals_.clear();
+    std::fill(requests_.begin(), requests_.end(), nullptr);
+    phase_ = Phase::kGather;
+    cv_.notify_all();
+  }
+  return retval;
+}
+
+}  // namespace mvee

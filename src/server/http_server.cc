@@ -1,0 +1,249 @@
+#include "mvee/server/http_server.h"
+
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "mvee/sync/primitives.h"
+#include "mvee/util/hash.h"
+#include "mvee/vkernel/vfs.h"
+
+namespace mvee {
+
+void NgxSpinlock::Lock() {
+  if (instrumented_) {
+    for (;;) {
+      int32_t expected = 0;
+      if (instrumented_state_.CompareExchange(expected, 1)) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+  // Stock build: raw compiler atomics, invisible to the sync agent — the
+  // §5.5 failure mode.
+  for (;;) {
+    int32_t expected = 0;
+    if (raw_state_.compare_exchange_strong(expected, 1, std::memory_order_acquire)) {
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void NgxSpinlock::Unlock() {
+  if (instrumented_) {
+    instrumented_state_.Store(0);
+    return;
+  }
+  raw_state_.store(0, std::memory_order_release);
+}
+
+std::string ServerSecret() { return "SECRET{worker-key-0xdeadbeef-cafebabe}"; }
+
+uint64_t LayoutToken(uint64_t map_base) { return SplitMix64(map_base ^ 0x5eC2e7ULL); }
+
+namespace {
+
+// Connection-fd queue between the dispatcher and the pool. Uses the
+// instrumented (pthread-equivalent) primitives — these were never the
+// problem in §5.5.
+class ConnQueue {
+ public:
+  void Push(int64_t fd) {
+    LockGuard<Mutex> guard(mutex_);
+    queue_.push_back(fd);
+    available_.Signal();
+  }
+
+  // Returns -1 on shutdown (poison pill).
+  int64_t Pop() {
+    mutex_.Lock();
+    while (queue_.empty()) {
+      available_.Wait(mutex_);
+    }
+    const int64_t fd = queue_.front();
+    queue_.pop_front();
+    mutex_.Unlock();
+    return fd;
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar available_;
+  std::deque<int64_t> queue_;
+};
+
+struct ServerState {
+  explicit ServerState(const ServerConfig& config)
+      : stats_lock(config.instrument_custom_sync) {}
+
+  ConnQueue connections;
+  NgxSpinlock stats_lock;
+  ServerStats stats;
+};
+
+// Reads one HTTP/1.0 request (until "\r\n\r\n" or connection close).
+std::string ReadRequest(VariantEnv& env, int64_t fd) {
+  std::string request;
+  uint8_t buffer[512];
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    const int64_t n = env.Recv(fd, buffer);
+    if (n <= 0) {
+      break;
+    }
+    request.append(reinterpret_cast<const char*>(buffer), static_cast<size_t>(n));
+    if (request.size() > 65536) {
+      break;
+    }
+  }
+  return request;
+}
+
+std::string RequestPath(const std::string& request) {
+  // "GET /path HTTP/1.0"
+  const size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) {
+    return "/";
+  }
+  const size_t path_end = request.find(' ', method_end + 1);
+  if (path_end == std::string::npos) {
+    return "/";
+  }
+  return request.substr(method_end + 1, path_end - method_end - 1);
+}
+
+std::string MakeResponse(const std::string& body, uint64_t request_id) {
+  std::string response = "HTTP/1.0 200 OK\r\nContent-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\nX-Request-Id: " + std::to_string(request_id) + "\r\n\r\n";
+  response += body;
+  return response;
+}
+
+// The CVE-2013-2028 stand-in. A request "/vuln" carries a binary payload
+// after the headers:
+//   [64 filler bytes][8-byte layout token]
+// The "stack buffer" is 64 bytes; the token overflows into the response
+// selector. A selector matching this variant's own layout token redirects
+// the response to the secret (a successful hijack); any other value yields
+// a corrupted-but-benign response. An attacker can only tailor the token to
+// ONE variant's layout — the others produce different bytes and the MVEE's
+// send() comparison catches it (§5.5).
+std::string HandleVuln(VariantEnv& env, const std::string& request,
+                       const std::string& static_page) {
+  const size_t body_start = request.find("\r\n\r\n");
+  std::string payload =
+      body_start == std::string::npos ? "" : request.substr(body_start + 4);
+
+  char stack_buffer[64];
+  uint64_t response_selector = 0;  // "Adjacent" to the buffer on the stack.
+  // The bug: memcpy without a length check.
+  const size_t n = payload.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i < sizeof(stack_buffer)) {
+      stack_buffer[i] = payload[i];
+    } else if (i - sizeof(stack_buffer) < sizeof(response_selector)) {
+      // Overflow: bytes land in the selector (simulated adjacency).
+      reinterpret_cast<char*>(&response_selector)[i - sizeof(stack_buffer)] = payload[i];
+    }
+  }
+  (void)stack_buffer;
+
+  if (response_selector == LayoutToken(env.diversity().map_base())) {
+    return ServerSecret();  // Control-flow hijack succeeded in this variant.
+  }
+  if (response_selector != 0) {
+    return "corrupted:" + std::to_string(response_selector & 0xffff);
+  }
+  return static_page;
+}
+
+void Worker(std::shared_ptr<ServerState> state, const ServerConfig& config,
+            std::string static_page, VariantEnv& env) {
+  for (;;) {
+    const int64_t fd = state->connections.Pop();
+    if (fd < 0) {
+      break;  // Poison pill.
+    }
+    const std::string request = ReadRequest(env, fd);
+    const std::string path = RequestPath(request);
+
+    std::string body;
+    bool vuln_hit = false;
+    if (config.enable_vulnerability && path.rfind("/vuln", 0) == 0) {
+      body = HandleVuln(env, request, static_page);
+      vuln_hit = true;
+    } else {
+      body = static_page;
+    }
+
+    // Custom-primitive critical section: the request id lands in the
+    // response header, so a cross-variant mismatch is externally visible.
+    // The yield inside mirrors nginx doing real work under its locks and
+    // widens the race window that uninstrumented builds lose on.
+    state->stats_lock.Lock();
+    const uint64_t request_id = ++state->stats.requests_served;
+    std::this_thread::yield();
+    state->stats.bytes_sent += body.size();
+    if (vuln_hit) {
+      ++state->stats.vuln_hits;
+    }
+    state->stats_lock.Unlock();
+
+    env.Send(fd, MakeResponse(body, request_id));
+    env.Close(fd);
+  }
+}
+
+}  // namespace
+
+Program MakeServerProgram(const ServerConfig& config) {
+  return [config](VariantEnv& env) {
+    const std::string static_page(config.page_bytes, 'x');
+    auto state = std::make_shared<ServerState>(config);
+
+    const int64_t listen_fd = env.Socket();
+    env.Bind(listen_fd, config.port);
+    if (env.Listen(listen_fd, 128) != 0) {
+      return;  // Port in use (another variant run left it open).
+    }
+
+    std::vector<ThreadHandle> pool;
+    for (uint32_t t = 0; t < config.pool_threads; ++t) {
+      pool.push_back(env.Spawn([state, config, static_page](VariantEnv& wenv) {
+        Worker(state, config, static_page, wenv);
+      }));
+    }
+
+    // Dispatcher: accept the configured number of connections, then drain.
+    for (uint32_t c = 0; c < config.connection_budget; ++c) {
+      const int64_t conn_fd = env.Accept(listen_fd);
+      if (conn_fd < 0) {
+        break;
+      }
+      state->connections.Push(conn_fd);
+    }
+    for (uint32_t t = 0; t < config.pool_threads; ++t) {
+      state->connections.Push(-1);
+    }
+    for (auto handle : pool) {
+      env.Join(handle);
+    }
+    env.Shutdown(listen_fd);
+    env.Close(listen_fd);
+
+    // Final stats: lockstep-compared across variants, so any divergence in
+    // the served-request accounting is caught here at the latest.
+    const std::string stats_line = "requests=" + std::to_string(state->stats.requests_served) +
+                                   " bytes=" + std::to_string(state->stats.bytes_sent) +
+                                   " vuln=" + std::to_string(state->stats.vuln_hits) + "\n";
+    const int64_t fd = env.Open("result/http_stats",
+                                VOpenFlags::kWrite | VOpenFlags::kCreate | VOpenFlags::kTruncate);
+    env.Write(fd, stats_line);
+    env.Close(fd);
+  };
+}
+
+}  // namespace mvee

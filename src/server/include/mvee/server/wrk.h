@@ -1,0 +1,51 @@
+// wrk-style load generator and attack client (paper §5.5).
+//
+// Clients are *outside* the MVEE — they model the separate client machine of
+// the paper's evaluation — so they talk to the virtual network directly
+// rather than through a monitored variant.
+
+#ifndef MVEE_SERVER_WRK_H_
+#define MVEE_SERVER_WRK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mvee/vkernel/vkernel.h"
+
+namespace mvee {
+
+struct WrkOptions {
+  uint16_t port = 8080;
+  uint32_t connections = 10;        // Parallel client threads (paper: 10).
+  uint32_t requests_per_conn = 10;  // Sequential requests per thread.
+  std::string path = "/index.html";
+};
+
+struct WrkResult {
+  uint64_t requests_attempted = 0;
+  uint64_t responses_ok = 0;
+  uint64_t bytes_received = 0;
+  double seconds = 0.0;
+
+  double RequestsPerSecond() const {
+    return seconds > 0 ? static_cast<double>(responses_ok) / seconds : 0.0;
+  }
+};
+
+// Generates load against the server listening on `options.port` inside
+// `kernel`'s virtual network. Blocks until all requests completed or failed.
+WrkResult RunWrk(VirtualKernel& kernel, const WrkOptions& options);
+
+struct AttackResult {
+  bool connected = false;
+  bool secret_leaked = false;   // The hijack produced the secret.
+  std::string response_body;
+};
+
+// Sends one CVE-2013-2028-style exploit tailored to a victim with mapping
+// base `victim_map_base` (an attacker who leaked the master's layout).
+AttackResult RunAttack(VirtualKernel& kernel, uint16_t port, uint64_t victim_map_base);
+
+}  // namespace mvee
+
+#endif  // MVEE_SERVER_WRK_H_

@@ -1,0 +1,93 @@
+#include "mvee/server/wrk.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mvee/server/http_server.h"
+
+namespace mvee {
+
+namespace {
+
+// One HTTP/1.0 exchange over the virtual network. Returns the response or
+// empty on failure.
+std::string DoRequest(VirtualKernel& kernel, uint16_t port, const std::string& request) {
+  auto conn = kernel.network().Connect(port);
+  if (conn == nullptr) {
+    return "";
+  }
+  if (conn->ClientWrite(reinterpret_cast<const uint8_t*>(request.data()), request.size()) < 0) {
+    conn->CloseClientSide();
+    return "";
+  }
+  std::string response;
+  uint8_t buffer[1024];
+  for (;;) {
+    const int64_t n = conn->ClientRead(buffer, sizeof(buffer));
+    if (n <= 0) {
+      break;
+    }
+    response.append(reinterpret_cast<const char*>(buffer), static_cast<size_t>(n));
+  }
+  conn->CloseClientSide();
+  return response;
+}
+
+}  // namespace
+
+WrkResult RunWrk(VirtualKernel& kernel, const WrkOptions& options) {
+  WrkResult result;
+  result.requests_attempted =
+      static_cast<uint64_t>(options.connections) * options.requests_per_conn;
+
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> bytes{0};
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> clients;
+  for (uint32_t c = 0; c < options.connections; ++c) {
+    clients.emplace_back([&, c] {
+      (void)c;
+      const std::string request = "GET " + options.path + " HTTP/1.0\r\n\r\n";
+      for (uint32_t r = 0; r < options.requests_per_conn; ++r) {
+        const std::string response = DoRequest(kernel, options.port, request);
+        if (response.rfind("HTTP/1.0 200", 0) == 0) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          bytes.fetch_add(response.size(), std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  result.responses_ok = ok.load();
+  result.bytes_received = bytes.load();
+  result.seconds = std::chrono::duration_cast<std::chrono::duration<double>>(end - start).count();
+  return result;
+}
+
+AttackResult RunAttack(VirtualKernel& kernel, uint16_t port, uint64_t victim_map_base) {
+  AttackResult result;
+  // Exploit layout: 64 filler bytes overflowing into the 8-byte selector.
+  std::string payload(64, 'A');
+  const uint64_t token = LayoutToken(victim_map_base);
+  payload.append(reinterpret_cast<const char*>(&token), sizeof(token));
+
+  std::string request = "GET /vuln HTTP/1.0\r\nContent-Length: " +
+                        std::to_string(payload.size()) + "\r\n\r\n" + payload;
+  const std::string response = DoRequest(kernel, port, request);
+  result.connected = !response.empty();
+  const size_t body_start = response.find("\r\n\r\n");
+  if (body_start != std::string::npos) {
+    result.response_body = response.substr(body_start + 4);
+  }
+  result.secret_leaked = result.response_body.find(ServerSecret()) != std::string::npos;
+  return result;
+}
+
+}  // namespace mvee

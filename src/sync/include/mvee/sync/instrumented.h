@@ -1,0 +1,105 @@
+// Instrumented atomic accesses.
+//
+// In the paper, a compiler pass wraps every instruction that accesses a sync
+// variable in before_sync_op / after_sync_op calls (Listing 3). In this repo
+// the "instrumented binary" is expressed directly: InstrumentedAtomic<T> is
+// an atomic whose every access performs the wrapped sequence
+//
+//     before_sync_op(&v);  <atomic op>  after_sync_op(&v);
+//
+// against the agent installed in the current thread's SyncContext. Native
+// runs (no context) hit the NullAgent: two non-virtual-inlineable calls that
+// do nothing — the run-time analogue of the paper's weak-symbol no-op
+// fallback (§4.4).
+
+#ifndef MVEE_SYNC_INSTRUMENTED_H_
+#define MVEE_SYNC_INSTRUMENTED_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "mvee/agents/context.h"
+
+namespace mvee {
+
+template <typename T>
+class InstrumentedAtomic {
+ public:
+  constexpr InstrumentedAtomic() : value_(T{}) {}
+  constexpr explicit InstrumentedAtomic(T initial) : value_(initial) {}
+
+  InstrumentedAtomic(const InstrumentedAtomic&) = delete;
+  InstrumentedAtomic& operator=(const InstrumentedAtomic&) = delete;
+
+  // Type (iii) sync op: aligned load.
+  T Load() const {
+    SyncContext* ctx = SyncContext::Current();
+    ctx->agent->BeforeSyncOp(ctx->tid, &value_);
+    const T result = value_.load(std::memory_order_acquire);
+    ctx->agent->AfterSyncOp(ctx->tid, &value_);
+    return result;
+  }
+
+  // Type (iii) sync op: aligned store.
+  void Store(T desired) {
+    SyncContext* ctx = SyncContext::Current();
+    ctx->agent->BeforeSyncOp(ctx->tid, &value_);
+    value_.store(desired, std::memory_order_release);
+    ctx->agent->AfterSyncOp(ctx->tid, &value_);
+  }
+
+  // Type (ii) sync op: XCHG.
+  T Exchange(T desired) {
+    SyncContext* ctx = SyncContext::Current();
+    ctx->agent->BeforeSyncOp(ctx->tid, &value_);
+    const T result = value_.exchange(desired, std::memory_order_acq_rel);
+    ctx->agent->AfterSyncOp(ctx->tid, &value_);
+    return result;
+  }
+
+  // Type (i) sync op: LOCK CMPXCHG.
+  bool CompareExchange(T& expected, T desired) {
+    SyncContext* ctx = SyncContext::Current();
+    ctx->agent->BeforeSyncOp(ctx->tid, &value_);
+    const bool result =
+        value_.compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+    ctx->agent->AfterSyncOp(ctx->tid, &value_);
+    return result;
+  }
+
+  // Type (i) sync op: LOCK XADD.
+  T FetchAdd(T delta) {
+    SyncContext* ctx = SyncContext::Current();
+    ctx->agent->BeforeSyncOp(ctx->tid, &value_);
+    const T result = value_.fetch_add(delta, std::memory_order_acq_rel);
+    ctx->agent->AfterSyncOp(ctx->tid, &value_);
+    return result;
+  }
+
+  T FetchSub(T delta) {
+    SyncContext* ctx = SyncContext::Current();
+    ctx->agent->BeforeSyncOp(ctx->tid, &value_);
+    const T result = value_.fetch_sub(delta, std::memory_order_acq_rel);
+    ctx->agent->AfterSyncOp(ctx->tid, &value_);
+    return result;
+  }
+
+  T FetchOr(T bits) {
+    SyncContext* ctx = SyncContext::Current();
+    ctx->agent->BeforeSyncOp(ctx->tid, &value_);
+    const T result = value_.fetch_or(bits, std::memory_order_acq_rel);
+    ctx->agent->AfterSyncOp(ctx->tid, &value_);
+    return result;
+  }
+
+  // Raw access for the futex hook (kernel-side recheck; not a variant-code
+  // sync op, so deliberately uninstrumented).
+  const std::atomic<T>* raw() const { return &value_; }
+
+ private:
+  std::atomic<T> value_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_SYNC_INSTRUMENTED_H_

@@ -1,0 +1,217 @@
+#include "mvee/sync/primitives.h"
+
+#include <thread>
+
+#include "mvee/util/spin.h"
+
+namespace mvee {
+
+namespace {
+
+// Sleeps through the context's futex hook if present, else yields. `word`
+// is the raw atomic behind an InstrumentedAtomic (the kernel recheck is not
+// a variant sync op).
+void FutexSleep(const std::atomic<int32_t>* word, int32_t expected) {
+  SyncContext* ctx = SyncContext::Current();
+  if (ctx->futex != nullptr) {
+    ctx->futex->FutexWait(word, expected);
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+void FutexNotify(const std::atomic<int32_t>* word, int32_t count) {
+  SyncContext* ctx = SyncContext::Current();
+  if (ctx->futex != nullptr) {
+    ctx->futex->FutexWake(word, count);
+  }
+}
+
+}  // namespace
+
+void SpinLock::Lock() {
+  for (;;) {
+    int32_t expected = 0;
+    if (state_.CompareExchange(expected, 1)) {
+      return;
+    }
+    std::this_thread::yield();  // Listing 1's sched_yield().
+  }
+}
+
+bool SpinLock::TryLock() {
+  int32_t expected = 0;
+  return state_.CompareExchange(expected, 1);
+}
+
+void SpinLock::Unlock() {
+  state_.Store(0);  // Listing 1's plain store — a type (iii) sync op.
+}
+
+void TicketLock::Lock() {
+  const int32_t ticket = next_ticket_.FetchAdd(1);
+  SpinWait waiter;
+  while (now_serving_.Load() != ticket) {
+    waiter.Pause();
+  }
+}
+
+void TicketLock::Unlock() { now_serving_.FetchAdd(1); }
+
+void Mutex::Lock() {
+  int32_t expected = 0;
+  if (state_.CompareExchange(expected, 1)) {
+    return;  // Uncontended fast path: no syscall, like glibc.
+  }
+  // Contended: advertise a waiter and sleep.
+  for (;;) {
+    const int32_t current = state_.Exchange(2);
+    if (current == 0) {
+      return;  // Acquired (and conservatively marked contended).
+    }
+    FutexSleep(state_.raw(), 2);
+  }
+}
+
+bool Mutex::TryLock() {
+  int32_t expected = 0;
+  return state_.CompareExchange(expected, 1);
+}
+
+void Mutex::Unlock() {
+  const int32_t previous = state_.Exchange(0);
+  if (previous == 2) {
+    FutexNotify(state_.raw(), 1);
+  }
+}
+
+void CondVar::Wait(Mutex& mutex) {
+  const int32_t observed_seq = seq_.Load();
+  mutex.Unlock();
+  FutexSleep(seq_.raw(), observed_seq);
+  mutex.Lock();
+}
+
+void CondVar::Signal() {
+  seq_.FetchAdd(1);
+  FutexNotify(seq_.raw(), 1);
+}
+
+void CondVar::Broadcast() {
+  seq_.FetchAdd(1);
+  FutexNotify(seq_.raw(), 1 << 30);
+}
+
+bool Barrier::Arrive() {
+  const int32_t my_phase = phase_.Load();
+  const int32_t position = arrived_.FetchAdd(1);
+  if (position + 1 == participants_) {
+    // Last arriver: reset and release the phase.
+    arrived_.Store(0);
+    phase_.FetchAdd(1);
+    FutexNotify(phase_.raw(), 1 << 30);
+    return true;
+  }
+  SpinWait waiter;
+  while (phase_.Load() == my_phase) {
+    FutexSleep(phase_.raw(), my_phase);
+    waiter.Pause();
+  }
+  return false;
+}
+
+void Semaphore::Acquire() {
+  for (;;) {
+    int32_t current = count_.Load();
+    while (current > 0) {
+      if (count_.CompareExchange(current, current - 1)) {
+        return;
+      }
+      // CompareExchange updated `current`; retry if still positive.
+    }
+    FutexSleep(count_.raw(), 0);
+  }
+}
+
+bool Semaphore::TryAcquire() {
+  int32_t current = count_.Load();
+  while (current > 0) {
+    if (count_.CompareExchange(current, current - 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Semaphore::Release() {
+  count_.FetchAdd(1);
+  FutexNotify(count_.raw(), 1);
+}
+
+void RwLock::ReadLock() {
+  SpinWait waiter;
+  for (;;) {
+    if (writers_waiting_.Load() == 0) {
+      const int32_t current = state_.FetchAdd(1);
+      if (current >= 0) {
+        return;
+      }
+      state_.FetchSub(1);  // Writer holds it; back off.
+    }
+    waiter.Pause();
+  }
+}
+
+void RwLock::ReadUnlock() { state_.FetchSub(1); }
+
+void RwLock::WriteLock() {
+  writers_waiting_.FetchAdd(1);
+  SpinWait waiter;
+  for (;;) {
+    int32_t expected = 0;
+    if (state_.CompareExchange(expected, -1)) {
+      writers_waiting_.FetchSub(1);
+      return;
+    }
+    waiter.Pause();
+  }
+}
+
+void RwLock::WriteUnlock() { state_.Store(0); }
+
+bool OnceFlag::Begin() {
+  int32_t expected = 0;
+  if (state_.CompareExchange(expected, 1)) {
+    return true;
+  }
+  SpinWait waiter;
+  while (state_.Load() != 2) {
+    waiter.Pause();
+  }
+  return false;
+}
+
+void OnceFlag::Done() {
+  state_.Store(2);
+  FutexNotify(state_.raw(), 1 << 30);
+}
+
+void WaitGroup::Done() {
+  if (outstanding_.FetchSub(1) == 1) {
+    FutexNotify(outstanding_.raw(), 1 << 30);
+  }
+}
+
+void WaitGroup::Wait() {
+  SpinWait waiter;
+  for (;;) {
+    const int32_t current = outstanding_.Load();
+    if (current == 0) {
+      return;
+    }
+    FutexSleep(outstanding_.raw(), current);
+    waiter.Pause();
+  }
+}
+
+}  // namespace mvee

@@ -1,0 +1,130 @@
+// Syscall request/result records.
+//
+// A variant thread that performs a virtual system call builds a
+// SyscallRequest and traps into the monitor. The monitor compares the
+// *comparable view* of equivalent requests across variants (paper §2: "use a
+// monitor to compare the variants' behavior at the level of system calls").
+//
+// The comparable view must be layout-diversity-agnostic: raw pointers differ
+// across variants under ASLR, so buffer arguments are compared by content
+// digest + length, and in-variant addresses are compared after normalization
+// to logical (base-relative) form by the variant runtime.
+
+#ifndef MVEE_SYSCALL_RECORD_H_
+#define MVEE_SYSCALL_RECORD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mvee/syscall/sysno.h"
+#include "mvee/util/hash.h"
+
+namespace mvee {
+
+// Operational arguments for every virtual syscall. A plain struct (not a
+// variant type) keeps trap-site code simple; unused fields stay default.
+struct SyscallRequest {
+  Sysno sysno = Sysno::kExit;
+
+  // Scalar arguments (fds, flags, sizes, ports, futex ops...).
+  int64_t arg0 = 0;
+  int64_t arg1 = 0;
+  int64_t arg2 = 0;
+  int64_t arg3 = 0;
+
+  // Path-like argument (open/stat/unlink).
+  std::string path;
+
+  // Input data (write/send/pwrite): owned by the caller for the duration of
+  // the call.
+  std::span<const uint8_t> in_data;
+
+  // Output buffer (read/recv/pread): filled by the kernel (master) or from
+  // the replication buffer (slaves).
+  std::span<uint8_t> out_data;
+
+  // Normalized (diversity-agnostic) address token for memory calls. The
+  // variant runtime translates its diversified virtual address to this
+  // logical form before trapping.
+  uint64_t logical_addr = 0;
+
+  // Raw in-variant address (munmap/mprotect target). Differs across variants
+  // under ASLR, so it is *excluded* from the comparable digest; the monitor
+  // compares logical_addr instead.
+  uint64_t local_addr = 0;
+
+  // Futex word the kernel re-checks under the bucket lock (sys_futex WAIT).
+  // Master-variant memory; never dereferenced for slaves. Not compared.
+  const std::atomic<int32_t>* futex_word = nullptr;
+
+  // Computes the digest the monitor compares across variants. Excludes raw
+  // pointers; includes sysno, scalars, path, logical_addr, and a content
+  // digest of in_data.
+  uint64_t ComparableDigest() const {
+    FnvDigest digest;
+    digest.UpdateValue(sysno);
+    digest.UpdateValue(arg0);
+    digest.UpdateValue(arg1);
+    digest.UpdateValue(arg2);
+    digest.UpdateValue(arg3);
+    digest.Update(path.data(), path.size());
+    digest.UpdateValue(logical_addr);
+    digest.UpdateValue(static_cast<uint64_t>(in_data.size()));
+    if (!in_data.empty()) {
+      digest.Update(in_data.data(), in_data.size());
+    }
+    return digest.Finish();
+  }
+
+  // Human-readable one-liner for divergence reports.
+  std::string ToString() const;
+};
+
+// Result of a virtual syscall. retval follows the Linux convention: >= 0 on
+// success, negative errno on failure.
+struct SyscallResult {
+  int64_t retval = 0;
+  // For replicated calls: bytes produced into the caller's out buffer. The
+  // monitor copies these to each slave's out buffer.
+  std::vector<uint8_t> out_bytes;
+  // Timestamp from the master monitor's syscall-ordering clock (kOrdered
+  // calls only); slaves spin until their private clock matches (§4.1).
+  uint64_t order_timestamp = 0;
+
+  bool ok() const { return retval >= 0; }
+};
+
+// Counters kept by the monitor per thread-set; Table 2 of the paper reports
+// syscall and sync-op rates per benchmark.
+struct SyscallCounters {
+  uint64_t total = 0;
+  uint64_t replicated = 0;
+  uint64_t ordered = 0;
+  uint64_t local = 0;
+  uint64_t control = 0;
+
+  void Count(SyscallClass klass) {
+    ++total;
+    switch (klass) {
+      case SyscallClass::kReplicated:
+        ++replicated;
+        break;
+      case SyscallClass::kOrdered:
+        ++ordered;
+        break;
+      case SyscallClass::kLocal:
+        ++local;
+        break;
+      case SyscallClass::kControl:
+        ++control;
+        break;
+    }
+  }
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_SYSCALL_RECORD_H_

@@ -1,0 +1,129 @@
+// Virtual system call numbers and their monitor-relevant classification.
+//
+// The vkernel exposes a Linux-flavoured syscall surface. Each call belongs to
+// one replication class that tells the monitor how to handle it (paper §2,
+// §4.1):
+//
+//  - kReplicated  ("I/O class"): executed by the master variant only; the
+//    return value and any output data are copied to the slaves. Includes all
+//    blocking calls — the paper treats those as I/O because the syscall
+//    ordering mechanism wraps calls in critical sections and therefore cannot
+//    order calls that may never return (§4.1 Limitations). sys_futex is
+//    explicitly called out as the one blocking non-I/O call handled this way.
+//  - kOrdered     (shared-resource class): executed by every variant against
+//    its own kernel state, but cross-thread ordering within each variant is
+//    enforced with the syscall ordering clock so that e.g. file descriptor
+//    numbers come out identical in all variants (§3.1's sys_open example).
+//  - kLocal       (benign class): executed by every variant locally with no
+//    ordering requirement (getpid, sched_yield, ...). Still compared in
+//    lockstep under the strictest monitoring policy.
+//  - kControl     (MVEE control): exit handling and the "self-awareness"
+//    pseudo-call the paper adds so agents learn their master/slave role
+//    without a kernel patch (§4.5).
+
+#ifndef MVEE_SYSCALL_SYSNO_H_
+#define MVEE_SYSCALL_SYSNO_H_
+
+#include <cstdint>
+
+namespace mvee {
+
+enum class Sysno : uint16_t {
+  // File I/O.
+  kOpen = 0,
+  kClose,
+  kRead,
+  kWrite,
+  kPread,
+  kPwrite,
+  kLseek,
+  kStat,
+  kUnlink,
+  kDup,
+  kFcntl,
+  kPipe,
+  // Memory.
+  kBrk,
+  kMmap,
+  kMunmap,
+  kMprotect,
+  // Threads / scheduling.
+  kFutex,
+  kSchedYield,
+  kGettid,
+  kGetpid,
+  kClone,
+  // Time.
+  kGettimeofday,
+  kClockGettime,
+  kNanosleep,
+  kRdtsc,  // Not a syscall on real x86, but the paper replicates it like one (§5.4).
+  // Sockets.
+  kSocket,
+  kBind,
+  kListen,
+  kAccept,
+  kConnect,
+  kSend,
+  kRecv,
+  kShutdown,
+  kPoll,  // Readiness multiplexing over fds (event-driven servers).
+  // Randomness.
+  kGetrandom,
+  // Process control.
+  kExit,
+  kExitGroup,
+  // Signals: registration and targeted delivery. Real MVEEs must deliver
+  // asynchronous signals at equivalent points in all variants (GHUMVEE-style
+  // monitors defer delivery to a synchronization point); here the delivery
+  // point is the lockstep rendezvous.
+  kSigaction,
+  kKill,
+  // MVEE control (non-existing kernel syscalls; the monitor intercepts them).
+  kMveeSelfAware,
+  kMveeCheckpoint,
+
+  kCount,
+};
+
+// sys_poll event bits (one byte per fd in the request payload).
+struct PollEvents {
+  static constexpr uint8_t kIn = 1;   // Read / accept would not block.
+  static constexpr uint8_t kOut = 2;  // Write would not block.
+  static constexpr uint8_t kHup = 4;  // Output only: stream closed.
+};
+
+// sys_futex operation selector (arg0).
+struct FutexOp {
+  static constexpr int64_t kWait = 0;
+  static constexpr int64_t kWake = 1;
+};
+
+// Replication class, per the table above.
+enum class SyscallClass : uint8_t {
+  kReplicated = 0,
+  kOrdered,
+  kLocal,
+  kControl,
+};
+
+// Security sensitivity. Under the relaxed "security-sensitive only"
+// monitoring policy (§5.1 Correctness), only sensitive calls rendezvous in
+// lockstep; the rest are sanity-checked asynchronously.
+enum class SyscallSensitivity : uint8_t {
+  kSensitive = 0,  // Affects external world or address space: write, mmap, ...
+  kBenign,
+};
+
+// Returns the class of `sysno`.
+SyscallClass ClassOf(Sysno sysno);
+
+// Returns the sensitivity of `sysno`.
+SyscallSensitivity SensitivityOf(Sysno sysno);
+
+// Stable lowercase name, e.g. "sys_open".
+const char* SysnoName(Sysno sysno);
+
+}  // namespace mvee
+
+#endif  // MVEE_SYSCALL_SYSNO_H_

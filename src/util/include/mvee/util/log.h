@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The MVEE monitor logs bootstrap, divergence and shutdown events; agents and
+// the vkernel log only at debug level. Logging is globally rate-unlimited but
+// level-filtered; benches run with the logger silenced.
+
+#ifndef MVEE_UTIL_LOG_H_
+#define MVEE_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace mvee {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Sets / reads the global minimum level. Thread-safe (relaxed atomic).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line ("[level] message") to stderr if enabled.
+void LogLine(LogLevel level, const std::string& message);
+
+// Stream-style helper: MVEE_LOG(kInfo) << "variant " << id << " started";
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace mvee
+
+#define MVEE_LOG(severity) \
+  ::mvee::LogMessage(::mvee::LogLevel::severity, __FILE__, __LINE__)
+
+#endif  // MVEE_UTIL_LOG_H_

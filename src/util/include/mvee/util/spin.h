@@ -1,0 +1,52 @@
+// Spin-wait helper with progressive backoff.
+//
+// Replay agents and the monitor's syscall-ordering clock wait "in a tight
+// loop" (paper §4.1). On the test machines used here (few cores) a pure
+// PAUSE loop would livelock threads that hold the resource being waited for,
+// so SpinWait escalates: PAUSE -> yield -> short sleep.
+
+#ifndef MVEE_UTIL_SPIN_H_
+#define MVEE_UTIL_SPIN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace mvee {
+
+class SpinWait {
+ public:
+  // Issues one wait step and escalates the backoff level.
+  void Pause() {
+    ++spins_;
+    if (spins_ < kSpinLimit) {
+      CpuRelax();
+    } else if (spins_ < kYieldLimit) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  void Reset() { spins_ = 0; }
+
+  uint64_t spins() const { return spins_; }
+
+ private:
+  static constexpr uint64_t kSpinLimit = 64;
+  static constexpr uint64_t kYieldLimit = 4096;
+
+  static void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+  uint64_t spins_ = 0;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_UTIL_SPIN_H_

@@ -1,0 +1,169 @@
+// Single-producer / single-consumer lock-free ring buffer.
+//
+// This is the data structure behind the wall-of-clocks agent's per-thread
+// sync buffers (paper §4.5: "there is one sync buffer per master thread, such
+// that each buffer has only one producer"). The producer is a master-variant
+// thread; each consumer is the corresponding thread of one slave variant.
+//
+// To support N slave variants reading the same stream, the buffer keeps an
+// independent read cursor per consumer; an element is logically retired only
+// when all consumers have passed it, which bounds producer progress to
+// capacity ahead of the slowest consumer.
+
+#ifndef MVEE_UTIL_SPSC_RING_H_
+#define MVEE_UTIL_SPSC_RING_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mvee/util/spin.h"
+
+namespace mvee {
+
+// Fixed-capacity broadcast ring. One producer, up to `kMaxConsumers`
+// registered consumers, each with a private cursor. All memory is allocated
+// up front (agents must not allocate dynamically, paper §3.3).
+template <typename T>
+class BroadcastRing {
+ public:
+  static constexpr size_t kMaxConsumers = 15;
+
+  // `capacity` must be a power of two.
+  explicit BroadcastRing(size_t capacity)
+      : capacity_(capacity), mask_(capacity - 1), slots_(capacity) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    for (auto& cursor : read_cursors_) {
+      cursor.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  BroadcastRing(const BroadcastRing&) = delete;
+  BroadcastRing& operator=(const BroadcastRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Registers a consumer and returns its id. Must happen before production
+  // starts. Not thread-safe (bootstrap-time only).
+  size_t RegisterConsumer() {
+    assert(consumer_count_ < kMaxConsumers);
+    return consumer_count_++;
+  }
+
+  size_t consumer_count() const { return consumer_count_; }
+
+  // Producer side: blocks (spin-waits) until a slot is free, then publishes.
+  // Returns the sequence number of the published element.
+  uint64_t Push(const T& value) {
+    const uint64_t seq = write_cursor_.load(std::memory_order_relaxed);
+    SpinWait waiter;
+    while (seq - MinReadCursor() >= capacity_) {
+      waiter.Pause();
+    }
+    slots_[seq & mask_] = value;
+    write_cursor_.store(seq + 1, std::memory_order_release);
+    return seq;
+  }
+
+  // Producer side, non-blocking. Returns false if the ring is full.
+  bool TryPush(const T& value) {
+    const uint64_t seq = write_cursor_.load(std::memory_order_relaxed);
+    if (seq - MinReadCursor() >= capacity_) {
+      return false;
+    }
+    slots_[seq & mask_] = value;
+    write_cursor_.store(seq + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side: true if an element is available for `consumer`.
+  bool CanPop(size_t consumer) const {
+    const uint64_t read = read_cursors_[consumer].value.load(std::memory_order_relaxed);
+    return read < write_cursor_.load(std::memory_order_acquire);
+  }
+
+  // Consumer side: spin-waits for the next element and returns a copy.
+  T Pop(size_t consumer) {
+    auto& cursor = read_cursors_[consumer].value;
+    const uint64_t read = cursor.load(std::memory_order_relaxed);
+    SpinWait waiter;
+    while (read >= write_cursor_.load(std::memory_order_acquire)) {
+      waiter.Pause();
+    }
+    T value = slots_[read & mask_];
+    cursor.store(read + 1, std::memory_order_release);
+    return value;
+  }
+
+  // Consumer side: peeks at the element `offset` ahead of the cursor without
+  // consuming. Returns false if not yet produced. Used by the partial-order
+  // agent's lookahead window.
+  bool Peek(size_t consumer, uint64_t offset, T* out) const {
+    const uint64_t read = read_cursors_[consumer].value.load(std::memory_order_relaxed);
+    const uint64_t want = read + offset;
+    if (want >= write_cursor_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    *out = slots_[want & mask_];
+    return true;
+  }
+
+  // Consumer side: advances the cursor by one (after a successful Peek(0)).
+  void Advance(size_t consumer) {
+    auto& cursor = read_cursors_[consumer].value;
+    cursor.store(cursor.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  }
+
+  // Reads the element at absolute sequence `seq` if it has been produced.
+  // The caller must guarantee `seq` has not been retired (i.e. seq >= the
+  // minimum consumer cursor); within that window slots are stable.
+  bool TryRead(uint64_t seq, T* out) const {
+    if (seq >= write_cursor_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    *out = slots_[seq & mask_];
+    return true;
+  }
+
+  // Sequence of the next element `consumer` would pop.
+  uint64_t ReadCursor(size_t consumer) const {
+    return read_cursors_[consumer].value.load(std::memory_order_relaxed);
+  }
+
+  // Sequence of the next element the producer will publish.
+  uint64_t WriteCursor() const { return write_cursor_.load(std::memory_order_acquire); }
+
+ private:
+  struct alignas(64) PaddedCursor {
+    std::atomic<uint64_t> value{0};
+  };
+
+  uint64_t MinReadCursor() const {
+    if (consumer_count_ == 0) {
+      // No consumers registered: recording-only mode (e.g. benchmarking the
+      // producer path); retire immediately.
+      return write_cursor_.load(std::memory_order_relaxed);
+    }
+    uint64_t min = UINT64_MAX;
+    for (size_t i = 0; i < consumer_count_; ++i) {
+      const uint64_t cursor = read_cursors_[i].value.load(std::memory_order_acquire);
+      if (cursor < min) {
+        min = cursor;
+      }
+    }
+    return min;
+  }
+
+  const size_t capacity_;
+  const uint64_t mask_;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<uint64_t> write_cursor_{0};
+  PaddedCursor read_cursors_[kMaxConsumers];
+  size_t consumer_count_ = 0;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_UTIL_SPSC_RING_H_

@@ -1,0 +1,54 @@
+// Small statistics helpers for the benchmark harness: running mean/stddev,
+// min/max, percentiles, and geometric means (Table 1 reports aggregated
+// average slowdowns; Figure 5 reports per-benchmark relative overheads).
+
+#ifndef MVEE_UTIL_STATS_H_
+#define MVEE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvee {
+
+// Accumulates samples; summary queries are O(n log n) at most (percentile).
+class SampleStats {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+  double GeoMean() const;
+  // p in [0,100]; nearest-rank on the sorted samples.
+  double Percentile(double p) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Fixed-bucket latency histogram (power-of-two bucket bounds in nanoseconds).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(uint64_t nanos);
+  uint64_t TotalCount() const;
+  // Upper bound (ns) of bucket i.
+  static uint64_t BucketBound(size_t i);
+  // Approximate percentile from bucket counts.
+  uint64_t ApproxPercentile(double p) const;
+  std::string ToString() const;
+
+ private:
+  uint64_t counts_[kBuckets] = {};
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_UTIL_STATS_H_

@@ -1,0 +1,116 @@
+// Status codes and a lightweight Result type used across libmvee.
+//
+// The virtual kernel returns negative errno values the way the Linux syscall
+// ABI does; Status wraps the non-kernel error domain (monitor, agents,
+// analysis) where an errno does not make sense.
+
+#ifndef MVEE_UTIL_STATUS_H_
+#define MVEE_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace mvee {
+
+// Error domain for monitor/agent/analysis code.
+enum class StatusCode : int32_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+  kDivergence,   // MVEE detected behavioural divergence between variants.
+  kTimeout,      // A lockstep rendezvous or replay wait timed out.
+  kUnsupported,  // Feature intentionally unimplemented (see DESIGN.md).
+};
+
+// Returns a stable, human-readable name for `code` ("ok", "divergence", ...).
+constexpr const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kDivergence:
+      return "divergence";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+  }
+  return "unknown";
+}
+
+// A status: code plus optional context message. Cheap to copy when OK.
+class Status {
+ public:
+  Status() = default;
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "divergence: write args mismatch" or just "ok".
+  std::string ToString() const {
+    if (message_.empty()) {
+      return StatusCodeName(code_);
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or a Status. Minimal expected<> stand-in that
+// keeps libmvee free of exceptions on hot paths.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : ok_(true), value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : ok_(false), status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return ok_; }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T value_or(T fallback) const { return ok_ ? value_ : std::move(fallback); }
+
+ private:
+  bool ok_;
+  T value_{};
+  Status status_{};
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_UTIL_STATUS_H_

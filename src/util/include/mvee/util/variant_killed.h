@@ -1,0 +1,22 @@
+// Thrown inside variant threads when the MVEE shuts the variants down
+// (divergence detected or replay stall). The variant thread runner catches it
+// and unwinds the thread; this mirrors the monitor killing the variant
+// processes in the real ReMon.
+
+#ifndef MVEE_UTIL_VARIANT_KILLED_H_
+#define MVEE_UTIL_VARIANT_KILLED_H_
+
+#include <exception>
+
+namespace mvee {
+
+struct VariantKilled {};
+
+// True while the current thread is already unwinding (usually from a
+// VariantKilled). Teardown-sensitive code (agents, traps) must not throw a
+// second exception from a destructor-driven call in that state.
+inline bool AlreadyUnwinding() { return std::uncaught_exceptions() > 0; }
+
+}  // namespace mvee
+
+#endif  // MVEE_UTIL_VARIANT_KILLED_H_

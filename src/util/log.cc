@@ -1,0 +1,53 @@
+#include "mvee/util/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace mvee {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[mvee %s] %s\n", LevelName(level), message.c_str());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << file << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() { LogLine(level_, stream_.str()); }
+
+}  // namespace mvee

@@ -1,0 +1,118 @@
+#include "mvee/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mvee {
+
+void SampleStats::Add(double sample) { samples_.push_back(sample); }
+
+double SampleStats::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleStats::StdDev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double s : samples_) {
+    acc += (s - mean) * (s - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::Min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::GeoMean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double s : samples_) {
+    log_sum += std::log(s > 0 ? s : 1e-12);
+  }
+  return std::exp(log_sum / static_cast<double>(samples_.size()));
+}
+
+double SampleStats::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  size_t bucket = 0;
+  uint64_t bound = 1;
+  while (bucket + 1 < kBuckets && nanos > bound) {
+    bound <<= 1;
+    ++bucket;
+  }
+  ++counts_[bucket];
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts_) {
+    total += c;
+  }
+  return total;
+}
+
+uint64_t LatencyHistogram::BucketBound(size_t i) { return 1ULL << i; }
+
+uint64_t LatencyHistogram::ApproxPercentile(double p) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) {
+    return 0;
+  }
+  const auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return BucketBound(i);
+    }
+  }
+  return BucketBound(kBuckets - 1);
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] != 0) {
+      out << "<=" << BucketBound(i) << "ns:" << counts_[i] << " ";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mvee

@@ -1,0 +1,314 @@
+#include "mvee/variant/env.h"
+#include <cstring>
+#include <vector>
+
+#include "mvee/syscall/sysno.h"
+
+namespace mvee {
+
+namespace {
+
+SyscallRequest Make(Sysno sysno) {
+  SyscallRequest request;
+  request.sysno = sysno;
+  return request;
+}
+
+}  // namespace
+
+int64_t VariantEnv::Open(const std::string& path, int64_t flags) {
+  SyscallRequest request = Make(Sysno::kOpen);
+  request.path = path;
+  request.arg0 = flags;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Close(int64_t fd) {
+  SyscallRequest request = Make(Sysno::kClose);
+  request.arg0 = fd;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Read(int64_t fd, std::span<uint8_t> out) {
+  SyscallRequest request = Make(Sysno::kRead);
+  request.arg0 = fd;
+  request.arg1 = static_cast<int64_t>(out.size());
+  request.out_data = out;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Write(int64_t fd, std::span<const uint8_t> data) {
+  SyscallRequest request = Make(Sysno::kWrite);
+  request.arg0 = fd;
+  request.arg1 = static_cast<int64_t>(data.size());
+  request.in_data = data;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Write(int64_t fd, const std::string& data) {
+  return Write(fd, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(data.data()),
+                                            data.size()));
+}
+
+int64_t VariantEnv::Pread(int64_t fd, int64_t offset, std::span<uint8_t> out) {
+  SyscallRequest request = Make(Sysno::kPread);
+  request.arg0 = fd;
+  request.arg1 = offset;
+  request.arg2 = static_cast<int64_t>(out.size());
+  request.out_data = out;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Pwrite(int64_t fd, int64_t offset, std::span<const uint8_t> data) {
+  SyscallRequest request = Make(Sysno::kPwrite);
+  request.arg0 = fd;
+  request.arg1 = offset;
+  request.arg2 = static_cast<int64_t>(data.size());
+  request.in_data = data;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Lseek(int64_t fd, int64_t offset, int64_t whence) {
+  SyscallRequest request = Make(Sysno::kLseek);
+  request.arg0 = fd;
+  request.arg1 = offset;
+  request.arg2 = whence;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Stat(const std::string& path) {
+  SyscallRequest request = Make(Sysno::kStat);
+  request.path = path;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Unlink(const std::string& path) {
+  SyscallRequest request = Make(Sysno::kUnlink);
+  request.path = path;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Dup(int64_t fd) {
+  SyscallRequest request = Make(Sysno::kDup);
+  request.arg0 = fd;
+  return Syscall(request);
+}
+
+std::pair<int64_t, int64_t> VariantEnv::Pipe() {
+  SyscallRequest request = Make(Sysno::kPipe);
+  const int64_t packed = Syscall(request);
+  if (packed < 0) {
+    return {packed, packed};
+  }
+  return {packed & 0xffffffff, packed >> 32};
+}
+
+int64_t VariantEnv::Brk(int64_t increment) {
+  SyscallRequest request = Make(Sysno::kBrk);
+  request.arg0 = increment;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Mmap(uint64_t length, int64_t prot) {
+  SyscallRequest request = Make(Sysno::kMmap);
+  request.arg0 = static_cast<int64_t>(length);
+  request.arg1 = prot;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Munmap(uint64_t addr, uint64_t length) {
+  SyscallRequest request = Make(Sysno::kMunmap);
+  request.local_addr = addr;
+  request.logical_addr = diversity_->LogicalMapAddr(addr);
+  request.arg1 = static_cast<int64_t>(length);
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Mprotect(uint64_t addr, uint64_t length, int64_t prot) {
+  SyscallRequest request = Make(Sysno::kMprotect);
+  request.local_addr = addr;
+  request.logical_addr = diversity_->LogicalMapAddr(addr);
+  request.arg1 = static_cast<int64_t>(length);
+  request.arg2 = prot;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::GettimeofdayMicros() {
+  SyscallRequest request = Make(Sysno::kGettimeofday);
+  return Syscall(request);
+}
+
+int64_t VariantEnv::ClockGettimeNanos() {
+  SyscallRequest request = Make(Sysno::kClockGettime);
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Rdtsc() {
+  SyscallRequest request = Make(Sysno::kRdtsc);
+  return Syscall(request);
+}
+
+int64_t VariantEnv::NanosleepNanos(int64_t nanos) {
+  SyscallRequest request = Make(Sysno::kNanosleep);
+  request.arg0 = nanos;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Getrandom(std::span<uint8_t> out) {
+  SyscallRequest request = Make(Sysno::kGetrandom);
+  request.arg0 = static_cast<int64_t>(out.size());
+  request.out_data = out;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::SchedYield() {
+  SyscallRequest request = Make(Sysno::kSchedYield);
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Getpid() {
+  SyscallRequest request = Make(Sysno::kGetpid);
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Gettid() {
+  SyscallRequest request = Make(Sysno::kGettid);
+  request.arg0 = tid_;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Socket() {
+  SyscallRequest request = Make(Sysno::kSocket);
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Bind(int64_t fd, uint16_t port) {
+  SyscallRequest request = Make(Sysno::kBind);
+  request.arg0 = fd;
+  request.arg1 = port;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Listen(int64_t fd, int64_t backlog) {
+  SyscallRequest request = Make(Sysno::kListen);
+  request.arg0 = fd;
+  request.arg1 = backlog;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Accept(int64_t fd) {
+  SyscallRequest request = Make(Sysno::kAccept);
+  request.arg0 = fd;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Connect(int64_t fd, uint16_t port) {
+  SyscallRequest request = Make(Sysno::kConnect);
+  request.arg0 = fd;
+  request.arg1 = port;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Send(int64_t fd, std::span<const uint8_t> data) {
+  SyscallRequest request = Make(Sysno::kSend);
+  request.arg0 = fd;
+  request.arg1 = static_cast<int64_t>(data.size());
+  request.in_data = data;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Send(int64_t fd, const std::string& data) {
+  return Send(fd, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(data.data()),
+                                           data.size()));
+}
+
+int64_t VariantEnv::Recv(int64_t fd, std::span<uint8_t> out) {
+  SyscallRequest request = Make(Sysno::kRecv);
+  request.arg0 = fd;
+  request.arg1 = static_cast<int64_t>(out.size());
+  request.out_data = out;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Shutdown(int64_t fd) {
+  SyscallRequest request = Make(Sysno::kShutdown);
+  request.arg0 = fd;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Poll(std::span<PollFd> fds, int64_t timeout_ms) {
+  SyscallRequest request = Make(Sysno::kPoll);
+  request.arg0 = static_cast<int64_t>(fds.size());
+  request.arg1 = timeout_ms;
+  // Payload: per fd, int32 descriptor + one event byte; revents come back
+  // through the replicated out buffer, so every variant observes the
+  // master's readiness snapshot.
+  std::vector<uint8_t> payload(fds.size() * 5);
+  for (size_t i = 0; i < fds.size(); ++i) {
+    std::memcpy(payload.data() + i * 5, &fds[i].fd, sizeof(int32_t));
+    payload[i * 5 + 4] = fds[i].events;
+  }
+  request.in_data = payload;
+  std::vector<uint8_t> revents(fds.size(), 0);
+  request.out_data = revents;
+  const int64_t ready = Syscall(request);
+  for (size_t i = 0; i < fds.size(); ++i) {
+    fds[i].revents = revents[i];
+  }
+  return ready;
+}
+
+int64_t VariantEnv::FutexWait(const std::atomic<int32_t>* word, int32_t expected) {
+  SyscallRequest request = Make(Sysno::kFutex);
+  request.arg0 = FutexOp::kWait;
+  request.arg1 = expected;
+  // The futex word's identity must be consistent within one variant only
+  // (waits and wakes both come from this variant's master threads), so the
+  // raw pointer is a valid key. It is excluded from cross-variant
+  // comparison (record.h).
+  request.local_addr = reinterpret_cast<uint64_t>(word);
+  request.futex_word = word;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::FutexWake(const std::atomic<int32_t>* word, int32_t count) {
+  SyscallRequest request = Make(Sysno::kFutex);
+  request.arg0 = FutexOp::kWake;
+  request.arg1 = count;
+  request.local_addr = reinterpret_cast<uint64_t>(word);
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Sigaction(int32_t sig, SignalHandler handler) {
+  // Install the handler before the trap: the registration rendezvous is a
+  // delivery point, and a signal already pending for this thread must find
+  // the handler in place (all variants install before arriving, so delivery
+  // stays symmetric).
+  trap_->SetSignalHandler(variant_, sig, std::move(handler));
+  SyscallRequest request = Make(Sysno::kSigaction);
+  request.arg0 = sig;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::Kill(uint32_t tid, int32_t sig) {
+  SyscallRequest request = Make(Sysno::kKill);
+  request.arg0 = tid;
+  request.arg1 = sig;
+  return Syscall(request);
+}
+
+int64_t VariantEnv::MveeSelfAware() {
+  SyscallRequest request = Make(Sysno::kMveeSelfAware);
+  return Syscall(request);
+}
+
+ThreadHandle VariantEnv::Spawn(ThreadFn fn) {
+  SyscallRequest request = Make(Sysno::kClone);
+  const int64_t child_tid = Syscall(request);
+  trap_->StartThread(variant_, static_cast<uint32_t>(child_tid), std::move(fn));
+  return ThreadHandle{static_cast<uint32_t>(child_tid)};
+}
+
+void VariantEnv::Join(ThreadHandle handle) { trap_->JoinThread(variant_, handle.tid); }
+
+}  // namespace mvee

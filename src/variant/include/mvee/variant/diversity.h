@@ -1,0 +1,62 @@
+// Simulated address-space layout diversity.
+//
+// Each variant gets randomized heap and mapping bases (the moral equivalent
+// of ASLR + disjoint code layouts in the paper's evaluation, §5.1
+// "Correctness"). Memory syscalls return addresses in the variant's own
+// layout; the variant runtime normalizes them back to logical (base-
+// relative) form for cross-variant comparison. The replication agents never
+// rely on addresses matching across variants (§4.5.1).
+
+#ifndef MVEE_VARIANT_DIVERSITY_H_
+#define MVEE_VARIANT_DIVERSITY_H_
+
+#include <cstdint>
+
+#include "mvee/util/rng.h"
+
+namespace mvee {
+
+class DiversityMap {
+ public:
+  static constexpr uint64_t kHeapRegion = 0x1000'0000'0000ULL;
+  static constexpr uint64_t kMapRegion = 0x2000'0000'0000ULL;
+  static constexpr uint64_t kPage = 4096;
+  // DCL stride: with disjoint code layouts enabled, variant i's regions live
+  // in their own 64 GiB band, so no address is valid in two variants
+  // simultaneously (the paper's DCL defeats brute-force ROP, §5.1 / [44]).
+  static constexpr uint64_t kDclStride = 0x10'0000'0000ULL;
+
+  // `enable_aslr` off gives every variant identical bases (the paper
+  // disables diversity for its performance runs to isolate replication
+  // costs, §5.1). `enable_dcl` additionally makes the variants' address
+  // bands mutually disjoint.
+  DiversityMap(uint32_t variant_index, uint64_t seed, bool enable_aslr,
+               bool enable_dcl = false) {
+    uint64_t slide = 0;
+    if (enable_aslr) {
+      Rng rng(SplitMix64(seed ^ (0x9e37ULL + variant_index * 0x79b9ULL)));
+      // 21 bits of page-aligned entropy (8 GiB range): comfortably inside a
+      // 64 GiB DCL band, so the slide never escapes the variant's band.
+      slide = (rng.Next() & ((1ULL << 21) - 1)) * kPage;
+    }
+    const uint64_t band = enable_dcl ? variant_index * kDclStride : 0;
+    heap_base_ = kHeapRegion + band + slide;
+    map_base_ = kMapRegion + band + slide;
+  }
+
+  uint64_t heap_base() const { return heap_base_; }
+  uint64_t map_base() const { return map_base_; }
+
+  // Normalizes a variant-space address from the mapping area to its logical
+  // (layout-independent) form.
+  uint64_t LogicalMapAddr(uint64_t addr) const { return addr - map_base_; }
+  uint64_t LogicalHeapAddr(uint64_t addr) const { return addr - heap_base_; }
+
+ private:
+  uint64_t heap_base_;
+  uint64_t map_base_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VARIANT_DIVERSITY_H_

@@ -1,0 +1,161 @@
+// VariantEnv: the programming interface variant code runs against.
+//
+// A "variant program" is a callable receiving a VariantEnv. The MVEE runs N
+// diversified copies of the program, one per variant; each copy's env traps
+// every virtual syscall into the monitor (paper Figure 1). Programs use the
+// typed wrappers below instead of raw SyscallRequests.
+//
+// Thread model: env.Spawn(fn) mirrors pthread_create — it traps sys_clone
+// (so the monitor can set up the new thread-set and assign a logical thread
+// id consistent across variants) and then starts the variant-local thread.
+// env.Join(handle) joins the variant-local thread only (no syscall; joining
+// is not externally observable).
+
+#ifndef MVEE_VARIANT_ENV_H_
+#define MVEE_VARIANT_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mvee/agents/context.h"
+#include "mvee/syscall/record.h"
+#include "mvee/variant/diversity.h"
+
+namespace mvee {
+
+class VariantEnv;
+
+// Body of a variant thread. The env passed in belongs to the new thread.
+using ThreadFn = std::function<void(VariantEnv&)>;
+// Entry point of a variant program (runs as logical thread 0).
+using Program = std::function<void(VariantEnv&)>;
+// Signal handler body. Runs on the thread the signal was delivered to, at a
+// rendezvous boundary (never mid-instruction), in every variant.
+using SignalHandler = std::function<void(VariantEnv&)>;
+
+// Opaque join handle returned by Spawn.
+struct ThreadHandle {
+  uint32_t tid = 0;
+};
+
+// Implemented by the monitor: receives traps from variant threads.
+class TrapInterface {
+ public:
+  virtual ~TrapInterface() = default;
+  // Executes one syscall on behalf of (variant, tid); returns the retval.
+  virtual int64_t Trap(uint32_t variant, uint32_t tid, SyscallRequest& request) = 0;
+  // Spawns the sibling thread for this variant after a sys_clone rendezvous
+  // assigned `child_tid`.
+  virtual void StartThread(uint32_t variant, uint32_t child_tid, ThreadFn fn) = 0;
+  // Joins the variant-local thread `tid`.
+  virtual void JoinThread(uint32_t variant, uint32_t tid) = 0;
+  // Stores this variant's handler for `sig` (the function object cannot
+  // travel through a SyscallRequest; the registration call itself is still
+  // trapped so the monitor compares it). Default: signals unsupported.
+  virtual void SetSignalHandler(uint32_t variant, int32_t sig, SignalHandler handler) {
+    (void)variant;
+    (void)sig;
+    (void)handler;
+  }
+};
+
+class VariantEnv {
+ public:
+  VariantEnv(TrapInterface* trap, uint32_t variant_index, uint32_t tid,
+             const DiversityMap* diversity)
+      : trap_(trap), variant_(variant_index), tid_(tid), diversity_(diversity) {}
+
+  uint32_t tid() const { return tid_; }
+  const DiversityMap& diversity() const { return *diversity_; }
+
+  // Raw trap (exposed for tests and custom calls).
+  int64_t Syscall(SyscallRequest& request) { return trap_->Trap(variant_, tid_, request); }
+
+  // --- File I/O ---
+  int64_t Open(const std::string& path, int64_t flags);
+  int64_t Close(int64_t fd);
+  int64_t Read(int64_t fd, std::span<uint8_t> out);
+  int64_t Write(int64_t fd, std::span<const uint8_t> data);
+  int64_t Write(int64_t fd, const std::string& data);
+  int64_t Pread(int64_t fd, int64_t offset, std::span<uint8_t> out);
+  int64_t Pwrite(int64_t fd, int64_t offset, std::span<const uint8_t> data);
+  int64_t Lseek(int64_t fd, int64_t offset, int64_t whence);
+  int64_t Stat(const std::string& path);
+  int64_t Unlink(const std::string& path);
+  int64_t Dup(int64_t fd);
+  // Returns {read_fd, write_fd} or {-errno, -errno}.
+  std::pair<int64_t, int64_t> Pipe();
+
+  // --- Memory ---
+  int64_t Brk(int64_t increment);
+  int64_t Mmap(uint64_t length, int64_t prot);
+  int64_t Munmap(uint64_t addr, uint64_t length);
+  int64_t Mprotect(uint64_t addr, uint64_t length, int64_t prot);
+
+  // --- Time / misc ---
+  int64_t GettimeofdayMicros();
+  int64_t ClockGettimeNanos();
+  int64_t Rdtsc();
+  int64_t NanosleepNanos(int64_t nanos);
+  int64_t Getrandom(std::span<uint8_t> out);
+  int64_t SchedYield();
+  int64_t Getpid();
+  int64_t Gettid();
+
+  // --- Sockets ---
+  int64_t Socket();
+  int64_t Bind(int64_t fd, uint16_t port);
+  int64_t Listen(int64_t fd, int64_t backlog);
+  int64_t Accept(int64_t fd);
+  int64_t Connect(int64_t fd, uint16_t port);
+  int64_t Send(int64_t fd, std::span<const uint8_t> data);
+  int64_t Send(int64_t fd, const std::string& data);
+  int64_t Recv(int64_t fd, std::span<uint8_t> out);
+  int64_t Shutdown(int64_t fd);
+
+  // Readiness multiplexing (the event-loop primitive real nginx builds on).
+  // Fills each entry's `revents`; returns the ready count, 0 on timeout.
+  // timeout_ms < 0 waits indefinitely, 0 polls without blocking.
+  struct PollFd {
+    int32_t fd = -1;
+    uint8_t events = 0;   // PollEvents::kIn / kOut.
+    uint8_t revents = 0;  // Filled on return (may include kHup).
+  };
+  int64_t Poll(std::span<PollFd> fds, int64_t timeout_ms);
+
+  // --- Futex (used by the sync primitives' futex hook) ---
+  int64_t FutexWait(const std::atomic<int32_t>* word, int32_t expected);
+  int64_t FutexWake(const std::atomic<int32_t>* word, int32_t count);
+
+  // --- Signals ---
+  // Registers `handler` for `sig` (all variants must register equivalently —
+  // the call is compared in lockstep like any sensitive syscall). Handlers
+  // run at rendezvous boundaries, so delivery is deterministic across
+  // variants even though the signal source is asynchronous.
+  int64_t Sigaction(int32_t sig, SignalHandler handler);
+  // Queues `sig` for logical thread `tid` (sys_tgkill). Delivered at that
+  // thread's next rendezvous in every variant.
+  int64_t Kill(uint32_t tid, int32_t sig);
+
+  // --- MVEE control ---
+  // The paper's self-awareness pseudo-syscall: returns this variant's index
+  // (0 = master) without the variants being told at build time (§4.5).
+  int64_t MveeSelfAware();
+
+  // --- Threads ---
+  ThreadHandle Spawn(ThreadFn fn);
+  void Join(ThreadHandle handle);
+
+ private:
+  TrapInterface* const trap_;
+  const uint32_t variant_;
+  const uint32_t tid_;
+  const DiversityMap* const diversity_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VARIANT_ENV_H_

@@ -1,0 +1,119 @@
+#include "mvee/vkernel/fd_table.h"
+
+#include <cerrno>
+
+namespace mvee {
+
+FdTable::FdTable() {
+  stdout_file_ = std::make_shared<VFile>();
+  auto stdin_file = std::make_shared<VFile>();
+  auto stderr_file = std::make_shared<VFile>();
+
+  FdEntry in;
+  in.kind = FdKind::kFile;
+  in.file = stdin_file;
+  in.path = "<stdin>";
+  FdEntry out;
+  out.kind = FdKind::kFile;
+  out.file = stdout_file_;
+  out.path = "<stdout>";
+  FdEntry err;
+  err.kind = FdKind::kFile;
+  err.file = stderr_file;
+  err.path = "<stderr>";
+  entries_.push_back(in);
+  entries_.push_back(out);
+  entries_.push_back(err);
+}
+
+int32_t FdTable::Allocate(FdEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].kind == FdKind::kFree) {
+      entries_[i] = std::move(entry);
+      return static_cast<int32_t>(i);
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return static_cast<int32_t>(entries_.size() - 1);
+}
+
+int32_t FdTable::Dup(int32_t fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd < 0 || static_cast<size_t>(fd) >= entries_.size() ||
+      entries_[fd].kind == FdKind::kFree) {
+    return -EBADF;
+  }
+  FdEntry copy = entries_[fd];
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].kind == FdKind::kFree) {
+      entries_[i] = std::move(copy);
+      return static_cast<int32_t>(i);
+    }
+  }
+  entries_.push_back(std::move(copy));
+  return static_cast<int32_t>(entries_.size() - 1);
+}
+
+FdEntry* FdTable::Get(int32_t fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd < 0 || static_cast<size_t>(fd) >= entries_.size() ||
+      entries_[fd].kind == FdKind::kFree) {
+    return nullptr;
+  }
+  return &entries_[fd];
+}
+
+int64_t FdTable::Close(int32_t fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd < 0 || static_cast<size_t>(fd) >= entries_.size() ||
+      entries_[fd].kind == FdKind::kFree) {
+    return -EBADF;
+  }
+  FdEntry& entry = entries_[fd];
+  // Shadow entries in slave variants carry no kernel object; guard for null.
+  switch (entry.kind) {
+    case FdKind::kPipeRead:
+      if (entry.pipe != nullptr) {
+        entry.pipe->CloseReadEnd();
+      }
+      break;
+    case FdKind::kPipeWrite:
+      if (entry.pipe != nullptr) {
+        entry.pipe->CloseWriteEnd();
+      }
+      break;
+    case FdKind::kConnServer:
+      if (entry.conn != nullptr) {
+        entry.conn->CloseServerSide();
+      }
+      break;
+    case FdKind::kConnClient:
+      if (entry.conn != nullptr) {
+        entry.conn->CloseClientSide();
+      }
+      break;
+    case FdKind::kListener:
+      if (entry.listener != nullptr) {
+        entry.listener->Close();
+      }
+      break;
+    default:
+      break;
+  }
+  entry = FdEntry{};
+  return 0;
+}
+
+size_t FdTable::LiveCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t live = 0;
+  for (const auto& entry : entries_) {
+    if (entry.kind != FdKind::kFree) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+}  // namespace mvee

@@ -1,0 +1,73 @@
+#include "mvee/vkernel/futex.h"
+
+#include <cerrno>
+
+namespace mvee {
+
+int64_t FutexTable::Wait(uint64_t logical_addr, const std::atomic<int32_t>* word,
+                         int32_t expected) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Linux futex semantics: re-check the word under the bucket lock; if it no
+  // longer holds the expected value the caller lost a race with a waker and
+  // must retry in user space.
+  if (word != nullptr && word->load(std::memory_order_acquire) != expected) {
+    return -EAGAIN;
+  }
+  Bucket& bucket = buckets_[logical_addr];
+  const uint64_t ticket = bucket.next_ticket++;
+  ++bucket.waiters;
+  bucket.cv.wait(lock, [&] { return ticket < bucket.wake_upto; });
+  --bucket.waiters;
+  if (bucket.waiters == 0) {
+    buckets_.erase(logical_addr);  // Unconsumed wake credits die, like futex.
+  }
+  return 0;
+}
+
+int64_t FutexTable::Wake(uint64_t logical_addr, int32_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(logical_addr);
+  if (it == buckets_.end()) {
+    return 0;
+  }
+  Bucket& bucket = it->second;
+  const uint64_t unwoken = bucket.next_ticket - bucket.wake_upto;
+  const uint64_t to_wake =
+      static_cast<uint64_t>(count) < unwoken ? static_cast<uint64_t>(count) : unwoken;
+  bucket.wake_upto += to_wake;
+  if (to_wake > 0) {
+    bucket.cv.notify_all();
+  }
+  return static_cast<int64_t>(to_wake);
+}
+
+void FutexTable::WakeAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [addr, bucket] : buckets_) {
+    bucket.wake_upto = bucket.next_ticket;
+    bucket.cv.notify_all();
+  }
+}
+
+std::string FutexTable::DebugString() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  char line[96];
+  for (const auto& [addr, bucket] : buckets_) {
+    std::snprintf(line, sizeof(line), "addr=0x%llx waiters=%d pending=%d; ",
+                  static_cast<unsigned long long>(addr), bucket.waiters, static_cast<int>(bucket.next_ticket - bucket.wake_upto));
+    out += line;
+  }
+  return out;
+}
+
+size_t FutexTable::WaiterCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& [addr, bucket] : buckets_) {
+    total += static_cast<size_t>(bucket.waiters);
+  }
+  return total;
+}
+
+}  // namespace mvee

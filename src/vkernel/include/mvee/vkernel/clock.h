@@ -1,0 +1,44 @@
+// Virtual wall/TSC clock.
+//
+// gettimeofday / clock_gettime / rdtsc results come from the real host clock
+// through the master variant and are replicated to the slaves — this is the
+// replication the covert-channel PoC in paper §5.4 abuses (data-dependent
+// deltas between two timing calls are visible to all variants).
+
+#ifndef MVEE_VKERNEL_CLOCK_H_
+#define MVEE_VKERNEL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace mvee {
+
+class VirtualClock {
+ public:
+  VirtualClock() : start_(std::chrono::steady_clock::now()) {}
+
+  // Nanoseconds since kernel boot (construction).
+  uint64_t NowNanos() const {
+    const auto delta = std::chrono::steady_clock::now() - start_;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
+  }
+
+  // Microseconds since boot (sys_gettimeofday payload).
+  uint64_t NowMicros() const { return NowNanos() / 1000; }
+
+  // Virtual TSC: monotonically increasing, one tick per call plus a
+  // time-derived component so deltas reflect real elapsed time.
+  uint64_t Rdtsc() {
+    return NowNanos() + tsc_fudge_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<uint64_t> tsc_fudge_{0};
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_CLOCK_H_

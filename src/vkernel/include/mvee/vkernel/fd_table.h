@@ -1,0 +1,76 @@
+// Per-process file descriptor table.
+//
+// Descriptors are allocated lowest-available-first, exactly like Linux. This
+// is the property the paper's motivating example in §3.1 relies on: if two
+// threads open files and the MVEE does not order the sys_open calls, the
+// variants can hand different fd numbers to equivalent threads and diverge
+// when the fds are printed or used.
+
+#ifndef MVEE_VKERNEL_FD_TABLE_H_
+#define MVEE_VKERNEL_FD_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mvee/vkernel/net.h"
+#include "mvee/vkernel/pipe.h"
+#include "mvee/vkernel/vfs.h"
+
+namespace mvee {
+
+enum class FdKind : uint8_t {
+  kFree = 0,
+  kFile,
+  kPipeRead,
+  kPipeWrite,
+  kListener,
+  kConnServer,  // accepted side
+  kConnClient,  // connecting side
+};
+
+struct FdEntry {
+  FdKind kind = FdKind::kFree;
+  std::shared_ptr<VFile> file;
+  std::shared_ptr<VPipe> pipe;
+  std::shared_ptr<VListener> listener;
+  std::shared_ptr<VConnection> conn;
+  uint64_t offset = 0;
+  int64_t flags = 0;
+  std::string path;
+  uint16_t port = 0;
+};
+
+// Thread-safe fd table. fds 0..2 are reserved at construction for
+// stdin/stdout/stderr (backed by VFiles so output can be inspected).
+class FdTable {
+ public:
+  FdTable();
+
+  // Allocates the lowest free descriptor and installs `entry`.
+  int32_t Allocate(FdEntry entry);
+  // Duplicates `fd` into the lowest free slot; -EBADF if invalid.
+  int32_t Dup(int32_t fd);
+  // Returns nullptr if `fd` is invalid or free. The returned pointer is valid
+  // until Close(fd); callers must not cache it across syscalls.
+  FdEntry* Get(int32_t fd);
+  // Releases the descriptor; returns 0 or -EBADF. Closing the last pipe /
+  // connection descriptor closes the underlying endpoint.
+  int64_t Close(int32_t fd);
+  // Number of live descriptors (including stdio).
+  size_t LiveCount() const;
+
+  // The VFile behind stdout (fd 1); convenient for output assertions.
+  std::shared_ptr<VFile> StdoutFile() const { return stdout_file_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<FdEntry> entries_;
+  std::shared_ptr<VFile> stdout_file_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_FD_TABLE_H_

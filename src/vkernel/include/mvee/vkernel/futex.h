@@ -1,0 +1,60 @@
+// Kernel-side futex table.
+//
+// sys_futex is the one blocking non-I/O syscall; the paper treats it like an
+// I/O operation: only the master executes it, slaves receive the replicated
+// result (§4.1, footnote 5). Waiters are keyed by the *logical* (diversity-
+// normalized) address of the futex word so that a wake issued by one master
+// thread finds waiters registered by other master threads even though their
+// diversified virtual addresses differ.
+
+#ifndef MVEE_VKERNEL_FUTEX_H_
+#define MVEE_VKERNEL_FUTEX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <string>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace mvee {
+
+class FutexTable {
+ public:
+  // Blocks the caller while *word == expected (with the usual futex race
+  // semantics: returns -EAGAIN immediately if *word != expected at entry).
+  // Returns 0 when woken.
+  int64_t Wait(uint64_t logical_addr, const std::atomic<int32_t>* word, int32_t expected);
+
+  // Wakes up to `count` waiters on the address; returns the number woken.
+  int64_t Wake(uint64_t logical_addr, int32_t count);
+
+  // Wakes every waiter on every address (MVEE shutdown path).
+  void WakeAll();
+
+  // Number of threads currently blocked (all addresses). Test helper.
+  size_t WaiterCount() const;
+
+  // "addr=0x... waiters=2 pending=0; ..." — hang diagnostics.
+  std::string DebugString() const;
+
+ private:
+  // FIFO-targeted wakeups, like the real futex queue: each waiter takes a
+  // ticket; a wake releases the oldest `count` waiters *registered at wake
+  // time*. A later registrant can never consume a wake issued before it
+  // joined (that un-targeted-credit behaviour loses wakeups: the waiter the
+  // wake was meant for sleeps forever once its expected value is stale).
+  struct Bucket {
+    std::condition_variable cv;
+    uint64_t next_ticket = 0;  // Ticket for the next waiter to register.
+    uint64_t wake_upto = 0;    // Tickets below this are released.
+    int32_t waiters = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, Bucket> buckets_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_FUTEX_H_

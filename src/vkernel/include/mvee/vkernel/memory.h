@@ -1,0 +1,75 @@
+// Per-process virtual address-space accounting.
+//
+// The MVEE runs variants with simulated address-space layout diversity: each
+// variant's heap and mapping area start at a different randomized base. The
+// address space tracks brk and mmap regions so sys_brk / sys_mmap /
+// sys_mprotect / sys_munmap have faithful semantics (including failure modes
+// the monitor must see identically across variants), while returned addresses
+// deliberately differ per variant — exactly the situation the replication
+// agents must tolerate (paper §4.5.1).
+
+#ifndef MVEE_VKERNEL_MEMORY_H_
+#define MVEE_VKERNEL_MEMORY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace mvee {
+
+// Protection bits for mmap/mprotect.
+struct VProt {
+  static constexpr int64_t kNone = 0;
+  static constexpr int64_t kRead = 1 << 0;
+  static constexpr int64_t kWrite = 1 << 1;
+  static constexpr int64_t kExec = 1 << 2;
+};
+
+class AddressSpace {
+ public:
+  static constexpr uint64_t kPageSize = 4096;
+
+  // `heap_base` / `map_base` come from the variant's diversity layout.
+  AddressSpace(uint64_t heap_base, uint64_t map_base);
+
+  // sys_brk semantics: increment==0 queries the current break; otherwise the
+  // break moves by `increment` (may be negative) and the *new* break is
+  // returned. Returns -ENOMEM if the break would move below the heap base or
+  // past the mapping area.
+  int64_t Brk(int64_t increment, uint64_t* new_break);
+
+  // Allocates a page-aligned region of `length` bytes; returns its address
+  // via `addr` or -ENOMEM / -EINVAL.
+  int64_t Mmap(uint64_t length, int64_t prot, uint64_t* addr);
+
+  // Unmaps an exact region previously returned by Mmap. -EINVAL otherwise.
+  int64_t Munmap(uint64_t addr, uint64_t length);
+
+  // Changes protection of an exact mapped region. -ENOMEM if not mapped.
+  int64_t Mprotect(uint64_t addr, uint64_t length, int64_t prot);
+
+  // Introspection for tests.
+  uint64_t current_break() const;
+  size_t MappingCount() const;
+  int64_t ProtOf(uint64_t addr) const;  // -1 if unmapped.
+  uint64_t BytesMapped() const;
+
+ private:
+  static uint64_t PageAlignUp(uint64_t v) { return (v + kPageSize - 1) & ~(kPageSize - 1); }
+
+  struct Region {
+    uint64_t length = 0;
+    int64_t prot = 0;
+  };
+
+  mutable std::mutex mutex_;
+  const uint64_t heap_base_;
+  const uint64_t map_base_;
+  uint64_t brk_;
+  uint64_t map_cursor_;
+  std::map<uint64_t, Region> regions_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_MEMORY_H_

@@ -1,0 +1,124 @@
+// Virtual TCP-lite network.
+//
+// The nginx-style use case (paper §5.5) needs a server that accepts
+// connections and a wrk-style client generating load. The virtual network
+// provides per-port listeners with accept queues and bidirectional byte
+// stream connections. Only the master variant executes network I/O; results
+// are replicated (accept/connect/send/recv are kReplicated syscalls).
+
+#ifndef MVEE_VKERNEL_NET_H_
+#define MVEE_VKERNEL_NET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mvee {
+
+// One direction of a connection: a bounded blocking byte stream.
+class ByteStream {
+ public:
+  explicit ByteStream(size_t capacity = 262144) : capacity_(capacity) {}
+
+  // Blocks until data or close. Returns bytes read; 0 on orderly shutdown.
+  int64_t Read(uint8_t* out, uint64_t size);
+  // Blocks while full. Returns size, or -ECONNRESET if the peer closed.
+  int64_t Write(const uint8_t* data, uint64_t size);
+  void Close();
+  bool closed() const;
+  // Readiness queries for sys_poll: a Read would not block / a Write of at
+  // least one byte would not block.
+  bool Readable() const;
+  bool Writable() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::deque<uint8_t> buffer_;
+  bool closed_ = false;
+};
+
+// A full-duplex connection: the accept side reads what the connect side
+// writes and vice versa.
+class VConnection {
+ public:
+  VConnection()
+      : client_to_server_(std::make_shared<ByteStream>()),
+        server_to_client_(std::make_shared<ByteStream>()) {}
+
+  // Server-side (accepted socket) operations.
+  int64_t ServerRead(uint8_t* out, uint64_t size) { return client_to_server_->Read(out, size); }
+  int64_t ServerWrite(const uint8_t* data, uint64_t size) {
+    return server_to_client_->Write(data, size);
+  }
+  // Client-side operations.
+  int64_t ClientRead(uint8_t* out, uint64_t size) { return server_to_client_->Read(out, size); }
+  int64_t ClientWrite(const uint8_t* data, uint64_t size) {
+    return client_to_server_->Write(data, size);
+  }
+
+  bool ServerReadable() const { return client_to_server_->Readable(); }
+  bool ServerWritable() const { return server_to_client_->Writable(); }
+  bool ClientReadable() const { return server_to_client_->Readable(); }
+  bool ClientWritable() const { return client_to_server_->Writable(); }
+
+  void CloseServerSide() { server_to_client_->Close(); }
+  void CloseClientSide() { client_to_server_->Close(); }
+  void CloseBoth() {
+    client_to_server_->Close();
+    server_to_client_->Close();
+  }
+
+ private:
+  std::shared_ptr<ByteStream> client_to_server_;
+  std::shared_ptr<ByteStream> server_to_client_;
+};
+
+// Listening socket: pending-connection queue.
+class VListener {
+ public:
+  explicit VListener(int backlog) : backlog_(backlog) {}
+
+  // Client side: enqueues a new connection; fails with -ECONNREFUSED if the
+  // listener is closed or the backlog is full.
+  int64_t PushConnection(std::shared_ptr<VConnection> conn);
+  // Server side: blocks until a connection or close. nullptr on close.
+  std::shared_ptr<VConnection> Accept();
+  // sys_poll readiness: an Accept would not block.
+  bool HasPending() const;
+  void Close();
+
+ private:
+  const int backlog_;
+  mutable std::mutex mutex_;
+  std::condition_variable pending_cv_;
+  std::deque<std::shared_ptr<VConnection>> pending_;
+  bool closed_ = false;
+};
+
+// Port -> listener registry shared by the whole machine.
+class VirtualNetwork {
+ public:
+  // Returns 0 or -EADDRINUSE.
+  int64_t Listen(uint16_t port, int backlog, std::shared_ptr<VListener>* out);
+  // Returns a connected VConnection or nullptr (-ECONNREFUSED semantics).
+  std::shared_ptr<VConnection> Connect(uint16_t port);
+  void CloseListener(uint16_t port);
+  // Closes every listener and every live connection (MVEE shutdown path).
+  void CloseAll();
+
+ private:
+  std::mutex mutex_;
+  std::map<uint16_t, std::shared_ptr<VListener>> listeners_;
+  std::vector<std::weak_ptr<VConnection>> connections_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_NET_H_

@@ -1,0 +1,47 @@
+// Bounded in-kernel pipe with blocking read/write.
+//
+// Pipes are only ever operated on by the master variant (reads and writes are
+// replicated calls), so real blocking on a condition variable is safe here —
+// the monitor does not hold the syscall ordering clock's critical section
+// around replicated calls (paper §4.1 Limitations).
+
+#ifndef MVEE_VKERNEL_PIPE_H_
+#define MVEE_VKERNEL_PIPE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace mvee {
+
+class VPipe {
+ public:
+  explicit VPipe(size_t capacity = 65536) : capacity_(capacity) {}
+
+  // Blocks until at least 1 byte is available or the write end closes.
+  // Returns bytes read, 0 on EOF.
+  int64_t Read(uint8_t* out, uint64_t size);
+
+  // Blocks while the pipe is full. Returns bytes written or -EPIPE if the
+  // read end has closed.
+  int64_t Write(const uint8_t* data, uint64_t size);
+
+  void CloseWriteEnd();
+  void CloseReadEnd();
+  bool write_closed() const;
+  size_t BytesBuffered() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::deque<uint8_t> buffer_;
+  bool write_closed_ = false;
+  bool read_closed_ = false;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_PIPE_H_

@@ -1,0 +1,77 @@
+// In-memory virtual filesystem shared by all variants.
+//
+// File *content* is a shared resource (the real kernel's filesystem is shared
+// between the variants' processes too); each variant process has its own file
+// descriptor table on top (fd_table.h). Open flags follow a small subset of
+// POSIX semantics: create, truncate, append, read/write.
+
+#ifndef MVEE_VKERNEL_VFS_H_
+#define MVEE_VKERNEL_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mvee {
+
+// Open flags (bitmask). Deliberately not the raw POSIX values — the vkernel
+// has its own stable ABI.
+struct VOpenFlags {
+  static constexpr int64_t kRead = 1 << 0;
+  static constexpr int64_t kWrite = 1 << 1;
+  static constexpr int64_t kCreate = 1 << 2;
+  static constexpr int64_t kTruncate = 1 << 3;
+  static constexpr int64_t kAppend = 1 << 4;
+};
+
+// A regular file: byte vector + lock. Thread-safe at the operation level.
+class VFile {
+ public:
+  // Reads up to `size` bytes at `offset`; returns bytes read (0 at EOF).
+  int64_t ReadAt(uint64_t offset, uint8_t* out, uint64_t size) const;
+  // Writes `size` bytes at `offset`, growing the file as needed; returns size.
+  int64_t WriteAt(uint64_t offset, const uint8_t* data, uint64_t size);
+  // Appends and returns the offset the data landed at.
+  uint64_t Append(const uint8_t* data, uint64_t size);
+  uint64_t Size() const;
+  void Truncate();
+  // Snapshot of the contents (for tests and output comparison).
+  std::vector<uint8_t> Contents() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<uint8_t> data_;
+};
+
+struct VStat {
+  uint64_t size = 0;
+  uint64_t inode = 0;
+};
+
+// Path -> file map. Flat namespace (no directories); paths are opaque keys.
+class Vfs {
+ public:
+  // Returns the file, creating it if `create`. nullptr if absent and !create.
+  std::shared_ptr<VFile> Open(const std::string& path, bool create);
+  bool Exists(const std::string& path) const;
+  // Returns negative errno or 0.
+  int64_t Stat(const std::string& path, VStat* out) const;
+  // Returns negative errno or 0.
+  int64_t Unlink(const std::string& path);
+  // Pre-populates a file (test/bench fixture helper).
+  void PutFile(const std::string& path, std::vector<uint8_t> contents);
+  size_t FileCount() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<VFile>> files_;
+  uint64_t next_inode_ = 1;
+  std::map<std::string, uint64_t> inodes_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_VFS_H_

@@ -1,0 +1,98 @@
+// The virtual kernel: executes SyscallRequests against shared machine state
+// and per-process state.
+//
+// This is the substitution for the real Linux kernel underneath the MVEE
+// (see DESIGN.md §2). The monitor is the only component that calls Execute;
+// variant code always traps through the monitor first, which is what gives
+// the MVEE its interposition point (paper Figure 1).
+
+#ifndef MVEE_VKERNEL_VKERNEL_H_
+#define MVEE_VKERNEL_VKERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mvee/syscall/record.h"
+#include "mvee/util/rng.h"
+#include "mvee/vkernel/clock.h"
+#include "mvee/vkernel/futex.h"
+#include "mvee/vkernel/net.h"
+#include "mvee/vkernel/process.h"
+#include "mvee/vkernel/vfs.h"
+
+namespace mvee {
+
+// Calling conventions per sysno (args in SyscallRequest):
+//   open(path, arg0=flags) -> fd
+//   close(arg0=fd) -> 0
+//   read(arg0=fd, out_data) -> n           write(arg0=fd, in_data) -> n
+//   pread/pwrite(arg0=fd, arg1=off, ...) -> n
+//   lseek(arg0=fd, arg1=off, arg2=whence{0,1,2}) -> new offset
+//   stat(path) -> size                      unlink(path) -> 0
+//   dup(arg0=fd) -> fd                      fcntl(arg0=fd, arg1=cmd) -> flags
+//   pipe() -> read_fd | (write_fd << 32)
+//   brk(arg0=increment) -> new break        mmap(arg0=len, arg1=prot) -> addr
+//   munmap(local_addr, arg1=len) -> 0       mprotect(local_addr, arg1=len, arg2=prot) -> 0
+//   futex(arg0=op, arg1=val, logical_addr, futex_word) -> 0 / -EAGAIN / woken count
+//   socket() -> fd    bind(arg0=fd, arg1=port)    listen(arg0=fd, arg1=backlog)
+//   accept(arg0=fd) -> fd   connect(arg0=fd, arg1=port) -> 0
+//   send(arg0=fd, in_data) -> n   recv(arg0=fd, out_data) -> n   shutdown(arg0=fd)
+//   gettimeofday() -> usec   clock_gettime() -> nsec   rdtsc -> tsc
+//   nanosleep(arg0=nsec) -> 0               getrandom(out_data) -> n
+//   getpid() -> logical pid                 gettid(arg0=logical tid) -> arg0
+//   clone() -> new kernel tid               sched_yield() -> 0
+class VirtualKernel {
+ public:
+  explicit VirtualKernel(uint64_t rng_seed = 42) : rng_(rng_seed) {}
+
+  // Executes one syscall for `process`. Thread-safe.
+  SyscallResult Execute(ProcessState& process, const SyscallRequest& request);
+
+  // Two-phase accept for the monitor: sys_accept both blocks *and* allocates
+  // a descriptor. The blocking half must run outside the syscall-ordering
+  // critical section (§4.1 forbids ordering blocking calls) while the fd
+  // allocation must run inside it, or slave fd tables drift relative to
+  // ordered close/open traffic. AcceptBlocking performs only the wait;
+  // FinishAccept installs the descriptor (fast, order-section safe).
+  std::shared_ptr<VConnection> AcceptBlocking(ProcessState& process, int32_t listen_fd,
+                                              int64_t* error);
+  int64_t FinishAccept(ProcessState& process, std::shared_ptr<VConnection> conn);
+
+  // Applies the side effects of a master-executed (replicated) syscall to a
+  // slave process: advances file offsets, installs shadow descriptors for
+  // accept/connect. Returns the slave-local result that must match the
+  // master's (e.g. the shadow fd number) or 0 when there is nothing to check.
+  int64_t ApplyReplicatedEffect(ProcessState& process, const SyscallRequest& request,
+                                const SyscallResult& master_result);
+
+  // Wakes/closes everything a variant thread could be blocked on; used by the
+  // monitor when tearing the variants down after a divergence.
+  void ShutdownBlockedCalls();
+
+  Vfs& vfs() { return vfs_; }
+  VirtualNetwork& network() { return network_; }
+  VirtualClock& clock() { return clock_; }
+  FutexTable& futexes() { return futexes_; }
+
+ private:
+  SyscallResult ExecuteFile(ProcessState& process, const SyscallRequest& request);
+  SyscallResult ExecuteMemory(ProcessState& process, const SyscallRequest& request);
+  SyscallResult ExecuteNet(ProcessState& process, const SyscallRequest& request);
+  SyscallResult ExecutePoll(ProcessState& process, const SyscallRequest& request);
+  SyscallResult ExecuteTime(const SyscallRequest& request);
+
+  Vfs vfs_;
+  VirtualNetwork network_;
+  VirtualClock clock_;
+  FutexTable futexes_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+  std::mutex pipes_mutex_;
+  std::vector<std::weak_ptr<VPipe>> pipes_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_VKERNEL_H_

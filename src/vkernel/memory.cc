@@ -1,0 +1,87 @@
+#include "mvee/vkernel/memory.h"
+
+#include <cerrno>
+
+namespace mvee {
+
+AddressSpace::AddressSpace(uint64_t heap_base, uint64_t map_base)
+    : heap_base_(heap_base), map_base_(map_base), brk_(heap_base), map_cursor_(map_base) {}
+
+int64_t AddressSpace::Brk(int64_t increment, uint64_t* new_break) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (increment == 0) {
+    *new_break = brk_;
+    return 0;
+  }
+  const int64_t target = static_cast<int64_t>(brk_) + increment;
+  if (target < static_cast<int64_t>(heap_base_) ||
+      static_cast<uint64_t>(target) >= map_base_) {
+    return -ENOMEM;
+  }
+  brk_ = static_cast<uint64_t>(target);
+  *new_break = brk_;
+  return 0;
+}
+
+int64_t AddressSpace::Mmap(uint64_t length, int64_t prot, uint64_t* addr) {
+  if (length == 0) {
+    return -EINVAL;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t aligned = PageAlignUp(length);
+  const uint64_t at = map_cursor_;
+  map_cursor_ += aligned + kPageSize;  // Guard page between mappings.
+  regions_[at] = Region{aligned, prot};
+  *addr = at;
+  return 0;
+}
+
+int64_t AddressSpace::Munmap(uint64_t addr, uint64_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(addr);
+  if (it == regions_.end() || it->second.length != PageAlignUp(length)) {
+    return -EINVAL;
+  }
+  regions_.erase(it);
+  return 0;
+}
+
+int64_t AddressSpace::Mprotect(uint64_t addr, uint64_t length, int64_t prot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(addr);
+  if (it == regions_.end() || PageAlignUp(length) > it->second.length) {
+    return -ENOMEM;
+  }
+  it->second.prot = prot;
+  return 0;
+}
+
+uint64_t AddressSpace::current_break() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return brk_;
+}
+
+size_t AddressSpace::MappingCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return regions_.size();
+}
+
+int64_t AddressSpace::ProtOf(uint64_t addr) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = regions_.find(addr);
+  if (it == regions_.end()) {
+    return -1;
+  }
+  return it->second.prot;
+}
+
+uint64_t AddressSpace::BytesMapped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [addr, region] : regions_) {
+    total += region.length;
+  }
+  return total;
+}
+
+}  // namespace mvee

@@ -1,0 +1,162 @@
+#include "mvee/vkernel/net.h"
+
+#include <algorithm>
+#include <cerrno>
+
+namespace mvee {
+
+int64_t ByteStream::Read(uint8_t* out, uint64_t size) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  readable_.wait(lock, [&] { return !buffer_.empty() || closed_; });
+  if (buffer_.empty()) {
+    return 0;
+  }
+  const uint64_t n = std::min<uint64_t>(size, buffer_.size());
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = buffer_.front();
+    buffer_.pop_front();
+  }
+  writable_.notify_all();
+  return static_cast<int64_t>(n);
+}
+
+int64_t ByteStream::Write(const uint8_t* data, uint64_t size) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  uint64_t written = 0;
+  while (written < size) {
+    writable_.wait(lock, [&] { return buffer_.size() < capacity_ || closed_; });
+    if (closed_) {
+      return -ECONNRESET;
+    }
+    const uint64_t room = capacity_ - buffer_.size();
+    const uint64_t n = std::min(room, size - written);
+    buffer_.insert(buffer_.end(), data + written, data + written + n);
+    written += n;
+    readable_.notify_all();
+  }
+  return static_cast<int64_t>(written);
+}
+
+void ByteStream::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+bool ByteStream::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+bool ByteStream::Readable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Data available, or EOF readable immediately (Read returns 0).
+  return !buffer_.empty() || closed_;
+}
+
+bool ByteStream::Writable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Space available, or the write fails immediately (-ECONNRESET): either
+  // way a Write would not block — POSIX poll reports closed sockets as
+  // writable so callers discover the error.
+  return buffer_.size() < capacity_ || closed_;
+}
+
+int64_t VListener::PushConnection(std::shared_ptr<VConnection> conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ || pending_.size() >= static_cast<size_t>(backlog_)) {
+    return -ECONNREFUSED;
+  }
+  pending_.push_back(std::move(conn));
+  pending_cv_.notify_one();
+  return 0;
+}
+
+std::shared_ptr<VConnection> VListener::Accept() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  pending_cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
+  if (pending_.empty()) {
+    return nullptr;
+  }
+  auto conn = pending_.front();
+  pending_.pop_front();
+  return conn;
+}
+
+bool VListener::HasPending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !pending_.empty() || closed_;
+}
+
+void VListener::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  pending_cv_.notify_all();
+}
+
+int64_t VirtualNetwork::Listen(uint16_t port, int backlog, std::shared_ptr<VListener>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (listeners_.count(port) != 0) {
+    return -EADDRINUSE;
+  }
+  auto listener = std::make_shared<VListener>(backlog);
+  listeners_[port] = listener;
+  *out = listener;
+  return 0;
+}
+
+std::shared_ptr<VConnection> VirtualNetwork::Connect(uint16_t port) {
+  std::shared_ptr<VListener> listener;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = listeners_.find(port);
+    if (it == listeners_.end()) {
+      return nullptr;
+    }
+    listener = it->second;
+  }
+  auto conn = std::make_shared<VConnection>();
+  if (listener->PushConnection(conn) != 0) {
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.push_back(conn);
+  }
+  return conn;
+}
+
+void VirtualNetwork::CloseAll() {
+  std::map<uint16_t, std::shared_ptr<VListener>> listeners;
+  std::vector<std::weak_ptr<VConnection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listeners.swap(listeners_);
+    connections.swap(connections_);
+  }
+  for (auto& [port, listener] : listeners) {
+    listener->Close();
+  }
+  for (auto& weak : connections) {
+    if (auto conn = weak.lock()) {
+      conn->CloseBoth();
+    }
+  }
+}
+
+void VirtualNetwork::CloseListener(uint16_t port) {
+  std::shared_ptr<VListener> listener;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = listeners_.find(port);
+    if (it == listeners_.end()) {
+      return;
+    }
+    listener = it->second;
+    listeners_.erase(it);
+  }
+  listener->Close();
+}
+
+}  // namespace mvee

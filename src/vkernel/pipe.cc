@@ -1,0 +1,62 @@
+#include "mvee/vkernel/pipe.h"
+
+#include <algorithm>
+#include <cerrno>
+
+namespace mvee {
+
+int64_t VPipe::Read(uint8_t* out, uint64_t size) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  readable_.wait(lock, [&] { return !buffer_.empty() || write_closed_; });
+  if (buffer_.empty()) {
+    return 0;  // EOF.
+  }
+  const uint64_t n = std::min<uint64_t>(size, buffer_.size());
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = buffer_.front();
+    buffer_.pop_front();
+  }
+  writable_.notify_all();
+  return static_cast<int64_t>(n);
+}
+
+int64_t VPipe::Write(const uint8_t* data, uint64_t size) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  uint64_t written = 0;
+  while (written < size) {
+    writable_.wait(lock, [&] { return buffer_.size() < capacity_ || read_closed_; });
+    if (read_closed_) {
+      return written > 0 ? static_cast<int64_t>(written) : -EPIPE;
+    }
+    const uint64_t room = capacity_ - buffer_.size();
+    const uint64_t n = std::min(room, size - written);
+    buffer_.insert(buffer_.end(), data + written, data + written + n);
+    written += n;
+    readable_.notify_all();
+  }
+  return static_cast<int64_t>(written);
+}
+
+void VPipe::CloseWriteEnd() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_closed_ = true;
+  readable_.notify_all();
+}
+
+void VPipe::CloseReadEnd() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_closed_ = true;
+  writable_.notify_all();
+}
+
+bool VPipe::write_closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_closed_;
+}
+
+size_t VPipe::BytesBuffered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buffer_.size();
+}
+
+}  // namespace mvee

@@ -1,0 +1,106 @@
+#include "mvee/vkernel/vfs.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace mvee {
+
+int64_t VFile::ReadAt(uint64_t offset, uint8_t* out, uint64_t size) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (offset >= data_.size()) {
+    return 0;
+  }
+  const uint64_t available = data_.size() - offset;
+  const uint64_t n = std::min(size, available);
+  std::memcpy(out, data_.data() + offset, n);
+  return static_cast<int64_t>(n);
+}
+
+int64_t VFile::WriteAt(uint64_t offset, const uint8_t* data, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (offset + size > data_.size()) {
+    data_.resize(offset + size);
+  }
+  std::memcpy(data_.data() + offset, data, size);
+  return static_cast<int64_t>(size);
+}
+
+uint64_t VFile::Append(const uint8_t* data, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t offset = data_.size();
+  data_.insert(data_.end(), data, data + size);
+  return offset;
+}
+
+uint64_t VFile::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_.size();
+}
+
+void VFile::Truncate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.clear();
+}
+
+std::vector<uint8_t> VFile::Contents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+std::shared_ptr<VFile> Vfs::Open(const std::string& path, bool create) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    return it->second;
+  }
+  if (!create) {
+    return nullptr;
+  }
+  auto file = std::make_shared<VFile>();
+  files_[path] = file;
+  inodes_[path] = next_inode_++;
+  return file;
+}
+
+bool Vfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) != 0;
+}
+
+int64_t Vfs::Stat(const std::string& path, VStat* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return -ENOENT;
+  }
+  out->size = it->second->Size();
+  out->inode = inodes_.at(path);
+  return 0;
+}
+
+int64_t Vfs::Unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return -ENOENT;
+  }
+  files_.erase(it);
+  inodes_.erase(path);
+  return 0;
+}
+
+void Vfs::PutFile(const std::string& path, std::vector<uint8_t> contents) {
+  auto file = Open(path, /*create=*/true);
+  file->Truncate();
+  if (!contents.empty()) {
+    file->Append(contents.data(), contents.size());
+  }
+}
+
+size_t Vfs::FileCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.size();
+}
+
+}  // namespace mvee

@@ -1,0 +1,657 @@
+#include "mvee/vkernel/vkernel.h"
+
+#include <cerrno>
+#include <cstring>
+#include <chrono>
+#include <thread>
+
+namespace mvee {
+
+namespace {
+
+// Whence values for lseek.
+constexpr int64_t kSeekSet = 0;
+constexpr int64_t kSeekCur = 1;
+constexpr int64_t kSeekEnd = 2;
+
+SyscallResult Err(int64_t negative_errno) {
+  SyscallResult result;
+  result.retval = negative_errno;
+  return result;
+}
+
+SyscallResult Ret(int64_t value) {
+  SyscallResult result;
+  result.retval = value;
+  return result;
+}
+
+}  // namespace
+
+SyscallResult VirtualKernel::Execute(ProcessState& process, const SyscallRequest& request) {
+  switch (request.sysno) {
+    case Sysno::kOpen:
+    case Sysno::kClose:
+    case Sysno::kRead:
+    case Sysno::kWrite:
+    case Sysno::kPread:
+    case Sysno::kPwrite:
+    case Sysno::kLseek:
+    case Sysno::kStat:
+    case Sysno::kUnlink:
+    case Sysno::kDup:
+    case Sysno::kFcntl:
+    case Sysno::kPipe:
+      return ExecuteFile(process, request);
+
+    case Sysno::kBrk:
+    case Sysno::kMmap:
+    case Sysno::kMunmap:
+    case Sysno::kMprotect:
+      return ExecuteMemory(process, request);
+
+    case Sysno::kSocket:
+    case Sysno::kBind:
+    case Sysno::kListen:
+    case Sysno::kAccept:
+    case Sysno::kConnect:
+    case Sysno::kSend:
+    case Sysno::kRecv:
+    case Sysno::kShutdown:
+      return ExecuteNet(process, request);
+
+    case Sysno::kPoll:
+      return ExecutePoll(process, request);
+
+    case Sysno::kGettimeofday:
+    case Sysno::kClockGettime:
+    case Sysno::kRdtsc:
+    case Sysno::kNanosleep:
+      return ExecuteTime(request);
+
+    case Sysno::kFutex: {
+      // Futex words are keyed by the master variant's own address
+      // (local_addr): waits and wakes both come from master threads, so the
+      // key never needs to be comparable across variants.
+      if (request.arg0 == FutexOp::kWait) {
+        return Ret(futexes_.Wait(request.local_addr, request.futex_word,
+                                 static_cast<int32_t>(request.arg1)));
+      }
+      if (request.arg0 == FutexOp::kWake) {
+        return Ret(futexes_.Wake(request.local_addr, static_cast<int32_t>(request.arg1)));
+      }
+      return Err(-EINVAL);
+    }
+
+    case Sysno::kGetrandom: {
+      SyscallResult result;
+      std::lock_guard<std::mutex> lock(rng_mutex_);
+      result.out_bytes.resize(request.out_data.size());
+      for (auto& byte : result.out_bytes) {
+        byte = static_cast<uint8_t>(rng_.Next());
+      }
+      if (!request.out_data.empty()) {
+        std::copy(result.out_bytes.begin(), result.out_bytes.end(), request.out_data.begin());
+      }
+      result.retval = static_cast<int64_t>(result.out_bytes.size());
+      return result;
+    }
+
+    case Sysno::kSchedYield:
+      std::this_thread::yield();
+      return Ret(0);
+
+    case Sysno::kGetpid:
+      return Ret(process.pid());
+
+    case Sysno::kGettid:
+      // The runtime passes the logical thread id; identical across variants.
+      return Ret(request.arg0);
+
+    case Sysno::kClone:
+      return Ret(process.NextTid());
+
+    case Sysno::kExit:
+    case Sysno::kExitGroup:
+      return Ret(0);
+
+    case Sysno::kMveeSelfAware:
+    case Sysno::kMveeCheckpoint:
+      // Non-existing kernel syscalls: the real kernel would return -ENOSYS;
+      // the monitor intercepts them before they get here (paper §4.5).
+      return Err(-ENOSYS);
+
+    case Sysno::kCount:
+      break;
+  }
+  return Err(-ENOSYS);
+}
+
+SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallRequest& request) {
+  FdTable& fds = process.fds();
+  switch (request.sysno) {
+    case Sysno::kOpen: {
+      const bool create = (request.arg0 & VOpenFlags::kCreate) != 0;
+      auto file = vfs_.Open(request.path, create);
+      if (file == nullptr) {
+        return Err(-ENOENT);
+      }
+      if ((request.arg0 & VOpenFlags::kTruncate) != 0) {
+        file->Truncate();
+      }
+      FdEntry entry;
+      entry.kind = FdKind::kFile;
+      entry.file = file;
+      entry.flags = request.arg0;
+      entry.path = request.path;
+      entry.offset = (request.arg0 & VOpenFlags::kAppend) != 0 ? file->Size() : 0;
+      return Ret(fds.Allocate(std::move(entry)));
+    }
+
+    case Sysno::kClose:
+      return Ret(fds.Close(static_cast<int32_t>(request.arg0)));
+
+    case Sysno::kRead: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr) {
+        return Err(-EBADF);
+      }
+      SyscallResult result;
+      if (entry->kind == FdKind::kFile) {
+        result.retval =
+            entry->file->ReadAt(entry->offset, request.out_data.data(), request.out_data.size());
+        if (result.retval > 0) {
+          entry->offset += static_cast<uint64_t>(result.retval);
+        }
+      } else if (entry->kind == FdKind::kPipeRead) {
+        result.retval = entry->pipe->Read(request.out_data.data(), request.out_data.size());
+      } else if (entry->kind == FdKind::kConnServer) {
+        result.retval = entry->conn->ServerRead(request.out_data.data(), request.out_data.size());
+      } else if (entry->kind == FdKind::kConnClient) {
+        result.retval = entry->conn->ClientRead(request.out_data.data(), request.out_data.size());
+      } else {
+        return Err(-EBADF);
+      }
+      if (result.retval > 0) {
+        result.out_bytes.assign(request.out_data.begin(),
+                                request.out_data.begin() + result.retval);
+      }
+      return result;
+    }
+
+    case Sysno::kWrite: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr) {
+        return Err(-EBADF);
+      }
+      if (entry->kind == FdKind::kFile) {
+        const int64_t n = entry->file->WriteAt(entry->offset, request.in_data.data(),
+                                               request.in_data.size());
+        if (n > 0) {
+          entry->offset += static_cast<uint64_t>(n);
+        }
+        return Ret(n);
+      }
+      if (entry->kind == FdKind::kPipeWrite) {
+        return Ret(entry->pipe->Write(request.in_data.data(), request.in_data.size()));
+      }
+      if (entry->kind == FdKind::kConnServer) {
+        return Ret(entry->conn->ServerWrite(request.in_data.data(), request.in_data.size()));
+      }
+      if (entry->kind == FdKind::kConnClient) {
+        return Ret(entry->conn->ClientWrite(request.in_data.data(), request.in_data.size()));
+      }
+      return Err(-EBADF);
+    }
+
+    case Sysno::kPread: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr || entry->kind != FdKind::kFile) {
+        return Err(-EBADF);
+      }
+      SyscallResult result;
+      result.retval = entry->file->ReadAt(static_cast<uint64_t>(request.arg1),
+                                          request.out_data.data(), request.out_data.size());
+      if (result.retval > 0) {
+        result.out_bytes.assign(request.out_data.begin(),
+                                request.out_data.begin() + result.retval);
+      }
+      return result;
+    }
+
+    case Sysno::kPwrite: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr || entry->kind != FdKind::kFile) {
+        return Err(-EBADF);
+      }
+      return Ret(entry->file->WriteAt(static_cast<uint64_t>(request.arg1),
+                                      request.in_data.data(), request.in_data.size()));
+    }
+
+    case Sysno::kLseek: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr || entry->kind != FdKind::kFile) {
+        return Err(-EBADF);
+      }
+      int64_t base = 0;
+      switch (request.arg2) {
+        case kSeekSet:
+          base = 0;
+          break;
+        case kSeekCur:
+          base = static_cast<int64_t>(entry->offset);
+          break;
+        case kSeekEnd:
+          base = static_cast<int64_t>(entry->file->Size());
+          break;
+        default:
+          return Err(-EINVAL);
+      }
+      const int64_t target = base + request.arg1;
+      if (target < 0) {
+        return Err(-EINVAL);
+      }
+      entry->offset = static_cast<uint64_t>(target);
+      return Ret(target);
+    }
+
+    case Sysno::kStat: {
+      VStat st;
+      const int64_t rc = vfs_.Stat(request.path, &st);
+      if (rc != 0) {
+        return Err(rc);
+      }
+      return Ret(static_cast<int64_t>(st.size));
+    }
+
+    case Sysno::kUnlink:
+      return Ret(vfs_.Unlink(request.path));
+
+    case Sysno::kDup:
+      return Ret(fds.Dup(static_cast<int32_t>(request.arg0)));
+
+    case Sysno::kFcntl: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr) {
+        return Err(-EBADF);
+      }
+      return Ret(entry->flags);
+    }
+
+    case Sysno::kPipe: {
+      auto pipe = std::make_shared<VPipe>();
+      {
+        std::lock_guard<std::mutex> lock(pipes_mutex_);
+        pipes_.push_back(pipe);
+      }
+      FdEntry read_end;
+      read_end.kind = FdKind::kPipeRead;
+      read_end.pipe = pipe;
+      FdEntry write_end;
+      write_end.kind = FdKind::kPipeWrite;
+      write_end.pipe = pipe;
+      const int32_t rfd = fds.Allocate(std::move(read_end));
+      const int32_t wfd = fds.Allocate(std::move(write_end));
+      return Ret(static_cast<int64_t>(rfd) | (static_cast<int64_t>(wfd) << 32));
+    }
+
+    default:
+      return Err(-ENOSYS);
+  }
+}
+
+SyscallResult VirtualKernel::ExecuteMemory(ProcessState& process, const SyscallRequest& request) {
+  AddressSpace& mem = process.memory();
+  switch (request.sysno) {
+    case Sysno::kBrk: {
+      uint64_t new_break = 0;
+      const int64_t rc = mem.Brk(request.arg0, &new_break);
+      if (rc != 0) {
+        return Err(rc);
+      }
+      return Ret(static_cast<int64_t>(new_break));
+    }
+    case Sysno::kMmap: {
+      uint64_t addr = 0;
+      const int64_t rc = mem.Mmap(static_cast<uint64_t>(request.arg0), request.arg1, &addr);
+      if (rc != 0) {
+        return Err(rc);
+      }
+      return Ret(static_cast<int64_t>(addr));
+    }
+    case Sysno::kMunmap:
+      return Ret(mem.Munmap(request.local_addr, static_cast<uint64_t>(request.arg1)));
+    case Sysno::kMprotect:
+      return Ret(mem.Mprotect(request.local_addr, static_cast<uint64_t>(request.arg1),
+                              request.arg2));
+    default:
+      return Err(-ENOSYS);
+  }
+}
+
+SyscallResult VirtualKernel::ExecuteNet(ProcessState& process, const SyscallRequest& request) {
+  FdTable& fds = process.fds();
+  switch (request.sysno) {
+    case Sysno::kSocket: {
+      FdEntry entry;
+      entry.kind = FdKind::kListener;  // Becomes a real listener at listen().
+      return Ret(fds.Allocate(std::move(entry)));
+    }
+
+    case Sysno::kBind: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr) {
+        return Err(-EBADF);
+      }
+      entry->port = static_cast<uint16_t>(request.arg1);
+      return Ret(0);
+    }
+
+    case Sysno::kListen: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr) {
+        return Err(-EBADF);
+      }
+      std::shared_ptr<VListener> listener;
+      const int64_t rc =
+          network_.Listen(entry->port, static_cast<int>(request.arg1), &listener);
+      if (rc != 0) {
+        return Err(rc);
+      }
+      entry->listener = listener;
+      return Ret(0);
+    }
+
+    case Sysno::kAccept: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr || entry->listener == nullptr) {
+        return Err(-EBADF);
+      }
+      auto conn = entry->listener->Accept();
+      if (conn == nullptr) {
+        return Err(-ECONNABORTED);
+      }
+      FdEntry conn_entry;
+      conn_entry.kind = FdKind::kConnServer;
+      conn_entry.conn = conn;
+      return Ret(fds.Allocate(std::move(conn_entry)));
+    }
+
+    case Sysno::kConnect: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr) {
+        return Err(-EBADF);
+      }
+      auto conn = network_.Connect(static_cast<uint16_t>(request.arg1));
+      if (conn == nullptr) {
+        return Err(-ECONNREFUSED);
+      }
+      entry->kind = FdKind::kConnClient;
+      entry->conn = conn;
+      return Ret(0);
+    }
+
+    case Sysno::kSend: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr || entry->conn == nullptr) {
+        return Err(-EBADF);
+      }
+      if (entry->kind == FdKind::kConnServer) {
+        return Ret(entry->conn->ServerWrite(request.in_data.data(), request.in_data.size()));
+      }
+      return Ret(entry->conn->ClientWrite(request.in_data.data(), request.in_data.size()));
+    }
+
+    case Sysno::kRecv: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr || entry->conn == nullptr) {
+        return Err(-EBADF);
+      }
+      SyscallResult result;
+      if (entry->kind == FdKind::kConnServer) {
+        result.retval = entry->conn->ServerRead(request.out_data.data(), request.out_data.size());
+      } else {
+        result.retval = entry->conn->ClientRead(request.out_data.data(), request.out_data.size());
+      }
+      if (result.retval > 0) {
+        result.out_bytes.assign(request.out_data.begin(),
+                                request.out_data.begin() + result.retval);
+      }
+      return result;
+    }
+
+    case Sysno::kShutdown: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry == nullptr) {
+        return Err(-EBADF);
+      }
+      if (entry->conn != nullptr) {
+        entry->conn->CloseBoth();
+      }
+      if (entry->listener != nullptr) {
+        network_.CloseListener(entry->port);
+      }
+      return Ret(0);
+    }
+
+    default:
+      return Err(-ENOSYS);
+  }
+}
+
+// sys_poll over the virtual fd space. Request payload: nfds records of
+// (int32 fd little-endian, uint8 events); arg0 = nfds, arg1 = timeout in
+// milliseconds (<0 = wait indefinitely). Returns the number of fds with a
+// non-zero revents byte in out_bytes (one byte per fd), 0 on timeout.
+// Readiness is polled (the virtual kernel has no wait-queue multiplexer);
+// the sleep quantum is far below the monitor's rendezvous granularity.
+SyscallResult VirtualKernel::ExecutePoll(ProcessState& process,
+                                         const SyscallRequest& request) {
+  FdTable& fds = process.fds();
+  const auto nfds = static_cast<size_t>(request.arg0);
+  if (request.in_data.size() < nfds * 5) {
+    return Err(-EINVAL);
+  }
+  const int64_t timeout_ms = request.arg1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+
+  SyscallResult result;
+  result.out_bytes.assign(nfds, 0);
+  for (;;) {
+    int64_t ready = 0;
+    for (size_t i = 0; i < nfds; ++i) {
+      int32_t fd = 0;
+      std::memcpy(&fd, request.in_data.data() + i * 5, sizeof(fd));
+      const uint8_t events = request.in_data[i * 5 + 4];
+      uint8_t revents = 0;
+      FdEntry* entry = fds.Get(fd);
+      if (entry == nullptr) {
+        revents = PollEvents::kHup;  // Invalid fd reported as hangup.
+      } else {
+        switch (entry->kind) {
+          case FdKind::kFile:
+            revents = static_cast<uint8_t>(events & (PollEvents::kIn | PollEvents::kOut));
+            break;
+          case FdKind::kPipeRead:
+            if ((events & PollEvents::kIn) != 0 && entry->pipe != nullptr &&
+                (entry->pipe->BytesBuffered() > 0 || entry->pipe->write_closed())) {
+              revents |= PollEvents::kIn;
+            }
+            break;
+          case FdKind::kPipeWrite:
+            if ((events & PollEvents::kOut) != 0) {
+              revents |= PollEvents::kOut;  // Bounded pipe: treat as writable.
+            }
+            break;
+          case FdKind::kListener:
+            if ((events & PollEvents::kIn) != 0 && entry->listener != nullptr &&
+                entry->listener->HasPending()) {
+              revents |= PollEvents::kIn;
+            }
+            break;
+          case FdKind::kConnServer:
+            if (entry->conn != nullptr) {
+              if ((events & PollEvents::kIn) != 0 && entry->conn->ServerReadable()) {
+                revents |= PollEvents::kIn;
+              }
+              if ((events & PollEvents::kOut) != 0 && entry->conn->ServerWritable()) {
+                revents |= PollEvents::kOut;
+              }
+            }
+            break;
+          case FdKind::kConnClient:
+            if (entry->conn != nullptr) {
+              if ((events & PollEvents::kIn) != 0 && entry->conn->ClientReadable()) {
+                revents |= PollEvents::kIn;
+              }
+              if ((events & PollEvents::kOut) != 0 && entry->conn->ClientWritable()) {
+                revents |= PollEvents::kOut;
+              }
+            }
+            break;
+          case FdKind::kFree:
+            revents = PollEvents::kHup;
+            break;
+        }
+      }
+      result.out_bytes[i] = revents;
+      ready += revents != 0 ? 1 : 0;
+    }
+    const bool timed_out =
+        timeout_ms > 0 && std::chrono::steady_clock::now() >= deadline;
+    if (ready > 0 || timeout_ms == 0 || timed_out) {
+      // Master-side delivery: revents go straight into the caller's buffer;
+      // the monitor replicates result.out_bytes to the slaves.
+      if (!request.out_data.empty()) {
+        const size_t count = std::min(result.out_bytes.size(), request.out_data.size());
+        std::copy(result.out_bytes.begin(), result.out_bytes.begin() + count,
+                  request.out_data.begin());
+      }
+      result.retval = timed_out && ready == 0 ? 0 : ready;
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+SyscallResult VirtualKernel::ExecuteTime(const SyscallRequest& request) {
+  switch (request.sysno) {
+    case Sysno::kGettimeofday:
+      return Ret(static_cast<int64_t>(clock_.NowMicros()));
+    case Sysno::kClockGettime:
+      return Ret(static_cast<int64_t>(clock_.NowNanos()));
+    case Sysno::kRdtsc:
+      return Ret(static_cast<int64_t>(clock_.Rdtsc()));
+    case Sysno::kNanosleep:
+      std::this_thread::sleep_for(std::chrono::nanoseconds(request.arg0));
+      return Ret(0);
+    default:
+      return Err(-ENOSYS);
+  }
+}
+
+std::shared_ptr<VConnection> VirtualKernel::AcceptBlocking(ProcessState& process,
+                                                           int32_t listen_fd, int64_t* error) {
+  FdEntry* entry = process.fds().Get(listen_fd);
+  if (entry == nullptr || entry->listener == nullptr) {
+    *error = -EBADF;
+    return nullptr;
+  }
+  auto conn = entry->listener->Accept();
+  if (conn == nullptr) {
+    *error = -ECONNABORTED;
+    return nullptr;
+  }
+  *error = 0;
+  return conn;
+}
+
+int64_t VirtualKernel::FinishAccept(ProcessState& process, std::shared_ptr<VConnection> conn) {
+  FdEntry conn_entry;
+  conn_entry.kind = FdKind::kConnServer;
+  conn_entry.conn = std::move(conn);
+  return process.fds().Allocate(std::move(conn_entry));
+}
+
+void VirtualKernel::ShutdownBlockedCalls() {
+  futexes_.WakeAll();
+  network_.CloseAll();
+  std::vector<std::weak_ptr<VPipe>> pipes;
+  {
+    std::lock_guard<std::mutex> lock(pipes_mutex_);
+    pipes = pipes_;
+  }
+  for (auto& weak : pipes) {
+    if (auto pipe = weak.lock()) {
+      pipe->CloseWriteEnd();
+      pipe->CloseReadEnd();
+    }
+  }
+}
+
+int64_t VirtualKernel::ApplyReplicatedEffect(ProcessState& process,
+                                             const SyscallRequest& request,
+                                             const SyscallResult& master_result) {
+  FdTable& fds = process.fds();
+  switch (request.sysno) {
+    case Sysno::kRead: {
+      // Advance the slave's file offset to keep later lseek(SEEK_CUR) and
+      // sequential reads consistent. Pipes/sockets have no offset.
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry != nullptr && entry->kind == FdKind::kFile && master_result.retval > 0) {
+        entry->offset += static_cast<uint64_t>(master_result.retval);
+      }
+      return 0;
+    }
+    case Sysno::kWrite: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry != nullptr && entry->kind == FdKind::kFile && master_result.retval > 0) {
+        entry->offset += static_cast<uint64_t>(master_result.retval);
+      }
+      return 0;
+    }
+    case Sysno::kAccept: {
+      // Install a shadow descriptor so the slave's fd numbering stays in sync
+      // with the master's. The shadow has no connection: the slave never
+      // performs real network I/O.
+      if (master_result.retval < 0) {
+        return 0;
+      }
+      FdEntry shadow;
+      shadow.kind = FdKind::kConnServer;
+      return fds.Allocate(std::move(shadow));
+    }
+    case Sysno::kSocket: {
+      // Shadow socket descriptor; never backed by a real listener (the port
+      // namespace is machine-shared, master-only).
+      if (master_result.retval < 0) {
+        return 0;
+      }
+      FdEntry shadow;
+      shadow.kind = FdKind::kListener;
+      return fds.Allocate(std::move(shadow));
+    }
+    case Sysno::kBind: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry != nullptr && master_result.retval == 0) {
+        entry->port = static_cast<uint16_t>(request.arg1);
+      }
+      return 0;
+    }
+    case Sysno::kListen:
+    case Sysno::kShutdown:
+      return 0;  // Shadow descriptors carry no kernel object to act on.
+    case Sysno::kConnect: {
+      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry != nullptr && master_result.retval == 0) {
+        entry->kind = FdKind::kConnClient;
+      }
+      return 0;
+    }
+    default:
+      return 0;
+  }
+}
+
+}  // namespace mvee

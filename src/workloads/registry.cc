@@ -1,0 +1,138 @@
+// The 25 benchmark stand-ins, one per row of the paper's Table 2.
+//
+// Knobs are chosen so the *relative* system-call and sync-op rates across
+// benchmarks track the paper's measurements: fluidanimate and radiosity are
+// the sync-op monsters, dedup and water_spatial the syscall-heavy ones,
+// blackscholes / radix / lu are nearly silent. The `paper_*` fields carry the
+// Table 2 reference values so the bench harness can print paper-vs-measured.
+
+#include <array>
+
+#include "mvee/workloads/workload.h"
+
+namespace mvee {
+
+namespace {
+
+constexpr WorkloadConfig kWorkloads[] = {
+    // --- PARSEC 2.1 ---
+    {.name = "blackscholes", .suite = "PARSEC", .shape = WorkloadShape::kDataParallel,
+     .worker_threads = 4, .stages = 0, .locks = 8, .items = 60000, .work_per_item = 96,
+     .sync_per_item = 0, .syscall_every = 512, .io_every = 0,
+     .paper_runtime_sec = 80.83, .paper_syscall_rate_k = 2.55, .paper_sync_rate_k = 0.00},
+    {.name = "bodytrack", .suite = "PARSEC", .shape = WorkloadShape::kDataParallel,
+     .worker_threads = 4, .stages = 0, .locks = 32, .items = 40000, .work_per_item = 1664,
+     .sync_per_item = 1, .syscall_every = 128, .io_every = 0,
+     .paper_runtime_sec = 60.06, .paper_syscall_rate_k = 8.59, .paper_sync_rate_k = 202.36},
+    {.name = "dedup", .suite = "PARSEC", .shape = WorkloadShape::kPipeline,
+     .worker_threads = 4, .stages = 3, .locks = 16, .items = 6000, .work_per_item = 320,
+     .sync_per_item = 1, .syscall_every = 0, .io_every = 1,
+     .paper_runtime_sec = 18.29, .paper_syscall_rate_k = 134.27, .paper_sync_rate_k = 1052.45},
+    {.name = "facesim", .suite = "PARSEC", .shape = WorkloadShape::kBarrierPhase,
+     .worker_threads = 4, .stages = 0, .locks = 16, .items = 3000, .work_per_item = 1792,
+     .sync_per_item = 1, .syscall_every = 64, .io_every = 0,
+     .paper_runtime_sec = 142.52, .paper_syscall_rate_k = 4.14, .paper_sync_rate_k = 288.75},
+    {.name = "ferret", .suite = "PARSEC", .shape = WorkloadShape::kPipeline,
+     .worker_threads = 4, .stages = 4, .locks = 16, .items = 8000, .work_per_item = 3072,
+     .sync_per_item = 1, .syscall_every = 256, .io_every = 0,
+     .paper_runtime_sec = 103.79, .paper_syscall_rate_k = 2.29, .paper_sync_rate_k = 225.10},
+    {.name = "fluidanimate", .suite = "PARSEC", .shape = WorkloadShape::kFineGrainGrid,
+     .worker_threads = 4, .stages = 0, .locks = 64, .items = 120000, .work_per_item = 24,
+     .sync_per_item = 1, .syscall_every = 4096, .io_every = 0,
+     .paper_runtime_sec = 93.19, .paper_syscall_rate_k = 0.45, .paper_sync_rate_k = 12746.59},
+    {.name = "freqmine", .suite = "PARSEC", .shape = WorkloadShape::kDataParallel,
+     .worker_threads = 4, .stages = 0, .locks = 8, .items = 50000, .work_per_item = 128,
+     .sync_per_item = 0, .syscall_every = 2048, .io_every = 0,
+     .paper_runtime_sec = 168.66, .paper_syscall_rate_k = 0.35, .paper_sync_rate_k = 0.24},
+    {.name = "raytrace", .suite = "PARSEC", .shape = WorkloadShape::kTaskQueue,
+     .worker_threads = 4, .stages = 0, .locks = 16, .items = 20000, .work_per_item = 6144,
+     .sync_per_item = 1, .syscall_every = 1024, .io_every = 0,
+     .paper_runtime_sec = 147.54, .paper_syscall_rate_k = 0.78, .paper_sync_rate_k = 88.33},
+    {.name = "streamcluster", .suite = "PARSEC", .shape = WorkloadShape::kBarrierPhase,
+     .worker_threads = 4, .stages = 0, .locks = 8, .items = 8000, .work_per_item = 2048,
+     .sync_per_item = 1, .syscall_every = 64, .io_every = 0,
+     .paper_runtime_sec = 136.05, .paper_syscall_rate_k = 5.63, .paper_sync_rate_k = 18.78},
+    {.name = "swaptions", .suite = "PARSEC", .shape = WorkloadShape::kAtomicHammer,
+     .worker_threads = 4, .stages = 0, .locks = 8, .items = 40000, .work_per_item = 256,
+     .sync_per_item = 8, .syscall_every = 8192, .io_every = 0,
+     .paper_runtime_sec = 86.68, .paper_syscall_rate_k = 0.01, .paper_sync_rate_k = 4585.65},
+    {.name = "vips", .suite = "PARSEC", .shape = WorkloadShape::kPipeline,
+     .worker_threads = 4, .stages = 3, .locks = 16, .items = 10000, .work_per_item = 1248,
+     .sync_per_item = 1, .syscall_every = 0, .io_every = 4,
+     .paper_runtime_sec = 37.09, .paper_syscall_rate_k = 15.76, .paper_sync_rate_k = 428.69},
+    {.name = "x264", .suite = "PARSEC", .shape = WorkloadShape::kPipeline,
+     .worker_threads = 4, .stages = 2, .locks = 8, .items = 8000, .work_per_item = 6144,
+     .sync_per_item = 1, .syscall_every = 512, .io_every = 64,
+     .paper_runtime_sec = 34.73, .paper_syscall_rate_k = 0.50, .paper_sync_rate_k = 15.98},
+
+    // --- SPLASH-2x ---
+    {.name = "barnes", .suite = "SPLASH", .shape = WorkloadShape::kTaskQueue,
+     .worker_threads = 4, .stages = 0, .locks = 64, .items = 40000, .work_per_item = 168,
+     .sync_per_item = 4, .syscall_every = 64, .io_every = 0,
+     .paper_runtime_sec = 61.15, .paper_syscall_rate_k = 19.61, .paper_sync_rate_k = 5115.99},
+    {.name = "fft", .suite = "SPLASH", .shape = WorkloadShape::kBarrierPhase,
+     .worker_threads = 4, .stages = 0, .locks = 8, .items = 400, .work_per_item = 32768,
+     .sync_per_item = 0, .syscall_every = 0, .io_every = 0,
+     .paper_runtime_sec = 40.26, .paper_syscall_rate_k = 0.01, .paper_sync_rate_k = 1.64},
+    {.name = "fmm", .suite = "SPLASH", .shape = WorkloadShape::kTaskQueue,
+     .worker_threads = 4, .stages = 0, .locks = 64, .items = 40000, .work_per_item = 168,
+     .sync_per_item = 4, .syscall_every = 1024, .io_every = 0,
+     .paper_runtime_sec = 42.68, .paper_syscall_rate_k = 0.91, .paper_sync_rate_k = 5215.01},
+    {.name = "lu_cb", .suite = "SPLASH", .shape = WorkloadShape::kDataParallel,
+     .worker_threads = 4, .stages = 0, .locks = 8, .items = 30000, .work_per_item = 128,
+     .sync_per_item = 0, .syscall_every = 4096, .io_every = 0,
+     .paper_runtime_sec = 51.16, .paper_syscall_rate_k = 0.08, .paper_sync_rate_k = 0.23},
+    {.name = "lu_ncb", .suite = "SPLASH", .shape = WorkloadShape::kDataParallel,
+     .worker_threads = 4, .stages = 0, .locks = 8, .items = 30000, .work_per_item = 160,
+     .sync_per_item = 0, .syscall_every = 8192, .io_every = 0,
+     .paper_runtime_sec = 73.55, .paper_syscall_rate_k = 0.05, .paper_sync_rate_k = 0.16},
+    {.name = "ocean_cp", .suite = "SPLASH", .shape = WorkloadShape::kBarrierPhase,
+     .worker_threads = 4, .stages = 0, .locks = 8, .items = 1500, .work_per_item = 8192,
+     .sync_per_item = 1, .syscall_every = 128, .io_every = 0,
+     .paper_runtime_sec = 39.39, .paper_syscall_rate_k = 1.21, .paper_sync_rate_k = 5.05},
+    {.name = "ocean_ncp", .suite = "SPLASH", .shape = WorkloadShape::kBarrierPhase,
+     .worker_threads = 4, .stages = 0, .locks = 8, .items = 1500, .work_per_item = 9216,
+     .sync_per_item = 1, .syscall_every = 128, .io_every = 0,
+     .paper_runtime_sec = 41.68, .paper_syscall_rate_k = 1.08, .paper_sync_rate_k = 4.55},
+    {.name = "radiosity", .suite = "SPLASH", .shape = WorkloadShape::kTaskQueue,
+     .worker_threads = 4, .stages = 0, .locks = 32, .items = 60000, .work_per_item = 8,
+     .sync_per_item = 8, .syscall_every = 32, .io_every = 0,
+     .paper_runtime_sec = 45.56, .paper_syscall_rate_k = 33.42, .paper_sync_rate_k = 18252.68},
+    {.name = "radix", .suite = "SPLASH", .shape = WorkloadShape::kDataParallel,
+     .worker_threads = 4, .stages = 0, .locks = 8, .items = 30000, .work_per_item = 64,
+     .sync_per_item = 0, .syscall_every = 0, .io_every = 0,
+     .paper_runtime_sec = 18.22, .paper_syscall_rate_k = 0.02, .paper_sync_rate_k = 0.04},
+    {.name = "raytrace", .suite = "SPLASH", .shape = WorkloadShape::kTaskQueue,
+     .worker_threads = 4, .stages = 0, .locks = 16, .items = 25000, .work_per_item = 1600,
+     .sync_per_item = 2, .syscall_every = 128, .io_every = 0,
+     .paper_runtime_sec = 52.52, .paper_syscall_rate_k = 6.63, .paper_sync_rate_k = 536.79},
+    {.name = "volrend", .suite = "SPLASH", .shape = WorkloadShape::kTaskQueue,
+     .worker_threads = 4, .stages = 0, .locks = 16, .items = 30000, .work_per_item = 352,
+     .sync_per_item = 3, .syscall_every = 64, .io_every = 0,
+     .paper_runtime_sec = 52.02, .paper_syscall_rate_k = 15.86, .paper_sync_rate_k = 1071.25},
+    {.name = "water_nsquared", .suite = "SPLASH", .shape = WorkloadShape::kBarrierPhase,
+     .worker_threads = 4, .stages = 0, .locks = 16, .items = 2500, .work_per_item = 12288,
+     .sync_per_item = 1, .syscall_every = 256, .io_every = 0,
+     .paper_runtime_sec = 182.80, .paper_syscall_rate_k = 0.88, .paper_sync_rate_k = 8.61},
+    {.name = "water_spatial", .suite = "SPLASH", .shape = WorkloadShape::kDataParallel,
+     .worker_threads = 4, .stages = 0, .locks = 16, .items = 20000, .work_per_item = 3072,
+     .sync_per_item = 1, .syscall_every = 0, .io_every = 1,
+     .paper_runtime_sec = 59.84, .paper_syscall_rate_k = 148.27, .paper_sync_rate_k = 9.63},
+};
+
+}  // namespace
+
+std::span<const WorkloadConfig> AllWorkloads() { return kWorkloads; }
+
+const WorkloadConfig* FindWorkload(const std::string& name) {
+  // Accept "name" (first match) or "suite/name" (exact).
+  for (const auto& config : kWorkloads) {
+    const std::string qualified = std::string(config.suite) + "/" + config.name;
+    if (name == config.name || name == qualified) {
+      return &config;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mvee

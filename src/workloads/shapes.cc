@@ -1,0 +1,570 @@
+// The five concurrency-shape engines behind the synthetic benchmarks.
+//
+// Determinism contract: every decision a variant thread makes (which lock to
+// take, which task to push, what data to hash) derives from variant-
+// independent state — thread id, item index, replicated syscall results —
+// never from raw pointers or timing. That is precisely the data-race-free
+// discipline the paper's replication scheme requires (§3).
+
+#include <deque>
+#include <thread>
+#include <memory>
+#include <vector>
+
+#include "mvee/sync/primitives.h"
+#include "mvee/util/rng.h"
+#include "mvee/vkernel/vfs.h"
+#include "mvee/workloads/workload.h"
+
+namespace mvee {
+
+namespace {
+
+// Compute kernel: `rounds` of SplitMix64 mixing. Returns a digest so the
+// work cannot be optimized away and so variants can be compared on it.
+uint64_t Mix(uint64_t seed, uint32_t rounds) {
+  uint64_t x = seed | 1;
+  for (uint32_t i = 0; i < rounds; ++i) {
+    x = SplitMix64(x);
+  }
+  return x;
+}
+
+// Scaled item count, at least 1 per thread.
+uint64_t ScaledItems(const WorkloadConfig& config, double scale) {
+  const double scaled = static_cast<double>(config.items) * scale;
+  const uint64_t items = static_cast<uint64_t>(scaled);
+  return items < config.worker_threads ? config.worker_threads : items;
+}
+
+// Sprinkles the configured syscall / io traffic for one processed item.
+void ItemTraffic(VariantEnv& env, const WorkloadConfig& config, int64_t scratch_fd,
+                 uint64_t item, uint64_t digest) {
+  if (config.syscall_every != 0 && item % config.syscall_every == 0) {
+    env.ClockGettimeNanos();
+  }
+  if (config.io_every != 0 && item % config.io_every == 0 && scratch_fd >= 0) {
+    char line[32];
+    const int n = std::snprintf(line, sizeof(line), "%016llx\n",
+                                static_cast<unsigned long long>(digest));
+    env.Write(scratch_fd, std::span<const uint8_t>(
+                              reinterpret_cast<const uint8_t*>(line), static_cast<size_t>(n)));
+  }
+}
+
+// Shared per-variant state every shape uses.
+struct CommonState {
+  explicit CommonState(const WorkloadConfig& config)
+      : counters(config.locks), counter_locks(config.locks) {}
+
+  std::vector<uint64_t> counters;       // Guarded by matching counter_locks.
+  std::vector<SpinLock> counter_locks;
+  InstrumentedAtomic<int32_t> hot_atomic{0};
+  Mutex digest_mutex;
+  uint64_t digest = 0;
+
+  // Commutative fold: the final digest must not depend on the order worker
+  // threads finish (real PARSEC outputs are schedule-independent too).
+  void FoldDigest(uint64_t value) {
+    LockGuard<Mutex> guard(digest_mutex);
+    digest ^= SplitMix64(value);
+  }
+
+  // Raw XOR fold for dynamically-partitioned work (task queues, pipelines):
+  // each work item contributes SplitMix64(item digest) independently, so the
+  // total is invariant under which thread processed which item.
+  void FoldDigestRaw(uint64_t value) {
+    LockGuard<Mutex> guard(digest_mutex);
+    digest ^= value;
+  }
+};
+
+// Opens the per-workload scratch file (one per variant run; writes are
+// deduplicated by the monitor so the file is written once).
+int64_t OpenScratch(VariantEnv& env, const WorkloadConfig& config) {
+  if (config.io_every == 0) {
+    return -1;
+  }
+  return env.Open(std::string("scratch/") + config.name,
+                  VOpenFlags::kWrite | VOpenFlags::kCreate | VOpenFlags::kTruncate);
+}
+
+void WriteResult(VariantEnv& env, const WorkloadConfig& config, uint64_t digest) {
+  char text[32];
+  const int n = std::snprintf(text, sizeof(text), "%016llx\n",
+                              static_cast<unsigned long long>(digest));
+  const int64_t fd = env.Open(std::string("result/") + config.name,
+                              VOpenFlags::kWrite | VOpenFlags::kCreate | VOpenFlags::kTruncate);
+  env.Write(fd, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(text),
+                                         static_cast<size_t>(n)));
+  env.Close(fd);
+}
+
+// --- Shape: data parallel -------------------------------------------------
+
+void RunDataParallel(VariantEnv& env, const WorkloadConfig& config, double scale) {
+  const uint64_t items = ScaledItems(config, scale);
+  auto state = std::make_shared<CommonState>(config);
+  const int64_t scratch_fd = OpenScratch(env, config);
+
+  auto worker = [state, &config, items, scratch_fd](uint32_t tid) {
+    return [state, &config, items, scratch_fd, tid](VariantEnv& wenv) {
+      uint64_t local_digest = 0;
+      const uint64_t per_thread = items / config.worker_threads;
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        const uint64_t item = tid * per_thread + i;
+        const uint64_t d = Mix(item, config.work_per_item);
+        local_digest ^= d;
+        for (uint32_t s = 0; s < config.sync_per_item; ++s) {
+          const size_t lock_index = (item + s) % config.locks;
+          LockGuard<SpinLock> guard(state->counter_locks[lock_index]);
+          state->counters[lock_index] += d & 0xff;
+        }
+        ItemTraffic(wenv, config, scratch_fd, item, d);
+      }
+      state->FoldDigest(local_digest);
+    };
+  };
+
+  std::vector<ThreadHandle> handles;
+  for (uint32_t t = 0; t < config.worker_threads; ++t) {
+    handles.push_back(env.Spawn(worker(t)));
+  }
+  for (auto handle : handles) {
+    env.Join(handle);
+  }
+  uint64_t total = 0;
+  for (uint64_t c : state->counters) {
+    total += c;
+  }
+  if (scratch_fd >= 0) {
+    env.Close(scratch_fd);
+  }
+  WriteResult(env, config, state->digest ^ total);
+}
+
+// --- Shape: atomic hammer (swaptions-style refcounting) --------------------
+
+void RunAtomicHammer(VariantEnv& env, const WorkloadConfig& config, double scale) {
+  const uint64_t items = ScaledItems(config, scale);
+  auto state = std::make_shared<CommonState>(config);
+  // Refcount pool: mostly thread-private counters (uncontended, like STL
+  // container refcounts), occasionally a shared one.
+  struct RefcountPool {
+    explicit RefcountPool(size_t n) : counts(n) {}
+    std::deque<InstrumentedAtomic<int32_t>> counts;
+  };
+  auto pool = std::make_shared<RefcountPool>(config.worker_threads + 1);
+  const int64_t scratch_fd = OpenScratch(env, config);
+
+  auto worker = [state, pool, &config, items, scratch_fd](uint32_t tid) {
+    return [state, pool, &config, items, scratch_fd, tid](VariantEnv& wenv) {
+      uint64_t local_digest = 0;
+      const uint64_t per_thread = items / config.worker_threads;
+      const size_t shared_index = pool->counts.size() - 1;
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        const uint64_t item = tid * per_thread + i;
+        const uint64_t d = Mix(item, config.work_per_item);
+        local_digest ^= d;
+        for (uint32_t s = 0; s < config.sync_per_item; ++s) {
+          // "Copy + destroy" of a refcounted handle: one inc, one dec.
+          const size_t index = (s % 8 == 7) ? shared_index : tid;
+          pool->counts[index].FetchAdd(1);
+          pool->counts[index].FetchSub(1);
+        }
+        ItemTraffic(wenv, config, scratch_fd, item, d);
+      }
+      state->FoldDigest(local_digest);
+    };
+  };
+
+  std::vector<ThreadHandle> handles;
+  for (uint32_t t = 0; t < config.worker_threads; ++t) {
+    handles.push_back(env.Spawn(worker(t)));
+  }
+  for (auto handle : handles) {
+    env.Join(handle);
+  }
+  if (scratch_fd >= 0) {
+    env.Close(scratch_fd);
+  }
+  WriteResult(env, config, state->digest);
+}
+
+// --- Shape: pipeline (dedup / ferret / vips / x264) ------------------------
+
+// Bounded queue of work items protected by an instrumented mutex + condvars.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  void Push(uint64_t value) {
+    mutex_.Lock();
+    while (queue_.size() >= capacity_) {
+      not_full_.Wait(mutex_);
+    }
+    queue_.push_back(value);
+    not_empty_.Signal();
+    mutex_.Unlock();
+  }
+
+  // Returns false when the queue is drained and closed.
+  bool Pop(uint64_t* out) {
+    mutex_.Lock();
+    while (queue_.empty() && !closed_) {
+      not_empty_.Wait(mutex_);
+    }
+    if (queue_.empty()) {
+      mutex_.Unlock();
+      return false;
+    }
+    *out = queue_.front();
+    queue_.pop_front();
+    not_full_.Signal();
+    mutex_.Unlock();
+    return true;
+  }
+
+  void Close() {
+    mutex_.Lock();
+    closed_ = true;
+    not_empty_.Broadcast();
+    mutex_.Unlock();
+  }
+
+ private:
+  const size_t capacity_;
+  Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<uint64_t> queue_;
+  bool closed_ = false;
+};
+
+void RunPipeline(VariantEnv& env, const WorkloadConfig& config, double scale) {
+  const uint64_t items = ScaledItems(config, scale);
+  const uint32_t stages = config.stages < 2 ? 2 : config.stages;
+  const uint32_t threads = config.worker_threads;
+  auto state = std::make_shared<CommonState>(config);
+
+  // Per-stage plumbing: threads are dealt round-robin over the stages
+  // (dedup-style n-threads-per-stage pipelines); a stage's output queue is
+  // closed only when the *last* thread of that stage finishes.
+  struct PipelineState {
+    PipelineState(uint32_t stage_count, const uint32_t* stage_threads) {
+      for (uint32_t s = 0; s + 1 < stage_count; ++s) {
+        queues.push_back(std::make_unique<BoundedQueue>(64));
+      }
+      for (uint32_t s = 0; s < stage_count; ++s) {
+        remaining.push_back(
+            std::make_unique<InstrumentedAtomic<int32_t>>(static_cast<int32_t>(stage_threads[s])));
+      }
+    }
+    std::vector<std::unique_ptr<BoundedQueue>> queues;
+    std::vector<std::unique_ptr<InstrumentedAtomic<int32_t>>> remaining;
+  };
+
+  uint32_t stage_threads[16] = {};
+  for (uint32_t t = 0; t < threads; ++t) {
+    ++stage_threads[t % stages];
+  }
+  auto pipe = std::make_shared<PipelineState>(stages, stage_threads);
+  const int64_t scratch_fd = OpenScratch(env, config);
+
+  // Producers split the item range; transforms and consumers drain their
+  // input queue until it closes.
+  auto stage_fn = [state, pipe, &config, items, stages, scratch_fd](uint32_t stage,
+                                                                    uint32_t ordinal,
+                                                                    uint32_t stage_count) {
+    return [state, pipe, &config, items, stages, scratch_fd, stage, ordinal,
+            stage_count](VariantEnv& wenv) {
+      uint64_t local_digest = 0;
+      if (stage == 0) {
+        const uint64_t begin = items * ordinal / stage_count;
+        const uint64_t end = items * (ordinal + 1) / stage_count;
+        for (uint64_t item = begin; item < end; ++item) {
+          const uint64_t chunk = Mix(item, config.work_per_item / 2 + 1);
+          pipe->queues[0]->Push(chunk);
+          ItemTraffic(wenv, config, scratch_fd, item, chunk);
+        }
+      } else if (stage + 1 < stages) {
+        uint64_t value = 0;
+        while (pipe->queues[stage - 1]->Pop(&value)) {
+          pipe->queues[stage]->Push(Mix(value, config.work_per_item));
+        }
+      } else {
+        uint64_t value = 0;
+        uint64_t item = 0;
+        while (pipe->queues[stage - 1]->Pop(&value)) {
+          const uint64_t d = Mix(value, config.work_per_item / 2 + 1);
+          local_digest ^= SplitMix64(d);  // Partition-invariant XOR term.
+          ItemTraffic(wenv, config, scratch_fd, item++, d);
+        }
+      }
+      // Last thread out closes the downstream queue.
+      if (pipe->remaining[stage]->FetchSub(1) == 1 && stage + 1 < stages) {
+        pipe->queues[stage]->Close();
+      }
+      state->FoldDigestRaw(local_digest);
+    };
+  };
+
+  std::vector<ThreadHandle> handles;
+  uint32_t ordinal_by_stage[16] = {};
+  for (uint32_t t = 0; t < threads; ++t) {
+    const uint32_t stage = t % stages;
+    handles.push_back(
+        env.Spawn(stage_fn(stage, ordinal_by_stage[stage]++, stage_threads[stage])));
+  }
+  for (auto handle : handles) {
+    env.Join(handle);
+  }
+  if (scratch_fd >= 0) {
+    env.Close(scratch_fd);
+  }
+  WriteResult(env, config, state->digest);
+}
+
+// --- Shape: task queue (radiosity / raytrace / volrend / barnes / fmm) -----
+
+void RunTaskQueue(VariantEnv& env, const WorkloadConfig& config, double scale) {
+  const uint64_t items = ScaledItems(config, scale);
+  auto state = std::make_shared<CommonState>(config);
+
+  // Blocking task queue: empty-handed workers sleep on the condition
+  // variable instead of polling (polling loops amplify quadratically under
+  // an MVEE: a thread parked in a lockstep rendezvous leaves its siblings
+  // spinning, and every spin is a sync op the slaves must replay).
+  struct TaskState {
+    Mutex mutex;
+    CondVar available;
+    std::deque<uint64_t> tasks;   // Guarded by mutex.
+    int64_t outstanding = 0;      // Unfinished tasks; guarded by mutex.
+  };
+  auto tasks = std::make_shared<TaskState>();
+  for (uint64_t i = 0; i < items; ++i) {
+    tasks->tasks.push_back(i);  // Pre-MVEE-visible setup is main-thread only.
+  }
+  tasks->outstanding = static_cast<int64_t>(items);
+  const int64_t scratch_fd = OpenScratch(env, config);
+
+  auto worker = [state, tasks, &config, scratch_fd](VariantEnv& wenv) {
+    uint64_t local_digest = 0;
+    uint64_t processed = 0;
+    for (;;) {
+      uint64_t task = 0;
+      tasks->mutex.Lock();
+      while (tasks->tasks.empty() && tasks->outstanding > 0) {
+        tasks->available.Wait(tasks->mutex);
+      }
+      if (tasks->tasks.empty()) {
+        tasks->mutex.Unlock();
+        break;  // All tasks finished.
+      }
+      task = tasks->tasks.front();
+      tasks->tasks.pop_front();
+      tasks->mutex.Unlock();
+
+      const uint64_t d = Mix(task, config.work_per_item);
+      local_digest ^= SplitMix64(d);  // Per-task term: partition-invariant XOR.
+      // Refinement tasks: a task occasionally spawns a child (bounded by
+      // tagging children with a high bit so they do not recurse).
+      if (config.sync_per_item > 1 && (task & (1ULL << 63)) == 0 && task % 7 == 0) {
+        LockGuard<Mutex> guard(tasks->mutex);
+        tasks->tasks.push_back(task | (1ULL << 63));
+        ++tasks->outstanding;
+        tasks->available.Signal();
+      }
+      for (uint32_t s = 1; s < config.sync_per_item; ++s) {
+        const size_t lock_index = (task + s) % config.locks;
+        LockGuard<SpinLock> guard(state->counter_locks[lock_index]);
+        state->counters[lock_index] += d & 0xf;
+      }
+      ItemTraffic(wenv, config, scratch_fd, processed++, d);
+      {
+        LockGuard<Mutex> guard(tasks->mutex);
+        --tasks->outstanding;
+        if (tasks->outstanding == 0) {
+          tasks->available.Broadcast();
+        }
+      }
+    }
+    state->FoldDigestRaw(local_digest);
+  };
+
+  std::vector<ThreadHandle> handles;
+  for (uint32_t t = 0; t < config.worker_threads; ++t) {
+    handles.push_back(env.Spawn(worker));
+  }
+  for (auto handle : handles) {
+    env.Join(handle);
+  }
+  uint64_t total = 0;
+  for (uint64_t c : state->counters) {
+    total += c;
+  }
+  if (scratch_fd >= 0) {
+    env.Close(scratch_fd);
+  }
+  WriteResult(env, config, state->digest ^ total);
+}
+
+// --- Shape: fine-grained grid (fluidanimate) --------------------------------
+
+void RunFineGrainGrid(VariantEnv& env, const WorkloadConfig& config, double scale) {
+  const uint64_t items = ScaledItems(config, scale);
+  struct GridState {
+    explicit GridState(size_t cells) : values(cells), locks(cells) {}
+    std::vector<uint64_t> values;
+    std::vector<SpinLock> locks;
+    Mutex digest_mutex;
+    uint64_t digest = 0;
+  };
+  auto grid = std::make_shared<GridState>(config.locks);
+  const int64_t scratch_fd = OpenScratch(env, config);
+
+  auto worker = [grid, &config, items, scratch_fd](uint32_t tid) {
+    return [grid, &config, items, scratch_fd, tid](VariantEnv& wenv) {
+      Rng rng(9000 + tid);  // Variant-independent per-thread schedule.
+      const uint64_t per_thread = items / config.worker_threads;
+      uint64_t local_digest = 0;
+      const size_t cells = grid->values.size();
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        // Pick a cell pair; lock in index order (fluidanimate's discipline)
+        // so every variant's thread issues the same sync-op sequence.
+        const size_t a = rng.NextBelow(cells);
+        size_t b = (a + 1 + rng.NextBelow(cells - 1)) % cells;
+        const size_t low = a < b ? a : b;
+        const size_t high = a < b ? b : a;
+        const uint64_t d = Mix(i ^ (a * cells + b), config.work_per_item);
+        grid->locks[low].Lock();
+        grid->locks[high].Lock();
+        // Commutative cell updates: the grid total is schedule-independent,
+        // like fluidanimate's density accumulation.
+        grid->values[low] += d & 0xff;
+        grid->values[high] += (d >> 8) & 0xff;
+        grid->locks[high].Unlock();
+        grid->locks[low].Unlock();
+        local_digest ^= d;
+        ItemTraffic(wenv, config, scratch_fd, i, d);
+      }
+      LockGuard<Mutex> guard(grid->digest_mutex);
+      grid->digest ^= SplitMix64(local_digest);
+    };
+  };
+
+  std::vector<ThreadHandle> handles;
+  for (uint32_t t = 0; t < config.worker_threads; ++t) {
+    handles.push_back(env.Spawn(worker(t)));
+  }
+  for (auto handle : handles) {
+    env.Join(handle);
+  }
+  uint64_t total = 0;
+  for (uint64_t v : grid->values) {
+    total += v;
+  }
+  if (scratch_fd >= 0) {
+    env.Close(scratch_fd);
+  }
+  WriteResult(env, config, grid->digest ^ total);
+}
+
+// --- Shape: barrier phases (ocean / streamcluster / water / fft) -----------
+
+void RunBarrierPhase(VariantEnv& env, const WorkloadConfig& config, double scale) {
+  const uint64_t phases = ScaledItems(config, scale);
+  struct PhaseState {
+    explicit PhaseState(uint32_t participants, size_t slots)
+        : barrier(static_cast<int32_t>(participants)), partial(slots) {}
+    Barrier barrier;
+    std::vector<uint64_t> partial;  // One slot per thread: no locks needed.
+    Mutex digest_mutex;
+    uint64_t digest = 0;
+  };
+  auto state = std::make_shared<PhaseState>(config.worker_threads, config.worker_threads);
+  const int64_t scratch_fd = OpenScratch(env, config);
+
+  auto worker = [state, &config, phases, scratch_fd](uint32_t tid) {
+    return [state, &config, phases, scratch_fd, tid](VariantEnv& wenv) {
+      uint64_t local_digest = 0;
+      for (uint64_t phase = 0; phase < phases; ++phase) {
+        state->partial[tid] = Mix(phase * config.worker_threads + tid, config.work_per_item);
+        const bool serial = state->barrier.Arrive();
+        if (serial) {
+          // The phase's serial section: reduce the partial results.
+          uint64_t sum = 0;
+          for (uint64_t p : state->partial) {
+            sum += p;
+          }
+          LockGuard<Mutex> guard(state->digest_mutex);
+          state->digest ^= SplitMix64(sum);
+        }
+        state->barrier.Arrive();  // Release barrier after the serial section.
+        local_digest ^= state->partial[tid];
+        ItemTraffic(wenv, config, scratch_fd, phase, local_digest);
+      }
+      LockGuard<Mutex> guard(state->digest_mutex);
+      state->digest ^= SplitMix64(local_digest + tid);
+    };
+  };
+
+  std::vector<ThreadHandle> handles;
+  for (uint32_t t = 0; t < config.worker_threads; ++t) {
+    handles.push_back(env.Spawn(worker(t)));
+  }
+  for (auto handle : handles) {
+    env.Join(handle);
+  }
+  if (scratch_fd >= 0) {
+    env.Close(scratch_fd);
+  }
+  WriteResult(env, config, state->digest);
+}
+
+}  // namespace
+
+const char* WorkloadShapeName(WorkloadShape shape) {
+  switch (shape) {
+    case WorkloadShape::kDataParallel:
+      return "data-parallel";
+    case WorkloadShape::kAtomicHammer:
+      return "atomic-hammer";
+    case WorkloadShape::kPipeline:
+      return "pipeline";
+    case WorkloadShape::kTaskQueue:
+      return "task-queue";
+    case WorkloadShape::kFineGrainGrid:
+      return "fine-grain-grid";
+    case WorkloadShape::kBarrierPhase:
+      return "barrier-phase";
+  }
+  return "unknown";
+}
+
+Program MakeWorkloadProgram(const WorkloadConfig& config, double scale) {
+  return [&config, scale](VariantEnv& env) {
+    switch (config.shape) {
+      case WorkloadShape::kDataParallel:
+        RunDataParallel(env, config, scale);
+        break;
+      case WorkloadShape::kAtomicHammer:
+        RunAtomicHammer(env, config, scale);
+        break;
+      case WorkloadShape::kPipeline:
+        RunPipeline(env, config, scale);
+        break;
+      case WorkloadShape::kTaskQueue:
+        RunTaskQueue(env, config, scale);
+        break;
+      case WorkloadShape::kFineGrainGrid:
+        RunFineGrainGrid(env, config, scale);
+        break;
+      case WorkloadShape::kBarrierPhase:
+        RunBarrierPhase(env, config, scale);
+        break;
+    }
+  };
+}
+
+}  // namespace mvee

@@ -1,0 +1,361 @@
+// Tests for the sync-op identification pipeline (paper §4.3): the MIR
+// builder, Steensgaard points-to, the two-stage analysis (incl. the Listing
+// 1 / Listing 2 behaviours the paper discusses), the volatile extension, the
+// _Atomic qualifier checker, and the Table 3 corpus regeneration.
+
+#include <gtest/gtest.h>
+
+#include "mvee/analysis/atomic_check.h"
+#include "mvee/analysis/corpus.h"
+#include "mvee/analysis/field_sensitive.h"
+#include "mvee/analysis/points_to.h"
+#include "mvee/analysis/syncop_analysis.h"
+
+namespace mvee {
+namespace {
+
+TEST(PointsToTest, AddrOfEstablishesPointsTo) {
+  MirBuilder builder("m");
+  const int32_t obj = builder.Object("x");
+  const int32_t reg = builder.Reg();
+  builder.AddrOf(reg, obj);
+  PointsToAnalysis analysis(builder.Build());
+  EXPECT_EQ(analysis.PointsTo(reg), std::set<int32_t>{obj});
+}
+
+TEST(PointsToTest, CopyPropagates) {
+  MirBuilder builder("m");
+  const int32_t obj = builder.Object("x");
+  const int32_t a = builder.Reg();
+  const int32_t b = builder.Reg();
+  const int32_t c = builder.Reg();
+  builder.AddrOf(a, obj).Mov(b, a).Gep(c, b);
+  PointsToAnalysis analysis(builder.Build());
+  EXPECT_TRUE(analysis.MayAlias(a, b));
+  EXPECT_TRUE(analysis.MayAlias(a, c));
+  EXPECT_EQ(analysis.PointsTo(c), std::set<int32_t>{obj});
+}
+
+TEST(PointsToTest, DisjointPointersDoNotAlias) {
+  MirBuilder builder("m");
+  const int32_t x = builder.Object("x");
+  const int32_t y = builder.Object("y");
+  const int32_t p = builder.Reg();
+  const int32_t q = builder.Reg();
+  builder.AddrOf(p, x).AddrOf(q, y);
+  PointsToAnalysis analysis(builder.Build());
+  EXPECT_FALSE(analysis.MayAlias(p, q));
+}
+
+TEST(PointsToTest, UnificationMergesOnDoubleAssignment) {
+  // Steensgaard is unification-based: p = &x; p = &y makes {x,y} one class,
+  // so q = &x aliases p even through y. This is the over-approximation the
+  // paper observed with DSA.
+  MirBuilder builder("m");
+  const int32_t x = builder.Object("x");
+  const int32_t y = builder.Object("y");
+  const int32_t p = builder.Reg();
+  const int32_t q = builder.Reg();
+  builder.AddrOf(p, x).AddrOf(p, y).AddrOf(q, y);
+  PointsToAnalysis analysis(builder.Build());
+  EXPECT_TRUE(analysis.MayAlias(p, q));
+  EXPECT_EQ(analysis.PointsTo(p).size(), 2u);
+}
+
+TEST(PointsToTest, HeapObjectsTracked) {
+  MirBuilder builder("m");
+  const int32_t heap = builder.Object("h", MirStorage::kHeap);
+  const int32_t p = builder.Reg();
+  builder.Alloc(p, heap);
+  PointsToAnalysis analysis(builder.Build());
+  EXPECT_EQ(analysis.PointsTo(p), std::set<int32_t>{heap});
+}
+
+TEST(SyncOpAnalysisTest, Listing1SpinlockFindsUnlockStore) {
+  // The paper's worked example: the LOCK CMPXCHG in spinlock_lock is a
+  // stage-1 sync op; the plain store in spinlock_unlock aliases the same
+  // variable and must be marked in stage 2.
+  const SyncOpReport report = IdentifySyncOps(BuildListing1Module());
+  EXPECT_EQ(report.type_i.size(), 1u);
+  EXPECT_EQ(report.type_ii.size(), 0u);
+  ASSERT_EQ(report.type_iii.size(), 1u);
+  EXPECT_EQ(report.type_iii[0].function, "spinlock_unlock");
+  EXPECT_EQ(report.type_iii[0].source_line, "listing1.c:9");
+  // The bystander store stays unmarked.
+  EXPECT_EQ(report.unmarked_memops, 1u);
+}
+
+TEST(SyncOpAnalysisTest, Listing2CondvarMissedWithoutVolatile) {
+  // The documented limitation (§4.3): load/store-only primitives are
+  // invisible to the base analysis.
+  const SyncOpReport report = IdentifySyncOps(BuildListing2Module());
+  EXPECT_EQ(report.TotalSyncOps(), 0u);
+  EXPECT_EQ(report.unmarked_memops, 2u);
+}
+
+TEST(SyncOpAnalysisTest, Listing2CondvarFoundWithVolatileExtension) {
+  SyncOpAnalysisOptions options;
+  options.treat_volatile_as_sync = true;
+  const SyncOpReport report = IdentifySyncOps(BuildListing2Module(), options);
+  EXPECT_EQ(report.type_iii.size(), 2u);  // The flag's store and load.
+  EXPECT_EQ(report.unmarked_memops, 0u);
+}
+
+TEST(SyncOpAnalysisTest, NoisePrecision) {
+  // A module with only private memory traffic: nothing may be marked.
+  MirBuilder builder("quiet");
+  for (int i = 0; i < 50; ++i) {
+    const int32_t obj = builder.Object("v" + std::to_string(i), MirStorage::kStack);
+    const int32_t reg = builder.Reg();
+    builder.AddrOf(reg, obj).Load(reg).Store(reg);
+  }
+  const SyncOpReport report = IdentifySyncOps(builder.Build());
+  EXPECT_EQ(report.TotalSyncOps(), 0u);
+  EXPECT_EQ(report.unmarked_memops, 100u);
+}
+
+class Table3Test : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Table3Test, CorpusRowMatchesPaperCounts) {
+  const auto specs = Table3Specs();
+  const CorpusSpec& spec = specs[GetParam()];
+  const SyncOpReport report = IdentifySyncOps(BuildSyntheticModule(spec));
+  EXPECT_EQ(report.type_i.size(), spec.type_i) << spec.module_name;
+  EXPECT_EQ(report.type_ii.size(), spec.type_ii) << spec.module_name;
+  EXPECT_EQ(report.type_iii.size(), spec.type_iii) << spec.module_name;
+  // Precision: every noise memop stays unmarked.
+  EXPECT_EQ(report.unmarked_memops, spec.noise_memops) << spec.module_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table3Test, ::testing::Range<size_t>(0, 8),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           std::string name = Table3Specs()[info.param].module_name;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Table3FormatTest, RendersAllRows) {
+  std::vector<SyncOpReport> reports;
+  for (const auto& module : BuildTable3Corpus()) {
+    reports.push_back(IdentifySyncOps(module));
+  }
+  const std::string table = FormatTable3(reports);
+  EXPECT_NE(table.find("libc-2.19.so"), std::string::npos);
+  EXPECT_NE(table.find("319"), std::string::npos);  // libc type (i) count.
+  EXPECT_NE(table.find("409"), std::string::npos);  // libc type (ii) count.
+}
+
+TEST(AtomicCheckTest, CleanModuleHasNoDiagnostics) {
+  MirBuilder builder("clean");
+  const int32_t obj = builder.Object("lock", MirStorage::kGlobal, false,
+                                     /*atomic_qualified=*/true);
+  const int32_t p = builder.Reg();
+  builder.AddrOf(p, obj).LockRmw(p);
+  const AtomicCheckResult result = CheckAtomicQualifiers(builder.Build(), {p});
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(AtomicCheckTest, DiscardingQualifierIsError) {
+  MirBuilder builder("discard");
+  const int32_t obj = builder.Object("lock", MirStorage::kGlobal, false, true);
+  const int32_t p = builder.Reg();
+  const int32_t q = builder.Reg();
+  builder.AddrOf(p, obj).Mov(q, p, "cast.c:7");
+  const AtomicCheckResult result = CheckAtomicQualifiers(builder.Build(), {p});
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].kind, AtomicDiagnostic::Kind::kErrorCastFromAtomic);
+  EXPECT_EQ(result.diagnostics[0].source_line, "cast.c:7");
+  EXPECT_TRUE(result.HasErrors());
+}
+
+TEST(AtomicCheckTest, AddingQualifierIsWarning) {
+  MirBuilder builder("add");
+  const int32_t obj = builder.Object("plain");
+  const int32_t p = builder.Reg();
+  const int32_t q = builder.Reg();
+  builder.AddrOf(p, obj).Mov(q, p, "cast.c:9");
+  const AtomicCheckResult result = CheckAtomicQualifiers(builder.Build(), {q});
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].kind, AtomicDiagnostic::Kind::kWarningCastToAtomic);
+  EXPECT_FALSE(result.HasErrors());
+}
+
+TEST(AtomicCheckTest, AsmUseIsHardError) {
+  const MirModule module = BuildAsmViolationModule();
+  PropagationResult result = PropagateQualifiers(module, {0});
+  ASSERT_EQ(result.hard_errors.size(), 1u);
+  EXPECT_EQ(result.hard_errors[0].kind, AtomicDiagnostic::Kind::kErrorAtomicInAsm);
+}
+
+TEST(AtomicCheckTest, PropagationReachesFixpoint) {
+  // A chain lock -> p0 -> p1 -> p2 plus an upstream source feeding p1: the
+  // fixpoint must qualify every register in the def-use web.
+  MirBuilder builder("chain");
+  const int32_t lock = builder.Object("lock");
+  const int32_t p0 = builder.Reg();
+  const int32_t p1 = builder.Reg();
+  const int32_t p2 = builder.Reg();
+  const int32_t upstream = builder.Reg();
+  builder.AddrOf(p0, lock).Mov(p1, p0).Mov(p2, p1).Mov(p1, upstream);
+  const PropagationResult result = PropagateQualifiers(builder.Build(), {lock});
+  EXPECT_EQ(result.qualified_regs.size(), 4u);  // p0, p1, p2, upstream.
+  EXPECT_GE(result.iterations, 2);              // Needed more than one "compile".
+  EXPECT_TRUE(result.hard_errors.empty());
+}
+
+TEST(AtomicCheckTest, UnrelatedPointersStayUnqualified) {
+  MirBuilder builder("unrelated");
+  const int32_t lock = builder.Object("lock");
+  const int32_t other = builder.Object("other");
+  const int32_t p = builder.Reg();
+  const int32_t q = builder.Reg();
+  builder.AddrOf(p, lock).AddrOf(q, other);
+  const PropagationResult result = PropagateQualifiers(builder.Build(), {lock});
+  EXPECT_EQ(result.qualified_regs.count(p), 1u);
+  EXPECT_EQ(result.qualified_regs.count(q), 0u);
+}
+
+TEST(MirTest, BuilderProducesWellFormedModule) {
+  MirBuilder builder("wf");
+  const int32_t obj = builder.Object("x");
+  const int32_t reg = builder.Reg();
+  builder.Function("f");
+  builder.AddrOf(reg, obj).LockRmw(reg).Compute();
+  const MirModule module = builder.Build();
+  EXPECT_EQ(module.name, "wf");
+  EXPECT_EQ(module.functions.size(), 1u);
+  EXPECT_EQ(module.InstructionCount(), 3u);
+  EXPECT_EQ(module.register_count, 1);
+}
+
+// --- Field-sensitive analysis (§4.3.1's missing piece) ---
+
+TEST(FieldSensitiveTest, DistinctFieldsDoNotAlias) {
+  MirBuilder builder("m");
+  const int32_t node = builder.Object("node", MirStorage::kHeap);
+  const int32_t base = builder.Reg();
+  const int32_t refcount = builder.Reg();
+  const int32_t payload = builder.Reg();
+  builder.Function("f");
+  builder.Alloc(base, node)
+      .GepField(refcount, base, 0)
+      .GepField(payload, base, 1);
+  FieldSensitiveAnalysis analysis(builder.Build());
+  EXPECT_FALSE(analysis.MayAlias(refcount, payload));
+  EXPECT_TRUE(analysis.MayAlias(base, refcount)) << "base covers field 0";
+}
+
+TEST(FieldSensitiveTest, OpaqueArithmeticSmearToAnyField) {
+  MirBuilder builder("m");
+  const int32_t node = builder.Object("node", MirStorage::kHeap);
+  const int32_t base = builder.Reg();
+  const int32_t anywhere = builder.Reg();
+  const int32_t payload = builder.Reg();
+  builder.Function("f");
+  builder.Alloc(base, node)
+      .Gep(anywhere, base)  // Opaque pointer arithmetic: field unknown.
+      .GepField(payload, base, 3);
+  FieldSensitiveAnalysis analysis(builder.Build());
+  // The SVF conservatism the paper observed: arithmetic forfeits precision.
+  EXPECT_TRUE(analysis.MayAlias(anywhere, payload));
+}
+
+TEST(FieldSensitiveTest, LocsMayAliasSemantics) {
+  EXPECT_TRUE(LocsMayAlias({1, 0}, {1, 0}));
+  EXPECT_FALSE(LocsMayAlias({1, 0}, {1, 1}));
+  EXPECT_FALSE(LocsMayAlias({1, 0}, {2, 0}));
+  EXPECT_TRUE(LocsMayAlias({1, FieldLoc::kAnyField}, {1, 7}));
+  EXPECT_TRUE(LocsMayAlias({1, 7}, {1, FieldLoc::kAnyField}));
+}
+
+TEST(FieldSensitiveTest, RefcountPatternKeepsPayloadUnmarked) {
+  const RefcountHeapCorpus corpus = BuildRefcountHeapModule();
+
+  // Field-insensitive (Andersen / SVF-as-queryable, §4.3.1): every payload
+  // access aliases the locked object => spurious type (iii) marks.
+  const SyncOpReport flat = IdentifySyncOpsAndersen(corpus.module);
+  EXPECT_EQ(flat.type_iii.size(), corpus.real_type_iii + corpus.payload_memops)
+      << "field-insensitive analysis must over-mark the heap payload";
+
+  // Field-sensitive: only the genuine refcount reloads are marked.
+  const SyncOpReport sensitive = IdentifySyncOpsFieldSensitive(corpus.module);
+  EXPECT_EQ(sensitive.type_iii.size(), corpus.real_type_iii);
+  EXPECT_EQ(sensitive.unmarked_memops, corpus.payload_memops);
+  EXPECT_EQ(sensitive.type_i.size(), flat.type_i.size()) << "stage 1 is unchanged";
+}
+
+TEST(FieldSensitiveTest, AgreesWithAndersenOnFieldFreeModules) {
+  // On Listing 1 (no aggregates) field sensitivity must change nothing.
+  const MirModule module = BuildListing1Module();
+  const SyncOpReport flat = IdentifySyncOpsAndersen(module);
+  const SyncOpReport sensitive = IdentifySyncOpsFieldSensitive(module);
+  EXPECT_EQ(sensitive.type_i.size(), flat.type_i.size());
+  EXPECT_EQ(sensitive.type_ii.size(), flat.type_ii.size());
+  EXPECT_EQ(sensitive.type_iii.size(), flat.type_iii.size());
+  EXPECT_EQ(sensitive.unmarked_memops, flat.unmarked_memops);
+}
+
+TEST(FieldSensitiveTest, VolatileExtensionCoversWholeObject) {
+  const MirModule module = BuildListing2Module();
+  SyncOpAnalysisOptions options;
+  options.treat_volatile_as_sync = true;
+  const SyncOpReport report = IdentifySyncOpsFieldSensitive(module, options);
+  // Both the store and the load on the volatile flag are found.
+  EXPECT_EQ(report.type_iii.size(), 2u);
+}
+
+// --- §4.3.1 checker improvements ---
+
+TEST(AtomicCheckImprovementsTest, AutoVolatileQualifiesListing2) {
+  const MirModule module = BuildListing2Module();
+  // Without improvement 1 there is nothing to seed from: stage 1 finds no
+  // atomics in Listing 2, so propagation qualifies nothing.
+  const PropagationResult plain = PropagateQualifiers(module, {});
+  EXPECT_TRUE(plain.qualified_objects.empty());
+  EXPECT_TRUE(plain.qualified_regs.empty());
+
+  AtomicCheckOptions options;
+  options.auto_qualify_volatile = true;
+  const PropagationResult improved = PropagateQualifiers(module, {}, options);
+  EXPECT_EQ(improved.qualified_objects.size(), 1u) << "the volatile flag";
+  EXPECT_EQ(improved.qualified_regs.size(), 2u) << "both pointers to it";
+  EXPECT_TRUE(improved.hard_errors.empty());
+}
+
+TEST(AtomicCheckImprovementsTest, AnalyzableAsmIsPermitted) {
+  MirBuilder builder("analyzable_asm");
+  const int32_t var = builder.Object("lock", MirStorage::kGlobal);
+  builder.Function("f");
+  const int32_t pointer = builder.Reg();
+  builder.AddrOf(pointer, var, "a.c:1");
+  builder.AsmBlockAnalyzable(pointer, "a.c:2");
+  const MirModule module = builder.Build();
+
+  // Improvement 3 off: the qualified pointer in asm is a hard error.
+  const PropagationResult strict = PropagateQualifiers(module, {var});
+  ASSERT_EQ(strict.hard_errors.size(), 1u);
+  EXPECT_EQ(strict.hard_errors[0].kind, AtomicDiagnostic::Kind::kErrorAtomicInAsm);
+
+  // Improvement 3 on: the easy-to-analyze block is accepted.
+  AtomicCheckOptions options;
+  options.permit_analyzable_asm = true;
+  const PropagationResult relaxed = PropagateQualifiers(module, {var}, options);
+  EXPECT_TRUE(relaxed.hard_errors.empty());
+}
+
+TEST(AtomicCheckImprovementsTest, OpaqueAsmStillRejected) {
+  // BuildAsmViolationModule uses a plain AsmBlock: improvement 3 must not
+  // exempt it.
+  const MirModule module = BuildAsmViolationModule();
+  AtomicCheckOptions options;
+  options.permit_analyzable_asm = true;
+  const PropagationResult result = PropagateQualifiers(module, {0}, options);
+  EXPECT_EQ(result.hard_errors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mvee

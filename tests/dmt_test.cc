@@ -1,0 +1,673 @@
+// Tests for the DMT-vs-Record/Replay study (src/dmt) — the quantitative
+// backing for paper §2.1's argument that deterministic multithreading does
+// not compose with software diversity while record/replay does.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mvee/dmt/program.h"
+#include "mvee/dmt/replay.h"
+#include "mvee/dmt/respec.h"
+#include "mvee/dmt/schedule.h"
+#include "mvee/dmt/scheduler.h"
+
+namespace mvee::dmt {
+namespace {
+
+ProgramSpec ContendedSpec() {
+  ProgramSpec spec;
+  spec.threads = 4;
+  spec.locks = 3;  // Few locks => real contention => interleaving matters.
+  spec.sections_per_thread = 40;
+  spec.compute_cost_mean = 200;
+  spec.critical_cost_mean = 50;
+  spec.syscall_probability = 0.5;
+  return spec;
+}
+
+// --- Structural validity of schedules ---
+
+// Checks mutual exclusion, per-thread program order, and acquire/release
+// alternation against the source program.
+::testing::AssertionResult ValidateSchedule(const Program& program,
+                                            const Schedule& schedule) {
+  if (!schedule.completed) {
+    return ::testing::AssertionFailure() << "schedule incomplete: " << schedule.failure;
+  }
+  // Per-thread cursor over the program's sync-relevant ops.
+  std::vector<size_t> cursor(program.thread_count(), 0);
+  auto next_sync_of = [&](uint32_t tid) -> const Op* {
+    const auto& ops = program.threads[tid];
+    while (cursor[tid] < ops.size()) {
+      const Op& op = ops[cursor[tid]];
+      if (op.kind != OpKind::kCompute && op.kind != OpKind::kSyscall) {
+        return &op;
+      }
+      ++cursor[tid];
+    }
+    return nullptr;
+  };
+
+  std::vector<int64_t> holder(program.lock_count, -1);
+  for (size_t i = 0; i < schedule.sync_order.size(); ++i) {
+    const SyncEvent& event = schedule.sync_order[i];
+    const Op* expected = next_sync_of(event.tid);
+    if (expected == nullptr) {
+      return ::testing::AssertionFailure()
+             << "event " << i << ": thread " << event.tid << " has no pending sync op";
+    }
+    if (expected->kind != event.kind || expected->var != event.var) {
+      return ::testing::AssertionFailure()
+             << "event " << i << ": thread " << event.tid << " executed "
+             << OpKindName(event.kind) << "(" << event.var << ") but program order says "
+             << OpKindName(expected->kind) << "(" << expected->var << ")";
+    }
+    ++cursor[event.tid];
+    if (event.kind == OpKind::kLock) {
+      if (holder[event.var] != -1) {
+        return ::testing::AssertionFailure()
+               << "event " << i << ": lock " << event.var << " acquired by " << event.tid
+               << " while held by " << holder[event.var];
+      }
+      holder[event.var] = event.tid;
+    } else if (event.kind == OpKind::kUnlock) {
+      if (holder[event.var] != static_cast<int64_t>(event.tid)) {
+        return ::testing::AssertionFailure()
+               << "event " << i << ": unlock of " << event.var << " by non-holder";
+      }
+      holder[event.var] = -1;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- Generator ---
+
+class GeneratorSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSeedTest, ProgramsAreWellFormed) {
+  ProgramSpec spec = ContendedSpec();
+  spec.flag_pairs = 2;
+  const Program program = GenerateProgram(spec, GetParam());
+  ASSERT_EQ(program.thread_count(), spec.threads);
+  EXPECT_EQ(program.lock_count, spec.locks);
+
+  for (uint32_t t = 0; t < spec.threads; ++t) {
+    int64_t held = -1;  // Locks must be balanced and never nested.
+    uint32_t sections = 0;
+    for (const Op& op : program.threads[t]) {
+      switch (op.kind) {
+        case OpKind::kLock:
+          ASSERT_EQ(held, -1) << "nested lock in thread " << t;
+          ASSERT_LT(op.var, spec.locks);
+          held = op.var;
+          ++sections;
+          break;
+        case OpKind::kUnlock:
+          ASSERT_EQ(held, static_cast<int64_t>(op.var)) << "unbalanced unlock";
+          held = -1;
+          break;
+        case OpKind::kCompute:
+          ASSERT_GE(op.cost, 1u);
+          break;
+        case OpKind::kSetFlag:
+        case OpKind::kWaitFlag:
+          ASSERT_EQ(held, -1) << "flag op inside critical section would deadlock";
+          ASSERT_LT(op.var, program.flag_count);
+          break;
+        case OpKind::kSyscall:
+          break;
+      }
+    }
+    EXPECT_EQ(held, -1) << "thread " << t << " exits holding a lock";
+    EXPECT_EQ(sections, spec.sections_per_thread);
+  }
+
+  // Every flag waited on is set by a different thread.
+  for (uint32_t flag = 0; flag < program.flag_count; ++flag) {
+    int setter = -1;
+    int waiter = -1;
+    for (uint32_t t = 0; t < spec.threads; ++t) {
+      for (const Op& op : program.threads[t]) {
+        if (op.var != flag) {
+          continue;
+        }
+        if (op.kind == OpKind::kSetFlag) {
+          setter = static_cast<int>(t);
+        } else if (op.kind == OpKind::kWaitFlag) {
+          waiter = static_cast<int>(t);
+        }
+      }
+    }
+    if (waiter != -1) {
+      ASSERT_NE(setter, -1) << "flag " << flag << " waited on but never set";
+      EXPECT_NE(setter, waiter);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+TEST(PerturbTest, EpsilonZeroIsIdentity) {
+  const Program program = GenerateProgram(ContendedSpec(), 7);
+  const Program copy = PerturbCosts(program, 0.0, 99);
+  ASSERT_EQ(copy.threads.size(), program.threads.size());
+  for (uint32_t t = 0; t < program.thread_count(); ++t) {
+    ASSERT_EQ(copy.threads[t].size(), program.threads[t].size());
+    for (size_t i = 0; i < program.threads[t].size(); ++i) {
+      EXPECT_EQ(copy.threads[t][i].kind, program.threads[t][i].kind);
+      EXPECT_EQ(copy.threads[t][i].cost, program.threads[t][i].cost);
+    }
+  }
+}
+
+TEST(PerturbTest, OnlyComputeCostsChangeWithinBounds) {
+  const Program program = GenerateProgram(ContendedSpec(), 7);
+  const double epsilon = 0.3;
+  const Program copy = PerturbCosts(program, epsilon, 99);
+  bool any_changed = false;
+  for (uint32_t t = 0; t < program.thread_count(); ++t) {
+    for (size_t i = 0; i < program.threads[t].size(); ++i) {
+      const Op& before = program.threads[t][i];
+      const Op& after = copy.threads[t][i];
+      ASSERT_EQ(after.kind, before.kind);
+      ASSERT_EQ(after.var, before.var);
+      if (before.kind != OpKind::kCompute) {
+        ASSERT_EQ(after.cost, before.cost);
+        continue;
+      }
+      any_changed = any_changed || after.cost != before.cost;
+      const auto lo = static_cast<double>(before.cost) * (1.0 - epsilon) - 1.0;
+      const auto hi = static_cast<double>(before.cost) * (1.0 + epsilon) + 1.0;
+      EXPECT_GE(static_cast<double>(after.cost), std::max(1.0, lo));
+      EXPECT_LE(static_cast<double>(after.cost), hi);
+    }
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+// --- Determinism: the defining DMT property ---
+
+class DmtSchedulerTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Scheduler> MakeScheduler() const {
+    const std::string which = GetParam();
+    if (which == "kendo") {
+      return std::make_unique<KendoScheduler>();
+    }
+    if (which == "quantum") {
+      return std::make_unique<QuantumScheduler>();
+    }
+    return std::make_unique<BarrierScheduler>();
+  }
+};
+
+TEST_P(DmtSchedulerTest, SameProgramSameSchedule) {
+  const Program program = GenerateProgram(ContendedSpec(), 11);
+  auto scheduler_a = MakeScheduler();
+  auto scheduler_b = MakeScheduler();
+  const Schedule a = scheduler_a->Run(program);
+  const Schedule b = scheduler_b->Run(program);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.sync_order, b.sync_order);
+  EXPECT_EQ(a.syscall_order, b.syscall_order);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST_P(DmtSchedulerTest, SchedulesAreStructurallyValid) {
+  for (uint64_t seed : {3ULL, 17ULL, 4242ULL}) {
+    const Program program = GenerateProgram(ContendedSpec(), seed);
+    auto scheduler = MakeScheduler();
+    const Schedule schedule = scheduler->Run(program);
+    EXPECT_TRUE(ValidateSchedule(program, schedule)) << "seed " << seed;
+    EXPECT_GT(schedule.makespan, 0u);
+  }
+}
+
+TEST_P(DmtSchedulerTest, IdenticalVariantsNeverDiverge) {
+  const Program program = GenerateProgram(ContendedSpec(), 5);
+  const Program variant = PerturbCosts(program, 0.0, 1);
+  auto scheduler = MakeScheduler();
+  const Schedule a = scheduler->Run(program);
+  const Schedule b = scheduler->Run(variant);
+  const auto divergence = CompareSchedules(a, b, program.thread_count(), program.lock_count);
+  EXPECT_FALSE(divergence.diverged);
+  EXPECT_EQ(divergence.mismatch_fraction, 0.0);
+}
+
+// "Fixed, but different" (§2.1): the perturbed variant's schedule is itself
+// perfectly stable run-to-run — DMT keeps its determinism promise — it is
+// just a *different* stable schedule than the base variant's.
+TEST_P(DmtSchedulerTest, PerturbedVariantIsInternallyStable) {
+  const Program program = GenerateProgram(ContendedSpec(), 5);
+  const Program variant = PerturbCosts(program, 0.25, 77);
+  auto scheduler = MakeScheduler();
+  const Schedule a = scheduler->Run(variant);
+  const Schedule b = scheduler->Run(variant);
+  EXPECT_EQ(a.sync_order, b.sync_order);
+  EXPECT_EQ(a.syscall_order, b.syscall_order);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, DmtSchedulerTest,
+                         ::testing::Values("kendo", "quantum", "barrier"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// --- Diversity sensitivity: the incompatibility the paper predicts ---
+
+// For progress-counter schedulers, at least one of several diversified
+// variants must diverge from the base schedule. (Any single seed could get
+// lucky on a short program; across five seeds with 25% perturbation on a
+// contended program, non-divergence would mean the scheduler ignores costs.)
+TEST(DiversitySensitivityTest, KendoDivergesUnderPerturbedCosts) {
+  const Program program = GenerateProgram(ContendedSpec(), 21);
+  KendoScheduler scheduler;
+  const Schedule base = scheduler.Run(program);
+  int diverged = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Program variant = PerturbCosts(program, 0.25, seed);
+    const Schedule other = scheduler.Run(variant);
+    const auto divergence =
+        CompareSchedules(base, other, program.thread_count(), program.lock_count);
+    diverged += divergence.diverged ? 1 : 0;
+  }
+  EXPECT_GE(diverged, 4) << "Kendo should be highly sensitive to instruction counts";
+}
+
+TEST(DiversitySensitivityTest, QuantumDivergesUnderPerturbedCosts) {
+  const Program program = GenerateProgram(ContendedSpec(), 21);
+  QuantumScheduler scheduler(QuantumConfig{.quantum = 500});
+  const Schedule base = scheduler.Run(program);
+  int diverged = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Program variant = PerturbCosts(program, 0.25, seed);
+    const Schedule other = scheduler.Run(variant);
+    const auto divergence =
+        CompareSchedules(base, other, program.thread_count(), program.lock_count);
+    diverged += divergence.diverged ? 1 : 0;
+  }
+  EXPECT_GE(diverged, 4);
+}
+
+// Barrier DMT orders sync ops by sequence position and thread id only, so
+// diversified costs change nothing — its incompatibility lies elsewhere.
+TEST(DiversitySensitivityTest, BarrierIsImmuneToPerturbedCosts) {
+  const Program program = GenerateProgram(ContendedSpec(), 21);
+  BarrierScheduler scheduler;
+  const Schedule base = scheduler.Run(program);
+  ASSERT_TRUE(base.completed);
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Program variant = PerturbCosts(program, 0.5, seed);
+    const Schedule other = scheduler.Run(variant);
+    const auto divergence =
+        CompareSchedules(base, other, program.thread_count(), program.lock_count);
+    EXPECT_FALSE(divergence.diverged) << "seed " << seed;
+  }
+}
+
+// ...namely ad-hoc synchronization: a poll loop never reaches the global
+// barrier, so the whole variant deadlocks (§6's DThreads/Grace critique).
+TEST(DiversitySensitivityTest, BarrierDeadlocksOnPollLoops) {
+  ProgramSpec spec = ContendedSpec();
+  spec.flag_pairs = 1;
+  const Program program = GenerateProgram(spec, 9);
+  BarrierScheduler scheduler;
+  const Schedule schedule = scheduler.Run(program);
+  EXPECT_FALSE(schedule.completed);
+  EXPECT_NE(schedule.failure.find("poll loop"), std::string::npos) << schedule.failure;
+}
+
+// Kendo and quantum tolerate the same poll loops (waiters burn progress
+// while spinning, so the setter eventually runs).
+TEST(DiversitySensitivityTest, ClockSchedulersCompletePollLoops) {
+  ProgramSpec spec = ContendedSpec();
+  spec.flag_pairs = 2;
+  const Program program = GenerateProgram(spec, 9);
+  KendoScheduler kendo;
+  QuantumScheduler quantum;
+  EXPECT_TRUE(kendo.Run(program).completed);
+  EXPECT_TRUE(quantum.Run(program).completed);
+}
+
+// Sweep: divergence appears across the (threads, locks, epsilon) matrix.
+struct SweepParam {
+  uint32_t threads;
+  uint32_t locks;
+  double epsilon;
+};
+
+class KendoSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(KendoSweepTest, MismatchFractionGrowsWithEpsilon) {
+  const SweepParam& param = GetParam();
+  ProgramSpec spec = ContendedSpec();
+  spec.threads = param.threads;
+  spec.locks = param.locks;
+  const Program program = GenerateProgram(spec, 33);
+  KendoScheduler scheduler;
+  const Schedule base = scheduler.Run(program);
+
+  double total_mismatch = 0.0;
+  constexpr int kVariants = 4;
+  for (uint64_t seed = 1; seed <= kVariants; ++seed) {
+    const Program variant = PerturbCosts(program, param.epsilon, seed);
+    const Schedule other = scheduler.Run(variant);
+    ASSERT_TRUE(other.completed);
+    total_mismatch +=
+        CompareSchedules(base, other, program.thread_count(), program.lock_count)
+            .mismatch_fraction;
+  }
+  const double mean_mismatch = total_mismatch / kVariants;
+  if (param.epsilon == 0.0) {
+    EXPECT_EQ(mean_mismatch, 0.0);
+  } else {
+    EXPECT_GT(mean_mismatch, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KendoSweepTest,
+    ::testing::Values(SweepParam{2, 2, 0.0}, SweepParam{2, 2, 0.3}, SweepParam{4, 3, 0.0},
+                      SweepParam{4, 3, 0.1}, SweepParam{4, 3, 0.3}, SweepParam{8, 4, 0.3},
+                      SweepParam{4, 1, 0.3}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "t" + std::to_string(info.param.threads) + "_l" +
+             std::to_string(info.param.locks) + "_e" +
+             std::to_string(static_cast<int>(info.param.epsilon * 100));
+    });
+
+// --- The OS baseline ---
+
+TEST(OsSchedulerTest, SameSeedSameSchedule) {
+  const Program program = GenerateProgram(ContendedSpec(), 13);
+  OsScheduler a(OsConfig{.seed = 7});
+  OsScheduler b(OsConfig{.seed = 7});
+  EXPECT_EQ(a.Run(program).sync_order, b.Run(program).sync_order);
+}
+
+TEST(OsSchedulerTest, DifferentSeedsDiverge) {
+  const Program program = GenerateProgram(ContendedSpec(), 13);
+  OsScheduler a(OsConfig{.seed = 7});
+  OsScheduler b(OsConfig{.seed = 8});
+  const Schedule sa = a.Run(program);
+  const Schedule sb = b.Run(program);
+  const auto divergence =
+      CompareSchedules(sa, sb, program.thread_count(), program.lock_count);
+  EXPECT_TRUE(divergence.diverged)
+      << "two OS runs of a contended program almost surely interleave differently";
+}
+
+TEST(OsSchedulerTest, SchedulesAreValid) {
+  const Program program = GenerateProgram(ContendedSpec(), 13);
+  OsScheduler scheduler(OsConfig{.seed = 99});
+  EXPECT_TRUE(ValidateSchedule(program, scheduler.Run(program)));
+}
+
+// --- Record/Replay: diversity immunity (the paper's design, §3) ---
+
+struct ReplayParam {
+  double epsilon;
+  uint64_t replay_seed;
+};
+
+class ReplayImmunityTest : public ::testing::TestWithParam<ReplayParam> {};
+
+TEST_P(ReplayImmunityTest, ReplayMatchesMasterForAnyPerturbation) {
+  const ReplayParam& param = GetParam();
+  ProgramSpec spec = ContendedSpec();
+  spec.flag_pairs = 1;
+  const Program program = GenerateProgram(spec, 55);
+  const Schedule master = RecordMaster(program, /*seed=*/17);
+  ASSERT_TRUE(master.completed);
+
+  // The slave variant is diversified (perturbed costs) and scheduled by a
+  // *different* seeded interleaver; only the replay enforcement can make it
+  // match.
+  const Program variant = PerturbCosts(program, param.epsilon, 123);
+  ReplayScheduler replayer(master, program.lock_count, program.flag_count,
+                           param.replay_seed);
+  const Schedule slave = replayer.Run(variant);
+  ASSERT_TRUE(slave.completed) << slave.failure;
+
+  const auto divergence =
+      CompareSchedules(master, slave, program.thread_count(), program.lock_count);
+  EXPECT_FALSE(divergence.diverged)
+      << "first mismatch: tid " << divergence.first_tid << " call "
+      << divergence.first_index;
+  EXPECT_EQ(divergence.mismatch_fraction, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ReplayImmunityTest,
+    ::testing::Values(ReplayParam{0.0, 1}, ReplayParam{0.1, 2}, ReplayParam{0.25, 3},
+                      ReplayParam{0.5, 4}, ReplayParam{1.0, 5}, ReplayParam{0.25, 999}),
+    [](const ::testing::TestParamInfo<ReplayParam>& info) {
+      return "e" + std::to_string(static_cast<int>(info.param.epsilon * 100)) + "_s" +
+             std::to_string(info.param.replay_seed);
+    });
+
+TEST(ReplayTest, ReplayedScheduleIsValid) {
+  const Program program = GenerateProgram(ContendedSpec(), 55);
+  const Schedule master = RecordMaster(program, 17);
+  ReplayScheduler replayer(master, program.lock_count, program.flag_count, 3);
+  const Schedule slave = replayer.Run(program);
+  EXPECT_TRUE(ValidateSchedule(program, slave));
+}
+
+TEST(ReplayTest, EnforcementActuallyStalls) {
+  const Program program = GenerateProgram(ContendedSpec(), 55);
+  const Schedule master = RecordMaster(program, 17);
+  ReplayScheduler replayer(master, program.lock_count, program.flag_count,
+                           /*scheduler_seed=*/987654);
+  (void)replayer.Run(program);
+  // A differently-seeded interleaver must have been held back at least once;
+  // zero stalls would mean the recorded order was never actually enforced.
+  EXPECT_GT(replayer.stalls(), 0u);
+}
+
+TEST(ReplayTest, WrongRecordingIsDetected) {
+  const Program program = GenerateProgram(ContendedSpec(), 55);
+  ProgramSpec other_spec = ContendedSpec();
+  other_spec.sections_per_thread = 10;
+  const Program other = GenerateProgram(other_spec, 77);
+  const Schedule master = RecordMaster(other, 17);
+  ReplayScheduler replayer(master, program.lock_count, program.flag_count, 3);
+  const Schedule slave = replayer.Run(program);
+  // The recording runs out (or misorders) long before the longer program
+  // finishes: the replayer reports unsatisfiability instead of hanging —
+  // the abstract analogue of the agents' replay deadline (§5.5).
+  EXPECT_FALSE(slave.completed);
+  EXPECT_NE(slave.failure.find("unsatisfiable"), std::string::npos);
+}
+
+// --- CompareSchedules unit behaviour ---
+
+TEST(CompareSchedulesTest, FlagsFirstDivergentSyscall) {
+  Schedule a;
+  a.syscall_order = {{0, 100}, {1, 200}, {0, 101}};
+  Schedule b = a;
+  b.syscall_order[2].digest = 999;  // Thread 0's second call differs.
+  const auto divergence = CompareSchedules(a, b, 2, 0);
+  EXPECT_TRUE(divergence.diverged);
+  EXPECT_EQ(divergence.first_tid, 0u);
+  EXPECT_EQ(divergence.first_index, 1u);
+}
+
+TEST(CompareSchedulesTest, MissingCallsDiverge) {
+  Schedule a;
+  a.syscall_order = {{0, 100}, {0, 101}};
+  Schedule b;
+  b.syscall_order = {{0, 100}};
+  const auto divergence = CompareSchedules(a, b, 1, 0);
+  EXPECT_TRUE(divergence.diverged);
+  EXPECT_EQ(divergence.first_index, 1u);
+}
+
+TEST(CompareSchedulesTest, IncompleteScheduleIsMaximallyDivergent) {
+  Schedule a;
+  Schedule b;
+  b.completed = false;
+  const auto divergence = CompareSchedules(a, b, 1, 1);
+  EXPECT_TRUE(divergence.diverged);
+  EXPECT_EQ(divergence.mismatch_fraction, 1.0);
+}
+
+TEST(CompareSchedulesTest, AcquisitionOrderMismatchCounts) {
+  Schedule a;
+  a.sync_order = {{0, 0, OpKind::kLock}, {1, 0, OpKind::kLock}};
+  Schedule b;
+  b.sync_order = {{1, 0, OpKind::kLock}, {0, 0, OpKind::kLock}};
+  const auto divergence = CompareSchedules(a, b, 2, 1);
+  EXPECT_TRUE(divergence.diverged);
+  EXPECT_EQ(divergence.mismatch_fraction, 1.0);
+}
+
+TEST(PerVariableOrdersTest, ExtractsAcquisitionsOnly) {
+  Schedule schedule;
+  schedule.sync_order = {{0, 0, OpKind::kLock},
+                         {0, 0, OpKind::kUnlock},
+                         {1, 1, OpKind::kLock},
+                         {2, 0, OpKind::kLock},
+                         {1, 0, OpKind::kSetFlag}};
+  const auto orders = PerVariableOrders(schedule, 2);
+  ASSERT_EQ(orders.size(), 2u);
+  EXPECT_EQ(orders[0], (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(orders[1], (std::vector<uint32_t>{1}));
+}
+
+// The quantum scheduler's schedule is a function of where quantum
+// boundaries land, so the quantum size itself changes the schedule — the
+// reason CoreDet-style systems must fix the quantum as part of the
+// "deterministic contract", and a second diversity hazard (variants built
+// with different quanta can never agree).
+TEST(DiversitySensitivityTest, QuantumSizeChangesTheSchedule) {
+  int differs = 0;
+  for (uint64_t seed = 40; seed < 45; ++seed) {
+    const Program program = GenerateProgram(ContendedSpec(), seed);
+    const Schedule small = QuantumScheduler(QuantumConfig{.quantum = 200}).Run(program);
+    const Schedule large = QuantumScheduler(QuantumConfig{.quantum = 5000}).Run(program);
+    const auto divergence =
+        CompareSchedules(small, large, program.thread_count(), program.lock_count);
+    differs += divergence.diverged ? 1 : 0;
+  }
+  EXPECT_GE(differs, 4);
+}
+
+// Kendo's wait_bump plays the same role: it feeds the logical clocks, so
+// changing it reorders lock grants under contention.
+TEST(DiversitySensitivityTest, KendoWaitBumpChangesTheSchedule) {
+  int differs = 0;
+  for (uint64_t seed = 50; seed < 55; ++seed) {
+    const Program program = GenerateProgram(ContendedSpec(), seed);
+    const Schedule fast = KendoScheduler(KendoConfig{.wait_bump = 4}).Run(program);
+    const Schedule slow = KendoScheduler(KendoConfig{.wait_bump = 256}).Run(program);
+    const auto divergence =
+        CompareSchedules(fast, slow, program.thread_count(), program.lock_count);
+    differs += divergence.diverged ? 1 : 0;
+  }
+  EXPECT_GE(differs, 4);
+}
+
+// --- Respec-style epoch speculation (§6's "doubtful ... in a
+// security-oriented MVEE" claim) ---
+
+TEST(RespecTest, LogicalDigestsCommitWithPerfectHints) {
+  const Program program = GenerateProgram(ContendedSpec(), 71);
+  const Schedule master = RecordMaster(program, 5);
+  RespecConfig config;
+  config.hint_fidelity = 1.0;  // Perfect imprecise-order hints.
+  config.digest_model = EpochDigestModel::kLogical;
+  const RespecReport report = RunRespecSlave(program, master, /*master_layout_seed=*/0,
+                                             config);
+  ASSERT_TRUE(report.schedule.completed) << report.schedule.failure;
+  EXPECT_GT(report.epochs, 1u);
+  EXPECT_EQ(report.rollbacks, 0u) << "perfect hints => every epoch commits";
+}
+
+TEST(RespecTest, ImperfectHintsRollBackAndRepair) {
+  const Program program = GenerateProgram(ContendedSpec(), 71);
+  const Schedule master = RecordMaster(program, 5);
+  RespecConfig config;
+  config.hint_fidelity = 0.0;  // Speculation is pure guessing.
+  config.digest_model = EpochDigestModel::kLogical;
+  config.scheduler_seed = 9;
+  const RespecReport report = RunRespecSlave(program, master, 0, config);
+  // With a diversity-aware (logical) epoch check, mismatched epochs are
+  // detected, rolled back, and repaired by strict re-execution: the run
+  // still completes — rollback is the cost, not a failure.
+  ASSERT_TRUE(report.schedule.completed) << report.schedule.failure;
+  EXPECT_GT(report.rollbacks, 0u);
+  EXPECT_GT(report.wasted_cycles, 0u);
+}
+
+TEST(RespecTest, ConcreteDigestsWorkForIdenticalVariants) {
+  const Program program = GenerateProgram(ContendedSpec(), 71);
+  const Schedule master = RecordMaster(program, 5);
+  RespecConfig config;
+  config.hint_fidelity = 1.0;
+  config.digest_model = EpochDigestModel::kConcrete;
+  config.layout_seed = 42;  // Same layout as the master: Respec's own
+                            // fault-tolerance use case (identical replicas).
+  const RespecReport report = RunRespecSlave(program, master, /*master_layout_seed=*/42,
+                                             config);
+  ASSERT_TRUE(report.schedule.completed) << report.schedule.failure;
+  EXPECT_EQ(report.rollbacks, 0u);
+}
+
+TEST(RespecTest, ConcreteDigestsFailUnderDiversity) {
+  const Program program = GenerateProgram(ContendedSpec(), 71);
+  const Schedule master = RecordMaster(program, 5);
+  RespecConfig config;
+  config.hint_fidelity = 1.0;  // Even with PERFECT speculation...
+  config.digest_model = EpochDigestModel::kConcrete;
+  config.layout_seed = 43;  // ...a diversified layout poisons the digest.
+  const RespecReport report = RunRespecSlave(program, master, /*master_layout_seed=*/42,
+                                             config);
+  // The first epoch mismatches, strict re-execution reproduces the master's
+  // logical schedule exactly and STILL mismatches: undecidable — exactly
+  // why the paper rules out Respec-style checking for diversified variants.
+  EXPECT_FALSE(report.schedule.completed);
+  EXPECT_NE(report.schedule.failure.find("diversity"), std::string::npos);
+  EXPECT_EQ(report.epochs, 1u);
+}
+
+TEST(RespecTest, FidelitySweepRollbacksDecreaseWithBetterHints) {
+  const Program program = GenerateProgram(ContendedSpec(), 72);
+  const Schedule master = RecordMaster(program, 6);
+  uint32_t rollbacks_low = 0;
+  uint32_t rollbacks_high = 0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    RespecConfig config;
+    config.scheduler_seed = seed;
+    config.hint_fidelity = 0.2;
+    rollbacks_low += RunRespecSlave(program, master, 0, config).rollbacks;
+    config.hint_fidelity = 1.0;
+    rollbacks_high += RunRespecSlave(program, master, 0, config).rollbacks;
+  }
+  EXPECT_GT(rollbacks_low, rollbacks_high);
+  EXPECT_EQ(rollbacks_high, 0u);
+}
+
+// --- Makespan sanity ---
+
+TEST(MakespanTest, QuantumSerializesAndBarrierWaits) {
+  const Program program = GenerateProgram(ContendedSpec(), 3);
+  // Parallel-capable models must not exceed the fully serial one.
+  const uint64_t serial = QuantumScheduler().Run(program).makespan;
+  const uint64_t os = OsScheduler(OsConfig{.seed = 5}).Run(program).makespan;
+  const uint64_t barrier = BarrierScheduler().Run(program).makespan;
+  EXPECT_GT(serial, 0u);
+  EXPECT_GT(os, 0u);
+  EXPECT_GT(barrier, 0u);
+  EXPECT_LE(os, serial) << "random interleaver models parallel execution";
+  EXPECT_GE(serial, program.TotalCost()) << "the token serializes everything";
+}
+
+}  // namespace
+}  // namespace mvee::dmt

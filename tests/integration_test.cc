@@ -1,0 +1,321 @@
+// Integration sweep: every benchmark stand-in under the MVEE (the full §5.1
+// correctness matrix at test scale), plus VariantEnv API edge coverage that
+// the workload shapes do not reach (pipes, dup, pread/pwrite, lseek whence
+// modes, fd exhaustion behaviour, unordered-mode demonstration).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mvee/monitor/mvee.h"
+#include "mvee/monitor/native.h"
+#include "mvee/workloads/workload.h"
+
+namespace mvee {
+namespace {
+
+MveeOptions TestOptions(uint32_t variants = 2) {
+  MveeOptions options;
+  options.num_variants = variants;
+  options.agent = AgentKind::kWallOfClocks;
+  options.rendezvous_timeout = std::chrono::milliseconds(60000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(60000);
+  return options;
+}
+
+std::string ResultOf(VirtualKernel& kernel, const std::string& name) {
+  auto file = kernel.vfs().Open("result/" + name, false);
+  if (file == nullptr) {
+    return "";
+  }
+  const auto bytes = file->Contents();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+// The full correctness sweep, one test per benchmark: 2 variants, ASLR on,
+// result digest equal to a native run's.
+class AllWorkloadsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AllWorkloadsTest, MveeMatchesNative) {
+  const WorkloadConfig& config = AllWorkloads()[GetParam()];
+  const double scale = 0.02;
+
+  std::string reference;
+  {
+    NativeRunner runner;
+    ASSERT_TRUE(runner.Run(MakeWorkloadProgram(config, scale)).ok());
+    reference = ResultOf(runner.kernel(), config.name);
+  }
+  ASSERT_FALSE(reference.empty());
+
+  MveeOptions options = TestOptions(2);
+  options.enable_aslr = true;
+  Mvee mvee(options);
+  const Status status = mvee.Run(MakeWorkloadProgram(config, scale));
+  EXPECT_TRUE(status.ok()) << config.name << ": " << status.ToString();
+  EXPECT_EQ(ResultOf(mvee.kernel(), config.name), reference) << config.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllWorkloadsTest, ::testing::Range<size_t>(0, 25),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           const WorkloadConfig& config = AllWorkloads()[info.param];
+                           return std::string(config.suite) + "_" + config.name;
+                         });
+
+TEST(EnvEdgeTest, PipeRoundTripUnderMvee) {
+  Mvee mvee(TestOptions(2));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    auto [rfd, wfd] = env.Pipe();
+    ASSERT_GE(rfd, 0);
+    ASSERT_GE(wfd, 0);
+    auto reader_fd = std::make_shared<int64_t>(rfd);
+    ThreadHandle reader = env.Spawn([reader_fd](VariantEnv& wenv) {
+      std::vector<uint8_t> buffer(16);
+      const int64_t n = wenv.Read(*reader_fd, buffer);
+      EXPECT_EQ(n, 5);
+      EXPECT_EQ(std::string(buffer.begin(), buffer.begin() + n), "hello");
+    });
+    env.Write(wfd, std::string("hello"));
+    env.Close(wfd);
+    env.Join(reader);
+    env.Close(rfd);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(EnvEdgeTest, PreadPwriteAndLseek) {
+  Mvee mvee(TestOptions(2));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    const int64_t fd = env.Open("file", VOpenFlags::kWrite | VOpenFlags::kRead |
+                                            VOpenFlags::kCreate | VOpenFlags::kTruncate);
+    env.Write(fd, std::string("0123456789"));
+
+    std::vector<uint8_t> buffer(4);
+    EXPECT_EQ(env.Pread(fd, 2, buffer), 4);
+    EXPECT_EQ(std::string(buffer.begin(), buffer.end()), "2345");
+
+    const std::string patch = "AB";
+    env.Pwrite(fd, 4, {reinterpret_cast<const uint8_t*>(patch.data()), patch.size()});
+
+    // SEEK_END then read back the patched region.
+    EXPECT_EQ(env.Lseek(fd, -6, 2), 4);
+    EXPECT_EQ(env.Read(fd, buffer), 4);
+    EXPECT_EQ(std::string(buffer.begin(), buffer.end()), "AB67");
+    env.Close(fd);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(EnvEdgeTest, DupAndFcntl) {
+  Mvee mvee(TestOptions(2));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    const int64_t fd =
+        env.Open("d", VOpenFlags::kWrite | VOpenFlags::kCreate);
+    const int64_t dup = env.Dup(fd);
+    EXPECT_GT(dup, fd);
+    env.Write(dup, std::string("via dup"));
+    env.Close(fd);
+    env.Close(dup);
+    EXPECT_EQ(env.Dup(999), -EBADF);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(EnvEdgeTest, StatUnlinkLifecycle) {
+  Mvee mvee(TestOptions(2));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    EXPECT_LT(env.Stat("ghost"), 0);
+    const int64_t fd = env.Open("real", VOpenFlags::kWrite | VOpenFlags::kCreate);
+    env.Write(fd, std::string("xyz"));
+    env.Close(fd);
+    EXPECT_EQ(env.Stat("real"), 3);  // Size.
+    EXPECT_EQ(env.Unlink("real"), 0);
+    EXPECT_LT(env.Stat("real"), 0);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(EnvEdgeTest, ErrorRetvalsAreReplicatedConsistently) {
+  Mvee mvee(TestOptions(3));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    // Failing calls must produce identical errno in every variant.
+    EXPECT_EQ(env.Open("missing", VOpenFlags::kRead), -ENOENT);
+    std::vector<uint8_t> buffer(4);
+    EXPECT_EQ(env.Read(99, buffer), -EBADF);
+    EXPECT_EQ(env.Close(1234), -EBADF);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(EnvEdgeTest, RdtscMonotonicAndReplicated) {
+  Mvee mvee(TestOptions(2));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    const int64_t t1 = env.Rdtsc();
+    const int64_t t2 = env.Rdtsc();
+    EXPECT_GT(t2, t1);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(EnvEdgeTest, MmapFailurePathsCompared) {
+  Mvee mvee(TestOptions(2));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    EXPECT_EQ(env.Mmap(0, VProt::kRead), -EINVAL);
+    const int64_t addr = env.Mmap(4096, VProt::kRead);
+    ASSERT_GT(addr, 0);
+    EXPECT_EQ(env.Munmap(addr + 4096, 4096), -EINVAL);  // Wrong address.
+    EXPECT_EQ(env.Munmap(addr, 4096), 0);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+// Disabling the syscall ordering clock reproduces §3.1's benign-divergence
+// hazard: concurrent opens can hand different fds to equivalent threads.
+// Because the race is timing-dependent we only verify the knob's mechanics:
+// with ordering ON the fd assignment is always consistent (asserted
+// elsewhere); with ordering OFF the MVEE must either finish consistently or
+// report a divergence — never hang or crash.
+TEST(OrderingKnobTest, UnorderedModeFailsSoftly) {
+  for (int round = 0; round < 5; ++round) {
+    MveeOptions options = TestOptions(2);
+    options.order_resource_calls = false;
+    options.rendezvous_timeout = std::chrono::milliseconds(5000);
+    options.seed = 900 + round;
+    Mvee mvee(options);
+    const Status status = mvee.Run([](VariantEnv& env) {
+      auto opener = [](const std::string& path) {
+        return [path](VariantEnv& wenv) {
+          const int64_t fd = wenv.Open(path, VOpenFlags::kCreate | VOpenFlags::kWrite);
+          wenv.Write(fd, path + "@" + std::to_string(fd));
+          wenv.Close(fd);
+        };
+      };
+      ThreadHandle a = env.Spawn(opener("ua"));
+      ThreadHandle b = env.Spawn(opener("ub"));
+      env.Join(a);
+      env.Join(b);
+    });
+    // Either outcome is legal; the process-level property is "no hang".
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), StatusCode::kDivergence);
+    }
+  }
+}
+
+// --- sys_poll: the event-loop primitive (replicated readiness) ---
+
+TEST(PollTest, FileAlwaysReadyPipeGated) {
+  Mvee mvee(TestOptions(2));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    const int64_t file_fd =
+        env.Open("pollfile", VOpenFlags::kWrite | VOpenFlags::kCreate);
+    auto [read_fd, write_fd] = env.Pipe();
+
+    VariantEnv::PollFd fds[2];
+    fds[0] = {static_cast<int32_t>(file_fd), PollEvents::kIn | PollEvents::kOut, 0};
+    fds[1] = {static_cast<int32_t>(read_fd), PollEvents::kIn, 0};
+    // Non-blocking poll: the file is ready, the empty pipe is not.
+    EXPECT_EQ(env.Poll(fds, 0), 1);
+    EXPECT_EQ(fds[0].revents, PollEvents::kIn | PollEvents::kOut);
+    EXPECT_EQ(fds[1].revents, 0);
+
+    // Data in the pipe makes it readable.
+    env.Write(write_fd, std::string("x"));
+    fds[1].revents = 0;
+    EXPECT_EQ(env.Poll(fds, 0), 2);
+    EXPECT_EQ(fds[1].revents, PollEvents::kIn);
+
+    env.Close(file_fd);
+    env.Close(read_fd);
+    env.Close(write_fd);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(PollTest, TimeoutExpiresAtZeroReady) {
+  Mvee mvee(TestOptions(2));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    auto [read_fd, write_fd] = env.Pipe();
+    VariantEnv::PollFd fds[1];
+    fds[0] = {static_cast<int32_t>(read_fd), PollEvents::kIn, 0};
+    EXPECT_EQ(env.Poll(fds, 20), 0);  // 20ms timeout, nothing arrives.
+    EXPECT_EQ(fds[0].revents, 0);
+    env.Close(read_fd);
+    env.Close(write_fd);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(PollTest, EventLoopServesSocketWithPoll) {
+  // A miniature event loop: poll on {listener, connection}, accept and echo
+  // — the architecture real nginx uses, running lockstepped. Readiness is
+  // observed by the master and replicated, so all variants take identical
+  // paths through the loop.
+  Mvee mvee(TestOptions(2));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    const int64_t listen_fd = env.Socket();
+    ASSERT_EQ(env.Bind(listen_fd, 7777), 0);
+    ASSERT_EQ(env.Listen(listen_fd, 4), 0);
+
+    ThreadHandle client = env.Spawn([](VariantEnv& wenv) {
+      const int64_t fd = wenv.Socket();
+      ASSERT_EQ(wenv.Connect(fd, 7777), 0);
+      wenv.Send(fd, std::string("ping"));
+      std::vector<uint8_t> buffer(16);
+      const int64_t n = wenv.Recv(fd, buffer);
+      ASSERT_EQ(n, 4);
+      EXPECT_EQ(std::string(buffer.begin(), buffer.begin() + n), "pong");
+      wenv.Shutdown(fd);
+      wenv.Close(fd);
+    });
+
+    // Event loop: wait for the listener, accept; wait for the connection,
+    // echo; two poll-gated steps instead of blocking accept/recv.
+    VariantEnv::PollFd accept_set[1];
+    accept_set[0] = {static_cast<int32_t>(listen_fd), PollEvents::kIn, 0};
+    ASSERT_EQ(env.Poll(accept_set, -1), 1);
+    ASSERT_EQ(accept_set[0].revents, PollEvents::kIn);
+    const int64_t conn_fd = env.Accept(listen_fd);
+    ASSERT_GE(conn_fd, 0);
+
+    VariantEnv::PollFd conn_set[1];
+    conn_set[0] = {static_cast<int32_t>(conn_fd), PollEvents::kIn, 0};
+    ASSERT_EQ(env.Poll(conn_set, -1), 1);
+    std::vector<uint8_t> buffer(16);
+    const int64_t n = env.Recv(conn_fd, buffer);
+    ASSERT_EQ(n, 4);
+    env.Send(conn_fd, std::string("pong"));
+
+    env.Join(client);
+    env.Close(conn_fd);
+    env.Close(listen_fd);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(PollTest, InvalidFdReportsHangup) {
+  Mvee mvee(TestOptions(2));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    VariantEnv::PollFd fds[1];
+    fds[0] = {9999, PollEvents::kIn, 0};
+    EXPECT_EQ(env.Poll(fds, 0), 1);
+    EXPECT_EQ(fds[0].revents, PollEvents::kHup);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(FourVariantTest, WorkloadWithMaxVariants) {
+  const WorkloadConfig* config = FindWorkload("barnes");
+  ASSERT_NE(config, nullptr);
+  MveeOptions options = TestOptions(4);
+  options.enable_aslr = true;
+  options.enable_dcl = true;
+  Mvee mvee(options);
+  const Status status = mvee.Run(MakeWorkloadProgram(*config, 0.01));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(mvee.report().sync_ops_replayed, 3 * mvee.report().sync_ops_recorded);
+}
+
+}  // namespace
+}  // namespace mvee

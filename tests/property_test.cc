@@ -1,0 +1,306 @@
+// Property-style sweeps (parameterized gtest) over the configuration spaces
+// of the replication agents, the analysis pipeline, and the virtual kernel.
+//
+// These are the invariants DESIGN.md §5 commits to:
+//   P1  replay correctness: for every agent kind, variant count, thread
+//       count and buffer size, every slave reproduces the master's per-
+//       variable sync-op order;
+//   P2  WoC wall-size independence: any clock_count >= 1 is correct
+//       (collisions only serialize, §4.5);
+//   P3  analysis exactness on generated ground truth, for any seed;
+//   P4  kernel determinism: equal seeds + equal request streams => equal
+//       results;
+//   P5  digest sensitivity: every compared field perturbs the digest, and
+//       only compared fields do.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "mvee/agents/agent_fleet.h"
+#include "mvee/agents/context.h"
+#include "mvee/analysis/corpus.h"
+#include "mvee/analysis/syncop_analysis.h"
+#include "mvee/sync/primitives.h"
+#include "mvee/util/rng.h"
+#include "mvee/util/variant_killed.h"
+#include "mvee/vkernel/vkernel.h"
+
+namespace mvee {
+namespace {
+
+// --- P1 / P2: agent replay matrix ---
+
+struct AgentMatrixParam {
+  AgentKind kind;
+  uint32_t variants;
+  uint32_t threads;
+  size_t buffer_capacity;
+  size_t clock_count;
+  size_t po_window = 1 << 12;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<AgentMatrixParam>& info) {
+  const auto& p = info.param;
+  std::string name = AgentKindName(p.kind);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name + "_v" + std::to_string(p.variants) + "_t" + std::to_string(p.threads) + "_b" +
+         std::to_string(p.buffer_capacity) + "_c" + std::to_string(p.clock_count) + "_w" +
+         std::to_string(p.po_window);
+}
+
+class AgentMatrixTest : public ::testing::TestWithParam<AgentMatrixParam> {};
+
+TEST_P(AgentMatrixTest, ReplayPreservesPerLockOrder) {
+  const AgentMatrixParam& param = GetParam();
+  AgentConfig config;
+  config.num_variants = param.variants;
+  config.max_threads = param.threads;
+  config.buffer_capacity = param.buffer_capacity;
+  config.clock_count = param.clock_count;
+  config.po_window = param.po_window;
+  config.replay_deadline = std::chrono::milliseconds(30000);
+  std::atomic<bool> abort{false};
+  AgentControl control;
+  control.abort_flag = &abort;
+  AgentFleet fleet(param.kind, config, control);
+
+  constexpr size_t kLocks = 5;
+  constexpr int kOps = 60;
+  struct VariantState {
+    explicit VariantState(size_t n) : locks(n), logs(n) {}
+    std::vector<SpinLock> locks;
+    std::vector<std::vector<uint32_t>> logs;
+  };
+  std::vector<std::unique_ptr<VariantState>> states;
+  std::vector<std::unique_ptr<SyncAgent>> agents;
+  for (uint32_t v = 0; v < param.variants; ++v) {
+    states.push_back(std::make_unique<VariantState>(kLocks));
+    agents.push_back(fleet.CreateAgent(v));
+  }
+
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  for (uint32_t v = 0; v < param.variants; ++v) {
+    for (uint32_t t = 0; t < param.threads; ++t) {
+      workers.emplace_back([&, v, t] {
+        SyncContext context{agents[v].get(), nullptr, t};
+        ScopedSyncContext scoped(&context);
+        Rng rng(7'000 + t);
+        try {
+          for (int i = 0; i < kOps; ++i) {
+            const size_t lock = rng.NextBelow(kLocks);
+            states[v]->locks[lock].Lock();
+            states[v]->logs[lock].push_back(t);
+            states[v]->locks[lock].Unlock();
+          }
+        } catch (const VariantKilled&) {
+          failed.store(true);
+        }
+      });
+    }
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  ASSERT_FALSE(failed.load());
+  for (uint32_t v = 1; v < param.variants; ++v) {
+    for (size_t lock = 0; lock < kLocks; ++lock) {
+      EXPECT_EQ(states[0]->logs[lock], states[v]->logs[lock])
+          << "variant " << v << " lock " << lock;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AgentMatrixTest,
+    ::testing::Values(
+        // P1: kind x variants x threads.
+        AgentMatrixParam{AgentKind::kTotalOrder, 2, 2, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kTotalOrder, 3, 4, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kTotalOrder, 4, 2, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kPartialOrder, 2, 4, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kPartialOrder, 3, 2, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kPartialOrder, 4, 4, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kWallOfClocks, 2, 4, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kWallOfClocks, 3, 3, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kWallOfClocks, 4, 4, 1 << 12, 64},
+        // Tiny buffers: heavy producer backpressure, still correct.
+        AgentMatrixParam{AgentKind::kTotalOrder, 2, 4, 16, 64},
+        AgentMatrixParam{AgentKind::kPartialOrder, 2, 4, 16, 64},
+        AgentMatrixParam{AgentKind::kWallOfClocks, 2, 4, 16, 64},
+        // P2: degenerate and large clock walls (WoC only).
+        AgentMatrixParam{AgentKind::kWallOfClocks, 2, 4, 1 << 12, 1},
+        AgentMatrixParam{AgentKind::kWallOfClocks, 2, 4, 1 << 12, 2},
+        AgentMatrixParam{AgentKind::kWallOfClocks, 2, 4, 1 << 12, 65536},
+        AgentMatrixParam{AgentKind::kWallOfClocks, 3, 4, 1 << 12, 7},
+        // Per-variable-order ablation agent: same contract as the others,
+        // including under a deliberately tiny table (clock_count 1 => the
+        // address table saturates and falls back to hashed sharing).
+        AgentMatrixParam{AgentKind::kPerVariableOrder, 2, 4, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kPerVariableOrder, 3, 3, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kPerVariableOrder, 4, 4, 1 << 12, 64},
+        AgentMatrixParam{AgentKind::kPerVariableOrder, 2, 4, 16, 64},
+        AgentMatrixParam{AgentKind::kPerVariableOrder, 2, 4, 1 << 12, 1},
+        // Partial-order lookahead windows from degenerate (1 = TO-like) to
+        // tiny: correctness must hold at any window size.
+        AgentMatrixParam{AgentKind::kPartialOrder, 2, 4, 1 << 12, 64, 1},
+        AgentMatrixParam{AgentKind::kPartialOrder, 2, 4, 1 << 12, 64, 2},
+        AgentMatrixParam{AgentKind::kPartialOrder, 3, 4, 1 << 12, 64, 8},
+        AgentMatrixParam{AgentKind::kPartialOrder, 4, 2, 1 << 12, 64, 16}),
+    ParamName);
+
+// --- P3: analysis exactness on generated ground truth ---
+
+class AnalysisSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnalysisSeedTest, IdentificationExactForAnySeed) {
+  CorpusSpec spec{"random_module", 37, 11, 23, 150, 60};
+  const MirModule module = BuildSyntheticModule(spec, /*seed=*/GetParam());
+  for (auto identify : {IdentifySyncOps, IdentifySyncOpsAndersen}) {
+    const SyncOpReport report = identify(module, {});
+    EXPECT_EQ(report.type_i.size(), spec.type_i);
+    EXPECT_EQ(report.type_ii.size(), spec.type_ii);
+    EXPECT_EQ(report.type_iii.size(), spec.type_iii);   // Soundness.
+    EXPECT_EQ(report.unmarked_memops, spec.noise_memops);  // Precision.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisSeedTest,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999, 0xdeadbeef));
+
+// --- P4: kernel determinism ---
+
+TEST(KernelDeterminismTest, EqualSeedsEqualResults) {
+  auto run_script = [](uint64_t seed) {
+    VirtualKernel kernel(seed);
+    ProcessState process(1, 0x10000, 0x100000);
+    std::vector<int64_t> results;
+    Rng rng(555);
+    for (int i = 0; i < 200; ++i) {
+      SyscallRequest request;
+      switch (rng.NextBelow(5)) {
+        case 0: {
+          request.sysno = Sysno::kOpen;
+          request.path = "f" + std::to_string(rng.NextBelow(8));
+          request.arg0 = VOpenFlags::kCreate | VOpenFlags::kWrite;
+          break;
+        }
+        case 1: {
+          request.sysno = Sysno::kClose;
+          request.arg0 = static_cast<int64_t>(rng.NextBelow(12));
+          break;
+        }
+        case 2: {
+          request.sysno = Sysno::kBrk;
+          request.arg0 = static_cast<int64_t>(rng.NextBelow(3)) * 4096;
+          break;
+        }
+        case 3: {
+          request.sysno = Sysno::kMmap;
+          request.arg0 = 4096;
+          request.arg1 = VProt::kRead;
+          break;
+        }
+        default: {
+          request.sysno = Sysno::kStat;
+          request.path = "f" + std::to_string(rng.NextBelow(8));
+          break;
+        }
+      }
+      results.push_back(kernel.Execute(process, request).retval);
+    }
+    return results;
+  };
+  EXPECT_EQ(run_script(7), run_script(7));
+}
+
+// --- P5: digest sensitivity ---
+
+TEST(DigestPropertyTest, EveryComparedFieldPerturbs) {
+  SyscallRequest base;
+  base.sysno = Sysno::kWrite;
+  base.arg0 = 3;
+  base.arg1 = 5;
+  base.arg2 = 7;
+  base.arg3 = 9;
+  base.path = "p";
+  base.logical_addr = 0x100;
+  const uint64_t digest = base.ComparableDigest();
+
+  {
+    SyscallRequest x = base;
+    x.sysno = Sysno::kRead;
+    EXPECT_NE(x.ComparableDigest(), digest);
+  }
+  {
+    SyscallRequest x = base;
+    x.arg0 = 4;
+    EXPECT_NE(x.ComparableDigest(), digest);
+  }
+  {
+    SyscallRequest x = base;
+    x.arg1 = 6;
+    EXPECT_NE(x.ComparableDigest(), digest);
+  }
+  {
+    SyscallRequest x = base;
+    x.arg2 = 8;
+    EXPECT_NE(x.ComparableDigest(), digest);
+  }
+  {
+    SyscallRequest x = base;
+    x.arg3 = 10;
+    EXPECT_NE(x.ComparableDigest(), digest);
+  }
+  {
+    SyscallRequest x = base;
+    x.path = "q";
+    EXPECT_NE(x.ComparableDigest(), digest);
+  }
+  {
+    SyscallRequest x = base;
+    x.logical_addr = 0x101;
+    EXPECT_NE(x.ComparableDigest(), digest);
+  }
+}
+
+TEST(DigestPropertyTest, UncomparedFieldsDoNotPerturb) {
+  SyscallRequest base;
+  base.sysno = Sysno::kFutex;
+  base.arg0 = FutexOp::kWait;
+  base.arg1 = 2;
+  const uint64_t digest = base.ComparableDigest();
+
+  SyscallRequest x = base;
+  x.local_addr = 0xdeadbeef;  // Raw per-variant address: excluded.
+  std::atomic<int32_t> word{2};
+  x.futex_word = &word;  // Pointer operand: excluded.
+  EXPECT_EQ(x.ComparableDigest(), digest);
+}
+
+TEST(DigestPropertyTest, OutBufferContentIrrelevantSizeCompared) {
+  std::vector<uint8_t> buffer_a(64, 0xAA);
+  std::vector<uint8_t> buffer_b(64, 0xBB);
+  SyscallRequest a;
+  a.sysno = Sysno::kRead;
+  a.arg0 = 3;
+  a.arg1 = 64;
+  a.out_data = buffer_a;
+  SyscallRequest b = a;
+  b.out_data = buffer_b;
+  // Output buffers are written by the kernel, not the variant: their
+  // *content* must not affect comparison (sizes travel in arg1).
+  EXPECT_EQ(a.ComparableDigest(), b.ComparableDigest());
+}
+
+}  // namespace
+}  // namespace mvee

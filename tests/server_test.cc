@@ -1,0 +1,213 @@
+// Tests for the nginx-style use case (paper §5.5): native serving, MVEE
+// serving with instrumented custom sync ops, divergence with uninstrumented
+// custom sync ops under load, and attack detection.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "mvee/monitor/mvee.h"
+#include "mvee/monitor/native.h"
+#include "mvee/server/http_server.h"
+#include "mvee/server/wrk.h"
+
+namespace mvee {
+namespace {
+
+// Runs the server program in `runner_fn` while generating `wrk` load from a
+// client thread; returns the wrk result.
+template <typename RunFn>
+WrkResult ServeAndMeasure(VirtualKernel& kernel, const WrkOptions& wrk_options, RunFn serve) {
+  WrkResult result;
+  std::thread client([&] {
+    // Wait for the listener to appear; the successful probe consumes one
+    // accept slot (callers budget for it) and is closed so the worker that
+    // receives it sees EOF and serves an empty request.
+    std::shared_ptr<VConnection> probe;
+    while ((probe = kernel.network().Connect(wrk_options.port)) == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    probe->CloseClientSide();
+    result = RunWrk(kernel, wrk_options);
+  });
+  serve();
+  client.join();
+  return result;
+}
+
+ServerConfig SmallServer(uint16_t port, bool instrument, bool vuln = false) {
+  ServerConfig config;
+  config.port = port;
+  config.pool_threads = 4;
+  config.page_bytes = 512;
+  config.instrument_custom_sync = instrument;
+  config.enable_vulnerability = vuln;
+  return config;
+}
+
+TEST(HttpServerTest, NativeServesRequests) {
+  NativeRunner runner;
+  ServerConfig config = SmallServer(8080, /*instrument=*/true);
+  config.connection_budget = 21;  // 20 wrk requests + 1 probe.
+
+  WrkOptions wrk;
+  wrk.port = 8080;
+  wrk.connections = 4;
+  wrk.requests_per_conn = 5;
+  wrk.path = "/index.html";
+
+  const WrkResult result = ServeAndMeasure(runner.kernel(), wrk, [&] {
+    ASSERT_TRUE(runner.Run(MakeServerProgram(config)).ok());
+  });
+  EXPECT_EQ(result.responses_ok, 20u);
+  EXPECT_GT(result.bytes_received, 20u * 512u);
+}
+
+TEST(HttpServerTest, MveeInstrumentedServesWithoutDivergence) {
+  MveeOptions options;
+  options.num_variants = 2;
+  options.agent = AgentKind::kWallOfClocks;
+  options.rendezvous_timeout = std::chrono::milliseconds(60000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(60000);
+  Mvee mvee(options);
+
+  ServerConfig config = SmallServer(8081, /*instrument=*/true);
+  config.connection_budget = 21;
+
+  WrkOptions wrk;
+  wrk.port = 8081;
+  wrk.connections = 4;
+  wrk.requests_per_conn = 5;
+
+  Status status;
+  const WrkResult result = ServeAndMeasure(mvee.kernel(), wrk, [&] {
+    status = mvee.Run(MakeServerProgram(config));
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(result.responses_ok, 20u);
+}
+
+TEST(HttpServerTest, UninstrumentedCustomSyncDivergesUnderLoad) {
+  // §5.5: "if we do not instrument these custom synchronization primitives,
+  // nginx does not function correctly when running multiple variants. The
+  // server does start up normally, but quickly triggers a divergence when
+  // network traffic starts flowing in." Racing request-id updates through
+  // the raw spinlock produce mismatching response headers.
+  int divergences = 0;
+  for (int round = 0; round < 4 && divergences == 0; ++round) {
+    MveeOptions options;
+    options.num_variants = 2;
+    options.agent = AgentKind::kWallOfClocks;
+    options.rendezvous_timeout = std::chrono::milliseconds(15000);
+    options.agent_config.replay_deadline = std::chrono::milliseconds(15000);
+    options.seed = 77 + round;
+    Mvee mvee(options);
+
+    ServerConfig config = SmallServer(static_cast<uint16_t>(8090 + round),
+                                      /*instrument=*/false);
+    config.connection_budget = 41;
+
+    WrkOptions wrk;
+    wrk.port = config.port;
+    wrk.connections = 8;
+    wrk.requests_per_conn = 5;
+
+    Status status;
+    ServeAndMeasure(mvee.kernel(), wrk, [&] { status = mvee.Run(MakeServerProgram(config)); });
+    if (!status.ok()) {
+      ++divergences;
+    }
+  }
+  EXPECT_GT(divergences, 0);
+}
+
+TEST(HttpServerTest, AttackSucceedsNatively) {
+  // Against a single (unprotected) server instance, the tailored exploit
+  // leaks the secret — the baseline the paper establishes before showing
+  // the MVEE stops it.
+  NativeRunner runner;
+  ServerConfig config = SmallServer(8100, /*instrument=*/true, /*vuln=*/true);
+  config.connection_budget = 2;  // probe + attack
+
+  AttackResult attack;
+  std::thread client([&] {
+    std::shared_ptr<VConnection> probe;
+    while ((probe = runner.kernel().network().Connect(8100)) == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    probe->CloseClientSide();
+    // The native runner's diversity map is the victim layout the attacker
+    // "leaked".
+    const uint64_t victim_base = DiversityMap(0, 0x5eedULL, true).map_base();
+    attack = RunAttack(runner.kernel(), 8100, victim_base);
+  });
+  ASSERT_TRUE(runner.Run(MakeServerProgram(config)).ok());
+  client.join();
+  EXPECT_TRUE(attack.connected);
+  EXPECT_TRUE(attack.secret_leaked);
+}
+
+TEST(HttpServerTest, MveeDetectsAttackBeforeLeak) {
+  // With >= 2 diversified variants, the exploit only matches one variant's
+  // layout; the variants' responses differ and the MVEE kills them before
+  // the secret is sent (§5.5: "our MVEE detected divergence and shut down
+  // all variants before the system could be compromised").
+  MveeOptions options;
+  options.num_variants = 2;
+  options.enable_aslr = true;
+  options.agent = AgentKind::kWallOfClocks;
+  options.rendezvous_timeout = std::chrono::milliseconds(15000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(15000);
+  Mvee mvee(options);
+
+  ServerConfig config = SmallServer(8101, /*instrument=*/true, /*vuln=*/true);
+  config.connection_budget = 2;
+
+  AttackResult attack;
+  Status status;
+  std::thread client([&] {
+    std::shared_ptr<VConnection> probe;
+    while ((probe = mvee.kernel().network().Connect(8101)) == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    probe->CloseClientSide();
+    // Attacker tailored the payload to the master variant's layout.
+    const uint64_t master_base = DiversityMap(0, options.seed, true).map_base();
+    attack = RunAttack(mvee.kernel(), 8101, master_base);
+  });
+  status = mvee.Run(MakeServerProgram(config));
+  client.join();
+
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDivergence);
+  EXPECT_FALSE(attack.secret_leaked);
+}
+
+TEST(NgxSpinlockTest, BothModesMutualExclusion) {
+  for (bool instrumented : {true, false}) {
+    NgxSpinlock lock(instrumented);
+    int counter = 0;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 1000; ++i) {
+          lock.Lock();
+          ++counter;
+          lock.Unlock();
+        }
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    EXPECT_EQ(counter, 4000);
+  }
+}
+
+TEST(LayoutTokenTest, DistinctBasesDistinctTokens) {
+  EXPECT_NE(LayoutToken(0x1000), LayoutToken(0x2000));
+  EXPECT_EQ(LayoutToken(0x1000), LayoutToken(0x1000));
+}
+
+}  // namespace
+}  // namespace mvee

@@ -1,0 +1,249 @@
+// Unit tests for src/util: RNG determinism, hashing, the broadcast ring, and
+// the statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "mvee/util/hash.h"
+#include "mvee/util/rng.h"
+#include "mvee/util/spsc_ring.h"
+#include "mvee/util/stats.h"
+#include "mvee/util/status.h"
+
+namespace mvee {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(123);
+  Rng b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // All three values hit.
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(HashTest, FnvMatchesKnownVector) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(FnvHashBytes("", 0), 0xcbf29ce484222325ULL);
+  // Different strings hash differently.
+  EXPECT_NE(FnvHash("hello"), FnvHash("world"));
+}
+
+TEST(HashTest, DigestMatchesOneShot) {
+  FnvDigest digest;
+  digest.Update("he", 2);
+  digest.Update("llo", 3);
+  EXPECT_EQ(digest.Finish(), FnvHash("hello"));
+}
+
+TEST(HashTest, ClockAddressHashBucketsAdjacent32BitWords) {
+  // Two 32-bit variables in the same 64-bit line map to the same clock
+  // (paper §4.5: a single CMPXCHG8B could modify both).
+  const uint64_t base = 0x7f0000001000ULL;
+  EXPECT_EQ(ClockAddressHash(base), ClockAddressHash(base + 4));
+  EXPECT_NE(ClockAddressHash(base), ClockAddressHash(base + 8));
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status status(StatusCode::kDivergence, "write mismatch");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDivergence);
+  EXPECT_EQ(status.ToString(), "divergence: write mismatch");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad(Status(StatusCode::kNotFound, "x"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(BroadcastRingTest, SingleConsumerFifo) {
+  BroadcastRing<int> ring(8);
+  const size_t consumer = ring.RegisterConsumer();
+  for (int i = 0; i < 5; ++i) {
+    ring.Push(i);
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.CanPop(consumer));
+    EXPECT_EQ(ring.Pop(consumer), i);
+  }
+  EXPECT_FALSE(ring.CanPop(consumer));
+}
+
+TEST(BroadcastRingTest, TryPushFailsWhenFull) {
+  BroadcastRing<int> ring(4);
+  const size_t consumer = ring.RegisterConsumer();
+  (void)consumer;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_FALSE(ring.TryPush(99));
+}
+
+TEST(BroadcastRingTest, EachConsumerSeesFullStream) {
+  BroadcastRing<int> ring(16);
+  const size_t c0 = ring.RegisterConsumer();
+  const size_t c1 = ring.RegisterConsumer();
+  for (int i = 0; i < 10; ++i) {
+    ring.Push(i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ring.Pop(c0), i);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ring.Pop(c1), i);
+  }
+}
+
+TEST(BroadcastRingTest, ProducerBoundedBySlowestConsumer) {
+  BroadcastRing<int> ring(4);
+  const size_t fast = ring.RegisterConsumer();
+  const size_t slow = ring.RegisterConsumer();
+  for (int i = 0; i < 4; ++i) {
+    ring.Push(i);
+  }
+  // Fast consumer drains; slow consumer has not moved: still full.
+  for (int i = 0; i < 4; ++i) {
+    ring.Pop(fast);
+  }
+  EXPECT_FALSE(ring.TryPush(100));
+  ring.Pop(slow);
+  EXPECT_TRUE(ring.TryPush(100));
+}
+
+TEST(BroadcastRingTest, PeekDoesNotConsume) {
+  BroadcastRing<int> ring(8);
+  const size_t consumer = ring.RegisterConsumer();
+  ring.Push(7);
+  ring.Push(8);
+  int value = 0;
+  EXPECT_TRUE(ring.Peek(consumer, 0, &value));
+  EXPECT_EQ(value, 7);
+  EXPECT_TRUE(ring.Peek(consumer, 1, &value));
+  EXPECT_EQ(value, 8);
+  EXPECT_FALSE(ring.Peek(consumer, 2, &value));
+  ring.Advance(consumer);
+  EXPECT_TRUE(ring.Peek(consumer, 0, &value));
+  EXPECT_EQ(value, 8);
+}
+
+TEST(BroadcastRingTest, TryReadAbsoluteSequence) {
+  BroadcastRing<int> ring(8);
+  ring.RegisterConsumer();
+  ring.Push(10);
+  ring.Push(11);
+  int value = 0;
+  EXPECT_TRUE(ring.TryRead(0, &value));
+  EXPECT_EQ(value, 10);
+  EXPECT_TRUE(ring.TryRead(1, &value));
+  EXPECT_EQ(value, 11);
+  EXPECT_FALSE(ring.TryRead(2, &value));
+}
+
+TEST(BroadcastRingTest, ConcurrentProducerConsumer) {
+  BroadcastRing<uint64_t> ring(64);
+  const size_t consumer = ring.RegisterConsumer();
+  constexpr uint64_t kCount = 20000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kCount; ++i) {
+      ring.Push(i);
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    const uint64_t got = ring.Pop(consumer);
+    ASSERT_EQ(got, expected);
+    ++expected;
+  }
+  producer.join();
+}
+
+TEST(SampleStatsTest, BasicMoments) {
+  SampleStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    stats.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 4.0);
+  EXPECT_NEAR(stats.StdDev(), 1.2909944, 1e-6);
+  EXPECT_NEAR(stats.GeoMean(), 2.2133638, 1e-6);
+}
+
+TEST(SampleStatsTest, PercentileInterpolates) {
+  SampleStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.Add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(stats.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(stats.Percentile(0), 1.0, 0.01);
+  EXPECT_NEAR(stats.Percentile(100), 100.0, 0.01);
+}
+
+TEST(LatencyHistogramTest, RecordsAndApproximates) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 100; ++i) {
+    histogram.Record(1000);  // ~2^10
+  }
+  EXPECT_EQ(histogram.TotalCount(), 100u);
+  const uint64_t p50 = histogram.ApproxPercentile(50);
+  EXPECT_GE(p50, 512u);
+  EXPECT_LE(p50, 2048u);
+}
+
+}  // namespace
+}  // namespace mvee

@@ -1,0 +1,419 @@
+// Unit tests for the virtual kernel substrate: VFS, fd tables, pipes, the
+// virtual network, address spaces, futexes, and the syscall executor.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mvee/vkernel/vkernel.h"
+
+namespace mvee {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+TEST(VfsTest, OpenCreateReadWrite) {
+  Vfs vfs;
+  EXPECT_EQ(vfs.Open("absent", /*create=*/false), nullptr);
+  auto file = vfs.Open("f", /*create=*/true);
+  ASSERT_NE(file, nullptr);
+  file->Append(Bytes("hello").data(), 5);
+  uint8_t buffer[8] = {};
+  EXPECT_EQ(file->ReadAt(0, buffer, 8), 5);
+  EXPECT_EQ(std::string(buffer, buffer + 5), "hello");
+  EXPECT_EQ(file->ReadAt(5, buffer, 8), 0);  // EOF.
+}
+
+TEST(VfsTest, WriteAtGrowsFile) {
+  Vfs vfs;
+  auto file = vfs.Open("f", true);
+  file->WriteAt(10, Bytes("x").data(), 1);
+  EXPECT_EQ(file->Size(), 11u);
+}
+
+TEST(VfsTest, StatAndUnlink) {
+  Vfs vfs;
+  vfs.PutFile("a", {1, 2, 3});
+  VStat st;
+  EXPECT_EQ(vfs.Stat("a", &st), 0);
+  EXPECT_EQ(st.size, 3u);
+  EXPECT_EQ(vfs.Unlink("a"), 0);
+  EXPECT_EQ(vfs.Stat("a", &st), -ENOENT);
+  EXPECT_EQ(vfs.Unlink("a"), -ENOENT);
+}
+
+TEST(FdTableTest, LowestAvailableAllocation) {
+  FdTable fds;
+  FdEntry entry;
+  entry.kind = FdKind::kFile;
+  // 0,1,2 reserved for stdio.
+  EXPECT_EQ(fds.Allocate(entry), 3);
+  EXPECT_EQ(fds.Allocate(entry), 4);
+  EXPECT_EQ(fds.Close(3), 0);
+  // Lowest free slot is reused — the property the paper's §3.1 fd example
+  // depends on.
+  EXPECT_EQ(fds.Allocate(entry), 3);
+}
+
+TEST(FdTableTest, CloseInvalidFd) {
+  FdTable fds;
+  EXPECT_EQ(fds.Close(99), -EBADF);
+  EXPECT_EQ(fds.Close(-1), -EBADF);
+  EXPECT_EQ(fds.Get(99), nullptr);
+}
+
+TEST(FdTableTest, DupCopiesEntry) {
+  FdTable fds;
+  FdEntry entry;
+  entry.kind = FdKind::kFile;
+  entry.path = "p";
+  const int32_t fd = fds.Allocate(entry);
+  const int32_t dup = fds.Dup(fd);
+  EXPECT_GT(dup, fd);
+  EXPECT_EQ(fds.Get(dup)->path, "p");
+  EXPECT_EQ(fds.Dup(1234), -EBADF);
+}
+
+TEST(PipeTest, BlockingRoundTrip) {
+  VPipe pipe;
+  std::thread writer([&] {
+    pipe.Write(Bytes("abc").data(), 3);
+    pipe.CloseWriteEnd();
+  });
+  uint8_t buffer[8] = {};
+  int64_t n = pipe.Read(buffer, 8);
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(pipe.Read(buffer, 8), 0);  // EOF after close.
+  writer.join();
+}
+
+TEST(PipeTest, WriteToClosedReadEndFails) {
+  VPipe pipe;
+  pipe.CloseReadEnd();
+  EXPECT_EQ(pipe.Write(Bytes("abc").data(), 3), -EPIPE);
+}
+
+TEST(PipeTest, BackpressureBlocksWriter) {
+  VPipe pipe(/*capacity=*/4);
+  ASSERT_EQ(pipe.Write(Bytes("abcd").data(), 4), 4);
+  std::atomic<bool> wrote{false};
+  std::thread writer([&] {
+    pipe.Write(Bytes("e").data(), 1);
+    wrote.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(wrote.load());
+  uint8_t buffer[4];
+  pipe.Read(buffer, 4);
+  writer.join();
+  EXPECT_TRUE(wrote.load());
+}
+
+TEST(NetTest, ListenConnectAcceptEcho) {
+  VirtualNetwork network;
+  std::shared_ptr<VListener> listener;
+  ASSERT_EQ(network.Listen(8080, 16, &listener), 0);
+  EXPECT_EQ(network.Listen(8080, 16, &listener), -EADDRINUSE);
+
+  auto client_conn = network.Connect(8080);
+  ASSERT_NE(client_conn, nullptr);
+  auto server_conn = listener->Accept();
+  ASSERT_EQ(server_conn, client_conn);
+
+  client_conn->ClientWrite(Bytes("ping").data(), 4);
+  uint8_t buffer[8] = {};
+  EXPECT_EQ(server_conn->ServerRead(buffer, 8), 4);
+  server_conn->ServerWrite(Bytes("pong!").data(), 5);
+  EXPECT_EQ(client_conn->ClientRead(buffer, 8), 5);
+  EXPECT_EQ(std::string(buffer, buffer + 5), "pong!");
+}
+
+TEST(NetTest, ConnectToClosedPortFails) {
+  VirtualNetwork network;
+  EXPECT_EQ(network.Connect(9999), nullptr);
+}
+
+TEST(NetTest, CloseAllUnblocksAccept) {
+  VirtualNetwork network;
+  std::shared_ptr<VListener> listener;
+  ASSERT_EQ(network.Listen(80, 4, &listener), 0);
+  std::thread acceptor([&] { EXPECT_EQ(listener->Accept(), nullptr); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  network.CloseAll();
+  acceptor.join();
+}
+
+TEST(AddressSpaceTest, BrkQueryAndMove) {
+  AddressSpace mem(0x1000, 0x100000);
+  uint64_t brk = 0;
+  EXPECT_EQ(mem.Brk(0, &brk), 0);
+  EXPECT_EQ(brk, 0x1000u);
+  EXPECT_EQ(mem.Brk(4096, &brk), 0);
+  EXPECT_EQ(brk, 0x2000u);
+  EXPECT_EQ(mem.Brk(-4096, &brk), 0);
+  EXPECT_EQ(brk, 0x1000u);
+  EXPECT_EQ(mem.Brk(-8192, &brk), -ENOMEM);  // Below heap base.
+}
+
+TEST(AddressSpaceTest, MmapMunmapMprotect) {
+  AddressSpace mem(0x1000, 0x100000);
+  uint64_t addr = 0;
+  EXPECT_EQ(mem.Mmap(100, VProt::kRead | VProt::kWrite, &addr), 0);
+  EXPECT_EQ(addr, 0x100000u);
+  EXPECT_EQ(mem.MappingCount(), 1u);
+  EXPECT_EQ(mem.ProtOf(addr), VProt::kRead | VProt::kWrite);
+  EXPECT_EQ(mem.Mprotect(addr, 100, VProt::kRead), 0);
+  EXPECT_EQ(mem.ProtOf(addr), VProt::kRead);
+  EXPECT_EQ(mem.Mprotect(addr + 4096, 100, VProt::kRead), -ENOMEM);
+  EXPECT_EQ(mem.Munmap(addr, 100), 0);
+  EXPECT_EQ(mem.MappingCount(), 0u);
+  EXPECT_EQ(mem.Munmap(addr, 100), -EINVAL);
+  EXPECT_EQ(mem.Mmap(0, VProt::kRead, &addr), -EINVAL);
+}
+
+TEST(AddressSpaceTest, DistinctBasesGiveDistinctAddresses) {
+  AddressSpace a(0x1000, 0x100000);
+  AddressSpace b(0x5000, 0x500000);
+  uint64_t addr_a = 0;
+  uint64_t addr_b = 0;
+  a.Mmap(4096, VProt::kRead, &addr_a);
+  b.Mmap(4096, VProt::kRead, &addr_b);
+  EXPECT_NE(addr_a, addr_b);
+  // Logical (base-relative) addresses match: the property the monitor's
+  // comparison relies on.
+  EXPECT_EQ(addr_a - 0x100000, addr_b - 0x500000);
+}
+
+TEST(FutexTest, WakeReleasesWaiter) {
+  FutexTable futexes;
+  std::atomic<int32_t> word{1};
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    EXPECT_EQ(futexes.Wait(0x1234, &word, 1), 0);
+    woke.store(true);
+  });
+  while (futexes.WaiterCount() == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(woke.load());
+  EXPECT_EQ(futexes.Wake(0x1234, 1), 1);
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(FutexTest, ValueMismatchReturnsEagain) {
+  FutexTable futexes;
+  std::atomic<int32_t> word{2};
+  EXPECT_EQ(futexes.Wait(0x1, &word, 1), -EAGAIN);
+}
+
+TEST(FutexTest, WakeWithNoWaitersReturnsZero) {
+  FutexTable futexes;
+  EXPECT_EQ(futexes.Wake(0x9, 10), 0);
+}
+
+TEST(FutexTest, WakeAllReleasesEveryone) {
+  FutexTable futexes;
+  std::atomic<int32_t> word{5};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&] { futexes.Wait(0x7, &word, 5); });
+  }
+  while (futexes.WaiterCount() < 3) {
+    std::this_thread::yield();
+  }
+  futexes.WakeAll();
+  for (auto& t : waiters) {
+    t.join();
+  }
+}
+
+// --- Syscall executor ---
+
+class VirtualKernelTest : public ::testing::Test {
+ protected:
+  VirtualKernel kernel_;
+  ProcessState process_{1000, 0x10000, 0x100000};
+
+  int64_t Call(SyscallRequest& request) { return kernel_.Execute(process_, request).retval; }
+};
+
+TEST_F(VirtualKernelTest, OpenWriteReadRoundTrip) {
+  SyscallRequest open;
+  open.sysno = Sysno::kOpen;
+  open.path = "data.txt";
+  open.arg0 = VOpenFlags::kRead | VOpenFlags::kWrite | VOpenFlags::kCreate;
+  const int64_t fd = Call(open);
+  ASSERT_GE(fd, 3);
+
+  SyscallRequest write;
+  write.sysno = Sysno::kWrite;
+  write.arg0 = fd;
+  const std::string payload = "virtual kernel";
+  write.in_data = Bytes(payload);
+  EXPECT_EQ(Call(write), static_cast<int64_t>(payload.size()));
+
+  SyscallRequest seek;
+  seek.sysno = Sysno::kLseek;
+  seek.arg0 = fd;
+  seek.arg1 = 0;
+  seek.arg2 = 0;  // SEEK_SET
+  EXPECT_EQ(Call(seek), 0);
+
+  SyscallRequest read;
+  read.sysno = Sysno::kRead;
+  read.arg0 = fd;
+  std::vector<uint8_t> buffer(payload.size());
+  read.out_data = buffer;
+  EXPECT_EQ(Call(read), static_cast<int64_t>(payload.size()));
+  EXPECT_EQ(std::string(buffer.begin(), buffer.end()), payload);
+}
+
+TEST_F(VirtualKernelTest, OpenWithoutCreateFails) {
+  SyscallRequest open;
+  open.sysno = Sysno::kOpen;
+  open.path = "missing";
+  open.arg0 = VOpenFlags::kRead;
+  EXPECT_EQ(Call(open), -ENOENT);
+}
+
+TEST_F(VirtualKernelTest, ReadBadFd) {
+  SyscallRequest read;
+  read.sysno = Sysno::kRead;
+  read.arg0 = 77;
+  uint8_t buffer[4];
+  read.out_data = buffer;
+  EXPECT_EQ(Call(read), -EBADF);
+}
+
+TEST_F(VirtualKernelTest, PipePacksTwoFds) {
+  SyscallRequest pipe;
+  pipe.sysno = Sysno::kPipe;
+  const int64_t packed = Call(pipe);
+  ASSERT_GE(packed, 0);
+  const int32_t rfd = static_cast<int32_t>(packed & 0xffffffff);
+  const int32_t wfd = static_cast<int32_t>(packed >> 32);
+  EXPECT_NE(rfd, wfd);
+
+  SyscallRequest write;
+  write.sysno = Sysno::kWrite;
+  write.arg0 = wfd;
+  write.in_data = Bytes("xy");
+  EXPECT_EQ(Call(write), 2);
+
+  SyscallRequest read;
+  read.sysno = Sysno::kRead;
+  read.arg0 = rfd;
+  uint8_t buffer[4];
+  read.out_data = buffer;
+  EXPECT_EQ(Call(read), 2);
+}
+
+TEST_F(VirtualKernelTest, GetrandomIsDeterministicPerSeed) {
+  VirtualKernel kernel_a(7);
+  VirtualKernel kernel_b(7);
+  ProcessState process_a(1, 0x1000, 0x10000);
+  ProcessState process_b(1, 0x1000, 0x10000);
+  std::vector<uint8_t> buffer_a(16);
+  std::vector<uint8_t> buffer_b(16);
+  SyscallRequest request;
+  request.sysno = Sysno::kGetrandom;
+  request.out_data = buffer_a;
+  kernel_a.Execute(process_a, request);
+  request.out_data = buffer_b;
+  kernel_b.Execute(process_b, request);
+  EXPECT_EQ(buffer_a, buffer_b);
+}
+
+TEST_F(VirtualKernelTest, ApplyReplicatedEffectAdvancesFileOffset) {
+  SyscallRequest open;
+  open.sysno = Sysno::kOpen;
+  open.path = "f";
+  open.arg0 = VOpenFlags::kRead | VOpenFlags::kCreate;
+  const int64_t fd = Call(open);
+  kernel_.vfs().PutFile("f", {1, 2, 3, 4, 5});
+
+  SyscallRequest read;
+  read.sysno = Sysno::kRead;
+  read.arg0 = fd;
+  uint8_t buffer[3];
+  read.out_data = buffer;
+  SyscallResult master_result;
+  master_result.retval = 3;
+  kernel_.ApplyReplicatedEffect(process_, read, master_result);
+
+  SyscallRequest seek;
+  seek.sysno = Sysno::kLseek;
+  seek.arg0 = fd;
+  seek.arg1 = 0;
+  seek.arg2 = 1;  // SEEK_CUR
+  EXPECT_EQ(Call(seek), 3);
+}
+
+TEST_F(VirtualKernelTest, ApplyReplicatedEffectInstallsShadowAcceptFd) {
+  SyscallRequest accept;
+  accept.sysno = Sysno::kAccept;
+  accept.arg0 = 3;
+  SyscallResult master_result;
+  master_result.retval = 4;
+  const int64_t shadow_fd = kernel_.ApplyReplicatedEffect(process_, accept, master_result);
+  EXPECT_EQ(shadow_fd, 3);  // First free fd in this fresh process.
+}
+
+TEST_F(VirtualKernelTest, ClockMonotonic) {
+  SyscallRequest t;
+  t.sysno = Sysno::kClockGettime;
+  const int64_t first = Call(t);
+  const int64_t second = Call(t);
+  EXPECT_GE(second, first);
+  SyscallRequest tsc;
+  tsc.sysno = Sysno::kRdtsc;
+  const int64_t tsc1 = Call(tsc);
+  const int64_t tsc2 = Call(tsc);
+  EXPECT_GT(tsc2, tsc1);
+}
+
+TEST_F(VirtualKernelTest, SyscallClassification) {
+  EXPECT_EQ(ClassOf(Sysno::kRead), SyscallClass::kReplicated);
+  EXPECT_EQ(ClassOf(Sysno::kFutex), SyscallClass::kReplicated);  // §4.1 fn 5.
+  EXPECT_EQ(ClassOf(Sysno::kOpen), SyscallClass::kOrdered);
+  EXPECT_EQ(ClassOf(Sysno::kMmap), SyscallClass::kOrdered);
+  EXPECT_EQ(ClassOf(Sysno::kGettid), SyscallClass::kLocal);
+  EXPECT_EQ(ClassOf(Sysno::kExit), SyscallClass::kControl);
+  EXPECT_EQ(SensitivityOf(Sysno::kWrite), SyscallSensitivity::kSensitive);
+  EXPECT_EQ(SensitivityOf(Sysno::kRead), SyscallSensitivity::kBenign);
+}
+
+TEST_F(VirtualKernelTest, ComparableDigestIgnoresLocalAddr) {
+  SyscallRequest a;
+  a.sysno = Sysno::kMprotect;
+  a.logical_addr = 0x1000;
+  a.local_addr = 0xAAAA0000;
+  SyscallRequest b;
+  b.sysno = Sysno::kMprotect;
+  b.logical_addr = 0x1000;
+  b.local_addr = 0xBBBB0000;  // Different raw address (ASLR).
+  EXPECT_EQ(a.ComparableDigest(), b.ComparableDigest());
+  b.logical_addr = 0x2000;
+  EXPECT_NE(a.ComparableDigest(), b.ComparableDigest());
+}
+
+TEST_F(VirtualKernelTest, ComparableDigestCoversPayload) {
+  SyscallRequest a;
+  a.sysno = Sysno::kWrite;
+  a.arg0 = 1;
+  a.in_data = Bytes("hello");
+  SyscallRequest b;
+  b.sysno = Sysno::kWrite;
+  b.arg0 = 1;
+  b.in_data = Bytes("hellO");
+  EXPECT_NE(a.ComparableDigest(), b.ComparableDigest());
+}
+
+}  // namespace
+}  // namespace mvee

@@ -1,0 +1,168 @@
+// Tests for the synthetic PARSEC / SPLASH workloads: registry sanity, native
+// determinism, and cross-variant correctness under the MVEE for every shape
+// (the §5.1 "Correctness" sweep at test scale).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "mvee/monitor/mvee.h"
+#include "mvee/monitor/native.h"
+#include "mvee/workloads/workload.h"
+
+namespace mvee {
+namespace {
+
+std::string ResultOf(VirtualKernel& kernel, const std::string& name) {
+  auto file = kernel.vfs().Open("result/" + name, /*create=*/false);
+  if (file == nullptr) {
+    return "";
+  }
+  const auto bytes = file->Contents();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+TEST(WorkloadRegistryTest, Has25Benchmarks) {
+  const auto all = AllWorkloads();
+  EXPECT_EQ(all.size(), 25u);
+  size_t parsec = 0;
+  size_t splash = 0;
+  for (const auto& config : all) {
+    if (std::string(config.suite) == "PARSEC") {
+      ++parsec;
+    } else if (std::string(config.suite) == "SPLASH") {
+      ++splash;
+    }
+  }
+  EXPECT_EQ(parsec, 12u);
+  EXPECT_EQ(splash, 13u);
+}
+
+TEST(WorkloadRegistryTest, NamesUniquePerSuite) {
+  std::set<std::string> seen;
+  for (const auto& config : AllWorkloads()) {
+    const std::string key = std::string(config.suite) + "/" + config.name;
+    EXPECT_TRUE(seen.insert(key).second) << key;
+  }
+}
+
+TEST(WorkloadRegistryTest, FindByPlainAndQualifiedName) {
+  EXPECT_NE(FindWorkload("dedup"), nullptr);
+  EXPECT_NE(FindWorkload("SPLASH/raytrace"), nullptr);
+  EXPECT_NE(FindWorkload("PARSEC/raytrace"), nullptr);
+  EXPECT_STREQ(FindWorkload("SPLASH/raytrace")->suite, "SPLASH");
+  EXPECT_EQ(FindWorkload("no_such_benchmark"), nullptr);
+}
+
+TEST(WorkloadRegistryTest, PaperReferenceValuesPresent) {
+  // Spot-check Table 2 reference data carried in the registry.
+  const WorkloadConfig* dedup = FindWorkload("dedup");
+  ASSERT_NE(dedup, nullptr);
+  EXPECT_NEAR(dedup->paper_syscall_rate_k, 134.27, 1e-9);
+  const WorkloadConfig* radiosity = FindWorkload("radiosity");
+  ASSERT_NE(radiosity, nullptr);
+  EXPECT_NEAR(radiosity->paper_sync_rate_k, 18252.68, 1e-9);
+  EXPECT_EQ(dedup->worker_threads, 4u);  // "with four worker threads".
+}
+
+TEST(WorkloadNativeTest, DeterministicResultAcrossRuns) {
+  // The same workload at the same scale must produce the same digest in two
+  // independent native runs — without this, lockstep comparison would be
+  // meaningless.
+  const WorkloadConfig* config = FindWorkload("fluidanimate");
+  ASSERT_NE(config, nullptr);
+  std::string first;
+  std::string second;
+  {
+    NativeRunner runner;
+    ASSERT_TRUE(runner.Run(MakeWorkloadProgram(*config, 0.01)).ok());
+    first = ResultOf(runner.kernel(), config->name);
+  }
+  {
+    NativeRunner runner;
+    ASSERT_TRUE(runner.Run(MakeWorkloadProgram(*config, 0.01)).ok());
+    second = ResultOf(runner.kernel(), config->name);
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// One representative benchmark per shape, each run under the MVEE with the
+// wall-of-clocks agent and 2 variants: no divergence, and the result digest
+// matches a native run (the MVEE is transparent).
+class WorkloadMveeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadMveeTest, NoDivergenceAndNativeEquivalentResult) {
+  const WorkloadConfig* config = FindWorkload(GetParam());
+  ASSERT_NE(config, nullptr);
+  const double scale = 0.01;
+
+  std::string native_result;
+  {
+    NativeRunner runner;
+    ASSERT_TRUE(runner.Run(MakeWorkloadProgram(*config, scale)).ok());
+    native_result = ResultOf(runner.kernel(), config->name);
+  }
+  ASSERT_FALSE(native_result.empty());
+
+  MveeOptions options;
+  options.num_variants = 2;
+  options.agent = AgentKind::kWallOfClocks;
+  options.rendezvous_timeout = std::chrono::milliseconds(60000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(60000);
+  Mvee mvee(options);
+  const Status status = mvee.Run(MakeWorkloadProgram(*config, scale));
+  EXPECT_TRUE(status.ok()) << config->name << ": " << status.ToString();
+  EXPECT_EQ(ResultOf(mvee.kernel(), config->name), native_result) << config->name;
+  EXPECT_GT(mvee.report().sync_ops_recorded, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(OnePerShape, WorkloadMveeTest,
+                         ::testing::Values("blackscholes",   // data-parallel
+                                           "swaptions",      // atomic-hammer
+                                           "dedup",          // pipeline
+                                           "radiosity",      // task-queue
+                                           "fluidanimate",   // fine-grain grid
+                                           "streamcluster"   // barrier-phase
+                                           ));
+
+TEST(WorkloadMveeTest, TotalOrderAgentAlsoCorrect) {
+  const WorkloadConfig* config = FindWorkload("barnes");
+  ASSERT_NE(config, nullptr);
+  MveeOptions options;
+  options.num_variants = 2;
+  options.agent = AgentKind::kTotalOrder;
+  options.rendezvous_timeout = std::chrono::milliseconds(60000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(60000);
+  Mvee mvee(options);
+  EXPECT_TRUE(mvee.Run(MakeWorkloadProgram(*config, 0.005)).ok());
+}
+
+TEST(WorkloadMveeTest, PartialOrderAgentAlsoCorrect) {
+  const WorkloadConfig* config = FindWorkload("volrend");
+  ASSERT_NE(config, nullptr);
+  MveeOptions options;
+  options.num_variants = 2;
+  options.agent = AgentKind::kPartialOrder;
+  options.rendezvous_timeout = std::chrono::milliseconds(60000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(60000);
+  Mvee mvee(options);
+  EXPECT_TRUE(mvee.Run(MakeWorkloadProgram(*config, 0.005)).ok());
+}
+
+TEST(WorkloadMveeTest, ThreeVariantsWithAslr) {
+  const WorkloadConfig* config = FindWorkload("ferret");
+  ASSERT_NE(config, nullptr);
+  MveeOptions options;
+  options.num_variants = 3;
+  options.enable_aslr = true;
+  options.agent = AgentKind::kWallOfClocks;
+  options.rendezvous_timeout = std::chrono::milliseconds(60000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(60000);
+  Mvee mvee(options);
+  EXPECT_TRUE(mvee.Run(MakeWorkloadProgram(*config, 0.01)).ok());
+}
+
+}  // namespace
+}  // namespace mvee
