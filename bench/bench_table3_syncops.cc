@@ -3,13 +3,93 @@
 // aligned load/stores — over the synthetic binary corpus, plus the worked
 // examples of Listings 1 and 2 and the _Atomic propagation workflow
 // (§4.3.1).
+//
+// The identified sync ops are only worth finding because record/replay of
+// each one is cheap, so the bench closes with the record+replay fast-path
+// rate of every agent kind, with the ring's cached gating cursors off and on
+// (AgentConfig::cached_ring_cursors) — the before/after of the
+// zero-contention fast path — and seeds BENCH_agents.json from the cached
+// rates.
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "bench/common.h"
+#include "mvee/agents/agent_fleet.h"
 #include "mvee/analysis/atomic_check.h"
 #include "mvee/analysis/corpus.h"
 #include "mvee/analysis/field_sensitive.h"
 #include "mvee/analysis/syncop_analysis.h"
+
+namespace {
+
+// Master record-path rate: the master agent records batches while three
+// slave variants replay them between batches (their cursors are what gate —
+// and without caching, what the producer rescans on — every push).
+// Single-threaded and best-of-3, so the number is the pure instruction-path
+// cost of a recorded sync op, free of scheduler noise on small hosts.
+mvee::bench::AgentBenchResult MeasureAgentRecordRate(mvee::AgentKind kind,
+                                                     bool cached_cursors,
+                                                     size_t total_ops) {
+  using namespace mvee;
+  constexpr uint32_t kVariants = 4;  // Paper Table 1's widest configuration.
+  AgentConfig config;
+  config.num_variants = kVariants;
+  config.max_threads = 1;
+  config.buffer_capacity = 1 << 16;
+  config.cached_ring_cursors = cached_cursors;
+  std::atomic<bool> abort{false};
+  AgentControl control;
+  control.abort_flag = &abort;
+  AgentFleet fleet(kind, config, control);
+  auto master = fleet.CreateAgent(0);
+  std::vector<std::unique_ptr<SyncAgent>> slaves;
+  for (uint32_t v = 1; v < kVariants; ++v) {
+    slaves.push_back(fleet.CreateAgent(v));
+  }
+
+  const size_t batch = 1 << 12;  // Must stay below buffer_capacity.
+  int sync_var = 0;
+  double best_seconds = 0.0;
+  AgentStatsSnapshot best_stalls;  // Stall deltas of the best rep, so the
+                                   // JSON pairs quantities from one rep.
+  for (int rep = 0; rep < 3; ++rep) {
+    const AgentStatsSnapshot before = fleet.stats()->Aggregate();
+    double record_seconds = 0.0;
+    for (size_t done = 0; done < total_ops; done += batch) {
+      const auto start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < batch; ++i) {
+        master->BeforeSyncOp(0, &sync_var);
+        master->AfterSyncOp(0, &sync_var);
+      }
+      record_seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                      start).count();
+      for (auto& slave : slaves) {
+        for (size_t i = 0; i < batch; ++i) {
+          slave->BeforeSyncOp(0, &sync_var);
+          slave->AfterSyncOp(0, &sync_var);
+        }
+      }
+    }
+    if (best_seconds == 0.0 || record_seconds < best_seconds) {
+      best_seconds = record_seconds;
+      const AgentStatsSnapshot after = fleet.stats()->Aggregate();
+      best_stalls.record_stalls = after.record_stalls - before.record_stalls;
+      best_stalls.replay_stalls = after.replay_stalls - before.replay_stalls;
+    }
+  }
+  bench::AgentBenchResult result;
+  result.kind = AgentKindName(kind);
+  result.mode = cached_cursors ? "cached" : "uncached";
+  result.ops_per_sec = total_ops / best_seconds;
+  result.record_stalls = best_stalls.record_stalls;
+  result.replay_stalls = best_stalls.replay_stalls;
+  return result;
+}
+
+}  // namespace
 
 int main() {
   using namespace mvee;
@@ -86,6 +166,26 @@ int main() {
     std::printf("  (the paper reports \"the majority of type (iii) instructions that\n"
                 "   target heap-allocated variables\" are spuriously marked by both\n"
                 "   DSA and SVF; field-granular heap queries eliminate that.)\n");
+  }
+
+  std::printf("\n--- Master record path per agent, 4 variants "
+              "(cached gating cursors off/on) ---\n");
+  {
+    constexpr AgentKind kKinds[] = {AgentKind::kTotalOrder, AgentKind::kPartialOrder,
+                                    AgentKind::kWallOfClocks, AgentKind::kPerVariableOrder};
+    const size_t total_ops = 1 << 21;
+    std::vector<bench::AgentBenchResult> cached_results;
+    std::printf("%-22s %14s %14s %9s\n", "agent", "uncached op/s", "cached op/s", "speedup");
+    for (const AgentKind kind : kKinds) {
+      MeasureAgentRecordRate(kind, true, 1 << 17);  // warmup
+      const bench::AgentBenchResult uncached = MeasureAgentRecordRate(kind, false, total_ops);
+      const bench::AgentBenchResult cached = MeasureAgentRecordRate(kind, true, total_ops);
+      std::printf("%-22s %13.2fM %13.2fM %8.2fx\n", cached.kind.c_str(),
+                  uncached.ops_per_sec / 1e6, cached.ops_per_sec / 1e6,
+                  cached.ops_per_sec / uncached.ops_per_sec);
+      cached_results.push_back(cached);
+    }
+    bench::WriteAgentsJson(cached_results);
   }
   return 0;
 }

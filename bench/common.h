@@ -5,9 +5,11 @@
 #define MVEE_BENCH_COMMON_H_
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "mvee/agents/sync_agent.h"
 #include "mvee/monitor/mvee.h"
@@ -93,6 +95,49 @@ inline MveeRun RunUnderMvee(const WorkloadConfig& config, double scale, uint32_t
   result.report = mvee.report();
   result.seconds = result.report.wall_seconds;
   return result;
+}
+
+// --- Machine-readable output -----------------------------------------------
+//
+// Benches that measure per-agent throughput append AgentBenchResult records
+// and flush them to BENCH_agents.json so the perf trajectory is diffable
+// across commits (CI archives the file; regressions show up as rate drops).
+
+struct AgentBenchResult {
+  std::string kind;            // AgentKindName(...)
+  std::string mode;            // e.g. "cached" / "uncached"
+  double ops_per_sec = 0.0;    // master record-path sync ops per second
+  uint64_t record_stalls = 0;
+  uint64_t replay_stalls = 0;
+};
+
+// Writes `entries` as a JSON array to `path` (default: BENCH_agents.json in
+// the working directory; override the directory with MVEE_BENCH_JSON_DIR).
+inline void WriteAgentsJson(const std::vector<AgentBenchResult>& entries,
+                            const std::string& filename = "BENCH_agents.json") {
+  std::string path = filename;
+  if (const char* dir = std::getenv("MVEE_BENCH_JSON_DIR")) {
+    path = std::string(dir) + "/" + filename;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "WriteAgentsJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n  \"agents\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const AgentBenchResult& entry = entries[i];
+    std::fprintf(file,
+                 "    {\"kind\": \"%s\", \"mode\": \"%s\", \"ops_per_sec\": %.1f, "
+                 "\"record_stalls\": %llu, \"replay_stalls\": %llu}%s\n",
+                 entry.kind.c_str(), entry.mode.c_str(), entry.ops_per_sec,
+                 static_cast<unsigned long long>(entry.record_stalls),
+                 static_cast<unsigned long long>(entry.replay_stalls),
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
 }
 
 inline void PrintHeader(const std::string& title) {

@@ -77,6 +77,8 @@ class PartialOrderAgent final : public SyncAgent {
   PartialOrderRuntime* const runtime_;
   const AgentRole role_;
   PartialOrderRuntime::SlaveState* const slave_;
+  // Stats shard key: 0 for the master, consumer id + 1 for slaves.
+  const uint32_t stats_variant_;
   uint64_t pending_index_[kMaxThreads] = {};
 };
 

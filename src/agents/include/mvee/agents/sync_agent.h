@@ -39,13 +39,54 @@ enum class AgentRole : uint8_t {
   kSlave,
 };
 
-// Hot-path statistics. Relaxed atomics: approximate under concurrency,
+// Point-in-time aggregate of the hot-path counters.
+struct AgentStatsSnapshot {
+  uint64_t ops_recorded = 0;
+  uint64_t ops_replayed = 0;
+  uint64_t record_stalls = 0;   // producer blocked on full buffer
+  uint64_t replay_stalls = 0;   // slave blocked waiting its turn
+};
+
+// Hot-path statistics, sharded per (variant, thread). A single shared
+// counter struct would put a read-write cache line under every sync op of
+// every variant — the same ping-pong §4.5 blames for the simple agents'
+// slowdowns — so each thread bumps a cache-line-padded shard selected by its
+// variant index and tid, and readers sum the shards. The variant index is
+// part of the key because thread t exists in *every* variant and the
+// master's record bump races the slaves' replay bumps for the same tid by
+// construction. Colliding (variant, tid) pairs mod kShards share a shard
+// (hence the relaxed atomics); totals are approximate under concurrency,
 // exact after quiescence.
-struct AgentStats {
-  std::atomic<uint64_t> ops_recorded{0};
-  std::atomic<uint64_t> ops_replayed{0};
-  std::atomic<uint64_t> record_stalls{0};   // producer blocked on full buffer
-  std::atomic<uint64_t> replay_stalls{0};   // slave blocked waiting its turn
+class AgentStats {
+ public:
+  static constexpr size_t kShards = 64;  // power of two
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> ops_recorded{0};
+    std::atomic<uint64_t> ops_replayed{0};
+    std::atomic<uint64_t> record_stalls{0};
+    std::atomic<uint64_t> replay_stalls{0};
+  };
+
+  // Variants 0..3 with tids 0..15 map collision-free onto the 64 shards —
+  // the common configurations of Table 1.
+  Shard& shard(uint32_t variant, uint32_t tid) {
+    return shards_[((tid << 2) | (variant & 3)) & (kShards - 1)];
+  }
+
+  AgentStatsSnapshot Aggregate() const {
+    AgentStatsSnapshot total;
+    for (const Shard& shard : shards_) {
+      total.ops_recorded += shard.ops_recorded.load(std::memory_order_relaxed);
+      total.ops_replayed += shard.ops_replayed.load(std::memory_order_relaxed);
+      total.record_stalls += shard.record_stalls.load(std::memory_order_relaxed);
+      total.replay_stalls += shard.replay_stalls.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  Shard shards_[kShards];
 };
 
 // Shared configuration for agent runtimes.
@@ -55,6 +96,10 @@ struct AgentConfig {
   size_t buffer_capacity = 1 << 16;    // Entries per sync buffer (power of 2).
   size_t clock_count = 4096;           // Wall-of-clocks wall size.
   size_t po_window = 1 << 12;          // Partial-order lookahead window.
+  // Disruptor-style cached gating cursors in the sync buffers. Off restores
+  // the rescan-every-op ring for A/B measurement (bench_ring_throughput,
+  // bench_table3_syncops); production runs leave it on.
+  bool cached_ring_cursors = true;
   // Replay stall deadline; exceeded => the runtime calls on_stall and the
   // waiting thread unwinds with VariantKilled. Detects uninstrumented sync
   // ops (the nginx scenario of §5.5).

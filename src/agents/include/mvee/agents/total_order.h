@@ -29,7 +29,7 @@ class TotalOrderRuntime {
   std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
 
   const AgentStats& stats() const { return stats_; }
-  uint64_t OpsRecorded() const { return stats_.ops_recorded.load(std::memory_order_relaxed); }
+  uint64_t OpsRecorded() const { return stats_.Aggregate().ops_recorded; }
 
  private:
   friend class TotalOrderAgent;
@@ -59,6 +59,8 @@ class TotalOrderAgent final : public SyncAgent {
   TotalOrderRuntime* const runtime_;
   const AgentRole role_;
   const size_t consumer_id_;
+  // Stats shard key: 0 for the master, consumer id + 1 for slaves.
+  const uint32_t stats_variant_;
 };
 
 }  // namespace mvee

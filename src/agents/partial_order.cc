@@ -10,6 +10,7 @@ namespace mvee {
 
 PartialOrderRuntime::PartialOrderRuntime(const AgentConfig& config, AgentControl control)
     : config_(config), control_(std::move(control)), ring_(config.buffer_capacity) {
+  ring_.EnableCursorCaching(config_.cached_ring_cursors);
   for (uint32_t v = 1; v < config_.num_variants; ++v) {
     auto slave = std::make_unique<SlaveState>();
     slave->consumed = std::vector<std::atomic<uint8_t>>(config_.buffer_capacity);
@@ -29,7 +30,10 @@ std::unique_ptr<SyncAgent> PartialOrderRuntime::CreateAgent(uint32_t variant_ind
 
 PartialOrderAgent::PartialOrderAgent(PartialOrderRuntime* runtime, AgentRole role,
                                      PartialOrderRuntime::SlaveState* slave)
-    : runtime_(runtime), role_(role), slave_(slave) {}
+    : runtime_(runtime),
+      role_(role),
+      slave_(slave),
+      stats_variant_(slave == nullptr ? 0 : static_cast<uint32_t>(slave->consumer_id) + 1) {}
 
 void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   (void)addr;  // The key is recorded in AfterSyncOp (master) / read from the buffer (slave).
@@ -52,8 +56,8 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   // is scanned at most once per thread, so the scan is amortized O(1)).
   const uint64_t mask = runtime_->config_.buffer_capacity - 1;
   auto& ring = runtime_->ring_;
-  const auto deadline =
-      std::chrono::steady_clock::now() + runtime_->config_.replay_deadline;
+  const size_t consumer = slave_->consumer_id;
+  DeadlineGate deadline(runtime_->config_.replay_deadline);
   SpinWait waiter;
   bool stalled = false;
 
@@ -61,7 +65,7 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     if (runtime_->control_.aborted()) {
       throw VariantKilled{};
     }
-    if (std::chrono::steady_clock::now() > deadline) {
+    if (deadline.Expired(waiter)) {
       if (runtime_->control_.on_stall) {
         runtime_->control_.on_stall(std::string("partial-order replay deadline (") + phase +
                                     ", tid " + std::to_string(tid) + ")");
@@ -91,17 +95,17 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     if (index >= base_now + window) {
       if (!stalled) {
         stalled = true;
-        runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+        runtime_->stats_.shard(stats_variant_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
       }
       check_deadline("window");
       waiter.Pause();
       continue;
     }
     PartialOrderRuntime::Entry entry;
-    if (!ring.TryRead(index, &entry)) {
+    if (!ring.TryRead(consumer, index, &entry)) {
       if (!stalled) {
         stalled = true;
-        runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+        runtime_->stats_.shard(stats_variant_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
       }
       check_deadline("scan");
       waiter.Pause();
@@ -129,7 +133,7 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
         continue;
       }
       PartialOrderRuntime::Entry other;
-      if (!ring.TryRead(j, &other)) {
+      if (!ring.TryRead(consumer, j, &other)) {
         continue;  // Retired concurrently.
       }
       if (other.key == mine.key) {
@@ -142,7 +146,7 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     }
     if (!stalled) {
       stalled = true;
-      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      runtime_->stats_.shard(stats_variant_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
     }
     check_deadline("dependence");
     waiter.Pause();
@@ -158,7 +162,7 @@ void PartialOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
     entry.tid = tid;
     entry.key = reinterpret_cast<uint64_t>(addr);
     if (!runtime_->ring_.TryPush(entry)) {
-      runtime_->stats_.record_stalls.fetch_add(1, std::memory_order_relaxed);
+      runtime_->stats_.shard(stats_variant_, tid).record_stalls.fetch_add(1, std::memory_order_relaxed);
       SpinWait waiter;
       while (!runtime_->ring_.TryPush(entry)) {
         if (runtime_->control_.aborted()) {
@@ -168,7 +172,7 @@ void PartialOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
         waiter.Pause();
       }
     }
-    runtime_->stats_.ops_recorded.fetch_add(1, std::memory_order_relaxed);
+    runtime_->stats_.shard(stats_variant_, tid).ops_recorded.fetch_add(1, std::memory_order_relaxed);
     runtime_->master_lock_.clear(std::memory_order_release);
     return;
   }
@@ -177,7 +181,7 @@ void PartialOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
   const uint64_t index = pending_index_[tid];
   slave_->consumed[index & mask].store(1, std::memory_order_release);
   slave_->next_index_by_tid[tid].store(index + 1, std::memory_order_relaxed);
-  runtime_->stats_.ops_replayed.fetch_add(1, std::memory_order_relaxed);
+  runtime_->stats_.shard(stats_variant_, tid).ops_replayed.fetch_add(1, std::memory_order_relaxed);
 
   // Retire a consumed prefix so the producer can reuse the slots.
   std::lock_guard<std::mutex> lock(slave_->base_mutex);

@@ -36,6 +36,7 @@ PerVariableRuntime::PerVariableRuntime(const AgentConfig& config, AgentControl c
   rings_.reserve(config_.max_threads);
   for (uint32_t t = 0; t < config_.max_threads; ++t) {
     auto ring = std::make_unique<BroadcastRing<Entry>>(config_.buffer_capacity);
+    ring->EnableCursorCaching(config_.cached_ring_cursors);
     for (uint32_t v = 1; v < config_.num_variants; ++v) {
       ring->RegisterConsumer();
     }
@@ -109,8 +110,7 @@ void PerVariableAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   // what makes the agent address-space-layout agnostic (§4.5.1).
   auto& ring = *runtime_->rings_[tid];
   const size_t consumer = variant_index_ - 1;
-  const auto deadline =
-      std::chrono::steady_clock::now() + runtime_->config_.replay_deadline;
+  DeadlineGate deadline(runtime_->config_.replay_deadline);
   SpinWait waiter;
   bool stalled = false;
 
@@ -121,9 +121,9 @@ void PerVariableAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     }
     if (!stalled) {
       stalled = true;
-      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      runtime_->stats_.shard(variant_index_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
     }
-    if (std::chrono::steady_clock::now() > deadline) {
+    if (deadline.Expired(waiter)) {
       if (runtime_->control_.on_stall) {
         runtime_->control_.on_stall("per-variable replay deadline (no entry, tid " +
                                     std::to_string(tid) + ")");
@@ -141,9 +141,9 @@ void PerVariableAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     }
     if (!stalled) {
       stalled = true;
-      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      runtime_->stats_.shard(variant_index_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
     }
-    if (std::chrono::steady_clock::now() > deadline) {
+    if (deadline.Expired(waiter)) {
       if (runtime_->control_.on_stall) {
         runtime_->control_.on_stall("per-variable replay deadline (clock " +
                                     std::to_string(entry.clock_id) + " stuck at " +
@@ -167,24 +167,27 @@ void PerVariableAgent::AfterSyncOp(uint32_t tid, const void* addr) {
   if (role_ == AgentRole::kMaster) {
     const Pending pending = pending_[tid];
     auto& clock = runtime_->master_clocks_[pending.clock_id];
+    clock.time = pending.time + 1;
+    clock.lock.clear(std::memory_order_release);
+
+    // Publication outside the clock lock, same ordering argument as
+    // wall-of-clocks: the ring is thread-private on the producer side and
+    // replay is ordered by the recorded clock value.
     auto& ring = *runtime_->rings_[tid];
     PerVariableRuntime::Entry entry;
     entry.clock_id = pending.clock_id;
     entry.time = pending.time;
     if (!ring.TryPush(entry)) {
-      runtime_->stats_.record_stalls.fetch_add(1, std::memory_order_relaxed);
+      runtime_->stats_.shard(variant_index_, tid).record_stalls.fetch_add(1, std::memory_order_relaxed);
       SpinWait waiter;
       while (!ring.TryPush(entry)) {
         if (runtime_->control_.aborted()) {
-          clock.lock.clear(std::memory_order_release);
           throw VariantKilled{};
         }
         waiter.Pause();
       }
     }
-    clock.time = pending.time + 1;
-    runtime_->stats_.ops_recorded.fetch_add(1, std::memory_order_relaxed);
-    clock.lock.clear(std::memory_order_release);
+    runtime_->stats_.shard(variant_index_, tid).ops_recorded.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
@@ -193,7 +196,7 @@ void PerVariableAgent::AfterSyncOp(uint32_t tid, const void* addr) {
   runtime_->slave_clocks_[consumer][pending.clock_id].time.store(pending.time + 1,
                                                                  std::memory_order_release);
   runtime_->rings_[tid]->Advance(consumer);
-  runtime_->stats_.ops_replayed.fetch_add(1, std::memory_order_relaxed);
+  runtime_->stats_.shard(variant_index_, tid).ops_replayed.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace mvee

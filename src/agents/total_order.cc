@@ -9,6 +9,7 @@ namespace mvee {
 
 TotalOrderRuntime::TotalOrderRuntime(const AgentConfig& config, AgentControl control)
     : config_(config), control_(std::move(control)), ring_(config.buffer_capacity) {
+  ring_.EnableCursorCaching(config_.cached_ring_cursors);
   // One consumer cursor per slave variant. All threads of a slave variant
   // share one cursor: the total order is variant-global.
   consumer_ids_.resize(config_.num_variants, 0);
@@ -23,7 +24,11 @@ std::unique_ptr<SyncAgent> TotalOrderRuntime::CreateAgent(uint32_t variant_index
 }
 
 TotalOrderAgent::TotalOrderAgent(TotalOrderRuntime* runtime, AgentRole role, size_t consumer_id)
-    : runtime_(runtime), role_(role), consumer_id_(consumer_id) {}
+    : runtime_(runtime),
+      role_(role),
+      consumer_id_(consumer_id),
+      stats_variant_(role == AgentRole::kMaster ? 0
+                                                : static_cast<uint32_t>(consumer_id) + 1) {}
 
 void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   (void)addr;
@@ -46,8 +51,7 @@ void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
 
   // Slave: stall until the front of the buffer names this thread. Only the
   // named thread advances the cursor, so concurrent peeks are safe.
-  const auto deadline =
-      std::chrono::steady_clock::now() + runtime_->config_.replay_deadline;
+  DeadlineGate deadline(runtime_->config_.replay_deadline);
   SpinWait waiter;
   bool stalled = false;
   for (;;) {
@@ -60,9 +64,9 @@ void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     }
     if (!stalled) {
       stalled = true;
-      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      runtime_->stats_.shard(stats_variant_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
     }
-    if (std::chrono::steady_clock::now() > deadline) {
+    if (deadline.Expired(waiter)) {
       if (runtime_->control_.on_stall) {
         runtime_->control_.on_stall("total-order replay deadline exceeded (tid " +
                                     std::to_string(tid) + ")");
@@ -79,8 +83,11 @@ void TotalOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
     return;
   }
   if (role_ == AgentRole::kMaster) {
+    // The push must stay inside the instrumentation lock: the ring has one
+    // logical producer (whoever holds the lock) and its push order *is* the
+    // recorded total order.
     if (!runtime_->ring_.TryPush(TotalOrderRuntime::Entry{tid})) {
-      runtime_->stats_.record_stalls.fetch_add(1, std::memory_order_relaxed);
+      runtime_->stats_.shard(stats_variant_, tid).record_stalls.fetch_add(1, std::memory_order_relaxed);
       SpinWait waiter;
       while (!runtime_->ring_.TryPush(TotalOrderRuntime::Entry{tid})) {
         if (runtime_->control_.aborted()) {
@@ -90,13 +97,13 @@ void TotalOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
         waiter.Pause();
       }
     }
-    runtime_->stats_.ops_recorded.fetch_add(1, std::memory_order_relaxed);
+    runtime_->stats_.shard(stats_variant_, tid).ops_recorded.fetch_add(1, std::memory_order_relaxed);
     runtime_->master_lock_.clear(std::memory_order_release);
     return;
   }
 
   runtime_->ring_.Advance(consumer_id_);
-  runtime_->stats_.ops_replayed.fetch_add(1, std::memory_order_relaxed);
+  runtime_->stats_.shard(stats_variant_, tid).ops_replayed.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace mvee

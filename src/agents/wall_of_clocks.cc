@@ -16,6 +16,7 @@ WallOfClocksRuntime::WallOfClocksRuntime(const AgentConfig& config, AgentControl
   rings_.reserve(config_.max_threads);
   for (uint32_t t = 0; t < config_.max_threads; ++t) {
     auto ring = std::make_unique<BroadcastRing<Entry>>(config_.buffer_capacity);
+    ring->EnableCursorCaching(config_.cached_ring_cursors);
     // Consumer v-1 of every ring belongs to slave variant v.
     for (uint32_t v = 1; v < config_.num_variants; ++v) {
       ring->RegisterConsumer();
@@ -64,8 +65,7 @@ void WallOfClocksAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   // clock copy to reach the recorded time.
   auto& ring = *runtime_->rings_[tid];
   const size_t consumer = variant_index_ - 1;
-  const auto deadline =
-      std::chrono::steady_clock::now() + runtime_->config_.replay_deadline;
+  DeadlineGate deadline(runtime_->config_.replay_deadline);
   SpinWait waiter;
   bool stalled = false;
 
@@ -76,9 +76,9 @@ void WallOfClocksAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     }
     if (!stalled) {
       stalled = true;
-      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      runtime_->stats_.shard(variant_index_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
     }
-    if (std::chrono::steady_clock::now() > deadline) {
+    if (deadline.Expired(waiter)) {
       if (runtime_->control_.on_stall) {
         runtime_->control_.on_stall("wall-of-clocks replay deadline (no entry, tid " +
                                     std::to_string(tid) + ")");
@@ -96,9 +96,9 @@ void WallOfClocksAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     }
     if (!stalled) {
       stalled = true;
-      runtime_->stats_.replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      runtime_->stats_.shard(variant_index_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
     }
-    if (std::chrono::steady_clock::now() > deadline) {
+    if (deadline.Expired(waiter)) {
       if (runtime_->control_.on_stall) {
         runtime_->control_.on_stall("wall-of-clocks replay deadline (clock " +
                                     std::to_string(entry.clock_id) + " stuck at " +
@@ -122,24 +122,29 @@ void WallOfClocksAgent::AfterSyncOp(uint32_t tid, const void* addr) {
   if (role_ == AgentRole::kMaster) {
     const Pending pending = pending_[tid];
     auto& clock = runtime_->master_clocks_[pending.clock_id];
+    clock.time = pending.time + 1;
+    clock.lock.clear(std::memory_order_release);
+
+    // Publication happens outside the clock lock: this ring belongs to this
+    // master thread alone (single producer), and slaves order replay by the
+    // recorded clock value, not by push order — so a delayed push can only
+    // delay, never reorder, the replay. Keeping a full-ring stall out of the
+    // lock also lets other masters keep advancing this clock meanwhile.
     auto& ring = *runtime_->rings_[tid];
     WallOfClocksRuntime::Entry entry;
     entry.clock_id = pending.clock_id;
     entry.time = pending.time;
     if (!ring.TryPush(entry)) {
-      runtime_->stats_.record_stalls.fetch_add(1, std::memory_order_relaxed);
+      runtime_->stats_.shard(variant_index_, tid).record_stalls.fetch_add(1, std::memory_order_relaxed);
       SpinWait waiter;
       while (!ring.TryPush(entry)) {
         if (runtime_->control_.aborted()) {
-          clock.lock.clear(std::memory_order_release);
           throw VariantKilled{};
         }
         waiter.Pause();
       }
     }
-    clock.time = pending.time + 1;
-    runtime_->stats_.ops_recorded.fetch_add(1, std::memory_order_relaxed);
-    clock.lock.clear(std::memory_order_release);
+    runtime_->stats_.shard(variant_index_, tid).ops_recorded.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
@@ -148,7 +153,7 @@ void WallOfClocksAgent::AfterSyncOp(uint32_t tid, const void* addr) {
   runtime_->slave_clocks_[consumer][pending.clock_id].time.store(pending.time + 1,
                                                                  std::memory_order_release);
   runtime_->rings_[tid]->Advance(consumer);
-  runtime_->stats_.ops_replayed.fetch_add(1, std::memory_order_relaxed);
+  runtime_->stats_.shard(variant_index_, tid).ops_replayed.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace mvee

@@ -240,10 +240,11 @@ Status Mvee::Run(Program program) {
     report_.syscalls = shared_.counters;
   }
   if (const AgentStats* stats = fleet_->stats()) {
-    report_.sync_ops_recorded = stats->ops_recorded.load(std::memory_order_relaxed);
-    report_.sync_ops_replayed = stats->ops_replayed.load(std::memory_order_relaxed);
-    report_.replay_stalls = stats->replay_stalls.load(std::memory_order_relaxed);
-    report_.record_stalls = stats->record_stalls.load(std::memory_order_relaxed);
+    const AgentStatsSnapshot snapshot = stats->Aggregate();
+    report_.sync_ops_recorded = snapshot.ops_recorded;
+    report_.sync_ops_replayed = snapshot.ops_replayed;
+    report_.replay_stalls = snapshot.replay_stalls;
+    report_.record_stalls = snapshot.record_stalls;
   }
   report_.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(end - start).count();

@@ -47,6 +47,43 @@ class SpinWait {
   uint64_t spins_ = 0;
 };
 
+// Amortized replay-deadline tracking for spin loops.
+//
+// Calling steady_clock::now() on every spin iteration puts a vDSO call (and
+// on some kernels a real syscall) in the replay hot path; the deadline only
+// exists to catch multi-second stalls from uninstrumented sync ops (§5.5), so
+// millisecond precision is wasted there. Expired() consults the clock only
+// every kCheckInterval pause steps of the accompanying SpinWait — the common
+// wait that ends within the first interval never reads the clock at all —
+// and arms the deadline lazily on the first check.
+class DeadlineGate {
+ public:
+  static constexpr uint64_t kCheckInterval = 1024;  // power of two
+
+  explicit DeadlineGate(std::chrono::milliseconds budget) : budget_(budget) {}
+
+  // True once the budget has elapsed. Call with the SpinWait driving the
+  // loop; a Reset() of that waiter re-syncs the check phase but keeps the
+  // armed deadline.
+  bool Expired(const SpinWait& waiter) {
+    if ((waiter.spins() & (kCheckInterval - 1)) != 0) {
+      return false;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (!armed_) {
+      armed_ = true;
+      deadline_ = now + budget_;
+      return false;
+    }
+    return now > deadline_;
+  }
+
+ private:
+  const std::chrono::milliseconds budget_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+};
+
 }  // namespace mvee
 
 #endif  // MVEE_UTIL_SPIN_H_

@@ -9,6 +9,19 @@
 // independent read cursor per consumer; an element is logically retired only
 // when all consumers have passed it, which bounds producer progress to
 // capacity ahead of the slowest consumer.
+//
+// Cursor caching (LMAX-Disruptor-style gating sequences): in steady state the
+// producer gates on a *cached* minimum read cursor and recomputes the real
+// minimum only when the ring appears full, and each consumer gates on a
+// *cached* copy of the write cursor refreshed only when the ring appears
+// empty. Both caches are monotonic lower bounds of the authoritative
+// cursors, so a stale cache can delay progress by at most one refresh but can
+// never admit an overwrite (producer side) or a premature read (consumer
+// side). The result is that Push/Peek/Pop/Advance touch no remote cache
+// lines in steady state — the cross-core read-write sharing the paper blames
+// for the simple agents' slowdowns (§4.5) is confined to the empty/full
+// edges. `EnableCursorCaching(false)` restores the rescan-every-op behavior
+// (bench_ring_throughput measures both in one run).
 
 #ifndef MVEE_UTIL_SPSC_RING_H_
 #define MVEE_UTIL_SPSC_RING_H_
@@ -35,9 +48,6 @@ class BroadcastRing {
   explicit BroadcastRing(size_t capacity)
       : capacity_(capacity), mask_(capacity - 1), slots_(capacity) {
     assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
-    for (auto& cursor : read_cursors_) {
-      cursor.value.store(0, std::memory_order_relaxed);
-    }
   }
 
   BroadcastRing(const BroadcastRing&) = delete;
@@ -54,12 +64,18 @@ class BroadcastRing {
 
   size_t consumer_count() const { return consumer_count_; }
 
+  // Bootstrap/bench toggle: when disabled, every operation consults the
+  // authoritative cursors (the pre-Disruptor behavior). Not thread-safe; flip
+  // only before production starts.
+  void EnableCursorCaching(bool enabled) { cursor_caching_ = enabled; }
+  bool cursor_caching() const { return cursor_caching_; }
+
   // Producer side: blocks (spin-waits) until a slot is free, then publishes.
   // Returns the sequence number of the published element.
   uint64_t Push(const T& value) {
     const uint64_t seq = write_cursor_.load(std::memory_order_relaxed);
     SpinWait waiter;
-    while (seq - MinReadCursor() >= capacity_) {
+    while (!HasSpace(seq)) {
       waiter.Pause();
     }
     slots_[seq & mask_] = value;
@@ -70,7 +86,7 @@ class BroadcastRing {
   // Producer side, non-blocking. Returns false if the ring is full.
   bool TryPush(const T& value) {
     const uint64_t seq = write_cursor_.load(std::memory_order_relaxed);
-    if (seq - MinReadCursor() >= capacity_) {
+    if (!HasSpace(seq)) {
       return false;
     }
     slots_[seq & mask_] = value;
@@ -80,20 +96,20 @@ class BroadcastRing {
 
   // Consumer side: true if an element is available for `consumer`.
   bool CanPop(size_t consumer) const {
-    const uint64_t read = read_cursors_[consumer].value.load(std::memory_order_relaxed);
-    return read < write_cursor_.load(std::memory_order_acquire);
+    const uint64_t read = cursors_[consumer].read.load(std::memory_order_relaxed);
+    return read < VisibleWriteCursor(consumer, read);
   }
 
   // Consumer side: spin-waits for the next element and returns a copy.
   T Pop(size_t consumer) {
-    auto& cursor = read_cursors_[consumer].value;
-    const uint64_t read = cursor.load(std::memory_order_relaxed);
+    auto& cursor = cursors_[consumer];
+    const uint64_t read = cursor.read.load(std::memory_order_relaxed);
     SpinWait waiter;
-    while (read >= write_cursor_.load(std::memory_order_acquire)) {
+    while (read >= VisibleWriteCursor(consumer, read)) {
       waiter.Pause();
     }
     T value = slots_[read & mask_];
-    cursor.store(read + 1, std::memory_order_release);
+    cursor.read.store(read + 1, std::memory_order_release);
     return value;
   }
 
@@ -101,9 +117,9 @@ class BroadcastRing {
   // consuming. Returns false if not yet produced. Used by the partial-order
   // agent's lookahead window.
   bool Peek(size_t consumer, uint64_t offset, T* out) const {
-    const uint64_t read = read_cursors_[consumer].value.load(std::memory_order_relaxed);
+    const uint64_t read = cursors_[consumer].read.load(std::memory_order_relaxed);
     const uint64_t want = read + offset;
-    if (want >= write_cursor_.load(std::memory_order_acquire)) {
+    if (want >= VisibleWriteCursor(consumer, want)) {
       return false;
     }
     *out = slots_[want & mask_];
@@ -112,7 +128,7 @@ class BroadcastRing {
 
   // Consumer side: advances the cursor by one (after a successful Peek(0)).
   void Advance(size_t consumer) {
-    auto& cursor = read_cursors_[consumer].value;
+    auto& cursor = cursors_[consumer].read;
     cursor.store(cursor.load(std::memory_order_relaxed) + 1, std::memory_order_release);
   }
 
@@ -127,18 +143,70 @@ class BroadcastRing {
     return true;
   }
 
+  // As above, but gates through `consumer`'s cached write cursor so a hit
+  // stays on the consumer's own cache line. Same retirement caveat; used by
+  // the partial-order agent's window scans.
+  bool TryRead(size_t consumer, uint64_t seq, T* out) const {
+    if (seq >= VisibleWriteCursor(consumer, seq)) {
+      return false;
+    }
+    *out = slots_[seq & mask_];
+    return true;
+  }
+
   // Sequence of the next element `consumer` would pop.
   uint64_t ReadCursor(size_t consumer) const {
-    return read_cursors_[consumer].value.load(std::memory_order_relaxed);
+    return cursors_[consumer].read.load(std::memory_order_relaxed);
   }
 
   // Sequence of the next element the producer will publish.
   uint64_t WriteCursor() const { return write_cursor_.load(std::memory_order_acquire); }
 
  private:
-  struct alignas(64) PaddedCursor {
-    std::atomic<uint64_t> value{0};
+  // One line per consumer: `read` is written by the consumer and read by the
+  // producer (only on gate refresh); `cached_write` is the consumer's private
+  // lower bound of the producer's write cursor. Threads of one slave variant
+  // may share a consumer id, so the cache is an atomic: the release-store on
+  // refresh hands the producer's publications to sibling threads that later
+  // acquire-load the cached value.
+  struct alignas(64) ConsumerCursor {
+    std::atomic<uint64_t> read{0};
+    mutable std::atomic<uint64_t> cached_write{0};
   };
+
+  // Producer gate: true if slot `seq` can be written without clobbering an
+  // unconsumed element. Consumer cursors only move forward, so the cached
+  // bound is conservative and a pass against it is always safe; only an
+  // apparent full ring forces the remote rescan. (`free_until_` cannot
+  // overflow: sequences are monotonic 64-bit counts.)
+  bool HasSpace(uint64_t seq) {
+    if (cursor_caching_ && seq < free_until_) [[likely]] {
+      return true;
+    }
+    free_until_ = MinReadCursor() + capacity_;
+    return seq < free_until_;
+  }
+
+  // First sequence not yet visible to `consumer`; refreshes the consumer's
+  // cached write cursor only when `want` appears unavailable. The refresh
+  // store is skipped when nothing changed, so a consumer spinning on an
+  // empty ring keeps its cursor line clean (sibling threads sharing the
+  // consumer id would otherwise invalidate each other every iteration).
+  uint64_t VisibleWriteCursor(size_t consumer, uint64_t want) const {
+    const ConsumerCursor& cursor = cursors_[consumer];
+    if (cursor_caching_) [[likely]] {
+      const uint64_t cached = cursor.cached_write.load(std::memory_order_acquire);
+      if (want < cached) [[likely]] {
+        return cached;
+      }
+      const uint64_t fresh = write_cursor_.load(std::memory_order_acquire);
+      if (fresh != cached) {
+        cursor.cached_write.store(fresh, std::memory_order_release);
+      }
+      return fresh;
+    }
+    return write_cursor_.load(std::memory_order_acquire);
+  }
 
   uint64_t MinReadCursor() const {
     if (consumer_count_ == 0) {
@@ -148,7 +216,7 @@ class BroadcastRing {
     }
     uint64_t min = UINT64_MAX;
     for (size_t i = 0; i < consumer_count_; ++i) {
-      const uint64_t cursor = read_cursors_[i].value.load(std::memory_order_acquire);
+      const uint64_t cursor = cursors_[i].read.load(std::memory_order_acquire);
       if (cursor < min) {
         min = cursor;
       }
@@ -159,9 +227,13 @@ class BroadcastRing {
   const size_t capacity_;
   const uint64_t mask_;
   std::vector<T> slots_;
+  // Producer-owned line: the write cursor plus the cached gate (touched only
+  // by the producer, so a plain field).
   alignas(64) std::atomic<uint64_t> write_cursor_{0};
-  PaddedCursor read_cursors_[kMaxConsumers];
+  uint64_t free_until_ = 0;  // first sequence the cached gate would reject
+  ConsumerCursor cursors_[kMaxConsumers];
   size_t consumer_count_ = 0;
+  bool cursor_caching_ = true;
 };
 
 }  // namespace mvee

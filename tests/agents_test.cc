@@ -171,8 +171,8 @@ TEST(AgentStatsTest, RecordedEqualsReplayedPerSlave) {
     slave->BeforeSyncOp(0, &dummy);
     slave->AfterSyncOp(0, &dummy);
   }
-  EXPECT_EQ(fleet.stats()->ops_recorded.load(), 10u);
-  EXPECT_EQ(fleet.stats()->ops_replayed.load(), 10u);
+  EXPECT_EQ(fleet.stats()->Aggregate().ops_recorded, 10u);
+  EXPECT_EQ(fleet.stats()->Aggregate().ops_replayed, 10u);
 }
 
 TEST(AgentAbortTest, AbortFlagReleasesStalledSlave) {

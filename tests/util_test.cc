@@ -212,6 +212,160 @@ TEST(BroadcastRingTest, ConcurrentProducerConsumer) {
   producer.join();
 }
 
+// The cached-cursor fast path must be observationally identical to the
+// rescan-every-op ring, so every invariant below runs in both modes.
+class BroadcastRingCachingTest : public ::testing::TestWithParam<bool> {
+ protected:
+  bool caching() const { return GetParam(); }
+};
+
+TEST_P(BroadcastRingCachingTest, WraparoundPastCapacityKeepsFifo) {
+  BroadcastRing<uint64_t> ring(8);
+  const size_t consumer = ring.RegisterConsumer();
+  ring.EnableCursorCaching(caching());
+  // Many times around the ring: every slot is reused repeatedly and the
+  // producer gate must track the consumer exactly.
+  for (uint64_t i = 0; i < 100; ++i) {
+    ring.Push(i);
+    EXPECT_EQ(ring.Pop(consumer), i);
+  }
+  // Bursts that span the wrap boundary.
+  for (uint64_t round = 0; round < 16; ++round) {
+    for (uint64_t i = 0; i < 5; ++i) {
+      ring.Push(round * 5 + i);
+    }
+    for (uint64_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(ring.Pop(consumer), round * 5 + i);
+    }
+  }
+}
+
+TEST_P(BroadcastRingCachingTest, SlowestConsumerGatesProducer) {
+  BroadcastRing<int> ring(4);
+  const size_t fast = ring.RegisterConsumer();
+  const size_t slow = ring.RegisterConsumer();
+  ring.EnableCursorCaching(caching());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    ring.Pop(fast);
+  }
+  // The fast consumer's progress alone must never admit a push: the slot
+  // still holds the slow consumer's next element. A producer cache refreshed
+  // during the fill must not leak capacity here.
+  EXPECT_FALSE(ring.TryPush(100));
+  ring.Pop(slow);
+  EXPECT_TRUE(ring.TryPush(100));
+  EXPECT_FALSE(ring.TryPush(101));  // Full again: slow is 3 behind + 1 new.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(ring.Pop(slow), i);
+  }
+  EXPECT_EQ(ring.Pop(slow), 100);
+  EXPECT_EQ(ring.Pop(fast), 100);
+}
+
+TEST_P(BroadcastRingCachingTest, PeekLookaheadWindow) {
+  BroadcastRing<int> ring(8);
+  const size_t consumer = ring.RegisterConsumer();
+  ring.EnableCursorCaching(caching());
+  for (int i = 0; i < 6; ++i) {
+    ring.Push(i);
+  }
+  int value = -1;
+  for (uint64_t offset = 0; offset < 6; ++offset) {
+    EXPECT_TRUE(ring.Peek(consumer, offset, &value));
+    EXPECT_EQ(value, static_cast<int>(offset));
+  }
+  // Beyond the produced window: must refuse even when the consumer's cached
+  // write cursor was refreshed by the in-window peeks (a stale-low cache is
+  // conservative; there is no path to a stale-high one).
+  EXPECT_FALSE(ring.Peek(consumer, 6, &value));
+  ring.Advance(consumer);
+  ring.Advance(consumer);
+  EXPECT_TRUE(ring.Peek(consumer, 3, &value));
+  EXPECT_EQ(value, 5);
+  EXPECT_FALSE(ring.Peek(consumer, 4, &value));
+  // New production becomes visible through a cache refresh.
+  ring.Push(6);
+  EXPECT_TRUE(ring.Peek(consumer, 4, &value));
+  EXPECT_EQ(value, 6);
+}
+
+TEST_P(BroadcastRingCachingTest, TryPushFailsExactlyWhenFull) {
+  BroadcastRing<int> ring(4);
+  const size_t consumer = ring.RegisterConsumer();
+  ring.EnableCursorCaching(caching());
+  // Warm the producer's cached gate first, so fullness is detected against a
+  // stale cache and forces the authoritative rescan.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(ring.TryPush(round));
+    ring.Pop(consumer);
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_FALSE(ring.TryPush(99));
+  EXPECT_FALSE(ring.TryPush(99));  // Still full; repeated probes stay false.
+  EXPECT_EQ(ring.Pop(consumer), 0);
+  EXPECT_TRUE(ring.TryPush(4));
+  EXPECT_FALSE(ring.TryPush(99));
+}
+
+TEST_P(BroadcastRingCachingTest, ConsumerAwareTryReadTracksProduction) {
+  BroadcastRing<int> ring(8);
+  const size_t consumer = ring.RegisterConsumer();
+  ring.EnableCursorCaching(caching());
+  int value = -1;
+  EXPECT_FALSE(ring.TryRead(consumer, 0, &value));
+  ring.Push(10);
+  ring.Push(11);
+  EXPECT_TRUE(ring.TryRead(consumer, 0, &value));
+  EXPECT_EQ(value, 10);
+  EXPECT_TRUE(ring.TryRead(consumer, 1, &value));
+  EXPECT_EQ(value, 11);
+  EXPECT_FALSE(ring.TryRead(consumer, 2, &value));
+  ring.Push(12);
+  EXPECT_TRUE(ring.TryRead(consumer, 2, &value));
+  EXPECT_EQ(value, 12);
+}
+
+TEST_P(BroadcastRingCachingTest, ConcurrentBroadcastTwoConsumers) {
+  // Tiny capacity maximizes gate refreshes and full/empty edges — the paths
+  // where a stale cache would admit an overwrite or a premature read.
+  BroadcastRing<uint64_t> ring(16);
+  const size_t c0 = ring.RegisterConsumer();
+  const size_t c1 = ring.RegisterConsumer();
+  ring.EnableCursorCaching(caching());
+  constexpr uint64_t kCount = 20000;
+  // Count mismatches instead of asserting inside the threads: an early
+  // return there would strand the blocking producer (hang) or destroy a
+  // joinable thread (terminate) instead of failing cleanly.
+  std::atomic<uint64_t> mismatches{0};
+  auto drain = [&](size_t consumer) {
+    for (uint64_t i = 0; i < kCount; ++i) {
+      if (ring.Pop(consumer) != i) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kCount; ++i) {
+      ring.Push(i);
+    }
+  });
+  std::thread drainer([&] { drain(c1); });
+  drain(c0);
+  producer.join();
+  drainer.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(CachingModes, BroadcastRingCachingTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "CachedCursors" : "Uncached";
+                         });
+
 TEST(SampleStatsTest, BasicMoments) {
   SampleStats stats;
   for (double v : {1.0, 2.0, 3.0, 4.0}) {
