@@ -1,4 +1,4 @@
-// Ablations over the design choices DESIGN.md §5 calls out:
+// Ablations over the design choices docs/DESIGN.md §5 calls out:
 //   1. wall-of-clocks wall size: clock_count 1 -> TO-like full serialization,
 //      large walls -> fewer hash collisions, less spurious serialization
 //      (§4.5's m-to-1 collision discussion);

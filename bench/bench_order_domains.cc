@@ -1,0 +1,186 @@
+// Ordered-syscall throughput: sharded ordering domains vs the global clock.
+//
+// The workload is the §5.5 nginx-style shape reduced to its ordering
+// bottleneck: T variant threads, each owning one descriptor, each issuing a
+// storm of descriptor-scoped ordered calls (lseek) — the per-fd traffic a
+// multi-threaded server generates between accepts. Under the global clock
+// every one of those calls (a) serializes the master threads through one
+// critical section and (b) forces each slave variant to replay the calls of
+// ALL threads in one total order, with a spin-wait handoff per call. Under
+// sharded ordering (MveeOptions::sharded_order_domains) each descriptor is
+// its own domain, so both effects disappear and only true conflicts
+// serialize (docs/syscall_ordering.md).
+//
+// Both modes run in one binary on the same workload; results go to
+// BENCH_order.json. Knobs:
+//   MVEE_BENCH_ORDER_THREADS   worker threads per variant   (default 8)
+//   MVEE_BENCH_ORDER_VARIANTS  variants                     (default 2)
+//   MVEE_BENCH_ORDER_ITERS     ordered calls per thread     (default 2000)
+//   MVEE_BENCH_ORDER_REPS      repetitions, best-of kept    (default 3)
+//   MVEE_BENCH_ORDER_MIN_SPEEDUP  exit nonzero below this   (default 0 = off)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace mvee;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int64_t value = std::atoll(env);
+    if (value > 0) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
+struct OrderRun {
+  std::string mode;
+  uint32_t variants = 0;
+  uint32_t threads = 0;
+  uint64_t ordered_calls = 0;
+  double seconds = 0.0;
+  double ordered_per_sec = 0.0;
+  uint64_t domains_created = 0;
+  uint64_t domains_retired = 0;
+  uint64_t domains_reclaimed = 0;
+  bool ok = false;
+};
+
+// T workers, each: open a private file, hammer it with ordered lseeks, close.
+// The opens/closes exercise the fd-namespace domain (and domain teardown);
+// the lseek storm is the per-fd steady state being measured.
+OrderRun RunOrdered(bool sharded, uint32_t variants, uint32_t threads, int64_t iters) {
+  MveeOptions options;
+  options.num_variants = variants;
+  options.agent = AgentKind::kWallOfClocks;
+  options.enable_aslr = false;
+  options.sharded_order_domains = sharded;
+  options.rendezvous_timeout = std::chrono::milliseconds(60000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(60000);
+
+  Mvee mvee(options);
+  const Status status = mvee.Run([threads, iters](VariantEnv& env) {
+    std::vector<ThreadHandle> handles;
+    for (uint32_t t = 0; t < threads; ++t) {
+      handles.push_back(env.Spawn([t, iters](VariantEnv& wenv) {
+        const std::string path = "order_bench_" + std::to_string(t);
+        const int64_t fd = wenv.Open(path, VOpenFlags::kCreate | VOpenFlags::kWrite);
+        for (int64_t i = 0; i < iters; ++i) {
+          wenv.Lseek(fd, (i & 1023), 0 /*SEEK_SET*/);
+        }
+        wenv.Close(fd);
+      }));
+    }
+    for (auto handle : handles) {
+      env.Join(handle);
+    }
+  });
+
+  const MveeReport& report = mvee.report();
+  OrderRun run;
+  run.mode = sharded ? "sharded" : "global";
+  run.variants = variants;
+  run.threads = threads;
+  run.ordered_calls = report.syscalls.ordered;
+  run.seconds = report.wall_seconds;
+  run.ordered_per_sec = run.seconds > 0 ? static_cast<double>(run.ordered_calls) / run.seconds : 0;
+  run.domains_created = report.order_domains_created;
+  run.domains_retired = report.order_domains_retired;
+  run.domains_reclaimed = report.order_domains_reclaimed;
+  run.ok = status.ok();
+  return run;
+}
+
+void WriteOrderJson(const std::vector<OrderRun>& runs, double speedup) {
+  const std::string path = mvee::bench::ResolveBenchJsonPath("BENCH_order.json");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n  \"order\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const OrderRun& run = runs[i];
+    std::fprintf(file,
+                 "    {\"mode\": \"%s\", \"variants\": %u, \"threads\": %u, "
+                 "\"ordered_calls\": %llu, \"seconds\": %.4f, \"ordered_per_sec\": %.1f, "
+                 "\"domains_created\": %llu, \"domains_retired\": %llu, "
+                 "\"domains_reclaimed\": %llu, \"ok\": %s}%s\n",
+                 run.mode.c_str(), run.variants, run.threads,
+                 static_cast<unsigned long long>(run.ordered_calls), run.seconds,
+                 run.ordered_per_sec, static_cast<unsigned long long>(run.domains_created),
+                 static_cast<unsigned long long>(run.domains_retired),
+                 static_cast<unsigned long long>(run.domains_reclaimed),
+                 run.ok ? "true" : "false", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(file, "  ],\n  \"speedup_sharded_vs_global\": %.2f\n}\n", speedup);
+  std::fclose(file);
+  std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace mvee::bench;
+
+  const auto threads = static_cast<uint32_t>(EnvInt("MVEE_BENCH_ORDER_THREADS", 8));
+  const auto variants = static_cast<uint32_t>(EnvInt("MVEE_BENCH_ORDER_VARIANTS", 2));
+  const int64_t iters = EnvInt("MVEE_BENCH_ORDER_ITERS", 2000);
+  const int64_t reps = EnvInt("MVEE_BENCH_ORDER_REPS", 3);
+
+  PrintHeader("Ordered-syscall throughput: global clock vs sharded domains (" +
+              std::to_string(variants) + " variants, " + std::to_string(threads) +
+              " threads, " + std::to_string(iters) + " lseeks/thread)");
+
+  std::vector<OrderRun> runs;
+  // Warm-up pass (thread pools, allocator, file cache) kept out of the runs.
+  RunOrdered(/*sharded=*/true, variants, /*threads=*/2, /*iters=*/200);
+
+  for (const bool sharded : {false, true}) {
+    // Best of `reps` runs: on small/oversubscribed hosts a single run is
+    // dominated by scheduler noise; the best run is the least-perturbed
+    // measurement of each mode's intrinsic cost.
+    OrderRun run;
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      OrderRun attempt = RunOrdered(sharded, variants, threads, iters);
+      if (!attempt.ok) {
+        run = attempt;
+        break;
+      }
+      if (rep == 0 || attempt.ordered_per_sec > run.ordered_per_sec) {
+        run = attempt;
+      }
+    }
+    std::printf("  %-8s %8.3fs  %10.0f ordered/s  (%llu ordered calls%s, domains %llu/%llu/%llu)\n",
+                run.mode.c_str(), run.seconds, run.ordered_per_sec,
+                static_cast<unsigned long long>(run.ordered_calls), run.ok ? "" : ", FAILED RUN",
+                static_cast<unsigned long long>(run.domains_created),
+                static_cast<unsigned long long>(run.domains_retired),
+                static_cast<unsigned long long>(run.domains_reclaimed));
+    runs.push_back(run);
+  }
+
+  const double speedup =
+      runs[0].ordered_per_sec > 0 ? runs[1].ordered_per_sec / runs[0].ordered_per_sec : 0;
+  std::printf("\n  sharded vs global speedup: %.2fx\n", speedup);
+  WriteOrderJson(runs, speedup);
+
+  if (!runs[0].ok || !runs[1].ok) {
+    std::fprintf(stderr, "FAIL: a measurement run did not complete cleanly\n");
+    return 1;
+  }
+  const double min_speedup =
+      std::getenv("MVEE_BENCH_ORDER_MIN_SPEEDUP") ? std::atof(std::getenv("MVEE_BENCH_ORDER_MIN_SPEEDUP")) : 0.0;
+  if (min_speedup > 0 && speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx below required %.2fx\n", speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

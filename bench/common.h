@@ -1,5 +1,5 @@
 // Shared helpers for the benchmark harnesses (one binary per paper table /
-// figure — see DESIGN.md §4).
+// figure — see docs/DESIGN.md §4).
 
 #ifndef MVEE_BENCH_COMMON_H_
 #define MVEE_BENCH_COMMON_H_
@@ -111,14 +111,20 @@ struct AgentBenchResult {
   uint64_t replay_stalls = 0;
 };
 
+// Where a machine-readable bench result file lands: the working directory by
+// default, or MVEE_BENCH_JSON_DIR if set.
+inline std::string ResolveBenchJsonPath(const std::string& filename) {
+  if (const char* dir = std::getenv("MVEE_BENCH_JSON_DIR")) {
+    return std::string(dir) + "/" + filename;
+  }
+  return filename;
+}
+
 // Writes `entries` as a JSON array to `path` (default: BENCH_agents.json in
 // the working directory; override the directory with MVEE_BENCH_JSON_DIR).
 inline void WriteAgentsJson(const std::vector<AgentBenchResult>& entries,
                             const std::string& filename = "BENCH_agents.json") {
-  std::string path = filename;
-  if (const char* dir = std::getenv("MVEE_BENCH_JSON_DIR")) {
-    path = std::string(dir) + "/" + filename;
-  }
+  const std::string path = ResolveBenchJsonPath(filename);
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "WriteAgentsJson: cannot open %s\n", path.c_str());

@@ -44,6 +44,12 @@ struct MveeReport {
   uint64_t sync_ops_replayed = 0;
   uint64_t replay_stalls = 0;
   uint64_t record_stalls = 0;
+  // Sharded syscall-ordering domain lifecycle (docs/syscall_ordering.md):
+  // per-fd domains created on first stamp, retired at close, reclaimed at
+  // end-of-run quiescence. All zero under the global-clock baseline.
+  uint64_t order_domains_created = 0;
+  uint64_t order_domains_retired = 0;
+  uint64_t order_domains_reclaimed = 0;
   double wall_seconds = 0.0;
   std::string divergence_detail;
 };
@@ -102,6 +108,7 @@ class Mvee : public TrapInterface {
   VirtualKernel* kernel_;
   DivergenceReporter reporter_;
   std::unique_ptr<AgentFleet> fleet_;
+  std::unique_ptr<OrderDomainTable> order_domains_;
   MonitorShared shared_;
   std::vector<std::unique_ptr<VariantState>> variants_;
   std::mutex sets_mutex_;

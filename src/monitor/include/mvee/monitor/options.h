@@ -52,6 +52,13 @@ struct MveeOptions {
   // Enforce the syscall ordering clock on shared-resource calls (§4.1).
   // Disabling reproduces the benign-divergence failure mode of §3.1.
   bool order_resource_calls = true;
+  // Shard the ordering clock into per-resource domains (per-fd for
+  // descriptor-scoped ops, process-wide only for fd-namespace / memory /
+  // clone traffic) instead of one global critical section + one replay clock
+  // per variant (docs/syscall_ordering.md). Disabling restores the
+  // global-clock baseline so both modes are measurable in one run —
+  // mirroring AgentConfig::cached_ring_cursors.
+  bool sharded_order_domains = true;
   // Seed for diversity and kernel randomness.
   uint64_t seed = 0x5eedULL;
   // Lockstep rendezvous deadline; exceeded => divergence (variants made

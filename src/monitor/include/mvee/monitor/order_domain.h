@@ -1,0 +1,124 @@
+// Sharded syscall-ordering domains (docs/syscall_ordering.md).
+//
+// The paper's §4.1 ordering mechanism records, per variant, the cross-thread
+// order of shared-resource syscalls so slaves reproduce it exactly. The seed
+// implementation kept ONE clock for the whole variant: every ordered call in
+// the master ran inside one global critical section, and every slave thread
+// replayed the resulting total order through a single per-variant counter —
+// exactly the kind of serialization the paper argues relaxed monitors must
+// shed. But the §4.1 invariant only needs *conflicting* calls ordered: two
+// lseeks on different descriptors commute; only calls touching the same
+// resource must replay in master order.
+//
+// An OrderDomain is the unit of that relaxation: one resource (the fd
+// namespace, the address space, one open descriptor), one master-side
+// timestamp counter guarded by its own mutex, and one private replay clock
+// per slave variant. The master stamps (domain, ts) into each ordered
+// result; a slave spins only on that domain's clock, so replays of disjoint
+// resources proceed in parallel.
+//
+// Lifecycle: the three fixed process-wide domains exist for the run; per-fd
+// domains are created lazily on first stamp, retired when the descriptor
+// closes, and reclaimed at quiescence (end of run) once every slave clock
+// has caught up to the master counter. Reclamation is deliberately NOT done
+// mid-run: a slave may still hold a pointer to a domain it is about to
+// replay, and the memory cost of a retired domain is ~100 bytes — bounded by
+// the run's total fd allocations, which is the right trade for a monitor
+// whose failure mode is a false variant kill.
+
+#ifndef MVEE_MONITOR_ORDER_DOMAIN_H_
+#define MVEE_MONITOR_ORDER_DOMAIN_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mvee/syscall/record.h"
+
+namespace mvee {
+
+// One ordering domain: a resource's timestamp counter plus per-variant
+// replay clocks. Master side: lock `mutex`, execute, stamp `next_ts++`.
+// Slave side: spin on SlaveClock(variant) until it equals the stamped
+// timestamp, execute, store timestamp+1.
+struct OrderDomain {
+  OrderDomain(uint32_t domain_id, uint32_t num_variants)
+      : id(domain_id), slave_clocks(num_variants) {}
+
+  const uint32_t id;
+
+  // Master-side critical section; also guards next_ts.
+  std::mutex mutex;
+  uint64_t next_ts = 0;
+
+  // Each slave clock gets its own cache line: clocks are spun on by one
+  // variant thread and stored by another, and sharing a line across domains
+  // would put the cross-domain independence back on the coherence bus.
+  struct alignas(64) Clock {
+    std::atomic<uint64_t> value{0};
+  };
+  std::vector<Clock> slave_clocks;  // [num_variants]; index 0 (master) unused
+
+  // Set once the owning descriptor closed; the domain stays valid (late
+  // replays may still be in flight) but becomes reclaimable at quiescence.
+  std::atomic<bool> retired{false};
+
+  std::atomic<uint64_t>& SlaveClock(uint32_t variant) {
+    return slave_clocks[variant].value;
+  }
+};
+
+// Lifecycle counters for the dynamic (per-fd) domains; the fixed
+// process-wide domains always exist and are not counted.
+struct OrderDomainStats {
+  uint64_t created = 0;
+  uint64_t retired = 0;
+  uint64_t reclaimed = 0;
+  uint64_t live = 0;
+};
+
+// Registry of live domains, shared by every ThreadSetMonitor. The fixed
+// process-wide domains (ids < OrderDomainIds::kFirstFd) are constructed
+// eagerly and resolved lock-free; per-fd domains live in a map whose lookups
+// take a shared lock (the common case: the domain exists) — only the first
+// stamp against a new per-fd domain takes the exclusive lock to insert.
+class OrderDomainTable {
+ public:
+  explicit OrderDomainTable(uint32_t num_variants);
+
+  // Returns the domain for `id`, creating it on first use. The pointer is
+  // stable until Reclaim() — which only runs at quiescence — so callers may
+  // hold it across the whole stamp/replay sequence (and the master stamps
+  // it into SyscallResult::order_domain_hint for the slaves).
+  OrderDomain* FindOrCreate(uint32_t id);
+
+  // Marks a per-fd domain reclaimable (descriptor closed). Process-wide
+  // domain ids are ignored.
+  void Retire(uint32_t id);
+
+  // Frees retired domains whose every slave clock has reached the master
+  // counter. MUST only be called when no variant threads are running (end of
+  // Mvee::Run, or tests at rest); returns the number of domains freed.
+  size_t Reclaim();
+
+  OrderDomainStats stats() const;
+
+ private:
+  const uint32_t num_variants_;
+  // Fixed process-wide domains, indexed by id; no lock needed.
+  std::array<std::unique_ptr<OrderDomain>, OrderDomainIds::kFirstFd> static_domains_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<uint32_t, std::unique_ptr<OrderDomain>> domains_;  // per-fd only
+  uint64_t created_ = 0;               // guarded by exclusive mutex_
+  std::atomic<uint64_t> retired_{0};   // incremented under shared mutex_
+  uint64_t reclaimed_ = 0;             // guarded by exclusive mutex_
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_MONITOR_ORDER_DOMAIN_H_

@@ -15,9 +15,11 @@
 //                     result + output bytes are published to the slaves,
 //                     which apply local side effects only (§4.1).
 //        kOrdered:    master executes inside the syscall-ordering critical
-//                     section and publishes its Lamport timestamp; each
-//                     slave spins until its private clock matches, executes
-//                     locally, and increments its clock (§4.1).
+//                     section of the resource's ordering domain (or the
+//                     global one when sharding is off) and publishes its
+//                     Lamport timestamp; each slave spins until its private
+//                     clock for that domain matches, executes locally, and
+//                     increments the clock (§4.1, docs/syscall_ordering.md).
 //        kLocal:      every variant executes locally, unordered.
 //        kControl:    handled by the monitor itself (self-aware, clone,
 //                     exit) without touching the kernel.
@@ -35,6 +37,7 @@
 #include <vector>
 
 #include "mvee/monitor/options.h"
+#include "mvee/monitor/order_domain.h"
 #include "mvee/monitor/reporter.h"
 #include "mvee/syscall/record.h"
 #include "mvee/util/spsc_ring.h"
@@ -49,11 +52,12 @@ struct MonitorShared {
   DivergenceReporter* reporter = nullptr;
   std::vector<ProcessState*> processes;  // per variant
 
-  // Syscall ordering clock (§4.1): one master-side clock for the whole
-  // variant, one private replay clock per slave variant.
-  std::mutex order_mutex;
-  uint64_t order_next_ts = 0;
-  std::vector<std::unique_ptr<std::atomic<uint64_t>>> slave_order_clocks;
+  // Syscall-ordering domains (§4.1, docs/syscall_ordering.md): one
+  // timestamp counter + per-variant replay clock per conflicting resource.
+  // The global-clock baseline (!options->sharded_order_domains) routes every
+  // ordered call through the single kFdNamespace domain — one mutex, one
+  // counter, one replay clock per variant, i.e. the seed's cost profile.
+  OrderDomainTable* order_domains = nullptr;
 
   // Logical tid allocator for sys_clone (identical across variants because
   // it is assigned once per rendezvous).
@@ -111,6 +115,20 @@ class ThreadSetMonitor {
   // divergence reports never occur while holding mutex_.
   int64_t ExecuteSlave(uint32_t variant, SyscallRequest& request, SyscallClass klass,
                        const SyscallResult& master);
+
+  // The domain the master stamps `request` in: resolved per resource under
+  // sharded ordering, always kFdNamespace under the global-clock baseline.
+  uint32_t StampDomainOf(ProcessState& process, const SyscallRequest& request);
+
+  // The replay clock a slave must spin on for `master`'s stamped ordering
+  // position (the stamped domain's per-variant clock).
+  std::atomic<uint64_t>& SlaveClockFor(uint32_t variant, const SyscallResult& master);
+
+  // Spins (DeadlineGate-amortized) until `clock` reaches `want`; reports a
+  // timeout/shutdown and throws VariantKilled if it never does. `what`
+  // labels the wait in the stall report.
+  void AwaitOrderClock(std::atomic<uint64_t>& clock, uint64_t want, uint32_t variant,
+                       const SyscallRequest& request, const char* what);
 
   // VARAN-style loose path: leader deposits records, followers consume and
   // verify asynchronously (§2's reliability-oriented model).

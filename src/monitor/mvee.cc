@@ -63,9 +63,10 @@ Mvee::Mvee(const MveeOptions& options, VirtualKernel* external_kernel) : options
   for (auto& variant : variants_) {
     shared_.processes.push_back(variant->process.get());
   }
-  for (uint32_t v = 0; v < options_.num_variants; ++v) {
-    shared_.slave_order_clocks.push_back(std::make_unique<std::atomic<uint64_t>>(0));
-  }
+  // Ordering domains carry all syscall-ordering state; the global-clock
+  // baseline runs through the single kFdNamespace domain (thread_set.h).
+  order_domains_ = std::make_unique<OrderDomainTable>(options_.num_variants);
+  shared_.order_domains = order_domains_.get();
 
   // Shutdown fan-out: wake anything blocked in the kernel.
   reporter_.AddShutdownHook([this] { kernel_->ShutdownBlockedCalls(); });
@@ -245,6 +246,15 @@ Status Mvee::Run(Program program) {
     report_.sync_ops_replayed = snapshot.ops_replayed;
     report_.replay_stalls = snapshot.replay_stalls;
     report_.record_stalls = snapshot.record_stalls;
+  }
+  // All variant threads are joined: the domain table is quiescent, so
+  // retired per-fd domains whose replays completed can be reclaimed.
+  order_domains_->Reclaim();
+  {
+    const OrderDomainStats domain_stats = order_domains_->stats();
+    report_.order_domains_created = domain_stats.created;
+    report_.order_domains_retired = domain_stats.retired;
+    report_.order_domains_reclaimed = domain_stats.reclaimed;
   }
   report_.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(end - start).count();

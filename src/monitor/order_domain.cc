@@ -1,0 +1,75 @@
+#include "mvee/monitor/order_domain.h"
+
+namespace mvee {
+
+OrderDomainTable::OrderDomainTable(uint32_t num_variants) : num_variants_(num_variants) {
+  for (uint32_t id = 0; id < OrderDomainIds::kFirstFd; ++id) {
+    static_domains_[id] = std::make_unique<OrderDomain>(id, num_variants_);
+  }
+}
+
+OrderDomain* OrderDomainTable::FindOrCreate(uint32_t id) {
+  if (id < OrderDomainIds::kFirstFd) {
+    return static_domains_[id].get();
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = domains_.find(id);
+    if (it != domains_.end()) {
+      return it->second.get();
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto& slot = domains_[id];
+  if (slot == nullptr) {
+    slot = std::make_unique<OrderDomain>(id, num_variants_);
+    ++created_;
+  }
+  return slot.get();
+}
+
+void OrderDomainTable::Retire(uint32_t id) {
+  if (id < OrderDomainIds::kFirstFd || id == OrderDomainIds::kNone) {
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = domains_.find(id);
+  if (it != domains_.end() &&
+      !it->second->retired.exchange(true, std::memory_order_relaxed)) {
+    retired_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t OrderDomainTable::Reclaim() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  size_t freed = 0;
+  for (auto it = domains_.begin(); it != domains_.end();) {
+    OrderDomain& domain = *it->second;
+    bool quiescent = domain.retired.load(std::memory_order_relaxed);
+    if (quiescent) {
+      for (uint32_t v = 1; v < num_variants_ && quiescent; ++v) {
+        quiescent = domain.SlaveClock(v).load(std::memory_order_acquire) == domain.next_ts;
+      }
+    }
+    if (quiescent) {
+      it = domains_.erase(it);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+  reclaimed_ += freed;
+  return freed;
+}
+
+OrderDomainStats OrderDomainTable::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  OrderDomainStats stats;
+  stats.created = created_;
+  stats.retired = retired_.load(std::memory_order_relaxed);
+  stats.reclaimed = reclaimed_;
+  stats.live = domains_.size();
+  return stats;
+}
+
+}  // namespace mvee

@@ -100,6 +100,30 @@ void ThreadSetMonitor::RouteSignals(const SyscallRequest& request, std::vector<i
   }
 }
 
+// Executes `request` in the ordering critical section of `domain`, stamping
+// the (domain, timestamp) pair slaves replay against. `execute` performs the
+// actual kernel call and returns its result.
+template <typename ExecuteFn>
+static SyscallResult StampOrdered(OrderDomain* domain, ExecuteFn&& execute) {
+  std::lock_guard<std::mutex> order_lock(domain->mutex);
+  SyscallResult result = execute();
+  result.order_timestamp = domain->next_ts++;
+  result.order_domain = domain->id;
+  result.order_domain_hint = domain;
+  return result;
+}
+
+// The ordering domain `request` is stamped in. Sharded mode partitions by
+// resource (docs/syscall_ordering.md); the global-clock baseline maps every
+// call to the single kFdNamespace domain, which reproduces the seed's cost
+// profile exactly — one mutex, one counter, one replay clock per variant.
+uint32_t ThreadSetMonitor::StampDomainOf(ProcessState& process, const SyscallRequest& request) {
+  if (!shared_->options->sharded_order_domains) {
+    return OrderDomainIds::kFdNamespace;
+  }
+  return shared_->kernel->OrderDomainOf(process, request);
+}
+
 SyscallResult ThreadSetMonitor::ExecuteMaster(SyscallRequest& request, SyscallClass klass) {
   ProcessState& process = *shared_->processes[0];
   switch (klass) {
@@ -107,28 +131,33 @@ SyscallResult ThreadSetMonitor::ExecuteMaster(SyscallRequest& request, SyscallCl
       const bool ordering = shared_->options->order_resource_calls;
       // Descriptor-allocating replicated calls need their fd-table effect
       // ordered against the ordered open/close stream, or slave fd numbering
-      // drifts. sys_accept blocks, so only its *allocation half* enters the
-      // critical section (two-phase accept); sys_socket is non-blocking and
-      // runs entirely inside.
+      // drifts: both stamp in the fd-namespace domain. sys_accept blocks, so
+      // only its *allocation half* enters the critical section (two-phase
+      // accept) — the §4.1 invariant (blocking never ordered) is preserved
+      // because AcceptBlocking runs before any lock is taken; sys_socket is
+      // non-blocking and runs entirely inside.
       if (ordering && request.sysno == Sysno::kAccept) {
         int64_t error = 0;
         auto conn = shared_->kernel->AcceptBlocking(process,
                                                     static_cast<int32_t>(request.arg0), &error);
-        SyscallResult result;
         if (conn == nullptr) {
+          SyscallResult result;
           result.retval = error;
           return result;
         }
-        std::lock_guard<std::mutex> order_lock(shared_->order_mutex);
-        result.retval = shared_->kernel->FinishAccept(process, std::move(conn));
-        result.order_timestamp = shared_->order_next_ts++;
-        return result;
+        OrderDomain* domain =
+            shared_->order_domains->FindOrCreate(OrderDomainIds::kFdNamespace);
+        return StampOrdered(domain, [&] {
+          SyscallResult result;
+          result.retval = shared_->kernel->FinishAccept(process, std::move(conn));
+          return result;
+        });
       }
       if (ordering && request.sysno == Sysno::kSocket) {
-        std::lock_guard<std::mutex> order_lock(shared_->order_mutex);
-        SyscallResult result = shared_->kernel->Execute(process, request);
-        result.order_timestamp = shared_->order_next_ts++;
-        return result;
+        OrderDomain* domain =
+            shared_->order_domains->FindOrCreate(OrderDomainIds::kFdNamespace);
+        return StampOrdered(domain,
+                            [&] { return shared_->kernel->Execute(process, request); });
       }
       // May block (I/O, futex). No ordering-clock critical section is held,
       // which is exactly why blocking calls must be in this class (§4.1
@@ -140,12 +169,28 @@ SyscallResult ThreadSetMonitor::ExecuteMaster(SyscallRequest& request, SyscallCl
       if (!shared_->options->order_resource_calls) {
         return shared_->kernel->Execute(process, request);
       }
-      // Lamport timestamp under the variant-wide critical section: the
-      // recorded cross-thread order of shared-resource calls is the order
-      // they really executed in (§4.1).
-      std::lock_guard<std::mutex> order_lock(shared_->order_mutex);
-      SyscallResult result = shared_->kernel->Execute(process, request);
-      result.order_timestamp = shared_->order_next_ts++;
+      // Lamport timestamp under the resource domain's critical section:
+      // conflicting calls replay in true execution order (§4.1), while —
+      // under sharding — calls on disjoint resources no longer serialize
+      // against each other (docs/syscall_ordering.md).
+      const bool sharded = shared_->options->sharded_order_domains;
+      OrderDomain* domain =
+          shared_->order_domains->FindOrCreate(StampDomainOf(process, request));
+      uint32_t retire_id = OrderDomainIds::kNone;
+      SyscallResult result = StampOrdered(domain, [&] {
+        // A close tears down its descriptor's per-fd domain; resolve the
+        // victim inside the fd-namespace critical section (closes are
+        // serialized here, so a racing double-close cannot retire a stale
+        // id for a descriptor number that was already reused) and before
+        // Execute frees the entry.
+        if (sharded && request.sysno == Sysno::kClose) {
+          retire_id = process.fds().OrderDomainOf(static_cast<int32_t>(request.arg0));
+        }
+        return shared_->kernel->Execute(process, request);
+      });
+      if (result.retval == 0 && retire_id != OrderDomainIds::kNone) {
+        shared_->order_domains->Retire(retire_id);
+      }
       return result;
     }
 
@@ -171,6 +216,38 @@ SyscallResult ThreadSetMonitor::ExecuteMaster(SyscallRequest& request, SyscallCl
   return SyscallResult{};
 }
 
+std::atomic<uint64_t>& ThreadSetMonitor::SlaveClockFor(uint32_t variant,
+                                                       const SyscallResult& master) {
+  // The master stamps a direct domain pointer (stable until end-of-run
+  // reclamation) so the replay hot path skips the table lookup.
+  auto* domain = static_cast<OrderDomain*>(master.order_domain_hint);
+  if (domain == nullptr) {
+    domain = shared_->order_domains->FindOrCreate(master.order_domain);
+  }
+  return domain->SlaveClock(variant);
+}
+
+void ThreadSetMonitor::AwaitOrderClock(std::atomic<uint64_t>& clock, uint64_t want,
+                                       uint32_t variant, const SyscallRequest& request,
+                                       const char* what) {
+  SpinWait waiter;
+  DeadlineGate deadline(shared_->options->rendezvous_timeout);
+  while (clock.load(std::memory_order_acquire) != want) {
+    if (shared_->reporter->tripped()) {
+      throw VariantKilled{};
+    }
+    if (deadline.Expired(waiter)) {
+      std::ostringstream detail;
+      detail << "thread " << tid_ << ": ordering clock stall in variant " << variant
+             << " (at " << clock.load() << ", want " << want << ") " << what << " "
+             << request.ToString();
+      shared_->reporter->Report(StatusCode::kTimeout, detail.str());
+      throw VariantKilled{};
+    }
+    waiter.Pause();
+  }
+}
+
 int64_t ThreadSetMonitor::ExecuteSlave(uint32_t variant, SyscallRequest& request,
                                        SyscallClass klass, const SyscallResult& master) {
   // Runs WITHOUT mutex_ held; reporting from here is safe.
@@ -187,23 +264,9 @@ int64_t ThreadSetMonitor::ExecuteSlave(uint32_t variant, SyscallRequest& request
       const bool fd_allocating =
           request.sysno == Sysno::kAccept || request.sysno == Sysno::kSocket;
       if (fd_allocating && shared_->options->order_resource_calls && master.retval >= 0) {
-        auto& clock = *shared_->slave_order_clocks[variant];
+        auto& clock = SlaveClockFor(variant, master);
         const uint64_t want = master.order_timestamp;
-        SpinWait waiter;
-        const auto deadline =
-            std::chrono::steady_clock::now() + shared_->options->rendezvous_timeout;
-        while (clock.load(std::memory_order_acquire) != want) {
-          if (shared_->reporter->tripped()) {
-            throw VariantKilled{};
-          }
-          if (std::chrono::steady_clock::now() > deadline) {
-            shared_->reporter->Report(StatusCode::kTimeout,
-                                      "thread " + std::to_string(tid_) +
-                                          ": ordering clock stall applying shadow fd");
-            throw VariantKilled{};
-          }
-          waiter.Pause();
-        }
+        AwaitOrderClock(clock, want, variant, request, "applying shadow fd for");
         const int64_t check = shared_->kernel->ApplyReplicatedEffect(process, request, master);
         clock.store(want + 1, std::memory_order_release);
         if (check != master.retval) {
@@ -231,27 +294,12 @@ int64_t ThreadSetMonitor::ExecuteSlave(uint32_t variant, SyscallRequest& request
 
     case SyscallClass::kOrdered: {
       if (shared_->options->order_resource_calls) {
-        // Spin until this variant's private ordering clock reaches the
-        // recorded timestamp (§4.1).
-        auto& clock = *shared_->slave_order_clocks[variant];
+        // Spin until this variant's private ordering clock — per-domain under
+        // sharding, variant-wide otherwise — reaches the recorded timestamp
+        // (§4.1). Replays of calls on disjoint domains proceed in parallel.
+        auto& clock = SlaveClockFor(variant, master);
         const uint64_t want = master.order_timestamp;
-        SpinWait waiter;
-        const auto deadline =
-            std::chrono::steady_clock::now() + shared_->options->rendezvous_timeout;
-        while (clock.load(std::memory_order_acquire) != want) {
-          if (shared_->reporter->tripped()) {
-            throw VariantKilled{};
-          }
-          if (std::chrono::steady_clock::now() > deadline) {
-            std::ostringstream detail;
-            detail << "thread " << tid_ << ": ordering clock stall in variant " << variant
-                   << " (at " << clock.load() << ", want " << want << ") for "
-                   << request.ToString();
-            shared_->reporter->Report(StatusCode::kTimeout, detail.str());
-            throw VariantKilled{};
-          }
-          waiter.Pause();
-        }
+        AwaitOrderClock(clock, want, variant, request, "for");
         const int64_t retval = shared_->kernel->Execute(process, request).retval;
         clock.store(want + 1, std::memory_order_release);
         return retval;
@@ -325,12 +373,12 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
   const size_t consumer = variant - 1;
   std::shared_ptr<LooseRecord> record;
   SpinWait waiter;
-  const auto deadline = std::chrono::steady_clock::now() + shared_->options->rendezvous_timeout;
+  DeadlineGate deadline(shared_->options->rendezvous_timeout);
   while (!loose_ring_->Peek(consumer, 0, &record)) {
     if (reporter->tripped()) {
       throw VariantKilled{};
     }
-    if (std::chrono::steady_clock::now() > deadline) {
+    if (deadline.Expired(waiter)) {
       reporter->Report(StatusCode::kTimeout,
                        "thread " + std::to_string(tid_) +
                            ": loose follower starved waiting for leader record");

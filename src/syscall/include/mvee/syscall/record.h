@@ -83,6 +83,30 @@ struct SyscallRequest {
   std::string ToString() const;
 };
 
+// Well-known syscall-ordering domain ids (docs/syscall_ordering.md).
+//
+// Under sharded ordering the monitor partitions ordered calls by the
+// resource they touch instead of funnelling them through one global clock.
+// Ids below kFirstFd are process-wide domains; ids >= kFirstFd are per-fd
+// domains handed out by the fd table at descriptor allocation and retired at
+// close. The master stamps the domain id into every ordered result so slaves
+// know which clock to replay against — slaves never compute domains locally.
+struct OrderDomainIds {
+  // Calls that mutate or scan the fd/path namespace (open, close, dup, pipe,
+  // stat, plus the allocation half of socket/accept). Serializing these is
+  // what keeps fd numbering identical across variants (§3.1).
+  static constexpr uint32_t kFdNamespace = 0;
+  // Address-space calls (brk/mmap/munmap/mprotect): one allocator per
+  // process, so allocation order decides addresses.
+  static constexpr uint32_t kMemory = 1;
+  // Process-level calls (clone): the tid namespace.
+  static constexpr uint32_t kProcess = 2;
+  // First per-fd domain id; everything below is a fixed process-wide domain.
+  static constexpr uint32_t kFirstFd = 16;
+  // Sentinel for "no domain" (e.g. a close() target with no per-fd domain).
+  static constexpr uint32_t kNone = UINT32_MAX;
+};
+
 // Result of a virtual syscall. retval follows the Linux convention: >= 0 on
 // success, negative errno on failure.
 struct SyscallResult {
@@ -92,7 +116,17 @@ struct SyscallResult {
   std::vector<uint8_t> out_bytes;
   // Timestamp from the master monitor's syscall-ordering clock (kOrdered
   // calls only); slaves spin until their private clock matches (§4.1).
+  // Under sharded ordering the timestamp counts within `order_domain` only.
   uint64_t order_timestamp = 0;
+  // Ordering domain the timestamp belongs to (sharded ordering only; the
+  // global-clock baseline leaves it at kFdNamespace and ignores it).
+  uint32_t order_domain = OrderDomainIds::kFdNamespace;
+  // Monitor-internal pointer to the stamped OrderDomain, letting slaves
+  // replay without a domain-table lookup. Type-erased so the syscall layer
+  // stays free of monitor types; never crosses the process boundary and is
+  // only valid while the owning monitor lives (domains are stable until
+  // end-of-run reclamation). nullptr => resolve via order_domain.
+  void* order_domain_hint = nullptr;
 
   bool ok() const { return retval >= 0; }
 };

@@ -26,7 +26,7 @@ enum class StatusCode : int32_t {
   kInternal,
   kDivergence,   // MVEE detected behavioural divergence between variants.
   kTimeout,      // A lockstep rendezvous or replay wait timed out.
-  kUnsupported,  // Feature intentionally unimplemented (see DESIGN.md).
+  kUnsupported,  // Feature intentionally unimplemented (see docs/DESIGN.md).
 };
 
 // Returns a stable, human-readable name for `code` ("ok", "divergence", ...).

@@ -2,9 +2,11 @@
 
 #include <cerrno>
 
+#include "mvee/syscall/record.h"
+
 namespace mvee {
 
-FdTable::FdTable() {
+FdTable::FdTable() : next_order_domain_(OrderDomainIds::kFirstFd) {
   stdout_file_ = std::make_shared<VFile>();
   auto stdin_file = std::make_shared<VFile>();
   auto stderr_file = std::make_shared<VFile>();
@@ -13,14 +15,17 @@ FdTable::FdTable() {
   in.kind = FdKind::kFile;
   in.file = stdin_file;
   in.path = "<stdin>";
+  in.order_domain = next_order_domain_++;
   FdEntry out;
   out.kind = FdKind::kFile;
   out.file = stdout_file_;
   out.path = "<stdout>";
+  out.order_domain = next_order_domain_++;
   FdEntry err;
   err.kind = FdKind::kFile;
   err.file = stderr_file;
   err.path = "<stderr>";
+  err.order_domain = next_order_domain_++;
   entries_.push_back(in);
   entries_.push_back(out);
   entries_.push_back(err);
@@ -28,6 +33,7 @@ FdTable::FdTable() {
 
 int32_t FdTable::Allocate(FdEntry entry) {
   std::lock_guard<std::mutex> lock(mutex_);
+  entry.order_domain = next_order_domain_++;
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].kind == FdKind::kFree) {
       entries_[i] = std::move(entry);
@@ -45,6 +51,9 @@ int32_t FdTable::Dup(int32_t fd) {
     return -EBADF;
   }
   FdEntry copy = entries_[fd];
+  // The duplicate has its own offset/flags state in this kernel (entries are
+  // copied, not shared descriptions), so it gets its own ordering domain.
+  copy.order_domain = next_order_domain_++;
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].kind == FdKind::kFree) {
       entries_[i] = std::move(copy);
@@ -103,6 +112,15 @@ int64_t FdTable::Close(int32_t fd) {
   }
   entry = FdEntry{};
   return 0;
+}
+
+uint32_t FdTable::OrderDomainOf(int32_t fd) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd < 0 || static_cast<size_t>(fd) >= entries_.size() ||
+      entries_[fd].kind == FdKind::kFree) {
+    return OrderDomainIds::kNone;
+  }
+  return entries_[fd].order_domain;
 }
 
 size_t FdTable::LiveCount() const {

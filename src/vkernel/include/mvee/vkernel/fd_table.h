@@ -41,6 +41,11 @@ struct FdEntry {
   int64_t flags = 0;
   std::string path;
   uint16_t port = 0;
+  // Syscall-ordering domain for ops scoped to this descriptor (lseek/fcntl).
+  // Assigned by the table at allocation, never reused: a reopened fd number
+  // gets a fresh domain so replay clocks of the torn-down descriptor cannot
+  // leak into the new one (docs/syscall_ordering.md).
+  uint32_t order_domain = 0;
 };
 
 // Thread-safe fd table. fds 0..2 are reserved at construction for
@@ -62,6 +67,11 @@ class FdTable {
   // Number of live descriptors (including stdio).
   size_t LiveCount() const;
 
+  // The ordering domain of `fd`, or OrderDomainIds::kNone if the descriptor
+  // is invalid/free. Returned by value (not via Get()) so the monitor can
+  // read it without holding a pointer into the table across the call.
+  uint32_t OrderDomainOf(int32_t fd) const;
+
   // The VFile behind stdout (fd 1); convenient for output assertions.
   std::shared_ptr<VFile> StdoutFile() const { return stdout_file_; }
 
@@ -69,6 +79,10 @@ class FdTable {
   mutable std::mutex mutex_;
   std::vector<FdEntry> entries_;
   std::shared_ptr<VFile> stdout_file_;
+  // Next per-fd ordering domain id. Monotonic (no reuse); every variant's
+  // table hands out the same sequence because fd-namespace calls are totally
+  // ordered by the monitor, so only the master's ids ever reach the wire.
+  uint32_t next_order_domain_;
 };
 
 }  // namespace mvee

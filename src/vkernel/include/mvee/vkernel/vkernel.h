@@ -2,7 +2,7 @@
 // and per-process state.
 //
 // This is the substitution for the real Linux kernel underneath the MVEE
-// (see DESIGN.md §2). The monitor is the only component that calls Execute;
+// (see docs/DESIGN.md §2). The monitor is the only component that calls Execute;
 // variant code always traps through the monitor first, which is what gives
 // the MVEE its interposition point (paper Figure 1).
 
@@ -66,6 +66,14 @@ class VirtualKernel {
   // master's (e.g. the shadow fd number) or 0 when there is nothing to check.
   int64_t ApplyReplicatedEffect(ProcessState& process, const SyscallRequest& request,
                                 const SyscallResult& master_result);
+
+  // The syscall-ordering domain `request` conflicts on, resolved against
+  // `process`'s descriptor table (docs/syscall_ordering.md): per-fd domain
+  // for descriptor-scoped ops (lseek/fcntl), kMemory for address-space ops,
+  // kProcess for clone, kFdNamespace for everything that mutates or scans
+  // the fd/path namespace. Called by the master monitor only; slaves take
+  // the domain id from the master's stamped result.
+  uint32_t OrderDomainOf(ProcessState& process, const SyscallRequest& request);
 
   // Wakes/closes everything a variant thread could be blocked on; used by the
   // monitor when tearing the variants down after a divergence.

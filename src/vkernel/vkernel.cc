@@ -551,6 +551,38 @@ SyscallResult VirtualKernel::ExecuteTime(const SyscallRequest& request) {
   }
 }
 
+uint32_t VirtualKernel::OrderDomainOf(ProcessState& process, const SyscallRequest& request) {
+  switch (request.sysno) {
+    // Descriptor-scoped ops: conflict only with ops on the same descriptor.
+    // An invalid fd falls back to the namespace domain, which totally orders
+    // the close/reopen traffic that decides *why* the fd was invalid — so
+    // the -EBADF replays at the equivalent point in every variant.
+    case Sysno::kLseek:
+    case Sysno::kFcntl: {
+      const uint32_t domain = process.fds().OrderDomainOf(static_cast<int32_t>(request.arg0));
+      return domain == OrderDomainIds::kNone ? OrderDomainIds::kFdNamespace : domain;
+    }
+
+    // Address-space ops share one allocator; allocation order decides the
+    // addresses every variant must agree on.
+    case Sysno::kBrk:
+    case Sysno::kMmap:
+    case Sysno::kMunmap:
+    case Sysno::kMprotect:
+      return OrderDomainIds::kMemory;
+
+    // Tid allocation.
+    case Sysno::kClone:
+      return OrderDomainIds::kProcess;
+
+    // open/close/dup/pipe mutate the fd namespace; stat scans the shared
+    // VFS, so it must order against open-with-create. socket/accept (the
+    // replicated fd-allocating calls) are stamped here too by the monitor.
+    default:
+      return OrderDomainIds::kFdNamespace;
+  }
+}
+
 std::shared_ptr<VConnection> VirtualKernel::AcceptBlocking(ProcessState& process,
                                                            int32_t listen_fd, int64_t* error) {
   FdEntry* entry = process.fds().Get(listen_fd);

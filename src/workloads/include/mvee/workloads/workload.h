@@ -7,8 +7,8 @@
 // phases, data-parallel) and knobs tuned so its system-call and sync-op
 // rates land in the same regime as the paper's Table 2 row. Absolute run
 // times differ; the relative behaviour under the MVEE — which is driven by
-// syscall rate x sync-op rate x contention shape — is preserved (DESIGN.md
-// §2 documents this substitution).
+// syscall rate x sync-op rate x contention shape — is preserved
+// (docs/DESIGN.md §2 documents this substitution).
 
 #ifndef MVEE_WORKLOADS_WORKLOAD_H_
 #define MVEE_WORKLOADS_WORKLOAD_H_

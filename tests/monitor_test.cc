@@ -492,6 +492,180 @@ TEST(NativeRunnerTest, ThreadsAndMutexesWork) {
   EXPECT_EQ(total.load(), 400);
 }
 
+// --- Sharded syscall-ordering domains (docs/syscall_ordering.md) ----------
+
+// Descriptor-scoped ordered ops on disjoint fds replay without a shared
+// clock; every variant must still land on identical per-fd offsets.
+TEST(OrderDomainTest, PerFdOpsStayConsistentAcrossVariants) {
+  MveeOptions options = DefaultOptions(3);
+  options.sharded_order_domains = true;
+  Mvee mvee(options);
+  std::mutex mutex;
+  // (variant, worker) -> final offset
+  std::map<std::pair<int64_t, int>, int64_t> offsets;
+  const Status status = mvee.Run([&](VariantEnv& env) {
+    const int64_t which = env.MveeSelfAware();
+    std::vector<ThreadHandle> handles;
+    for (int t = 0; t < 4; ++t) {
+      handles.push_back(env.Spawn([&, which, t](VariantEnv& wenv) {
+        const int64_t fd =
+            wenv.Open("pfd_" + std::to_string(t), VOpenFlags::kCreate | VOpenFlags::kWrite);
+        ASSERT_GE(fd, 0);
+        for (int i = 1; i <= 50; ++i) {
+          wenv.Lseek(fd, t + 1, 1 /*SEEK_CUR*/);
+        }
+        const int64_t offset = wenv.Lseek(fd, 0, 1 /*SEEK_CUR*/);
+        wenv.Close(fd);
+        std::lock_guard<std::mutex> lock(mutex);
+        offsets[{which, t}] = offset;
+      }));
+    }
+    for (auto handle : handles) {
+      env.Join(handle);
+    }
+  });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  for (int t = 0; t < 4; ++t) {
+    const int64_t master_offset = offsets[{0, t}];
+    EXPECT_EQ(master_offset, 50 * (t + 1));
+    EXPECT_EQ((offsets[{1, t}]), master_offset) << "worker " << t;
+    EXPECT_EQ((offsets[{2, t}]), master_offset) << "worker " << t;
+  }
+  // 4 per-fd domains were stamped (one per worker file) and retired at close.
+  const MveeReport& report = mvee.report();
+  EXPECT_GE(report.order_domains_created, 4u);
+  EXPECT_GE(report.order_domains_retired, 4u);
+}
+
+// A reopened descriptor number must get a FRESH domain: replay clocks of the
+// torn-down descriptor cannot leak into its successor, and the run must
+// reclaim every retired domain once replays drain.
+TEST(OrderDomainTest, FdReuseAcrossDomainTeardown) {
+  MveeOptions options = DefaultOptions(2);
+  options.sharded_order_domains = true;
+  Mvee mvee(options);
+  std::mutex mutex;
+  std::map<int64_t, std::vector<int64_t>> fds_by_variant;
+  const Status status = mvee.Run([&](VariantEnv& env) {
+    const int64_t which = env.MveeSelfAware();
+    for (int cycle = 0; cycle < 6; ++cycle) {
+      const int64_t fd = env.Open("reuse.txt", VOpenFlags::kCreate | VOpenFlags::kWrite);
+      ASSERT_GE(fd, 0);
+      // Stamp the per-fd domain so teardown has something to tear down.
+      EXPECT_EQ(env.Lseek(fd, cycle, 0 /*SEEK_SET*/), cycle);
+      EXPECT_EQ(env.Close(fd), 0);
+      std::lock_guard<std::mutex> lock(mutex);
+      fds_by_variant[which].push_back(fd);
+    }
+  });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  // The same fd number was reused each cycle, identically across variants.
+  ASSERT_EQ(fds_by_variant[0].size(), 6u);
+  EXPECT_EQ(fds_by_variant[0], fds_by_variant[1]);
+  EXPECT_EQ(fds_by_variant[0].front(), fds_by_variant[0].back());
+  const MveeReport& report = mvee.report();
+  // One fresh per-fd domain per cycle (+ the stamped process-wide domains).
+  EXPECT_GE(report.order_domains_created, 6u);
+  EXPECT_EQ(report.order_domains_retired, 6u);
+  // Quiescent teardown reclaimed every retired domain.
+  EXPECT_EQ(report.order_domains_reclaimed, report.order_domains_retired);
+}
+
+// Two-phase accept: the allocation half of sys_accept must stay ordered
+// against concurrent fd-namespace churn (open/close/dup), or slave shadow-fd
+// numbering drifts — the monitor's shadow-fd check turns any drift into a
+// divergence verdict, so a clean verdict is the assertion.
+TEST(OrderDomainTest, TwoPhaseAcceptVsConcurrentClose) {
+  for (int round = 0; round < 3; ++round) {
+    MveeOptions options = DefaultOptions(2);
+    options.sharded_order_domains = true;
+    options.seed = 7000 + round;
+    Mvee mvee(options);
+    std::mutex mutex;
+    std::map<int64_t, int64_t> conn_fds;
+    const Status status = mvee.Run([&](VariantEnv& env) {
+      const int64_t which = env.MveeSelfAware();
+      const int64_t listen_fd = env.Socket();
+      ASSERT_EQ(env.Bind(listen_fd, static_cast<uint16_t>(9100 + round)), 0);
+      ASSERT_EQ(env.Listen(listen_fd, 4), 0);
+
+      // Namespace churn racing the accept's allocation half.
+      ThreadHandle churn = env.Spawn([](VariantEnv& wenv) {
+        for (int i = 0; i < 12; ++i) {
+          const int64_t fd = wenv.Open("churn", VOpenFlags::kCreate | VOpenFlags::kWrite);
+          const int64_t dup_fd = wenv.Dup(fd);
+          wenv.Close(dup_fd);
+          wenv.Close(fd);
+        }
+      });
+      ThreadHandle client = env.Spawn([round](VariantEnv& wenv) {
+        const int64_t fd = wenv.Socket();
+        ASSERT_EQ(wenv.Connect(fd, static_cast<uint16_t>(9100 + round)), 0);
+        wenv.Send(fd, std::string("hi"));
+        wenv.Shutdown(fd);
+        wenv.Close(fd);
+      });
+
+      const int64_t conn_fd = env.Accept(listen_fd);
+      ASSERT_GE(conn_fd, 0);
+      std::vector<uint8_t> buffer(4);
+      env.Recv(conn_fd, buffer);
+
+      env.Join(churn);
+      env.Join(client);
+      env.Close(conn_fd);
+      env.Close(listen_fd);
+      std::lock_guard<std::mutex> lock(mutex);
+      conn_fds[which] = conn_fd;
+    });
+    ASSERT_TRUE(status.ok()) << "round " << round << ": " << status.ToString();
+    EXPECT_EQ(conn_fds[0], conn_fds[1]) << "round " << round;
+  }
+}
+
+// Sharding is a performance relaxation, not a policy change: the same
+// workloads must produce the same verdicts with the toggle on and off.
+TEST(OrderDomainTest, ToggleOffEquivalence) {
+  auto clean_workload = [](VariantEnv& env) {
+    auto worker = [](const std::string& path) {
+      return [path](VariantEnv& wenv) {
+        const int64_t fd = wenv.Open(path, VOpenFlags::kCreate | VOpenFlags::kWrite);
+        wenv.Lseek(fd, 8, 0 /*SEEK_SET*/);
+        wenv.Close(fd);
+      };
+    };
+    ThreadHandle a = env.Spawn(worker("eq_a"));
+    ThreadHandle b = env.Spawn(worker("eq_b"));
+    env.Join(a);
+    env.Join(b);
+  };
+  auto divergent_workload = [](VariantEnv& env) {
+    const int64_t which = env.MveeSelfAware();
+    const int64_t fd = env.Open("eq_d", VOpenFlags::kCreate | VOpenFlags::kWrite);
+    env.Write(fd, which == 0 ? std::string("good") : std::string("evil"));
+    env.Close(fd);
+  };
+
+  for (const bool sharded : {true, false}) {
+    MveeOptions options = DefaultOptions(2);
+    options.sharded_order_domains = sharded;
+    {
+      Mvee mvee(options);
+      const Status status = mvee.Run(clean_workload);
+      EXPECT_TRUE(status.ok()) << "sharded=" << sharded << ": " << status.ToString();
+      if (!sharded) {
+        // The baseline never touches the domain table.
+        EXPECT_EQ(mvee.report().order_domains_created, 0u);
+      }
+    }
+    {
+      Mvee mvee(options);
+      const Status status = mvee.Run(divergent_workload);
+      EXPECT_EQ(status.code(), StatusCode::kDivergence) << "sharded=" << sharded;
+    }
+  }
+}
+
 TEST(MveeReportTest, CountersPopulated) {
   Mvee mvee(DefaultOptions(2));
   const Status status = mvee.Run([](VariantEnv& env) {

@@ -1,7 +1,7 @@
 // Property-style sweeps (parameterized gtest) over the configuration spaces
 // of the replication agents, the analysis pipeline, and the virtual kernel.
 //
-// These are the invariants DESIGN.md §5 commits to:
+// These are the invariants docs/DESIGN.md §5 commits to:
 //   P1  replay correctness: for every agent kind, variant count, thread
 //       count and buffer size, every slave reproduces the master's per-
 //       variable sync-op order;
