@@ -29,16 +29,7 @@
 namespace {
 
 using namespace mvee;
-
-int64_t EnvInt(const char* name, int64_t fallback) {
-  if (const char* env = std::getenv(name)) {
-    const int64_t value = std::atoll(env);
-    if (value > 0) {
-      return value;
-    }
-  }
-  return fallback;
-}
+using mvee::bench::EnvInt;
 
 struct OrderRun {
   std::string mode;

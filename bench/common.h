@@ -34,6 +34,18 @@ inline double BenchScale(double fallback = 0.02) {
   return fallback;
 }
 
+// Positive-integer knob from the environment (thread counts, iteration
+// budgets); unset/zero/garbage falls back.
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int64_t value = std::atoll(env);
+    if (value > 0) {
+      return value;
+    }
+  }
+  return fallback;
+}
+
 // Thread-safe sync-op counting agent for native rate measurements (Table 2).
 class RateCountingAgent final : public SyncAgent {
  public:

@@ -19,6 +19,8 @@
 #ifndef MVEE_MONITOR_MVEE_H_
 #define MVEE_MONITOR_MVEE_H_
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -113,6 +115,12 @@ class Mvee : public TrapInterface {
   std::vector<std::unique_ptr<VariantState>> variants_;
   std::mutex sets_mutex_;
   std::map<uint32_t, std::unique_ptr<ThreadSetMonitor>> thread_sets_;
+  // Lock-free fast path for GetThreadSet: tids are small sequential ints, and
+  // the seed's map-under-global-mutex lookup sat on EVERY trap of EVERY
+  // thread. Entries are published with release stores after construction;
+  // tids beyond the array fall back to the locked map.
+  static constexpr uint32_t kTidCacheSize = 512;
+  std::array<std::atomic<ThreadSetMonitor*>, kTidCacheSize> set_cache_{};
   MveeReport report_;
 };
 

@@ -33,7 +33,7 @@ class NativeRunner : public TrapInterface {
   Status Run(Program program);
 
   VirtualKernel& kernel() { return *kernel_; }
-  const SyscallCounters& counters() const { return counters_; }
+  SyscallCounters counters() const { return counters_.Snapshot(); }
 
   // Installs a custom agent for the program's sync ops (default: NullAgent).
   // Used by the Table 2 harness to count native sync-op rates; must outlive
@@ -56,8 +56,9 @@ class NativeRunner : public TrapInterface {
   std::atomic<uint32_t> next_tid_{1};
   std::mutex threads_mutex_;
   std::map<uint32_t, std::thread> threads_;
-  SyscallCounters counters_;
-  std::mutex counters_mutex_;
+  // Relaxed atomics: the native baseline must not pay a counter mutex the
+  // MVEE no longer pays either (counters are sharded per thread set there).
+  AtomicSyscallCounters counters_;
   SyncAgent* agent_ = nullptr;  // nullptr => NullAgent.
   // Signal state (handlers are process-wide, signals target logical tids).
   std::mutex signals_mutex_;

@@ -5,10 +5,21 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 
 #include "mvee/agents/sync_agent.h"
 
 namespace mvee {
+
+// Default for MveeOptions::waitfree_rendezvous: on, unless the environment
+// forces the mutex baseline (MVEE_WAITFREE_RENDEZVOUS=0). The override lets
+// the entire existing test suite run under either protocol without edits
+// (`MVEE_WAITFREE_RENDEZVOUS=0 ctest`); explicit assignments in code always
+// win.
+inline bool DefaultWaitfreeRendezvous() {
+  const char* env = std::getenv("MVEE_WAITFREE_RENDEZVOUS");
+  return env == nullptr || env[0] != '0';
+}
 
 // Which system calls the monitor compares in lockstep across variants
 // (paper §5.1 tested "a variety of monitoring policies ranging from strict
@@ -59,6 +70,14 @@ struct MveeOptions {
   // global-clock baseline so both modes are measurable in one run —
   // mirroring AgentConfig::cached_ring_cursors.
   bool sharded_order_domains = true;
+  // Lockstep rendezvous protocol: epoch-numbered round slabs advanced by
+  // atomic arrivals, release/acquire handoffs, and spin-then-park waits
+  // (docs/DESIGN.md §6) instead of the mutex/condvar round. Disabling
+  // restores the mutex baseline so both protocols are measurable in one
+  // process — mirroring sharded_order_domains / cached_ring_cursors.
+  // Default on; MVEE_WAITFREE_RENDEZVOUS=0 in the environment flips the
+  // default so whole test suites can sweep the baseline.
+  bool waitfree_rendezvous = DefaultWaitfreeRendezvous();
   // Seed for diversity and kernel randomness.
   uint64_t seed = 0x5eedULL;
   // Lockstep rendezvous deadline; exceeded => divergence (variants made

@@ -24,22 +24,38 @@
 //        kControl:    handled by the monitor itself (self-aware, clone,
 //                     exit) without touching the kernel.
 //   3. drain     — the last consumer resets the round.
+//
+// Two lockstep implementations of that protocol coexist, selected by
+// MveeOptions::waitfree_rendezvous:
+//   * Round slabs (default): a small ring of epoch-numbered, cache-padded
+//     round structs. Variants arrive with one fetch_or, the last arriver
+//     compares digests and opens execution with a release store, slaves
+//     spin on the slab's phase word (SpinWait) and fall back to a
+//     futex-style parked wait after the spin budget. No mutex, no condvar,
+//     no allocation on the happy path. Protocol walkthrough + memory
+//     ordering argument: docs/DESIGN.md §6.
+//   * Mutex/condvar (waitfree_rendezvous = false): the seed's protocol,
+//     kept as an in-process measurable baseline (bench_rendezvous).
 
 #ifndef MVEE_MONITOR_THREAD_SET_H_
 #define MVEE_MONITOR_THREAD_SET_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "mvee/monitor/options.h"
 #include "mvee/monitor/order_domain.h"
 #include "mvee/monitor/reporter.h"
 #include "mvee/syscall/record.h"
+#include "mvee/util/arena.h"
+#include "mvee/util/park.h"
 #include "mvee/util/spsc_ring.h"
 #include "mvee/vkernel/vkernel.h"
 
@@ -63,17 +79,26 @@ struct MonitorShared {
   // it is assigned once per rendezvous).
   std::atomic<uint32_t> next_tid{1};
 
-  // Aggregate counters (master-side, one per round).
-  SyscallCounters counters;
-  std::mutex counters_mutex;
-
   // Deferred asynchronous signals, keyed by target logical tid. Enqueued by
   // sys_tgkill rendezvous or by Mvee::RaiseSignal (the external-source
   // case); latched into the target thread set's next round so every variant
   // delivers the handler at the same syscall boundary — the way GHUMVEE-
   // style monitors make async signal delivery deterministic.
+  //
+  // pending_signal_count mirrors the number of queued signals so the
+  // per-round latch (RouteSignals) can skip the global mutex entirely when
+  // nothing is pending and the round is not a kill — the overwhelmingly
+  // common case. A signal enqueued concurrently with that skip simply lands
+  // at the target's NEXT rendezvous, which is within the async-delivery
+  // contract.
   std::mutex signal_mutex;
   std::map<uint32_t, std::deque<int32_t>> pending_signals;
+  std::atomic<uint64_t> pending_signal_count{0};
+  // Logical tids whose thread sets processed their exit round. Kills aimed
+  // at them are dropped (nobody will ever latch them) — otherwise one
+  // undeliverable signal would hold pending_signal_count above zero forever
+  // and silently disable every thread set's lock-free latch fast path.
+  std::set<uint32_t> exited_tids;
 };
 
 class ThreadSetMonitor {
@@ -97,24 +122,103 @@ class ThreadSetMonitor {
   // last=sys_futex") for hang diagnostics.
   std::string DebugString();
 
+  // Adds this thread set's round counts into `out` (report aggregation).
+  void AccumulateCounters(SyscallCounters* out) const { counters_.AccumulateInto(out); }
+
   uint32_t tid() const { return tid_; }
 
  private:
-  // Returns true if this request's arguments must be compared under the
-  // configured policy.
-  bool MustCompare(const SyscallRequest& request) const;
+  // --- Wait-free round slabs (waitfree_rendezvous) -------------------------
+
+  // How far a drained round's state survives before its slab is recycled.
+  // Lockstep keeps at most two rounds in flight per thread set (a variant
+  // cannot arrive at round r+1 before draining round r), so a shallow ring
+  // suffices; depth 4 keeps the recycle gate comfortably off the hot path.
+  static constexpr uint32_t kSlabRingDepth = 4;
+  static constexpr uint32_t kSlabRingMask = kSlabRingDepth - 1;
+
+  // Monotonic per-round phases (the slab's state word).
+  enum : uint32_t {
+    kRoundGather = 0,     // collecting arrivals
+    kRoundOpen = 1,       // digests matched; execution may start
+    kRoundMasterDone = 2  // master result published
+  };
+
+  // One variant's deposit, padded so concurrent arrivals never share a line.
+  // `request` points at the arriving thread's stack and is valid only within
+  // the round (arrival RMW to slab reset); `sysno` mirrors it as an atomic so
+  // diagnostics (DebugString) can name in-flight calls without dereferencing
+  // a possibly-retired pointer.
+  struct alignas(64) ArrivalSlot {
+    SyscallRequest* request = nullptr;
+    uint64_t digest = 0;
+    std::atomic<Sysno> sysno{Sysno::kExit};
+  };
+
+  // One in-flight round. All non-atomic fields are handed between variants
+  // exclusively through the release/acquire edges on `arrivals`, `phase`,
+  // `drained`, and `epoch` (docs/DESIGN.md §6).
+  struct RoundSlab {
+    // The round number this slab currently serves; advanced by
+    // +kSlabRingDepth by the last drainer (release) — the arrival gate that
+    // makes slab reuse safe.
+    alignas(64) std::atomic<uint64_t> epoch{0};
+    // Phase word slaves spin on; advanced with release stores only.
+    alignas(64) std::atomic<uint32_t> phase{kRoundGather};
+    std::atomic<uint32_t> arrivals{0};  // bitmap of arrived variants
+    std::atomic<uint32_t> drained{0};
+    // Round data (no locks; see the handoff edges above):
+    alignas(64) int64_t control_retval = 0;
+    SyscallResult master_result;
+    PayloadBuffer payload;           // master_result.out_payload views this
+    std::vector<int32_t> signals;    // latched for this round; capacity kept
+    std::vector<ArrivalSlot> slots;  // one per variant
+  };
+
+  // Each variant's private position in the round sequence. Written only by
+  // that variant's (single) thread for this set; padded against sharing.
+  struct alignas(64) VariantCursor {
+    uint64_t next_round = 0;
+  };
+
+  int64_t RunSyscallSlab(uint32_t variant, SyscallRequest& request,
+                         std::vector<int32_t>* delivered_signals);
+
+  // Spins (then parks) until `ready()` holds. Returns false on rendezvous
+  // timeout when `timed`; throws VariantKilled on MVEE shutdown. The
+  // untimed form is for waiting on the master, which may legitimately block
+  // in the kernel (futex, accept) for longer than any rendezvous budget.
+  template <typename Predicate>
+  bool AwaitSlabState(Predicate&& ready, bool timed);
+
+  // Digest comparison across the slab's arrival slots (last arriver only).
+  std::string CompareSlabRound(const RoundSlab& slab) const;
+
+  // --- Mutex/condvar baseline (waitfree_rendezvous = false) ----------------
+
+  int64_t RunSyscallMutex(uint32_t variant, SyscallRequest& request,
+                          std::vector<int32_t>* delivered_signals);
 
   // Digest comparison for the gathered round (with mutex_ held); returns a
   // non-empty divergence detail on mismatch.
   std::string CompareRound() const;
 
-  // Master-side execution; returns the master's result. Runs unlocked.
-  SyscallResult ExecuteMaster(SyscallRequest& request, SyscallClass klass);
+  // --- Shared helpers ------------------------------------------------------
 
-  // Slave-side execution from a copied master result. Runs unlocked so that
-  // divergence reports never occur while holding mutex_.
+  // Returns true if this request's arguments must be compared under the
+  // configured policy.
+  bool MustCompare(const SyscallRequest& request) const;
+
+  // Master-side execution; returns the master's result (out_payload viewing
+  // request.payload_pool). `control_retval` is the round's pre-assigned
+  // control result (clone tid). Runs unlocked.
+  SyscallResult ExecuteMaster(SyscallRequest& request, SyscallClass klass,
+                              int64_t control_retval);
+
+  // Slave-side execution from the master's published result. Runs outside
+  // any lock so that divergence reports never occur while one is held.
   int64_t ExecuteSlave(uint32_t variant, SyscallRequest& request, SyscallClass klass,
-                       const SyscallResult& master);
+                       const SyscallResult& master, int64_t control_retval);
 
   // The domain the master stamps `request` in: resolved per resource under
   // sharded ordering, always kFdNamespace under the global-clock baseline.
@@ -135,22 +239,38 @@ class ThreadSetMonitor {
   int64_t RunSyscallLoose(uint32_t variant, SyscallRequest& request,
                           std::vector<int32_t>* delivered_signals);
 
-  // One leader-deposited record in loose mode.
+  // One leader-deposited record in loose mode. Records live in a
+  // preallocated pool indexed by ring sequence — the ring carries bare
+  // pointers and the retirement gate (every consumer advanced past the
+  // slot) makes reuse safe, so the loose hot path allocates nothing: no
+  // per-call shared_ptr, no payload vector clone.
   struct LooseRecord {
     Sysno sysno = Sysno::kExit;
     uint64_t digest = 0;
     int64_t control_retval = 0;
     SyscallResult result;
-    std::vector<int32_t> signals;  // Latched at the leader's delivery point.
+    PayloadBuffer payload;         // result.out_payload views this
+    std::vector<int32_t> signals;  // latched at the leader's delivery point
   };
 
   // Enqueues a kill's signal (round preprocessing, exactly once) and pops
-  // everything pending for this thread set into `out`.
+  // everything pending for this thread set into `out`. Lock-free when no
+  // signals are in flight (see MonitorShared::pending_signal_count).
   void RouteSignals(const SyscallRequest& request, std::vector<int32_t>* out);
 
   const uint32_t tid_;
   MonitorShared* const shared_;
 
+  // Round counters for this thread set (relaxed; one Count per round by the
+  // opener/leader, aggregated into MveeReport at the end of the run).
+  AtomicSyscallCounters counters_;
+
+  // Slab state (waitfree path).
+  std::vector<RoundSlab> slabs_;
+  std::vector<VariantCursor> cursors_;
+  ParkingSpot park_;
+
+  // Mutex baseline state.
   std::mutex mutex_;
   std::condition_variable cv_;
   enum class Phase { kGather, kExecute, kDone };
@@ -160,12 +280,16 @@ class ThreadSetMonitor {
   std::vector<SyscallRequest*> requests_;
   std::vector<uint64_t> digests_;
   SyscallResult master_result_;
+  PayloadBuffer mutex_payload_;  // master_result_.out_payload views this
   bool master_done_ = false;
   int64_t control_retval_ = 0;  // clone tid etc., shared by all variants
   std::vector<int32_t> round_signals_;  // Signals latched for this round.
 
-  // Loose mode: one ring per thread set; consumer v-1 belongs to variant v.
-  std::unique_ptr<BroadcastRing<std::shared_ptr<LooseRecord>>> loose_ring_;
+  // Loose mode: one ring + record pool per thread set; consumer v-1 belongs
+  // to variant v.
+  std::unique_ptr<BroadcastRing<LooseRecord*>> loose_ring_;
+  std::vector<LooseRecord> loose_pool_;
+  uint64_t loose_pool_mask_ = 0;
 };
 
 }  // namespace mvee

@@ -95,6 +95,12 @@ std::string Mvee::DumpState() {
 }
 
 ThreadSetMonitor* Mvee::GetThreadSet(uint32_t tid) {
+  if (tid < kTidCacheSize) {
+    ThreadSetMonitor* cached = set_cache_[tid].load(std::memory_order_acquire);
+    if (cached != nullptr) [[likely]] {
+      return cached;
+    }
+  }
   std::lock_guard<std::mutex> lock(sets_mutex_);
   auto it = thread_sets_.find(tid);
   if (it != thread_sets_.end()) {
@@ -104,6 +110,9 @@ ThreadSetMonitor* Mvee::GetThreadSet(uint32_t tid) {
   ThreadSetMonitor* raw = monitor.get();
   reporter_.AddShutdownHook([raw] { raw->NotifyShutdown(); });
   thread_sets_[tid] = std::move(monitor);
+  if (tid < kTidCacheSize) {
+    set_cache_[tid].store(raw, std::memory_order_release);
+  }
   return raw;
 }
 
@@ -144,7 +153,11 @@ int64_t Mvee::Trap(uint32_t variant, uint32_t tid, SyscallRequest& request) {
 
 void Mvee::RaiseSignal(uint32_t tid, int32_t sig) {
   std::lock_guard<std::mutex> lock(shared_.signal_mutex);
+  if (shared_.exited_tids.count(tid) != 0) {
+    return;  // Target's thread set already ran its exit round: undeliverable.
+  }
   shared_.pending_signals[tid].push_back(sig);
+  shared_.pending_signal_count.fetch_add(1, std::memory_order_release);
 }
 
 void Mvee::SetSignalHandler(uint32_t variant, int32_t sig, SignalHandler handler) {
@@ -237,8 +250,13 @@ Status Mvee::Run(Program program) {
                        : Status::Ok();
   report_.divergence_detail = reporter_.status().message();
   {
-    std::lock_guard<std::mutex> lock(shared_.counters_mutex);
-    report_.syscalls = shared_.counters;
+    // Counters are sharded per thread set (relaxed atomics); with every
+    // variant thread joined the shards are quiescent and the sum is exact.
+    std::lock_guard<std::mutex> lock(sets_mutex_);
+    report_.syscalls = SyscallCounters{};
+    for (auto& [tid, monitor] : thread_sets_) {
+      monitor->AccumulateCounters(&report_.syscalls);
+    }
   }
   if (const AgentStats* stats = fleet_->stats()) {
     const AgentStatsSnapshot snapshot = stats->Aggregate();

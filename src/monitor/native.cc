@@ -48,10 +48,7 @@ NativeRunner::~NativeRunner() {
 
 int64_t NativeRunner::Trap(uint32_t variant, uint32_t tid, SyscallRequest& request) {
   (void)variant;
-  {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    counters_.Count(ClassOf(request.sysno));
-  }
+  counters_.Count(ClassOf(request.sysno));
   if (request.sysno == Sysno::kClone) {
     return next_tid_.fetch_add(1, std::memory_order_relaxed);
   }

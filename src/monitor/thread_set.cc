@@ -1,6 +1,7 @@
 #include "mvee/monitor/thread_set.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <sstream>
 
@@ -9,18 +10,44 @@
 
 namespace mvee {
 
+namespace {
+
+// Spin budget before a slab waiter parks: deep into SpinWait's yield phase
+// (which starts at 64 pauses) but before its 50us-sleep tail. A wait that a
+// few hundred yields did not resolve is blocked on real work, and sleep
+// polling burns more context switches than one parked futex wait.
+constexpr uint64_t kParkAfterSpins = 1024;
+// Parked-wait slice: long enough that idle thread sets cost ~nothing, short
+// enough that even a (theoretically impossible, see util/park.h) lost wakeup
+// only delays a round by half a millisecond.
+constexpr auto kParkSlice = std::chrono::microseconds(500);
+
+}  // namespace
+
 ThreadSetMonitor::ThreadSetMonitor(uint32_t tid, MonitorShared* shared)
     : tid_(tid), shared_(shared) {
   const uint32_t n = shared_->options->num_variants;
   requests_.resize(n, nullptr);
   digests_.resize(n, 0);
+  // Round slabs: slab i starts serving round i; the last drainer of round r
+  // re-arms its slab for round r + depth.
+  slabs_ = std::vector<RoundSlab>(kSlabRingDepth);
+  for (uint32_t i = 0; i < kSlabRingDepth; ++i) {
+    slabs_[i].epoch.store(i, std::memory_order_relaxed);
+    // Direct-construct: the slot's diagnostic sysno mirror makes ArrivalSlot
+    // non-movable, so resize() (which relocates) is unavailable.
+    slabs_[i].slots = std::vector<ArrivalSlot>(n);
+  }
+  cursors_ = std::vector<VariantCursor>(n);
   if (shared_->options->sync_model == SyncModel::kLoose) {
     // Ring depth = how far the leader may run ahead (§2 reliability model).
     size_t depth = 2;
     while (depth < shared_->options->loose_buffer_depth) {
       depth <<= 1;
     }
-    loose_ring_ = std::make_unique<BroadcastRing<std::shared_ptr<LooseRecord>>>(depth);
+    loose_ring_ = std::make_unique<BroadcastRing<LooseRecord*>>(depth);
+    loose_pool_ = std::vector<LooseRecord>(depth);
+    loose_pool_mask_ = depth - 1;
     for (uint32_t v = 1; v < n; ++v) {
       loose_ring_->RegisterConsumer();
     }
@@ -28,9 +55,38 @@ ThreadSetMonitor::ThreadSetMonitor(uint32_t tid, MonitorShared* shared)
 }
 
 std::string ThreadSetMonitor::DebugString() {
-  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
   std::ostringstream out;
   out << "tid=" << tid_;
+  if (shared_->options->sync_model != SyncModel::kLoose &&
+      shared_->options->waitfree_rendezvous) {
+    // Slab mode: diagnostics read only atomics (epochs, phases, bitmaps and
+    // the slots' mirrored sysnos) — never the deposited request pointers,
+    // which point at variant stacks and may already be retired. The slab
+    // with the lowest epoch serves the oldest in-flight round: that is
+    // where a stuck rendezvous is parked.
+    const RoundSlab* oldest = &slabs_[0];
+    for (const RoundSlab& slab : slabs_) {
+      if (slab.epoch.load(std::memory_order_relaxed) <
+          oldest->epoch.load(std::memory_order_relaxed)) {
+        oldest = &slab;
+      }
+    }
+    const uint32_t arrivals = oldest->arrivals.load(std::memory_order_acquire);
+    out << " round=" << oldest->epoch.load(std::memory_order_relaxed)
+        << " phase=" << oldest->phase.load(std::memory_order_relaxed)
+        << " arrived=" << std::popcount(arrivals) << "/"
+        << shared_->options->num_variants
+        << " drained=" << oldest->drained.load(std::memory_order_relaxed)
+        << " parked=" << park_.parked();
+    for (size_t v = 0; v < oldest->slots.size(); ++v) {
+      if ((arrivals & (1u << v)) != 0) {
+        out << " v" << v << "="
+            << SysnoName(oldest->slots[v].sysno.load(std::memory_order_relaxed));
+      }
+    }
+    return out.str();
+  }
+  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
   if (!lock.owns_lock()) {
     out << " <mutex busy>";
     return out.str();
@@ -51,6 +107,9 @@ void ThreadSetMonitor::NotifyShutdown() {
   // never hold mutex_ when reporting (RunSyscall unlocks first).
   { std::lock_guard<std::mutex> lock(mutex_); }
   cv_.notify_all();
+  // Slab waiters re-check reporter->tripped() on every spin step; this only
+  // needs to lift the parked ones out of their slice sleeps.
+  park_.WakeParked();
 }
 
 bool ThreadSetMonitor::MustCompare(const SyscallRequest& request) const {
@@ -85,15 +144,65 @@ std::string ThreadSetMonitor::CompareRound() const {
   return "";
 }
 
+std::string ThreadSetMonitor::CompareSlabRound(const RoundSlab& slab) const {
+  const uint32_t n = shared_->options->num_variants;
+  if (!MustCompare(*slab.slots[0].request)) {
+    return "";
+  }
+  for (uint32_t v = 1; v < n; ++v) {
+    if (slab.slots[v].request->sysno != slab.slots[0].request->sysno) {
+      std::ostringstream detail;
+      detail << "thread " << tid_
+             << ": syscall number mismatch: " << slab.slots[0].request->ToString()
+             << " (variant 0) vs " << slab.slots[v].request->ToString() << " (variant " << v
+             << ")";
+      return detail.str();
+    }
+    if (slab.slots[v].digest != slab.slots[0].digest) {
+      std::ostringstream detail;
+      detail << "thread " << tid_ << ": argument mismatch on "
+             << slab.slots[0].request->ToString() << " (variant 0) vs "
+             << slab.slots[v].request->ToString() << " (variant " << v << ")";
+      return detail.str();
+    }
+  }
+  return "";
+}
+
 void ThreadSetMonitor::RouteSignals(const SyscallRequest& request, std::vector<int32_t>* out) {
+  const bool is_kill = request.sysno == Sysno::kKill;
+  // The exit round must take the lock even when nothing is pending: it
+  // records this tid as gone so later kills aimed at it are dropped instead
+  // of inflating pending_signal_count forever (once per thread, cold).
+  const bool is_exit =
+      request.sysno == Sysno::kExit || request.sysno == Sysno::kExitGroup;
+  // Happy path: not a kill or exit, nothing pending anywhere — skip the
+  // global mutex. A signal enqueued concurrently simply latches at this
+  // thread set's next rendezvous (async delivery has no earlier deadline).
+  if (!is_kill && !is_exit &&
+      shared_->pending_signal_count.load(std::memory_order_acquire) == 0) {
+    out->clear();
+    return;
+  }
   std::lock_guard<std::mutex> lock(shared_->signal_mutex);
-  if (request.sysno == Sysno::kKill) {
-    shared_->pending_signals[static_cast<uint32_t>(request.arg0)].push_back(
-        static_cast<int32_t>(request.arg1));
+  if (is_kill) {
+    const auto target = static_cast<uint32_t>(request.arg0);
+    // A kill aimed at an exited thread set has no future latch point; the
+    // round decision happens once (opener/leader), so the drop is identical
+    // in every variant.
+    if (shared_->exited_tids.count(target) == 0) {
+      shared_->pending_signals[target].push_back(static_cast<int32_t>(request.arg1));
+      shared_->pending_signal_count.fetch_add(1, std::memory_order_release);
+    }
+  }
+  if (is_exit) {
+    shared_->exited_tids.insert(tid_);
   }
   auto pending = shared_->pending_signals.find(tid_);
-  if (pending != shared_->pending_signals.end()) {
+  if (pending != shared_->pending_signals.end() && !pending->second.empty()) {
     out->assign(pending->second.begin(), pending->second.end());
+    shared_->pending_signal_count.fetch_sub(pending->second.size(),
+                                            std::memory_order_release);
     pending->second.clear();
   } else {
     out->clear();
@@ -124,7 +233,8 @@ uint32_t ThreadSetMonitor::StampDomainOf(ProcessState& process, const SyscallReq
   return shared_->kernel->OrderDomainOf(process, request);
 }
 
-SyscallResult ThreadSetMonitor::ExecuteMaster(SyscallRequest& request, SyscallClass klass) {
+SyscallResult ThreadSetMonitor::ExecuteMaster(SyscallRequest& request, SyscallClass klass,
+                                              int64_t control_retval) {
   ProcessState& process = *shared_->processes[0];
   switch (klass) {
     case SyscallClass::kReplicated: {
@@ -204,7 +314,7 @@ SyscallResult ThreadSetMonitor::ExecuteMaster(SyscallRequest& request, SyscallCl
           result.retval = 0;  // Master's variant index.
           break;
         case Sysno::kClone:
-          result.retval = control_retval_;
+          result.retval = control_retval;
           break;
         default:
           result.retval = 0;
@@ -249,14 +359,17 @@ void ThreadSetMonitor::AwaitOrderClock(std::atomic<uint64_t>& clock, uint64_t wa
 }
 
 int64_t ThreadSetMonitor::ExecuteSlave(uint32_t variant, SyscallRequest& request,
-                                       SyscallClass klass, const SyscallResult& master) {
-  // Runs WITHOUT mutex_ held; reporting from here is safe.
+                                       SyscallClass klass, const SyscallResult& master,
+                                       int64_t control_retval) {
+  // Runs outside any round lock; reporting from here is safe.
   ProcessState& process = *shared_->processes[variant];
   switch (klass) {
     case SyscallClass::kReplicated: {
-      if (!master.out_bytes.empty() && !request.out_data.empty()) {
-        const size_t count = std::min(master.out_bytes.size(), request.out_data.size());
-        std::memcpy(request.out_data.data(), master.out_bytes.data(), count);
+      // Copy only what this slave will consume: the payload prefix that fits
+      // its own out buffer, straight from the master's pooled bytes.
+      if (!master.out_payload.empty() && !request.out_data.empty()) {
+        const size_t count = std::min(master.out_payload.size(), request.out_data.size());
+        std::memcpy(request.out_data.data(), master.out_payload.data(), count);
       }
       // Shadow-fd installation must land at the same point of this variant's
       // ordered-call stream as the master's allocation did (see
@@ -280,9 +393,7 @@ int64_t ThreadSetMonitor::ExecuteSlave(uint32_t variant, SyscallRequest& request
         return master.retval;
       }
       const int64_t check = shared_->kernel->ApplyReplicatedEffect(process, request, master);
-      const bool allocates_fd =
-          request.sysno == Sysno::kAccept || request.sysno == Sysno::kSocket;
-      if (allocates_fd && master.retval >= 0 && check != master.retval) {
+      if (fd_allocating && master.retval >= 0 && check != master.retval) {
         std::ostringstream detail;
         detail << "thread " << tid_ << ": shadow fd mismatch on " << SysnoName(request.sysno)
                << ": master " << master.retval << " vs variant " << variant << " fd " << check;
@@ -315,7 +426,7 @@ int64_t ThreadSetMonitor::ExecuteSlave(uint32_t variant, SyscallRequest& request
         case Sysno::kMveeSelfAware:
           return variant;
         case Sysno::kClone:
-          return control_retval_;
+          return control_retval;
         default:
           return 0;
       }
@@ -332,35 +443,41 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
   }
 
   if (variant == 0) {
-    // Leader: execute immediately, deposit the record, never wait for the
-    // followers (except for ring backpressure).
-    if (request.sysno == Sysno::kClone) {
-      control_retval_ = shared_->next_tid.fetch_add(1, std::memory_order_relaxed);
-    }
-    {
-      std::lock_guard<std::mutex> counters_lock(shared_->counters_mutex);
-      shared_->counters.Count(klass);
-    }
-    auto record = std::make_shared<LooseRecord>();
-    record->sysno = request.sysno;
-    record->digest = request.ComparableDigest();
-    record->control_retval = control_retval_;
-    // The leader's delivery point becomes everyone's: followers replay the
-    // handler at the same record index.
-    RouteSignals(request, &record->signals);
-    if (delivered_signals != nullptr) {
-      *delivered_signals = record->signals;
-    }
-    record->result = ExecuteMaster(request, klass);
-    const int64_t retval =
-        klass == SyscallClass::kControl ? record->control_retval : record->result.retval;
+    // Leader: execute immediately into a pooled record, deposit it, never
+    // wait for the followers (except for ring backpressure). The slot is
+    // claimed BEFORE it is written: CanPush proves every follower has
+    // advanced past this sequence, so recycling the pooled record cannot
+    // race a straggling reader.
+    request.PrimeComparableDigest();
     SpinWait waiter;
-    while (!loose_ring_->TryPush(record)) {
+    while (!loose_ring_->CanPush()) {
       if (reporter->tripped()) {
         throw VariantKilled{};
       }
       waiter.Pause();
     }
+    LooseRecord& record = loose_pool_[loose_ring_->WriteCursor() & loose_pool_mask_];
+    record.signals.clear();
+    record.payload.Clear();
+    record.result = SyscallResult{};
+    record.sysno = request.sysno;
+    record.digest = request.ComparableDigest();
+    record.control_retval = request.sysno == Sysno::kClone
+                                ? shared_->next_tid.fetch_add(1, std::memory_order_relaxed)
+                                : 0;
+    counters_.Count(klass);
+    // The leader's delivery point becomes everyone's: followers replay the
+    // handler at the same record index.
+    RouteSignals(request, &record.signals);
+    if (delivered_signals != nullptr) {
+      *delivered_signals = record.signals;
+    }
+    request.payload_pool = &record.payload;
+    record.result = ExecuteMaster(request, klass, record.control_retval);
+    const int64_t retval =
+        klass == SyscallClass::kControl ? record.control_retval : record.result.retval;
+    const bool pushed = loose_ring_->TryPush(&record);
+    (void)pushed;  // CanPush held and there is a single producer.
     if (request.sysno == Sysno::kMveeSelfAware) {
       return 0;
     }
@@ -371,7 +488,7 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
   // verify it matches this variant's call — asynchronously, possibly long
   // after the leader performed it.
   const size_t consumer = variant - 1;
-  std::shared_ptr<LooseRecord> record;
+  LooseRecord* record = nullptr;
   SpinWait waiter;
   DeadlineGate deadline(shared_->options->rendezvous_timeout);
   while (!loose_ring_->Peek(consumer, 0, &record)) {
@@ -386,7 +503,16 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
     }
     waiter.Pause();
   }
-  loose_ring_->Advance(consumer);
+  // The cursor must advance only after the record's last use: the slot (and
+  // its pooled payload) is recycled by the leader once every consumer has
+  // passed it. Advancing on the unwind path too is safe — a thrown
+  // VariantKilled means the MVEE is shutting down.
+  struct SlotGuard {
+    BroadcastRing<LooseRecord*>* ring;
+    size_t consumer;
+    ~SlotGuard() { ring->Advance(consumer); }
+  } guard{loose_ring_.get(), consumer};
+
   if (delivered_signals != nullptr) {
     *delivered_signals = record->signals;
   }
@@ -404,8 +530,8 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
     throw VariantKilled{};
   }
   if (klass == SyscallClass::kControl) {
-    // Handle control calls from the record directly: control_retval_ is
-    // leader-thread state and must not be written concurrently.
+    // Handle control calls from the record directly: the record's control
+    // result was fixed by the leader at deposit time.
     switch (request.sysno) {
       case Sysno::kMveeSelfAware:
         return variant;
@@ -415,14 +541,191 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
         return 0;
     }
   }
-  return ExecuteSlave(variant, request, klass, record->result);
+  return ExecuteSlave(variant, request, klass, record->result, record->control_retval);
 }
 
-int64_t ThreadSetMonitor::RunSyscall(uint32_t variant, SyscallRequest& request,
-                                     std::vector<int32_t>* delivered_signals) {
-  if (shared_->options->sync_model == SyncModel::kLoose) {
-    return RunSyscallLoose(variant, request, delivered_signals);
+template <typename Predicate>
+bool ThreadSetMonitor::AwaitSlabState(Predicate&& ready, bool timed) {
+  SpinWait waiter;
+  DeadlineGate deadline(shared_->options->rendezvous_timeout);
+  DivergenceReporter* reporter = shared_->reporter;
+  for (;;) {
+    if (ready()) {
+      return true;
+    }
+    if (reporter->tripped()) {
+      throw VariantKilled{};
+    }
+    if (waiter.spins() < kParkAfterSpins) {
+      // The PAUSE phase (first 64 steps, nanoseconds) stays deadline-blind;
+      // from the first yield on every step is already a syscall, so a clock
+      // read per step costs comparatively nothing — and on an oversubscribed
+      // host a yield can take milliseconds, so sparser checks would let the
+      // deadline slip far past its budget (and let a late-arriving sibling
+      // turn a timeout verdict into a bogus divergence).
+      if (timed && waiter.spins() >= 64 && deadline.ExpiredNow()) {
+        return false;
+      }
+      waiter.Pause();
+      continue;
+    }
+    // Spin budget exhausted: futex-style parked wait. BeginPark / re-check /
+    // WaitTicket is the lost-wakeup-free discipline documented in
+    // util/park.h; publishers WakeParked after every phase/epoch store.
+    park_.BeginPark();
+    const uint64_t ticket = park_.Ticket();
+    if (ready() || reporter->tripped()) {
+      park_.EndPark();
+      continue;
+    }
+    park_.WaitTicket(ticket, kParkSlice);
+    park_.EndPark();
+    // Re-check readiness before the deadline: a round that completed right
+    // at the wire must win over a just-expired budget — the spin path and
+    // the mutex baseline's cv predicates resolve the same race the same way.
+    if (ready()) {
+      return true;
+    }
+    if (timed && deadline.ExpiredNow()) {
+      return false;
+    }
   }
+}
+
+int64_t ThreadSetMonitor::RunSyscallSlab(uint32_t variant, SyscallRequest& request,
+                                         std::vector<int32_t>* delivered_signals) {
+  const SyscallClass klass = ClassOf(request.sysno);
+  const uint32_t n = shared_->options->num_variants;
+  DivergenceReporter* reporter = shared_->reporter;
+  // A variant arriving after shutdown must unwind, not join (and possibly
+  // open) a dead MVEE's round — e.g. the stalled sibling of a rendezvous
+  // timeout waking up with its sys_exit.
+  if (reporter->tripped()) {
+    throw VariantKilled{};
+  }
+
+  // This variant's position in the round sequence is private state: exactly
+  // one thread per variant serves a thread set, so no atomics are needed.
+  const uint64_t round = cursors_[variant].next_round++;
+  RoundSlab& slab = slabs_[round & kSlabRingMask];
+
+  // 1. Recycle gate: the slab serves round `round` only once the last
+  //    drainer of round `round - depth` re-armed it (release store on
+  //    epoch). In steady state this is a single acquire load.
+  if (!AwaitSlabState(
+          [&] { return slab.epoch.load(std::memory_order_acquire) == round; },
+          /*timed=*/true)) {
+    reporter->Report(StatusCode::kTimeout,
+                     "thread " + std::to_string(tid_) + ": previous round never drained");
+    throw VariantKilled{};
+  }
+
+  // 2. Deposit + arrive. The acq_rel fetch_or makes every earlier arriver's
+  //    plain slot writes visible to the last arriver (release sequence).
+  request.PrimeComparableDigest();
+  ArrivalSlot& slot = slab.slots[variant];
+  slot.request = &request;
+  slot.digest = request.ComparableDigest();
+  slot.sysno.store(request.sysno, std::memory_order_relaxed);
+  const uint32_t self_bit = 1u << variant;
+  const uint32_t full = (1u << n) - 1;
+  const uint32_t before = slab.arrivals.fetch_or(self_bit, std::memory_order_acq_rel);
+
+  if ((before | self_bit) == full) {
+    // Last arriver: compare in lockstep (§2). Divergence kills the MVEE.
+    const std::string mismatch = CompareSlabRound(slab);
+    if (!mismatch.empty()) {
+      reporter->Report(StatusCode::kDivergence, mismatch);
+      throw VariantKilled{};
+    }
+    // Control-call preprocessing shared by all variants.
+    if (slab.slots[0].request->sysno == Sysno::kClone) {
+      slab.control_retval = shared_->next_tid.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Route signals exactly once per round: a kill enqueues for its target,
+    // and anything pending for THIS thread set is latched so every variant
+    // delivers at this same syscall boundary.
+    RouteSignals(*slab.slots[0].request, &slab.signals);
+    counters_.Count(klass);
+    slab.phase.store(kRoundOpen, std::memory_order_release);
+    park_.WakeParked();
+    // 3a. Flat-combining master execution: the last arriver — whichever
+    //     variant it belongs to — performs the master call itself, against
+    //     the MASTER's deposited request (variant-local pointers: buffers,
+    //     futex word, local_addr) and the master's process state. The
+    //     virtual kernel is executor-agnostic, and combining saves the
+    //     wake-the-master-then-wake-the-slaves double handoff per round —
+    //     on oversubscribed hosts that halves the context switches. The
+    //     result (payload in the slab's pooled buffer) is published with
+    //     one release store; slaves read it in place — no per-slave clone,
+    //     no allocation.
+    SyscallRequest& master_request = *slab.slots[0].request;
+    slab.payload.Clear();
+    master_request.payload_pool = &slab.payload;
+    slab.master_result = ExecuteMaster(master_request, klass, slab.control_retval);
+    slab.phase.store(kRoundMasterDone, std::memory_order_release);
+    park_.WakeParked();
+  } else {
+    // Lockstep: no variant proceeds until all variants made an equivalent
+    // call (§2). A sibling that never arrives (e.g. divergence through an
+    // uninstrumented sync op changed its control flow) trips the timeout.
+    if (!AwaitSlabState(
+            [&] { return slab.phase.load(std::memory_order_acquire) >= kRoundOpen; },
+            /*timed=*/true)) {
+      std::ostringstream detail;
+      detail << "thread " << tid_ << ": lockstep rendezvous timeout at " << request.ToString()
+             << " (variant " << variant << ", " << std::popcount(slab.arrivals.load()) << "/"
+             << n << " arrived)";
+      reporter->Report(StatusCode::kTimeout, detail.str());
+      throw VariantKilled{};
+    }
+    // 3b. Untimed: the combined master call may legitimately block in the
+    //     kernel (futex, accept) far longer than any rendezvous budget;
+    //     shutdown still interrupts via reporter->tripped() + WakeParked.
+    AwaitSlabState(
+        [&] { return slab.phase.load(std::memory_order_acquire) >= kRoundMasterDone; },
+        /*timed=*/false);
+  }
+
+  // 4a. Per-variant completion. The master's thread only picks up the
+  //     published retval (its process state was already advanced by the
+  //     combined execution); slave threads apply their local side effects.
+  int64_t retval = 0;
+  if (variant == 0) {
+    retval = slab.master_result.retval;
+  } else {
+    retval = ExecuteSlave(variant, request, klass, slab.master_result, slab.control_retval);
+  }
+
+  // 4. Drain. Copy this round's latched signals out before retiring — the
+  //    caller delivers them once the rendezvous is fully unwound.
+  if (delivered_signals != nullptr) {
+    *delivered_signals = slab.signals;
+  }
+  const uint32_t drained = slab.drained.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (drained == n) {
+    // Last drainer: every variant's reads of the round state happened
+    // before its drain increment (acq_rel chain), so plain resets are safe.
+    for (auto& reset_slot : slab.slots) {
+      reset_slot.request = nullptr;
+      reset_slot.digest = 0;
+    }
+    slab.signals.clear();
+    slab.master_result = SyscallResult{};
+    slab.control_retval = 0;
+    slab.arrivals.store(0, std::memory_order_relaxed);
+    slab.drained.store(0, std::memory_order_relaxed);
+    slab.phase.store(kRoundGather, std::memory_order_relaxed);
+    // Re-arm for round + depth; the release publishes all resets to the
+    // next round's arrivers (their recycle gate acquires epoch).
+    slab.epoch.store(round + kSlabRingDepth, std::memory_order_release);
+    park_.WakeParked();
+  }
+  return retval;
+}
+
+int64_t ThreadSetMonitor::RunSyscallMutex(uint32_t variant, SyscallRequest& request,
+                                          std::vector<int32_t>* delivered_signals) {
   const SyscallClass klass = ClassOf(request.sysno);
   const uint32_t n = shared_->options->num_variants;
   const auto timeout = shared_->options->rendezvous_timeout;
@@ -442,6 +745,7 @@ int64_t ThreadSetMonitor::RunSyscall(uint32_t variant, SyscallRequest& request,
     throw VariantKilled{};
   }
 
+  request.PrimeComparableDigest();
   requests_[variant] = &request;
   digests_[variant] = request.ComparableDigest();
   ++arrived_;
@@ -462,10 +766,7 @@ int64_t ThreadSetMonitor::RunSyscall(uint32_t variant, SyscallRequest& request,
     // and anything pending for THIS thread set is latched so every variant
     // delivers at this same syscall boundary.
     RouteSignals(*requests_[0], &round_signals_);
-    {
-      std::lock_guard<std::mutex> counters_lock(shared_->counters_mutex);
-      shared_->counters.Count(klass);
-    }
+    counters_.Count(klass);
     phase_ = Phase::kExecute;
     cv_.notify_all();
   } else {
@@ -489,9 +790,11 @@ int64_t ThreadSetMonitor::RunSyscall(uint32_t variant, SyscallRequest& request,
   int64_t retval = 0;
   if (variant == 0) {
     lock.unlock();
-    SyscallResult result = ExecuteMaster(request, klass);
+    mutex_payload_.Clear();
+    request.payload_pool = &mutex_payload_;
+    SyscallResult result = ExecuteMaster(request, klass, control_retval_);
     lock.lock();
-    master_result_ = std::move(result);
+    master_result_ = result;
     master_done_ = true;
     retval = master_result_.retval;
     cv_.notify_all();
@@ -500,11 +803,14 @@ int64_t ThreadSetMonitor::RunSyscall(uint32_t variant, SyscallRequest& request,
     if (reporter->tripped()) {
       throw VariantKilled{};
     }
-    // Copy the round's master result so the slave can leave the lock; the
-    // round state may be reset by the time the slave finishes.
+    // Snapshot the round's scalar result so the slave can leave the lock
+    // (the round state may be reset by the time it finishes). The payload
+    // is NOT cloned: the span views mutex_payload_, which is stable until
+    // every variant drained — i.e. past this slave's last read.
     const SyscallResult master_copy = master_result_;
+    const int64_t round_control_retval = control_retval_;
     lock.unlock();
-    retval = ExecuteSlave(variant, request, klass, master_copy);
+    retval = ExecuteSlave(variant, request, klass, master_copy, round_control_retval);
     lock.lock();
   }
 
@@ -526,6 +832,17 @@ int64_t ThreadSetMonitor::RunSyscall(uint32_t variant, SyscallRequest& request,
     cv_.notify_all();
   }
   return retval;
+}
+
+int64_t ThreadSetMonitor::RunSyscall(uint32_t variant, SyscallRequest& request,
+                                     std::vector<int32_t>* delivered_signals) {
+  if (shared_->options->sync_model == SyncModel::kLoose) {
+    return RunSyscallLoose(variant, request, delivered_signals);
+  }
+  if (shared_->options->waitfree_rendezvous) {
+    return RunSyscallSlab(variant, request, delivered_signals);
+  }
+  return RunSyscallMutex(variant, request, delivered_signals);
 }
 
 }  // namespace mvee

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mvee/syscall/sysno.h"
+#include "mvee/util/arena.h"
 #include "mvee/util/hash.h"
 
 namespace mvee {
@@ -60,10 +61,32 @@ struct SyscallRequest {
   // Master-variant memory; never dereferenced for slaves. Not compared.
   const std::atomic<int32_t>* futex_word = nullptr;
 
-  // Computes the digest the monitor compares across variants. Excludes raw
-  // pointers; includes sysno, scalars, path, logical_addr, and a content
-  // digest of in_data.
+  // Monitor-provided pooled buffer the kernel writes replicated output
+  // payloads into (round-slab / loose-record scoped; see util/arena.h).
+  // nullptr (native runner, direct kernel calls) means the kernel fills only
+  // out_data and the result carries no payload. Not compared.
+  PayloadBuffer* payload_pool = nullptr;
+
+  // Returns the digest the monitor compares across variants: the memoized
+  // value if PrimeComparableDigest ran, a fresh computation otherwise.
+  // Excludes raw pointers; includes sysno, scalars, path, logical_addr, and a
+  // content digest of in_data.
   uint64_t ComparableDigest() const {
+    return digest_primed_ ? primed_digest_ : ComputeComparableDigest();
+  }
+
+  // Memoizes the digest so one trap hashes its arguments at most once
+  // (in_data can be kilobytes). The monitor primes on rendezvous entry,
+  // after which the request's compared fields must not change — callers that
+  // mutate a request (tests, builders) simply never prime it.
+  void PrimeComparableDigest() {
+    primed_digest_ = ComputeComparableDigest();
+    digest_primed_ = true;
+  }
+
+  bool digest_primed() const { return digest_primed_; }
+
+  uint64_t ComputeComparableDigest() const {
     FnvDigest digest;
     digest.UpdateValue(sysno);
     digest.UpdateValue(arg0);
@@ -78,6 +101,11 @@ struct SyscallRequest {
     }
     return digest.Finish();
   }
+
+  // Memo for ComparableDigest (kept public so the struct stays a plain
+  // aggregate-style record; managed only through the methods above).
+  uint64_t primed_digest_ = 0;
+  bool digest_primed_ = false;
 
   // Human-readable one-liner for divergence reports.
   std::string ToString() const;
@@ -111,9 +139,12 @@ struct OrderDomainIds {
 // success, negative errno on failure.
 struct SyscallResult {
   int64_t retval = 0;
-  // For replicated calls: bytes produced into the caller's out buffer. The
-  // monitor copies these to each slave's out buffer.
-  std::vector<uint8_t> out_bytes;
+  // For replicated calls: the bytes produced into the caller's out buffer,
+  // viewing the pooled buffer passed via SyscallRequest::payload_pool. Valid
+  // until that round/record is recycled — i.e. until every variant drained
+  // the round — so slaves copy straight from the pool into their own out
+  // buffers with no intermediate clone. Empty when no pool was provided.
+  std::span<const uint8_t> out_payload;
   // Timestamp from the master monitor's syscall-ordering clock (kOrdered
   // calls only); slaves spin until their private clock matches (§4.1).
   // Under sharded ordering the timestamp counts within `order_domain` only.
@@ -156,6 +187,51 @@ struct SyscallCounters {
         ++control;
         break;
     }
+  }
+};
+
+// Relaxed-atomic counterpart, sharded one-per-thread-set by the monitor (the
+// seed funneled every round of every thread set through one counters mutex —
+// a global lock and a shared cache line on the hottest path). Cache-line
+// aligned so co-located shards don't false-share; aggregated into a plain
+// SyscallCounters snapshot at report time, exact once threads are quiescent.
+struct alignas(64) AtomicSyscallCounters {
+  std::atomic<uint64_t> total{0};
+  std::atomic<uint64_t> replicated{0};
+  std::atomic<uint64_t> ordered{0};
+  std::atomic<uint64_t> local{0};
+  std::atomic<uint64_t> control{0};
+
+  void Count(SyscallClass klass) {
+    total.fetch_add(1, std::memory_order_relaxed);
+    switch (klass) {
+      case SyscallClass::kReplicated:
+        replicated.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case SyscallClass::kOrdered:
+        ordered.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case SyscallClass::kLocal:
+        local.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case SyscallClass::kControl:
+        control.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+
+  void AccumulateInto(SyscallCounters* out) const {
+    out->total += total.load(std::memory_order_relaxed);
+    out->replicated += replicated.load(std::memory_order_relaxed);
+    out->ordered += ordered.load(std::memory_order_relaxed);
+    out->local += local.load(std::memory_order_relaxed);
+    out->control += control.load(std::memory_order_relaxed);
+  }
+
+  SyscallCounters Snapshot() const {
+    SyscallCounters out;
+    AccumulateInto(&out);
+    return out;
   }
 };
 

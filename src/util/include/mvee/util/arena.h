@@ -1,0 +1,80 @@
+// Pooled payload storage for replicated syscall results.
+//
+// Replicated syscalls produce output bytes the monitor must hand to every
+// slave variant (paper §4.1: the master executes, the slaves get the
+// results). The seed carried those bytes in a std::vector<uint8_t> inside
+// SyscallResult, which put one heap allocation per call — plus one full
+// vector clone per slave — on the hottest path of the system. PayloadBuffer
+// is the pooled replacement: a grow-only byte arena owned by the structure
+// whose lifetime already bounds the payload's (the lockstep round slab, the
+// loose-mode ring record, the mutex-baseline monitor), recycled round after
+// round. In steady state the replicated-read path performs zero heap
+// allocations: the kernel writes into the pool, the result carries a span,
+// and slaves copy straight from the pooled bytes into their own out buffers.
+
+#ifndef MVEE_UTIL_ARENA_H_
+#define MVEE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+
+namespace mvee {
+
+class PayloadBuffer {
+ public:
+  PayloadBuffer() = default;
+  PayloadBuffer(PayloadBuffer&&) = default;
+  PayloadBuffer& operator=(PayloadBuffer&&) = default;
+  PayloadBuffer(const PayloadBuffer&) = delete;
+  PayloadBuffer& operator=(const PayloadBuffer&) = delete;
+
+  // Grows storage to at least `size` bytes (capacity never shrinks), sets the
+  // logical size, and returns the writable bytes. Previous contents are NOT
+  // preserved across a grow: the buffer holds one round's payload at a time.
+  uint8_t* Reserve(size_t size) {
+    if (size > capacity_) {
+      size_t grown = capacity_ == 0 ? kMinCapacity : capacity_;
+      while (grown < size) {
+        grown *= 2;
+      }
+      storage_ = std::make_unique<uint8_t[]>(grown);
+      capacity_ = grown;
+    }
+    size_ = size;
+    return storage_.get();
+  }
+
+  // Copies `size` bytes into the buffer (growing if needed).
+  void Assign(const void* data, size_t size) {
+    if (size != 0) {
+      std::memcpy(Reserve(size), data, size);
+    } else {
+      size_ = 0;
+    }
+  }
+
+  // Drops the logical contents but keeps the storage for the next round.
+  void Clear() { size_ = 0; }
+
+  std::span<const uint8_t> view() const { return {storage_.get(), size_}; }
+  uint8_t* data() { return storage_.get(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // Covers small reads/revents/getrandom fills without a first-round grow;
+  // larger payloads grow geometrically and then stay.
+  static constexpr size_t kMinCapacity = 256;
+
+  std::unique_ptr<uint8_t[]> storage_;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_UTIL_ARENA_H_

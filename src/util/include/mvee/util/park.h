@@ -1,0 +1,80 @@
+// Futex-style parking for spin loops that may wait a long time.
+//
+// The wait-free round-slab rendezvous (src/monitor/thread_set.h) waits by
+// spinning on slab state words. A thread set that sits idle between rounds —
+// or whose master is legitimately blocked in the kernel (futex, accept) —
+// must not burn a core forever, and on the small hosts used here must not
+// starve the very thread it waits for. After the spin budget a waiter
+// *parks* here. The protocol is the classic futex discipline in portable
+// C++:
+//
+//   waiter:  BeginPark (seq_cst RMW) → re-check condition → WaitTicket
+//   waker:   publish state (release store) → WakeParked (seq_cst fence+load)
+//
+// Memory-ordering argument (docs/DESIGN.md §6): the seq_cst RMW in BeginPark
+// and the seq_cst fence in WakeParked give the Dekker guarantee between the
+// waiter's {parked_++, condition load} and the waker's {state store, parked_
+// load} — either the waiter's re-check observes the published state, or the
+// waker observes parked_ != 0 and bumps the ticket under the mutex, which
+// WaitTicket cannot miss (the ticket was captured before the re-check).
+// A wakeup can therefore never fall into the re-check-to-sleep window. As a
+// second line of defense every sleep is bounded by `slice`, so even a logic
+// bug upstream degrades to slice-granularity polling instead of a hang.
+
+#ifndef MVEE_UTIL_PARK_H_
+#define MVEE_UTIL_PARK_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace mvee {
+
+class ParkingSpot {
+ public:
+  // Announces intent to park. The caller MUST re-check its wait condition
+  // between BeginPark and WaitTicket, and MUST pair with EndPark.
+  void BeginPark() { parked_.fetch_add(1, std::memory_order_seq_cst); }
+  void EndPark() { parked_.fetch_sub(1, std::memory_order_release); }
+
+  // Capture before the condition re-check; pass to WaitTicket.
+  uint64_t Ticket() const { return version_.load(std::memory_order_acquire); }
+
+  // Sleeps until the ticket moves (a WakeParked since Ticket()) or ~slice
+  // elapses. Spurious returns are fine — callers loop on their condition.
+  void WaitTicket(uint64_t ticket, std::chrono::microseconds slice) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, slice,
+                 [&] { return version_.load(std::memory_order_relaxed) != ticket; });
+  }
+
+  // Wakes every parked waiter. One fence + one load when nobody is parked —
+  // the publisher's hot path never touches the mutex or the condvar.
+  void WakeParked() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+    {
+      // The bump must happen under the mutex so a waiter between its ticket
+      // re-check and cv_.wait_for cannot miss it.
+      std::lock_guard<std::mutex> lock(mutex_);
+      version_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+  }
+
+  uint32_t parked() const { return parked_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint32_t> parked_{0};
+  std::atomic<uint64_t> version_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_UTIL_PARK_H_

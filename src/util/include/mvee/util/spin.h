@@ -69,6 +69,12 @@ class DeadlineGate {
     if ((waiter.spins() & (kCheckInterval - 1)) != 0) {
       return false;
     }
+    return ExpiredNow();
+  }
+
+  // Unconditional check for callers that left the spin loop (e.g. parked
+  // waiters, whose SpinWait no longer advances); arms lazily like Expired.
+  bool ExpiredNow() {
     const auto now = std::chrono::steady_clock::now();
     if (!armed_) {
       armed_ = true;

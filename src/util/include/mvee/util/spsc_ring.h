@@ -83,6 +83,12 @@ class BroadcastRing {
     return seq;
   }
 
+  // Producer side: true if the next Push/TryPush would succeed. Lets a
+  // producer that stores its element out-of-band (e.g. the monitor's pooled
+  // loose records, which live in a slot array indexed by sequence) verify the
+  // slot has been retired by every consumer BEFORE overwriting it.
+  bool CanPush() { return HasSpace(write_cursor_.load(std::memory_order_relaxed)); }
+
   // Producer side, non-blocking. Returns false if the ring is full.
   bool TryPush(const T& value) {
     const uint64_t seq = write_cursor_.load(std::memory_order_relaxed);

@@ -26,6 +26,20 @@ SyscallResult Ret(int64_t value) {
   return result;
 }
 
+// Publishes the first `size` bytes of the caller's out buffer as the
+// result's replication payload. With a pooled buffer (the monitor's round
+// slab / loose record) the bytes are copied once into the recycled pool and
+// the result carries a span into it — no per-call heap allocation. Without a
+// pool (native runner, direct kernel calls) there is nobody to replicate to,
+// so the result carries no payload.
+void PublishPayload(const SyscallRequest& request, SyscallResult* result, size_t size) {
+  if (request.payload_pool == nullptr || size == 0) {
+    return;
+  }
+  request.payload_pool->Assign(request.out_data.data(), size);
+  result->out_payload = request.payload_pool->view();
+}
+
 }  // namespace
 
 SyscallResult VirtualKernel::Execute(ProcessState& process, const SyscallRequest& request) {
@@ -86,14 +100,11 @@ SyscallResult VirtualKernel::Execute(ProcessState& process, const SyscallRequest
     case Sysno::kGetrandom: {
       SyscallResult result;
       std::lock_guard<std::mutex> lock(rng_mutex_);
-      result.out_bytes.resize(request.out_data.size());
-      for (auto& byte : result.out_bytes) {
+      for (auto& byte : request.out_data) {
         byte = static_cast<uint8_t>(rng_.Next());
       }
-      if (!request.out_data.empty()) {
-        std::copy(result.out_bytes.begin(), result.out_bytes.end(), request.out_data.begin());
-      }
-      result.retval = static_cast<int64_t>(result.out_bytes.size());
+      PublishPayload(request, &result, request.out_data.size());
+      result.retval = static_cast<int64_t>(request.out_data.size());
       return result;
     }
 
@@ -173,8 +184,7 @@ SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallReq
         return Err(-EBADF);
       }
       if (result.retval > 0) {
-        result.out_bytes.assign(request.out_data.begin(),
-                                request.out_data.begin() + result.retval);
+        PublishPayload(request, &result, static_cast<size_t>(result.retval));
       }
       return result;
     }
@@ -213,8 +223,7 @@ SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallReq
       result.retval = entry->file->ReadAt(static_cast<uint64_t>(request.arg1),
                                           request.out_data.data(), request.out_data.size());
       if (result.retval > 0) {
-        result.out_bytes.assign(request.out_data.begin(),
-                                request.out_data.begin() + result.retval);
+        PublishPayload(request, &result, static_cast<size_t>(result.retval));
       }
       return result;
     }
@@ -414,8 +423,7 @@ SyscallResult VirtualKernel::ExecuteNet(ProcessState& process, const SyscallRequ
         result.retval = entry->conn->ClientRead(request.out_data.data(), request.out_data.size());
       }
       if (result.retval > 0) {
-        result.out_bytes.assign(request.out_data.begin(),
-                                request.out_data.begin() + result.retval);
+        PublishPayload(request, &result, static_cast<size_t>(result.retval));
       }
       return result;
     }
@@ -442,7 +450,8 @@ SyscallResult VirtualKernel::ExecuteNet(ProcessState& process, const SyscallRequ
 // sys_poll over the virtual fd space. Request payload: nfds records of
 // (int32 fd little-endian, uint8 events); arg0 = nfds, arg1 = timeout in
 // milliseconds (<0 = wait indefinitely). Returns the number of fds with a
-// non-zero revents byte in out_bytes (one byte per fd), 0 on timeout.
+// non-zero revents byte in the replicated revents payload (one byte per
+// fd, out_payload), 0 on timeout.
 // Readiness is polled (the virtual kernel has no wait-queue multiplexer);
 // the sleep quantum is far below the monitor's rendezvous granularity.
 SyscallResult VirtualKernel::ExecutePoll(ProcessState& process,
@@ -457,7 +466,16 @@ SyscallResult VirtualKernel::ExecutePoll(ProcessState& process,
                         std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
 
   SyscallResult result;
-  result.out_bytes.assign(nfds, 0);
+  // Revents scratch: one byte per fd. The monitor's pooled buffer when
+  // provided (the payload slaves replicate), a local fallback otherwise.
+  std::vector<uint8_t> local_revents;
+  uint8_t* revents_buf;
+  if (request.payload_pool != nullptr) {
+    revents_buf = request.payload_pool->Reserve(nfds);
+  } else {
+    local_revents.resize(nfds);
+    revents_buf = local_revents.data();
+  }
   for (;;) {
     int64_t ready = 0;
     for (size_t i = 0; i < nfds; ++i) {
@@ -515,18 +533,20 @@ SyscallResult VirtualKernel::ExecutePoll(ProcessState& process,
             break;
         }
       }
-      result.out_bytes[i] = revents;
+      revents_buf[i] = revents;
       ready += revents != 0 ? 1 : 0;
     }
     const bool timed_out =
         timeout_ms > 0 && std::chrono::steady_clock::now() >= deadline;
     if (ready > 0 || timeout_ms == 0 || timed_out) {
       // Master-side delivery: revents go straight into the caller's buffer;
-      // the monitor replicates result.out_bytes to the slaves.
+      // the monitor replicates result.out_payload to the slaves.
       if (!request.out_data.empty()) {
-        const size_t count = std::min(result.out_bytes.size(), request.out_data.size());
-        std::copy(result.out_bytes.begin(), result.out_bytes.begin() + count,
-                  request.out_data.begin());
+        const size_t count = std::min(nfds, request.out_data.size());
+        std::copy(revents_buf, revents_buf + count, request.out_data.begin());
+      }
+      if (request.payload_pool != nullptr) {
+        result.out_payload = request.payload_pool->view();
       }
       result.retval = timed_out && ready == 0 ? 0 : ready;
       return result;
