@@ -22,7 +22,7 @@ WrkResult ServeAndMeasure(VirtualKernel& kernel, const WrkOptions& wrk_options,
                           const std::function<void()>& serve) {
   WrkResult result;
   std::thread client([&] {
-    std::shared_ptr<VConnection> probe;
+    VRef<VConnection> probe;
     while ((probe = kernel.network().Connect(wrk_options.port)) == nullptr) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
@@ -125,7 +125,7 @@ int main() {
     NativeRunner runner;
     AttackResult attack;
     std::thread client([&] {
-      std::shared_ptr<VConnection> probe;
+      VRef<VConnection> probe;
       while ((probe = runner.kernel().network().Connect(9020)) == nullptr) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
@@ -147,7 +147,7 @@ int main() {
     AttackResult attack;
     Status status;
     std::thread client([&] {
-      std::shared_ptr<VConnection> probe;
+      VRef<VConnection> probe;
       while ((probe = mvee.kernel().network().Connect(9021)) == nullptr) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }

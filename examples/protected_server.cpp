@@ -22,7 +22,7 @@ using namespace mvee;
 namespace {
 
 void AwaitListener(VirtualKernel& kernel, uint16_t port) {
-  std::shared_ptr<VConnection> probe;
+  VRef<VConnection> probe;
   while ((probe = kernel.network().Connect(port)) == nullptr) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }

@@ -52,6 +52,13 @@ struct MveeReport {
   uint64_t order_domains_created = 0;
   uint64_t order_domains_retired = 0;
   uint64_t order_domains_reclaimed = 0;
+  // Virtual-kernel readiness subsystem (docs/DESIGN.md §7): parked waits and
+  // event-driven wakeups of poll/accept/futex callers. Nonzero wakeups under
+  // load are the observable proof that blocking calls ride wait-queue
+  // notifications instead of spin-polling. All zero under the sharded_vkernel
+  // = false baseline (its poll re-scans on a sleep quantum).
+  uint64_t vkernel_waitq_waits = 0;
+  uint64_t vkernel_waitq_wakeups = 0;
   double wall_seconds = 0.0;
   std::string divergence_detail;
 };

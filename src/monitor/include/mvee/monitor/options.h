@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "mvee/agents/sync_agent.h"
+#include "mvee/vkernel/vkernel_config.h"
 
 namespace mvee {
 
@@ -78,6 +79,16 @@ struct MveeOptions {
   // Default on; MVEE_WAITFREE_RENDEZVOUS=0 in the environment flips the
   // default so whole test suites can sweep the baseline.
   bool waitfree_rendezvous = DefaultWaitfreeRendezvous();
+  // Virtual-kernel concurrency mode (docs/DESIGN.md §7): striped VFS with a
+  // per-thread handle cache, lock-free generation-tagged fd lookups, hashed
+  // futex shards with intrusive wait queues, per-thread-set getrandom RNG
+  // streams, and wait-queue-driven poll/accept. Disabling restores the
+  // seed's global-mutex kernel (and its 200us poll quantum) so both modes
+  // are measurable in one process — mirroring waitfree_rendezvous /
+  // sharded_order_domains. Default on; MVEE_SHARDED_VKERNEL=0 in the
+  // environment flips the default so whole test suites can sweep the
+  // baseline.
+  bool sharded_vkernel = DefaultShardedVkernel();
   // Seed for diversity and kernel randomness.
   uint64_t seed = 0x5eedULL;
   // Lockstep rendezvous deadline; exceeded => divergence (variants made

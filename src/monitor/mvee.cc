@@ -32,7 +32,7 @@ Mvee::Mvee(const MveeOptions& options, VirtualKernel* external_kernel) : options
   if (external_kernel != nullptr) {
     kernel_ = external_kernel;
   } else {
-    owned_kernel_ = std::make_unique<VirtualKernel>(options_.seed);
+    owned_kernel_ = std::make_unique<VirtualKernel>(options_.seed, options_.sharded_vkernel);
     kernel_ = owned_kernel_.get();
   }
 
@@ -52,7 +52,8 @@ Mvee::Mvee(const MveeOptions& options, VirtualKernel* external_kernel) : options
     state->diversity = std::make_unique<DiversityMap>(v, options_.seed, options_.enable_aslr,
                                                       options_.enable_dcl);
     state->process = std::make_unique<ProcessState>(
-        /*pid=*/1000, state->diversity->heap_base(), state->diversity->map_base());
+        /*pid=*/1000, state->diversity->heap_base(), state->diversity->map_base(),
+        options_.sharded_vkernel);
     state->agent = fleet_->CreateAgent(v);
     variants_.push_back(std::move(state));
   }
@@ -264,6 +265,13 @@ Status Mvee::Run(Program program) {
     report_.sync_ops_replayed = snapshot.ops_replayed;
     report_.replay_stalls = snapshot.replay_stalls;
     report_.record_stalls = snapshot.record_stalls;
+  }
+  {
+    // Kernel readiness counters (cumulative for shared external kernels; the
+    // usual owned-kernel case starts from zero).
+    const VKernelStatsSnapshot kernel_stats = kernel_->stats();
+    report_.vkernel_waitq_waits = kernel_stats.waitq_waits;
+    report_.vkernel_waitq_wakeups = kernel_stats.waitq_wakeups;
   }
   // All variant threads are joined: the domain table is quiescent, so
   // retired per-fd domains whose replays completed can be reclaimed.

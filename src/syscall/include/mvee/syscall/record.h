@@ -39,6 +39,13 @@ struct SyscallRequest {
   // Path-like argument (open/stat/unlink).
   std::string path;
 
+  // Logical thread id of the caller, stamped by VariantEnv::Syscall.
+  // Identical across variants by construction (the monitor assigns logical
+  // tids at clone rendezvous), so it is redundant with — and excluded from —
+  // the comparable digest. The kernel keys per-thread-set state on it (the
+  // counted getrandom RNG streams); direct kernel calls default to stream 0.
+  uint32_t tid = 0;
+
   // Input data (write/send/pwrite): owned by the caller for the duration of
   // the call.
   std::span<const uint8_t> in_data;

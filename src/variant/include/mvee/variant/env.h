@@ -71,8 +71,12 @@ class VariantEnv {
   uint32_t tid() const { return tid_; }
   const DiversityMap& diversity() const { return *diversity_; }
 
-  // Raw trap (exposed for tests and custom calls).
-  int64_t Syscall(SyscallRequest& request) { return trap_->Trap(variant_, tid_, request); }
+  // Raw trap (exposed for tests and custom calls). Stamps the logical tid so
+  // the kernel can key per-thread-set state (getrandom RNG streams) on it.
+  int64_t Syscall(SyscallRequest& request) {
+    request.tid = tid_;
+    return trap_->Trap(variant_, tid_, request);
+  }
 
   // --- File I/O ---
   int64_t Open(const std::string& path, int64_t flags);

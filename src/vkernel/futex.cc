@@ -1,15 +1,158 @@
 #include "mvee/vkernel/futex.h"
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
 namespace mvee {
 
-int64_t FutexTable::Wait(uint64_t logical_addr, const std::atomic<int32_t>* word,
-                         int32_t expected) {
+namespace {
+
+// Parked-wait slice for sharded waiters: the unlink-then-wake protocol is
+// lost-wakeup-free (park.h), so the slice is only the second line of
+// defense; 500us keeps even a hypothetical miss invisible at run scale.
+constexpr auto kFutexParkSlice = std::chrono::microseconds(500);
+
+}  // namespace
+
+// --- Sharded path ------------------------------------------------------------
+
+int64_t FutexTable::WaitSharded(uint64_t logical_addr, const std::atomic<int32_t>* word,
+                                int32_t expected) {
+  WaitNode node;
+  Shard& shard = ShardFor(logical_addr);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // A wait that starts after teardown drained the shards would enqueue a
+    // node nobody will ever wake; report "woken" and let the variant unwind
+    // at its next trap (the reporter is already tripped).
+    if (registry_ != nullptr && registry_->shutdown()) {
+      return 0;
+    }
+    // Linux futex semantics: re-check the word under the bucket lock; if it
+    // no longer holds the expected value the caller lost a race with a waker
+    // and must retry in user space.
+    if (word != nullptr && word->load(std::memory_order_acquire) != expected) {
+      return -EAGAIN;
+    }
+    AddrQueue& queue = shard.queues[logical_addr];
+    if (queue.tail != nullptr) {
+      queue.tail->next = &node;
+    } else {
+      queue.head = &node;
+    }
+    queue.tail = &node;
+    ++queue.waiters;
+  }
+  // The waker unlinked us before setting `woken`, so after this loop the
+  // node is unreachable and safe to pop off the stack. BeginPark / re-check /
+  // WaitTicket on the shard's spot is park.h's lost-wakeup-free discipline.
+  while (!node.woken.load(std::memory_order_acquire)) {
+    if (registry_ != nullptr && registry_->shutdown()) {
+      // Teardown while parked: cancel by unlinking under the shard lock. If
+      // a waker already unlinked the node, its `woken` store is imminent —
+      // keep looping for it (the waker no longer touches the node after).
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (node.woken.load(std::memory_order_acquire)) {
+        break;
+      }
+      auto it = shard.queues.find(logical_addr);
+      if (it != shard.queues.end()) {
+        AddrQueue& queue = it->second;
+        WaitNode** link = &queue.head;
+        while (*link != nullptr && *link != &node) {
+          link = &(*link)->next;
+        }
+        if (*link == &node) {
+          *link = node.next;
+          if (queue.tail == &node) {
+            WaitNode* last = queue.head;
+            while (last != nullptr && last->next != nullptr) {
+              last = last->next;
+            }
+            queue.tail = last;
+          }
+          --queue.waiters;
+          if (queue.waiters == 0) {
+            shard.queues.erase(it);
+          }
+          return 0;
+        }
+      }
+      continue;  // Unlinked by a waker: wait for its `woken` store.
+    }
+    shard.park.BeginPark();
+    const uint64_t ticket = shard.park.Ticket();
+    if (node.woken.load(std::memory_order_acquire)) {
+      shard.park.EndPark();
+      break;
+    }
+    if (stats_ != nullptr) {
+      stats_->waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.park.WaitTicket(ticket, kFutexParkSlice);
+    shard.park.EndPark();
+  }
+  return 0;
+}
+
+int64_t FutexTable::WakeSharded(uint64_t logical_addr, int32_t count) {
+  WaitNode* to_wake = nullptr;
+  WaitNode** tail_next = &to_wake;
+  int64_t woken = 0;
+  Shard& shard = ShardFor(logical_addr);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.queues.find(logical_addr);
+    if (it == shard.queues.end()) {
+      return 0;
+    }
+    AddrQueue& queue = it->second;
+    while (woken < count && queue.head != nullptr) {
+      WaitNode* node = queue.head;
+      queue.head = node->next;
+      if (queue.head == nullptr) {
+        queue.tail = nullptr;
+      }
+      node->next = nullptr;
+      *tail_next = node;
+      tail_next = &node->next;
+      --queue.waiters;
+      ++woken;
+    }
+    if (queue.waiters == 0) {
+      // Reclaim at zero waiters: unconsumed wake credits die, like futex,
+      // and a long-running server retains no per-address state.
+      shard.queues.erase(it);
+    }
+  }
+  // Release outside the shard lock. `woken` is the LAST access to each node:
+  // the released thread may return and reuse its stack immediately. The
+  // parked-wakeup goes through the shard's spot, which outlives every node.
+  while (to_wake != nullptr) {
+    WaitNode* node = to_wake;
+    to_wake = node->next;
+    node->woken.store(true, std::memory_order_release);
+  }
+  if (woken > 0) {
+    shard.park.WakeParked();
+    if (stats_ != nullptr) {
+      stats_->wakeups.fetch_add(static_cast<uint64_t>(woken), std::memory_order_relaxed);
+    }
+  }
+  return woken;
+}
+
+// --- Baseline path (the seed's global mutex + broadcast condvar) -------------
+
+int64_t FutexTable::WaitGlobal(uint64_t logical_addr, const std::atomic<int32_t>* word,
+                               int32_t expected) {
   std::unique_lock<std::mutex> lock(mutex_);
-  // Linux futex semantics: re-check the word under the bucket lock; if it no
-  // longer holds the expected value the caller lost a race with a waker and
-  // must retry in user space.
+  // Post-teardown waits must not sleep on a bucket WakeAll already drained.
+  if (registry_ != nullptr && registry_->shutdown()) {
+    return 0;
+  }
   if (word != nullptr && word->load(std::memory_order_acquire) != expected) {
     return -EAGAIN;
   }
@@ -24,7 +167,7 @@ int64_t FutexTable::Wait(uint64_t logical_addr, const std::atomic<int32_t>* word
   return 0;
 }
 
-int64_t FutexTable::Wake(uint64_t logical_addr, int32_t count) {
+int64_t FutexTable::WakeGlobal(uint64_t logical_addr, int32_t count) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = buckets_.find(logical_addr);
   if (it == buckets_.end()) {
@@ -41,7 +184,39 @@ int64_t FutexTable::Wake(uint64_t logical_addr, int32_t count) {
   return static_cast<int64_t>(to_wake);
 }
 
+// --- Common entry points -----------------------------------------------------
+
+int64_t FutexTable::Wait(uint64_t logical_addr, const std::atomic<int32_t>* word,
+                         int32_t expected) {
+  return sharded_ ? WaitSharded(logical_addr, word, expected)
+                  : WaitGlobal(logical_addr, word, expected);
+}
+
+int64_t FutexTable::Wake(uint64_t logical_addr, int32_t count) {
+  if (count <= 0) {
+    return 0;
+  }
+  return sharded_ ? WakeSharded(logical_addr, count) : WakeGlobal(logical_addr, count);
+}
+
 void FutexTable::WakeAll() {
+  if (sharded_) {
+    for (Shard& shard : shards_) {
+      // Collect the addresses first: WakeSharded takes the shard lock itself
+      // and erases entries.
+      std::vector<uint64_t> addrs;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (const auto& [addr, queue] : shard.queues) {
+          addrs.push_back(addr);
+        }
+      }
+      for (const uint64_t addr : addrs) {
+        WakeSharded(addr, INT32_MAX);
+      }
+    }
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [addr, bucket] : buckets_) {
     bucket.wake_upto = bucket.next_ticket;
@@ -49,25 +224,59 @@ void FutexTable::WakeAll() {
   }
 }
 
-std::string FutexTable::DebugString() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::string out;
-  char line[96];
-  for (const auto& [addr, bucket] : buckets_) {
-    std::snprintf(line, sizeof(line), "addr=0x%llx waiters=%d pending=%d; ",
-                  static_cast<unsigned long long>(addr), bucket.waiters, static_cast<int>(bucket.next_ticket - bucket.wake_upto));
-    out += line;
-  }
-  return out;
-}
-
 size_t FutexTable::WaiterCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   size_t total = 0;
+  if (sharded_) {
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const auto& [addr, queue] : shard.queues) {
+        total += static_cast<size_t>(queue.waiters);
+      }
+    }
+    return total;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [addr, bucket] : buckets_) {
     total += static_cast<size_t>(bucket.waiters);
   }
   return total;
+}
+
+size_t FutexTable::BucketCount() const {
+  size_t total = 0;
+  if (sharded_) {
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.queues.size();
+    }
+    return total;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.size();
+}
+
+std::string FutexTable::DebugString() const {
+  std::string out;
+  char line[96];
+  if (sharded_) {
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const auto& [addr, queue] : shard.queues) {
+        std::snprintf(line, sizeof(line), "addr=0x%llx waiters=%d; ",
+                      static_cast<unsigned long long>(addr), queue.waiters);
+        out += line;
+      }
+    }
+    return out;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [addr, bucket] : buckets_) {
+    std::snprintf(line, sizeof(line), "addr=0x%llx waiters=%d pending=%d; ",
+                  static_cast<unsigned long long>(addr), bucket.waiters,
+                  static_cast<int>(bucket.next_ticket - bucket.wake_upto));
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace mvee

@@ -5,12 +5,25 @@
 // threads open files and the MVEE does not order the sys_open calls, the
 // variants can hand different fd numbers to equivalent threads and diverge
 // when the fds are printed or used.
+//
+// Layout (docs/DESIGN.md §7): a fixed, directly-indexed slot array. Each
+// slot carries one generation-tagged state word ([gen:32][readers:32], gen
+// odd = live) and ONE intrusive-refcounted VObject* instead of the seed's
+// four shared_ptr fields. Under the sharded mode the hot lookup path is
+// lock-free: Get() is a reader lease (one fetch_add, one parity check, one
+// fetch_sub at release) that pins the slot against teardown; Close flips the
+// generation so new lookups fail, drains the leases, then reclaims. The
+// mutate paths (allocate/dup/close) serialize on one allocation mutex —
+// they are fd-namespace-ordered by the monitor anyway. The baseline mode
+// (sharded = false) routes every operation, lookups included, through that
+// mutex: the seed's exact cost profile, measurable in-run.
 
 #ifndef MVEE_VKERNEL_FD_TABLE_H_
 #define MVEE_VKERNEL_FD_TABLE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -18,6 +31,8 @@
 #include "mvee/vkernel/net.h"
 #include "mvee/vkernel/pipe.h"
 #include "mvee/vkernel/vfs.h"
+#include "mvee/vkernel/vkernel_config.h"
+#include "mvee/vkernel/vobject.h"
 
 namespace mvee {
 
@@ -31,36 +46,114 @@ enum class FdKind : uint8_t {
   kConnClient,  // connecting side
 };
 
+// Allocation descriptor for FdTable::Allocate: what the new fd points at.
+// One polymorphic object reference; the kind says how to downcast it.
 struct FdEntry {
   FdKind kind = FdKind::kFree;
-  std::shared_ptr<VFile> file;
-  std::shared_ptr<VPipe> pipe;
-  std::shared_ptr<VListener> listener;
-  std::shared_ptr<VConnection> conn;
+  VRef<VObject> object;
   uint64_t offset = 0;
   int64_t flags = 0;
   std::string path;
   uint16_t port = 0;
-  // Syscall-ordering domain for ops scoped to this descriptor (lseek/fcntl).
-  // Assigned by the table at allocation, never reused: a reopened fd number
-  // gets a fresh domain so replay clocks of the torn-down descriptor cannot
-  // leak into the new one (docs/syscall_ordering.md).
-  uint32_t order_domain = 0;
 };
 
 // Thread-safe fd table. fds 0..2 are reserved at construction for
 // stdin/stdout/stderr (backed by VFiles so output can be inspected).
 class FdTable {
  public:
-  FdTable();
+  // Fixed capacity: descriptors are dense small ints (Linux: RLIMIT_NOFILE);
+  // a full table fails Allocate with -EMFILE. Fixed storage is what makes
+  // the lock-free lookup safe — the seed's growable vector could relocate
+  // under a concurrent Get.
+  static constexpr int32_t kMaxFds = 1024;
 
-  // Allocates the lowest free descriptor and installs `entry`.
+  explicit FdTable(bool sharded = DefaultShardedVkernel());
+  ~FdTable();
+  FdTable(const FdTable&) = delete;
+  FdTable& operator=(const FdTable&) = delete;
+
+  struct Slot;
+
+  // Leased view of a live descriptor. While a Ref is held (sharded mode) the
+  // slot cannot be torn down: Close drains leases before reclaiming, so the
+  // object pointer stays valid. Scalar fields that legitimately change on a
+  // live descriptor (offset, port, kind on connect, the object on listen)
+  // are atomics in the slot; everything else is frozen after allocation.
+  // Do not hold a Ref across a blocking call or cache it across syscalls.
+  class Ref {
+   public:
+    Ref() = default;
+    Ref(Ref&& other) noexcept
+        : table_(other.table_), slot_(other.slot_), leased_(other.leased_) {
+      other.table_ = nullptr;
+      other.slot_ = nullptr;
+      other.leased_ = false;
+    }
+    Ref& operator=(Ref&& other) noexcept;
+    Ref(const Ref&) = delete;
+    Ref& operator=(const Ref&) = delete;
+    ~Ref();
+
+    explicit operator bool() const { return slot_ != nullptr; }
+
+    // Atomic snapshot of the slot's (kind, object) pair — ONE load of the
+    // packed word. Use this whenever a decision spans more than one kind or
+    // object read (blocking-call dispatch, poll scans): separate accessor
+    // calls re-read the word, and a concurrent connect() flipping the slot
+    // between reads would pair a stale kind with a new object. The raw
+    // pointer stays valid for the lease's lifetime (teardown drains leases;
+    // displaced objects are retired, not freed).
+    struct ObjectView {
+      FdKind kind = FdKind::kFree;
+      VObject* object = nullptr;
+    };
+    ObjectView view() const;
+
+    FdKind kind() const;
+    // Kind-checked downcasts; nullptr when the kind does not match (or the
+    // slot carries no object, e.g. slave shadow descriptors). Each reads the
+    // packed word once; do not chain two calls for one decision (see view).
+    VFile* file() const;
+    VPipe* pipe() const;
+    VListener* listener() const;
+    VConnection* conn() const;
+    VObject* object() const;
+    // Shares `view.object` out of the slot (for use past the lease lifetime,
+    // e.g. poll subscriptions, blocking accept).
+    VRef<VObject> ShareObject(const ObjectView& view) const;
+
+    uint64_t offset() const;
+    void set_offset(uint64_t offset);
+    void AdvanceOffset(uint64_t delta);
+    int64_t flags() const;
+    uint16_t port() const;
+    void set_port(uint16_t port);
+    uint32_t order_domain() const;
+    const std::string& path() const;
+
+    // sys_listen: installs the listener object on a bare socket slot.
+    void InstallListener(VRef<VListener> listener);
+    // sys_connect: installs the connection and flips the kind.
+    void PromoteToClientConn(VRef<VConnection> conn);
+
+   private:
+    friend class FdTable;
+    Ref(FdTable* table, Slot* slot, bool leased)
+        : table_(table), slot_(slot), leased_(leased) {}
+    void Release();
+
+    FdTable* table_ = nullptr;
+    Slot* slot_ = nullptr;
+    bool leased_ = false;
+  };
+
+  // Allocates the lowest free descriptor and installs `entry`; -EMFILE when
+  // the table is full.
   int32_t Allocate(FdEntry entry);
   // Duplicates `fd` into the lowest free slot; -EBADF if invalid.
   int32_t Dup(int32_t fd);
-  // Returns nullptr if `fd` is invalid or free. The returned pointer is valid
-  // until Close(fd); callers must not cache it across syscalls.
-  FdEntry* Get(int32_t fd);
+  // Returns an empty Ref if `fd` is invalid or free.
+  Ref Get(int32_t fd);
   // Releases the descriptor; returns 0 or -EBADF. Closing the last pipe /
   // connection descriptor closes the underlying endpoint.
   int64_t Close(int32_t fd);
@@ -68,17 +161,75 @@ class FdTable {
   size_t LiveCount() const;
 
   // The ordering domain of `fd`, or OrderDomainIds::kNone if the descriptor
-  // is invalid/free. Returned by value (not via Get()) so the monitor can
-  // read it without holding a pointer into the table across the call.
+  // is invalid/free. Returned by value so the monitor can read it without
+  // holding a lease across the call.
   uint32_t OrderDomainOf(int32_t fd) const;
 
   // The VFile behind stdout (fd 1); convenient for output assertions.
-  std::shared_ptr<VFile> StdoutFile() const { return stdout_file_; }
+  VRef<VFile> StdoutFile() const { return stdout_file_; }
+
+  // One descriptor slot. [gen:32][readers:32]; gen odd = live. The state
+  // word is the only rendezvous between lock-free readers and the mutate
+  // paths: Allocate publishes the filled slot with a release gen bump,
+  // readers validate with an acquire RMW, Close bumps gen again and drains
+  // the reader count before tearing the payload down.
+  //
+  // `obj_kind` packs the owned VObject* and the FdKind into ONE atomic word
+  // ([ptr:61][kind:3]; VObject alignment >= 8 keeps the low bits free) so a
+  // lock-free reader can never pair a stale kind with a new object — the
+  // kind is what licenses the downcast, so splitting them would be a
+  // type-confusion window on connect's listener -> connection flip.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> state{0};
+    std::atomic<uintptr_t> obj_kind{0};
+    std::atomic<uint64_t> offset{0};
+    std::atomic<uint16_t> port{0};
+    int64_t flags = 0;          // frozen after allocation
+    uint32_t order_domain = 0;  // frozen after allocation
+    std::string path;           // frozen after allocation
+  };
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<FdEntry> entries_;
-  std::shared_ptr<VFile> stdout_file_;
+  static constexpr uint64_t kReaderOne = 1;
+  static constexpr uint64_t kGenOne = uint64_t{1} << 32;
+  static constexpr bool LiveState(uint64_t state) { return ((state >> 32) & 1) != 0; }
+  static constexpr uint32_t ReadersOf(uint64_t state) {
+    return static_cast<uint32_t>(state & 0xffffffffu);
+  }
+
+  static constexpr uintptr_t kKindMask = 7;
+  static FdKind KindOf(uintptr_t word) { return static_cast<FdKind>(word & kKindMask); }
+  static VObject* ObjectOf(uintptr_t word) {
+    return reinterpret_cast<VObject*>(word & ~kKindMask);
+  }
+  static uintptr_t PackObjKind(VObject* object, FdKind kind) {
+    return reinterpret_cast<uintptr_t>(object) | static_cast<uintptr_t>(kind);
+  }
+
+  // Defers the release of an object displaced from a live slot (degenerate
+  // re-listen / re-connect): a leased reader may still hold the raw pointer,
+  // and the lease pins the slot, not the object. Displacements are
+  // essentially nonexistent in real traffic, so parking them until table
+  // destruction is cheaper than a reclamation protocol.
+  void RetireObject(VObject* object);
+
+  // Fills `slot` from `entry` and publishes it live. Allocation lock held.
+  void Publish(Slot& slot, FdEntry&& entry);
+  // Finds the lowest free fd in the bitmap, or -1. Allocation lock held.
+  int32_t LowestFree() const;
+  // Drains reader leases and tears the slot down. Allocation lock held;
+  // `state_after_kill` is the state word right after the gen flip.
+  void TearDown(Slot& slot, uint64_t state_after_kill);
+
+  const bool sharded_;
+  mutable std::mutex mutex_;  // allocation/teardown (every op in baseline)
+  std::array<Slot, kMaxFds> slots_;
+  std::array<uint64_t, kMaxFds / 64> live_bitmap_{};
+  // Displaced-object parking lot (RetireObject). Own mutex: retirement runs
+  // under a slot lease, and mutex_ may be held by a Close draining leases.
+  std::mutex retired_mutex_;
+  std::vector<VObject*> retired_;
+  VRef<VFile> stdout_file_;
   // Next per-fd ordering domain id. Monotonic (no reuse); every variant's
   // table hands out the same sequence because fd-namespace calls are totally
   // ordered by the monitor, so only the master's ids ever reach the wire.

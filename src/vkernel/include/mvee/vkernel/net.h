@@ -5,6 +5,11 @@
 // provides per-port listeners with accept queues and bidirectional byte
 // stream connections. Only the master variant executes network I/O; results
 // are replicated (accept/connect/send/recv are kReplicated syscalls).
+//
+// Connections and listeners are waitable: each owns a WaitQueue fired on
+// every state change (sys_poll parks on it instead of re-scanning on a sleep
+// quantum) and registers in the kernel's WaitRegistry so teardown closes
+// everything from one place (waitq.h).
 
 #ifndef MVEE_VKERNEL_NET_H_
 #define MVEE_VKERNEL_NET_H_
@@ -13,16 +18,19 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <memory>
 #include <mutex>
-#include <vector>
+
+#include "mvee/vkernel/vobject.h"
+#include "mvee/vkernel/waitq.h"
 
 namespace mvee {
 
-// One direction of a connection: a bounded blocking byte stream.
+// One direction of a connection: a bounded blocking byte stream. `sink` is
+// the owning connection's WaitQueue, fired on every state change.
 class ByteStream {
  public:
-  explicit ByteStream(size_t capacity = 262144) : capacity_(capacity) {}
+  explicit ByteStream(size_t capacity = 262144, WaitQueue* sink = nullptr)
+      : capacity_(capacity), sink_(sink) {}
 
   // Blocks until data or close. Returns bytes read; 0 on orderly shutdown.
   int64_t Read(uint8_t* out, uint64_t size);
@@ -36,7 +44,14 @@ class ByteStream {
   bool Writable() const;
 
  private:
+  void NotifySink() {
+    if (sink_ != nullptr) {
+      sink_->Notify();
+    }
+  }
+
   const size_t capacity_;
+  WaitQueue* const sink_;
   mutable std::mutex mutex_;
   std::condition_variable readable_;
   std::condition_variable writable_;
@@ -46,77 +61,106 @@ class ByteStream {
 
 // A full-duplex connection: the accept side reads what the connect side
 // writes and vice versa.
-class VConnection {
+class VConnection : public VObject, public Waitable {
  public:
-  VConnection()
-      : client_to_server_(std::make_shared<ByteStream>()),
-        server_to_client_(std::make_shared<ByteStream>()) {}
+  explicit VConnection(WaitRegistry* registry = nullptr)
+      : client_to_server_(kStreamCapacity, &waitq_),
+        server_to_client_(kStreamCapacity, &waitq_) {
+    RegisterWaitable(registry);
+  }
+  // Unregister while the members a concurrent ShutdownWake touches still
+  // exist (see Waitable::UnregisterWaitable).
+  ~VConnection() override { UnregisterWaitable(); }
 
   // Server-side (accepted socket) operations.
-  int64_t ServerRead(uint8_t* out, uint64_t size) { return client_to_server_->Read(out, size); }
+  int64_t ServerRead(uint8_t* out, uint64_t size) { return client_to_server_.Read(out, size); }
   int64_t ServerWrite(const uint8_t* data, uint64_t size) {
-    return server_to_client_->Write(data, size);
+    return server_to_client_.Write(data, size);
   }
   // Client-side operations.
-  int64_t ClientRead(uint8_t* out, uint64_t size) { return server_to_client_->Read(out, size); }
+  int64_t ClientRead(uint8_t* out, uint64_t size) { return server_to_client_.Read(out, size); }
   int64_t ClientWrite(const uint8_t* data, uint64_t size) {
-    return client_to_server_->Write(data, size);
+    return client_to_server_.Write(data, size);
   }
 
-  bool ServerReadable() const { return client_to_server_->Readable(); }
-  bool ServerWritable() const { return server_to_client_->Writable(); }
-  bool ClientReadable() const { return server_to_client_->Readable(); }
-  bool ClientWritable() const { return client_to_server_->Writable(); }
+  bool ServerReadable() const { return client_to_server_.Readable(); }
+  bool ServerWritable() const { return server_to_client_.Writable(); }
+  bool ClientReadable() const { return server_to_client_.Readable(); }
+  bool ClientWritable() const { return client_to_server_.Writable(); }
 
-  void CloseServerSide() { server_to_client_->Close(); }
-  void CloseClientSide() { client_to_server_->Close(); }
+  void CloseServerSide() { server_to_client_.Close(); }
+  void CloseClientSide() { client_to_server_.Close(); }
   void CloseBoth() {
-    client_to_server_->Close();
-    server_to_client_->Close();
+    client_to_server_.Close();
+    server_to_client_.Close();
   }
+
+  WaitQueue* waitq() override { return &waitq_; }
+  void ShutdownWake() override { CloseBoth(); }
 
  private:
-  std::shared_ptr<ByteStream> client_to_server_;
-  std::shared_ptr<ByteStream> server_to_client_;
+  static constexpr size_t kStreamCapacity = 262144;
+
+  WaitQueue waitq_;
+  ByteStream client_to_server_;
+  ByteStream server_to_client_;
 };
 
 // Listening socket: pending-connection queue.
-class VListener {
+class VListener : public VObject, public Waitable {
  public:
-  explicit VListener(int backlog) : backlog_(backlog) {}
+  explicit VListener(int backlog, WaitRegistry* registry = nullptr) : backlog_(backlog) {
+    RegisterWaitable(registry);
+  }
+  // Unregister while the members a concurrent ShutdownWake touches still
+  // exist (see Waitable::UnregisterWaitable).
+  ~VListener() override { UnregisterWaitable(); }
 
   // Client side: enqueues a new connection; fails with -ECONNREFUSED if the
   // listener is closed or the backlog is full.
-  int64_t PushConnection(std::shared_ptr<VConnection> conn);
+  int64_t PushConnection(VRef<VConnection> conn);
   // Server side: blocks until a connection or close. nullptr on close.
-  std::shared_ptr<VConnection> Accept();
+  VRef<VConnection> Accept();
+  // Non-blocking half for wait-queue-driven accepts: pops a pending
+  // connection, or returns nullptr with *closed set when the listener died.
+  VRef<VConnection> TryAccept(bool* closed);
   // sys_poll readiness: an Accept would not block.
   bool HasPending() const;
   void Close();
+
+  WaitQueue* waitq() override { return &waitq_; }
+  void ShutdownWake() override { Close(); }
 
  private:
   const int backlog_;
   mutable std::mutex mutex_;
   std::condition_variable pending_cv_;
-  std::deque<std::shared_ptr<VConnection>> pending_;
+  std::deque<VRef<VConnection>> pending_;
+  WaitQueue waitq_;
   bool closed_ = false;
 };
 
-// Port -> listener registry shared by the whole machine.
+// Port -> listener registry shared by the whole machine. When constructed by
+// a VirtualKernel it carries the kernel's WaitRegistry, which every listener
+// and connection it creates registers with.
 class VirtualNetwork {
  public:
+  explicit VirtualNetwork(WaitRegistry* registry = nullptr) : registry_(registry) {}
+
   // Returns 0 or -EADDRINUSE.
-  int64_t Listen(uint16_t port, int backlog, std::shared_ptr<VListener>* out);
+  int64_t Listen(uint16_t port, int backlog, VRef<VListener>* out);
   // Returns a connected VConnection or nullptr (-ECONNREFUSED semantics).
-  std::shared_ptr<VConnection> Connect(uint16_t port);
+  VRef<VConnection> Connect(uint16_t port);
   void CloseListener(uint16_t port);
-  // Closes every listener and every live connection (MVEE shutdown path).
+  // Closes every listener and empties the port map. Live connections belong
+  // to the WaitRegistry (ShutdownAll closes them); a standalone network
+  // (tests) closes only what it tracks.
   void CloseAll();
 
  private:
+  WaitRegistry* const registry_;
   std::mutex mutex_;
-  std::map<uint16_t, std::shared_ptr<VListener>> listeners_;
-  std::vector<std::weak_ptr<VConnection>> connections_;
+  std::map<uint16_t, VRef<VListener>> listeners_;
 };
 
 }  // namespace mvee

@@ -4,6 +4,11 @@
 // replicated calls), so real blocking on a condition variable is safe here —
 // the monitor does not hold the syscall ordering clock's critical section
 // around replicated calls (paper §4.1 Limitations).
+//
+// Every state change additionally fires the pipe's WaitQueue so sys_poll
+// blocks on wakeups instead of re-scanning on a sleep quantum (waitq.h), and
+// the pipe registers itself in the kernel's WaitRegistry so MVEE teardown
+// closes it from one place.
 
 #ifndef MVEE_VKERNEL_PIPE_H_
 #define MVEE_VKERNEL_PIPE_H_
@@ -13,11 +18,20 @@
 #include <deque>
 #include <mutex>
 
+#include "mvee/vkernel/vobject.h"
+#include "mvee/vkernel/waitq.h"
+
 namespace mvee {
 
-class VPipe {
+class VPipe : public VObject, public Waitable {
  public:
-  explicit VPipe(size_t capacity = 65536) : capacity_(capacity) {}
+  explicit VPipe(size_t capacity = 65536, WaitRegistry* registry = nullptr)
+      : capacity_(capacity) {
+    RegisterWaitable(registry);
+  }
+  // Unregister while the members a concurrent ShutdownWake touches still
+  // exist (see Waitable::UnregisterWaitable).
+  ~VPipe() override { UnregisterWaitable(); }
 
   // Blocks until at least 1 byte is available or the write end closes.
   // Returns bytes read, 0 on EOF.
@@ -32,12 +46,21 @@ class VPipe {
   bool write_closed() const;
   size_t BytesBuffered() const;
 
+  WaitQueue* waitq() override { return &waitq_; }
+
+  // Waitable: close both ends so blocked readers/writers (and pollers) wake.
+  void ShutdownWake() override {
+    CloseWriteEnd();
+    CloseReadEnd();
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable readable_;
   std::condition_variable writable_;
   std::deque<uint8_t> buffer_;
+  WaitQueue waitq_;
   bool write_closed_ = false;
   bool read_closed_ = false;
 };

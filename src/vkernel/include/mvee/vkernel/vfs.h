@@ -4,16 +4,27 @@
 // between the variants' processes too); each variant process has its own file
 // descriptor table on top (fd_table.h). Open flags follow a small subset of
 // POSIX semantics: create, truncate, append, read/write.
+//
+// Concurrency (docs/DESIGN.md §7): under the sharded mode the path/inode
+// namespace is striped into lock-striped buckets selected by path hash, and
+// every thread keeps a small direct-mapped open-file handle cache so the
+// open() of a hot path (the http server's document, a bench blob) takes no
+// lock at all. Unlink/PutFile bump a generation the caches validate against.
+// The seed's one-mutex-one-map layout survives as the measurable baseline
+// (sharded = false).
 
 #ifndef MVEE_VKERNEL_VFS_H_
 #define MVEE_VKERNEL_VFS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "mvee/vkernel/vkernel_config.h"
+#include "mvee/vkernel/vobject.h"
 
 namespace mvee {
 
@@ -28,7 +39,7 @@ struct VOpenFlags {
 };
 
 // A regular file: byte vector + lock. Thread-safe at the operation level.
-class VFile {
+class VFile : public VObject {
  public:
   // Reads up to `size` bytes at `offset`; returns bytes read (0 at EOF).
   int64_t ReadAt(uint64_t offset, uint8_t* out, uint64_t size) const;
@@ -54,8 +65,10 @@ struct VStat {
 // Path -> file map. Flat namespace (no directories); paths are opaque keys.
 class Vfs {
  public:
+  explicit Vfs(bool sharded = DefaultShardedVkernel());
+
   // Returns the file, creating it if `create`. nullptr if absent and !create.
-  std::shared_ptr<VFile> Open(const std::string& path, bool create);
+  VRef<VFile> Open(const std::string& path, bool create);
   bool Exists(const std::string& path) const;
   // Returns negative errno or 0.
   int64_t Stat(const std::string& path, VStat* out) const;
@@ -65,11 +78,35 @@ class Vfs {
   void PutFile(const std::string& path, std::vector<uint8_t> contents);
   size_t FileCount() const;
 
+  bool sharded() const { return sharded_; }
+
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<VFile>> files_;
-  uint64_t next_inode_ = 1;
-  std::map<std::string, uint64_t> inodes_;
+  // Stripe count: power of two, sized so unrelated paths rarely share a
+  // lock. Cache-line padded so stripe locks never false-share.
+  static constexpr size_t kStripes = 16;
+
+  struct Entry {
+    VRef<VFile> file;
+    uint64_t inode = 0;
+  };
+  struct alignas(64) Stripe {
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> files;
+  };
+
+  Stripe& StripeFor(const std::string& path);
+  const Stripe& StripeFor(const std::string& path) const;
+  VRef<VFile> OpenSlow(const std::string& path, bool create);
+
+  const bool sharded_;
+  // Identifies this instance in the thread-local handle caches (instances
+  // can be destroyed and reallocated at the same address).
+  const uint64_t vfs_id_;
+  // Bumped by Unlink (the only absent-making transition); handle-cache
+  // entries stamped with an older generation are dead.
+  std::atomic<uint64_t> generation_{1};
+  std::atomic<uint64_t> next_inode_{1};
+  Stripe stripes_[kStripes];
 };
 
 }  // namespace mvee

@@ -5,12 +5,20 @@
 // (see docs/DESIGN.md §2). The monitor is the only component that calls Execute;
 // variant code always traps through the monitor first, which is what gives
 // the MVEE its interposition point (paper Figure 1).
+//
+// Concurrency: every shared structure is sharded or lock-free on its hot
+// path under `sharded` (docs/DESIGN.md §7) — striped VFS namespace with a
+// per-thread handle cache, lock-free generation-tagged fd lookups, hashed
+// futex shards with intrusive wait queues, per-thread-set counted RNG
+// streams, and a wait-queue readiness subsystem that poll/accept block on
+// instead of busy-polling. The seed's global-mutex implementations survive
+// as the measurable in-run baseline (sharded = false / MVEE_SHARDED_VKERNEL=0),
+// mirroring MveeOptions::waitfree_rendezvous and sharded_order_domains.
 
 #ifndef MVEE_VKERNEL_VKERNEL_H_
 #define MVEE_VKERNEL_VKERNEL_H_
 
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -21,8 +29,18 @@
 #include "mvee/vkernel/net.h"
 #include "mvee/vkernel/process.h"
 #include "mvee/vkernel/vfs.h"
+#include "mvee/vkernel/vkernel_config.h"
+#include "mvee/vkernel/waitq.h"
 
 namespace mvee {
+
+// Plain snapshot of the kernel's wait/readiness counters (MveeReport carries
+// these so "poll blocks on wakeups, not spins" is observable in runs).
+struct VKernelStatsSnapshot {
+  uint64_t waitq_waits = 0;
+  uint64_t waitq_wakeups = 0;
+  uint64_t waitq_shutdown_wakes = 0;
+};
 
 // Calling conventions per sysno (args in SyscallRequest):
 //   open(path, arg0=flags) -> fd
@@ -45,7 +63,7 @@ namespace mvee {
 //   clone() -> new kernel tid               sched_yield() -> 0
 class VirtualKernel {
  public:
-  explicit VirtualKernel(uint64_t rng_seed = 42) : rng_(rng_seed) {}
+  explicit VirtualKernel(uint64_t rng_seed = 42, bool sharded = DefaultShardedVkernel());
 
   // Executes one syscall for `process`. Thread-safe.
   SyscallResult Execute(ProcessState& process, const SyscallRequest& request);
@@ -54,11 +72,12 @@ class VirtualKernel {
   // a descriptor. The blocking half must run outside the syscall-ordering
   // critical section (§4.1 forbids ordering blocking calls) while the fd
   // allocation must run inside it, or slave fd tables drift relative to
-  // ordered close/open traffic. AcceptBlocking performs only the wait;
-  // FinishAccept installs the descriptor (fast, order-section safe).
-  std::shared_ptr<VConnection> AcceptBlocking(ProcessState& process, int32_t listen_fd,
-                                              int64_t* error);
-  int64_t FinishAccept(ProcessState& process, std::shared_ptr<VConnection> conn);
+  // ordered close/open traffic. AcceptBlocking performs only the wait (on
+  // the listener's wait queue under the sharded mode, on the listener's
+  // condvar otherwise); FinishAccept installs the descriptor (fast,
+  // order-section safe).
+  VRef<VConnection> AcceptBlocking(ProcessState& process, int32_t listen_fd, int64_t* error);
+  int64_t FinishAccept(ProcessState& process, VRef<VConnection> conn);
 
   // Applies the side effects of a master-executed (replicated) syscall to a
   // slave process: advances file offsets, installs shadow descriptors for
@@ -75,30 +94,66 @@ class VirtualKernel {
   // the domain id from the master's stamped result.
   uint32_t OrderDomainOf(ProcessState& process, const SyscallRequest& request);
 
-  // Wakes/closes everything a variant thread could be blocked on; used by the
-  // monitor when tearing the variants down after a divergence.
+  // Wakes/closes everything a variant thread could be blocked on; used by
+  // the monitor when tearing the variants down after a divergence. Drains
+  // ONE registry: every waitable object (pipe, connection, listener, the
+  // futex table) registered itself at creation (waitq.h).
   void ShutdownBlockedCalls();
 
   Vfs& vfs() { return vfs_; }
   VirtualNetwork& network() { return network_; }
   VirtualClock& clock() { return clock_; }
   FutexTable& futexes() { return futexes_; }
+  WaitRegistry& wait_registry() { return wait_registry_; }
+  bool sharded() const { return sharded_; }
+
+  VKernelStatsSnapshot stats() const {
+    // Const-correct read of the registry's relaxed counters.
+    auto& stats = const_cast<VirtualKernel*>(this)->wait_registry_.stats();
+    VKernelStatsSnapshot snapshot;
+    snapshot.waitq_waits = stats.waits.load(std::memory_order_relaxed);
+    snapshot.waitq_wakeups = stats.wakeups.load(std::memory_order_relaxed);
+    snapshot.waitq_shutdown_wakes = stats.shutdown_wakes.load(std::memory_order_relaxed);
+    return snapshot;
+  }
 
  private:
   SyscallResult ExecuteFile(ProcessState& process, const SyscallRequest& request);
   SyscallResult ExecuteMemory(ProcessState& process, const SyscallRequest& request);
   SyscallResult ExecuteNet(ProcessState& process, const SyscallRequest& request);
   SyscallResult ExecutePoll(ProcessState& process, const SyscallRequest& request);
+  SyscallResult ExecutePollLegacy(ProcessState& process, const SyscallRequest& request);
   SyscallResult ExecuteTime(const SyscallRequest& request);
+  SyscallResult ExecuteGetrandom(const SyscallRequest& request);
 
+  // Scans the poll set once. Returns the ready count; `waiter`, when
+  // non-null, is subscribed to every waitable fd's queue before its state is
+  // read (the subscribe-then-scan ordering the wakeup protocol needs).
+  int64_t ScanPollSet(ProcessState& process, const SyscallRequest& request,
+                      uint8_t* revents_buf, size_t nfds, Waiter* waiter,
+                      std::vector<VRef<VObject>>* pinned);
+
+  // Per-thread-set counted RNG streams: getrandom from logical tid T draws
+  // from stream T, so concurrent thread sets never serialize on one lock —
+  // and each stream's sequence depends only on (seed, tid, draw index),
+  // which makes traces reproducible regardless of cross-thread timing. The
+  // monitor's rendezvous guarantees at most one in-flight syscall per thread
+  // set, so a stream needs no lock at all. Streams beyond the static range
+  // and the non-sharded baseline share rng_ under rng_mutex_.
+  static constexpr uint32_t kRngStreams = 256;
+  struct alignas(64) RngStream {
+    Rng rng;
+  };
+
+  const bool sharded_;
+  WaitRegistry wait_registry_;
   Vfs vfs_;
   VirtualNetwork network_;
   VirtualClock clock_;
   FutexTable futexes_;
   std::mutex rng_mutex_;
   Rng rng_;
-  std::mutex pipes_mutex_;
-  std::vector<std::weak_ptr<VPipe>> pipes_;
+  RngStream rng_streams_[kRngStreams];
 };
 
 }  // namespace mvee

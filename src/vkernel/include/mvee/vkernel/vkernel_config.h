@@ -1,0 +1,28 @@
+// Virtual-kernel concurrency mode default.
+//
+// Kept in its own tiny header so both the monitor's MveeOptions and the
+// vkernel components that are constructed outside an Mvee (unit tests,
+// NativeRunner processes) resolve the same default without the options
+// header depending on the whole vkernel or vice versa.
+
+#ifndef MVEE_VKERNEL_VKERNEL_CONFIG_H_
+#define MVEE_VKERNEL_VKERNEL_CONFIG_H_
+
+#include <cstdlib>
+
+namespace mvee {
+
+// Default for MveeOptions::sharded_vkernel and the standalone vkernel
+// component constructors: on, unless the environment forces the seed's
+// global-mutex baseline (MVEE_SHARDED_VKERNEL=0). The override lets the
+// entire existing test suite sweep either implementation without edits
+// (`MVEE_SHARDED_VKERNEL=0 ctest`), mirroring MVEE_WAITFREE_RENDEZVOUS;
+// explicit assignments in code always win.
+inline bool DefaultShardedVkernel() {
+  const char* env = std::getenv("MVEE_SHARDED_VKERNEL");
+  return env == nullptr || env[0] != '0';
+}
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_VKERNEL_CONFIG_H_

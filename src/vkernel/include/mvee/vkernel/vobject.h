@@ -1,0 +1,134 @@
+// Intrusive refcounted base for virtual kernel objects.
+//
+// Every descriptor-reachable kernel object (VFile, VPipe, VListener,
+// VConnection) derives from VObject and is held through VRef<T>. The seed
+// kept four std::shared_ptr fields per fd entry — 64 bytes of mostly-null
+// pointers, two atomic refcount bumps per copy, and a separate control block
+// allocation per object. A VRef is one raw pointer; the refcount lives in
+// the object itself, so an fd-table slot can publish a single VObject* that
+// lock-free readers validate with the slot's generation tag (fd_table.h).
+
+#ifndef MVEE_VKERNEL_VOBJECT_H_
+#define MVEE_VKERNEL_VOBJECT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace mvee {
+
+class WaitQueue;
+
+class VObject {
+ public:
+  VObject() = default;
+  VObject(const VObject&) = delete;
+  VObject& operator=(const VObject&) = delete;
+  virtual ~VObject() = default;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() {
+    // acq_rel: the deleting thread must observe every other thread's final
+    // writes to the object (their Unrefs release, the last one acquires).
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete this;
+    }
+  }
+  uint32_t RefCount() const { return refs_.load(std::memory_order_relaxed); }
+
+  // The readiness queue sys_poll subscribes to, or nullptr for objects that
+  // are always ready (regular files).
+  virtual WaitQueue* waitq() { return nullptr; }
+
+ private:
+  std::atomic<uint32_t> refs_{1};  // Creator owns the initial reference.
+};
+
+// Intrusive smart pointer over VObject subclasses. Adopts (does not Ref) on
+// raw-pointer construction — pair with `new T` or VObject::Ref'd pointers.
+template <typename T>
+class VRef {
+ public:
+  VRef() = default;
+  VRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  // Adopts `adopted`: takes over one existing reference.
+  explicit VRef(T* adopted) : ptr_(adopted) {}
+
+  VRef(const VRef& other) : ptr_(other.ptr_) {
+    if (ptr_ != nullptr) {
+      ptr_->Ref();
+    }
+  }
+  VRef(VRef&& other) noexcept : ptr_(other.ptr_) { other.ptr_ = nullptr; }
+
+  template <typename U>
+  VRef(const VRef<U>& other) : ptr_(other.get()) {  // NOLINT: converting copy
+    if (ptr_ != nullptr) {
+      ptr_->Ref();
+    }
+  }
+
+  VRef& operator=(const VRef& other) {
+    VRef(other).Swap(*this);
+    return *this;
+  }
+  VRef& operator=(VRef&& other) noexcept {
+    VRef(std::move(other)).Swap(*this);
+    return *this;
+  }
+  VRef& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  ~VRef() { Reset(); }
+
+  void Reset() {
+    if (ptr_ != nullptr) {
+      ptr_->Unref();
+      ptr_ = nullptr;
+    }
+  }
+
+  // Releases ownership without dropping the reference.
+  T* Release() {
+    T* ptr = ptr_;
+    ptr_ = nullptr;
+    return ptr;
+  }
+
+  void Swap(VRef& other) { std::swap(ptr_, other.ptr_); }
+
+  T* get() const { return ptr_; }
+  T* operator->() const { return ptr_; }
+  T& operator*() const { return *ptr_; }
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+  friend bool operator==(const VRef& a, const VRef& b) { return a.ptr_ == b.ptr_; }
+  friend bool operator==(const VRef& a, std::nullptr_t) { return a.ptr_ == nullptr; }
+  friend bool operator==(std::nullptr_t, const VRef& a) { return a.ptr_ == nullptr; }
+  friend bool operator!=(const VRef& a, const VRef& b) { return a.ptr_ != b.ptr_; }
+  friend bool operator!=(const VRef& a, std::nullptr_t) { return a.ptr_ != nullptr; }
+
+ private:
+  T* ptr_ = nullptr;
+};
+
+// Shares an existing (alive) object: bumps the refcount.
+template <typename T>
+VRef<T> ShareVRef(T* alive) {
+  if (alive != nullptr) {
+    alive->Ref();
+  }
+  return VRef<T>(alive);
+}
+
+template <typename T, typename... Args>
+VRef<T> MakeVRef(Args&&... args) {
+  return VRef<T>(new T(std::forward<Args>(args)...));
+}
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_VOBJECT_H_

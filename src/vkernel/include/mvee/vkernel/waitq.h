@@ -1,0 +1,175 @@
+// Wait-queue / readiness subsystem for the virtual kernel.
+//
+// The seed's ExecutePoll discovered readiness by polling: scan every fd,
+// sleep 200us, scan again — burning a timeslice per wakeup and bounding
+// poll latency at the sleep quantum. This module gives every waitable kernel
+// object (pipe, connection, listener) a WaitQueue it notifies on state
+// change, and gives blocking call sites a stack-allocated Waiter that can
+// subscribe to any number of queues and park until one of them fires
+// (docs/DESIGN.md §7). ShutdownBlockedCalls drains ONE registry: every
+// waitable object registers itself in the kernel's WaitRegistry at creation
+// and unregisters in its destructor, so MVEE teardown is "close every
+// registered waitable, set the shutdown flag, wake everything" — no more
+// per-kind weak_ptr lists that grow forever (the seed's VirtualKernel::pipes_
+// leaked one expired weak_ptr per pipe ever created).
+//
+// Protocol (same Dekker discipline as util/park.h):
+//   waiter:   Subscribe (seq_cst RMW on subscriber count) -> scan object
+//             state -> Wait (parks only if no signal arrived since Prepare)
+//   notifier: publish object state (release, under the object's own lock)
+//             -> Notify (seq_cst fence; skip when nobody is subscribed)
+// Either the waiter's scan observes the published state, or the notifier
+// observes the subscriber and signals it. Every park is additionally bounded
+// by a small slice, so even a missed edge degrades to slice-granularity
+// polling instead of a hang.
+
+#ifndef MVEE_VKERNEL_WAITQ_H_
+#define MVEE_VKERNEL_WAITQ_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "mvee/util/park.h"
+
+namespace mvee {
+
+class Waiter;
+class WaitRegistry;
+
+// Counters for the readiness subsystem (exposed through VirtualKernel::stats
+// and MveeReport so "poll blocks on wakeups, not spins" is observable).
+struct WaitStats {
+  std::atomic<uint64_t> waits{0};         // parks that actually slept
+  std::atomic<uint64_t> wakeups{0};       // parks ended by a queue signal
+  std::atomic<uint64_t> shutdown_wakes{0};  // parks ended by registry shutdown
+};
+
+// Readiness signal hub embedded in a waitable object. Notify is cheap when
+// nobody is subscribed (one fence + one load), which is the common case for
+// every pipe write outside a poll.
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  // Wakes every subscribed waiter. Call after publishing the state change.
+  void Notify();
+
+ private:
+  friend class Waiter;
+  void Subscribe(Waiter* waiter);
+  void Unsubscribe(Waiter* waiter);
+
+  std::atomic<uint32_t> subscriber_count_{0};
+  std::mutex mutex_;
+  std::vector<Waiter*> subscribers_;
+};
+
+// One blocking call site (stack-allocated). Subscribe to the queues of the
+// objects whose state you wait on, then loop { Prepare; scan; Wait }.
+class Waiter {
+ public:
+  explicit Waiter(WaitRegistry* registry);
+  ~Waiter();
+  Waiter(const Waiter&) = delete;
+  Waiter& operator=(const Waiter&) = delete;
+
+  // Idempotent per queue; the subscription lasts until destruction. Callers
+  // must keep the queue's owning object alive (hold a VRef) while subscribed.
+  void Subscribe(WaitQueue* queue);
+
+  // Consumes any pending signal. Call before re-scanning object state.
+  void Prepare() { signaled_.store(0, std::memory_order_relaxed); }
+
+  // Parks until a subscribed queue fires, `deadline` passes (when `timed`),
+  // or the registry shuts down. Returns true if a signal/shutdown ended the
+  // wait, false on deadline. Spurious slice-bounded returns report true.
+  bool Wait(std::chrono::steady_clock::time_point deadline, bool timed);
+
+  // True once the owning registry's ShutdownAll ran (never, with no
+  // registry). Blocking loops must re-check this each iteration.
+  bool ShutdownRequested() const;
+
+ private:
+  friend class WaitQueue;
+  friend class WaitRegistry;
+  void Signal();
+
+  WaitRegistry* const registry_;
+  std::atomic<uint32_t> signaled_{0};
+  ParkingSpot spot_;
+  std::vector<WaitQueue*> subscribed_;
+};
+
+// A kernel object whose blocked callers must be woken at MVEE teardown.
+class Waitable {
+ public:
+  virtual ~Waitable();
+  // Close/wake everything a caller could be blocked on. Called once per
+  // object by WaitRegistry::ShutdownAll with the registry lock held; must
+  // only take the object's own lock.
+  virtual void ShutdownWake() = 0;
+
+ protected:
+  // Registers with `registry` (nullptr: standalone object, no registration).
+  void RegisterWaitable(WaitRegistry* registry);
+
+  // Every registered subclass MUST call this first thing in its own
+  // destructor: the base-class destructor runs only after the derived
+  // members are torn down, which would leave a window where ShutdownAll
+  // finds the slot and invokes ShutdownWake on a half-destroyed object.
+  // Blocks while a shutdown walk is in flight; idempotent.
+  void UnregisterWaitable();
+
+ private:
+  friend class WaitRegistry;
+  WaitRegistry* wait_registry_ = nullptr;
+  size_t registry_slot_ = 0;
+};
+
+// The one registry ShutdownBlockedCalls drains. Slots are free-listed, so a
+// workload that churns pipes/connections reuses entries instead of growing
+// the table (the fix for the seed's unbounded pipes_ vector).
+class WaitRegistry {
+ public:
+  WaitRegistry() = default;
+  WaitRegistry(const WaitRegistry&) = delete;
+  WaitRegistry& operator=(const WaitRegistry&) = delete;
+
+  // Sets the shutdown flag, calls ShutdownWake on every live waitable, and
+  // wakes every parked Waiter. Idempotent.
+  void ShutdownAll();
+
+  bool shutdown() const { return shutdown_.load(std::memory_order_acquire); }
+
+  // Live registered waitables (diagnostics / leak tests).
+  size_t LiveCount() const;
+  // Total slots ever allocated; stays flat under churn thanks to the free
+  // list (leak regression test).
+  size_t SlotCount() const;
+
+  WaitStats& stats() { return stats_; }
+
+ private:
+  friend class Waitable;
+  friend class Waiter;
+  void Register(Waitable* waitable);
+  void Unregister(Waitable* waitable);
+  void TrackWaiter(Waiter* waiter);
+  void UntrackWaiter(Waiter* waiter);
+
+  std::atomic<bool> shutdown_{false};
+  mutable std::mutex mutex_;
+  std::vector<Waitable*> slots_;  // nullptr = free
+  std::vector<size_t> free_slots_;
+  std::vector<Waiter*> waiters_;
+  WaitStats stats_;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_VKERNEL_WAITQ_H_

@@ -6,42 +6,52 @@
 namespace mvee {
 
 int64_t ByteStream::Read(uint8_t* out, uint64_t size) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  readable_.wait(lock, [&] { return !buffer_.empty() || closed_; });
-  if (buffer_.empty()) {
-    return 0;
+  uint64_t n = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    readable_.wait(lock, [&] { return !buffer_.empty() || closed_; });
+    if (buffer_.empty()) {
+      return 0;
+    }
+    n = std::min<uint64_t>(size, buffer_.size());
+    for (uint64_t i = 0; i < n; ++i) {
+      out[i] = buffer_.front();
+      buffer_.pop_front();
+    }
+    writable_.notify_all();
   }
-  const uint64_t n = std::min<uint64_t>(size, buffer_.size());
-  for (uint64_t i = 0; i < n; ++i) {
-    out[i] = buffer_.front();
-    buffer_.pop_front();
-  }
-  writable_.notify_all();
+  NotifySink();  // Space freed: peers polling for kOut.
   return static_cast<int64_t>(n);
 }
 
 int64_t ByteStream::Write(const uint8_t* data, uint64_t size) {
-  std::unique_lock<std::mutex> lock(mutex_);
   uint64_t written = 0;
   while (written < size) {
-    writable_.wait(lock, [&] { return buffer_.size() < capacity_ || closed_; });
-    if (closed_) {
-      return -ECONNRESET;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      writable_.wait(lock, [&] { return buffer_.size() < capacity_ || closed_; });
+      if (closed_) {
+        return -ECONNRESET;
+      }
+      const uint64_t room = capacity_ - buffer_.size();
+      const uint64_t n = std::min(room, size - written);
+      buffer_.insert(buffer_.end(), data + written, data + written + n);
+      written += n;
+      readable_.notify_all();
     }
-    const uint64_t room = capacity_ - buffer_.size();
-    const uint64_t n = std::min(room, size - written);
-    buffer_.insert(buffer_.end(), data + written, data + written + n);
-    written += n;
-    readable_.notify_all();
+    NotifySink();  // Data available: peers parked in poll.
   }
   return static_cast<int64_t>(written);
 }
 
 void ByteStream::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  closed_ = true;
-  readable_.notify_all();
-  writable_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    readable_.notify_all();
+    writable_.notify_all();
+  }
+  NotifySink();
 }
 
 bool ByteStream::closed() const {
@@ -63,24 +73,46 @@ bool ByteStream::Writable() const {
   return buffer_.size() < capacity_ || closed_;
 }
 
-int64_t VListener::PushConnection(std::shared_ptr<VConnection> conn) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (closed_ || pending_.size() >= static_cast<size_t>(backlog_)) {
-    return -ECONNREFUSED;
+int64_t VListener::PushConnection(VRef<VConnection> conn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || pending_.size() >= static_cast<size_t>(backlog_)) {
+      return -ECONNREFUSED;
+    }
+    pending_.push_back(std::move(conn));
+    pending_cv_.notify_one();
   }
-  pending_.push_back(std::move(conn));
-  pending_cv_.notify_one();
+  waitq_.Notify();  // Accepters parked on the listener's queue.
   return 0;
 }
 
-std::shared_ptr<VConnection> VListener::Accept() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  pending_cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
-  if (pending_.empty()) {
-    return nullptr;
+VRef<VConnection> VListener::Accept() {
+  VRef<VConnection> conn;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    pending_cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
+    if (pending_.empty()) {
+      return nullptr;
+    }
+    conn = std::move(pending_.front());
+    pending_.pop_front();
   }
-  auto conn = pending_.front();
-  pending_.pop_front();
+  waitq_.Notify();  // Backlog slot freed: clients polling for kOut-ish space.
+  return conn;
+}
+
+VRef<VConnection> VListener::TryAccept(bool* closed) {
+  VRef<VConnection> conn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    *closed = closed_;
+    if (pending_.empty()) {
+      return nullptr;
+    }
+    conn = std::move(pending_.front());
+    pending_.pop_front();
+  }
+  waitq_.Notify();
   return conn;
 }
 
@@ -90,24 +122,27 @@ bool VListener::HasPending() const {
 }
 
 void VListener::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  closed_ = true;
-  pending_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    pending_cv_.notify_all();
+  }
+  waitq_.Notify();
 }
 
-int64_t VirtualNetwork::Listen(uint16_t port, int backlog, std::shared_ptr<VListener>* out) {
+int64_t VirtualNetwork::Listen(uint16_t port, int backlog, VRef<VListener>* out) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (listeners_.count(port) != 0) {
     return -EADDRINUSE;
   }
-  auto listener = std::make_shared<VListener>(backlog);
-  listeners_[port] = listener;
+  auto listener = MakeVRef<VListener>(backlog, registry_);
   *out = listener;
+  listeners_[port] = std::move(listener);
   return 0;
 }
 
-std::shared_ptr<VConnection> VirtualNetwork::Connect(uint16_t port) {
-  std::shared_ptr<VListener> listener;
+VRef<VConnection> VirtualNetwork::Connect(uint16_t port) {
+  VRef<VListener> listener;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = listeners_.find(port);
@@ -116,44 +151,33 @@ std::shared_ptr<VConnection> VirtualNetwork::Connect(uint16_t port) {
     }
     listener = it->second;
   }
-  auto conn = std::make_shared<VConnection>();
+  auto conn = MakeVRef<VConnection>(registry_);
   if (listener->PushConnection(conn) != 0) {
     return nullptr;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    connections_.push_back(conn);
   }
   return conn;
 }
 
 void VirtualNetwork::CloseAll() {
-  std::map<uint16_t, std::shared_ptr<VListener>> listeners;
-  std::vector<std::weak_ptr<VConnection>> connections;
+  std::map<uint16_t, VRef<VListener>> listeners;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     listeners.swap(listeners_);
-    connections.swap(connections_);
   }
   for (auto& [port, listener] : listeners) {
     listener->Close();
   }
-  for (auto& weak : connections) {
-    if (auto conn = weak.lock()) {
-      conn->CloseBoth();
-    }
-  }
 }
 
 void VirtualNetwork::CloseListener(uint16_t port) {
-  std::shared_ptr<VListener> listener;
+  VRef<VListener> listener;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = listeners_.find(port);
     if (it == listeners_.end()) {
       return;
     }
-    listener = it->second;
+    listener = std::move(it->second);
     listeners_.erase(it);
   }
   listener->Close();

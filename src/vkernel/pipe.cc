@@ -6,47 +6,60 @@
 namespace mvee {
 
 int64_t VPipe::Read(uint8_t* out, uint64_t size) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  readable_.wait(lock, [&] { return !buffer_.empty() || write_closed_; });
-  if (buffer_.empty()) {
-    return 0;  // EOF.
+  uint64_t n = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    readable_.wait(lock, [&] { return !buffer_.empty() || write_closed_; });
+    if (buffer_.empty()) {
+      return 0;  // EOF.
+    }
+    n = std::min<uint64_t>(size, buffer_.size());
+    for (uint64_t i = 0; i < n; ++i) {
+      out[i] = buffer_.front();
+      buffer_.pop_front();
+    }
+    writable_.notify_all();
   }
-  const uint64_t n = std::min<uint64_t>(size, buffer_.size());
-  for (uint64_t i = 0; i < n; ++i) {
-    out[i] = buffer_.front();
-    buffer_.pop_front();
-  }
-  writable_.notify_all();
+  waitq_.Notify();  // Space freed: writers polling for kOut.
   return static_cast<int64_t>(n);
 }
 
 int64_t VPipe::Write(const uint8_t* data, uint64_t size) {
-  std::unique_lock<std::mutex> lock(mutex_);
   uint64_t written = 0;
   while (written < size) {
-    writable_.wait(lock, [&] { return buffer_.size() < capacity_ || read_closed_; });
-    if (read_closed_) {
-      return written > 0 ? static_cast<int64_t>(written) : -EPIPE;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      writable_.wait(lock, [&] { return buffer_.size() < capacity_ || read_closed_; });
+      if (read_closed_) {
+        return written > 0 ? static_cast<int64_t>(written) : -EPIPE;
+      }
+      const uint64_t room = capacity_ - buffer_.size();
+      const uint64_t n = std::min(room, size - written);
+      buffer_.insert(buffer_.end(), data + written, data + written + n);
+      written += n;
+      readable_.notify_all();
     }
-    const uint64_t room = capacity_ - buffer_.size();
-    const uint64_t n = std::min(room, size - written);
-    buffer_.insert(buffer_.end(), data + written, data + written + n);
-    written += n;
-    readable_.notify_all();
+    waitq_.Notify();  // Data available: readers parked in poll.
   }
   return static_cast<int64_t>(written);
 }
 
 void VPipe::CloseWriteEnd() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  write_closed_ = true;
-  readable_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    write_closed_ = true;
+    readable_.notify_all();
+  }
+  waitq_.Notify();
 }
 
 void VPipe::CloseReadEnd() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  read_closed_ = true;
-  writable_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    read_closed_ = true;
+    writable_.notify_all();
+  }
+  waitq_.Notify();
 }
 
 bool VPipe::write_closed() const {

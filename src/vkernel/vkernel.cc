@@ -1,8 +1,9 @@
 #include "mvee/vkernel/vkernel.h"
 
 #include <cerrno>
-#include <cstring>
 #include <chrono>
+#include <cstring>
+#include <optional>
 #include <thread>
 
 namespace mvee {
@@ -41,6 +42,20 @@ void PublishPayload(const SyscallRequest& request, SyscallResult* result, size_t
 }
 
 }  // namespace
+
+VirtualKernel::VirtualKernel(uint64_t rng_seed, bool sharded)
+    : sharded_(sharded),
+      vfs_(sharded),
+      network_(&wait_registry_),
+      futexes_(sharded, &wait_registry_, &wait_registry_.stats()),
+      rng_(rng_seed) {
+  // One counted stream per logical tid: the sequence a thread set observes
+  // depends only on (seed, tid, draw index) — scheduling-independent, and
+  // never behind rng_mutex_.
+  for (uint32_t i = 0; i < kRngStreams; ++i) {
+    rng_streams_[i].rng.Seed(SplitMix64(rng_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1))));
+  }
+}
 
 SyscallResult VirtualKernel::Execute(ProcessState& process, const SyscallRequest& request) {
   switch (request.sysno) {
@@ -97,16 +112,8 @@ SyscallResult VirtualKernel::Execute(ProcessState& process, const SyscallRequest
       return Err(-EINVAL);
     }
 
-    case Sysno::kGetrandom: {
-      SyscallResult result;
-      std::lock_guard<std::mutex> lock(rng_mutex_);
-      for (auto& byte : request.out_data) {
-        byte = static_cast<uint8_t>(rng_.Next());
-      }
-      PublishPayload(request, &result, request.out_data.size());
-      result.retval = static_cast<int64_t>(request.out_data.size());
-      return result;
-    }
+    case Sysno::kGetrandom:
+      return ExecuteGetrandom(request);
 
     case Sysno::kSchedYield:
       std::this_thread::yield();
@@ -138,6 +145,26 @@ SyscallResult VirtualKernel::Execute(ProcessState& process, const SyscallRequest
   return Err(-ENOSYS);
 }
 
+SyscallResult VirtualKernel::ExecuteGetrandom(const SyscallRequest& request) {
+  SyscallResult result;
+  if (sharded_ && request.tid < kRngStreams) {
+    // Per-thread-set stream: no lock. The monitor's rendezvous admits one
+    // in-flight call per thread set, so stream `tid` is never raced.
+    Rng& rng = rng_streams_[request.tid].rng;
+    for (auto& byte : request.out_data) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    for (auto& byte : request.out_data) {
+      byte = static_cast<uint8_t>(rng_.Next());
+    }
+  }
+  PublishPayload(request, &result, request.out_data.size());
+  result.retval = static_cast<int64_t>(request.out_data.size());
+  return result;
+}
+
 SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallRequest& request) {
   FdTable& fds = process.fds();
   switch (request.sysno) {
@@ -152,10 +179,10 @@ SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallReq
       }
       FdEntry entry;
       entry.kind = FdKind::kFile;
-      entry.file = file;
+      entry.offset = (request.arg0 & VOpenFlags::kAppend) != 0 ? file->Size() : 0;
+      entry.object = std::move(file);
       entry.flags = request.arg0;
       entry.path = request.path;
-      entry.offset = (request.arg0 & VOpenFlags::kAppend) != 0 ? file->Size() : 0;
       return Ret(fds.Allocate(std::move(entry)));
     }
 
@@ -163,23 +190,41 @@ SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallReq
       return Ret(fds.Close(static_cast<int32_t>(request.arg0)));
 
     case Sysno::kRead: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
+        return Err(-EBADF);
+      }
+      // One snapshot of (kind, object): a concurrent connect() must not pair
+      // a stale kind with a new object across two reads.
+      const FdTable::Ref::ObjectView view = entry.view();
+      if (view.object == nullptr) {
         return Err(-EBADF);
       }
       SyscallResult result;
-      if (entry->kind == FdKind::kFile) {
+      if (view.kind == FdKind::kFile) {
+        auto* file = static_cast<VFile*>(view.object);
         result.retval =
-            entry->file->ReadAt(entry->offset, request.out_data.data(), request.out_data.size());
+            file->ReadAt(entry.offset(), request.out_data.data(), request.out_data.size());
         if (result.retval > 0) {
-          entry->offset += static_cast<uint64_t>(result.retval);
+          entry.AdvanceOffset(static_cast<uint64_t>(result.retval));
         }
-      } else if (entry->kind == FdKind::kPipeRead) {
-        result.retval = entry->pipe->Read(request.out_data.data(), request.out_data.size());
-      } else if (entry->kind == FdKind::kConnServer) {
-        result.retval = entry->conn->ServerRead(request.out_data.data(), request.out_data.size());
-      } else if (entry->kind == FdKind::kConnClient) {
-        result.retval = entry->conn->ClientRead(request.out_data.data(), request.out_data.size());
+      } else if (view.kind == FdKind::kPipeRead) {
+        // Blocking call: share the pipe out of the slot so the lease is not
+        // held across the wait (a concurrent close must be able to drain).
+        VRef<VObject> pipe = entry.ShareObject(view);
+        entry = FdTable::Ref{};
+        result.retval = static_cast<VPipe*>(pipe.get())
+                            ->Read(request.out_data.data(), request.out_data.size());
+      } else if (view.kind == FdKind::kConnServer) {
+        VRef<VObject> conn = entry.ShareObject(view);
+        entry = FdTable::Ref{};
+        result.retval = static_cast<VConnection*>(conn.get())
+                            ->ServerRead(request.out_data.data(), request.out_data.size());
+      } else if (view.kind == FdKind::kConnClient) {
+        VRef<VObject> conn = entry.ShareObject(view);
+        entry = FdTable::Ref{};
+        result.retval = static_cast<VConnection*>(conn.get())
+                            ->ClientRead(request.out_data.data(), request.out_data.size());
       } else {
         return Err(-EBADF);
       }
@@ -190,38 +235,56 @@ SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallReq
     }
 
     case Sysno::kWrite: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
         return Err(-EBADF);
       }
-      if (entry->kind == FdKind::kFile) {
-        const int64_t n = entry->file->WriteAt(entry->offset, request.in_data.data(),
-                                               request.in_data.size());
+      const FdTable::Ref::ObjectView view = entry.view();
+      if (view.object == nullptr) {
+        return Err(-EBADF);
+      }
+      if (view.kind == FdKind::kFile) {
+        auto* file = static_cast<VFile*>(view.object);
+        const int64_t n =
+            file->WriteAt(entry.offset(), request.in_data.data(), request.in_data.size());
         if (n > 0) {
-          entry->offset += static_cast<uint64_t>(n);
+          entry.AdvanceOffset(static_cast<uint64_t>(n));
         }
         return Ret(n);
       }
-      if (entry->kind == FdKind::kPipeWrite) {
-        return Ret(entry->pipe->Write(request.in_data.data(), request.in_data.size()));
+      if (view.kind == FdKind::kPipeWrite) {
+        VRef<VObject> pipe = entry.ShareObject(view);
+        entry = FdTable::Ref{};
+        return Ret(static_cast<VPipe*>(pipe.get())
+                       ->Write(request.in_data.data(), request.in_data.size()));
       }
-      if (entry->kind == FdKind::kConnServer) {
-        return Ret(entry->conn->ServerWrite(request.in_data.data(), request.in_data.size()));
+      if (view.kind == FdKind::kConnServer) {
+        VRef<VObject> conn = entry.ShareObject(view);
+        entry = FdTable::Ref{};
+        return Ret(static_cast<VConnection*>(conn.get())
+                       ->ServerWrite(request.in_data.data(), request.in_data.size()));
       }
-      if (entry->kind == FdKind::kConnClient) {
-        return Ret(entry->conn->ClientWrite(request.in_data.data(), request.in_data.size()));
+      if (view.kind == FdKind::kConnClient) {
+        VRef<VObject> conn = entry.ShareObject(view);
+        entry = FdTable::Ref{};
+        return Ret(static_cast<VConnection*>(conn.get())
+                       ->ClientWrite(request.in_data.data(), request.in_data.size()));
       }
       return Err(-EBADF);
     }
 
     case Sysno::kPread: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr || entry->kind != FdKind::kFile) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
+        return Err(-EBADF);
+      }
+      VFile* file = entry.file();
+      if (file == nullptr) {
         return Err(-EBADF);
       }
       SyscallResult result;
-      result.retval = entry->file->ReadAt(static_cast<uint64_t>(request.arg1),
-                                          request.out_data.data(), request.out_data.size());
+      result.retval = file->ReadAt(static_cast<uint64_t>(request.arg1),
+                                   request.out_data.data(), request.out_data.size());
       if (result.retval > 0) {
         PublishPayload(request, &result, static_cast<size_t>(result.retval));
       }
@@ -229,17 +292,25 @@ SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallReq
     }
 
     case Sysno::kPwrite: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr || entry->kind != FdKind::kFile) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
         return Err(-EBADF);
       }
-      return Ret(entry->file->WriteAt(static_cast<uint64_t>(request.arg1),
-                                      request.in_data.data(), request.in_data.size()));
+      VFile* file = entry.file();
+      if (file == nullptr) {
+        return Err(-EBADF);
+      }
+      return Ret(file->WriteAt(static_cast<uint64_t>(request.arg1),
+                               request.in_data.data(), request.in_data.size()));
     }
 
     case Sysno::kLseek: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr || entry->kind != FdKind::kFile) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
+        return Err(-EBADF);
+      }
+      VFile* file = entry.file();
+      if (file == nullptr) {
         return Err(-EBADF);
       }
       int64_t base = 0;
@@ -248,10 +319,10 @@ SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallReq
           base = 0;
           break;
         case kSeekCur:
-          base = static_cast<int64_t>(entry->offset);
+          base = static_cast<int64_t>(entry.offset());
           break;
         case kSeekEnd:
-          base = static_cast<int64_t>(entry->file->Size());
+          base = static_cast<int64_t>(file->Size());
           break;
         default:
           return Err(-EINVAL);
@@ -260,7 +331,7 @@ SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallReq
       if (target < 0) {
         return Err(-EINVAL);
       }
-      entry->offset = static_cast<uint64_t>(target);
+      entry.set_offset(static_cast<uint64_t>(target));
       return Ret(target);
     }
 
@@ -280,27 +351,32 @@ SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallReq
       return Ret(fds.Dup(static_cast<int32_t>(request.arg0)));
 
     case Sysno::kFcntl: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
         return Err(-EBADF);
       }
-      return Ret(entry->flags);
+      return Ret(entry.flags());
     }
 
     case Sysno::kPipe: {
-      auto pipe = std::make_shared<VPipe>();
-      {
-        std::lock_guard<std::mutex> lock(pipes_mutex_);
-        pipes_.push_back(pipe);
-      }
+      // The pipe registers itself in the wait registry (slot reuse, no
+      // grow-forever side list) and is owned by its two descriptors.
+      auto pipe = MakeVRef<VPipe>(/*capacity=*/size_t{65536}, &wait_registry_);
       FdEntry read_end;
       read_end.kind = FdKind::kPipeRead;
-      read_end.pipe = pipe;
+      read_end.object = pipe;
       FdEntry write_end;
       write_end.kind = FdKind::kPipeWrite;
-      write_end.pipe = pipe;
+      write_end.object = std::move(pipe);
       const int32_t rfd = fds.Allocate(std::move(read_end));
+      if (rfd < 0) {
+        return Err(rfd);
+      }
       const int32_t wfd = fds.Allocate(std::move(write_end));
+      if (wfd < 0) {
+        fds.Close(rfd);  // Partial failure must not leak the read end.
+        return Err(wfd);
+      }
       return Ret(static_cast<int64_t>(rfd) | (static_cast<int64_t>(wfd) << 32));
     }
 
@@ -348,79 +424,91 @@ SyscallResult VirtualKernel::ExecuteNet(ProcessState& process, const SyscallRequ
     }
 
     case Sysno::kBind: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
         return Err(-EBADF);
       }
-      entry->port = static_cast<uint16_t>(request.arg1);
+      entry.set_port(static_cast<uint16_t>(request.arg1));
       return Ret(0);
     }
 
     case Sysno::kListen: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
         return Err(-EBADF);
       }
-      std::shared_ptr<VListener> listener;
-      const int64_t rc =
-          network_.Listen(entry->port, static_cast<int>(request.arg1), &listener);
+      VRef<VListener> listener;
+      const int64_t rc = network_.Listen(entry.port(), static_cast<int>(request.arg1),
+                                         &listener);
       if (rc != 0) {
         return Err(rc);
       }
-      entry->listener = listener;
+      entry.InstallListener(std::move(listener));
       return Ret(0);
     }
 
     case Sysno::kAccept: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr || entry->listener == nullptr) {
-        return Err(-EBADF);
-      }
-      auto conn = entry->listener->Accept();
+      // Direct-execution path (native runner, tests): same two halves the
+      // monitor drives separately for ordering.
+      int64_t error = 0;
+      VRef<VConnection> conn =
+          AcceptBlocking(process, static_cast<int32_t>(request.arg0), &error);
       if (conn == nullptr) {
-        return Err(-ECONNABORTED);
+        return Err(error);
       }
-      FdEntry conn_entry;
-      conn_entry.kind = FdKind::kConnServer;
-      conn_entry.conn = conn;
-      return Ret(fds.Allocate(std::move(conn_entry)));
+      return Ret(FinishAccept(process, std::move(conn)));
     }
 
     case Sysno::kConnect: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
         return Err(-EBADF);
       }
       auto conn = network_.Connect(static_cast<uint16_t>(request.arg1));
       if (conn == nullptr) {
         return Err(-ECONNREFUSED);
       }
-      entry->kind = FdKind::kConnClient;
-      entry->conn = conn;
+      entry.PromoteToClientConn(std::move(conn));
       return Ret(0);
     }
 
     case Sysno::kSend: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr || entry->conn == nullptr) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
         return Err(-EBADF);
       }
-      if (entry->kind == FdKind::kConnServer) {
-        return Ret(entry->conn->ServerWrite(request.in_data.data(), request.in_data.size()));
+      const FdTable::Ref::ObjectView view = entry.view();
+      if (view.object == nullptr ||
+          (view.kind != FdKind::kConnServer && view.kind != FdKind::kConnClient)) {
+        return Err(-EBADF);
       }
-      return Ret(entry->conn->ClientWrite(request.in_data.data(), request.in_data.size()));
+      VRef<VObject> conn = entry.ShareObject(view);
+      entry = FdTable::Ref{};  // Blocking call: do not hold the lease.
+      auto* connection = static_cast<VConnection*>(conn.get());
+      if (view.kind == FdKind::kConnServer) {
+        return Ret(connection->ServerWrite(request.in_data.data(), request.in_data.size()));
+      }
+      return Ret(connection->ClientWrite(request.in_data.data(), request.in_data.size()));
     }
 
     case Sysno::kRecv: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr || entry->conn == nullptr) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
         return Err(-EBADF);
       }
+      const FdTable::Ref::ObjectView view = entry.view();
+      if (view.object == nullptr ||
+          (view.kind != FdKind::kConnServer && view.kind != FdKind::kConnClient)) {
+        return Err(-EBADF);
+      }
+      VRef<VObject> conn = entry.ShareObject(view);
+      entry = FdTable::Ref{};  // Blocking call: do not hold the lease.
+      auto* connection = static_cast<VConnection*>(conn.get());
       SyscallResult result;
-      if (entry->kind == FdKind::kConnServer) {
-        result.retval = entry->conn->ServerRead(request.out_data.data(), request.out_data.size());
+      if (view.kind == FdKind::kConnServer) {
+        result.retval = connection->ServerRead(request.out_data.data(), request.out_data.size());
       } else {
-        result.retval = entry->conn->ClientRead(request.out_data.data(), request.out_data.size());
+        result.retval = connection->ClientRead(request.out_data.data(), request.out_data.size());
       }
       if (result.retval > 0) {
         PublishPayload(request, &result, static_cast<size_t>(result.retval));
@@ -429,15 +517,17 @@ SyscallResult VirtualKernel::ExecuteNet(ProcessState& process, const SyscallRequ
     }
 
     case Sysno::kShutdown: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry == nullptr) {
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (!entry) {
         return Err(-EBADF);
       }
-      if (entry->conn != nullptr) {
-        entry->conn->CloseBoth();
+      const FdTable::Ref::ObjectView view = entry.view();
+      if (view.object != nullptr &&
+          (view.kind == FdKind::kConnServer || view.kind == FdKind::kConnClient)) {
+        static_cast<VConnection*>(view.object)->CloseBoth();
       }
-      if (entry->listener != nullptr) {
-        network_.CloseListener(entry->port);
+      if (view.object != nullptr && view.kind == FdKind::kListener) {
+        network_.CloseListener(entry.port());
       }
       return Ret(0);
     }
@@ -447,23 +537,111 @@ SyscallResult VirtualKernel::ExecuteNet(ProcessState& process, const SyscallRequ
   }
 }
 
+int64_t VirtualKernel::ScanPollSet(ProcessState& process, const SyscallRequest& request,
+                                   uint8_t* revents_buf, size_t nfds, Waiter* waiter,
+                                   std::vector<VRef<VObject>>* pinned) {
+  FdTable& fds = process.fds();
+  int64_t ready = 0;
+  for (size_t i = 0; i < nfds; ++i) {
+    int32_t fd = 0;
+    std::memcpy(&fd, request.in_data.data() + i * 5, sizeof(fd));
+    const uint8_t events = request.in_data[i * 5 + 4];
+    uint8_t revents = 0;
+    FdTable::Ref entry = fds.Get(fd);
+    if (!entry) {
+      revents = PollEvents::kHup;  // Invalid fd reported as hangup.
+    } else {
+      // One snapshot of (kind, object) drives both the subscription and the
+      // readiness check — two reads could pair a stale kind with a new
+      // object across a concurrent connect().
+      const FdTable::Ref::ObjectView view = entry.view();
+      // Subscribe BEFORE reading the object's state: a change published
+      // after the scan then either predates the subscription fence or
+      // signals the waiter (waitq.h protocol). The pinned VRef keeps the
+      // object (and its queue) alive for the subscription's lifetime even
+      // if the fd is closed/reused mid-poll.
+      if (waiter != nullptr && view.object != nullptr && view.object->waitq() != nullptr) {
+        waiter->Subscribe(view.object->waitq());
+        pinned->push_back(entry.ShareObject(view));
+      }
+      switch (view.kind) {
+        case FdKind::kFile:
+          revents = static_cast<uint8_t>(events & (PollEvents::kIn | PollEvents::kOut));
+          break;
+        case FdKind::kPipeRead:
+          if (auto* pipe = static_cast<VPipe*>(view.object);
+              pipe != nullptr && (events & PollEvents::kIn) != 0 &&
+              (pipe->BytesBuffered() > 0 || pipe->write_closed())) {
+            revents |= PollEvents::kIn;
+          }
+          break;
+        case FdKind::kPipeWrite:
+          if ((events & PollEvents::kOut) != 0) {
+            revents |= PollEvents::kOut;  // Bounded pipe: treat as writable.
+          }
+          break;
+        case FdKind::kListener:
+          if (auto* listener = static_cast<VListener*>(view.object);
+              listener != nullptr && (events & PollEvents::kIn) != 0 &&
+              listener->HasPending()) {
+            revents |= PollEvents::kIn;
+          }
+          break;
+        case FdKind::kConnServer:
+          if (auto* conn = static_cast<VConnection*>(view.object); conn != nullptr) {
+            if ((events & PollEvents::kIn) != 0 && conn->ServerReadable()) {
+              revents |= PollEvents::kIn;
+            }
+            if ((events & PollEvents::kOut) != 0 && conn->ServerWritable()) {
+              revents |= PollEvents::kOut;
+            }
+          }
+          break;
+        case FdKind::kConnClient:
+          if (auto* conn = static_cast<VConnection*>(view.object); conn != nullptr) {
+            if ((events & PollEvents::kIn) != 0 && conn->ClientReadable()) {
+              revents |= PollEvents::kIn;
+            }
+            if ((events & PollEvents::kOut) != 0 && conn->ClientWritable()) {
+              revents |= PollEvents::kOut;
+            }
+          }
+          break;
+        case FdKind::kFree:
+          revents = PollEvents::kHup;
+          break;
+      }
+    }
+    revents_buf[i] = revents;
+    ready += revents != 0 ? 1 : 0;
+  }
+  return ready;
+}
+
 // sys_poll over the virtual fd space. Request payload: nfds records of
 // (int32 fd little-endian, uint8 events); arg0 = nfds, arg1 = timeout in
 // milliseconds (<0 = wait indefinitely). Returns the number of fds with a
 // non-zero revents byte in the replicated revents payload (one byte per
 // fd, out_payload), 0 on timeout.
-// Readiness is polled (the virtual kernel has no wait-queue multiplexer);
-// the sleep quantum is far below the monitor's rendezvous granularity.
+//
+// Sharded mode: readiness is wait-queue-driven — the poller subscribes a
+// Waiter to every waitable fd's queue and parks until one fires, so a pipe
+// write wakes the poll immediately instead of after a sleep quantum. The
+// legacy implementation (scan + 200us sleep) remains the measurable
+// baseline.
 SyscallResult VirtualKernel::ExecutePoll(ProcessState& process,
                                          const SyscallRequest& request) {
-  FdTable& fds = process.fds();
+  if (!sharded_) {
+    return ExecutePollLegacy(process, request);
+  }
   const auto nfds = static_cast<size_t>(request.arg0);
   if (request.in_data.size() < nfds * 5) {
     return Err(-EINVAL);
   }
   const int64_t timeout_ms = request.arg1;
+  const bool timed = timeout_ms > 0;
   const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+                        std::chrono::milliseconds(timed ? timeout_ms : 0);
 
   SyscallResult result;
   // Revents scratch: one byte per fd. The monitor's pooled buffer when
@@ -476,71 +654,78 @@ SyscallResult VirtualKernel::ExecutePoll(ProcessState& process,
     local_revents.resize(nfds);
     revents_buf = local_revents.data();
   }
+
+  // `pinned` outlives `waiter` (declared first => destroyed last): the
+  // Waiter's destructor unsubscribes from the pinned objects' queues, so the
+  // objects must still be alive at that point even if their fds were closed
+  // mid-poll. The Waiter itself is constructed lazily: a poll whose first
+  // scan is ready (the common event-loop case) must not touch the
+  // process-wide registry at all.
+  std::vector<VRef<VObject>> pinned;
+  std::optional<Waiter> waiter;
   for (;;) {
-    int64_t ready = 0;
-    for (size_t i = 0; i < nfds; ++i) {
-      int32_t fd = 0;
-      std::memcpy(&fd, request.in_data.data() + i * 5, sizeof(fd));
-      const uint8_t events = request.in_data[i * 5 + 4];
-      uint8_t revents = 0;
-      FdEntry* entry = fds.Get(fd);
-      if (entry == nullptr) {
-        revents = PollEvents::kHup;  // Invalid fd reported as hangup.
-      } else {
-        switch (entry->kind) {
-          case FdKind::kFile:
-            revents = static_cast<uint8_t>(events & (PollEvents::kIn | PollEvents::kOut));
-            break;
-          case FdKind::kPipeRead:
-            if ((events & PollEvents::kIn) != 0 && entry->pipe != nullptr &&
-                (entry->pipe->BytesBuffered() > 0 || entry->pipe->write_closed())) {
-              revents |= PollEvents::kIn;
-            }
-            break;
-          case FdKind::kPipeWrite:
-            if ((events & PollEvents::kOut) != 0) {
-              revents |= PollEvents::kOut;  // Bounded pipe: treat as writable.
-            }
-            break;
-          case FdKind::kListener:
-            if ((events & PollEvents::kIn) != 0 && entry->listener != nullptr &&
-                entry->listener->HasPending()) {
-              revents |= PollEvents::kIn;
-            }
-            break;
-          case FdKind::kConnServer:
-            if (entry->conn != nullptr) {
-              if ((events & PollEvents::kIn) != 0 && entry->conn->ServerReadable()) {
-                revents |= PollEvents::kIn;
-              }
-              if ((events & PollEvents::kOut) != 0 && entry->conn->ServerWritable()) {
-                revents |= PollEvents::kOut;
-              }
-            }
-            break;
-          case FdKind::kConnClient:
-            if (entry->conn != nullptr) {
-              if ((events & PollEvents::kIn) != 0 && entry->conn->ClientReadable()) {
-                revents |= PollEvents::kIn;
-              }
-              if ((events & PollEvents::kOut) != 0 && entry->conn->ClientWritable()) {
-                revents |= PollEvents::kOut;
-              }
-            }
-            break;
-          case FdKind::kFree:
-            revents = PollEvents::kHup;
-            break;
-        }
-      }
-      revents_buf[i] = revents;
-      ready += revents != 0 ? 1 : 0;
+    if (waiter.has_value()) {
+      waiter->Prepare();
     }
-    const bool timed_out =
-        timeout_ms > 0 && std::chrono::steady_clock::now() >= deadline;
-    if (ready > 0 || timeout_ms == 0 || timed_out) {
+    // Subscriptions survive across iterations (idempotent); the first scan
+    // with a waiter establishes them, later scans only recheck state. An fd
+    // re-pointed at a brand-new object mid-poll is picked up by the bounded
+    // park slice.
+    const bool subscribe = waiter.has_value() && pinned.empty();
+    const int64_t ready =
+        ScanPollSet(process, request, revents_buf, nfds, subscribe ? &*waiter : nullptr,
+                    subscribe ? &pinned : nullptr);
+    const bool timed_out = timed && std::chrono::steady_clock::now() >= deadline;
+    if (ready > 0 || timeout_ms == 0 || timed_out || wait_registry_.shutdown()) {
       // Master-side delivery: revents go straight into the caller's buffer;
       // the monitor replicates result.out_payload to the slaves.
+      if (!request.out_data.empty()) {
+        const size_t count = std::min(nfds, request.out_data.size());
+        std::copy(revents_buf, revents_buf + count, request.out_data.begin());
+      }
+      if (request.payload_pool != nullptr) {
+        result.out_payload = request.payload_pool->view();
+      }
+      result.retval = ready;
+      return result;
+    }
+    if (!waiter.has_value()) {
+      // Not ready: arm the waiter and rescan — the subscription must precede
+      // the scan whose verdict licenses the park (waitq.h protocol).
+      waiter.emplace(&wait_registry_);
+      continue;
+    }
+    waiter->Wait(deadline, timed);
+  }
+}
+
+// The seed's polled implementation, kept as the in-run baseline: scan, sleep
+// a 200us quantum, scan again.
+SyscallResult VirtualKernel::ExecutePollLegacy(ProcessState& process,
+                                               const SyscallRequest& request) {
+  const auto nfds = static_cast<size_t>(request.arg0);
+  if (request.in_data.size() < nfds * 5) {
+    return Err(-EINVAL);
+  }
+  const int64_t timeout_ms = request.arg1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+
+  SyscallResult result;
+  std::vector<uint8_t> local_revents;
+  uint8_t* revents_buf;
+  if (request.payload_pool != nullptr) {
+    revents_buf = request.payload_pool->Reserve(nfds);
+  } else {
+    local_revents.resize(nfds);
+    revents_buf = local_revents.data();
+  }
+  for (;;) {
+    const int64_t ready = ScanPollSet(process, request, revents_buf, nfds,
+                                      /*waiter=*/nullptr, /*pinned=*/nullptr);
+    const bool timed_out =
+        timeout_ms > 0 && std::chrono::steady_clock::now() >= deadline;
+    if (ready > 0 || timeout_ms == 0 || timed_out || wait_registry_.shutdown()) {
       if (!request.out_data.empty()) {
         const size_t count = std::min(nfds, request.out_data.size());
         std::copy(revents_buf, revents_buf + count, request.out_data.begin());
@@ -603,43 +788,78 @@ uint32_t VirtualKernel::OrderDomainOf(ProcessState& process, const SyscallReques
   }
 }
 
-std::shared_ptr<VConnection> VirtualKernel::AcceptBlocking(ProcessState& process,
-                                                           int32_t listen_fd, int64_t* error) {
-  FdEntry* entry = process.fds().Get(listen_fd);
-  if (entry == nullptr || entry->listener == nullptr) {
-    *error = -EBADF;
-    return nullptr;
+VRef<VConnection> VirtualKernel::AcceptBlocking(ProcessState& process, int32_t listen_fd,
+                                                int64_t* error) {
+  VRef<VObject> listener_ref;
+  {
+    FdTable::Ref entry = process.fds().Get(listen_fd);
+    if (!entry) {
+      *error = -EBADF;
+      return nullptr;
+    }
+    // One (kind, object) snapshot licenses the downcast; then share the
+    // listener out of the slot — the lease must not be held across the wait
+    // (a concurrent close needs to drain it).
+    const FdTable::Ref::ObjectView view = entry.view();
+    if (view.kind != FdKind::kListener || view.object == nullptr) {
+      *error = -EBADF;
+      return nullptr;
+    }
+    listener_ref = entry.ShareObject(view);
   }
-  auto conn = entry->listener->Accept();
-  if (conn == nullptr) {
-    *error = -ECONNABORTED;
-    return nullptr;
+  auto* listener = static_cast<VListener*>(listener_ref.get());
+  if (!sharded_) {
+    // Baseline: the listener's internal condvar.
+    auto conn = listener->Accept();
+    if (conn == nullptr) {
+      *error = -ECONNABORTED;
+      return nullptr;
+    }
+    *error = 0;
+    return conn;
   }
-  *error = 0;
-  return conn;
+  // Wait-queue-driven accept: try, then subscribe-and-park until a
+  // connection arrives, the listener closes, or the MVEE shuts down. The
+  // Waiter is armed lazily so an accept with a pending connection (a loaded
+  // server's common case) never touches the process-wide registry.
+  std::optional<Waiter> waiter;
+  for (;;) {
+    if (waiter.has_value()) {
+      waiter->Prepare();
+    }
+    bool closed = false;
+    VRef<VConnection> conn = listener->TryAccept(&closed);
+    if (conn != nullptr) {
+      *error = 0;
+      return conn;
+    }
+    if (closed || wait_registry_.shutdown()) {
+      *error = -ECONNABORTED;
+      return nullptr;
+    }
+    if (!waiter.has_value()) {
+      // Subscribe, then re-try: the subscription must precede the check
+      // whose verdict licenses the park (waitq.h protocol).
+      waiter.emplace(&wait_registry_);
+      waiter->Subscribe(listener->waitq());
+      continue;
+    }
+    waiter->Wait({}, /*timed=*/false);
+  }
 }
 
-int64_t VirtualKernel::FinishAccept(ProcessState& process, std::shared_ptr<VConnection> conn) {
+int64_t VirtualKernel::FinishAccept(ProcessState& process, VRef<VConnection> conn) {
   FdEntry conn_entry;
   conn_entry.kind = FdKind::kConnServer;
-  conn_entry.conn = std::move(conn);
+  conn_entry.object = std::move(conn);
   return process.fds().Allocate(std::move(conn_entry));
 }
 
 void VirtualKernel::ShutdownBlockedCalls() {
-  futexes_.WakeAll();
-  network_.CloseAll();
-  std::vector<std::weak_ptr<VPipe>> pipes;
-  {
-    std::lock_guard<std::mutex> lock(pipes_mutex_);
-    pipes = pipes_;
-  }
-  for (auto& weak : pipes) {
-    if (auto pipe = weak.lock()) {
-      pipe->CloseWriteEnd();
-      pipe->CloseReadEnd();
-    }
-  }
+  // One registry: every waitable object (pipes, connections, listeners, the
+  // futex table) registered at creation; ShutdownAll closes them all and
+  // wakes every parked waiter (waitq.h). No per-kind side lists.
+  wait_registry_.ShutdownAll();
 }
 
 int64_t VirtualKernel::ApplyReplicatedEffect(ProcessState& process,
@@ -650,16 +870,16 @@ int64_t VirtualKernel::ApplyReplicatedEffect(ProcessState& process,
     case Sysno::kRead: {
       // Advance the slave's file offset to keep later lseek(SEEK_CUR) and
       // sequential reads consistent. Pipes/sockets have no offset.
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry != nullptr && entry->kind == FdKind::kFile && master_result.retval > 0) {
-        entry->offset += static_cast<uint64_t>(master_result.retval);
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry && entry.file() != nullptr && master_result.retval > 0) {
+        entry.AdvanceOffset(static_cast<uint64_t>(master_result.retval));
       }
       return 0;
     }
     case Sysno::kWrite: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry != nullptr && entry->kind == FdKind::kFile && master_result.retval > 0) {
-        entry->offset += static_cast<uint64_t>(master_result.retval);
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry && entry.file() != nullptr && master_result.retval > 0) {
+        entry.AdvanceOffset(static_cast<uint64_t>(master_result.retval));
       }
       return 0;
     }
@@ -685,9 +905,9 @@ int64_t VirtualKernel::ApplyReplicatedEffect(ProcessState& process,
       return fds.Allocate(std::move(shadow));
     }
     case Sysno::kBind: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry != nullptr && master_result.retval == 0) {
-        entry->port = static_cast<uint16_t>(request.arg1);
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry && master_result.retval == 0) {
+        entry.set_port(static_cast<uint16_t>(request.arg1));
       }
       return 0;
     }
@@ -695,9 +915,9 @@ int64_t VirtualKernel::ApplyReplicatedEffect(ProcessState& process,
     case Sysno::kShutdown:
       return 0;  // Shadow descriptors carry no kernel object to act on.
     case Sysno::kConnect: {
-      FdEntry* entry = fds.Get(static_cast<int32_t>(request.arg0));
-      if (entry != nullptr && master_result.retval == 0) {
-        entry->kind = FdKind::kConnClient;
+      FdTable::Ref entry = fds.Get(static_cast<int32_t>(request.arg0));
+      if (entry && master_result.retval == 0) {
+        entry.PromoteToClientConn(nullptr);  // Shadow: kind flip only.
       }
       return 0;
     }

@@ -1,0 +1,210 @@
+#include "mvee/vkernel/waitq.h"
+
+#include <algorithm>
+
+namespace mvee {
+
+namespace {
+
+// Safety-net park slice: wakeups are event-driven (Signal), the slice only
+// bounds the damage of a missed edge and keeps shutdown responsive for
+// waiters with nothing subscribed. Long enough that an idle poller costs
+// ~nothing, short enough that a worst-case miss delays a poll by 2ms.
+constexpr auto kWaitSlice = std::chrono::milliseconds(2);
+
+}  // namespace
+
+// --- WaitQueue ---------------------------------------------------------------
+
+void WaitQueue::Notify() {
+  // Dekker pairing with Subscribe's seq_cst RMW: either this fence + load
+  // observes the subscriber, or the subscriber's post-subscribe state scan
+  // observes the change published before Notify (docs/DESIGN.md §7).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (subscriber_count_.load(std::memory_order_relaxed) == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Waiter* waiter : subscribers_) {
+    waiter->Signal();
+  }
+}
+
+void WaitQueue::Subscribe(Waiter* waiter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscribers_.push_back(waiter);
+  subscriber_count_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+void WaitQueue::Unsubscribe(Waiter* waiter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find(subscribers_.begin(), subscribers_.end(), waiter);
+  if (it != subscribers_.end()) {
+    *it = subscribers_.back();
+    subscribers_.pop_back();
+    subscriber_count_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+// --- Waiter ------------------------------------------------------------------
+
+Waiter::Waiter(WaitRegistry* registry) : registry_(registry) {
+  if (registry_ != nullptr) {
+    registry_->TrackWaiter(this);
+  }
+}
+
+Waiter::~Waiter() {
+  for (WaitQueue* queue : subscribed_) {
+    queue->Unsubscribe(this);
+  }
+  if (registry_ != nullptr) {
+    registry_->UntrackWaiter(this);
+  }
+}
+
+void Waiter::Subscribe(WaitQueue* queue) {
+  if (queue == nullptr ||
+      std::find(subscribed_.begin(), subscribed_.end(), queue) != subscribed_.end()) {
+    return;
+  }
+  subscribed_.push_back(queue);
+  queue->Subscribe(this);
+}
+
+bool Waiter::ShutdownRequested() const {
+  return registry_ != nullptr && registry_->shutdown();
+}
+
+void Waiter::Signal() {
+  signaled_.store(1, std::memory_order_release);
+  spot_.WakeParked();
+}
+
+bool Waiter::Wait(std::chrono::steady_clock::time_point deadline, bool timed) {
+  WaitStats* stats = registry_ != nullptr ? &registry_->stats() : nullptr;
+  // BeginPark / re-check / WaitTicket is the lost-wakeup-free discipline of
+  // util/park.h: a Signal between the re-check and the sleep bumps the
+  // ticket under the spot's mutex, which WaitTicket cannot miss.
+  spot_.BeginPark();
+  const uint64_t ticket = spot_.Ticket();
+  if (signaled_.load(std::memory_order_acquire) != 0 || ShutdownRequested()) {
+    spot_.EndPark();
+    if (stats != nullptr) {
+      stats->wakeups.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  auto slice = kWaitSlice;
+  if (timed) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      spot_.EndPark();
+      return false;
+    }
+    slice = std::min(slice, std::chrono::duration_cast<std::chrono::milliseconds>(
+                                deadline - now) +
+                                std::chrono::milliseconds(1));
+  }
+  if (stats != nullptr) {
+    stats->waits.fetch_add(1, std::memory_order_relaxed);
+  }
+  spot_.WaitTicket(ticket, std::chrono::duration_cast<std::chrono::microseconds>(slice));
+  spot_.EndPark();
+  if (stats != nullptr) {
+    if (signaled_.load(std::memory_order_acquire) != 0) {
+      stats->wakeups.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (registry_ != nullptr && registry_->shutdown()) {
+      stats->shutdown_wakes.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (timed && std::chrono::steady_clock::now() >= deadline &&
+      signaled_.load(std::memory_order_acquire) == 0 && !ShutdownRequested()) {
+    return false;
+  }
+  return true;
+}
+
+// --- Waitable / WaitRegistry -------------------------------------------------
+
+Waitable::~Waitable() { UnregisterWaitable(); }
+
+void Waitable::UnregisterWaitable() {
+  if (wait_registry_ != nullptr) {
+    wait_registry_->Unregister(this);
+    wait_registry_ = nullptr;
+  }
+}
+
+void Waitable::RegisterWaitable(WaitRegistry* registry) {
+  if (registry == nullptr || wait_registry_ != nullptr) {
+    return;
+  }
+  wait_registry_ = registry;
+  registry->Register(this);
+}
+
+void WaitRegistry::Register(Waitable* waitable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!free_slots_.empty()) {
+    waitable->registry_slot_ = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[waitable->registry_slot_] = waitable;
+  } else {
+    waitable->registry_slot_ = slots_.size();
+    slots_.push_back(waitable);
+  }
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    // Late registrant during teardown: close it immediately so nothing can
+    // block on an object created after the drain.
+    waitable->ShutdownWake();
+  }
+}
+
+void WaitRegistry::Unregister(Waitable* waitable) {
+  // An object's destructor blocks here while ShutdownAll walks the table, so
+  // a mid-walk entry can never be destroyed under the walker.
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_[waitable->registry_slot_] = nullptr;
+  free_slots_.push_back(waitable->registry_slot_);
+}
+
+void WaitRegistry::TrackWaiter(Waiter* waiter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  waiters_.push_back(waiter);
+}
+
+void WaitRegistry::UntrackWaiter(Waiter* waiter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find(waiters_.begin(), waiters_.end(), waiter);
+  if (it != waiters_.end()) {
+    *it = waiters_.back();
+    waiters_.pop_back();
+  }
+}
+
+void WaitRegistry::ShutdownAll() {
+  shutdown_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Waitable* waitable : slots_) {
+    if (waitable != nullptr) {
+      waitable->ShutdownWake();
+    }
+  }
+  for (Waiter* waiter : waiters_) {
+    waiter->Signal();
+  }
+}
+
+size_t WaitRegistry::LiveCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size() - free_slots_.size();
+}
+
+size_t WaitRegistry::SlotCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+}  // namespace mvee

@@ -23,7 +23,7 @@ WrkResult ServeAndMeasure(VirtualKernel& kernel, const WrkOptions& wrk_options, 
     // Wait for the listener to appear; the successful probe consumes one
     // accept slot (callers budget for it) and is closed so the worker that
     // receives it sees EOF and serves an empty request.
-    std::shared_ptr<VConnection> probe;
+    VRef<VConnection> probe;
     while ((probe = kernel.network().Connect(wrk_options.port)) == nullptr) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
@@ -139,7 +139,7 @@ TEST(HttpServerTest, AttackSucceedsNatively) {
 
   AttackResult attack;
   std::thread client([&] {
-    std::shared_ptr<VConnection> probe;
+    VRef<VConnection> probe;
     while ((probe = runner.kernel().network().Connect(8100)) == nullptr) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
@@ -174,7 +174,7 @@ TEST(HttpServerTest, MveeDetectsAttackBeforeLeak) {
   AttackResult attack;
   Status status;
   std::thread client([&] {
-    std::shared_ptr<VConnection> probe;
+    VRef<VConnection> probe;
     while ((probe = mvee.kernel().network().Connect(8101)) == nullptr) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }

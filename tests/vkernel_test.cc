@@ -1,13 +1,19 @@
 // Unit tests for the virtual kernel substrate: VFS, fd tables, pipes, the
-// virtual network, address spaces, futexes, and the syscall executor.
+// virtual network, address spaces, futexes, the wait-queue readiness layer,
+// and the syscall executor — including the sharded/baseline toggle
+// (MveeOptions::sharded_vkernel, docs/DESIGN.md §7).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "mvee/monitor/mvee.h"
 #include "mvee/vkernel/vkernel.h"
 
 namespace mvee {
@@ -47,36 +53,108 @@ TEST(VfsTest, StatAndUnlink) {
   EXPECT_EQ(vfs.Unlink("a"), -ENOENT);
 }
 
+// The sharded VFS keeps a per-thread open-file handle cache; an unlink must
+// invalidate it so a re-created path resolves to the fresh file, not the
+// cached dead one.
+TEST(VfsTest, UnlinkInvalidatesHandleCache) {
+  Vfs vfs(/*sharded=*/true);
+  vfs.PutFile("doc", {'o', 'l', 'd'});
+  auto cached = vfs.Open("doc", false);  // Warms this thread's cache.
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(vfs.Unlink("doc"), 0);
+  auto recreated = vfs.Open("doc", /*create=*/true);
+  ASSERT_NE(recreated, nullptr);
+  EXPECT_NE(recreated, cached);
+  EXPECT_EQ(recreated->Size(), 0u);
+  // The old handle's contents stay readable (POSIX: open handles survive
+  // unlink).
+  EXPECT_EQ(cached->Size(), 3u);
+}
+
+TEST(VfsTest, StripedNamespaceCountsAcrossStripes) {
+  Vfs vfs(/*sharded=*/true);
+  for (int i = 0; i < 64; ++i) {
+    vfs.PutFile("file_" + std::to_string(i), {static_cast<uint8_t>(i)});
+  }
+  EXPECT_EQ(vfs.FileCount(), 64u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(vfs.Exists("file_" + std::to_string(i)));
+  }
+}
+
 TEST(FdTableTest, LowestAvailableAllocation) {
   FdTable fds;
   FdEntry entry;
   entry.kind = FdKind::kFile;
+  entry.object = MakeVRef<VFile>();
   // 0,1,2 reserved for stdio.
   EXPECT_EQ(fds.Allocate(entry), 3);
+  entry.object = MakeVRef<VFile>();
   EXPECT_EQ(fds.Allocate(entry), 4);
   EXPECT_EQ(fds.Close(3), 0);
   // Lowest free slot is reused — the property the paper's §3.1 fd example
   // depends on.
-  EXPECT_EQ(fds.Allocate(entry), 3);
+  entry.object = MakeVRef<VFile>();
+  EXPECT_EQ(fds.Allocate(std::move(entry)), 3);
 }
 
 TEST(FdTableTest, CloseInvalidFd) {
   FdTable fds;
   EXPECT_EQ(fds.Close(99), -EBADF);
   EXPECT_EQ(fds.Close(-1), -EBADF);
-  EXPECT_EQ(fds.Get(99), nullptr);
+  EXPECT_FALSE(fds.Get(99));
 }
 
 TEST(FdTableTest, DupCopiesEntry) {
   FdTable fds;
   FdEntry entry;
   entry.kind = FdKind::kFile;
+  entry.object = MakeVRef<VFile>();
   entry.path = "p";
-  const int32_t fd = fds.Allocate(entry);
+  const int32_t fd = fds.Allocate(std::move(entry));
   const int32_t dup = fds.Dup(fd);
   EXPECT_GT(dup, fd);
-  EXPECT_EQ(fds.Get(dup)->path, "p");
+  EXPECT_EQ(fds.Get(dup).path(), "p");
+  // The duplicate shares the object but owns its own reference.
+  EXPECT_EQ(fds.Get(dup).object(), fds.Get(fd).object());
   EXPECT_EQ(fds.Dup(1234), -EBADF);
+}
+
+TEST(FdTableTest, GenerationTagInvalidatesAcrossReuse) {
+  FdTable fds(/*sharded=*/true);
+  FdEntry entry;
+  entry.kind = FdKind::kFile;
+  entry.object = MakeVRef<VFile>();
+  const int32_t fd = fds.Allocate(std::move(entry));
+  const uint32_t domain_before = fds.OrderDomainOf(fd);
+  EXPECT_EQ(fds.Close(fd), 0);
+  EXPECT_FALSE(fds.Get(fd));
+  FdEntry again;
+  again.kind = FdKind::kFile;
+  again.object = MakeVRef<VFile>();
+  EXPECT_EQ(fds.Allocate(std::move(again)), fd);  // Same number...
+  EXPECT_TRUE(fds.Get(fd));
+  // ...fresh ordering domain: replay clocks never leak across reuse.
+  EXPECT_NE(fds.OrderDomainOf(fd), domain_before);
+}
+
+TEST(FdTableTest, FullTableReturnsEmfile) {
+  FdTable fds;
+  std::vector<int32_t> opened;
+  for (;;) {
+    FdEntry entry;
+    entry.kind = FdKind::kFile;
+    const int32_t fd = fds.Allocate(std::move(entry));
+    if (fd < 0) {
+      EXPECT_EQ(fd, -EMFILE);
+      break;
+    }
+    opened.push_back(fd);
+  }
+  EXPECT_EQ(opened.size(), static_cast<size_t>(FdTable::kMaxFds) - 3);  // minus stdio
+  for (const int32_t fd : opened) {
+    EXPECT_EQ(fds.Close(fd), 0);
+  }
 }
 
 TEST(PipeTest, BlockingRoundTrip) {
@@ -116,7 +194,7 @@ TEST(PipeTest, BackpressureBlocksWriter) {
 
 TEST(NetTest, ListenConnectAcceptEcho) {
   VirtualNetwork network;
-  std::shared_ptr<VListener> listener;
+  VRef<VListener> listener;
   ASSERT_EQ(network.Listen(8080, 16, &listener), 0);
   EXPECT_EQ(network.Listen(8080, 16, &listener), -EADDRINUSE);
 
@@ -140,7 +218,7 @@ TEST(NetTest, ConnectToClosedPortFails) {
 
 TEST(NetTest, CloseAllUnblocksAccept) {
   VirtualNetwork network;
-  std::shared_ptr<VListener> listener;
+  VRef<VListener> listener;
   ASSERT_EQ(network.Listen(80, 4, &listener), 0);
   std::thread acceptor([&] { EXPECT_EQ(listener->Accept(), nullptr); });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -189,8 +267,12 @@ TEST(AddressSpaceTest, DistinctBasesGiveDistinctAddresses) {
   EXPECT_EQ(addr_a - 0x100000, addr_b - 0x500000);
 }
 
-TEST(FutexTest, WakeReleasesWaiter) {
-  FutexTable futexes;
+// --- Futex table (both concurrency modes) ---
+
+class FutexModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(FutexModeTest, WakeReleasesWaiter) {
+  FutexTable futexes(GetParam());
   std::atomic<int32_t> word{1};
   std::atomic<bool> woke{false};
   std::thread waiter([&] {
@@ -206,19 +288,21 @@ TEST(FutexTest, WakeReleasesWaiter) {
   EXPECT_TRUE(woke.load());
 }
 
-TEST(FutexTest, ValueMismatchReturnsEagain) {
-  FutexTable futexes;
+TEST_P(FutexModeTest, ValueMismatchReturnsEagain) {
+  FutexTable futexes(GetParam());
   std::atomic<int32_t> word{2};
   EXPECT_EQ(futexes.Wait(0x1, &word, 1), -EAGAIN);
 }
 
-TEST(FutexTest, WakeWithNoWaitersReturnsZero) {
-  FutexTable futexes;
+TEST_P(FutexModeTest, WakeWithNoWaitersReturnsZero) {
+  FutexTable futexes(GetParam());
   EXPECT_EQ(futexes.Wake(0x9, 10), 0);
+  // A wake on a never-slept address must not materialize a bucket.
+  EXPECT_EQ(futexes.BucketCount(), 0u);
 }
 
-TEST(FutexTest, WakeAllReleasesEveryone) {
-  FutexTable futexes;
+TEST_P(FutexModeTest, WakeAllReleasesEveryone) {
+  FutexTable futexes(GetParam());
   std::atomic<int32_t> word{5};
   std::vector<std::thread> waiters;
   for (int i = 0; i < 3; ++i) {
@@ -231,7 +315,37 @@ TEST(FutexTest, WakeAllReleasesEveryone) {
   for (auto& t : waiters) {
     t.join();
   }
+  EXPECT_EQ(futexes.WaiterCount(), 0u);
 }
+
+// A long-running server must not retain one bucket per futex word ever slept
+// on: buckets are reclaimed the moment their last waiter is released.
+TEST_P(FutexModeTest, BucketsReclaimedAtZeroWaiters) {
+  FutexTable futexes(GetParam());
+  constexpr int kAddrs = 16;
+  std::atomic<int32_t> word{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kAddrs; ++i) {
+    waiters.emplace_back([&, i] { futexes.Wait(0x1000 + i * 8, &word, 0); });
+  }
+  while (futexes.WaiterCount() < kAddrs) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(futexes.BucketCount(), static_cast<size_t>(kAddrs));
+  for (int i = 0; i < kAddrs; ++i) {
+    EXPECT_EQ(futexes.Wake(0x1000 + i * 8, 1), 1);
+  }
+  for (auto& t : waiters) {
+    t.join();
+  }
+  EXPECT_EQ(futexes.WaiterCount(), 0u);
+  EXPECT_EQ(futexes.BucketCount(), 0u) << futexes.DebugString();
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardedAndGlobal, FutexModeTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "sharded" : "global";
+                         });
 
 // --- Syscall executor ---
 
@@ -330,6 +444,37 @@ TEST_F(VirtualKernelTest, GetrandomIsDeterministicPerSeed) {
   EXPECT_EQ(buffer_a, buffer_b);
 }
 
+// Per-thread-set RNG streams: different logical tids draw from independent
+// counted streams (no shared lock), and the same tid is reproducible across
+// kernels regardless of what other tids drew in between.
+TEST_F(VirtualKernelTest, GetrandomStreamsArePerTidAndOrderIndependent) {
+  VirtualKernel kernel_a(7, /*sharded=*/true);
+  VirtualKernel kernel_b(7, /*sharded=*/true);
+  ProcessState process_a(1, 0x1000, 0x10000);
+  ProcessState process_b(1, 0x1000, 0x10000);
+  std::vector<uint8_t> tid1_a(16), tid2_a(16), tid1_b(16), noise(16);
+
+  SyscallRequest request;
+  request.sysno = Sysno::kGetrandom;
+  request.tid = 1;
+  request.out_data = tid1_a;
+  kernel_a.Execute(process_a, request);
+  request.tid = 2;
+  request.out_data = tid2_a;
+  kernel_a.Execute(process_a, request);
+
+  // Kernel B interleaves tid 2 first; tid 1's stream must be unaffected.
+  request.tid = 2;
+  request.out_data = noise;
+  kernel_b.Execute(process_b, request);
+  request.tid = 1;
+  request.out_data = tid1_b;
+  kernel_b.Execute(process_b, request);
+
+  EXPECT_EQ(tid1_a, tid1_b);
+  EXPECT_NE(tid1_a, tid2_a);
+}
+
 TEST_F(VirtualKernelTest, ApplyReplicatedEffectAdvancesFileOffset) {
   SyscallRequest open;
   open.sysno = Sysno::kOpen;
@@ -413,6 +558,257 @@ TEST_F(VirtualKernelTest, ComparableDigestCoversPayload) {
   b.arg0 = 1;
   b.in_data = Bytes("hellO");
   EXPECT_NE(a.ComparableDigest(), b.ComparableDigest());
+}
+
+// --- Wait-queue readiness edges (docs/DESIGN.md §7) ---
+
+class WaitQueueKernelTest : public ::testing::Test {
+ protected:
+  VirtualKernel kernel_{42, /*sharded=*/true};
+  ProcessState process_{1000, 0x10000, 0x100000, /*sharded_vkernel=*/true};
+
+  std::pair<int32_t, int32_t> MakePipe() {
+    SyscallRequest pipe;
+    pipe.sysno = Sysno::kPipe;
+    const int64_t packed = kernel_.Execute(process_, pipe).retval;
+    EXPECT_GE(packed, 0);
+    return {static_cast<int32_t>(packed & 0xffffffff), static_cast<int32_t>(packed >> 32)};
+  }
+
+  // One poll entry: (int32 fd, uint8 events), per the sys_poll payload ABI.
+  SyscallResult Poll(int32_t fd, uint8_t events, int64_t timeout_ms,
+                     std::vector<uint8_t>* payload, std::vector<uint8_t>* revents) {
+    payload->resize(5);
+    std::memcpy(payload->data(), &fd, sizeof(fd));
+    (*payload)[4] = events;
+    revents->assign(1, 0);
+    SyscallRequest poll;
+    poll.sysno = Sysno::kPoll;
+    poll.arg0 = 1;
+    poll.arg1 = timeout_ms;
+    poll.in_data = *payload;
+    poll.out_data = *revents;
+    return kernel_.Execute(process_, poll);
+  }
+};
+
+// A poll parked on an idle pipe must be woken by the write itself — no
+// timeout, no sleep quantum — and the wakeup must show up in the stats.
+TEST_F(WaitQueueKernelTest, PipeWriteWakesParkedPoll) {
+  const auto [rfd, wfd] = MakePipe();
+  const uint64_t wakeups_before = kernel_.stats().waitq_wakeups;
+
+  std::atomic<int64_t> poll_result{-1};
+  std::thread poller([&] {
+    std::vector<uint8_t> payload, revents;
+    const SyscallResult result =
+        Poll(rfd, PollEvents::kIn, /*timeout_ms=*/-1, &payload, &revents);
+    EXPECT_EQ(result.retval, 1);
+    EXPECT_EQ(revents[0], PollEvents::kIn);
+    poll_result.store(result.retval);
+  });
+
+  // Give the poller time to scan (not ready) and park.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(poll_result.load(), -1);
+
+  SyscallRequest write;
+  write.sysno = Sysno::kWrite;
+  write.arg0 = wfd;
+  write.in_data = Bytes("!");
+  EXPECT_EQ(kernel_.Execute(process_, write).retval, 1);
+  poller.join();
+  EXPECT_EQ(poll_result.load(), 1);
+  EXPECT_GT(kernel_.stats().waitq_wakeups, wakeups_before);
+  EXPECT_GT(kernel_.stats().waitq_waits, 0u);
+}
+
+// fd reuse racing a poll: one thread polls the same descriptor number in a
+// loop while another closes and reopens it. The generation-tagged leases
+// must keep every scan memory-safe; verdicts may legitimately vary between
+// "ready file" and "hangup" depending on what the number points at.
+TEST_F(WaitQueueKernelTest, FdReuseAcrossCloseOpenRacingPoll) {
+  kernel_.vfs().PutFile("racer", {1, 2, 3});
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> polls{0};
+
+  std::thread poller([&] {
+    std::vector<uint8_t> payload, revents;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // fd 3: the number both the churner's open() and pipe read end land on.
+      const SyscallResult result = Poll(3, PollEvents::kIn, /*timeout_ms=*/0,
+                                        &payload, &revents);
+      ASSERT_GE(result.retval, 0);
+      polls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Churn until the poller has interleaved with the close/open cycle a few
+  // hundred times (bounded by a deadline so a starved scheduler cannot hang
+  // the test). On a one-core host the pacing is what creates the race.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (polls.load(std::memory_order_relaxed) < 300 &&
+         std::chrono::steady_clock::now() < deadline) {
+    SyscallRequest open;
+    open.sysno = Sysno::kOpen;
+    open.path = "racer";
+    open.arg0 = VOpenFlags::kRead;
+    const int64_t fd = kernel_.Execute(process_, open).retval;
+    ASSERT_EQ(fd, 3);
+    SyscallRequest close;
+    close.sysno = Sysno::kClose;
+    close.arg0 = fd;
+    ASSERT_EQ(kernel_.Execute(process_, close).retval, 0);
+  }
+  stop.store(true);
+  poller.join();
+  EXPECT_GT(polls.load(), 0u);
+}
+
+// AcceptBlocking with nothing pending must park on the listener's wait queue
+// and be released by ShutdownBlockedCalls — the one-registry teardown drain.
+TEST_F(WaitQueueKernelTest, ShutdownBlockedCallsWakesAccept) {
+  SyscallRequest socket;
+  socket.sysno = Sysno::kSocket;
+  const int64_t sfd = kernel_.Execute(process_, socket).retval;
+  ASSERT_GE(sfd, 0);
+  SyscallRequest bind;
+  bind.sysno = Sysno::kBind;
+  bind.arg0 = sfd;
+  bind.arg1 = 7777;
+  ASSERT_EQ(kernel_.Execute(process_, bind).retval, 0);
+  SyscallRequest listen;
+  listen.sysno = Sysno::kListen;
+  listen.arg0 = sfd;
+  listen.arg1 = 8;
+  ASSERT_EQ(kernel_.Execute(process_, listen).retval, 0);
+
+  std::atomic<int64_t> accept_error{1};
+  std::thread acceptor([&] {
+    int64_t error = 0;
+    auto conn = kernel_.AcceptBlocking(process_, static_cast<int32_t>(sfd), &error);
+    EXPECT_EQ(conn, nullptr);
+    accept_error.store(error);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(accept_error.load(), 1);  // Still blocked.
+  kernel_.ShutdownBlockedCalls();
+  acceptor.join();
+  EXPECT_EQ(accept_error.load(), -ECONNABORTED);
+}
+
+// The seed kept a grow-forever weak_ptr list of every pipe ever created; the
+// wait registry free-lists its slots, so churn must not grow the table.
+TEST_F(WaitQueueKernelTest, RegistrySlotsAreReusedUnderPipeChurn) {
+  const size_t slots_before = kernel_.wait_registry().SlotCount();
+  for (int i = 0; i < 1000; ++i) {
+    const auto [rfd, wfd] = MakePipe();
+    SyscallRequest close;
+    close.sysno = Sysno::kClose;
+    close.arg0 = rfd;
+    ASSERT_EQ(kernel_.Execute(process_, close).retval, 0);
+    close.arg0 = wfd;
+    ASSERT_EQ(kernel_.Execute(process_, close).retval, 0);
+  }
+  // Both descriptors closed => the pipe is destroyed and its slot freed.
+  EXPECT_LE(kernel_.wait_registry().SlotCount(), slots_before + 2);
+  EXPECT_EQ(kernel_.wait_registry().LiveCount(),
+            1u);  // The futex table's own registration.
+}
+
+// --- Toggle equivalence: the sharded kernel and the baseline must produce
+// identical program-visible behaviour under a full MVEE run ---
+
+std::string ShardedSweepResult(bool sharded_vkernel) {
+  MveeOptions options;
+  options.num_variants = 2;
+  options.sharded_vkernel = sharded_vkernel;
+  Mvee mvee(options);
+  mvee.kernel().vfs().PutFile("sweep_in", std::vector<uint8_t>(48, 0x5a));
+  const Status status = mvee.Run([](VariantEnv& env) {
+    std::string out;
+    // Files: open/read/lseek/dup/stat/unlink.
+    const int64_t fd = env.Open("sweep_in", VOpenFlags::kRead);
+    std::vector<uint8_t> buffer(16);
+    out += std::to_string(env.Read(fd, buffer)) + ",";
+    out += std::to_string(env.Lseek(fd, 0, 0)) + ",";
+    const int64_t dup = env.Dup(fd);
+    out += std::to_string(dup) + ",";
+    out += std::to_string(env.Stat("sweep_in")) + ",";
+    env.Close(dup);
+    env.Close(fd);
+    // Pipes + poll readiness.
+    auto [rfd, wfd] = env.Pipe();
+    env.Write(wfd, "pipe!");
+    VariantEnv::PollFd pfd;
+    pfd.fd = static_cast<int32_t>(rfd);
+    pfd.events = PollEvents::kIn;
+    out += std::to_string(env.Poll({&pfd, 1}, -1)) + ",";
+    out += std::to_string(static_cast<int>(pfd.revents)) + ",";
+    out += std::to_string(env.Read(rfd, buffer)) + ",";
+    env.Close(rfd);
+    env.Close(wfd);
+    // Randomness: the value is mode-dependent (per-tid streams vs the global
+    // stream) but the shape is not; record only the length.
+    out += std::to_string(env.Getrandom(buffer)) + ",";
+    // Network echo through listener/connect/accept.
+    const int64_t server = env.Socket();
+    env.Bind(server, 9321);
+    env.Listen(server, 4);
+    const int64_t client = env.Socket();
+    out += std::to_string(env.Connect(client, 9321)) + ",";
+    const int64_t conn = env.Accept(server);
+    env.Send(client, "hello");
+    out += std::to_string(env.Recv(conn, buffer)) + ",";
+    env.Shutdown(conn);
+    env.Shutdown(client);
+    env.Shutdown(server);
+    const int64_t result = env.Open("sweep_out", VOpenFlags::kWrite | VOpenFlags::kCreate);
+    env.Write(result, out);
+    env.Close(result);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString() << " (sharded=" << sharded_vkernel << ")";
+  auto file = mvee.kernel().vfs().Open("sweep_out", false);
+  if (file == nullptr) {
+    return "<missing>";
+  }
+  const auto contents = file->Contents();
+  return std::string(contents.begin(), contents.end());
+}
+
+TEST(ShardedVkernelToggleTest, VerdictAndOutputEquivalence) {
+  const std::string sharded = ShardedSweepResult(true);
+  const std::string baseline = ShardedSweepResult(false);
+  EXPECT_FALSE(sharded.empty());
+  EXPECT_EQ(sharded, baseline);
+}
+
+// Wait-queue wakeups must be visible in the run report when a poll blocks
+// across a rendezvous (the "no more spin-polling" acceptance signal).
+TEST(ShardedVkernelToggleTest, ReportExposesWaitQueueWakeups) {
+  MveeOptions options;
+  options.num_variants = 2;
+  options.sharded_vkernel = true;
+  Mvee mvee(options);
+  const Status status = mvee.Run([](VariantEnv& env) {
+    auto [rfd, wfd] = env.Pipe();
+    std::vector<ThreadHandle> handles;
+    handles.push_back(env.Spawn([rfd = rfd](VariantEnv& wenv) {
+      VariantEnv::PollFd pfd;
+      pfd.fd = static_cast<int32_t>(rfd);
+      pfd.events = PollEvents::kIn;
+      wenv.Poll({&pfd, 1}, -1);  // Parks until the writer fires.
+      std::vector<uint8_t> buffer(8);
+      wenv.Read(rfd, buffer);
+    }));
+    env.NanosleepNanos(30'000'000);  // Let the poller park first.
+    env.Write(wfd, "x");
+    env.Join(handles[0]);
+    env.Close(rfd);
+    env.Close(wfd);
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(mvee.report().vkernel_waitq_wakeups, 0u);
 }
 
 }  // namespace
