@@ -17,7 +17,8 @@ using namespace mvee::bench;
 
 double RunWithConfig(const WorkloadConfig& config, double scale, AgentKind agent,
                      size_t clock_count, size_t buffer_capacity,
-                     size_t po_window = 1 << 12, uint64_t* replay_stalls = nullptr) {
+                     size_t po_window = 1 << 12, uint64_t* replay_stalls = nullptr,
+                     bool sharded_recording = DefaultShardedRecording()) {
   MveeOptions options;
   options.num_variants = 2;
   options.agent = agent;
@@ -27,6 +28,7 @@ double RunWithConfig(const WorkloadConfig& config, double scale, AgentKind agent
   options.agent_config.clock_count = clock_count;
   options.agent_config.buffer_capacity = buffer_capacity;
   options.agent_config.po_window = po_window;
+  options.agent_config.sharded_recording = sharded_recording;
   Mvee mvee(options);
   const bool ok = mvee.Run(MakeWorkloadProgram(config, scale)).ok();
   if (replay_stalls != nullptr) {
@@ -149,6 +151,27 @@ int main() {
                   ok && base.seconds > 0 ? mvee.report().wall_seconds / base.seconds : 0.0,
                   ok ? "" : "(FAIL)");
       std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  PrintHeader("Ablation 7: TO/PO recording path — ticketed per-thread rings vs global lock");
+  // AgentConfig::sharded_recording (docs/DESIGN.md §8): the same workloads
+  // replicated through both recording paths in one run. The baseline's
+  // single master lock serializes every recorded op; the sharded path's
+  // only global touch is one fetch_add per op, and the PO slave's window
+  // scan collapses to an O(1) recorded-edge check.
+  for (const auto* config : {contended, queued}) {
+    const NativeRun base = RunNative(*config, scale);
+    std::printf("%-14s native=%.3fs", config->name, base.seconds);
+    for (AgentKind agent : {AgentKind::kTotalOrder, AgentKind::kPartialOrder}) {
+      for (bool sharded : {false, true}) {
+        const double seconds = RunWithConfig(*config, scale, agent, 4096, 1 << 16,
+                                             1 << 12, nullptr, sharded);
+        std::printf("  %s/%s=%.2fx", AgentKindName(agent), sharded ? "sharded" : "locked",
+                    base.seconds > 0 && seconds > 0 ? seconds / base.seconds : 0);
+        std::fflush(stdout);
+      }
     }
     std::printf("\n");
   }

@@ -1,21 +1,43 @@
 // Partial-order (PO) replication agent (paper §4.5, Figure 4b).
 //
-// The master records (thread, sync-variable key) pairs into one global
-// buffer under the same global instrumentation lock as the TO agent. Slaves,
-// however, only enforce the recorded order between *dependent* ops — ops on
-// the same sync variable. A slave thread scans a lookahead window for its
-// next entry and may execute as soon as every unconsumed earlier entry with
-// the same key has been consumed. This eliminates TO's unnecessary stalls at
-// the cost of window scans and extra memory pressure (§4.5).
+// The master records (thread, sync-variable key) pairs; slaves only enforce
+// the recorded order between *dependent* ops — ops on the same sync
+// variable. A slave thread locates its next entry and may execute as soon as
+// every unconsumed earlier entry with the same key has been consumed. This
+// eliminates TO's unnecessary stalls at the cost of dependence scans and
+// extra memory pressure (§4.5).
+//
+// Two recording paths (AgentConfig::sharded_recording, docs/DESIGN.md §8):
+//  - Sharded (default): per-master-thread recording rings; entries carry a
+//    global sequence drawn from one fetch_add ticket counter inside a
+//    per-sync-variable shard lock, so the sequence order is a linear
+//    extension of the conflict order and the global master lock is gone.
+//    Because the shard lock is held while the ticket is drawn, the master
+//    knows each op's immediate same-shard predecessor for free and records
+//    the edge (prev_tid, prev_seq) in the entry. Slave thread t's next
+//    entry is its own ring's front, and the dependence wait is O(1): wait
+//    until thread prev_tid's consumed-watermark (the sequence it publishes
+//    after every replayed op) passes prev_seq — no window scan at all,
+//    where the baseline scans O(po_window) entries per op. The watermark
+//    is a dedicated per-thread atomic, NOT a peek into the predecessor's
+//    ring: a cross-thread peek races that ring's cursor advance and could
+//    read a recycled slot's (much larger) sequence, wrongly releasing the
+//    waiter. Shard collisions merge chains of distinct variables, which
+//    over-serializes exactly like WoC's hash collisions (§4.5) and is just
+//    as benign.
+//  - Global-lock baseline (sharded_recording = false): the seed's single
+//    global buffer under one instrumentation lock, with the po_window
+//    lookahead scan. Kept selectable for in-run A/B sweeps.
 
 #ifndef MVEE_AGENTS_PARTIAL_ORDER_H_
 #define MVEE_AGENTS_PARTIAL_ORDER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "mvee/agents/record_shards.h"
 #include "mvee/agents/sync_agent.h"
 #include "mvee/util/spsc_ring.h"
 
@@ -28,35 +50,83 @@ class PartialOrderRuntime {
   std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
 
   const AgentStats& stats() const { return stats_; }
+  // Tickets drawn so far (sharded mode; 0 under the global-lock baseline).
+  uint64_t SequencesIssued() const { return record_shards_.TicketsIssued(); }
+  bool sharded_recording() const { return config_.sharded_recording; }
+
+  // Which recording shard an address hashes to. Exposed for tests that need
+  // sync variables in provably distinct shards (shard collisions merge
+  // dependence chains, which is correct but over-serializing).
+  static size_t RecordShardIndex(const void* addr);
 
  private:
   friend class PartialOrderAgent;
 
+  // Sentinel for "no same-shard predecessor" (first op on a shard).
+  static constexpr uint64_t kNoPrev = ~uint64_t{0};
+
   struct Entry {
     uint32_t tid = 0;
-    uint64_t key = 0;  // master-space sync-variable identity
+    uint64_t key = 0;            // master-space sync-variable identity
+    uint64_t seq = 0;            // global ticket (sharded mode only)
+    uint64_t prev_seq = kNoPrev; // same-shard predecessor's ticket
+    uint32_t prev_tid = 0;       // ...and the thread that recorded it
   };
 
-  // Per-slave-variant replay state.
+  // Chain tail for the dependence edges, written and read only under the
+  // owning shard's lock (plain fields on the shard's private line).
+  struct ChainTail {
+    uint64_t last_seq = kNoPrev;
+    uint32_t last_tid = 0;
+  };
+  using RecordShards = TicketedRecordShards<ChainTail>;
+
+  // Per-thread consumed-watermark for the sharded dependence wait: thread t
+  // has replayed every one of its entries with sequence < `next`.
+  struct alignas(64) ConsumedMark {
+    std::atomic<uint64_t> next{0};
+  };
+
+  // Per-slave-variant replay state. The sharded path uses only consumer_id
+  // and consumed_through; the window-scan vectors belong to the global-lock
+  // baseline.
   struct SlaveState {
-    // consumed[seq & mask]: whether entry seq has been replayed. Reset when
-    // the base cursor passes, so the producer can reuse the slot.
-    std::vector<std::atomic<uint8_t>> consumed;
+    // consumed[seq & mask] == seq + 1: entry seq has been replayed. The mark
+    // is the sequence itself (not a 0/1 flag) so slot reuse needs no
+    // clearing step: a stale mark from the previous lap never equals the
+    // current lap's seq + 1. That is what makes the lock-free retire loop
+    // below safe — a 0/1 flag would need a clear that races with
+    // out-of-order cursor advances.
+    std::vector<std::atomic<uint64_t>> consumed;
     // Next entry index each thread will look for (owned by that thread).
     std::vector<std::atomic<uint64_t>> next_index_by_tid;
-    // Protects base-cursor advancement; readers load the atomic directly
-    // (base only moves forward, stale reads are safe).
-    std::mutex base_mutex;
+    // First unretired sequence. Advanced by a lock-free CAS race in
+    // RetireConsumedPrefix (each slot has exactly one winner); readers load
+    // the atomic directly (base only moves forward, stale reads are safe).
     std::atomic<uint64_t> base{0};
+    // Sharded mode: consumed_through[t].next - 1 is the last sequence
+    // thread t replayed (released in AfterSyncOp, acquired by waiters).
+    std::vector<ConsumedMark> consumed_through;
     size_t consumer_id = 0;
   };
+
+  // Retires the consumed prefix of the baseline ring so the producer can
+  // reuse the slots. Lock-free and safe to call from any slave thread of
+  // the variant; stalled threads call it too (helping), so retirement can
+  // never wedge behind a thread that finished its op and went idle.
+  void RetireConsumedPrefix(SlaveState* slave);
 
   AgentConfig config_;
   AgentControl control_;
   AgentStats stats_;
+  // Global-lock baseline state.
   BroadcastRing<Entry> ring_;
   std::atomic_flag master_lock_ = ATOMIC_FLAG_INIT;
   std::vector<std::unique_ptr<SlaveState>> slaves_;  // index: variant-1
+  // Sharded recording state (docs/DESIGN.md §8, shared with TO through
+  // record_shards.h).
+  RecordShards record_shards_;
+  std::vector<std::unique_ptr<BroadcastRing<Entry>>> thread_rings_;  // [tid]
 };
 
 class PartialOrderAgent final : public SyncAgent {
@@ -70,16 +140,19 @@ class PartialOrderAgent final : public SyncAgent {
   const char* name() const override { return "partial-order"; }
 
  private:
-  // Index of the entry this thread matched in BeforeSyncOp, consumed in
-  // AfterSyncOp. One pending op per thread.
-  static constexpr uint32_t kMaxThreads = 256;
-
   PartialOrderRuntime* const runtime_;
   const AgentRole role_;
   PartialOrderRuntime::SlaveState* const slave_;
   // Stats shard key: 0 for the master, consumer id + 1 for slaves.
   const uint32_t stats_variant_;
-  uint64_t pending_index_[kMaxThreads] = {};
+  // The entry this thread matched in BeforeSyncOp, consumed in AfterSyncOp
+  // (baseline: its global-ring index; sharded: its ticket sequence). One
+  // pending op per thread; sized from config.max_threads (a fixed 256-slot
+  // array here used to overrun silently).
+  std::vector<uint64_t> pending_index_;
+  // Sharded recording: shard locked in BeforeSyncOp, released (after the
+  // ticket + push) in AfterSyncOp — cached so After does not re-hash.
+  std::vector<PartialOrderRuntime::RecordShards::Shard*> held_shard_;
 };
 
 }  // namespace mvee

@@ -43,7 +43,12 @@ class PerVariableRuntime {
   uint64_t VariablesMapped() const {
     return variables_mapped_.load(std::memory_order_relaxed);
   }
-  // Inserts that hit the probe limit and fell back to hashed assignment.
+  // Distinct sync *variables* that hit the probe limit and fell back to
+  // hashed (WoC-style) assignment — each saturated variable counts once, no
+  // matter how many lookups it serves. (If the dedup side table itself
+  // saturates — a config already drowning in overflow — further overflowing
+  // variables count once per lookup; the number stays an upper bound on
+  // overflowed variables.)
   uint64_t TableOverflows() const {
     return table_overflows_.load(std::memory_order_relaxed);
   }
@@ -52,6 +57,12 @@ class PerVariableRuntime {
   // fresh private clock on first sight. Thread-safe, lock-free, allocation-
   // free. Exposed for tests and the ablation bench.
   uint32_t ClockOf(const void* addr);
+
+  // Table capacity for a given wall size: next power of two >= 8x the clock
+  // count, saturating at the max table size instead of wrapping size_t on
+  // huge configs. Static so the overflow guard is testable without
+  // allocating a ceiling-sized table.
+  static size_t TableCapacityFor(size_t clock_count);
 
  private:
   friend class PerVariableAgent;
@@ -81,6 +92,13 @@ class PerVariableRuntime {
   // clock i, or 0 if clock i is still free. The table index *is* the clock
   // id, so a successful insert allocates the clock in the same CAS.
   std::vector<std::atomic<uint64_t>> keys_;
+  // Insert-only dedup set of keys that overflowed, so TableOverflows()
+  // counts variables, not lookups. Deliberately much smaller than the main
+  // table (it only matters once the table is already saturated, and the
+  // counter tolerates overcounting when the set itself fills up).
+  size_t overflow_capacity_;  // Power of two.
+  uint64_t overflow_mask_;
+  std::vector<std::atomic<uint64_t>> overflow_keys_;
   std::vector<MasterClock> master_clocks_;
   std::vector<std::unique_ptr<BroadcastRing<Entry>>> rings_;
   std::vector<std::vector<SlaveClock>> slave_clocks_;
@@ -96,16 +114,16 @@ class PerVariableAgent final : public SyncAgent {
   const char* name() const override { return "per-variable-order"; }
 
  private:
-  static constexpr uint32_t kMaxThreads = 256;
-
   PerVariableRuntime* const runtime_;
   const AgentRole role_;
   const uint32_t variant_index_;
+  // Per-thread scratch, sized from config.max_threads (a fixed 256-slot
+  // array here used to overrun silently).
   struct Pending {
     uint32_t clock_id = 0;
     uint64_t time = 0;
   };
-  Pending pending_[kMaxThreads];
+  std::vector<Pending> pending_;
 };
 
 }  // namespace mvee

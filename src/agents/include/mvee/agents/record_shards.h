@@ -1,0 +1,127 @@
+// Shared machinery of the sharded TO/PO master recording path
+// (docs/DESIGN.md §8): the per-sync-variable shard locks, the global ticket
+// counter, the per-master-thread recording rings, and the
+// record-with-backpressure push. Both runtimes instantiate this rather than
+// carrying private copies, so a change to the lock/ticket/push sequence —
+// whose memory ordering the §8 soundness argument depends on — cannot
+// silently diverge between the two agents.
+
+#ifndef MVEE_AGENTS_RECORD_SHARDS_H_
+#define MVEE_AGENTS_RECORD_SHARDS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mvee/agents/sync_agent.h"
+#include "mvee/util/hash.h"
+#include "mvee/util/spin.h"
+#include "mvee/util/spsc_ring.h"
+#include "mvee/util/variant_killed.h"
+
+namespace mvee {
+
+// Per-variable recording shards + the fetch_add ticket counter. `Extra` is
+// a per-shard payload guarded by the shard's lock (empty for TO, the
+// dependence-chain tail for PO). Hashing uses WoC's 8-byte bucketing, so
+// contention on a shard mirrors the program's own contention on the
+// corresponding sync variables; independent ops never share a lock line.
+template <typename Extra>
+class TicketedRecordShards {
+ public:
+  static constexpr size_t kShardCount = 512;  // power of two
+
+  struct alignas(64) Shard {
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    Extra extra{};
+
+    void Release() { lock.clear(std::memory_order_release); }
+  };
+
+  // `enabled` = AgentConfig::sharded_recording; the baseline pays for no
+  // shard memory.
+  explicit TicketedRecordShards(bool enabled) : shards_(enabled ? kShardCount : 0) {}
+
+  static size_t IndexOf(const void* addr) {
+    return ClockAddressHash(reinterpret_cast<uint64_t>(addr)) & (kShardCount - 1);
+  }
+
+  // Spins until the addr's shard lock is held (throws VariantKilled on
+  // abort) and accounts contended spins into stats.record_lock_spins. The
+  // caller holds the lock across (op + ticket + push) and releases through
+  // Shard::Release (usually via RecordIntoRing).
+  Shard& Acquire(const void* addr, const AgentControl& control, AgentStats::Shard& stats) {
+    Shard& shard = shards_[IndexOf(addr)];
+    SpinWait waiter;
+    while (shard.lock.test_and_set(std::memory_order_acquire)) {
+      if (control.aborted()) {
+        throw VariantKilled{};
+      }
+      waiter.Pause();
+    }
+    if (waiter.spins() > 0) {
+      stats.record_lock_spins.fetch_add(waiter.spins(), std::memory_order_relaxed);
+    }
+    return shard;
+  }
+
+  // Must be called with the op's shard lock held: the §8 soundness argument
+  // needs conflicting ops' tickets drawn in conflict order.
+  uint64_t DrawTicket() { return ticket_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t TicketsIssued() const { return ticket_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<uint64_t> ticket_{0};
+  std::vector<Shard> shards_;
+};
+
+// Builds the per-master-thread recording rings: one per logical tid, one
+// consumer per slave variant (consumer v-1 belongs to slave variant v).
+// Empty when sharded recording is off.
+template <typename Entry>
+std::vector<std::unique_ptr<BroadcastRing<Entry>>> MakeThreadRecordingRings(
+    const AgentConfig& config) {
+  std::vector<std::unique_ptr<BroadcastRing<Entry>>> rings;
+  if (!config.sharded_recording) {
+    return rings;
+  }
+  rings.reserve(config.max_threads);
+  for (uint32_t t = 0; t < config.max_threads; ++t) {
+    auto ring = std::make_unique<BroadcastRing<Entry>>(config.buffer_capacity);
+    ring->EnableCursorCaching(config.cached_ring_cursors);
+    for (uint32_t v = 1; v < config.num_variants; ++v) {
+      ring->RegisterConsumer();
+    }
+    rings.push_back(std::move(ring));
+  }
+  return rings;
+}
+
+// The tail of a sharded master's AfterSyncOp: push the stamped entry into
+// the thread's own ring (spinning while the slowest slave variant gates the
+// slot), bump ops_recorded, release the shard. The push stays inside the
+// shard lock — that chains ring publications of conflicting ops, the
+// visibility half of the §8 argument.
+template <typename Shard, typename Entry>
+void RecordIntoRing(BroadcastRing<Entry>& ring, const Entry& entry, Shard& shard,
+                    const AgentControl& control, AgentStats::Shard& stats) {
+  if (!ring.TryPush(entry)) {
+    stats.record_stalls.fetch_add(1, std::memory_order_relaxed);
+    SpinWait waiter;
+    while (!ring.TryPush(entry)) {
+      if (control.aborted()) {
+        shard.Release();
+        throw VariantKilled{};
+      }
+      waiter.Pause();
+    }
+  }
+  stats.ops_recorded.fetch_add(1, std::memory_order_relaxed);
+  shard.Release();
+}
+
+}  // namespace mvee
+
+#endif  // MVEE_AGENTS_RECORD_SHARDS_H_

@@ -12,9 +12,12 @@
 //   AfterSyncOp(tid, addr);
 //
 // Master agents make (record + execute) atomic per ordering domain by holding
-// an instrumentation lock across the op: a single global lock for the
-// total-order and partial-order agents (the source of their cache-contention
-// problems, §4.5), or a per-clock lock for wall-of-clocks.
+// an instrumentation lock across the op: a per-clock lock for wall-of-clocks,
+// and — with AgentConfig::sharded_recording on — a per-sync-variable shard
+// lock plus a global ticket counter for the total-order and partial-order
+// agents (docs/DESIGN.md §8). The sharded_recording=false baseline restores
+// the seed's single global lock for TO/PO (the source of their
+// cache-contention problems, §4.5) so both are measurable in one binary.
 //
 // Agents never allocate memory on the hot path (§3.3): all buffers and clock
 // pools are preallocated when the shared runtime is created.
@@ -25,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -43,8 +47,11 @@ enum class AgentRole : uint8_t {
 struct AgentStatsSnapshot {
   uint64_t ops_recorded = 0;
   uint64_t ops_replayed = 0;
-  uint64_t record_stalls = 0;   // producer blocked on full buffer
-  uint64_t replay_stalls = 0;   // slave blocked waiting its turn
+  uint64_t record_stalls = 0;     // producer blocked on full buffer
+  uint64_t replay_stalls = 0;     // slave blocked waiting its turn
+  uint64_t record_lock_spins = 0; // master spun on the record lock (global
+                                  // master lock, or a shard lock when
+                                  // sharded_recording is on)
 };
 
 // Hot-path statistics, sharded per (variant, thread). A single shared
@@ -66,6 +73,7 @@ class AgentStats {
     std::atomic<uint64_t> ops_replayed{0};
     std::atomic<uint64_t> record_stalls{0};
     std::atomic<uint64_t> replay_stalls{0};
+    std::atomic<uint64_t> record_lock_spins{0};
   };
 
   // Variants 0..3 with tids 0..15 map collision-free onto the 64 shards —
@@ -81,6 +89,7 @@ class AgentStats {
       total.ops_replayed += shard.ops_replayed.load(std::memory_order_relaxed);
       total.record_stalls += shard.record_stalls.load(std::memory_order_relaxed);
       total.replay_stalls += shard.replay_stalls.load(std::memory_order_relaxed);
+      total.record_lock_spins += shard.record_lock_spins.load(std::memory_order_relaxed);
     }
     return total;
   }
@@ -88,6 +97,16 @@ class AgentStats {
  private:
   Shard shards_[kShards];
 };
+
+// Default for AgentConfig::sharded_recording: on, unless the environment
+// forces the global-lock baseline (MVEE_SHARDED_RECORDING=0). The override
+// lets whole test suites sweep the baseline without edits, mirroring
+// MVEE_SHARDED_VKERNEL / MVEE_WAITFREE_RENDEZVOUS; explicit assignments in
+// code always win.
+inline bool DefaultShardedRecording() {
+  const char* env = std::getenv("MVEE_SHARDED_RECORDING");
+  return env == nullptr || env[0] != '0';
+}
 
 // Shared configuration for agent runtimes.
 struct AgentConfig {
@@ -100,11 +119,52 @@ struct AgentConfig {
   // the rescan-every-op ring for A/B measurement (bench_ring_throughput,
   // bench_table3_syncops); production runs leave it on.
   bool cached_ring_cursors = true;
+  // TO/PO master recording path (docs/DESIGN.md §8): per-thread recording
+  // rings whose entries carry a global sequence drawn from one fetch_add
+  // ticket counter inside a per-sync-variable shard lock — no global lock on
+  // the record path. Off restores the seed's single global master lock and
+  // one shared ring so bench_table3_syncops / bench_ablation_agents can
+  // sweep both in-run. Default on; MVEE_SHARDED_RECORDING=0 flips the
+  // default for whole-suite baseline sweeps.
+  bool sharded_recording = DefaultShardedRecording();
   // Replay stall deadline; exceeded => the runtime calls on_stall and the
   // waiting thread unwinds with VariantKilled. Detects uninstrumented sync
   // ops (the nginx scenario of §5.5).
   std::chrono::milliseconds replay_deadline{10000};
 };
+
+// Clamps a config to the invariants the runtimes rely on, instead of letting
+// a free 32-bit knob index fixed arrays out of bounds (max_threads used to
+// silently overrun the agents' pending_[256] scratch). Every runtime
+// constructor passes its config through here.
+inline AgentConfig ValidatedAgentConfig(AgentConfig config) {
+  if (config.max_threads == 0) {
+    config.max_threads = 1;
+  }
+  if (config.num_variants == 0) {
+    config.num_variants = 1;
+  }
+  // BroadcastRing supports kMaxConsumers = 15 slave cursors per ring.
+  if (config.num_variants > 16) {
+    config.num_variants = 16;
+  }
+  // Round buffer_capacity up to a power of two >= 2 (ring invariant).
+  if (config.buffer_capacity < 2) {
+    config.buffer_capacity = 2;
+  }
+  size_t pow2 = 2;
+  while (pow2 < config.buffer_capacity && pow2 < (size_t{1} << 31)) {
+    pow2 <<= 1;
+  }
+  config.buffer_capacity = pow2;
+  if (config.clock_count == 0) {
+    config.clock_count = 1;
+  }
+  if (config.po_window == 0) {
+    config.po_window = 1;
+  }
+  return config;
+}
 
 // Per-variant agent handle.
 class SyncAgent {
@@ -131,6 +191,16 @@ struct AgentControl {
     return abort_flag != nullptr && abort_flag->load(std::memory_order_acquire);
   }
 };
+
+// Guard for the agents' tid-indexed hot-path state (pending scratch,
+// per-thread rings): logical tids are allocated by the monitor from an
+// unbounded counter, so a program that spawns more threads than
+// AgentConfig::max_threads would otherwise index past every per-thread
+// vector. Reported through on_stall (the run ends as a configuration
+// failure, not heap corruption). Returns normally iff tid is in range.
+// Implemented in sync_agent.cc to keep VariantKilled out of this header.
+void CheckTidBound(uint32_t tid, uint32_t max_threads, const AgentControl& control,
+                   const char* agent_name);
 
 // A no-op agent: used for native baselines and as the "weak symbol" fallback
 // the paper describes in §4.4 (program calls the agent if present, no-ops

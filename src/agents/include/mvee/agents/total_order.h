@@ -1,12 +1,25 @@
 // Total-order (TO) replication agent (paper §4.5, Figure 4a).
 //
-// The master replays all sync ops into one global buffer in the exact order
-// they executed; a global instrumentation lock held across each op makes
-// (execute + record) atomic, so the recorded order equals the execution
-// order. Slaves consume the buffer strictly front-to-back: a slave thread may
-// execute its next sync op only when the front entry names that thread. Even
-// unrelated critical sections are therefore serialized in the slaves — the
-// "unnecessary stalls" the paper illustrates with the red bar in Figure 4(a).
+// The master records every sync op into a single global order; slaves replay
+// ops strictly in that order, so even unrelated critical sections are
+// serialized in the slaves — the "unnecessary stalls" the paper illustrates
+// with the red bar in Figure 4(a).
+//
+// Two recording paths (AgentConfig::sharded_recording):
+//  - Sharded (default, docs/DESIGN.md §8): each master thread records into
+//    its own BroadcastRing; every entry is stamped with a global sequence
+//    drawn from one fetch_add ticket counter. A per-sync-variable shard lock
+//    held across (op + ticket + push) makes the sequence order a linear
+//    extension of the conflict order, which is all replay needs — the global
+//    master lock disappears from the hot path. Slaves merge the per-thread
+//    rings on the recorded sequences: thread t's next op is always its own
+//    ring's front, and a per-variant next_seq ratchet admits exactly the
+//    entry whose sequence is next.
+//  - Global-lock baseline (sharded_recording = false): the seed's single
+//    global buffer under one instrumentation lock held across each op — the
+//    read-write-shared cache line §4.5 blames for the simple agents' poor
+//    scaling. Kept selectable so bench_table3_syncops / bench_ablation_agents
+//    can sweep both in one run.
 
 #ifndef MVEE_AGENTS_TOTAL_ORDER_H_
 #define MVEE_AGENTS_TOTAL_ORDER_H_
@@ -15,12 +28,12 @@
 #include <memory>
 #include <vector>
 
+#include "mvee/agents/record_shards.h"
 #include "mvee/agents/sync_agent.h"
 #include "mvee/util/spsc_ring.h"
 
 namespace mvee {
 
-// Shared state: one broadcast ring, one global master lock.
 class TotalOrderRuntime {
  public:
   TotalOrderRuntime(const AgentConfig& config, AgentControl control);
@@ -30,20 +43,39 @@ class TotalOrderRuntime {
 
   const AgentStats& stats() const { return stats_; }
   uint64_t OpsRecorded() const { return stats_.Aggregate().ops_recorded; }
+  // Tickets drawn so far (sharded mode; 0 under the global-lock baseline).
+  uint64_t SequencesIssued() const { return record_shards_.TicketsIssued(); }
+  bool sharded_recording() const { return config_.sharded_recording; }
 
  private:
   friend class TotalOrderAgent;
 
   struct Entry {
     uint32_t tid = 0;
+    uint64_t seq = 0;  // global ticket (sharded mode only)
+  };
+
+  // TO needs no per-shard payload beyond the lock itself.
+  struct NoShardState {};
+  using RecordShards = TicketedRecordShards<NoShardState>;
+
+  // Per-slave-variant replay ratchet: sequence of the next entry to replay.
+  struct alignas(64) ReplayFront {
+    std::atomic<uint64_t> next_seq{0};
   };
 
   AgentConfig config_;
   AgentControl control_;
   AgentStats stats_;
+  // Global-lock baseline state.
   BroadcastRing<Entry> ring_;
   std::atomic_flag master_lock_ = ATOMIC_FLAG_INIT;
   std::vector<size_t> consumer_ids_;  // consumer id per slave variant (index-1)
+  // Sharded recording state (docs/DESIGN.md §8, shared with PO through
+  // record_shards.h).
+  RecordShards record_shards_;
+  std::vector<std::unique_ptr<BroadcastRing<Entry>>> thread_rings_;  // [tid]
+  std::vector<ReplayFront> replay_fronts_;  // [variant - 1]
 };
 
 class TotalOrderAgent final : public SyncAgent {
@@ -61,6 +93,13 @@ class TotalOrderAgent final : public SyncAgent {
   const size_t consumer_id_;
   // Stats shard key: 0 for the master, consumer id + 1 for slaves.
   const uint32_t stats_variant_;
+  // Sharded replay: sequence matched in BeforeSyncOp, ratcheted past in
+  // AfterSyncOp. One pending op per thread; sized from config.max_threads
+  // (a fixed 256-slot array here used to overrun silently).
+  std::vector<uint64_t> pending_seq_;
+  // Sharded recording: shard locked in BeforeSyncOp, released (after the
+  // ticket + push) in AfterSyncOp — cached so After does not re-hash.
+  std::vector<TotalOrderRuntime::RecordShards::Shard*> held_shard_;
 };
 
 }  // namespace mvee

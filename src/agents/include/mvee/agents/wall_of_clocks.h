@@ -87,18 +87,18 @@ class WallOfClocksAgent final : public SyncAgent {
   const char* name() const override { return "wall-of-clocks"; }
 
  private:
-  static constexpr uint32_t kMaxThreads = 256;
-
   WallOfClocksRuntime* const runtime_;
   const AgentRole role_;
   const uint32_t variant_index_;
   // Per-thread scratch carrying state from Before to After (one pending op
-  // per thread; owned exclusively by that thread).
+  // per thread; owned exclusively by that thread). Sized from
+  // config.max_threads — a fixed 256-slot array here used to overrun
+  // silently whenever the config allowed more threads.
   struct Pending {
     uint32_t clock_id = 0;
     uint64_t time = 0;
   };
-  Pending pending_[kMaxThreads];
+  std::vector<Pending> pending_;
 };
 
 }  // namespace mvee

@@ -9,14 +9,42 @@
 namespace mvee {
 
 PartialOrderRuntime::PartialOrderRuntime(const AgentConfig& config, AgentControl control)
-    : config_(config), control_(std::move(control)), ring_(config.buffer_capacity) {
+    : config_(ValidatedAgentConfig(config)),
+      control_(std::move(control)),
+      ring_(config_.sharded_recording ? 2 : config_.buffer_capacity),
+      record_shards_(config_.sharded_recording),
+      thread_rings_(MakeThreadRecordingRings<Entry>(config_)) {
   ring_.EnableCursorCaching(config_.cached_ring_cursors);
   for (uint32_t v = 1; v < config_.num_variants; ++v) {
     auto slave = std::make_unique<SlaveState>();
-    slave->consumed = std::vector<std::atomic<uint8_t>>(config_.buffer_capacity);
-    slave->next_index_by_tid = std::vector<std::atomic<uint64_t>>(config_.max_threads);
+    if (config_.sharded_recording) {
+      slave->consumed_through = std::vector<ConsumedMark>(config_.max_threads);
+    } else {
+      slave->consumed = std::vector<std::atomic<uint64_t>>(config_.buffer_capacity);
+      slave->next_index_by_tid = std::vector<std::atomic<uint64_t>>(config_.max_threads);
+    }
     slave->consumer_id = ring_.RegisterConsumer();
     slaves_.push_back(std::move(slave));
+  }
+}
+
+size_t PartialOrderRuntime::RecordShardIndex(const void* addr) {
+  return RecordShards::IndexOf(addr);
+}
+
+void PartialOrderRuntime::RetireConsumedPrefix(SlaveState* slave) {
+  const uint64_t mask = config_.buffer_capacity - 1;
+  uint64_t base = slave->base.load(std::memory_order_acquire);
+  while (base < ring_.WriteCursor() &&
+         slave->consumed[base & mask].load(std::memory_order_acquire) == base + 1) {
+    // Exactly one thread wins the CAS for each slot; winners publish through
+    // AdvanceTo, whose monotonic CAS-max tolerates winners finishing out of
+    // order (a lagging winner's smaller advance is simply subsumed).
+    if (slave->base.compare_exchange_weak(base, base + 1, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+      ring_.AdvanceTo(slave->consumer_id, base + 1);
+      ++base;
+    }
   }
 }
 
@@ -33,14 +61,23 @@ PartialOrderAgent::PartialOrderAgent(PartialOrderRuntime* runtime, AgentRole rol
     : runtime_(runtime),
       role_(role),
       slave_(slave),
-      stats_variant_(slave == nullptr ? 0 : static_cast<uint32_t>(slave->consumer_id) + 1) {}
+      stats_variant_(slave == nullptr ? 0 : static_cast<uint32_t>(slave->consumer_id) + 1),
+      pending_index_(runtime->config_.max_threads, 0),
+      held_shard_(runtime->config_.max_threads, nullptr) {}
 
 void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
-  (void)addr;  // The key is recorded in AfterSyncOp (master) / read from the buffer (slave).
   if (runtime_->control_.aborted() && AlreadyUnwinding()) {
     return;  // Teardown: no second throw from destructor-driven sync ops.
   }
+  CheckTidBound(tid, runtime_->config_.max_threads, runtime_->control_, name());
   if (role_ == AgentRole::kMaster) {
+    if (runtime_->config_.sharded_recording) {
+      // Per-variable shard lock held across (op + ticket + push): see the
+      // total-order agent and docs/DESIGN.md §8 for the ordering argument.
+      held_shard_[tid] = &runtime_->record_shards_.Acquire(
+          addr, runtime_->control_, runtime_->stats_.shard(stats_variant_, tid));
+      return;
+    }
     SpinWait waiter;
     while (runtime_->master_lock_.test_and_set(std::memory_order_acquire)) {
       if (runtime_->control_.aborted()) {
@@ -48,15 +85,13 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
       }
       waiter.Pause();
     }
+    if (waiter.spins() > 0) {
+      runtime_->stats_.shard(stats_variant_, tid)
+          .record_lock_spins.fetch_add(waiter.spins(), std::memory_order_relaxed);
+    }
     return;
   }
 
-  // Slave replay. Step 1: locate this thread's next recorded entry by
-  // scanning forward from where the previous scan stopped (each global entry
-  // is scanned at most once per thread, so the scan is amortized O(1)).
-  const uint64_t mask = runtime_->config_.buffer_capacity - 1;
-  auto& ring = runtime_->ring_;
-  const size_t consumer = slave_->consumer_id;
   DeadlineGate deadline(runtime_->config_.replay_deadline);
   SpinWait waiter;
   bool stalled = false;
@@ -73,6 +108,59 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
       throw VariantKilled{};
     }
   };
+
+  if (runtime_->config_.sharded_recording) {
+    // Sharded replay (docs/DESIGN.md §8). Step 1: this thread's next entry
+    // is its own ring's front — master thread t produced exactly thread t's
+    // entries, in program order, so no window scan is needed to find it.
+    auto& ring = *runtime_->thread_rings_[tid];
+    const size_t consumer = slave_->consumer_id;
+    PartialOrderRuntime::Entry mine;
+    while (!ring.Peek(consumer, 0, &mine)) {
+      if (!stalled) {
+        stalled = true;
+        runtime_->stats_.shard(stats_variant_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      }
+      check_deadline("front");
+      waiter.Pause();
+    }
+
+    pending_index_[tid] = mine.seq;
+
+    // Step 2, O(1) dependence wait: the master recorded this op's immediate
+    // same-shard predecessor edge (it held the shard lock while drawing the
+    // ticket, so the edge was known for free). Waiting until the
+    // predecessor is consumed transitively waits for the whole earlier
+    // chain — which includes every earlier same-key op. Thread prev_tid
+    // publishes a consumed-watermark after every replayed op (it consumes
+    // its entries in increasing sequence order), so one acquire load
+    // answers "has prev_seq been replayed". Deliberately NOT a peek into
+    // ring[prev_tid]: a cross-thread peek races that ring's cursor advance
+    // and can read a just-recycled slot's far-larger sequence, wrongly
+    // releasing this waiter. The baseline scans O(po_window) entries for
+    // the same answer.
+    if (mine.prev_seq == PartialOrderRuntime::kNoPrev) {
+      return;
+    }
+    auto& prev_mark = slave_->consumed_through[mine.prev_tid].next;
+    waiter.Reset();
+    while (prev_mark.load(std::memory_order_acquire) <= mine.prev_seq) {
+      if (!stalled) {
+        stalled = true;
+        runtime_->stats_.shard(stats_variant_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      }
+      check_deadline("dependence");
+      waiter.Pause();
+    }
+    return;
+  }
+
+  // Baseline replay. Step 1: locate this thread's next recorded entry by
+  // scanning forward from where the previous scan stopped (each global entry
+  // is scanned at most once per thread, so the scan is amortized O(1)).
+  const uint64_t mask = runtime_->config_.buffer_capacity - 1;
+  auto& ring = runtime_->ring_;
+  const size_t consumer = slave_->consumer_id;
 
   // The scan may look at most `po_window` entries past the retire base (the
   // paper's lookahead window): a thread whose next entry lies beyond it
@@ -97,6 +185,10 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
         stalled = true;
         runtime_->stats_.shard(stats_variant_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
       }
+      // Help retire while stalled: the threads that consumed the in-window
+      // entries may already be idle, and the window cannot open until the
+      // base advances past their marks.
+      runtime_->RetireConsumedPrefix(slave_);
       check_deadline("window");
       waiter.Pause();
       continue;
@@ -107,6 +199,7 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
         stalled = true;
         runtime_->stats_.shard(stats_variant_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
       }
+      runtime_->RetireConsumedPrefix(slave_);
       check_deadline("scan");
       waiter.Pause();
       continue;
@@ -129,8 +222,8 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     // lengthens the scan.
     const uint64_t base = slave_->base.load(std::memory_order_acquire);
     for (uint64_t j = base; j < index; ++j) {
-      if (slave_->consumed[j & mask].load(std::memory_order_acquire) != 0) {
-        continue;
+      if (slave_->consumed[j & mask].load(std::memory_order_acquire) == j + 1) {
+        continue;  // Already replayed.
       }
       PartialOrderRuntime::Entry other;
       if (!ring.TryRead(consumer, j, &other)) {
@@ -158,6 +251,22 @@ void PartialOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
     return;
   }
   if (role_ == AgentRole::kMaster) {
+    if (runtime_->config_.sharded_recording) {
+      auto& shard = *held_shard_[tid];
+      PartialOrderRuntime::Entry entry;
+      entry.tid = tid;
+      entry.key = reinterpret_cast<uint64_t>(addr);
+      entry.seq = runtime_->record_shards_.DrawTicket();
+      // Dependence edge: the previous op recorded under this shard lock (the
+      // chain covers every same-key op, plus benignly-merged collisions).
+      entry.prev_seq = shard.extra.last_seq;
+      entry.prev_tid = shard.extra.last_tid;
+      shard.extra.last_seq = entry.seq;
+      shard.extra.last_tid = tid;
+      RecordIntoRing(*runtime_->thread_rings_[tid], entry, shard, runtime_->control_,
+                     runtime_->stats_.shard(stats_variant_, tid));
+      return;
+    }
     PartialOrderRuntime::Entry entry;
     entry.tid = tid;
     entry.key = reinterpret_cast<uint64_t>(addr);
@@ -177,22 +286,22 @@ void PartialOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
     return;
   }
 
+  if (runtime_->config_.sharded_recording) {
+    runtime_->thread_rings_[tid]->Advance(slave_->consumer_id);
+    // The release publishes this op's effects to whichever thread acquires
+    // the watermark in its dependence wait.
+    slave_->consumed_through[tid].next.store(pending_index_[tid] + 1,
+                                             std::memory_order_release);
+    runtime_->stats_.shard(stats_variant_, tid).ops_replayed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
   const uint64_t mask = runtime_->config_.buffer_capacity - 1;
   const uint64_t index = pending_index_[tid];
-  slave_->consumed[index & mask].store(1, std::memory_order_release);
+  slave_->consumed[index & mask].store(index + 1, std::memory_order_release);
   slave_->next_index_by_tid[tid].store(index + 1, std::memory_order_relaxed);
   runtime_->stats_.shard(stats_variant_, tid).ops_replayed.fetch_add(1, std::memory_order_relaxed);
-
-  // Retire a consumed prefix so the producer can reuse the slots.
-  std::lock_guard<std::mutex> lock(slave_->base_mutex);
-  auto& ring = runtime_->ring_;
-  uint64_t base = slave_->base.load(std::memory_order_relaxed);
-  while (base < ring.WriteCursor() &&
-         slave_->consumed[base & mask].load(std::memory_order_acquire) != 0) {
-    slave_->consumed[base & mask].store(0, std::memory_order_relaxed);
-    ring.Advance(slave_->consumer_id);
-    slave_->base.store(++base, std::memory_order_release);
-  }
+  runtime_->RetireConsumedPrefix(slave_);
 }
 
 }  // namespace mvee

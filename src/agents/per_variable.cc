@@ -1,5 +1,6 @@
 #include "mvee/agents/per_variable.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 
@@ -12,25 +13,50 @@ namespace {
 
 constexpr size_t kProbeLimit = 64;
 
+// Largest table the runtime will preallocate: 2^28 slots of 8-byte keys is
+// already a 2 GiB key array; anything larger is a config error, not a real
+// wall size.
+constexpr size_t kMaxTableCapacity = size_t{1} << 28;
+
 size_t NextPow2(size_t n) {
   size_t p = 2;
-  while (p < n) {
+  while (p < n && p < kMaxTableCapacity) {
     p <<= 1;
   }
   return p;
 }
 
+// clock_count * 8 with saturation: a huge clock_count must clamp to the max
+// table size, not wrap around (size_t overflow would otherwise produce a
+// tiny — or zero — table and an all-wrong mask).
+size_t TableSlotsFor(size_t clock_count) {
+  if (clock_count > kMaxTableCapacity / 8) {
+    return kMaxTableCapacity;
+  }
+  return clock_count * 8;
+}
+
 }  // namespace
 
+size_t PerVariableRuntime::TableCapacityFor(size_t clock_count) {
+  return NextPow2(TableSlotsFor(clock_count));
+}
+
 PerVariableRuntime::PerVariableRuntime(const AgentConfig& config, AgentControl control)
-    : config_(config),
+    : config_(ValidatedAgentConfig(config)),
       control_(std::move(control)),
-      table_capacity_(NextPow2(config.clock_count * 8)),
+      table_capacity_(TableCapacityFor(config_.clock_count)),
       table_mask_(table_capacity_ - 1),
       keys_(table_capacity_),
+      overflow_capacity_(std::min(table_capacity_, size_t{1} << 12)),
+      overflow_mask_(overflow_capacity_ - 1),
+      overflow_keys_(overflow_capacity_),
       master_clocks_(table_capacity_),
-      slave_clocks_(config.num_variants > 0 ? config.num_variants - 1 : 0) {
+      slave_clocks_(config_.num_variants > 0 ? config_.num_variants - 1 : 0) {
   for (auto& key : keys_) {
+    key.store(0, std::memory_order_relaxed);
+  }
+  for (auto& key : overflow_keys_) {
     key.store(0, std::memory_order_relaxed);
   }
   rings_.reserve(config_.max_threads);
@@ -72,7 +98,35 @@ uint32_t PerVariableRuntime::ClockOf(const void* addr) {
   }
   // Table region saturated: degrade to WoC-style hashed assignment. The
   // clock still exists (every table index has one); we merely share it.
-  table_overflows_.fetch_add(1, std::memory_order_relaxed);
+  // Count the overflow only on this key's first fallback — TableOverflows()
+  // reports saturated variables, not lookups — via an insert-only dedup set
+  // probed the same way as the main table.
+  uint64_t overflow_index = ClockAddressHash(key) & overflow_mask_;
+  bool seen_before = false;
+  for (size_t probe = 0; probe < kProbeLimit; ++probe) {
+    const uint64_t current = overflow_keys_[overflow_index].load(std::memory_order_acquire);
+    if (current == key) {
+      seen_before = true;
+      break;
+    }
+    if (current == 0) {
+      uint64_t expected = 0;
+      if (overflow_keys_[overflow_index].compare_exchange_strong(expected, key,
+                                                                std::memory_order_acq_rel)) {
+        break;  // First sighting: we count it below.
+      }
+      if (expected == key) {
+        seen_before = true;  // Lost the race to ourselves.
+        break;
+      }
+    }
+    overflow_index = (overflow_index + 1) & overflow_mask_;
+    // Probe exhaustion: the dedup set is saturated too; count every lookup
+    // (overcount beats a second dedup layer in a config this degenerate).
+  }
+  if (!seen_before) {
+    table_overflows_.fetch_add(1, std::memory_order_relaxed);
+  }
   return static_cast<uint32_t>(ClockAddressHash(key) & table_mask_);
 }
 
@@ -83,12 +137,16 @@ std::unique_ptr<SyncAgent> PerVariableRuntime::CreateAgent(uint32_t variant_inde
 
 PerVariableAgent::PerVariableAgent(PerVariableRuntime* runtime, AgentRole role,
                                    uint32_t variant_index)
-    : runtime_(runtime), role_(role), variant_index_(variant_index) {}
+    : runtime_(runtime),
+      role_(role),
+      variant_index_(variant_index),
+      pending_(runtime->config_.max_threads) {}
 
 void PerVariableAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   if (runtime_->control_.aborted() && AlreadyUnwinding()) {
     return;
   }
+  CheckTidBound(tid, runtime_->config_.max_threads, runtime_->control_, name());
 
   if (role_ == AgentRole::kMaster) {
     const uint32_t clock_id = runtime_->ClockOf(addr);

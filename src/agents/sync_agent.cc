@@ -1,5 +1,9 @@
 #include "mvee/agents/sync_agent.h"
 
+#include <string>
+
+#include "mvee/util/variant_killed.h"
+
 namespace mvee {
 
 NullAgent* NullAgent::Instance() {
@@ -21,6 +25,19 @@ const char* AgentKindName(AgentKind kind) {
       return "per-variable-order";
   }
   return "unknown";
+}
+
+void CheckTidBound(uint32_t tid, uint32_t max_threads, const AgentControl& control,
+                   const char* agent_name) {
+  if (tid < max_threads) [[likely]] {
+    return;
+  }
+  if (control.on_stall) {
+    control.on_stall(std::string(agent_name) + ": logical tid " + std::to_string(tid) +
+                     " exceeds AgentConfig::max_threads = " + std::to_string(max_threads) +
+                     " (raise max_threads for this workload)");
+  }
+  throw VariantKilled{};
 }
 
 }  // namespace mvee

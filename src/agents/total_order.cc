@@ -1,6 +1,7 @@
 #include "mvee/agents/total_order.h"
 
 #include <chrono>
+#include <string>
 
 #include "mvee/util/spin.h"
 #include "mvee/util/variant_killed.h"
@@ -8,7 +9,14 @@
 namespace mvee {
 
 TotalOrderRuntime::TotalOrderRuntime(const AgentConfig& config, AgentControl control)
-    : config_(config), control_(std::move(control)), ring_(config.buffer_capacity) {
+    : config_(ValidatedAgentConfig(config)),
+      control_(std::move(control)),
+      // The baseline global ring is only populated when sharded recording is
+      // off; shrink whichever side is idle so a runtime never pays for both.
+      ring_(config_.sharded_recording ? 2 : config_.buffer_capacity),
+      record_shards_(config_.sharded_recording),
+      thread_rings_(MakeThreadRecordingRings<Entry>(config_)),
+      replay_fronts_(config_.num_variants > 0 ? config_.num_variants - 1 : 0) {
   ring_.EnableCursorCaching(config_.cached_ring_cursors);
   // One consumer cursor per slave variant. All threads of a slave variant
   // share one cursor: the total order is variant-global.
@@ -28,14 +36,26 @@ TotalOrderAgent::TotalOrderAgent(TotalOrderRuntime* runtime, AgentRole role, siz
       role_(role),
       consumer_id_(consumer_id),
       stats_variant_(role == AgentRole::kMaster ? 0
-                                                : static_cast<uint32_t>(consumer_id) + 1) {}
+                                                : static_cast<uint32_t>(consumer_id) + 1),
+      pending_seq_(runtime->config_.max_threads, 0),
+      held_shard_(runtime->config_.max_threads, nullptr) {}
 
 void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
-  (void)addr;
   if (runtime_->control_.aborted() && AlreadyUnwinding()) {
     return;  // Teardown: no second throw from destructor-driven sync ops.
   }
+  CheckTidBound(tid, runtime_->config_.max_threads, runtime_->control_, name());
   if (role_ == AgentRole::kMaster) {
+    if (runtime_->config_.sharded_recording) {
+      // Per-variable shard lock held across (op + ticket + push): conflicting
+      // ops serialize here — and only here — so the ticket order drawn in
+      // AfterSyncOp is a linear extension of the conflict order, which is
+      // all the slaves need (docs/DESIGN.md §8). Independent ops proceed in
+      // parallel; the global master lock is gone from the hot path.
+      held_shard_[tid] = &runtime_->record_shards_.Acquire(
+          addr, runtime_->control_, runtime_->stats_.shard(stats_variant_, tid));
+      return;
+    }
     // Global instrumentation lock held across the sync op: the recorded
     // order is the execution order. This read-write sharing on one cache
     // line is the scalability problem §4.5 attributes to the simple agents.
@@ -46,14 +66,70 @@ void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
       }
       waiter.Pause();
     }
+    if (waiter.spins() > 0) {
+      runtime_->stats_.shard(stats_variant_, tid)
+          .record_lock_spins.fetch_add(waiter.spins(), std::memory_order_relaxed);
+    }
     return;
   }
 
-  // Slave: stall until the front of the buffer names this thread. Only the
-  // named thread advances the cursor, so concurrent peeks are safe.
   DeadlineGate deadline(runtime_->config_.replay_deadline);
   SpinWait waiter;
   bool stalled = false;
+
+  if (runtime_->config_.sharded_recording) {
+    // Slave merge (docs/DESIGN.md §8): thread t's next op is its own ring's
+    // front (master thread t produced exactly this thread's entries, in
+    // order), and the per-variant next_seq ratchet admits the one entry
+    // whose global sequence is next. Together the per-thread fronts plus
+    // the ratchet ARE the deterministic merge of the per-thread rings.
+    auto& ring = *runtime_->thread_rings_[tid];
+    TotalOrderRuntime::Entry entry;
+    while (!ring.Peek(consumer_id_, 0, &entry)) {
+      if (runtime_->control_.aborted()) {
+        throw VariantKilled{};
+      }
+      if (!stalled) {
+        stalled = true;
+        runtime_->stats_.shard(stats_variant_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (deadline.Expired(waiter)) {
+        if (runtime_->control_.on_stall) {
+          runtime_->control_.on_stall("total-order replay deadline (no entry, tid " +
+                                      std::to_string(tid) + ")");
+        }
+        throw VariantKilled{};
+      }
+      waiter.Pause();
+    }
+    auto& front = runtime_->replay_fronts_[consumer_id_].next_seq;
+    waiter.Reset();
+    while (front.load(std::memory_order_acquire) != entry.seq) {
+      if (runtime_->control_.aborted()) {
+        throw VariantKilled{};
+      }
+      if (!stalled) {
+        stalled = true;
+        runtime_->stats_.shard(stats_variant_, tid).replay_stalls.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (deadline.Expired(waiter)) {
+        if (runtime_->control_.on_stall) {
+          runtime_->control_.on_stall("total-order replay deadline (seq " +
+                                      std::to_string(entry.seq) + " waiting on " +
+                                      std::to_string(front.load()) + ", tid " +
+                                      std::to_string(tid) + ")");
+        }
+        throw VariantKilled{};
+      }
+      waiter.Pause();
+    }
+    pending_seq_[tid] = entry.seq;
+    return;
+  }
+
+  // Baseline slave: stall until the front of the global buffer names this
+  // thread. Only the named thread advances the cursor, so concurrent peeks
+  // are safe.
   for (;;) {
     if (runtime_->control_.aborted()) {
       throw VariantKilled{};
@@ -78,18 +154,29 @@ void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
 }
 
 void TotalOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
-  (void)addr;
+  (void)addr;  // The shard was resolved (and locked) in BeforeSyncOp.
   if (runtime_->control_.aborted() && AlreadyUnwinding()) {
     return;
   }
   if (role_ == AgentRole::kMaster) {
+    if (runtime_->config_.sharded_recording) {
+      // Ticket and push both stay inside the shard lock. The ticket gives
+      // conflicting ops sequences in conflict order; the push-before-unlock
+      // chains ring publications of conflicting ops, so a slave that sees a
+      // later conflicting entry is guaranteed to also see every earlier one
+      // (the §8 visibility argument the PO dependence wait relies on).
+      const TotalOrderRuntime::Entry entry{tid, runtime_->record_shards_.DrawTicket()};
+      RecordIntoRing(*runtime_->thread_rings_[tid], entry, *held_shard_[tid],
+                     runtime_->control_, runtime_->stats_.shard(stats_variant_, tid));
+      return;
+    }
     // The push must stay inside the instrumentation lock: the ring has one
     // logical producer (whoever holds the lock) and its push order *is* the
     // recorded total order.
-    if (!runtime_->ring_.TryPush(TotalOrderRuntime::Entry{tid})) {
+    if (!runtime_->ring_.TryPush(TotalOrderRuntime::Entry{tid, 0})) {
       runtime_->stats_.shard(stats_variant_, tid).record_stalls.fetch_add(1, std::memory_order_relaxed);
       SpinWait waiter;
-      while (!runtime_->ring_.TryPush(TotalOrderRuntime::Entry{tid})) {
+      while (!runtime_->ring_.TryPush(TotalOrderRuntime::Entry{tid, 0})) {
         if (runtime_->control_.aborted()) {
           runtime_->master_lock_.clear(std::memory_order_release);
           throw VariantKilled{};
@@ -102,7 +189,15 @@ void TotalOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
     return;
   }
 
-  runtime_->ring_.Advance(consumer_id_);
+  if (runtime_->config_.sharded_recording) {
+    runtime_->thread_rings_[tid]->Advance(consumer_id_);
+    // Release the ratchet: hands this op's effects to whichever thread owns
+    // the next sequence (its acquire load in BeforeSyncOp pairs with this).
+    runtime_->replay_fronts_[consumer_id_].next_seq.store(pending_seq_[tid] + 1,
+                                                          std::memory_order_release);
+  } else {
+    runtime_->ring_.Advance(consumer_id_);
+  }
   runtime_->stats_.shard(stats_variant_, tid).ops_replayed.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -9,10 +9,10 @@
 namespace mvee {
 
 WallOfClocksRuntime::WallOfClocksRuntime(const AgentConfig& config, AgentControl control)
-    : config_(config),
+    : config_(ValidatedAgentConfig(config)),
       control_(std::move(control)),
-      master_clocks_(config.clock_count),
-      slave_clocks_(config.num_variants > 0 ? config.num_variants - 1 : 0) {
+      master_clocks_(config_.clock_count),
+      slave_clocks_(config_.num_variants > 0 ? config_.num_variants - 1 : 0) {
   rings_.reserve(config_.max_threads);
   for (uint32_t t = 0; t < config_.max_threads; ++t) {
     auto ring = std::make_unique<BroadcastRing<Entry>>(config_.buffer_capacity);
@@ -35,12 +35,16 @@ std::unique_ptr<SyncAgent> WallOfClocksRuntime::CreateAgent(uint32_t variant_ind
 
 WallOfClocksAgent::WallOfClocksAgent(WallOfClocksRuntime* runtime, AgentRole role,
                                      uint32_t variant_index)
-    : runtime_(runtime), role_(role), variant_index_(variant_index) {}
+    : runtime_(runtime),
+      role_(role),
+      variant_index_(variant_index),
+      pending_(runtime->config_.max_threads) {}
 
 void WallOfClocksAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   if (runtime_->control_.aborted() && AlreadyUnwinding()) {
     return;  // Teardown: no second throw from destructor-driven sync ops.
   }
+  CheckTidBound(tid, runtime_->config_.max_threads, runtime_->control_, name());
   const uint32_t clock_id = runtime_->ClockOf(addr);
 
   if (role_ == AgentRole::kMaster) {

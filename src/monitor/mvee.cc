@@ -36,9 +36,14 @@ Mvee::Mvee(const MveeOptions& options, VirtualKernel* external_kernel) : options
     kernel_ = owned_kernel_.get();
   }
 
-  // Agent runtime shared by all variants (the sync buffers of §4.5).
+  // Agent runtime shared by all variants (the sync buffers of §4.5). The
+  // agent runtimes clamp their config (ValidatedAgentConfig); the variant
+  // loop below must agree with the clamped count, or CreateAgent would
+  // index past the runtime's per-slave state.
   AgentConfig agent_config = options_.agent_config;
   agent_config.num_variants = options_.num_variants;
+  agent_config = ValidatedAgentConfig(agent_config);
+  options_.num_variants = agent_config.num_variants;
   AgentControl control;
   control.abort_flag = reporter_.abort_flag();
   control.on_stall = [this](const std::string& detail) {
@@ -265,6 +270,7 @@ Status Mvee::Run(Program program) {
     report_.sync_ops_replayed = snapshot.ops_replayed;
     report_.replay_stalls = snapshot.replay_stalls;
     report_.record_stalls = snapshot.record_stalls;
+    report_.record_lock_spins = snapshot.record_lock_spins;
   }
   {
     // Kernel readiness counters (cumulative for shared external kernels; the

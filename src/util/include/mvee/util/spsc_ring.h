@@ -133,9 +133,23 @@ class BroadcastRing {
   }
 
   // Consumer side: advances the cursor by one (after a successful Peek(0)).
+  // Single-advancer per consumer id: the load+store pair is not atomic.
   void Advance(size_t consumer) {
     auto& cursor = cursors_[consumer].read;
     cursor.store(cursor.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  }
+
+  // Consumer side: advances the cursor to `seq` (monotonic CAS-max). Safe
+  // under concurrent advancers, unlike Advance: racing retirers (the
+  // partial-order agent's lock-free retire loop) may publish their advances
+  // out of order, and the max-CAS keeps the cursor monotonic either way.
+  void AdvanceTo(size_t consumer, uint64_t seq) {
+    auto& cursor = cursors_[consumer].read;
+    uint64_t current = cursor.load(std::memory_order_relaxed);
+    while (current < seq &&
+           !cursor.compare_exchange_weak(current, seq, std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    }
   }
 
   // Reads the element at absolute sequence `seq` if it has been produced.
@@ -240,6 +254,84 @@ class BroadcastRing {
   ConsumerCursor cursors_[kMaxConsumers];
   size_t consumer_count_ = 0;
   bool cursor_caching_ = true;
+};
+
+// Deterministic merge over per-thread ticketed rings — the REFERENCE MODEL
+// of the sharded recording protocol (docs/DESIGN.md §8), exercised by
+// util_test. The production agents specialize it rather than call it: the
+// TO slave distributes TryPopNext into own-ring fronts plus a next_seq
+// ratchet, and the PO slave replaces AnyUnconsumedBelow with recorded
+// (prev_tid, prev_seq) edges checked against per-thread consumed
+// watermarks (cross-thread slot reads race slot recycling — see
+// partial_order.h). Keep this class in sync with DESIGN.md §8 when the
+// protocol changes.
+//
+// The sharded TO/PO masters record into one ring per master thread; every
+// entry carries a global sequence number drawn from a single fetch_add
+// ticket counter, so the union of the rings is a dense sequence 0,1,2,...
+// Slaves reconstruct the recorded order by merging the rings on those
+// sequences. Two properties make the merge cheap:
+//   - within one ring, sequences are strictly increasing (one master thread
+//     drew its tickets in program order), so per-ring scans stop at the
+//     first too-large sequence;
+//   - the globally-next sequence is always at some ring's front, so the
+//     strict merge never looks past the fronts.
+// `seq_of` extracts the sequence from an entry. Single merging thread per
+// consumer id; concurrent use against rings whose cursors other threads
+// advance inherits the recycling caveat above.
+template <typename T>
+class TicketedRingMerge {
+ public:
+  TicketedRingMerge(BroadcastRing<T>* const* rings, size_t ring_count, size_t consumer)
+      : rings_(rings), ring_count_(ring_count), consumer_(consumer) {}
+
+  // Strict merge step: pops the entry with global sequence `seq` if it has
+  // been published (it can only be at a ring front — sequences are dense and
+  // every smaller one has been popped). Returns false when the producing
+  // thread has not pushed it yet. Single merging thread per consumer id.
+  template <typename SeqFn>
+  bool TryPopNext(uint64_t seq, SeqFn&& seq_of, T* out) {
+    for (size_t r = 0; r < ring_count_; ++r) {
+      T front;
+      if (rings_[r]->Peek(consumer_, 0, &front) && seq_of(front) == seq) {
+        rings_[r]->Advance(consumer_);
+        *out = front;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Dependence scan (the partial-order slave's lookahead): true if any
+  // unconsumed entry with sequence < `limit` matches `pred`. Entries below a
+  // ring's cursor have been replayed; entries at/after it have not. May
+  // report a spurious match if a cursor advances mid-scan (the slot being
+  // read was retired); callers poll, so the stale answer washes out on the
+  // next pass.
+  template <typename SeqFn, typename PredFn>
+  bool AnyUnconsumedBelow(uint64_t limit, SeqFn&& seq_of, PredFn&& pred) const {
+    for (size_t r = 0; r < ring_count_; ++r) {
+      const BroadcastRing<T>& ring = *rings_[r];
+      for (uint64_t index = ring.ReadCursor(consumer_);; ++index) {
+        T entry;
+        if (!ring.TryRead(consumer_, index, &entry)) {
+          break;  // Nothing more published in this ring.
+        }
+        if (seq_of(entry) >= limit) {
+          break;  // Sequences in one ring only grow.
+        }
+        if (pred(entry)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  BroadcastRing<T>* const* rings_;
+  size_t ring_count_;
+  size_t consumer_;
 };
 
 }  // namespace mvee

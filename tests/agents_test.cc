@@ -11,13 +11,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "mvee/agents/agent_fleet.h"
 #include "mvee/agents/context.h"
+#include "mvee/monitor/mvee.h"
 #include "mvee/sync/primitives.h"
 #include "mvee/util/rng.h"
 #include "mvee/util/variant_killed.h"
@@ -44,13 +48,16 @@ struct ReplayHarnessResult {
 // sections on pseudo-randomly chosen locks (the per-thread choice sequence is
 // seeded by tid only, so all variants run the same per-thread program).
 ReplayHarnessResult RunReplayHarness(AgentKind kind, uint32_t variants, uint32_t threads,
-                                     size_t lock_count, int ops) {
+                                     size_t lock_count, int ops,
+                                     bool sharded_recording = DefaultShardedRecording(),
+                                     uint32_t max_threads = 0, uint32_t tid_offset = 0) {
   AgentConfig config;
   config.num_variants = variants;
-  config.max_threads = threads;
+  config.max_threads = max_threads == 0 ? threads + tid_offset : max_threads;
   config.buffer_capacity = 1 << 14;
   config.clock_count = 64;  // Small wall: force collisions on purpose.
   config.replay_deadline = std::chrono::milliseconds(20000);
+  config.sharded_recording = sharded_recording;
 
   std::atomic<bool> abort{false};
   AgentControl control;
@@ -67,7 +74,8 @@ ReplayHarnessResult RunReplayHarness(AgentKind kind, uint32_t variants, uint32_t
 
   std::vector<std::thread> workers;
   for (uint32_t v = 0; v < variants; ++v) {
-    for (uint32_t t = 0; t < threads; ++t) {
+    for (uint32_t logical = 0; logical < threads; ++logical) {
+      const uint32_t t = logical + tid_offset;
       workers.emplace_back([&, v, t] {
         SyncContext context{agents[v].get(), nullptr, t};
         ScopedSyncContext scoped(&context);
@@ -92,11 +100,19 @@ ReplayHarnessResult RunReplayHarness(AgentKind kind, uint32_t variants, uint32_t
   return result;
 }
 
-class AgentReplayTest : public ::testing::TestWithParam<AgentKind> {};
+// Swept over (agent kind, sharded_recording): the ticketed-ring recording
+// path and the global-lock baseline must produce identical replay verdicts
+// (WoC/PVO ignore the toggle; they run under both settings as a no-change
+// control).
+class AgentReplayTest : public ::testing::TestWithParam<std::tuple<AgentKind, bool>> {
+ protected:
+  AgentKind kind() const { return std::get<0>(GetParam()); }
+  bool sharded() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(AgentReplayTest, SlavesReproducePerLockAcquisitionOrder) {
-  const auto result = RunReplayHarness(GetParam(), /*variants=*/2, /*threads=*/4,
-                                       /*lock_count=*/8, /*ops=*/300);
+  const auto result = RunReplayHarness(kind(), /*variants=*/2, /*threads=*/4,
+                                       /*lock_count=*/8, /*ops=*/300, sharded());
   ASSERT_TRUE(result.ok);
   const auto& master = *result.states[0];
   const auto& slave = *result.states[1];
@@ -106,8 +122,8 @@ TEST_P(AgentReplayTest, SlavesReproducePerLockAcquisitionOrder) {
 }
 
 TEST_P(AgentReplayTest, ThreeSlavesAllMatch) {
-  const auto result = RunReplayHarness(GetParam(), /*variants=*/4, /*threads=*/3,
-                                       /*lock_count=*/4, /*ops=*/150);
+  const auto result = RunReplayHarness(kind(), /*variants=*/4, /*threads=*/3,
+                                       /*lock_count=*/4, /*ops=*/150, sharded());
   ASSERT_TRUE(result.ok);
   for (uint32_t v = 1; v < 4; ++v) {
     for (size_t lock = 0; lock < result.states[0]->logs.size(); ++lock) {
@@ -118,38 +134,65 @@ TEST_P(AgentReplayTest, ThreeSlavesAllMatch) {
 }
 
 TEST_P(AgentReplayTest, SingleThreadIsTrivial) {
-  const auto result = RunReplayHarness(GetParam(), /*variants=*/2, /*threads=*/1,
-                                       /*lock_count=*/2, /*ops=*/100);
+  const auto result = RunReplayHarness(kind(), /*variants=*/2, /*threads=*/1,
+                                       /*lock_count=*/2, /*ops=*/100, sharded());
   ASSERT_TRUE(result.ok);
   EXPECT_EQ(result.states[0]->logs, result.states[1]->logs);
 }
 
 TEST_P(AgentReplayTest, HighContentionSingleLock) {
-  const auto result = RunReplayHarness(GetParam(), /*variants=*/2, /*threads=*/4,
-                                       /*lock_count=*/1, /*ops=*/200);
+  const auto result = RunReplayHarness(kind(), /*variants=*/2, /*threads=*/4,
+                                       /*lock_count=*/1, /*ops=*/200, sharded());
   ASSERT_TRUE(result.ok);
   EXPECT_EQ(result.states[0]->logs[0], result.states[1]->logs[0]);
   EXPECT_EQ(result.states[0]->logs[0].size(), 800u);
 }
 
+// The OOB regression the fixed-size pending_[256] arrays used to hit: logical
+// tids near the top of a max_threads > 256 config silently overran the
+// per-thread scratch (and WoC/PVO's ring array). Eight real threads carry
+// tids 292..299 through a 300-thread config.
+TEST_P(AgentReplayTest, MaxThreadsBeyond256) {
+  const auto result = RunReplayHarness(kind(), /*variants=*/2, /*threads=*/8,
+                                       /*lock_count=*/4, /*ops=*/50, sharded(),
+                                       /*max_threads=*/300, /*tid_offset=*/292);
+  ASSERT_TRUE(result.ok);
+  const auto& master = *result.states[0];
+  const auto& slave = *result.states[1];
+  for (size_t lock = 0; lock < master.logs.size(); ++lock) {
+    EXPECT_EQ(master.logs[lock], slave.logs[lock]) << "lock " << lock;
+  }
+}
+
+std::string ReplayParamName(const ::testing::TestParamInfo<std::tuple<AgentKind, bool>>& info) {
+  std::string name;
+  switch (std::get<0>(info.param)) {
+    case AgentKind::kTotalOrder:
+      name = "TotalOrder";
+      break;
+    case AgentKind::kPartialOrder:
+      name = "PartialOrder";
+      break;
+    case AgentKind::kWallOfClocks:
+      name = "WallOfClocks";
+      break;
+    case AgentKind::kPerVariableOrder:
+      name = "PerVariableOrder";
+      break;
+    default:
+      name = "Null";
+      break;
+  }
+  return name + (std::get<1>(info.param) ? "Sharded" : "GlobalLock");
+}
+
 INSTANTIATE_TEST_SUITE_P(AllAgents, AgentReplayTest,
-                         ::testing::Values(AgentKind::kTotalOrder, AgentKind::kPartialOrder,
-                                           AgentKind::kWallOfClocks,
-                                           AgentKind::kPerVariableOrder),
-                         [](const ::testing::TestParamInfo<AgentKind>& info) {
-                           switch (info.param) {
-                             case AgentKind::kTotalOrder:
-                               return "TotalOrder";
-                             case AgentKind::kPartialOrder:
-                               return "PartialOrder";
-                             case AgentKind::kWallOfClocks:
-                               return "WallOfClocks";
-                             case AgentKind::kPerVariableOrder:
-                               return "PerVariableOrder";
-                             default:
-                               return "Null";
-                           }
-                         });
+                         ::testing::Combine(::testing::Values(AgentKind::kTotalOrder,
+                                                              AgentKind::kPartialOrder,
+                                                              AgentKind::kWallOfClocks,
+                                                              AgentKind::kPerVariableOrder),
+                                            ::testing::Bool()),
+                         ReplayParamName);
 
 TEST(AgentStatsTest, RecordedEqualsReplayedPerSlave) {
   AgentConfig config;
@@ -641,6 +684,222 @@ TEST(PerVariableTableTest, SaturatedTableDegradesToSharedClocks) {
   // fallback keeps returning valid (shared) clock ids rather than failing.
   EXPECT_GT(runtime.TableOverflows(), 0u);
   EXPECT_LE(runtime.VariablesMapped(), runtime.table_capacity());
+}
+
+TEST(PerVariableTableTest, OverflowCountsVariablesNotLookups) {
+  AgentConfig config;
+  config.num_variants = 2;
+  config.clock_count = 1;  // Table capacity clamps to 8 slots.
+  std::atomic<bool> abort{false};
+  AgentControl control;
+  control.abort_flag = &abort;
+  PerVariableRuntime runtime(config, control);
+
+  // Fill the table, then find one address that overflows.
+  std::vector<int64_t> variables(64);
+  const int64_t* overflowed = nullptr;
+  for (const auto& v : variables) {
+    const uint64_t before = runtime.TableOverflows();
+    runtime.ClockOf(&v);
+    if (runtime.TableOverflows() > before) {
+      overflowed = &v;
+      break;
+    }
+  }
+  ASSERT_NE(overflowed, nullptr);
+
+  // Hammering the same saturated variable must not inflate the counter: it
+  // reports variables, not calls (the old behaviour counted every lookup).
+  const uint64_t after_first = runtime.TableOverflows();
+  const uint32_t clock = runtime.ClockOf(overflowed);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(runtime.ClockOf(overflowed), clock);
+  }
+  EXPECT_EQ(runtime.TableOverflows(), after_first);
+}
+
+TEST(PerVariableTableTest, HugeClockCountClampsInsteadOfOverflowing) {
+  // Small sizes behave as before: next power of two >= 8x clocks.
+  EXPECT_EQ(PerVariableRuntime::TableCapacityFor(1), 8u);
+  EXPECT_EQ(PerVariableRuntime::TableCapacityFor(1024), 8192u);
+  EXPECT_EQ(PerVariableRuntime::TableCapacityFor(1000), 8192u);
+  // clock_count * 8 would wrap size_t here; the capacity must clamp to the
+  // max table size (a power of two), not wrap to a tiny table with an
+  // all-wrong mask (and NextPow2 must not loop forever on it).
+  const size_t huge = PerVariableRuntime::TableCapacityFor(SIZE_MAX / 2);
+  ASSERT_GT(huge, 0u);
+  EXPECT_EQ(huge & (huge - 1), 0u);
+  EXPECT_EQ(huge, PerVariableRuntime::TableCapacityFor(SIZE_MAX));
+  EXPECT_LE(huge, size_t{1} << 28);
+}
+
+// --- Ticketed sharded recording (docs/DESIGN.md §8) ---
+
+TEST(ShardedRecordingTest, TicketCounterMatchesOpsRecorded) {
+  AgentConfig config;
+  config.num_variants = 2;
+  config.max_threads = 2;
+  config.sharded_recording = true;
+  std::atomic<bool> abort{false};
+  AgentControl control;
+  control.abort_flag = &abort;
+
+  TotalOrderRuntime to_runtime(config, control);
+  auto to_master = to_runtime.CreateAgent(0);
+  auto to_slave = to_runtime.CreateAgent(1);
+  int var_a = 0;
+  int var_b = 0;
+  for (int i = 0; i < 10; ++i) {
+    to_master->BeforeSyncOp(0, &var_a);
+    to_master->AfterSyncOp(0, &var_a);
+    to_master->BeforeSyncOp(1, &var_b);
+    to_master->AfterSyncOp(1, &var_b);
+  }
+  // Every recorded op drew exactly one ticket; sequences are dense.
+  EXPECT_EQ(to_runtime.SequencesIssued(), 20u);
+  EXPECT_EQ(to_runtime.OpsRecorded(), 20u);
+  // Replay drains both per-thread rings in ticket order.
+  for (int i = 0; i < 10; ++i) {
+    to_slave->BeforeSyncOp(0, &var_a);
+    to_slave->AfterSyncOp(0, &var_a);
+    to_slave->BeforeSyncOp(1, &var_b);
+    to_slave->AfterSyncOp(1, &var_b);
+  }
+  EXPECT_EQ(to_runtime.stats().Aggregate().ops_replayed, 20u);
+
+  PartialOrderRuntime po_runtime(config, control);
+  auto po_master = po_runtime.CreateAgent(0);
+  for (int i = 0; i < 7; ++i) {
+    po_master->BeforeSyncOp(0, &var_a);
+    po_master->AfterSyncOp(0, &var_a);
+  }
+  EXPECT_EQ(po_runtime.SequencesIssued(), 7u);
+}
+
+TEST(ShardedRecordingTest, BaselineIssuesNoTickets) {
+  AgentConfig config;
+  config.num_variants = 2;
+  config.max_threads = 1;
+  config.sharded_recording = false;
+  std::atomic<bool> abort{false};
+  AgentControl control;
+  control.abort_flag = &abort;
+  TotalOrderRuntime runtime(config, control);
+  auto master = runtime.CreateAgent(0);
+  auto slave = runtime.CreateAgent(1);
+  int var = 0;
+  for (int i = 0; i < 5; ++i) {
+    master->BeforeSyncOp(0, &var);
+    master->AfterSyncOp(0, &var);
+    slave->BeforeSyncOp(0, &var);
+    slave->AfterSyncOp(0, &var);
+  }
+  EXPECT_EQ(runtime.SequencesIssued(), 0u);
+  EXPECT_EQ(runtime.OpsRecorded(), 5u);
+  EXPECT_EQ(runtime.stats().Aggregate().ops_replayed, 5u);
+}
+
+// Both-toggle verdict/output equivalence under a full MVEE run (mirrors the
+// vkernel toggle sweep): for TO and PO, the ticketed-ring path and the
+// global-lock baseline must reach the same verdict and program output.
+std::string RecordingSweepResult(AgentKind kind, bool sharded_recording) {
+  MveeOptions options;
+  options.num_variants = 2;
+  options.agent = kind;
+  options.enable_aslr = false;
+  options.rendezvous_timeout = std::chrono::milliseconds(20000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(20000);
+  options.agent_config.sharded_recording = sharded_recording;
+  Mvee mvee(options);
+  const Status status = mvee.Run([](VariantEnv& env) {
+    auto mutex_a = std::make_shared<Mutex>();
+    auto mutex_b = std::make_shared<Mutex>();
+    auto counter_a = std::make_shared<int>(0);
+    auto counter_b = std::make_shared<int>(0);
+    auto worker = [&](int which) {
+      return [mutex_a, mutex_b, counter_a, counter_b, which](VariantEnv& wenv) {
+        for (int i = 0; i < 40; ++i) {
+          if ((i + which) % 2 == 0) {
+            LockGuard<Mutex> guard(*mutex_a);
+            ++*counter_a;
+          } else {
+            LockGuard<Mutex> guard(*mutex_b);
+            ++*counter_b;
+          }
+        }
+        wenv.Gettid();
+      };
+    };
+    ThreadHandle a = env.Spawn(worker(0));
+    ThreadHandle b = env.Spawn(worker(1));
+    env.Join(a);
+    env.Join(b);
+    const int64_t fd = env.Open("recording_sweep", VOpenFlags::kCreate | VOpenFlags::kWrite);
+    env.Write(fd, std::to_string(*counter_a) + "," + std::to_string(*counter_b));
+    env.Close(fd);
+  });
+  EXPECT_TRUE(status.ok()) << AgentKindName(kind) << " sharded=" << sharded_recording << ": "
+                           << status.ToString();
+  if (!status.ok()) {
+    return "<failed>";
+  }
+  auto file = mvee.kernel().vfs().Open("recording_sweep", false);
+  if (file == nullptr) {
+    return "<missing>";
+  }
+  const auto contents = file->Contents();
+  return std::string(contents.begin(), contents.end());
+}
+
+// A logical tid past max_threads must kill the variant with a reported
+// configuration failure, not index past the tid-sized per-thread state
+// (the monitor allocates tids from an unbounded counter).
+TEST(ShardedRecordingTest, TidBeyondMaxThreadsKillsVariantLoudly) {
+  for (AgentKind kind : {AgentKind::kTotalOrder, AgentKind::kPartialOrder,
+                         AgentKind::kWallOfClocks, AgentKind::kPerVariableOrder}) {
+    for (bool sharded : {true, false}) {
+      AgentConfig config;
+      config.num_variants = 2;
+      config.max_threads = 2;
+      config.buffer_capacity = 1 << 8;
+      config.sharded_recording = sharded;
+      std::atomic<bool> abort{false};
+      std::atomic<bool> reported{false};
+      AgentControl control;
+      control.abort_flag = &abort;
+      control.on_stall = [&](const std::string&) { reported.store(true); };
+      AgentFleet fleet(kind, config, control);
+      auto master = fleet.CreateAgent(0);
+      int var = 0;
+      EXPECT_THROW(master->BeforeSyncOp(/*tid=*/2, &var), VariantKilled)
+          << AgentKindName(kind) << " sharded=" << sharded;
+      EXPECT_TRUE(reported.load()) << AgentKindName(kind) << " sharded=" << sharded;
+    }
+  }
+}
+
+// A variant count past BroadcastRing's consumer limit must clamp coherently
+// everywhere (agent runtimes AND the monitor's variant loop) instead of
+// indexing past the runtimes' per-slave state.
+TEST(ShardedRecordingTest, ExcessiveVariantCountClampsCoherently) {
+  for (AgentKind kind : {AgentKind::kTotalOrder, AgentKind::kPartialOrder}) {
+    MveeOptions options;
+    options.num_variants = 20;  // > 16 (1 master + kMaxConsumers slaves)
+    options.agent = kind;
+    options.enable_aslr = false;
+    Mvee mvee(options);
+    const Status status = mvee.Run([](VariantEnv& env) { env.Gettid(); });
+    EXPECT_TRUE(status.ok()) << AgentKindName(kind) << ": " << status.ToString();
+  }
+}
+
+TEST(ShardedRecordingTest, VerdictAndOutputEquivalenceUnderMvee) {
+  for (AgentKind kind : {AgentKind::kTotalOrder, AgentKind::kPartialOrder}) {
+    const std::string sharded = RecordingSweepResult(kind, true);
+    const std::string baseline = RecordingSweepResult(kind, false);
+    EXPECT_EQ(sharded, "40,40") << AgentKindName(kind);
+    EXPECT_EQ(sharded, baseline) << AgentKindName(kind);
+  }
 }
 
 TEST(PerVariableTableTest, ConcurrentInsertsAgreeOnMapping) {
