@@ -1,0 +1,207 @@
+// Recovery benchmark (docs/DESIGN.md §9): what does surviving a failing
+// variant cost?
+//
+// Two headline numbers, written to BENCH_recovery.json:
+//
+//  1. Excision latency: worst excise-to-next-round-open time, from the
+//     reporter's probe. This is the survivors' actual service interruption
+//     once a failure is DETECTED (detection itself is bounded separately by
+//     rendezvous_timeout — the deliberately induced stall window is not a
+//     property of the recovery machinery and is excluded).
+//  2. Degraded-mode throughput: steady-state syscall throughput at N=4, 3
+//     and 2 variants, plus one faulted run that degrades 4 -> 3 -> 2 live
+//     variants via two seeded crashes and must still complete OK.
+//
+// Gates (exit 1): the faulted run must complete with status OK and exactly
+// two excisions; worst excision latency must stay under
+// MVEE_BENCH_RECOVERY_MAX_MS (default 2000).
+//
+// Knobs:
+//   MVEE_BENCH_RECOVERY_SYSCALLS  syscalls per variant thread  (default 3000)
+//   MVEE_BENCH_RECOVERY_REPS      repetitions, best-of kept    (default 3)
+//   MVEE_BENCH_RECOVERY_MAX_MS    latency gate in ms           (default 2000)
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+namespace {
+
+using namespace mvee;
+using namespace mvee::bench;
+
+// Syscall storm: the round rate is the denominator of both measurements.
+Program StormProgram(int64_t syscalls) {
+  return [syscalls](VariantEnv& env) {
+    const int64_t fd = env.Open("storm.txt", VOpenFlags::kWrite | VOpenFlags::kCreate);
+    std::vector<uint8_t> buffer(32);
+    for (int64_t i = 0; i < syscalls; ++i) {
+      if (i % 16 == 0) {
+        env.Write(fd, std::string("x"));
+      } else {
+        env.Gettid();
+      }
+    }
+    env.Close(fd);
+  };
+}
+
+MveeOptions RecoveryOptions(uint32_t variants) {
+  MveeOptions options;
+  options.num_variants = variants;
+  options.agent = AgentKind::kWallOfClocks;
+  options.enable_aslr = false;
+  options.on_variant_failure = VariantFailurePolicy::kExcise;
+  options.min_survivors = 2;
+  // Short detection window: the benchmark's wall time includes one stall of
+  // this length per induced crash, and it is excluded from the latency
+  // number (see header comment).
+  options.rendezvous_timeout = std::chrono::milliseconds(300);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(30000);
+  return options;
+}
+
+struct SteadyRun {
+  uint32_t variants = 0;
+  double seconds = 0;
+  double rounds_per_sec = 0;
+};
+
+SteadyRun RunSteady(uint32_t variants, int64_t syscalls) {
+  MveeOptions options = RecoveryOptions(variants);
+  Mvee mvee(options);
+  const Status status = mvee.Run(StormProgram(syscalls));
+  SteadyRun run;
+  run.variants = variants;
+  if (!status.ok()) {
+    std::fprintf(stderr, "steady run (N=%u) failed: %s\n", variants,
+                 status.ToString().c_str());
+    return run;
+  }
+  run.seconds = mvee.report().wall_seconds;
+  run.rounds_per_sec =
+      run.seconds > 0 ? static_cast<double>(mvee.report().syscalls.total) / run.seconds : 0;
+  return run;
+}
+
+struct FaultedRun {
+  bool ok = false;
+  size_t excisions = 0;
+  double seconds = 0;
+  uint64_t excision_latency_ns = 0;
+  std::string first_victim;
+};
+
+FaultedRun RunFaulted(int64_t syscalls) {
+  MveeOptions options = RecoveryOptions(4);
+  // Two crashes, far enough apart that the run reaches a steady state at
+  // each degraded level: 4 live -> (crash of variant 2) -> 3 live ->
+  // (crash of variant 3) -> 2 live -> completion.
+  options.fault_plan = "crash@2:" + std::to_string(syscalls / 4) +
+                       ";crash@3:" + std::to_string(syscalls / 2);
+  Mvee mvee(options);
+  const Status status = mvee.Run(StormProgram(syscalls));
+  FaultedRun run;
+  run.ok = status.ok();
+  if (!run.ok) {
+    std::fprintf(stderr, "faulted run failed: %s\n", status.ToString().c_str());
+  }
+  const MveeReport& report = mvee.report();
+  run.excisions = report.excised_variants.size();
+  run.seconds = report.wall_seconds;
+  run.excision_latency_ns = report.excision_latency_ns;
+  if (!report.excised_variants.empty()) {
+    run.first_victim = "variant " + std::to_string(report.excised_variants[0].variant);
+  }
+  return run;
+}
+
+void WriteRecoveryJson(const std::vector<SteadyRun>& steady, const FaultedRun& faulted) {
+  const std::string path = ResolveBenchJsonPath("BENCH_recovery.json");
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file, "{\n  \"steady_state\": [\n");
+  for (size_t i = 0; i < steady.size(); ++i) {
+    std::fprintf(file,
+                 "    {\"variants\": %u, \"seconds\": %.4f, \"rounds_per_sec\": %.1f}%s\n",
+                 steady[i].variants, steady[i].seconds, steady[i].rounds_per_sec,
+                 i + 1 < steady.size() ? "," : "");
+  }
+  std::fprintf(file,
+               "  ],\n  \"faulted\": {\"ok\": %s, \"excisions\": %zu, "
+               "\"seconds\": %.4f, \"excision_latency_ns\": %llu}\n}\n",
+               faulted.ok ? "true" : "false", faulted.excisions, faulted.seconds,
+               static_cast<unsigned long long>(faulted.excision_latency_ns));
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const int64_t syscalls = EnvInt("MVEE_BENCH_RECOVERY_SYSCALLS", 3000);
+  const int64_t reps = EnvInt("MVEE_BENCH_RECOVERY_REPS", 3);
+  const double max_ms =
+      static_cast<double>(EnvInt("MVEE_BENCH_RECOVERY_MAX_MS", 2000));
+
+  PrintHeader("Variant-failure recovery: excision latency and degraded-mode throughput (" +
+              std::to_string(syscalls) + " syscalls/thread)");
+
+  // Warm-up kept out of the measurements.
+  RunSteady(2, 200);
+
+  std::vector<SteadyRun> steady;
+  for (const uint32_t n : {4u, 3u, 2u}) {
+    SteadyRun best;
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      SteadyRun attempt = RunSteady(n, syscalls);
+      if (rep == 0 || attempt.rounds_per_sec > best.rounds_per_sec) {
+        best = attempt;
+      }
+    }
+    std::printf("  steady N=%u  %8.3fs  %10.0f rounds/s\n", best.variants, best.seconds,
+                best.rounds_per_sec);
+    steady.push_back(best);
+  }
+
+  // Faulted runs: keep the rep with the WORST excision latency that still
+  // completed — the gate bounds the worst case, not the luckiest.
+  FaultedRun faulted;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    FaultedRun attempt = RunFaulted(syscalls);
+    if (rep == 0 || !attempt.ok ||
+        (faulted.ok && attempt.excision_latency_ns > faulted.excision_latency_ns)) {
+      faulted = attempt;
+    }
+    if (!faulted.ok) {
+      break;
+    }
+  }
+  std::printf("  faulted 4->3->2: %s, %zu excisions (first: %s), %.3fs, "
+              "worst excision latency %.3f ms\n",
+              faulted.ok ? "OK" : "FAILED", faulted.excisions,
+              faulted.first_victim.empty() ? "none" : faulted.first_victim.c_str(),
+              faulted.seconds,
+              static_cast<double>(faulted.excision_latency_ns) / 1e6);
+
+  WriteRecoveryJson(steady, faulted);
+
+  if (!faulted.ok || faulted.excisions != 2) {
+    std::fprintf(stderr, "FAIL: faulted run did not degrade gracefully (ok=%d excisions=%zu)\n",
+                 faulted.ok ? 1 : 0, faulted.excisions);
+    return 1;
+  }
+  if (faulted.excision_latency_ns == 0 ||
+      static_cast<double>(faulted.excision_latency_ns) / 1e6 > max_ms) {
+    std::fprintf(stderr, "FAIL: excision latency %.3f ms outside (0, %.0f ms]\n",
+                 static_cast<double>(faulted.excision_latency_ns) / 1e6, max_ms);
+    return 1;
+  }
+  return 0;
+}

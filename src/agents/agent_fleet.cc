@@ -51,6 +51,25 @@ std::unique_ptr<SyncAgent> AgentFleet::CreateAgent(uint32_t variant_index) {
   return nullptr;
 }
 
+void AgentFleet::DetachVariant(uint32_t variant) {
+  switch (kind_) {
+    case AgentKind::kNull:
+      break;
+    case AgentKind::kTotalOrder:
+      total_order_->DetachVariant(variant);
+      break;
+    case AgentKind::kPartialOrder:
+      partial_order_->DetachVariant(variant);
+      break;
+    case AgentKind::kWallOfClocks:
+      wall_of_clocks_->DetachVariant(variant);
+      break;
+    case AgentKind::kPerVariableOrder:
+      per_variable_->DetachVariant(variant);
+      break;
+  }
+}
+
 const AgentStats* AgentFleet::stats() const {
   switch (kind_) {
     case AgentKind::kNull:

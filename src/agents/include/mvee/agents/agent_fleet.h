@@ -25,6 +25,11 @@ class AgentFleet {
   // process-wide NullAgent is returned via a non-owning wrapper.
   std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
 
+  // Excision (docs/DESIGN.md §9): detach `variant`'s replay cursors from the
+  // active runtime's recording rings so the excised variant stops gating the
+  // master. No-op for kNull and for the master itself.
+  void DetachVariant(uint32_t variant);
+
   AgentKind kind() const { return kind_; }
   // Aggregated recorder/replayer statistics; nullptr for kNull.
   const AgentStats* stats() const;

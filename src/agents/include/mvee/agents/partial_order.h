@@ -49,6 +49,11 @@ class PartialOrderRuntime {
 
   std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
 
+  // Excision (docs/DESIGN.md §9): stop `variant`'s stalled ring cursors from
+  // gating the master's recording, so survivors keep producing after the
+  // variant left. Safe concurrently with running agents.
+  void DetachVariant(uint32_t variant);
+
   const AgentStats& stats() const { return stats_; }
   // Tickets drawn so far (sharded mode; 0 under the global-lock baseline).
   uint64_t SequencesIssued() const { return record_shards_.TicketsIssued(); }

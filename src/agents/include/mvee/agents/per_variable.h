@@ -36,6 +36,11 @@ class PerVariableRuntime {
 
   std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
 
+  // Excision (docs/DESIGN.md §9): stop `variant`'s stalled ring cursors from
+  // gating the master's recording, so survivors keep producing after the
+  // variant left. Safe concurrently with running agents.
+  void DetachVariant(uint32_t variant);
+
   const AgentStats& stats() const { return stats_; }
   size_t table_capacity() const { return table_capacity_; }
 

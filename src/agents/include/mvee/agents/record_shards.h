@@ -30,7 +30,10 @@ namespace mvee {
 template <typename Extra>
 class TicketedRecordShards {
  public:
-  static constexpr size_t kShardCount = 512;  // power of two
+  // Default shard count when no AgentConfig is in play (standalone tests);
+  // configured runtimes size from AgentConfig::record_shard_count, which
+  // scales with max_threads.
+  static constexpr size_t kDefaultShardCount = 512;  // power of two
 
   struct alignas(64) Shard {
     std::atomic_flag lock = ATOMIC_FLAG_INIT;
@@ -40,12 +43,20 @@ class TicketedRecordShards {
   };
 
   // `enabled` = AgentConfig::sharded_recording; the baseline pays for no
-  // shard memory.
-  explicit TicketedRecordShards(bool enabled) : shards_(enabled ? kShardCount : 0) {}
+  // shard memory. `shard_count` must be a power of two (ValidatedAgentConfig
+  // guarantees it for configured callers).
+  explicit TicketedRecordShards(bool enabled, size_t shard_count = kDefaultShardCount)
+      : shard_mask_(shard_count - 1), shards_(enabled ? shard_count : 0) {}
 
-  static size_t IndexOf(const void* addr) {
-    return ClockAddressHash(reinterpret_cast<uint64_t>(addr)) & (kShardCount - 1);
+  static size_t IndexFor(const void* addr, size_t shard_count) {
+    return ClockAddressHash(reinterpret_cast<uint64_t>(addr)) & (shard_count - 1);
   }
+
+  size_t IndexOf(const void* addr) const {
+    return ClockAddressHash(reinterpret_cast<uint64_t>(addr)) & shard_mask_;
+  }
+
+  size_t shard_count() const { return shard_mask_ + 1; }
 
   // Spins until the addr's shard lock is held (throws VariantKilled on
   // abort) and accounts contended spins into stats.record_lock_spins. The
@@ -74,6 +85,7 @@ class TicketedRecordShards {
 
  private:
   alignas(64) std::atomic<uint64_t> ticket_{0};
+  const size_t shard_mask_;
   std::vector<Shard> shards_;
 };
 

@@ -131,6 +131,12 @@ struct AgentConfig {
   // waiting thread unwinds with VariantKilled. Detects uninstrumented sync
   // ops (the nginx scenario of §5.5).
   std::chrono::milliseconds replay_deadline{10000};
+  // Number of per-sync-variable record shard locks for the TO/PO sharded
+  // recording path (docs/DESIGN.md §8). 0 = auto: scale with max_threads
+  // (8 shards per thread, floor 512 — the PR 5 constant — so the default
+  // config is unchanged). Rounded up to a power of two, clamped to
+  // [64, 65536]. Exposed for the shard-collision ablation.
+  size_t record_shard_count = 0;
 };
 
 // Clamps a config to the invariants the runtimes rely on, instead of letting
@@ -163,6 +169,23 @@ inline AgentConfig ValidatedAgentConfig(AgentConfig config) {
   if (config.po_window == 0) {
     config.po_window = 1;
   }
+  // Record shard count: auto-scale from max_threads, then round to a power
+  // of two in [64, 65536].
+  if (config.record_shard_count == 0) {
+    const size_t scaled = static_cast<size_t>(config.max_threads) * 8;
+    config.record_shard_count = scaled < 512 ? 512 : scaled;
+  }
+  if (config.record_shard_count < 64) {
+    config.record_shard_count = 64;
+  }
+  if (config.record_shard_count > (size_t{1} << 16)) {
+    config.record_shard_count = size_t{1} << 16;
+  }
+  size_t shard_pow2 = 64;
+  while (shard_pow2 < config.record_shard_count) {
+    shard_pow2 <<= 1;
+  }
+  config.record_shard_count = shard_pow2;
   return config;
 }
 
@@ -181,14 +204,27 @@ class SyncAgent {
 };
 
 // Abort/stall plumbing shared by the agent runtimes. The monitor installs
-// the abort flag (tripped on divergence) and the stall callback (reports a
-// divergence itself).
+// the abort flag (tripped on divergence), the stall callback (reports a
+// divergence itself), and the live-variant mask (excised variants' replay
+// threads unwind instead of waiting on entries that will never come —
+// docs/DESIGN.md §9).
 struct AgentControl {
   const std::atomic<bool>* abort_flag = nullptr;
+  const std::atomic<uint32_t>* live_mask = nullptr;
   std::function<void(const std::string&)> on_stall;
 
   bool aborted() const {
     return abort_flag != nullptr && abort_flag->load(std::memory_order_acquire);
+  }
+
+  bool variant_dead(uint32_t variant) const {
+    return live_mask != nullptr &&
+           (live_mask->load(std::memory_order_acquire) & (1u << variant)) == 0;
+  }
+
+  // Replay-loop exit predicate: global abort OR this variant excised.
+  bool should_unwind(uint32_t variant) const {
+    return aborted() || variant_dead(variant);
   }
 };
 

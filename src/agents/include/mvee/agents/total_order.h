@@ -41,6 +41,11 @@ class TotalOrderRuntime {
   // Creates the agent handle for variant `variant_index` (0 = master).
   std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
 
+  // Excision (docs/DESIGN.md §9): stop `variant`'s stalled ring cursors from
+  // gating the master's recording, so survivors keep producing after the
+  // variant left. Safe concurrently with running agents.
+  void DetachVariant(uint32_t variant);
+
   const AgentStats& stats() const { return stats_; }
   uint64_t OpsRecorded() const { return stats_.Aggregate().ops_recorded; }
   // Tickets drawn so far (sharded mode; 0 under the global-lock baseline).

@@ -37,6 +37,11 @@ class WallOfClocksRuntime {
 
   std::unique_ptr<SyncAgent> CreateAgent(uint32_t variant_index);
 
+  // Excision (docs/DESIGN.md §9): stop `variant`'s stalled ring cursors from
+  // gating the master's recording, so survivors keep producing after the
+  // variant left. Safe concurrently with running agents.
+  void DetachVariant(uint32_t variant);
+
   const AgentStats& stats() const { return stats_; }
   size_t clock_count() const { return config_.clock_count; }
 

@@ -12,7 +12,7 @@ PartialOrderRuntime::PartialOrderRuntime(const AgentConfig& config, AgentControl
     : config_(ValidatedAgentConfig(config)),
       control_(std::move(control)),
       ring_(config_.sharded_recording ? 2 : config_.buffer_capacity),
-      record_shards_(config_.sharded_recording),
+      record_shards_(config_.sharded_recording, config_.record_shard_count),
       thread_rings_(MakeThreadRecordingRings<Entry>(config_)) {
   ring_.EnableCursorCaching(config_.cached_ring_cursors);
   for (uint32_t v = 1; v < config_.num_variants; ++v) {
@@ -29,7 +29,9 @@ PartialOrderRuntime::PartialOrderRuntime(const AgentConfig& config, AgentControl
 }
 
 size_t PartialOrderRuntime::RecordShardIndex(const void* addr) {
-  return RecordShards::IndexOf(addr);
+  // Default-config shard mapping (tests construct their runtimes with the
+  // default max_threads, whose auto record_shard_count is the default).
+  return RecordShards::IndexFor(addr, RecordShards::kDefaultShardCount);
 }
 
 void PartialOrderRuntime::RetireConsumedPrefix(SlaveState* slave) {
@@ -45,6 +47,18 @@ void PartialOrderRuntime::RetireConsumedPrefix(SlaveState* slave) {
       ring_.AdvanceTo(slave->consumer_id, base + 1);
       ++base;
     }
+  }
+}
+
+void PartialOrderRuntime::DetachVariant(uint32_t variant) {
+  if (variant == 0 || variant >= config_.num_variants) {
+    return;
+  }
+  // Consumer v-1 belongs to slave variant v in both the baseline global ring
+  // and every per-thread recording ring.
+  ring_.DetachConsumer(slaves_[variant - 1]->consumer_id);
+  for (auto& ring : thread_rings_) {
+    ring->DetachConsumer(variant - 1);
   }
 }
 
@@ -97,7 +111,7 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   bool stalled = false;
 
   auto check_deadline = [&](const char* phase) {
-    if (runtime_->control_.aborted()) {
+    if (runtime_->control_.should_unwind(stats_variant_)) {
       throw VariantKilled{};
     }
     if (deadline.Expired(waiter)) {

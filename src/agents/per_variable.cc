@@ -130,6 +130,16 @@ uint32_t PerVariableRuntime::ClockOf(const void* addr) {
   return static_cast<uint32_t>(ClockAddressHash(key) & table_mask_);
 }
 
+void PerVariableRuntime::DetachVariant(uint32_t variant) {
+  if (variant == 0 || variant >= config_.num_variants) {
+    return;
+  }
+  // Consumer v-1 of every per-thread ring belongs to slave variant v.
+  for (auto& ring : rings_) {
+    ring->DetachConsumer(variant - 1);
+  }
+}
+
 std::unique_ptr<SyncAgent> PerVariableRuntime::CreateAgent(uint32_t variant_index) {
   const AgentRole role = variant_index == 0 ? AgentRole::kMaster : AgentRole::kSlave;
   return std::make_unique<PerVariableAgent>(this, role, variant_index);
@@ -174,7 +184,7 @@ void PerVariableAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
 
   PerVariableRuntime::Entry entry;
   while (!ring.Peek(consumer, 0, &entry)) {
-    if (runtime_->control_.aborted()) {
+    if (runtime_->control_.should_unwind(variant_index_)) {
       throw VariantKilled{};
     }
     if (!stalled) {
@@ -194,7 +204,7 @@ void PerVariableAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   auto& local_clock = runtime_->slave_clocks_[consumer][entry.clock_id].time;
   waiter.Reset();
   while (local_clock.load(std::memory_order_acquire) != entry.time) {
-    if (runtime_->control_.aborted()) {
+    if (runtime_->control_.should_unwind(variant_index_)) {
       throw VariantKilled{};
     }
     if (!stalled) {

@@ -14,7 +14,7 @@ TotalOrderRuntime::TotalOrderRuntime(const AgentConfig& config, AgentControl con
       // The baseline global ring is only populated when sharded recording is
       // off; shrink whichever side is idle so a runtime never pays for both.
       ring_(config_.sharded_recording ? 2 : config_.buffer_capacity),
-      record_shards_(config_.sharded_recording),
+      record_shards_(config_.sharded_recording, config_.record_shard_count),
       thread_rings_(MakeThreadRecordingRings<Entry>(config_)),
       replay_fronts_(config_.num_variants > 0 ? config_.num_variants - 1 : 0) {
   ring_.EnableCursorCaching(config_.cached_ring_cursors);
@@ -23,6 +23,18 @@ TotalOrderRuntime::TotalOrderRuntime(const AgentConfig& config, AgentControl con
   consumer_ids_.resize(config_.num_variants, 0);
   for (uint32_t v = 1; v < config_.num_variants; ++v) {
     consumer_ids_[v] = ring_.RegisterConsumer();
+  }
+}
+
+void TotalOrderRuntime::DetachVariant(uint32_t variant) {
+  if (variant == 0 || variant >= config_.num_variants) {
+    return;
+  }
+  // Consumer v-1 belongs to slave variant v in both the baseline global ring
+  // and every per-thread recording ring.
+  ring_.DetachConsumer(consumer_ids_[variant]);
+  for (auto& ring : thread_rings_) {
+    ring->DetachConsumer(variant - 1);
   }
 }
 
@@ -86,7 +98,7 @@ void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     auto& ring = *runtime_->thread_rings_[tid];
     TotalOrderRuntime::Entry entry;
     while (!ring.Peek(consumer_id_, 0, &entry)) {
-      if (runtime_->control_.aborted()) {
+      if (runtime_->control_.should_unwind(stats_variant_)) {
         throw VariantKilled{};
       }
       if (!stalled) {
@@ -105,7 +117,7 @@ void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     auto& front = runtime_->replay_fronts_[consumer_id_].next_seq;
     waiter.Reset();
     while (front.load(std::memory_order_acquire) != entry.seq) {
-      if (runtime_->control_.aborted()) {
+      if (runtime_->control_.should_unwind(stats_variant_)) {
         throw VariantKilled{};
       }
       if (!stalled) {
@@ -131,7 +143,7 @@ void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   // thread. Only the named thread advances the cursor, so concurrent peeks
   // are safe.
   for (;;) {
-    if (runtime_->control_.aborted()) {
+    if (runtime_->control_.should_unwind(stats_variant_)) {
       throw VariantKilled{};
     }
     TotalOrderRuntime::Entry entry;

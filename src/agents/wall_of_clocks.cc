@@ -28,6 +28,16 @@ WallOfClocksRuntime::WallOfClocksRuntime(const AgentConfig& config, AgentControl
   }
 }
 
+void WallOfClocksRuntime::DetachVariant(uint32_t variant) {
+  if (variant == 0 || variant >= config_.num_variants) {
+    return;
+  }
+  // Consumer v-1 of every per-thread ring belongs to slave variant v.
+  for (auto& ring : rings_) {
+    ring->DetachConsumer(variant - 1);
+  }
+}
+
 std::unique_ptr<SyncAgent> WallOfClocksRuntime::CreateAgent(uint32_t variant_index) {
   const AgentRole role = variant_index == 0 ? AgentRole::kMaster : AgentRole::kSlave;
   return std::make_unique<WallOfClocksAgent>(this, role, variant_index);
@@ -75,7 +85,7 @@ void WallOfClocksAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
 
   WallOfClocksRuntime::Entry entry;
   while (!ring.Peek(consumer, 0, &entry)) {
-    if (runtime_->control_.aborted()) {
+    if (runtime_->control_.should_unwind(variant_index_)) {
       throw VariantKilled{};
     }
     if (!stalled) {
@@ -95,7 +105,7 @@ void WallOfClocksAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   auto& local_clock = runtime_->slave_clocks_[consumer][entry.clock_id].time;
   waiter.Reset();
   while (local_clock.load(std::memory_order_acquire) != entry.time) {
-    if (runtime_->control_.aborted()) {
+    if (runtime_->control_.should_unwind(variant_index_)) {
       throw VariantKilled{};
     }
     if (!stalled) {

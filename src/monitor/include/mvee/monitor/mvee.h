@@ -65,6 +65,18 @@ struct MveeReport {
   // = false baseline (its poll re-scans on a sleep quantum).
   uint64_t vkernel_waitq_waits = 0;
   uint64_t vkernel_waitq_wakeups = 0;
+  // Failure-model outcomes (docs/DESIGN.md §9). A run that excised variants
+  // and still reports status OK is the graceful-degradation contract: the
+  // survivors produced verdict-equivalent output without the dead variant.
+  std::vector<ExcisionRecord> excised_variants;
+  // Worst excise-to-next-round-open latency observed (bench_recovery's
+  // headline number); zero when nothing was excised.
+  uint64_t excision_latency_ns = 0;
+  // Blocked-call watchdog escalations: state dumps (stage 1) and
+  // non-destructive nudges (stage 2). Stage-3 excisions/shutdowns land in
+  // excised_variants / status.
+  uint64_t watchdog_dumps = 0;
+  uint64_t watchdog_nudges = 0;
   double wall_seconds = 0.0;
   std::string divergence_detail;
 };
@@ -118,6 +130,16 @@ class Mvee : public TrapInterface {
   ThreadSetMonitor* GetThreadSet(uint32_t tid);
   void RunVariantThread(uint32_t variant, uint32_t tid, const ThreadFn& fn);
 
+  // Blocked-call watchdog (docs/DESIGN.md §9): a monitor-side sweep thread
+  // that generalizes rendezvous_timeout to calls blocked inside the virtual
+  // kernel (futex wait, accept, poll park), where no rendezvous deadline is
+  // ticking. Escalation ladder per stuck (thread set, variant) heartbeat:
+  // 1x blocked_call_timeout => log + DumpState; 1.5x => non-destructive
+  // nudge (spurious futex/waitq wakes, abandoned-lease release); 2x =>
+  // excise the laggard (policy permitting, never the combined-master
+  // executor) or shut the MVEE down.
+  void WatchdogLoop();
+
   MveeOptions options_;
   std::unique_ptr<VirtualKernel> owned_kernel_;
   VirtualKernel* kernel_;
@@ -134,6 +156,12 @@ class Mvee : public TrapInterface {
   // tids beyond the array fall back to the locked map.
   static constexpr uint32_t kTidCacheSize = 512;
   std::array<std::atomic<ThreadSetMonitor*>, kTidCacheSize> set_cache_{};
+  // Watchdog sweep thread state (started/joined by Run).
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::atomic<uint64_t> watchdog_dumps_{0};
+  std::atomic<uint64_t> watchdog_nudges_{0};
+  bool armed_faults_ = false;
   MveeReport report_;
 };
 

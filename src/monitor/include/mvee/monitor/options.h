@@ -6,11 +6,20 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 
 #include "mvee/agents/sync_agent.h"
+#include "mvee/monitor/reporter.h"
 #include "mvee/vkernel/vkernel_config.h"
 
 namespace mvee {
+
+// Default for MveeOptions::fault_plan: the MVEE_FAULT_PLAN environment
+// string (docs/fault_injection.md), empty = no faults armed.
+inline std::string DefaultFaultPlan() {
+  const char* env = std::getenv("MVEE_FAULT_PLAN");
+  return env != nullptr ? std::string(env) : std::string();
+}
 
 // Default for MveeOptions::waitfree_rendezvous: on, unless the environment
 // forces the mutex baseline (MVEE_WAITFREE_RENDEZVOUS=0). The override lets
@@ -94,6 +103,26 @@ struct MveeOptions {
   // Lockstep rendezvous deadline; exceeded => divergence (variants made
   // different numbers/kinds of calls, e.g. uninstrumented sync ops, §5.5).
   std::chrono::milliseconds rendezvous_timeout{10000};
+  // Failure-handling policy (docs/DESIGN.md §9). kShutdown is the paper's
+  // security posture: any variant failure terminates the MVEE. kExcise is
+  // the reliability mode: the failed variant is removed and the survivors
+  // keep serving, as long as at least min_survivors variants remain.
+  VariantFailurePolicy on_variant_failure = VariantFailurePolicy::kShutdown;
+  // Excision floor: below this many survivors, security demands shutdown
+  // (a 1-variant "MVEE" compares nothing).
+  uint32_t min_survivors = 2;
+  // Blocked-call watchdog deadline (docs/DESIGN.md §9): a monitor-side sweep
+  // that generalizes rendezvous_timeout to vkernel blocking calls (futex
+  // wait, accept, poll park). A call stuck past the deadline is logged with
+  // a round-state dump; past 1.5x it gets a non-destructive nudge (spurious
+  // futex/wait-queue wakeups, abandoned-lease release); past 2x the laggard
+  // is excised (policy permitting) or the MVEE shuts down. Zero disables
+  // the watchdog (restoring the old hang-forever behavior).
+  std::chrono::milliseconds blocked_call_timeout{10000};
+  // Deterministic fault plan (docs/fault_injection.md), e.g.
+  // "crash@2:5;stall@*:3:250". Empty = nothing armed; the disarmed
+  // injection sites cost one relaxed load each.
+  std::string fault_plan = DefaultFaultPlan();
   // Agent tuning.
   AgentConfig agent_config;
 };

@@ -101,6 +101,12 @@ class OrderDomainTable {
   // domain ids are ignored.
   void Retire(uint32_t id);
 
+  // Excision (docs/DESIGN.md §9): marks `variant` dead so Reclaim() stops
+  // waiting for its replay clocks — an excised variant's clocks are frozen
+  // wherever its threads abandoned them and would otherwise pin every
+  // retired domain forever. Safe concurrently with running threads.
+  void DetachVariant(uint32_t variant);
+
   // Frees retired domains whose every slave clock has reached the master
   // counter. MUST only be called when no variant threads are running (end of
   // Mvee::Run, or tests at rest); returns the number of domains freed.
@@ -110,6 +116,8 @@ class OrderDomainTable {
 
  private:
   const uint32_t num_variants_;
+  // Bit v set => variant v excised; Reclaim() skips its clocks.
+  std::atomic<uint32_t> dead_mask_{0};
   // Fixed process-wide domains, indexed by id; no lock needed.
   std::array<std::unique_ptr<OrderDomain>, OrderDomainIds::kFirstFd> static_domains_;
   mutable std::shared_mutex mutex_;

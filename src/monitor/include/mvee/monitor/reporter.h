@@ -1,14 +1,32 @@
-// Divergence detection and MVEE shutdown fan-out.
+// Divergence detection, variant excision, and MVEE shutdown fan-out.
 //
-// The first divergence (or stall/timeout) report wins; it trips the global
-// abort flag, wakes every parked variant thread (monitor rendezvous, kernel
-// futexes, listeners, pipes) and records the detail for the final report.
-// "MVEEs terminate execution upon detection of divergence" (paper §1).
+// Two failure outcomes exist (docs/DESIGN.md §9):
+//
+//  * FATAL — the classic paper behavior ("MVEEs terminate execution upon
+//    detection of divergence", §1): the first Report() wins, trips the global
+//    abort flag, wakes every parked variant thread (monitor rendezvous,
+//    kernel futexes, listeners, pipes) and records the detail for the final
+//    report.
+//
+//  * EXCISION — the reliability-mode response (§2's VARAN contrast): when
+//    MveeOptions::on_variant_failure == kExcise and enough survivors remain,
+//    ReportVariantFailure() removes ONE variant from the live mask instead of
+//    shutting down. Rendezvous membership, agent replay, order-domain
+//    reclamation and kernel leases all key off that mask; the excision hooks
+//    wake anything the dead variant might be blocked in so its threads
+//    unwind. The run then continues with the survivors.
+//
+// The live mask is the excision protocol's linearization point: the store
+// that clears a variant's bit is seq_cst, and the dead-variant checks at
+// syscall entry load it seq_cst, which gives the Dekker-style ordering the
+// abandoned-round reaping in thread_set.cc relies on (docs/DESIGN.md §9).
 
 #ifndef MVEE_MONITOR_REPORTER_H_
 #define MVEE_MONITOR_REPORTER_H_
 
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -18,28 +36,101 @@
 
 namespace mvee {
 
+// What to do when a single variant fails (crash, stall, divergence from the
+// majority). kShutdown is the paper's security posture and the default;
+// kExcise trades one variant's diversity for availability, but never drops
+// below DivergenceReporter's min_survivors floor.
+enum class VariantFailurePolicy : uint8_t { kShutdown = 0, kExcise };
+
+// One excised variant, for MveeReport::excised_variants.
+struct ExcisionRecord {
+  uint32_t variant = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string detail;  // failure site description
+  uint64_t round = 0;  // rendezvous round at which the variant left
+};
+
 class DivergenceReporter {
  public:
+  // Installs the failure policy. Must run before variant threads start; the
+  // default (never configured) is all-variants-live with kShutdown, which
+  // preserves the seed's behavior for standalone monitors in tests.
+  void ConfigurePolicy(VariantFailurePolicy policy, uint32_t min_survivors,
+                       uint32_t num_variants);
+
   // Registers a wakeup hook to run when the reporter trips (thread-set
   // monitors broadcast their CVs; the kernel wakes futexes and closes
   // listeners). Hooks run once, on the reporting thread.
   void AddShutdownHook(std::function<void()> hook);
 
-  // Reports a divergence/timeout. Only the first report is recorded; all
-  // reports trip the abort flag.
+  // Registers a hook to run each time a variant is excised (on the reporting
+  // thread, outside the reporter lock): detach agent ring cursors, release
+  // kernel leases, wake rendezvous waiters.
+  void AddExcisionHook(std::function<void(uint32_t variant)> hook);
+
+  // Reports a FATAL divergence/timeout. Only the first report is recorded;
+  // all reports trip the abort flag.
   void Report(StatusCode code, const std::string& detail);
+
+  // Reports the failure of one variant. Policy permitting (kExcise, variant
+  // is not the master, survivors stay >= min_survivors), the variant is
+  // excised and true is returned: the caller may keep running without it.
+  // Otherwise the failure is escalated to a fatal Report and false is
+  // returned: the caller must unwind. Idempotent per variant — a concurrent
+  // second report of an already-dead variant returns true without effect.
+  bool ReportVariantFailure(uint32_t variant, StatusCode code,
+                            const std::string& detail, uint64_t round = 0);
 
   bool tripped() const { return tripped_.load(std::memory_order_acquire); }
   const std::atomic<bool>* abort_flag() const { return &tripped_; }
-  // Status of the first report; OK if never tripped.
+
+  // Live-variant mask (bit v = variant v still participates). The seq_cst
+  // load pairs with the excision store for the reaping protocol; on x86 it
+  // costs the same as an acquire load, so every caller uses it.
+  uint32_t live_mask() const { return live_mask_.load(std::memory_order_seq_cst); }
+  bool VariantDead(uint32_t variant) const {
+    return (live_mask() & (1u << variant)) == 0;
+  }
+  uint32_t LiveCount() const { return static_cast<uint32_t>(std::popcount(live_mask())); }
+  const std::atomic<uint32_t>* live_mask_ptr() const { return &live_mask_; }
+
+  uint64_t excision_count() const {
+    return excision_count_.load(std::memory_order_relaxed);
+  }
+  std::vector<ExcisionRecord> excisions() const;
+
+  // --- Excision latency probe (bench_recovery) -----------------------------
+  // An excision stamps a monotonic-clock mark; the next completed rendezvous
+  // round clears it and records excise-to-round latency. The disarmed check
+  // is one relaxed load per round open.
+  bool excision_probe_armed() const {
+    return excision_probe_ns_.load(std::memory_order_relaxed) != 0;
+  }
+  void CompleteExcisionProbe();
+  uint64_t max_excision_latency_ns() const {
+    return max_excision_latency_ns_.load(std::memory_order_relaxed);
+  }
+
+  // Status of the first fatal report; OK if never tripped.
   Status status() const;
 
  private:
   std::atomic<bool> tripped_{false};
+  // All-ones until configured: a reporter used without ConfigurePolicy never
+  // considers any variant dead.
+  std::atomic<uint32_t> live_mask_{~0u};
+  std::atomic<uint64_t> excision_count_{0};
+  std::atomic<uint64_t> excision_probe_ns_{0};
+  std::atomic<uint64_t> max_excision_latency_ns_{0};
+
   mutable std::mutex mutex_;
+  VariantFailurePolicy policy_ = VariantFailurePolicy::kShutdown;
+  uint32_t min_survivors_ = 2;
   Status first_status_;
   bool have_status_ = false;
   std::vector<std::function<void()>> hooks_;
+  std::vector<std::function<void(uint32_t)>> excision_hooks_;
+  std::vector<ExcisionRecord> excisions_;
   bool hooks_run_ = false;
 };
 

@@ -28,14 +28,24 @@
 // Two lockstep implementations of that protocol coexist, selected by
 // MveeOptions::waitfree_rendezvous:
 //   * Round slabs (default): a small ring of epoch-numbered, cache-padded
-//     round structs. Variants arrive with one fetch_or, the last arriver
-//     compares digests and opens execution with a release store, slaves
-//     spin on the slab's phase word (SpinWait) and fall back to a
-//     futex-style parked wait after the spin budget. No mutex, no condvar,
-//     no allocation on the happy path. Protocol walkthrough + memory
-//     ordering argument: docs/DESIGN.md §6.
+//     round structs. Variants arrive with one fetch_or, whichever thread
+//     completes the live set claims the open (open_claim CAS), compares
+//     digests and opens execution with a release store, slaves spin on the
+//     slab's phase word (SpinWait) and fall back to a futex-style parked
+//     wait after the spin budget. No mutex, no condvar, no allocation on
+//     the happy path. Protocol walkthrough + memory ordering argument:
+//     docs/DESIGN.md §6.
 //   * Mutex/condvar (waitfree_rendezvous = false): the seed's protocol,
 //     kept as an in-process measurable baseline (bench_rendezvous).
+//
+// Failure model (docs/DESIGN.md §9): round membership is the reporter's
+// live-variant mask, sampled when a round opens. A variant that crashes,
+// stalls past the rendezvous budget, or diverges alone from the master is
+// reported through DivergenceReporter::ReportVariantFailure; under the
+// kExcise policy it leaves the live mask and every subsequent round opens
+// without it, while the survivors keep running in lockstep. Under kShutdown
+// (the default, the paper's posture) the same paths escalate to the classic
+// fatal report.
 
 #ifndef MVEE_MONITOR_THREAD_SET_H_
 #define MVEE_MONITOR_THREAD_SET_H_
@@ -118,6 +128,23 @@ class ThreadSetMonitor {
   // Wakes all parked threads (reporter shutdown hook).
   void NotifyShutdown();
 
+  // Excision hook (docs/DESIGN.md §9): wakes every waiter so gather loops
+  // re-evaluate round completeness against the shrunken live mask, and
+  // detaches the dead variant's loose-mode ring cursor so the leader's
+  // backpressure stops waiting for it. Runs on the excising thread, outside
+  // the reporter lock and outside this monitor's mutex.
+  void OnVariantExcised(uint32_t variant);
+
+  // Blocked-call heartbeat (watchdog input). `seq` is odd while the variant
+  // is inside RunSyscall; a stuck call shows the same odd seq across sweeps.
+  struct CallProgress {
+    uint64_t seq = 0;
+    Sysno sysno = Sysno::kExit;
+    bool in_call = false;
+    bool in_master = false;  // executing the combined master call (never excisable)
+  };
+  CallProgress Progress(uint32_t variant) const;
+
   // One-line state snapshot ("tid=3 phase=exec arrived=2/2 master_done=1
   // last=sys_futex") for hang diagnostics.
   std::string DebugString();
@@ -166,7 +193,17 @@ class ThreadSetMonitor {
     // Phase word slaves spin on; advanced with release stores only.
     alignas(64) std::atomic<uint32_t> phase{kRoundGather};
     std::atomic<uint32_t> arrivals{0};  // bitmap of arrived variants
-    std::atomic<uint32_t> drained{0};
+    std::atomic<uint32_t> drained{0};   // bitmap of drained arrivals
+    // Open claim: whoever observes the live set fully arrived CASes 0 -> 1
+    // and becomes the opener. With a static membership the last arriver
+    // always wins this CAS uncontended; the claim exists so that when an
+    // excision shrinks the live set, any already-arrived waiter can open the
+    // round instead (docs/DESIGN.md §9).
+    std::atomic<uint32_t> open_claim{0};
+    // The live mask sampled by the opener; published by the kRoundOpen
+    // release store. Arrived variants outside the mask drain without
+    // executing and unwind.
+    uint32_t members = 0;
     // Round data (no locks; see the handoff edges above):
     alignas(64) int64_t control_retval = 0;
     SyscallResult master_result;
@@ -181,8 +218,50 @@ class ThreadSetMonitor {
     uint64_t next_round = 0;
   };
 
+  // Per-variant heartbeat + deposit-window flag, padded against sharing.
+  // `seq`/`sysno`/`in_master` feed the watchdog (relaxed; a heuristic).
+  // `gathering` is load-bearing: it brackets the deposit (slot write +
+  // arrival fetch_or) with seq_cst stores, forming the Dekker pair with the
+  // opener's live-mask/gathering reads that pins down whether a dying
+  // variant's arrival bit lands before the round opens or never lands at
+  // all (docs/DESIGN.md §9).
+  struct alignas(64) ProgressSlot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<Sysno> sysno{Sysno::kExit};
+    std::atomic<bool> in_master{false};
+    std::atomic<bool> gathering{false};
+  };
+
   int64_t RunSyscallSlab(uint32_t variant, SyscallRequest& request,
                          std::vector<int32_t>* delivered_signals);
+
+  // True when every live variant's arrival bit is set for this slab.
+  bool SlabGatherComplete(const RoundSlab& slab) const;
+
+  // Attempts to claim and open the slab round: samples membership, waits
+  // out dead variants mid-deposit, compares digests (excising a single
+  // outlier when policy permits), publishes kRoundOpen and runs the
+  // combined master call. Returns true iff this thread was the opener.
+  bool TryOpenSlabRound(RoundSlab& slab, uint64_t round, SyscallClass klass,
+                        uint32_t variant);
+
+  // Gather-timeout escalation (docs/DESIGN.md §9). A dead caller reports
+  // nothing (it keeps waiting for the round to open without it); a live-mask
+  // change since `live_at_wait` grants the stragglers a fresh window; a sole
+  // missing slave — the signature of the thread set where the failure
+  // actually happened — is excised after one window; an ambiguous missing
+  // set (several variants, or the master among them) must persist unchanged
+  // across two consecutive windows (tracked in `*deferred_missing`) before
+  // its slaves are excised, and the master is fatal only when no excisable
+  // laggard could explain the stall. Throws VariantKilled when the policy
+  // escalates to a fatal report.
+  void ExciseMissingSlab(RoundSlab& slab, uint64_t round, uint32_t variant,
+                         uint32_t live_at_wait, uint32_t* deferred_missing,
+                         const SyscallRequest& request);
+
+  // Marks `self_bit` drained; the thread whose drain completes the arrival
+  // set recycles the slab for round + depth.
+  void DrainSlab(RoundSlab& slab, uint64_t round, uint32_t self_bit);
 
   // Spins (then parks) until `ready()` holds. Returns false on rendezvous
   // timeout when `timed`; throws VariantKilled on MVEE shutdown. The
@@ -191,17 +270,27 @@ class ThreadSetMonitor {
   template <typename Predicate>
   bool AwaitSlabState(Predicate&& ready, bool timed);
 
-  // Digest comparison across the slab's arrival slots (last arriver only).
-  std::string CompareSlabRound(const RoundSlab& slab) const;
+  // Digest comparison across the slab's arrival slots, restricted to
+  // `members` (opener only). On mismatch returns a non-empty detail; when
+  // exactly one member disagrees with the master, `*outlier` names it so
+  // the caller can attempt excision instead of shutdown (a multi-way
+  // divergence leaves *outlier untouched and is always fatal — the master
+  // is as likely wrong as any slave).
+  std::string CompareSlabRoundLive(const RoundSlab& slab, uint32_t members,
+                                   uint32_t* outlier) const;
 
   // --- Mutex/condvar baseline (waitfree_rendezvous = false) ----------------
 
   int64_t RunSyscallMutex(uint32_t variant, SyscallRequest& request,
                           std::vector<int32_t>* delivered_signals);
 
-  // Digest comparison for the gathered round (with mutex_ held); returns a
-  // non-empty divergence detail on mismatch.
-  std::string CompareRound() const;
+  // Digest comparison for the gathered round restricted to `members` (with
+  // mutex_ held); same outlier contract as CompareSlabRoundLive.
+  std::string CompareRoundLive(uint32_t members, uint32_t* outlier) const;
+
+  // Marks `variant` drained under mutex_; the drain that completes the
+  // arrival mask resets the round. Lock must be held.
+  void DrainMutexLocked(uint32_t variant);
 
   // --- Shared helpers ------------------------------------------------------
 
@@ -258,6 +347,11 @@ class ThreadSetMonitor {
   // signals are in flight (see MonitorShared::pending_signal_count).
   void RouteSignals(const SyscallRequest& request, std::vector<int32_t>* out);
 
+  // The comparable digest of `request`, with the corrupt-digest fault site
+  // applied (docs/fault_injection.md): one relaxed-load branch when the
+  // fault layer is disarmed.
+  uint64_t DepositDigest(uint32_t variant, const SyscallRequest& request) const;
+
   const uint32_t tid_;
   MonitorShared* const shared_;
 
@@ -270,13 +364,17 @@ class ThreadSetMonitor {
   std::vector<VariantCursor> cursors_;
   ParkingSpot park_;
 
+  // Per-variant heartbeat / deposit-window flags (both protocols).
+  std::vector<ProgressSlot> progress_;
+
   // Mutex baseline state.
   std::mutex mutex_;
   std::condition_variable cv_;
   enum class Phase { kGather, kExecute, kDone };
   Phase phase_ = Phase::kGather;
-  uint32_t arrived_ = 0;
-  uint32_t drained_ = 0;
+  uint32_t arrived_mask_ = 0;      // bitmap of deposited variants
+  uint32_t drained_mask_ = 0;      // bitmap of drained variants
+  uint32_t round_members_ = 0;     // live mask sampled when the round opened
   std::vector<SyscallRequest*> requests_;
   std::vector<uint64_t> digests_;
   SyscallResult master_result_;

@@ -1,7 +1,10 @@
 #include "mvee/monitor/mvee.h"
 
 #include <chrono>
+#include <map>
+#include <utility>
 
+#include "mvee/util/fault_injection.h"
 #include "mvee/util/log.h"
 #include "mvee/util/variant_killed.h"
 
@@ -44,8 +47,15 @@ Mvee::Mvee(const MveeOptions& options, VirtualKernel* external_kernel) : options
   agent_config.num_variants = options_.num_variants;
   agent_config = ValidatedAgentConfig(agent_config);
   options_.num_variants = agent_config.num_variants;
+
+  // Failure policy must be installed before any variant thread exists: the
+  // live mask is consulted on every rendezvous (docs/DESIGN.md §9).
+  reporter_.ConfigurePolicy(options_.on_variant_failure, options_.min_survivors,
+                            options_.num_variants);
+
   AgentControl control;
   control.abort_flag = reporter_.abort_flag();
+  control.live_mask = reporter_.live_mask_ptr();
   control.on_stall = [this](const std::string& detail) {
     reporter_.Report(StatusCode::kTimeout, "sync-op replay stall: " + detail);
   };
@@ -59,6 +69,7 @@ Mvee::Mvee(const MveeOptions& options, VirtualKernel* external_kernel) : options
     state->process = std::make_unique<ProcessState>(
         /*pid=*/1000, state->diversity->heap_base(), state->diversity->map_base(),
         options_.sharded_vkernel);
+    state->process->set_variant_index(v);
     state->agent = fleet_->CreateAgent(v);
     variants_.push_back(std::move(state));
   }
@@ -76,10 +87,47 @@ Mvee::Mvee(const MveeOptions& options, VirtualKernel* external_kernel) : options
 
   // Shutdown fan-out: wake anything blocked in the kernel.
   reporter_.AddShutdownHook([this] { kernel_->ShutdownBlockedCalls(); });
+
+  // Excision fan-out (docs/DESIGN.md §9): everything keyed on the dead
+  // variant must stop waiting for it. Runs on the excising thread, outside
+  // the reporter lock.
+  reporter_.AddExcisionHook([this](uint32_t variant) {
+    {
+      // Every thread set re-evaluates round completeness against the
+      // shrunken live mask (and the loose leader's backpressure detaches the
+      // dead follower's cursor).
+      std::lock_guard<std::mutex> lock(sets_mutex_);
+      for (auto& [tid, monitor] : thread_sets_) {
+        monitor->OnVariantExcised(variant);
+      }
+    }
+    // Agent replay: survivors' ring merges skip the dead variant's records;
+    // its own replay threads unwind at their next should_unwind check.
+    fleet_->DetachVariant(variant);
+    // Syscall-ordering replay clocks: survivors' end-of-run reclamation must
+    // not wait for clocks the dead variant will never advance.
+    order_domains_->DetachVariant(variant);
+    // Kernel side: spurious-wake every futex waiter (legal per futex
+    // semantics) so any of the dead variant's threads parked in sys_futex
+    // re-check, observe the excision and unwind — and repair any reader
+    // leases its threads abandoned mid-call.
+    kernel_->NudgeBlockedCalls();
+    if (variant < variants_.size()) {
+      variants_[variant]->process->fds().ReleaseAbandonedLeases();
+    }
+  });
 }
 
 Mvee::~Mvee() {
-  // Defensive: make sure no variant thread is left running.
+  // Defensive: make sure no watchdog or variant thread is left running, and
+  // never leak an armed fault plan into the next run in this process.
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) {
+    watchdog_.join();
+  }
+  if (armed_faults_) {
+    FaultInjector::Global().Disarm();
+  }
   for (auto& variant : variants_) {
     std::lock_guard<std::mutex> lock(variant->threads_mutex);
     for (auto& [tid, thread] : variant->threads) {
@@ -215,10 +263,134 @@ void Mvee::JoinThread(uint32_t variant, uint32_t tid) {
   }
 }
 
+void Mvee::WatchdogLoop() {
+  const auto budget = options_.blocked_call_timeout;
+  // Sweep granularity: fine enough that stage boundaries are hit within
+  // ~12% of their nominal time, coarse enough that the sweep itself is
+  // invisible (a handful of relaxed loads per thread set per tick).
+  const auto tick = std::max(budget / 8, std::chrono::milliseconds(1));
+
+  struct Watch {
+    uint64_t seq = 0;
+    std::chrono::steady_clock::time_point since;
+    int stage = 0;  // escalation stages already taken for this heartbeat
+  };
+  std::map<std::pair<uint32_t, uint32_t>, Watch> watches;  // (tid, variant)
+  std::vector<ThreadSetMonitor*> monitors;
+
+  while (!watchdog_stop_.load(std::memory_order_acquire) && !reporter_.tripped()) {
+    // Interruptible sleep: Run() flips the stop flag before joining.
+    for (auto slept = std::chrono::milliseconds(0); slept < tick;
+         slept += std::chrono::milliseconds(1)) {
+      if (watchdog_stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    monitors.clear();
+    {
+      std::lock_guard<std::mutex> lock(sets_mutex_);
+      for (auto& [tid, monitor] : thread_sets_) {
+        monitors.push_back(monitor.get());
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (ThreadSetMonitor* monitor : monitors) {
+      for (uint32_t v = 0; v < options_.num_variants; ++v) {
+        const auto key = std::make_pair(monitor->tid(), v);
+        if (reporter_.VariantDead(v)) {
+          watches.erase(key);
+          continue;
+        }
+        const ThreadSetMonitor::CallProgress progress = monitor->Progress(v);
+        if (!progress.in_call) {
+          watches.erase(key);
+          continue;
+        }
+        Watch& watch = watches[key];
+        if (watch.seq != progress.seq || watch.since.time_since_epoch().count() == 0) {
+          watch = Watch{progress.seq, now, 0};
+          continue;
+        }
+        const auto stuck = now - watch.since;
+        // Stage 1 (1x): visibility. A blocked call this old is either a
+        // legitimately slow peer (the dump says which) or the start of a
+        // hang; either way the operator gets the round state now, not after
+        // the kill.
+        if (watch.stage < 1 && stuck >= budget) {
+          watch.stage = 1;
+          watchdog_dumps_.fetch_add(1, std::memory_order_relaxed);
+          MVEE_LOG(kWarn) << "watchdog: variant " << v << " blocked in "
+                          << SysnoName(progress.sysno) << " on thread set "
+                          << monitor->tid() << " past "
+                          << std::chrono::duration_cast<std::chrono::milliseconds>(stuck)
+                                 .count()
+                          << "ms\n"
+                          << DumpState();
+        }
+        // Stage 2 (1.5x): non-destructive remedies. A lost futex/wait-queue
+        // wakeup leaves waiters queued with nothing wrong but the missed
+        // edge — a spurious wake (legal per futex semantics) repairs it; an
+        // abandoned fd lease is released the same way.
+        if (watch.stage < 2 && stuck >= budget + budget / 2) {
+          watch.stage = 2;
+          watchdog_nudges_.fetch_add(1, std::memory_order_relaxed);
+          kernel_->NudgeBlockedCalls();
+          for (auto& variant : variants_) {
+            variant->process->fds().ReleaseAbandonedLeases();
+          }
+        }
+        // Stage 3 (2x): the call survived a nudge — treat the variant as
+        // failed. The combined-master executor is never excisable (every
+        // survivor needs its result), nor is variant 0; those escalate to
+        // shutdown directly.
+        if (watch.stage < 3 && stuck >= 2 * budget) {
+          watch.stage = 3;
+          std::ostringstream detail;
+          detail << "watchdog: variant " << v << " blocked in "
+                 << SysnoName(progress.sysno) << " on thread set " << monitor->tid()
+                 << " past "
+                 << std::chrono::duration_cast<std::chrono::milliseconds>(stuck).count()
+                 << "ms (2x blocked_call_timeout)";
+          if (progress.in_master || v == 0) {
+            reporter_.Report(StatusCode::kTimeout, detail.str());
+          } else {
+            reporter_.ReportVariantFailure(v, StatusCode::kTimeout, detail.str());
+          }
+        }
+      }
+    }
+  }
+}
+
 Status Mvee::Run(Program program) {
   const auto start = std::chrono::steady_clock::now();
   MVEE_LOG(kInfo) << "MVEE starting " << options_.num_variants << " variants, agent="
                   << AgentKindName(options_.agent);
+
+  // Arm the deterministic fault plan (docs/fault_injection.md) before any
+  // variant thread can reach a site. A malformed plan is a configuration
+  // error: surface it as a fatal report rather than silently running
+  // fault-free under a chaos test that expects faults.
+  if (!options_.fault_plan.empty()) {
+    FaultPlan plan;
+    std::string error;
+    if (!FaultPlan::Parse(options_.fault_plan, &plan, &error) ||
+        !FaultInjector::Global().Arm(plan, options_.num_variants, options_.seed)) {
+      reporter_.Report(StatusCode::kInvalidArgument,
+                       "bad fault plan '" + options_.fault_plan + "': " +
+                           (error.empty() ? "too many entries" : error));
+      report_.status = reporter_.status();
+      return report_.status;
+    }
+    armed_faults_ = true;
+  }
+
+  // Blocked-call watchdog (docs/DESIGN.md §9); zero timeout disables it.
+  watchdog_stop_.store(false, std::memory_order_release);
+  if (options_.blocked_call_timeout.count() > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 
   // Bootstrap: start logical thread 0 in every variant (the paper's
   // bootstrap process hands control to the monitors once variants are
@@ -251,10 +423,26 @@ Status Mvee::Run(Program program) {
   }
 
   const auto end = std::chrono::steady_clock::now();
+
+  // Every variant thread is joined: quiesce the robustness machinery before
+  // reading its counters.
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) {
+    watchdog_.join();
+  }
+  if (armed_faults_) {
+    FaultInjector::Global().Disarm();
+    armed_faults_ = false;
+  }
+
   report_.status = reporter_.tripped()
                        ? reporter_.status()
                        : Status::Ok();
   report_.divergence_detail = reporter_.status().message();
+  report_.excised_variants = reporter_.excisions();
+  report_.excision_latency_ns = reporter_.max_excision_latency_ns();
+  report_.watchdog_dumps = watchdog_dumps_.load(std::memory_order_relaxed);
+  report_.watchdog_nudges = watchdog_nudges_.load(std::memory_order_relaxed);
   {
     // Counters are sharded per thread set (relaxed atomics); with every
     // variant thread joined the shards are quiescent and the sum is exact.

@@ -40,14 +40,25 @@ void OrderDomainTable::Retire(uint32_t id) {
   }
 }
 
+void OrderDomainTable::DetachVariant(uint32_t variant) {
+  if (variant == 0 || variant >= num_variants_) {
+    return;
+  }
+  dead_mask_.fetch_or(1u << variant, std::memory_order_release);
+}
+
 size_t OrderDomainTable::Reclaim() {
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  const uint32_t dead = dead_mask_.load(std::memory_order_acquire);
   size_t freed = 0;
   for (auto it = domains_.begin(); it != domains_.end();) {
     OrderDomain& domain = *it->second;
     bool quiescent = domain.retired.load(std::memory_order_relaxed);
     if (quiescent) {
       for (uint32_t v = 1; v < num_variants_ && quiescent; ++v) {
+        if ((dead & (1u << v)) != 0) {
+          continue;  // Excised: its clock froze where its threads left it.
+        }
         quiescent = domain.SlaveClock(v).load(std::memory_order_acquire) == domain.next_ts;
       }
     }

@@ -1,8 +1,29 @@
 #include "mvee/monitor/reporter.h"
 
+#include <chrono>
+
 #include "mvee/util/log.h"
 
 namespace mvee {
+
+namespace {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+void DivergenceReporter::ConfigurePolicy(VariantFailurePolicy policy,
+                                         uint32_t min_survivors, uint32_t num_variants) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  policy_ = policy;
+  min_survivors_ = min_survivors;
+  live_mask_.store(num_variants >= 32 ? ~0u : (1u << num_variants) - 1,
+                   std::memory_order_seq_cst);
+}
 
 void DivergenceReporter::AddShutdownHook(std::function<void()> hook) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -11,6 +32,11 @@ void DivergenceReporter::AddShutdownHook(std::function<void()> hook) {
     return;
   }
   hooks_.push_back(std::move(hook));
+}
+
+void DivergenceReporter::AddExcisionHook(std::function<void(uint32_t)> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  excision_hooks_.push_back(std::move(hook));
 }
 
 void DivergenceReporter::Report(StatusCode code, const std::string& detail) {
@@ -30,6 +56,66 @@ void DivergenceReporter::Report(StatusCode code, const std::string& detail) {
   }
   for (auto& hook : to_run) {
     hook();
+  }
+}
+
+bool DivergenceReporter::ReportVariantFailure(uint32_t variant, StatusCode code,
+                                              const std::string& detail, uint64_t round) {
+  const uint32_t bit = 1u << variant;
+  std::vector<std::function<void(uint32_t)>> hooks;
+  bool excised = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tripped_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    const uint32_t live = live_mask_.load(std::memory_order_relaxed);
+    if ((live & bit) == 0) {
+      return true;  // Lost a race to another reporter of the same variant.
+    }
+    const uint32_t survivors = static_cast<uint32_t>(std::popcount(live)) - 1;
+    excised = policy_ == VariantFailurePolicy::kExcise && variant != 0 &&
+              survivors >= min_survivors_;
+    if (excised) {
+      excisions_.push_back(ExcisionRecord{variant, code, detail, round});
+      excision_count_.fetch_add(1, std::memory_order_relaxed);
+      // Linearization point of the excision: seq_cst pairs with the
+      // syscall-entry dead checks (docs/DESIGN.md §9).
+      live_mask_.store(live & ~bit, std::memory_order_seq_cst);
+      excision_probe_ns_.store(MonotonicNowNs(), std::memory_order_relaxed);
+      MVEE_LOG(kWarn) << "MVEE excision: variant " << variant << " left at round "
+                      << round << ": " << Status(code, detail).ToString();
+      hooks = excision_hooks_;
+    }
+  }
+  if (!excised) {
+    // Policy (or the min_survivors floor, or master failure) demands the
+    // classic whole-MVEE shutdown; escalate outside the lock.
+    Report(code,
+           "variant " + std::to_string(variant) + " failed (not excisable): " + detail);
+    return false;
+  }
+  for (auto& hook : hooks) {
+    hook(variant);
+  }
+  return true;
+}
+
+std::vector<ExcisionRecord> DivergenceReporter::excisions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return excisions_;
+}
+
+void DivergenceReporter::CompleteExcisionProbe() {
+  const uint64_t stamp = excision_probe_ns_.exchange(0, std::memory_order_relaxed);
+  if (stamp == 0) {
+    return;
+  }
+  const uint64_t now = MonotonicNowNs();
+  const uint64_t latency = now > stamp ? now - stamp : 0;
+  uint64_t current = max_excision_latency_ns_.load(std::memory_order_relaxed);
+  while (latency > current && !max_excision_latency_ns_.compare_exchange_weak(
+                                  current, latency, std::memory_order_relaxed)) {
   }
 }
 

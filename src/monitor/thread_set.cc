@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstring>
+#include <optional>
 #include <sstream>
+#include <thread>
 
+#include "mvee/util/fault_injection.h"
 #include "mvee/util/spin.h"
 #include "mvee/util/variant_killed.h"
 
@@ -21,6 +25,12 @@ constexpr uint64_t kParkAfterSpins = 1024;
 // enough that even a (theoretically impossible, see util/park.h) lost wakeup
 // only delays a round by half a millisecond.
 constexpr auto kParkSlice = std::chrono::microseconds(500);
+
+// "No single outlier" sentinel for the live digest comparisons.
+constexpr uint32_t kNoOutlier = ~0u;
+
+// XOR mask the corrupt-digest fault applies to a victim's deposit.
+constexpr uint64_t kDigestCorruption = 0xBADD16E57ull;
 
 }  // namespace
 
@@ -39,6 +49,7 @@ ThreadSetMonitor::ThreadSetMonitor(uint32_t tid, MonitorShared* shared)
     slabs_[i].slots = std::vector<ArrivalSlot>(n);
   }
   cursors_ = std::vector<VariantCursor>(n);
+  progress_ = std::vector<ProgressSlot>(n);
   if (shared_->options->sync_model == SyncModel::kLoose) {
     // Ring depth = how far the leader may run ahead (§2 reliability model).
     size_t depth = 2;
@@ -50,6 +61,11 @@ ThreadSetMonitor::ThreadSetMonitor(uint32_t tid, MonitorShared* shared)
     loose_pool_mask_ = depth - 1;
     for (uint32_t v = 1; v < n; ++v) {
       loose_ring_->RegisterConsumer();
+      // A variant already dead at construction (mid-run thread spawn after
+      // an excision) must not back-pressure the leader.
+      if (shared_->reporter != nullptr && shared_->reporter->VariantDead(v)) {
+        loose_ring_->DetachConsumer(v - 1);
+      }
     }
   }
 }
@@ -57,8 +73,17 @@ ThreadSetMonitor::ThreadSetMonitor(uint32_t tid, MonitorShared* shared)
 std::string ThreadSetMonitor::DebugString() {
   std::ostringstream out;
   out << "tid=" << tid_;
-  if (shared_->options->sync_model != SyncModel::kLoose &&
-      shared_->options->waitfree_rendezvous) {
+  if (shared_->options->sync_model == SyncModel::kLoose) {
+    if (loose_ring_ != nullptr) {
+      out << " loose write=" << loose_ring_->WriteCursor();
+      for (uint32_t v = 1; v < shared_->options->num_variants; ++v) {
+        out << " v" << v << "=" << loose_ring_->ReadCursor(v - 1)
+            << (loose_ring_->ConsumerDetached(v - 1) ? "(detached)" : "");
+      }
+    }
+    return out.str();
+  }
+  if (shared_->options->waitfree_rendezvous) {
     // Slab mode: diagnostics read only atomics (epochs, phases, bitmaps and
     // the slots' mirrored sysnos) — never the deposited request pointers,
     // which point at variant stacks and may already be retired. The slab
@@ -75,8 +100,8 @@ std::string ThreadSetMonitor::DebugString() {
     out << " round=" << oldest->epoch.load(std::memory_order_relaxed)
         << " phase=" << oldest->phase.load(std::memory_order_relaxed)
         << " arrived=" << std::popcount(arrivals) << "/"
-        << shared_->options->num_variants
-        << " drained=" << oldest->drained.load(std::memory_order_relaxed)
+        << shared_->options->num_variants << " drained="
+        << std::popcount(oldest->drained.load(std::memory_order_relaxed))
         << " parked=" << park_.parked();
     for (size_t v = 0; v < oldest->slots.size(); ++v) {
       if ((arrivals & (1u << v)) != 0) {
@@ -92,7 +117,8 @@ std::string ThreadSetMonitor::DebugString() {
     return out.str();
   }
   out << " phase=" << (phase_ == Phase::kGather ? "gather" : "execute") << " arrived="
-      << arrived_ << " drained=" << drained_ << " master_done=" << master_done_;
+      << std::popcount(arrived_mask_) << " drained=" << std::popcount(drained_mask_)
+      << " master_done=" << master_done_;
   for (size_t v = 0; v < requests_.size(); ++v) {
     if (requests_[v] != nullptr) {
       out << " v" << v << "=" << SysnoName(requests_[v]->sysno);
@@ -112,6 +138,34 @@ void ThreadSetMonitor::NotifyShutdown() {
   park_.WakeParked();
 }
 
+void ThreadSetMonitor::OnVariantExcised(uint32_t variant) {
+  // Same empty-critical-section discipline as NotifyShutdown: gather loops
+  // re-check the live mask under mutex_ (baseline) or on every spin step
+  // (slabs); this lifts sleepers so they re-evaluate now, not at the end of
+  // their park slice.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  cv_.notify_all();
+  park_.WakeParked();
+  if (loose_ring_ != nullptr && variant >= 1 &&
+      variant < shared_->options->num_variants) {
+    // The dead follower's cursor must stop gating the leader's pushes.
+    loose_ring_->DetachConsumer(variant - 1);
+  }
+}
+
+ThreadSetMonitor::CallProgress ThreadSetMonitor::Progress(uint32_t variant) const {
+  CallProgress out;
+  if (variant >= progress_.size()) {
+    return out;
+  }
+  const ProgressSlot& slot = progress_[variant];
+  out.seq = slot.seq.load(std::memory_order_relaxed);
+  out.sysno = slot.sysno.load(std::memory_order_relaxed);
+  out.in_call = (out.seq & 1) != 0;
+  out.in_master = slot.in_master.load(std::memory_order_relaxed);
+  return out;
+}
+
 bool ThreadSetMonitor::MustCompare(const SyscallRequest& request) const {
   switch (shared_->options->policy) {
     case MonitorPolicy::kLockstepAll:
@@ -122,51 +176,89 @@ bool ThreadSetMonitor::MustCompare(const SyscallRequest& request) const {
   return true;
 }
 
-std::string ThreadSetMonitor::CompareRound() const {
-  const uint32_t n = shared_->options->num_variants;
-  if (!MustCompare(*requests_[0])) {
-    return "";
+uint64_t ThreadSetMonitor::DepositDigest(uint32_t variant,
+                                         const SyscallRequest& request) const {
+  uint64_t digest = request.ComparableDigest();
+  if (FaultInjector::Global().ShouldFire(FaultSite::kCorruptDigest, variant))
+      [[unlikely]] {
+    digest ^= kDigestCorruption;
   }
-  for (uint32_t v = 1; v < n; ++v) {
-    if (requests_[v]->sysno != requests_[0]->sysno) {
-      std::ostringstream detail;
-      detail << "thread " << tid_ << ": syscall number mismatch: " << requests_[0]->ToString()
-             << " (variant 0) vs " << requests_[v]->ToString() << " (variant " << v << ")";
-      return detail.str();
-    }
-    if (digests_[v] != digests_[0]) {
-      std::ostringstream detail;
-      detail << "thread " << tid_ << ": argument mismatch on " << requests_[0]->ToString()
-             << " (variant 0) vs " << requests_[v]->ToString() << " (variant " << v << ")";
-      return detail.str();
-    }
-  }
-  return "";
+  return digest;
 }
 
-std::string ThreadSetMonitor::CompareSlabRound(const RoundSlab& slab) const {
-  const uint32_t n = shared_->options->num_variants;
-  if (!MustCompare(*slab.slots[0].request)) {
+std::string ThreadSetMonitor::CompareRoundLive(uint32_t members, uint32_t* outlier) const {
+  if ((members & 1u) == 0 || !MustCompare(*requests_[0])) {
     return "";
   }
-  for (uint32_t v = 1; v < n; ++v) {
-    if (slab.slots[v].request->sysno != slab.slots[0].request->sysno) {
-      std::ostringstream detail;
-      detail << "thread " << tid_
-             << ": syscall number mismatch: " << slab.slots[0].request->ToString()
-             << " (variant 0) vs " << slab.slots[v].request->ToString() << " (variant " << v
-             << ")";
-      return detail.str();
-    }
-    if (slab.slots[v].digest != slab.slots[0].digest) {
-      std::ostringstream detail;
-      detail << "thread " << tid_ << ": argument mismatch on "
-             << slab.slots[0].request->ToString() << " (variant 0) vs "
-             << slab.slots[v].request->ToString() << " (variant " << v << ")";
-      return detail.str();
+  uint32_t mismatched = 0;
+  uint32_t rest = members & ~1u;
+  while (rest != 0) {
+    const uint32_t v = static_cast<uint32_t>(std::countr_zero(rest));
+    rest &= rest - 1;
+    if (requests_[v]->sysno != requests_[0]->sysno || digests_[v] != digests_[0]) {
+      mismatched |= 1u << v;
     }
   }
-  return "";
+  if (mismatched == 0) {
+    return "";
+  }
+  const uint32_t first = static_cast<uint32_t>(std::countr_zero(mismatched));
+  std::ostringstream detail;
+  if (requests_[first]->sysno != requests_[0]->sysno) {
+    detail << "thread " << tid_ << ": syscall number mismatch: " << requests_[0]->ToString()
+           << " (variant 0) vs " << requests_[first]->ToString() << " (variant " << first
+           << ")";
+  } else {
+    detail << "thread " << tid_ << ": argument mismatch on " << requests_[0]->ToString()
+           << " (variant 0) vs " << requests_[first]->ToString() << " (variant " << first
+           << ")";
+  }
+  if (std::popcount(mismatched) == 1) {
+    *outlier = first;
+  } else {
+    detail << " (+" << std::popcount(mismatched) - 1
+           << " more variants diverged; multi-way divergence is never excised)";
+  }
+  return detail.str();
+}
+
+std::string ThreadSetMonitor::CompareSlabRoundLive(const RoundSlab& slab, uint32_t members,
+                                                   uint32_t* outlier) const {
+  if ((members & 1u) == 0 || !MustCompare(*slab.slots[0].request)) {
+    return "";
+  }
+  uint32_t mismatched = 0;
+  uint32_t rest = members & ~1u;
+  while (rest != 0) {
+    const uint32_t v = static_cast<uint32_t>(std::countr_zero(rest));
+    rest &= rest - 1;
+    if (slab.slots[v].request->sysno != slab.slots[0].request->sysno ||
+        slab.slots[v].digest != slab.slots[0].digest) {
+      mismatched |= 1u << v;
+    }
+  }
+  if (mismatched == 0) {
+    return "";
+  }
+  const uint32_t first = static_cast<uint32_t>(std::countr_zero(mismatched));
+  std::ostringstream detail;
+  if (slab.slots[first].request->sysno != slab.slots[0].request->sysno) {
+    detail << "thread " << tid_
+           << ": syscall number mismatch: " << slab.slots[0].request->ToString()
+           << " (variant 0) vs " << slab.slots[first].request->ToString() << " (variant "
+           << first << ")";
+  } else {
+    detail << "thread " << tid_ << ": argument mismatch on "
+           << slab.slots[0].request->ToString() << " (variant 0) vs "
+           << slab.slots[first].request->ToString() << " (variant " << first << ")";
+  }
+  if (std::popcount(mismatched) == 1) {
+    *outlier = first;
+  } else {
+    detail << " (+" << std::popcount(mismatched) - 1
+           << " more variants diverged; multi-way divergence is never excised)";
+  }
+  return detail.str();
 }
 
 void ThreadSetMonitor::RouteSignals(const SyscallRequest& request, std::vector<int32_t>* out) {
@@ -342,16 +434,26 @@ void ThreadSetMonitor::AwaitOrderClock(std::atomic<uint64_t>& clock, uint64_t wa
                                        const char* what) {
   SpinWait waiter;
   DeadlineGate deadline(shared_->options->rendezvous_timeout);
+  DivergenceReporter* reporter = shared_->reporter;
   while (clock.load(std::memory_order_acquire) != want) {
-    if (shared_->reporter->tripped()) {
+    if (reporter->tripped()) {
+      throw VariantKilled{};
+    }
+    if (reporter->VariantDead(variant)) {
+      // Excised (possibly from another thread set): this clock may never
+      // advance again — its producers are this variant's own threads, which
+      // are unwinding. Leave without a report; the caller drains the round.
       throw VariantKilled{};
     }
     if (deadline.Expired(waiter)) {
+      // A stall here is the variant's own fault: the clock is advanced only
+      // by this variant's sibling threads (docs/syscall_ordering.md), so the
+      // variant as a whole is the stalled party.
       std::ostringstream detail;
       detail << "thread " << tid_ << ": ordering clock stall in variant " << variant
-             << " (at " << clock.load() << ", want " << want << ") " << what << " "
-             << request.ToString();
-      shared_->reporter->Report(StatusCode::kTimeout, detail.str());
+             << " on " << SysnoName(request.sysno) << " (at " << clock.load() << ", want "
+             << want << ") " << what << " " << request.ToString();
+      shared_->reporter->ReportVariantFailure(variant, StatusCode::kTimeout, detail.str());
       throw VariantKilled{};
     }
     waiter.Pause();
@@ -387,7 +489,8 @@ int64_t ThreadSetMonitor::ExecuteSlave(uint32_t variant, SyscallRequest& request
           detail << "thread " << tid_ << ": shadow fd mismatch on " << SysnoName(request.sysno)
                  << ": master " << master.retval << " vs variant " << variant << " fd "
                  << check;
-          shared_->reporter->Report(StatusCode::kDivergence, detail.str());
+          shared_->reporter->ReportVariantFailure(variant, StatusCode::kDivergence,
+                                                  detail.str());
           throw VariantKilled{};
         }
         return master.retval;
@@ -397,7 +500,8 @@ int64_t ThreadSetMonitor::ExecuteSlave(uint32_t variant, SyscallRequest& request
         std::ostringstream detail;
         detail << "thread " << tid_ << ": shadow fd mismatch on " << SysnoName(request.sysno)
                << ": master " << master.retval << " vs variant " << variant << " fd " << check;
-        shared_->reporter->Report(StatusCode::kDivergence, detail.str());
+        shared_->reporter->ReportVariantFailure(variant, StatusCode::kDivergence,
+                                                detail.str());
         throw VariantKilled{};
       }
       return master.retval;
@@ -438,9 +542,6 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
                                           std::vector<int32_t>* delivered_signals) {
   const SyscallClass klass = ClassOf(request.sysno);
   DivergenceReporter* reporter = shared_->reporter;
-  if (reporter->tripped()) {
-    throw VariantKilled{};
-  }
 
   if (variant == 0) {
     // Leader: execute immediately into a pooled record, deposit it, never
@@ -450,9 +551,40 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
     // race a straggling reader.
     request.PrimeComparableDigest();
     SpinWait waiter;
+    std::optional<DeadlineGate> deadline;
+    deadline.emplace(shared_->options->rendezvous_timeout);
     while (!loose_ring_->CanPush()) {
       if (reporter->tripped()) {
         throw VariantKilled{};
+      }
+      if (deadline->Expired(waiter)) {
+        // Backpressure deadline: some follower stopped consuming. Name the
+        // one furthest behind and excise it (docs/DESIGN.md §9); its
+        // detached cursor stops gating pushes. Fatal under kShutdown.
+        const uint64_t tail = loose_ring_->WriteCursor();
+        uint32_t laggard = 0;
+        uint64_t worst = 0;
+        for (uint32_t v = 1; v < shared_->options->num_variants; ++v) {
+          if (loose_ring_->ConsumerDetached(v - 1) || reporter->VariantDead(v)) {
+            continue;
+          }
+          const uint64_t lag = tail - loose_ring_->ReadCursor(v - 1);
+          if (lag >= worst) {
+            worst = lag;
+            laggard = v;
+          }
+        }
+        if (laggard != 0) {
+          std::ostringstream detail;
+          detail << "thread " << tid_ << ": loose follower stall: variant " << laggard
+                 << " is " << worst << " records behind the leader at "
+                 << SysnoName(request.sysno) << " " << request.ToString();
+          if (!reporter->ReportVariantFailure(laggard, StatusCode::kTimeout, detail.str())) {
+            throw VariantKilled{};
+          }
+        }
+        deadline.emplace(shared_->options->rendezvous_timeout);
+        waiter.Reset();
       }
       waiter.Pause();
     }
@@ -473,9 +605,20 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
       *delivered_signals = record.signals;
     }
     request.payload_pool = &record.payload;
+    progress_[variant].in_master.store(true, std::memory_order_relaxed);
     record.result = ExecuteMaster(request, klass, record.control_retval);
+    progress_[variant].in_master.store(false, std::memory_order_relaxed);
     const int64_t retval =
         klass == SyscallClass::kControl ? record.control_retval : record.result.retval;
+    // Fault site (docs/fault_injection.md, delay-publish): hold the record
+    // back before it becomes visible to the followers. Followers tolerate
+    // any bounded delay — their deadline only starts counting while the
+    // ring stays empty past it.
+    uint64_t delay_ms = 0;
+    if (FaultInjector::Global().ShouldFire(FaultSite::kDelayRingPublish, variant, &delay_ms))
+        [[unlikely]] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms != 0 ? delay_ms : 1));
+    }
     const bool pushed = loose_ring_->TryPush(&record);
     (void)pushed;  // CanPush held and there is a single producer.
     if (request.sysno == Sysno::kMveeSelfAware) {
@@ -490,15 +633,37 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
   const size_t consumer = variant - 1;
   LooseRecord* record = nullptr;
   SpinWait waiter;
-  DeadlineGate deadline(shared_->options->rendezvous_timeout);
+  // Two windows, not one: the leader itself may legitimately sit out a full
+  // rendezvous_timeout blocked on ring backpressure before it excises the
+  // laggard holding the ring, and this follower must not declare the leader
+  // starved in the meantime. A mid-wait excision resets the budget — the
+  // leader just resolved exactly the stall we were riding out.
+  const uint32_t full = (1u << shared_->options->num_variants) - 1;
+  uint32_t live_at_wait = reporter->live_mask() & full;
+  std::optional<DeadlineGate> deadline;
+  deadline.emplace(2 * shared_->options->rendezvous_timeout);
   while (!loose_ring_->Peek(consumer, 0, &record)) {
     if (reporter->tripped()) {
       throw VariantKilled{};
     }
-    if (deadline.Expired(waiter)) {
-      reporter->Report(StatusCode::kTimeout,
-                       "thread " + std::to_string(tid_) +
-                           ": loose follower starved waiting for leader record");
+    if (reporter->VariantDead(variant)) {
+      throw VariantKilled{};
+    }
+    const uint32_t live_now = reporter->live_mask() & full;
+    if (live_now != live_at_wait) {
+      live_at_wait = live_now;
+      deadline.emplace(2 * shared_->options->rendezvous_timeout);
+      waiter.Reset();
+      continue;
+    }
+    if (deadline->Expired(waiter)) {
+      // The leader (the master) stopped producing; master failure is never
+      // excisable, so this escalates to shutdown.
+      std::ostringstream detail;
+      detail << "thread " << tid_ << ": loose follower starved: leader (variant 0) "
+             << "produced no record for variant " << variant << " waiting at "
+             << SysnoName(request.sysno) << " " << request.ToString();
+      reporter->ReportVariantFailure(0, StatusCode::kTimeout, detail.str());
       throw VariantKilled{};
     }
     waiter.Pause();
@@ -506,7 +671,7 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
   // The cursor must advance only after the record's last use: the slot (and
   // its pooled payload) is recycled by the leader once every consumer has
   // passed it. Advancing on the unwind path too is safe — a thrown
-  // VariantKilled means the MVEE is shutting down.
+  // VariantKilled means this variant (or the whole MVEE) is done consuming.
   struct SlotGuard {
     BroadcastRing<LooseRecord*>* ring;
     size_t consumer;
@@ -518,15 +683,18 @@ int64_t ThreadSetMonitor::RunSyscallLoose(uint32_t variant, SyscallRequest& requ
   }
 
   if (record->sysno != request.sysno) {
-    reporter->Report(StatusCode::kDivergence,
-                     "thread " + std::to_string(tid_) + ": loose-mode syscall mismatch: leader " +
-                         SysnoName(record->sysno) + " vs follower " + request.ToString());
+    reporter->ReportVariantFailure(
+        variant, StatusCode::kDivergence,
+        "thread " + std::to_string(tid_) + ": loose-mode syscall mismatch: leader " +
+            SysnoName(record->sysno) + " vs follower (variant " + std::to_string(variant) +
+            ") " + request.ToString());
     throw VariantKilled{};
   }
-  if (MustCompare(request) && record->digest != request.ComparableDigest()) {
-    reporter->Report(StatusCode::kDivergence,
-                     "thread " + std::to_string(tid_) +
-                         ": loose-mode argument mismatch on " + request.ToString());
+  if (MustCompare(request) && record->digest != DepositDigest(variant, request)) {
+    reporter->ReportVariantFailure(
+        variant, StatusCode::kDivergence,
+        "thread " + std::to_string(tid_) + ": loose-mode argument mismatch on " +
+            request.ToString() + " (follower variant " + std::to_string(variant) + ")");
     throw VariantKilled{};
   }
   if (klass == SyscallClass::kControl) {
@@ -592,199 +760,554 @@ bool ThreadSetMonitor::AwaitSlabState(Predicate&& ready, bool timed) {
   }
 }
 
+bool ThreadSetMonitor::SlabGatherComplete(const RoundSlab& slab) const {
+  const uint32_t full = (1u << shared_->options->num_variants) - 1;
+  const uint32_t live = shared_->reporter->live_mask() & full;
+  return (slab.arrivals.load(std::memory_order_seq_cst) & live) == live;
+}
+
+void ThreadSetMonitor::ExciseMissingSlab(RoundSlab& slab, uint64_t round, uint32_t variant,
+                                         uint32_t live_at_wait, uint32_t* deferred_missing,
+                                         const SyscallRequest& request) {
+  DivergenceReporter* reporter = shared_->reporter;
+  const uint32_t full = (1u << shared_->options->num_variants) - 1;
+  // A waiter that was itself excised mid-round passes no verdicts: its live
+  // siblings are still progressing, the round will open without it, and the
+  // membership check unwinds it (the guard drains its arrival). Reporting
+  // from here would let a dead variant shut the survivors down.
+  if (reporter->VariantDead(variant)) {
+    return;
+  }
+  const uint32_t live = reporter->live_mask() & full;
+  if (live != live_at_wait) {
+    // Membership changed while we waited: the stragglers were likely stalled
+    // behind that same excision's recovery (e.g. a replay chain threaded
+    // through the dead variant's rendezvous elsewhere). Grant them a fresh
+    // window and forget any deferred verdict.
+    *deferred_missing = 0;
+    return;
+  }
+  const uint32_t missing = live & ~slab.arrivals.load(std::memory_order_seq_cst);
+  if (missing == 0) {
+    *deferred_missing = 0;
+    return;  // resolved at the wire
+  }
+  // Escalation asymmetry (docs/DESIGN.md §9): a sole missing SLAVE is the
+  // unambiguous signature of the thread set where the failure actually
+  // happened — every other variant arrived here, so nothing upstream can
+  // explain the absence — and is excised after one quiet window. Anything
+  // else (several variants missing, or the master among them) is ambiguous:
+  // the stragglers may merely sit behind the true failure's rendezvous or
+  // replay chain on ANOTHER thread set, whose waiters see the singleton and
+  // excise the culprit first. Those waiters defer one window; escalating
+  // needs the same missing set to survive two consecutive full windows.
+  const bool sole_missing_slave = std::popcount(missing) == 1 && (missing & 1u) == 0;
+  if (!sole_missing_slave && missing != *deferred_missing) {
+    *deferred_missing = missing;
+    return;
+  }
+  *deferred_missing = 0;
+  uint32_t pending = missing;
+  bool excised_any = false;
+  bool master_missing = false;
+  while (pending != 0) {
+    const uint32_t m = static_cast<uint32_t>(std::countr_zero(pending));
+    pending &= pending - 1;
+    if (m == 0) {
+      // Even now, the master goes last: it is only declared stuck when no
+      // excisable laggard could explain the stall.
+      master_missing = true;
+      continue;
+    }
+    std::ostringstream detail;
+    detail << "thread " << tid_ << ": lockstep rendezvous timeout: variant " << m
+           << " never arrived at round " << round << " (variant " << variant
+           << " waiting on " << SysnoName(request.sysno) << " " << request.ToString() << ")";
+    if (!reporter->ReportVariantFailure(m, StatusCode::kTimeout, detail.str(), round)) {
+      throw VariantKilled{};
+    }
+    excised_any = true;
+  }
+  if (master_missing && !excised_any) {
+    std::ostringstream detail;
+    detail << "thread " << tid_ << ": lockstep rendezvous timeout: variant 0"
+           << " never arrived at round " << round << " (variant " << variant
+           << " waiting on " << SysnoName(request.sysno) << " " << request.ToString() << ")";
+    // Variant 0 is never excisable: this files the fatal report.
+    reporter->ReportVariantFailure(0, StatusCode::kTimeout, detail.str(), round);
+    throw VariantKilled{};
+  }
+}
+
+bool ThreadSetMonitor::TryOpenSlabRound(RoundSlab& slab, uint64_t round, SyscallClass klass,
+                                        uint32_t variant) {
+  DivergenceReporter* reporter = shared_->reporter;
+  if (slab.phase.load(std::memory_order_acquire) >= kRoundOpen) {
+    return false;
+  }
+  const uint32_t full = (1u << shared_->options->num_variants) - 1;
+  SpinWait resolve;
+  for (;;) {
+    const uint32_t live = reporter->live_mask() & full;
+    const uint32_t arrivals = slab.arrivals.load(std::memory_order_seq_cst);
+    if ((arrivals & live) != live) {
+      return false;
+    }
+    // Every live variant arrived. A dead variant may still be inside its
+    // deposit window: wait those few stores out so the arrival set is frozen
+    // before membership is fixed. The Dekker pairing — depositor stores
+    // `gathering` then loads the live mask, we (after the mask store became
+    // visible) load `gathering` — guarantees that once every dead variant's
+    // flag reads false here, any deposit it starts later will see itself
+    // dead and abort: no arrival bit can land after this loop exits clean
+    // (docs/DESIGN.md §9).
+    bool unresolved = false;
+    uint32_t pending = full & ~arrivals & ~live;
+    while (pending != 0) {
+      const uint32_t v = static_cast<uint32_t>(std::countr_zero(pending));
+      pending &= pending - 1;
+      if (progress_[v].gathering.load(std::memory_order_seq_cst)) {
+        unresolved = true;
+      }
+    }
+    if (!unresolved) {
+      break;
+    }
+    if (reporter->tripped()) {
+      throw VariantKilled{};
+    }
+    resolve.Pause();
+  }
+  uint32_t expect = 0;
+  if (!slab.open_claim.compare_exchange_strong(expect, 1, std::memory_order_acq_rel)) {
+    return false;
+  }
+
+  // ---- Opener. The arrival set is frozen; sample membership fresh so a
+  // variant excised between the completeness check and the claim already
+  // drops out of this round (it drains without executing).
+  uint32_t members =
+      reporter->live_mask() & full & slab.arrivals.load(std::memory_order_seq_cst);
+  uint32_t outlier = kNoOutlier;
+  const std::string mismatch = CompareSlabRoundLive(slab, members, &outlier);
+  if (!mismatch.empty()) {
+    bool excised = false;
+    if (outlier != kNoOutlier) {
+      excised =
+          reporter->ReportVariantFailure(outlier, StatusCode::kDivergence, mismatch, round);
+    } else {
+      reporter->Report(StatusCode::kDivergence, mismatch);
+    }
+    if (!excised) {
+      throw VariantKilled{};
+    }
+    members &= ~(1u << outlier);
+  }
+  slab.members = members;
+  // Control-call preprocessing shared by all variants.
+  if (slab.slots[0].request->sysno == Sysno::kClone) {
+    slab.control_retval = shared_->next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Route signals exactly once per round: a kill enqueues for its target,
+  // and anything pending for THIS thread set is latched so every variant
+  // delivers at this same syscall boundary.
+  RouteSignals(*slab.slots[0].request, &slab.signals);
+  counters_.Count(klass);
+  if (reporter->excision_probe_armed()) [[unlikely]] {
+    // First round to open after an excision: recovery is complete.
+    reporter->CompleteExcisionProbe();
+  }
+  slab.phase.store(kRoundOpen, std::memory_order_release);
+  park_.WakeParked();
+  // Flat-combining master execution: the opener — whichever variant it
+  // belongs to — performs the master call itself, against the MASTER's
+  // deposited request (variant-local pointers: buffers, futex word,
+  // local_addr) and the master's process state. The virtual kernel is
+  // executor-agnostic, and combining saves the wake-the-master-then-wake-
+  // the-slaves double handoff per round — on oversubscribed hosts that
+  // halves the context switches. The result (payload in the slab's pooled
+  // buffer) is published with one release store; slaves read it in place —
+  // no per-slave clone, no allocation. (Even an opener excised as the
+  // digest outlier completes this duty before unwinding: its thread is
+  // alive, and the survivors need the round.)
+  SyscallRequest& master_request = *slab.slots[0].request;
+  slab.payload.Clear();
+  master_request.payload_pool = &slab.payload;
+  progress_[variant].in_master.store(true, std::memory_order_relaxed);
+  slab.master_result = ExecuteMaster(master_request, klass, slab.control_retval);
+  progress_[variant].in_master.store(false, std::memory_order_relaxed);
+  slab.phase.store(kRoundMasterDone, std::memory_order_release);
+  park_.WakeParked();
+  return true;
+}
+
+void ThreadSetMonitor::DrainSlab(RoundSlab& slab, uint64_t round, uint32_t self_bit) {
+  const uint32_t prev = slab.drained.fetch_or(self_bit, std::memory_order_acq_rel);
+  if ((prev & self_bit) != 0) {
+    return;  // double-fire guard (unwind paths)
+  }
+  const uint32_t now = prev | self_bit;
+  if (now != slab.arrivals.load(std::memory_order_seq_cst)) {
+    return;
+  }
+  // Last drainer: every arrival's reads of the round state happened before
+  // its drain fetch_or (acq_rel chain), and the arrival set has been frozen
+  // since the round opened (deposit Dekker, docs/DESIGN.md §9), so exactly
+  // one thread observes the completed bitmap and the plain resets are safe.
+  for (auto& reset_slot : slab.slots) {
+    reset_slot.request = nullptr;
+    reset_slot.digest = 0;
+  }
+  slab.signals.clear();
+  slab.master_result = SyscallResult{};
+  slab.control_retval = 0;
+  slab.members = 0;
+  slab.arrivals.store(0, std::memory_order_relaxed);
+  slab.drained.store(0, std::memory_order_relaxed);
+  slab.open_claim.store(0, std::memory_order_relaxed);
+  slab.phase.store(kRoundGather, std::memory_order_relaxed);
+  // Re-arm for round + depth; the release publishes all resets to the
+  // next round's arrivers (their recycle gate acquires epoch).
+  slab.epoch.store(round + kSlabRingDepth, std::memory_order_release);
+  park_.WakeParked();
+}
+
 int64_t ThreadSetMonitor::RunSyscallSlab(uint32_t variant, SyscallRequest& request,
                                          std::vector<int32_t>* delivered_signals) {
   const SyscallClass klass = ClassOf(request.sysno);
-  const uint32_t n = shared_->options->num_variants;
   DivergenceReporter* reporter = shared_->reporter;
-  // A variant arriving after shutdown must unwind, not join (and possibly
-  // open) a dead MVEE's round — e.g. the stalled sibling of a rendezvous
-  // timeout waking up with its sys_exit.
-  if (reporter->tripped()) {
-    throw VariantKilled{};
-  }
 
   // This variant's position in the round sequence is private state: exactly
   // one thread per variant serves a thread set, so no atomics are needed.
   const uint64_t round = cursors_[variant].next_round++;
   RoundSlab& slab = slabs_[round & kSlabRingMask];
+  const uint32_t self_bit = 1u << variant;
 
   // 1. Recycle gate: the slab serves round `round` only once the last
   //    drainer of round `round - depth` re-armed it (release store on
-  //    epoch). In steady state this is a single acquire load.
+  //    epoch). In steady state this is a single acquire load. An excised
+  //    variant parked here (its siblings moved on without it) unwinds.
   if (!AwaitSlabState(
-          [&] { return slab.epoch.load(std::memory_order_acquire) == round; },
+          [&] {
+            return slab.epoch.load(std::memory_order_acquire) == round ||
+                   reporter->VariantDead(variant);
+          },
           /*timed=*/true)) {
-    reporter->Report(StatusCode::kTimeout,
-                     "thread " + std::to_string(tid_) + ": previous round never drained");
+    std::ostringstream detail;
+    detail << "thread " << tid_ << ": round " << round
+           << " slab never recycled for variant " << variant << " waiting on "
+           << SysnoName(request.sysno) << " " << request.ToString()
+           << " (stale arrivals=0x" << std::hex
+           << slab.arrivals.load(std::memory_order_relaxed) << " drained=0x"
+           << slab.drained.load(std::memory_order_relaxed) << std::dec << ")";
+    reporter->Report(StatusCode::kTimeout, detail.str());
+    throw VariantKilled{};
+  }
+  if (reporter->VariantDead(variant)) {
     throw VariantKilled{};
   }
 
-  // 2. Deposit + arrive. The acq_rel fetch_or makes every earlier arriver's
-  //    plain slot writes visible to the last arriver (release sequence).
+  // 2. Deposit + arrive, bracketed by the gathering flag: the seq_cst
+  //    store/dead-load here against TryOpenSlabRound's mask-load/gathering-
+  //    load pins down that by the time a round opens, a dying variant's
+  //    arrival bit has either landed (it joins the drain accounting) or can
+  //    never land (docs/DESIGN.md §9). The acq_rel fetch_or makes every
+  //    earlier arriver's plain slot writes visible to the opener.
+  progress_[variant].gathering.store(true, std::memory_order_seq_cst);
+  if (reporter->VariantDead(variant)) {
+    progress_[variant].gathering.store(false, std::memory_order_seq_cst);
+    throw VariantKilled{};
+  }
   request.PrimeComparableDigest();
   ArrivalSlot& slot = slab.slots[variant];
   slot.request = &request;
-  slot.digest = request.ComparableDigest();
+  slot.digest = DepositDigest(variant, request);
   slot.sysno.store(request.sysno, std::memory_order_relaxed);
-  const uint32_t self_bit = 1u << variant;
-  const uint32_t full = (1u << n) - 1;
-  const uint32_t before = slab.arrivals.fetch_or(self_bit, std::memory_order_acq_rel);
+  slab.arrivals.fetch_or(self_bit, std::memory_order_acq_rel);
+  progress_[variant].gathering.store(false, std::memory_order_seq_cst);
 
-  if ((before | self_bit) == full) {
-    // Last arriver: compare in lockstep (§2). Divergence kills the MVEE.
-    const std::string mismatch = CompareSlabRound(slab);
-    if (!mismatch.empty()) {
-      reporter->Report(StatusCode::kDivergence, mismatch);
-      throw VariantKilled{};
+  // From here on this thread is part of the round's drain accounting: every
+  // exit — completion, excision, shutdown — must drain, or the slab never
+  // recycles for the survivors. (A pre-open exceptional drain can only
+  // happen on a fatal trip, where recycling no longer matters.)
+  struct DrainGuard {
+    ThreadSetMonitor* self;
+    RoundSlab* slab;
+    uint64_t round;
+    uint32_t bit;
+    ~DrainGuard() { self->DrainSlab(*slab, round, bit); }
+  } drain_guard{this, &slab, round, self_bit};
+
+  // 3. Open the round — usually as the last arriver (the claim CAS is then
+  //    uncontended); after an excision shrank the live set, as whichever
+  //    waiter re-observes completeness first.
+  bool opened_by_me = false;
+  uint32_t deferred_missing = 0;  // timeout verdict deferred from the last window
+  for (;;) {
+    if (TryOpenSlabRound(slab, round, klass, variant)) {
+      opened_by_me = true;
+      break;
     }
-    // Control-call preprocessing shared by all variants.
-    if (slab.slots[0].request->sysno == Sysno::kClone) {
-      slab.control_retval = shared_->next_tid.fetch_add(1, std::memory_order_relaxed);
-    }
-    // Route signals exactly once per round: a kill enqueues for its target,
-    // and anything pending for THIS thread set is latched so every variant
-    // delivers at this same syscall boundary.
-    RouteSignals(*slab.slots[0].request, &slab.signals);
-    counters_.Count(klass);
-    slab.phase.store(kRoundOpen, std::memory_order_release);
-    park_.WakeParked();
-    // 3a. Flat-combining master execution: the last arriver — whichever
-    //     variant it belongs to — performs the master call itself, against
-    //     the MASTER's deposited request (variant-local pointers: buffers,
-    //     futex word, local_addr) and the master's process state. The
-    //     virtual kernel is executor-agnostic, and combining saves the
-    //     wake-the-master-then-wake-the-slaves double handoff per round —
-    //     on oversubscribed hosts that halves the context switches. The
-    //     result (payload in the slab's pooled buffer) is published with
-    //     one release store; slaves read it in place — no per-slave clone,
-    //     no allocation.
-    SyscallRequest& master_request = *slab.slots[0].request;
-    slab.payload.Clear();
-    master_request.payload_pool = &slab.payload;
-    slab.master_result = ExecuteMaster(master_request, klass, slab.control_retval);
-    slab.phase.store(kRoundMasterDone, std::memory_order_release);
-    park_.WakeParked();
-  } else {
-    // Lockstep: no variant proceeds until all variants made an equivalent
-    // call (§2). A sibling that never arrives (e.g. divergence through an
-    // uninstrumented sync op changed its control flow) trips the timeout.
-    if (!AwaitSlabState(
-            [&] { return slab.phase.load(std::memory_order_acquire) >= kRoundOpen; },
+    // Lockstep: no variant proceeds until all live variants made an
+    // equivalent call (§2). A sibling that never arrives (crash, stall,
+    // divergence through an uninstrumented sync op) trips the timeout. The
+    // live mask is snapshotted per window so a mid-wait excision (from any
+    // thread set) resets the stragglers' deadline instead of cascading.
+    const uint32_t live_at_wait =
+        reporter->live_mask() & ((1u << shared_->options->num_variants) - 1);
+    if (AwaitSlabState(
+            [&] {
+              if (slab.phase.load(std::memory_order_acquire) >= kRoundOpen) {
+                return true;
+              }
+              if (slab.open_claim.load(std::memory_order_acquire) != 0) {
+                return false;  // opener at work; wait for its phase store
+              }
+              return SlabGatherComplete(slab);
+            },
             /*timed=*/true)) {
-      std::ostringstream detail;
-      detail << "thread " << tid_ << ": lockstep rendezvous timeout at " << request.ToString()
-             << " (variant " << variant << ", " << std::popcount(slab.arrivals.load()) << "/"
-             << n << " arrived)";
-      reporter->Report(StatusCode::kTimeout, detail.str());
-      throw VariantKilled{};
+      if (slab.phase.load(std::memory_order_acquire) >= kRoundOpen) {
+        break;
+      }
+      continue;  // complete (an excision shrank the set): retry the claim
     }
-    // 3b. Untimed: the combined master call may legitimately block in the
-    //     kernel (futex, accept) far longer than any rendezvous budget;
-    //     shutdown still interrupts via reporter->tripped() + WakeParked.
-    AwaitSlabState(
-        [&] { return slab.phase.load(std::memory_order_acquire) >= kRoundMasterDone; },
-        /*timed=*/false);
+    // Throws when fatal; may defer its verdict to the next window.
+    ExciseMissingSlab(slab, round, variant, live_at_wait, &deferred_missing, request);
   }
 
-  // 4a. Per-variant completion. The master's thread only picks up the
-  //     published retval (its process state was already advanced by the
-  //     combined execution); slave threads apply their local side effects.
+  // 4. Membership check: arrived but excluded when the round opened (excised
+  //    mid-gather, or the digest outlier). Leave without executing; the
+  //    guard drains our arrival so the survivors can recycle.
+  const uint32_t members = slab.members;
+  if ((members & self_bit) == 0) {
+    throw VariantKilled{};
+  }
+
+  if (!opened_by_me) {
+    // Untimed: the combined master call may legitimately block in the
+    // kernel (futex, accept) far longer than any rendezvous budget;
+    // shutdown still interrupts via reporter->tripped() + WakeParked, and an
+    // excision of THIS variant lifts the wait (skip execution, drain).
+    AwaitSlabState(
+        [&] {
+          return slab.phase.load(std::memory_order_acquire) >= kRoundMasterDone ||
+                 reporter->VariantDead(variant);
+        },
+        /*timed=*/false);
+    if (slab.phase.load(std::memory_order_acquire) < kRoundMasterDone) {
+      throw VariantKilled{};  // excised while the master was still pending
+    }
+  }
+
+  // 5. Per-variant completion. The master's thread only picks up the
+  //    published retval (its process state was already advanced by the
+  //    combined execution); slave threads apply their local side effects.
   int64_t retval = 0;
   if (variant == 0) {
     retval = slab.master_result.retval;
+  } else if (reporter->VariantDead(variant)) {
+    // Excised mid-round (from another thread set): skip the replay — this
+    // variant's ordering clocks may never advance again. Guard drains.
+    throw VariantKilled{};
   } else {
     retval = ExecuteSlave(variant, request, klass, slab.master_result, slab.control_retval);
   }
 
-  // 4. Drain. Copy this round's latched signals out before retiring — the
+  // 6. Copy this round's latched signals out before the guard drains — the
   //    caller delivers them once the rendezvous is fully unwound.
   if (delivered_signals != nullptr) {
     *delivered_signals = slab.signals;
   }
-  const uint32_t drained = slab.drained.fetch_add(1, std::memory_order_acq_rel) + 1;
-  if (drained == n) {
-    // Last drainer: every variant's reads of the round state happened
-    // before its drain increment (acq_rel chain), so plain resets are safe.
-    for (auto& reset_slot : slab.slots) {
-      reset_slot.request = nullptr;
-      reset_slot.digest = 0;
-    }
-    slab.signals.clear();
-    slab.master_result = SyscallResult{};
-    slab.control_retval = 0;
-    slab.arrivals.store(0, std::memory_order_relaxed);
-    slab.drained.store(0, std::memory_order_relaxed);
-    slab.phase.store(kRoundGather, std::memory_order_relaxed);
-    // Re-arm for round + depth; the release publishes all resets to the
-    // next round's arrivers (their recycle gate acquires epoch).
-    slab.epoch.store(round + kSlabRingDepth, std::memory_order_release);
-    park_.WakeParked();
-  }
   return retval;
+}
+
+void ThreadSetMonitor::DrainMutexLocked(uint32_t variant) {
+  const uint32_t self_bit = 1u << variant;
+  if ((drained_mask_ & self_bit) != 0) {
+    return;  // double-fire guard (unwind paths)
+  }
+  drained_mask_ |= self_bit;
+  if (drained_mask_ != arrived_mask_) {
+    return;
+  }
+  arrived_mask_ = 0;
+  drained_mask_ = 0;
+  round_members_ = 0;
+  master_done_ = false;
+  master_result_ = SyscallResult{};
+  round_signals_.clear();
+  std::fill(requests_.begin(), requests_.end(), nullptr);
+  std::fill(digests_.begin(), digests_.end(), 0);
+  phase_ = Phase::kGather;
+  cv_.notify_all();
 }
 
 int64_t ThreadSetMonitor::RunSyscallMutex(uint32_t variant, SyscallRequest& request,
                                           std::vector<int32_t>* delivered_signals) {
   const SyscallClass klass = ClassOf(request.sysno);
   const uint32_t n = shared_->options->num_variants;
+  const uint32_t full = (1u << n) - 1;
+  const uint32_t self_bit = 1u << variant;
   const auto timeout = shared_->options->rendezvous_timeout;
   DivergenceReporter* reporter = shared_->reporter;
 
   std::unique_lock<std::mutex> lock(mutex_);
 
-  // Wait for the previous round to fully drain.
-  if (!cv_.wait_for(lock, timeout,
-                    [&] { return phase_ == Phase::kGather || reporter->tripped(); })) {
+  // Wait for the previous round to fully drain. An excised variant parked
+  // here just unwinds — it never deposited, so no accounting is owed.
+  if (!cv_.wait_for(lock, timeout, [&] {
+        return phase_ == Phase::kGather || reporter->tripped() ||
+               reporter->VariantDead(variant);
+      })) {
+    std::ostringstream detail;
+    detail << "thread " << tid_ << ": previous round never drained: variant " << variant
+           << " waiting on " << SysnoName(request.sysno) << " " << request.ToString()
+           << " (arrived=0x" << std::hex << arrived_mask_ << " drained=0x" << drained_mask_
+           << std::dec << ")";
     lock.unlock();
-    reporter->Report(StatusCode::kTimeout,
-                     "thread " + std::to_string(tid_) + ": previous round never drained");
+    reporter->Report(StatusCode::kTimeout, detail.str());
     throw VariantKilled{};
   }
-  if (reporter->tripped()) {
+  if (reporter->tripped() || reporter->VariantDead(variant)) {
     throw VariantKilled{};
   }
 
   request.PrimeComparableDigest();
   requests_[variant] = &request;
-  digests_[variant] = request.ComparableDigest();
-  ++arrived_;
+  digests_[variant] = DepositDigest(variant, request);
+  arrived_mask_ |= self_bit;
 
-  if (arrived_ == n) {
-    // Last arriver: compare in lockstep (§2). Divergence kills the MVEE.
-    const std::string mismatch = CompareRound();
-    if (!mismatch.empty()) {
-      lock.unlock();
-      reporter->Report(StatusCode::kDivergence, mismatch);
-      throw VariantKilled{};
-    }
-    // Control-call preprocessing shared by all variants.
-    if (requests_[0]->sysno == Sysno::kClone) {
-      control_retval_ = shared_->next_tid.fetch_add(1, std::memory_order_relaxed);
-    }
-    // Route signals exactly once per round: a kill enqueues for its target,
-    // and anything pending for THIS thread set is latched so every variant
-    // delivers at this same syscall boundary.
-    RouteSignals(*requests_[0], &round_signals_);
-    counters_.Count(klass);
-    phase_ = Phase::kExecute;
-    cv_.notify_all();
-  } else {
-    // Lockstep: no variant proceeds until all variants made an equivalent
-    // call (§2). A sibling that never arrives (e.g. divergence through an
-    // uninstrumented sync op changed its control flow) trips the timeout.
-    if (!cv_.wait_for(lock, timeout,
-                      [&] { return phase_ == Phase::kExecute || reporter->tripped(); })) {
-      std::ostringstream detail;
-      detail << "thread " << tid_ << ": lockstep rendezvous timeout at " << request.ToString()
-             << " (variant " << variant << ", " << arrived_ << "/" << n << " arrived)";
-      lock.unlock();
-      reporter->Report(StatusCode::kTimeout, detail.str());
-      throw VariantKilled{};
-    }
+  // Gather loop. Unlike the seed's "last arriver opens", ANY depositor that
+  // observes the live set fully arrived opens the round — when an excision
+  // shrinks the set mid-gather, the hook's notify re-runs this evaluation on
+  // whoever wakes first (docs/DESIGN.md §9). Everything here runs under
+  // mutex_, which makes the membership/retraction races of the slab
+  // protocol trivial.
+  uint32_t deferred_missing = 0;  // timeout verdict deferred from the last window
+  while (phase_ == Phase::kGather) {
     if (reporter->tripped()) {
       throw VariantKilled{};
     }
+    if (reporter->VariantDead(variant)) {
+      // Excised before the round opened: retract the deposit so the opener
+      // never counts us, then unwind.
+      requests_[variant] = nullptr;
+      digests_[variant] = 0;
+      arrived_mask_ &= ~self_bit;
+      cv_.notify_all();
+      throw VariantKilled{};
+    }
+    const uint32_t live = reporter->live_mask() & full;
+    if ((arrived_mask_ & live) == live) {
+      // Open. Compare in lockstep first (§2); a single outlier may be
+      // excised, anything else is fatal.
+      uint32_t outlier = kNoOutlier;
+      const std::string mismatch = CompareRoundLive(live, &outlier);
+      if (!mismatch.empty()) {
+        bool excised = false;
+        lock.unlock();  // excision hooks take mutex_; reports never under it
+        if (outlier != kNoOutlier) {
+          excised = reporter->ReportVariantFailure(outlier, StatusCode::kDivergence, mismatch);
+        } else {
+          reporter->Report(StatusCode::kDivergence, mismatch);
+        }
+        if (!excised) {
+          throw VariantKilled{};
+        }
+        lock.lock();
+        continue;  // live mask shrank; re-evaluate completeness
+      }
+      // Control-call preprocessing shared by all variants.
+      if (requests_[0]->sysno == Sysno::kClone) {
+        control_retval_ = shared_->next_tid.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Route signals exactly once per round: a kill enqueues for its
+      // target, and anything pending for THIS thread set is latched so
+      // every variant delivers at this same syscall boundary.
+      RouteSignals(*requests_[0], &round_signals_);
+      counters_.Count(klass);
+      if (reporter->excision_probe_armed()) [[unlikely]] {
+        reporter->CompleteExcisionProbe();
+      }
+      round_members_ = live;
+      phase_ = Phase::kExecute;
+      cv_.notify_all();
+      break;
+    }
+    // Lockstep: no variant proceeds until all live variants made an
+    // equivalent call (§2). A sibling that never arrives trips the timeout
+    // and is reported as the stalled party. The live mask is snapshotted per
+    // window so a mid-wait excision (from any thread set) resets the
+    // stragglers' deadline instead of cascading; a missing master is only
+    // declared stuck when it is the sole missing variant across a full
+    // quiet window (it may be collaterally delayed by the same recovery).
+    const uint32_t lv_at_wait = reporter->live_mask() & full;
+    if (!cv_.wait_for(lock, timeout, [&] {
+          if (phase_ != Phase::kGather || reporter->tripped() ||
+              reporter->VariantDead(variant)) {
+            return true;
+          }
+          const uint32_t lv = reporter->live_mask() & full;
+          return (arrived_mask_ & lv) == lv;
+        })) {
+      const uint32_t lv = reporter->live_mask() & full;
+      if (lv != lv_at_wait) {
+        deferred_missing = 0;
+        continue;  // membership changed mid-wait: fresh window
+      }
+      const uint32_t missing = lv & ~arrived_mask_;
+      if (missing == 0) {
+        deferred_missing = 0;
+        continue;  // resolved at the wire
+      }
+      // Same escalation asymmetry as the slab protocol (docs/DESIGN.md §9):
+      // a sole missing slave is excised after one window; an ambiguous
+      // missing set must survive two consecutive windows.
+      const bool sole_missing_slave =
+          std::popcount(missing) == 1 && (missing & 1u) == 0;
+      if (!sole_missing_slave && missing != deferred_missing) {
+        deferred_missing = missing;
+        continue;
+      }
+      deferred_missing = 0;
+      uint32_t pending = missing;
+      bool excised_any = false;
+      bool master_missing = false;
+      lock.unlock();
+      while (pending != 0) {
+        const uint32_t m = static_cast<uint32_t>(std::countr_zero(pending));
+        pending &= pending - 1;
+        if (m == 0) {
+          master_missing = true;
+          continue;
+        }
+        std::ostringstream detail;
+        detail << "thread " << tid_ << ": lockstep rendezvous timeout: variant " << m
+               << " never arrived (variant " << variant << " waiting on "
+               << SysnoName(request.sysno) << " " << request.ToString() << ")";
+        if (!reporter->ReportVariantFailure(m, StatusCode::kTimeout, detail.str())) {
+          throw VariantKilled{};
+        }
+        excised_any = true;
+      }
+      if (master_missing && !excised_any) {
+        std::ostringstream detail;
+        detail << "thread " << tid_ << ": lockstep rendezvous timeout: variant 0"
+               << " never arrived (variant " << variant << " waiting on "
+               << SysnoName(request.sysno) << " " << request.ToString() << ")";
+        // Variant 0 is never excisable: this files the fatal report.
+        reporter->ReportVariantFailure(0, StatusCode::kTimeout, detail.str());
+        throw VariantKilled{};
+      }
+      lock.lock();
+    }
+  }
+
+  // Membership check: deposited, but the round opened without us (excised
+  // mid-gather as the digest outlier, with the retraction racing the open).
+  if ((round_members_ & self_bit) == 0) {
+    DrainMutexLocked(variant);
+    throw VariantKilled{};
   }
 
   int64_t retval = 0;
@@ -792,15 +1315,23 @@ int64_t ThreadSetMonitor::RunSyscallMutex(uint32_t variant, SyscallRequest& requ
     lock.unlock();
     mutex_payload_.Clear();
     request.payload_pool = &mutex_payload_;
+    progress_[variant].in_master.store(true, std::memory_order_relaxed);
     SyscallResult result = ExecuteMaster(request, klass, control_retval_);
+    progress_[variant].in_master.store(false, std::memory_order_relaxed);
     lock.lock();
     master_result_ = result;
     master_done_ = true;
     retval = master_result_.retval;
     cv_.notify_all();
   } else {
-    cv_.wait(lock, [&] { return master_done_ || reporter->tripped(); });
+    cv_.wait(lock, [&] {
+      return master_done_ || reporter->tripped() || reporter->VariantDead(variant);
+    });
     if (reporter->tripped()) {
+      throw VariantKilled{};  // fatal: the whole MVEE is unwinding
+    }
+    if (!master_done_ && reporter->VariantDead(variant)) {
+      DrainMutexLocked(variant);
       throw VariantKilled{};
     }
     // Snapshot the round's scalar result so the slave can leave the lock
@@ -810,7 +1341,14 @@ int64_t ThreadSetMonitor::RunSyscallMutex(uint32_t variant, SyscallRequest& requ
     const SyscallResult master_copy = master_result_;
     const int64_t round_control_retval = control_retval_;
     lock.unlock();
-    retval = ExecuteSlave(variant, request, klass, master_copy, round_control_retval);
+    try {
+      retval = ExecuteSlave(variant, request, klass, master_copy, round_control_retval);
+    } catch (...) {
+      // Excision (or shutdown) mid-replay: drain so survivors can recycle.
+      lock.lock();
+      DrainMutexLocked(variant);
+      throw;
+    }
     lock.lock();
   }
 
@@ -819,23 +1357,49 @@ int64_t ThreadSetMonitor::RunSyscallMutex(uint32_t variant, SyscallRequest& requ
   if (delivered_signals != nullptr) {
     *delivered_signals = round_signals_;
   }
-
-  ++drained_;
-  if (drained_ == n) {
-    arrived_ = 0;
-    drained_ = 0;
-    master_done_ = false;
-    master_result_ = SyscallResult{};
-    round_signals_.clear();
-    std::fill(requests_.begin(), requests_.end(), nullptr);
-    phase_ = Phase::kGather;
-    cv_.notify_all();
-  }
+  DrainMutexLocked(variant);
   return retval;
 }
 
 int64_t ThreadSetMonitor::RunSyscall(uint32_t variant, SyscallRequest& request,
                                      std::vector<int32_t>* delivered_signals) {
+  FaultInjector& faults = FaultInjector::Global();
+  // Fault sites (docs/fault_injection.md). Crash: the thread unwinds
+  // silently, exactly like a variant whose process died — siblings detect
+  // the absence through the rendezvous timeout and excise (or shut down)
+  // from there. Stall: sleep through the arrival window so siblings expire
+  // first; the dead-check below then reaps the stallion on wakeup.
+  if (faults.ShouldFire(FaultSite::kCrashAtSyscall, variant)) [[unlikely]] {
+    throw VariantKilled{};
+  }
+  uint64_t stall_ms = 0;
+  if (faults.ShouldFire(FaultSite::kStallArrival, variant, &stall_ms)) [[unlikely]] {
+    auto delay = std::chrono::milliseconds(stall_ms);
+    if (stall_ms == 0) {
+      delay = 2 * std::chrono::duration_cast<std::chrono::milliseconds>(
+                      shared_->options->rendezvous_timeout);
+    }
+    std::this_thread::sleep_for(delay);
+  }
+
+  // Heartbeat for the blocked-call watchdog: odd seq = inside the call.
+  ProgressSlot& progress = progress_[variant];
+  progress.sysno.store(request.sysno, std::memory_order_relaxed);
+  progress.seq.fetch_add(1, std::memory_order_relaxed);
+  struct HeartbeatGuard {
+    std::atomic<uint64_t>* seq;
+    ~HeartbeatGuard() { seq->fetch_add(1, std::memory_order_relaxed); }
+  } heartbeat{&progress.seq};
+
+  DivergenceReporter* reporter = shared_->reporter;
+  // A variant arriving after shutdown must unwind, not join (and possibly
+  // open) a dead MVEE's round — e.g. the stalled sibling of a rendezvous
+  // timeout waking up with its sys_exit. An excised variant likewise
+  // unwinds at its next syscall, wherever the excision caught it.
+  if (reporter->tripped() || reporter->VariantDead(variant)) {
+    throw VariantKilled{};
+  }
+
   if (shared_->options->sync_model == SyncModel::kLoose) {
     return RunSyscallLoose(variant, request, delivered_signals);
   }

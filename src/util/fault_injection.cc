@@ -1,0 +1,227 @@
+#include "mvee/util/fault_injection.h"
+
+#include <cstdlib>
+
+#include "mvee/util/rng.h"
+
+namespace mvee {
+
+namespace {
+
+struct SiteNameEntry {
+  const char* name;
+  FaultSite site;
+};
+
+constexpr SiteNameEntry kSiteNames[] = {
+    {"crash", FaultSite::kCrashAtSyscall},
+    {"stall", FaultSite::kStallArrival},
+    {"digest", FaultSite::kCorruptDigest},
+    {"drop-futex-wake", FaultSite::kDropFutexWake},
+    {"drop-waitq-wake", FaultSite::kDropWaitqWake},
+    {"delay-publish", FaultSite::kDelayRingPublish},
+    {"leak-fd-lease", FaultSite::kLeakFdLease},
+};
+
+bool ParseSiteName(const std::string& token, FaultSite* site) {
+  for (const SiteNameEntry& entry : kSiteNames) {
+    if (token == entry.name) {
+      *site = entry.site;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Strict non-negative integer parse; rejects empty and trailing garbage.
+bool ParseU64(const std::string& token, uint64_t* value) {
+  if (token.empty()) {
+    return false;
+  }
+  uint64_t result = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    result = result * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = result;
+  return true;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  for (const SiteNameEntry& entry : kSiteNames) {
+    if (entry.site == site) {
+      return entry.name;
+    }
+  }
+  return "unknown";
+}
+
+bool FaultPlan::Parse(const std::string& text, FaultPlan* plan, std::string* error) {
+  plan->entries.clear();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(';', pos);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string spec = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (spec.empty()) {
+      continue;
+    }
+
+    Entry entry;
+    // Split off the site name (up to '@' or ':').
+    const size_t at = spec.find('@');
+    const size_t colon = spec.find(':');
+    const size_t name_end = std::min(at, colon);
+    if (!ParseSiteName(spec.substr(0, name_end), &entry.site)) {
+      if (error != nullptr) {
+        *error = "unknown fault site in '" + spec + "'";
+      }
+      return false;
+    }
+    size_t rest = 0;
+    if (at != std::string::npos && at < colon) {
+      // '@' victim selector: index or '*'.
+      if (colon == std::string::npos) {
+        if (error != nullptr) {
+          *error = "missing ':nth' in '" + spec + "'";
+        }
+        return false;
+      }
+      const std::string victim = spec.substr(at + 1, colon - at - 1);
+      if (victim == "*") {
+        entry.variant = kFaultSeededVariant;
+      } else {
+        uint64_t index = 0;
+        if (!ParseU64(victim, &index) || index >= kFaultSeededVariant) {
+          if (error != nullptr) {
+            *error = "bad victim '" + victim + "' in '" + spec + "'";
+          }
+          return false;
+        }
+        entry.variant = static_cast<uint32_t>(index);
+      }
+      rest = colon + 1;
+    } else if (colon != std::string::npos) {
+      rest = colon + 1;
+    } else {
+      if (error != nullptr) {
+        *error = "missing ':nth' in '" + spec + "'";
+      }
+      return false;
+    }
+
+    // nth[:param]
+    const size_t param_colon = spec.find(':', rest);
+    const std::string nth_token =
+        spec.substr(rest, param_colon == std::string::npos ? std::string::npos
+                                                           : param_colon - rest);
+    if (!ParseU64(nth_token, &entry.nth) || entry.nth == 0) {
+      if (error != nullptr) {
+        *error = "bad nth '" + nth_token + "' in '" + spec + "'";
+      }
+      return false;
+    }
+    if (param_colon != std::string::npos) {
+      if (!ParseU64(spec.substr(param_colon + 1), &entry.param)) {
+        if (error != nullptr) {
+          *error = "bad param in '" + spec + "'";
+        }
+        return false;
+      }
+    }
+    plan->entries.push_back(entry);
+  }
+  return true;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+bool FaultInjector::Arm(const FaultPlan& plan, uint32_t num_variants, uint64_t seed) {
+  if (plan.entries.size() > kMaxEntries) {
+    return false;
+  }
+  Disarm();
+  uint32_t sites = 0;
+  size_t count = 0;
+  for (const FaultPlan::Entry& entry : plan.entries) {
+    ArmedEntry& armed = entries_[count];
+    armed.site = entry.site;
+    armed.nth = entry.nth;
+    armed.param = entry.param;
+    armed.hits.store(0, std::memory_order_relaxed);
+    if (entry.variant == kFaultSeededVariant) {
+      // '*' resolves to a seed-chosen SLAVE: the master (variant 0) is not
+      // excisable (docs/DESIGN.md §9), so a seeded chaos victim must be a
+      // survivor-eligible target. Mix the entry index in so multiple '*'
+      // entries can pick distinct victims from one seed.
+      if (num_variants > 1) {
+        armed.variant =
+            1 + static_cast<uint32_t>(SplitMix64(seed ^ (0x9e3779b9ull * (count + 1))) %
+                                      (num_variants - 1));
+      } else {
+        armed.variant = 0;
+      }
+    } else {
+      armed.variant = entry.variant;
+    }
+    sites |= 1u << static_cast<uint32_t>(entry.site);
+    ++count;
+  }
+  for (std::atomic<uint64_t>& fired : fired_) {
+    fired.store(0, std::memory_order_relaxed);
+  }
+  entry_count_.store(count, std::memory_order_release);
+  armed_sites_.store(sites, std::memory_order_release);
+  return true;
+}
+
+void FaultInjector::Disarm() {
+  armed_sites_.store(0, std::memory_order_release);
+  entry_count_.store(0, std::memory_order_release);
+}
+
+uint32_t FaultInjector::ResolvedVictim(FaultSite site) const {
+  const size_t count = entry_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < count; ++i) {
+    if (entries_[i].site == site) {
+      return entries_[i].variant;
+    }
+  }
+  return kFaultAnyVariant;
+}
+
+bool FaultInjector::FireSlow(FaultSite site, uint32_t variant, uint64_t* param) {
+  bool fire = false;
+  const size_t count = entry_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < count; ++i) {
+    ArmedEntry& entry = entries_[i];
+    if (entry.site != site) {
+      continue;
+    }
+    if (entry.variant != kFaultAnyVariant && variant != kFaultAnyVariant &&
+        entry.variant != variant) {
+      continue;
+    }
+    const uint64_t hit = entry.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (hit == entry.nth) {
+      fire = true;
+      if (param != nullptr) {
+        *param = entry.param;
+      }
+      fired_[static_cast<uint32_t>(site)].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return fire;
+}
+
+}  // namespace mvee

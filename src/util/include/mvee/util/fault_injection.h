@@ -1,0 +1,138 @@
+// Deterministic fault injection (docs/fault_injection.md).
+//
+// The robustness layer (docs/DESIGN.md §9) is only testable if variants can
+// be made to fail on demand, at a reproducible point, without perturbing the
+// fault-free hot path. This header provides that: a process-wide
+// FaultInjector armed from a FaultPlan ("crash@2:5;stall@1:3:250"), with
+// named injection sites woven through the monitor, the virtual kernel and
+// the agents. Each site compiles down to ONE relaxed atomic load plus a
+// predicted-not-taken branch when no plan is armed — the disarmed cost is
+// covered by the rendezvous hot-path no-allocation/cycle-budget test.
+//
+// Determinism: a site fires on the Nth *eligible* event (eligibility =
+// site + variant filter match), counted with a per-entry atomic, so a plan
+// names an exact point in the run's syscall stream. The '*' victim selector
+// resolves to a concrete slave variant from the run's seed at Arm() time —
+// chaos sweeps can vary the victim without editing the plan string.
+//
+// The injector is process-global on purpose: the deepest sites (waitq
+// notify, futex wake) live in objects that would otherwise each need a
+// plumbed pointer. Mvee arms it when MveeOptions::fault_plan is non-empty
+// and disarms it when the run's report is finalized; concurrent Mvee
+// instances in one process share the injector, so only one run at a time
+// should use a plan (tests do; production never arms it).
+
+#ifndef MVEE_UTIL_FAULT_INJECTION_H_
+#define MVEE_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvee {
+
+enum class FaultSite : uint32_t {
+  kCrashAtSyscall = 0,  // variant thread dies (silently) entering its Nth syscall
+  kStallArrival,        // variant thread sleeps `param` ms inside the arrival window
+  kCorruptDigest,       // variant deposits a flipped argument digest
+  kDropFutexWake,       // the kernel swallows a sys_futex WAKE
+  kDropWaitqWake,       // a wait-queue readiness notify is swallowed
+  kDelayRingPublish,    // record/ring publication delayed by `param` ms
+  kLeakFdLease,         // a reader lease on an fd slot is never released
+  kSiteCount,
+};
+
+constexpr uint32_t kFaultSiteCount = static_cast<uint32_t>(FaultSite::kSiteCount);
+
+// Variant filter sentinels. kFaultAnyVariant matches every variant (and is
+// what kernel-side sites, which have no variant at hand, pass in).
+// kFaultSeededVariant is the parse-time representation of '*', replaced by a
+// seed-derived slave variant at Arm().
+constexpr uint32_t kFaultAnyVariant = UINT32_MAX;
+constexpr uint32_t kFaultSeededVariant = UINT32_MAX - 1;
+
+const char* FaultSiteName(FaultSite site);
+
+// A parsed plan: which sites fire, against which variant, on which
+// occurrence. Text syntax (MVEE_FAULT_PLAN / MveeOptions::fault_plan):
+//
+//   plan    := entry (';' entry)*
+//   entry   := site ['@' victim] ':' nth [':' param]
+//   site    := crash | stall | digest | drop-futex-wake | drop-waitq-wake |
+//              delay-publish | leak-fd-lease
+//   victim  := variant index | '*'        (omitted = any variant)
+//   nth     := 1-based eligible-event count at which the entry fires
+//   param   := site-specific value (stall/delay milliseconds)
+struct FaultPlan {
+  struct Entry {
+    FaultSite site = FaultSite::kSiteCount;
+    uint32_t variant = kFaultAnyVariant;
+    uint64_t nth = 1;
+    uint64_t param = 0;
+  };
+  std::vector<Entry> entries;
+
+  static bool Parse(const std::string& text, FaultPlan* plan, std::string* error);
+};
+
+class FaultInjector {
+ public:
+  // Enough for any realistic chaos plan; Arm() rejects longer ones.
+  static constexpr size_t kMaxEntries = 16;
+
+  constexpr FaultInjector() = default;
+
+  // The process-wide instance every injection site consults.
+  static FaultInjector& Global();
+
+  // Installs `plan`, resolving '*' victims from `seed` (never variant 0: the
+  // master is not excisable, so a seeded victim is always a slave when
+  // num_variants > 1). Returns false (and arms nothing) if the plan has more
+  // than kMaxEntries entries.
+  bool Arm(const FaultPlan& plan, uint32_t num_variants, uint64_t seed);
+
+  // Returns the injector to the free disarmed state.
+  void Disarm();
+
+  // THE hot-path check. Disarmed: one relaxed load, no side effects. Armed:
+  // counts this eligible event against every matching entry and returns true
+  // if one of them elects to fire here (writing its param through `param`).
+  bool ShouldFire(FaultSite site, uint32_t variant = kFaultAnyVariant,
+                  uint64_t* param = nullptr) {
+    if ((armed_sites_.load(std::memory_order_relaxed) &
+         (1u << static_cast<uint32_t>(site))) == 0) [[likely]] {
+      return false;
+    }
+    return FireSlow(site, variant, param);
+  }
+
+  // How many times entries for `site` have fired (test/report plumbing).
+  uint64_t FiredCount(FaultSite site) const {
+    return fired_[static_cast<uint32_t>(site)].load(std::memory_order_relaxed);
+  }
+
+  // The victim a given armed entry resolved to ('*' plans: which variant the
+  // seed picked). Returns kFaultAnyVariant when no entry arms `site`.
+  uint32_t ResolvedVictim(FaultSite site) const;
+
+ private:
+  struct ArmedEntry {
+    FaultSite site = FaultSite::kSiteCount;
+    uint32_t variant = kFaultAnyVariant;
+    uint64_t nth = 1;
+    uint64_t param = 0;
+    std::atomic<uint64_t> hits{0};
+  };
+
+  bool FireSlow(FaultSite site, uint32_t variant, uint64_t* param);
+
+  std::atomic<uint32_t> armed_sites_{0};  // bit i = some entry arms site i
+  std::atomic<size_t> entry_count_{0};
+  ArmedEntry entries_[kMaxEntries];
+  std::atomic<uint64_t> fired_[kFaultSiteCount] = {};
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_UTIL_FAULT_INJECTION_H_

@@ -179,6 +179,22 @@ class BroadcastRing {
     return cursors_[consumer].read.load(std::memory_order_relaxed);
   }
 
+  // Excision support (docs/DESIGN.md §9): marks `consumer` detached so the
+  // producer gate skips its cursor — a dead variant stops back-pressuring
+  // the ring. An explicit flag rather than a cursor sentinel: the dead
+  // variant's threads may still execute a straggling Advance (a plain
+  // load+store), which would clobber any sentinel value. Their reads stay
+  // memory-safe (slots_ is a fixed array) but may observe recycled slots;
+  // by the time a variant is detached its threads are unwinding and no
+  // longer act on ring contents.
+  void DetachConsumer(size_t consumer) {
+    cursors_[consumer].detached.store(true, std::memory_order_release);
+  }
+
+  bool ConsumerDetached(size_t consumer) const {
+    return cursors_[consumer].detached.load(std::memory_order_acquire);
+  }
+
   // Sequence of the next element the producer will publish.
   uint64_t WriteCursor() const { return write_cursor_.load(std::memory_order_acquire); }
 
@@ -192,6 +208,9 @@ class BroadcastRing {
   struct alignas(64) ConsumerCursor {
     std::atomic<uint64_t> read{0};
     mutable std::atomic<uint64_t> cached_write{0};
+    // Set when the owning variant was excised; MinReadCursor ignores the
+    // cursor from then on.
+    std::atomic<bool> detached{false};
   };
 
   // Producer gate: true if slot `seq` can be written without clobbering an
@@ -235,11 +254,19 @@ class BroadcastRing {
       return write_cursor_.load(std::memory_order_relaxed);
     }
     uint64_t min = UINT64_MAX;
+    bool any_attached = false;
     for (size_t i = 0; i < consumer_count_; ++i) {
+      if (cursors_[i].detached.load(std::memory_order_acquire)) {
+        continue;  // Excised variant: its stalled cursor must not gate pushes.
+      }
+      any_attached = true;
       const uint64_t cursor = cursors_[i].read.load(std::memory_order_acquire);
       if (cursor < min) {
         min = cursor;
       }
+    }
+    if (!any_attached) {
+      return write_cursor_.load(std::memory_order_relaxed);
     }
     return min;
   }

@@ -120,6 +120,14 @@ void FdTable::Ref::PromoteToClientConn(VRef<VConnection> conn) {
   }
 }
 
+void FdTable::Ref::LeakLease() {
+  if (!leased_) {
+    return;  // Baseline refs hold no lease; nothing to leak.
+  }
+  table_->RecordLeakedLease(slot_);
+  leased_ = false;  // ~Ref will not release; the reader count stays elevated.
+}
+
 // --- FdTable -----------------------------------------------------------------
 
 FdTable::FdTable(bool sharded)
@@ -158,6 +166,30 @@ FdTable::~FdTable() {
 void FdTable::RetireObject(VObject* object) {
   std::lock_guard<std::mutex> lock(retired_mutex_);
   retired_.push_back(object);
+}
+
+void FdTable::RecordLeakedLease(Slot* slot) {
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  leaked_leases_.push_back(slot);
+}
+
+size_t FdTable::ReleaseAbandonedLeases() {
+  std::vector<Slot*> leaked;
+  {
+    std::lock_guard<std::mutex> lock(retired_mutex_);
+    leaked.swap(leaked_leases_);
+  }
+  for (Slot* slot : leaked) {
+    // Same release a ~Ref would have performed; a Close spinning in its
+    // reader drain observes the count reach zero and completes.
+    slot->state.fetch_sub(kReaderOne, std::memory_order_release);
+  }
+  return leaked.size();
+}
+
+size_t FdTable::AbandonedLeaseCount() const {
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  return leaked_leases_.size();
 }
 
 int32_t FdTable::LowestFree() const {

@@ -136,6 +136,12 @@ class FdTable {
     // sys_connect: installs the connection and flips the kind.
     void PromoteToClientConn(VRef<VConnection> conn);
 
+    // Fault injection only (docs/fault_injection.md, leak-fd-lease): forgets
+    // to release the lease on destruction, leaving the slot's reader count
+    // permanently elevated — a later Close wedges in its drain until
+    // ReleaseAbandonedLeases repairs the count. No-op for unleased refs.
+    void LeakLease();
+
    private:
     friend class FdTable;
     Ref(FdTable* table, Slot* slot, bool leased)
@@ -167,6 +173,14 @@ class FdTable {
 
   // The VFile behind stdout (fd 1); convenient for output assertions.
   VRef<VFile> StdoutFile() const { return stdout_file_; }
+
+  // Excision repair (docs/DESIGN.md §9): returns every lease recorded by
+  // Ref::LeakLease to its slot (one fetch_sub per leak), unwedging any Close
+  // stuck draining readers. Safe from any thread; returns the number of
+  // leases repaired.
+  size_t ReleaseAbandonedLeases();
+  // Leaked leases recorded and not yet repaired.
+  size_t AbandonedLeaseCount() const;
 
   // One descriptor slot. [gen:32][readers:32]; gen odd = live. The state
   // word is the only rendezvous between lock-free readers and the mutate
@@ -213,6 +227,10 @@ class FdTable {
   // destruction is cheaper than a reclamation protocol.
   void RetireObject(VObject* object);
 
+  // Records a lease deliberately dropped by Ref::LeakLease (fault injection)
+  // so ReleaseAbandonedLeases can repair the reader count later.
+  void RecordLeakedLease(Slot* slot);
+
   // Fills `slot` from `entry` and publishes it live. Allocation lock held.
   void Publish(Slot& slot, FdEntry&& entry);
   // Finds the lowest free fd in the bitmap, or -1. Allocation lock held.
@@ -227,8 +245,11 @@ class FdTable {
   std::array<uint64_t, kMaxFds / 64> live_bitmap_{};
   // Displaced-object parking lot (RetireObject). Own mutex: retirement runs
   // under a slot lease, and mutex_ may be held by a Close draining leases.
-  std::mutex retired_mutex_;
+  mutable std::mutex retired_mutex_;
   std::vector<VObject*> retired_;
+  // Slots with a deliberately-leaked reader lease (fault injection); guarded
+  // by retired_mutex_ (same cold-path locking domain as the parking lot).
+  std::vector<Slot*> leaked_leases_;
   VRef<VFile> stdout_file_;
   // Next per-fd ordering domain id. Monotonic (no reuse); every variant's
   // table hands out the same sequence because fd-namespace calls are totally

@@ -100,6 +100,13 @@ class VirtualKernel {
   // futex table) registered itself at creation (waitq.h).
   void ShutdownBlockedCalls();
 
+  // Watchdog escalation stage 2 (docs/DESIGN.md §9): wakes every futex
+  // waiter WITHOUT closing anything. Futex semantics permit spurious wakes
+  // (waiters re-check their word and re-queue), so a nudge against a healthy
+  // run is harmless — and it is the sound remedy for a lost wakeup, where
+  // the dropped signal left the waiters queued forever.
+  void NudgeBlockedCalls();
+
   Vfs& vfs() { return vfs_; }
   VirtualNetwork& network() { return network_; }
   VirtualClock& clock() { return clock_; }

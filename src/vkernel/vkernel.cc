@@ -6,6 +6,8 @@
 #include <optional>
 #include <thread>
 
+#include "mvee/util/fault_injection.h"
+
 namespace mvee {
 
 namespace {
@@ -107,6 +109,14 @@ SyscallResult VirtualKernel::Execute(ProcessState& process, const SyscallRequest
                                  static_cast<int32_t>(request.arg1)));
       }
       if (request.arg0 == FutexOp::kWake) {
+        // Fault site (docs/fault_injection.md, drop-futex-wake): swallow the
+        // wake. The targeted waiters stay queued — a genuine lost-wakeup
+        // shape — until the watchdog's NudgeBlockedCalls issues a legal
+        // spurious WakeAll.
+        if (FaultInjector::Global().ShouldFire(FaultSite::kDropFutexWake,
+                                              process.variant_index())) {
+          return Ret(0);
+        }
         return Ret(futexes_.Wake(request.local_addr, static_cast<int32_t>(request.arg1)));
       }
       return Err(-EINVAL);
@@ -227,6 +237,14 @@ SyscallResult VirtualKernel::ExecuteFile(ProcessState& process, const SyscallReq
                             ->ClientRead(request.out_data.data(), request.out_data.size());
       } else {
         return Err(-EBADF);
+      }
+      // Fault site (docs/fault_injection.md, leak-fd-lease): forget to
+      // return the reader lease. A later Close of this fd wedges in its
+      // drain until ReleaseAbandonedLeases repairs the count. No-op for the
+      // blocking kinds above (their lease was already returned).
+      if (FaultInjector::Global().ShouldFire(FaultSite::kLeakFdLease,
+                                            process.variant_index())) {
+        entry.LeakLease();
       }
       if (result.retval > 0) {
         PublishPayload(request, &result, static_cast<size_t>(result.retval));
@@ -860,6 +878,15 @@ void VirtualKernel::ShutdownBlockedCalls() {
   // futex table) registered at creation; ShutdownAll closes them all and
   // wakes every parked waiter (waitq.h). No per-kind side lists.
   wait_registry_.ShutdownAll();
+}
+
+void VirtualKernel::NudgeBlockedCalls() {
+  // Non-destructive wake of everything that could be stuck on a lost signal
+  // (docs/DESIGN.md §9 watchdog ladder, stage 2). Futex waiters re-check
+  // their word and re-queue if it still holds the expected value — a legal
+  // spurious wake, exactly what FUTEX_WAKE permits. Waitq parks need no
+  // nudge: every park is slice-bounded and re-scans (waitq.h).
+  futexes_.WakeAll();
 }
 
 int64_t VirtualKernel::ApplyReplicatedEffect(ProcessState& process,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mvee/util/fault_injection.h"
+
 namespace mvee {
 
 namespace {
@@ -17,6 +19,12 @@ constexpr auto kWaitSlice = std::chrono::milliseconds(2);
 // --- WaitQueue ---------------------------------------------------------------
 
 void WaitQueue::Notify() {
+  // Fault site (docs/fault_injection.md, drop-waitq-wake): swallow the
+  // readiness signal. Subscribed waiters degrade to slice-granularity
+  // polling (the kWaitSlice safety net below) instead of hanging.
+  if (FaultInjector::Global().ShouldFire(FaultSite::kDropWaitqWake)) {
+    return;
+  }
   // Dekker pairing with Subscribe's seq_cst RMW: either this fence + load
   // observes the subscriber, or the subscriber's post-subscribe state scan
   // observes the change published before Notify (docs/DESIGN.md §7).

@@ -19,6 +19,7 @@
 
 #include "mvee/monitor/mvee.h"
 #include "mvee/sync/primitives.h"
+#include "mvee/util/fault_injection.h"
 #include "mvee/util/park.h"
 
 // --- Binary-wide heap allocation counter ------------------------------------
@@ -402,6 +403,39 @@ TEST(RendezvousAllocationTest, LockstepReplicatedReadHotPathIsAllocationFree) {
   ASSERT_TRUE(status.ok()) << status.ToString();
   EXPECT_EQ(allocations.load(), 0u)
       << "heap allocations leaked into the lockstep replicated-read hot path";
+}
+
+// The fault-injection sites woven through RunSyscall and the vkernel
+// (docs/fault_injection.md) ride the same hot paths the storms above measure:
+// since fault_plan is empty here, both lockstep storms already prove the
+// DISARMED sites allocation-free. This pins the per-check cost down
+// explicitly: a disarmed ShouldFire is one relaxed load and a predicted
+// branch, so a multi-million-call storm must stay allocation-free and far
+// under the cost of even an uncontended mutex round-trip.
+TEST(RendezvousAllocationTest, DisarmedFaultSitesAreFree) {
+  FaultInjector injector;  // never armed
+  const uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  constexpr uint64_t kCalls = 4'000'000;
+  uint64_t fired = 0;
+  for (uint64_t i = 0; i < kCalls; ++i) {
+    // Rotate sites/variants so the branch predictor sees the real mix.
+    const auto site = static_cast<FaultSite>(i % kFaultSiteCount);
+    fired += injector.ShouldFire(site, static_cast<uint32_t>(i % 4)) ? 1 : 0;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(fired, 0u);
+  EXPECT_EQ(after - before, 0u)
+      << "a disarmed fault site allocated on the hot path";
+  const double ns_per_call =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+      static_cast<double>(kCalls);
+  // Generous bound (a CI-shared core still does a relaxed load + branch in
+  // single-digit ns); catches any regression that puts a lock, a map lookup,
+  // or a string build on the disarmed path.
+  EXPECT_LT(ns_per_call, 50.0) << "disarmed ShouldFire cost " << ns_per_call << " ns/call";
 }
 
 // Loose mode: the ring's pooled records (no shared_ptr churn) and pooled
