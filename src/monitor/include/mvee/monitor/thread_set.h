@@ -200,6 +200,13 @@ class ThreadSetMonitor {
     // excision shrinks the live set, any already-arrived waiter can open the
     // round instead (docs/DESIGN.md §9).
     std::atomic<uint32_t> open_claim{0};
+    // The opener's variant index, stored (release) immediately after the
+    // claim CAS and before the opener's first dereference of a deposited
+    // request. Exists for HoldFrameForCombiner: an arrival unwinding
+    // exceptionally must know whether the opener is itself, still running
+    // (wait for the phase), or already drained (its drained bit is set).
+    static constexpr uint32_t kNoExecutor = 0xffffffffu;
+    std::atomic<uint32_t> executor{kNoExecutor};
     // The live mask sampled by the opener; published by the kRoundOpen
     // release store. Arrived variants outside the mask drain without
     // executing and unwind.
@@ -262,6 +269,17 @@ class ThreadSetMonitor {
   // Marks `self_bit` drained; the thread whose drain completes the arrival
   // set recycles the slab for round + depth.
   void DrainSlab(RoundSlab& slab, uint64_t round, uint32_t self_bit);
+
+  // Called on every exit from a slab round, BEFORE DrainSlab, while the
+  // caller's trap frame (which `slots[variant].request` points into) is
+  // still alive. On normal completion this is a no-op; on an exceptional
+  // unwind it holds the frame until no foreign thread can still read it:
+  // the opener dereferences every member's deposited request during the
+  // digest compare (pre-kRoundOpen) and keeps executing against the
+  // MASTER's request until kRoundMasterDone (flat combining). Unwinding
+  // through that window frees a stack another thread is reading — the
+  // cause of rare shutdown-race segfaults under poll-heavy servers.
+  void HoldFrameForCombiner(RoundSlab& slab, uint32_t variant);
 
   // Spins (then parks) until `ready()` holds. Returns false on rendezvous
   // timeout when `timed`; throws VariantKilled on MVEE shutdown. The

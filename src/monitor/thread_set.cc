@@ -882,6 +882,9 @@ bool ThreadSetMonitor::TryOpenSlabRound(RoundSlab& slab, uint64_t round, Syscall
   if (!slab.open_claim.compare_exchange_strong(expect, 1, std::memory_order_acq_rel)) {
     return false;
   }
+  // Identify the combiner before the first deposited-request dereference:
+  // HoldFrameForCombiner keys an unwinding arrival's wait on this.
+  slab.executor.store(variant, std::memory_order_release);
 
   // ---- Opener. The arrival set is frozen; sample membership fresh so a
   // variant excised between the completeness check and the claim already
@@ -941,6 +944,52 @@ bool ThreadSetMonitor::TryOpenSlabRound(RoundSlab& slab, uint64_t round, Syscall
   return true;
 }
 
+void ThreadSetMonitor::HoldFrameForCombiner(RoundSlab& slab, uint32_t variant) {
+  // How long a foreign thread may read slots[variant].request: every
+  // member's request feeds the opener's digest compare until kRoundOpen;
+  // the MASTER's request additionally feeds the combined execution (and
+  // RouteSignals / the kClone check) until kRoundMasterDone.
+  const uint32_t release_phase = variant == 0 ? kRoundMasterDone : kRoundOpen;
+  if (slab.phase.load(std::memory_order_acquire) >= release_phase) {
+    return;  // normal completion, or the round already left the window
+  }
+  if (shared_->reporter->tripped()) {
+    // Whole-MVEE shutdown: try to take the open claim ourselves. Winning
+    // poisons the round — no opener can ever claim it, so no thread will
+    // dereference our frame, and every other arrival unwinds on tripped().
+    uint32_t expect = 0;
+    if (slab.open_claim.compare_exchange_strong(expect, 1, std::memory_order_acq_rel)) {
+      return;
+    }
+  } else if (slab.open_claim.load(std::memory_order_acquire) == 0) {
+    // Excised (not a shutdown) with no opener in flight: any future opener
+    // samples members AFTER our VariantDead publication (we only unwind
+    // once it is visible), so our slot is outside its compare set. The
+    // round must stay openable for the survivors — do not poison it.
+    return;
+  }
+  // An opener holds the claim. Wait until it publishes the release phase,
+  // or until it turns out to be us, or until it abandoned the round (its
+  // drained bit set during unwind — after which it touches no slot). The
+  // wait is bounded: blocking kernel calls are shutdown-interruptible
+  // (ShutdownBlockedCalls), so the combiner always reaches one of these.
+  SpinWait waiter;
+  for (;;) {
+    if (slab.phase.load(std::memory_order_acquire) >= release_phase) {
+      return;
+    }
+    const uint32_t executor = slab.executor.load(std::memory_order_acquire);
+    if (executor == variant) {
+      return;  // we are the combiner; nobody else reads our frame
+    }
+    if (executor != RoundSlab::kNoExecutor &&
+        (slab.drained.load(std::memory_order_acquire) & (1u << executor)) != 0) {
+      return;
+    }
+    waiter.Pause();
+  }
+}
+
 void ThreadSetMonitor::DrainSlab(RoundSlab& slab, uint64_t round, uint32_t self_bit) {
   const uint32_t prev = slab.drained.fetch_or(self_bit, std::memory_order_acq_rel);
   if ((prev & self_bit) != 0) {
@@ -965,6 +1014,7 @@ void ThreadSetMonitor::DrainSlab(RoundSlab& slab, uint64_t round, uint32_t self_
   slab.arrivals.store(0, std::memory_order_relaxed);
   slab.drained.store(0, std::memory_order_relaxed);
   slab.open_claim.store(0, std::memory_order_relaxed);
+  slab.executor.store(RoundSlab::kNoExecutor, std::memory_order_relaxed);
   slab.phase.store(kRoundGather, std::memory_order_relaxed);
   // Re-arm for round + depth; the release publishes all resets to the
   // next round's arrivers (their recycle gate acquires epoch).
@@ -1035,8 +1085,15 @@ int64_t ThreadSetMonitor::RunSyscallSlab(uint32_t variant, SyscallRequest& reque
     RoundSlab* slab;
     uint64_t round;
     uint32_t bit;
-    ~DrainGuard() { self->DrainSlab(*slab, round, bit); }
-  } drain_guard{this, &slab, round, self_bit};
+    uint32_t variant;
+    ~DrainGuard() {
+      // Order matters: the frame hold must complete while this thread's
+      // trap frame (the deposited request's referent) is still intact,
+      // and before our drain can make us the round's last drainer.
+      self->HoldFrameForCombiner(*slab, variant);
+      self->DrainSlab(*slab, round, bit);
+    }
+  } drain_guard{this, &slab, round, self_bit, variant};
 
   // 3. Open the round — usually as the last arriver (the claim CAS is then
   //    uncontended); after an excision shrank the live set, as whichever

@@ -1,18 +1,55 @@
-// wrk-style load generator and attack client (paper §5.5).
+// wrk-style load generators and attack client (paper §5.5).
 //
 // Clients are *outside* the MVEE — they model the separate client machine of
 // the paper's evaluation — so they talk to the virtual network directly
-// rather than through a monitored variant.
+// rather than through a monitored variant. Two load shapes:
+//
+//   * RunWrk: the seed's closed-loop client — each request opens a fresh
+//     connection and the next request waits for the previous response.
+//     Throughput measures the server's per-connection cost.
+//   * RunWrkOpenLoop: arrival-rate-driven — connection i arrives at
+//     start + i/rate whether or not earlier responses came back, sustains
+//     thousands of in-flight keep-alive connections, and records latency
+//     from the *intended* send time into a log-bucketed histogram, so
+//     percentiles are free of coordinated omission.
 
 #ifndef MVEE_SERVER_WRK_H_
 #define MVEE_SERVER_WRK_H_
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "mvee/util/histogram.h"
 #include "mvee/vkernel/vkernel.h"
 
 namespace mvee {
+
+// --- Shared HTTP/1.x response parsing ---------------------------------------
+
+struct HttpResponse {
+  int status = 0;
+  uint64_t request_id = 0;     // X-Request-Id header; 0 when absent.
+  size_t content_length = 0;
+  size_t total_bytes = 0;      // Bytes this response consumed from the buffer.
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+enum class HttpParseStatus {
+  kNeedMore,   // Buffer holds only a prefix of the response.
+  kComplete,   // `out` is filled; erase total_bytes from the buffer front.
+  kMalformed,  // Not an HTTP/1.x status line + headers.
+};
+
+// Incremental parser over the front of `buffer`: status line, headers
+// (Content-Length framing, X-Request-Id extraction), body. Keep-alive safe —
+// trailing bytes of a pipelined follow-up response are left untouched.
+HttpParseStatus TryParseHttpResponse(std::string_view buffer, HttpResponse* out);
+
+// --- Closed-loop client (seed-compatible) -----------------------------------
 
 struct WrkOptions {
   uint16_t port = 8080;
@@ -23,7 +60,9 @@ struct WrkOptions {
 
 struct WrkResult {
   uint64_t requests_attempted = 0;
-  uint64_t responses_ok = 0;
+  uint64_t responses_ok = 0;          // Parsed, status 2xx.
+  uint64_t responses_non2xx = 0;      // Parsed, status outside 2xx.
+  uint64_t responses_truncated = 0;   // Connection died before a full response.
   uint64_t bytes_received = 0;
   double seconds = 0.0;
 
@@ -35,6 +74,47 @@ struct WrkResult {
 // Generates load against the server listening on `options.port` inside
 // `kernel`'s virtual network. Blocks until all requests completed or failed.
 WrkResult RunWrk(VirtualKernel& kernel, const WrkOptions& options);
+
+// --- Open-loop load generator -----------------------------------------------
+
+struct OpenLoopOptions {
+  uint16_t port = 8080;
+  uint32_t connections = 1000;     // Total connection arrivals over the run.
+  uint32_t requests_per_conn = 2;  // Keep-alive requests per connection.
+  uint32_t pipeline_depth = 1;     // Requests in flight per connection.
+  double arrival_rate = 2000.0;    // Connection arrivals per second.
+  uint32_t client_threads = 4;     // Arrival i is driven by thread i % threads.
+  std::string path = "/index.html";
+  bool collect_request_ids = false;  // Gather X-Request-Id of every 2xx.
+};
+
+struct OpenLoopResult {
+  uint64_t connections_opened = 0;
+  uint64_t connect_retries = 0;  // Refused connects (listener backlog full),
+                                 // retried without moving the schedule.
+  uint64_t requests_attempted = 0;
+  uint64_t responses_ok = 0;
+  uint64_t responses_non2xx = 0;
+  uint64_t responses_truncated = 0;
+  uint64_t bytes_received = 0;
+  double seconds = 0.0;
+  // Intended-send-to-response-complete, nanoseconds. The first request of a
+  // connection is timed from the connection's *scheduled* arrival, so accept
+  // and backlog queueing count against the server.
+  LogHistogram latency_ns;
+  std::vector<uint64_t> request_ids;  // When collect_request_ids.
+
+  double RequestsPerSecond() const {
+    return seconds > 0 ? static_cast<double>(responses_ok) / seconds : 0.0;
+  }
+  uint64_t PercentileNanos(double q) const { return latency_ns.ValueAtQuantile(q); }
+};
+
+// Open-loop run against the server on `options.port`. Blocks until every
+// scheduled connection has been served (or observed to die).
+OpenLoopResult RunWrkOpenLoop(VirtualKernel& kernel, const OpenLoopOptions& options);
+
+// --- Attack client -----------------------------------------------------------
 
 struct AttackResult {
   bool connected = false;

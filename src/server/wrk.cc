@@ -1,7 +1,11 @@
 #include "mvee/server/wrk.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <thread>
 #include <vector>
 
@@ -11,8 +15,109 @@ namespace mvee {
 
 namespace {
 
-// One HTTP/1.0 exchange over the virtual network. Returns the response or
-// empty on failure.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view TrimSpaces(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseDecimal(std::string_view digits, uint64_t* out) {
+  if (digits.empty()) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+HttpParseStatus TryParseHttpResponse(std::string_view buffer, HttpResponse* out) {
+  const size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    // A status line longer than any sane header block is garbage, but with
+    // no terminator yet we cannot distinguish it from a slow sender; callers
+    // treat a closed stream with kNeedMore as truncated.
+    return HttpParseStatus::kNeedMore;
+  }
+
+  const size_t line_end = buffer.find("\r\n");
+  const std::string_view line = buffer.substr(0, line_end);
+  if (line.rfind("HTTP/1.", 0) != 0) {
+    return HttpParseStatus::kMalformed;
+  }
+  const size_t sp = line.find(' ');
+  if (sp == std::string_view::npos || sp + 4 > line.size()) {
+    return HttpParseStatus::kMalformed;
+  }
+  uint64_t status = 0;
+  if (!ParseDecimal(line.substr(sp + 1, 3), &status) || status < 100 || status > 599) {
+    return HttpParseStatus::kMalformed;
+  }
+
+  uint64_t content_length = 0;
+  uint64_t request_id = 0;
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    const size_t eol = std::min(buffer.find("\r\n", pos), head_end);
+    const std::string_view header = buffer.substr(pos, eol - pos);
+    const size_t colon = header.find(':');
+    if (colon == std::string_view::npos) {
+      return HttpParseStatus::kMalformed;
+    }
+    const std::string_view key = TrimSpaces(header.substr(0, colon));
+    const std::string_view value = TrimSpaces(header.substr(colon + 1));
+    if (EqualsIgnoreCase(key, "content-length")) {
+      if (!ParseDecimal(value, &content_length)) {
+        return HttpParseStatus::kMalformed;
+      }
+    } else if (EqualsIgnoreCase(key, "x-request-id")) {
+      if (!ParseDecimal(value, &request_id)) {
+        return HttpParseStatus::kMalformed;
+      }
+    }
+    pos = eol + 2;
+  }
+
+  const size_t body_start = head_end + 4;
+  if (buffer.size() < body_start + content_length) {
+    return HttpParseStatus::kNeedMore;
+  }
+  out->status = static_cast<int>(status);
+  out->request_id = request_id;
+  out->content_length = static_cast<size_t>(content_length);
+  out->total_bytes = body_start + static_cast<size_t>(content_length);
+  out->body.assign(buffer.substr(body_start, content_length));
+  return HttpParseStatus::kComplete;
+}
+
+namespace {
+
+// One HTTP exchange over a fresh connection, reading until the stream
+// closes. Used by the attack client, which wants the raw bytes.
 std::string DoRequest(VirtualKernel& kernel, uint16_t port, const std::string& request) {
   auto conn = kernel.network().Connect(port);
   if (conn == nullptr) {
@@ -35,6 +140,45 @@ std::string DoRequest(VirtualKernel& kernel, uint16_t port, const std::string& r
   return response;
 }
 
+enum class ExchangeOutcome { kOk, kNon2xx, kTruncated };
+
+// One request over a fresh connection, reading until one full response has
+// been *parsed* (not until close — keep-alive servers may legitimately hold
+// the connection open).
+ExchangeOutcome DoParsedRequest(VirtualKernel& kernel, uint16_t port,
+                                const std::string& request, uint64_t* bytes) {
+  auto conn = kernel.network().Connect(port);
+  if (conn == nullptr) {
+    return ExchangeOutcome::kTruncated;
+  }
+  if (conn->ClientWrite(reinterpret_cast<const uint8_t*>(request.data()), request.size()) < 0) {
+    conn->CloseClientSide();
+    return ExchangeOutcome::kTruncated;
+  }
+  std::string in;
+  ExchangeOutcome outcome = ExchangeOutcome::kTruncated;
+  uint8_t buffer[1024];
+  for (;;) {
+    HttpResponse response;
+    const HttpParseStatus status = TryParseHttpResponse(in, &response);
+    if (status == HttpParseStatus::kComplete) {
+      *bytes += response.total_bytes;
+      outcome = response.ok() ? ExchangeOutcome::kOk : ExchangeOutcome::kNon2xx;
+      break;
+    }
+    if (status == HttpParseStatus::kMalformed) {
+      break;
+    }
+    const int64_t n = conn->ClientRead(buffer, sizeof(buffer));
+    if (n <= 0) {
+      break;  // Closed before a full response: truncated.
+    }
+    in.append(reinterpret_cast<const char*>(buffer), static_cast<size_t>(n));
+  }
+  conn->CloseClientSide();
+  return outcome;
+}
+
 }  // namespace
 
 WrkResult RunWrk(VirtualKernel& kernel, const WrkOptions& options) {
@@ -43,20 +187,29 @@ WrkResult RunWrk(VirtualKernel& kernel, const WrkOptions& options) {
       static_cast<uint64_t>(options.connections) * options.requests_per_conn;
 
   std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> non2xx{0};
+  std::atomic<uint64_t> truncated{0};
   std::atomic<uint64_t> bytes{0};
   const auto start = std::chrono::steady_clock::now();
 
   std::vector<std::thread> clients;
   for (uint32_t c = 0; c < options.connections; ++c) {
-    clients.emplace_back([&, c] {
-      (void)c;
+    clients.emplace_back([&] {
       const std::string request = "GET " + options.path + " HTTP/1.0\r\n\r\n";
       for (uint32_t r = 0; r < options.requests_per_conn; ++r) {
-        const std::string response = DoRequest(kernel, options.port, request);
-        if (response.rfind("HTTP/1.0 200", 0) == 0) {
-          ok.fetch_add(1, std::memory_order_relaxed);
-          bytes.fetch_add(response.size(), std::memory_order_relaxed);
+        uint64_t exchanged = 0;
+        switch (DoParsedRequest(kernel, options.port, request, &exchanged)) {
+          case ExchangeOutcome::kOk:
+            ok.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ExchangeOutcome::kNon2xx:
+            non2xx.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ExchangeOutcome::kTruncated:
+            truncated.fetch_add(1, std::memory_order_relaxed);
+            break;
         }
+        bytes.fetch_add(exchanged, std::memory_order_relaxed);
       }
     });
   }
@@ -66,8 +219,202 @@ WrkResult RunWrk(VirtualKernel& kernel, const WrkOptions& options) {
 
   const auto end = std::chrono::steady_clock::now();
   result.responses_ok = ok.load();
+  result.responses_non2xx = non2xx.load();
+  result.responses_truncated = truncated.load();
   result.bytes_received = bytes.load();
   result.seconds = std::chrono::duration_cast<std::chrono::duration<double>>(end - start).count();
+  return result;
+}
+
+namespace {
+
+struct OpenConn {
+  VRef<VConnection> conn;
+  std::string in;
+  std::deque<uint64_t> pending_sent_ns;  // Intended send time per in-flight request.
+  uint64_t scheduled_ns = 0;
+  uint32_t sent = 0;
+  uint32_t done = 0;
+  bool finished = false;
+};
+
+struct OpenLoopShard {
+  LogHistogram latency;
+  uint64_t opened = 0;
+  uint64_t retries = 0;
+  uint64_t attempted = 0;
+  uint64_t ok = 0;
+  uint64_t non2xx = 0;
+  uint64_t truncated = 0;
+  uint64_t bytes = 0;
+  std::vector<uint64_t> ids;
+};
+
+}  // namespace
+
+OpenLoopResult RunWrkOpenLoop(VirtualKernel& kernel, const OpenLoopOptions& options) {
+  const uint32_t threads = std::max(1u, options.client_threads);
+  const uint32_t requests_per_conn = std::max(1u, options.requests_per_conn);
+  const uint32_t window = std::max(1u, options.pipeline_depth);
+  const double interval_ns =
+      options.arrival_rate > 0 ? 1e9 / options.arrival_rate : 0.0;
+  const std::string request =
+      "GET " + options.path + " HTTP/1.1\r\nHost: mvee\r\n\r\n";
+  const auto* request_data = reinterpret_cast<const uint8_t*>(request.data());
+
+  std::vector<OpenLoopShard> shards(threads);
+  const auto start = std::chrono::steady_clock::now();
+  const auto now_ns = [start] {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count());
+  };
+
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      OpenLoopShard& shard = shards[t];
+      std::vector<OpenConn> conns;
+      uint64_t next_arrival = t;  // This thread drives arrivals t, t+T, t+2T, ...
+
+      const auto send_one = [&](OpenConn& c, uint64_t intended_ns) {
+        if (c.conn->ClientWrite(request_data, request.size()) < 0) {
+          return false;  // Server side gone; the read path will see EOF.
+        }
+        c.pending_sent_ns.push_back(intended_ns);
+        ++c.sent;
+        ++shard.attempted;
+        return true;
+      };
+
+      const auto abandon = [&](OpenConn& c) {
+        shard.truncated += c.pending_sent_ns.size();
+        c.pending_sent_ns.clear();
+        c.finished = true;
+        c.conn->CloseClientSide();
+      };
+
+      for (;;) {
+        bool progress = false;
+
+        // Admit every arrival whose scheduled time has passed. A refused
+        // connect (listener backlog full) retries on the next sweep with the
+        // schedule unmoved, so backlog queueing shows up in the percentiles
+        // rather than silently thinning the offered load.
+        while (next_arrival < options.connections &&
+               static_cast<double>(now_ns()) >=
+                   interval_ns * static_cast<double>(next_arrival)) {
+          auto vconn = kernel.network().Connect(options.port);
+          if (vconn == nullptr) {
+            ++shard.retries;
+            break;
+          }
+          OpenConn c;
+          c.conn = std::move(vconn);
+          c.scheduled_ns =
+              static_cast<uint64_t>(interval_ns * static_cast<double>(next_arrival));
+          conns.push_back(std::move(c));
+          ++shard.opened;
+          next_arrival += threads;
+          progress = true;
+        }
+
+        for (OpenConn& c : conns) {
+          if (c.finished) {
+            continue;
+          }
+          // Fill the pipeline window. The first request of a connection is
+          // timed from its scheduled arrival (open-loop: the client "wanted"
+          // to send it then); later requests from their actual send time.
+          while (c.sent < requests_per_conn && c.sent - c.done < window) {
+            const uint64_t intended = c.sent == 0 ? c.scheduled_ns : now_ns();
+            if (!send_one(c, intended)) {
+              break;
+            }
+            progress = true;
+          }
+
+          while (!c.finished && c.conn->ClientReadable()) {
+            uint8_t buffer[4096];
+            const int64_t n = c.conn->ClientRead(buffer, sizeof(buffer));
+            progress = true;
+            if (n <= 0) {
+              abandon(c);  // Server closed with requests still outstanding.
+              break;
+            }
+            c.in.append(reinterpret_cast<const char*>(buffer), static_cast<size_t>(n));
+
+            for (;;) {
+              HttpResponse response;
+              const HttpParseStatus status = TryParseHttpResponse(c.in, &response);
+              if (status == HttpParseStatus::kNeedMore) {
+                break;
+              }
+              if (status == HttpParseStatus::kMalformed) {
+                abandon(c);
+                break;
+              }
+              c.in.erase(0, response.total_bytes);
+              shard.bytes += response.total_bytes;
+              const uint64_t finished_at = now_ns();
+              uint64_t sent_at = finished_at;
+              if (!c.pending_sent_ns.empty()) {
+                sent_at = c.pending_sent_ns.front();
+                c.pending_sent_ns.pop_front();
+              }
+              shard.latency.Record(finished_at > sent_at ? finished_at - sent_at : 0);
+              ++c.done;
+              if (response.ok()) {
+                ++shard.ok;
+                if (options.collect_request_ids) {
+                  shard.ids.push_back(response.request_id);
+                }
+              } else {
+                ++shard.non2xx;
+              }
+              if (c.done >= requests_per_conn) {
+                c.finished = true;
+                c.conn->CloseClientSide();
+                break;
+              }
+              if (c.sent < requests_per_conn && c.sent - c.done < window) {
+                send_one(c, now_ns());
+              }
+            }
+          }
+        }
+
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [](const OpenConn& c) { return c.finished; }),
+                    conns.end());
+        if (next_arrival >= options.connections && conns.empty()) {
+          break;
+        }
+        if (!progress) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+
+  OpenLoopResult result;
+  const auto end = std::chrono::steady_clock::now();
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(end - start).count();
+  for (OpenLoopShard& shard : shards) {
+    result.connections_opened += shard.opened;
+    result.connect_retries += shard.retries;
+    result.requests_attempted += shard.attempted;
+    result.responses_ok += shard.ok;
+    result.responses_non2xx += shard.non2xx;
+    result.responses_truncated += shard.truncated;
+    result.bytes_received += shard.bytes;
+    result.latency_ns.Merge(shard.latency);
+    result.request_ids.insert(result.request_ids.end(), shard.ids.begin(), shard.ids.end());
+  }
   return result;
 }
 

@@ -1,0 +1,119 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// The open-loop load harness (src/server/wrk.cc) records one latency sample
+// per completed request; a run sustains tens of thousands of samples, and the
+// artifact wants exact-ish tail quantiles (p50/p99/p999) without storing the
+// samples. The classic answer is a log-linear histogram: values are bucketed
+// by octave (power of two) with a fixed number of linear sub-buckets per
+// octave, so relative error is bounded by the sub-bucket width everywhere on
+// the axis. With 128 sub-buckets per octave the bucket midpoint is within
+// 1/256 (~0.39%) of any value in the bucket — comfortably inside the <= 1%
+// relative-error budget tests/util_test.cc enforces at p99.
+//
+// Recording is NOT thread-safe: each load-generator thread owns a histogram
+// and the harness merges them at the end (Merge is exact: counts add, so
+// merging is associative and commutative).
+
+#ifndef MVEE_UTIL_HISTOGRAM_H_
+#define MVEE_UTIL_HISTOGRAM_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mvee {
+
+class LogHistogram {
+ public:
+  // 128 linear sub-buckets per octave: max relative error of the bucket
+  // midpoint is 2^-(kSubBucketBits+1) = 1/256.
+  static constexpr uint32_t kSubBucketBits = 7;
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;
+  // Largest distinguishable value (~2.4 hours in nanoseconds); anything
+  // larger is clamped into the top bucket.
+  static constexpr uint32_t kMaxShift = 36;
+  static constexpr uint64_t kMaxTrackable = (2 * kSubBuckets << kMaxShift) - 1;
+  static constexpr size_t kBucketCount =
+      kSubBuckets + (static_cast<size_t>(kMaxShift) + 1) * kSubBuckets;
+
+  LogHistogram() : counts_(kBucketCount, 0) {}
+
+  void Record(uint64_t value) {
+    value = std::min(value, kMaxTrackable);
+    ++counts_[IndexOf(value)];
+    ++count_;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  // Exact: bucket counts add, so (a+b)+c == a+(b+c) bucket-for-bucket.
+  void Merge(const LogHistogram& other) {
+    for (size_t i = 0; i < kBucketCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  uint64_t Count() const { return count_; }
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t Max() const { return max_; }
+
+  // Value at quantile q in [0, 1]: the midpoint of the bucket holding the
+  // ceil(q * count)-th smallest sample, clamped to the exact observed
+  // [min, max] so p0/p100 are exact.
+  uint64_t ValueAtQuantile(double q) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    const uint64_t target =
+        std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(count_) + 0.9999999));
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kBucketCount; ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= target) {
+        return std::clamp(MidpointOf(i), min_, max_);
+      }
+    }
+    return max_;
+  }
+
+  bool operator==(const LogHistogram& other) const {
+    return count_ == other.count_ && min_ == other.min_ && max_ == other.max_ &&
+           counts_ == other.counts_;
+  }
+
+ private:
+  static size_t IndexOf(uint64_t value) {
+    if (value < kSubBuckets) {
+      return static_cast<size_t>(value);  // Small values are exact.
+    }
+    const uint32_t exponent = 63 - static_cast<uint32_t>(std::countl_zero(value));
+    const uint32_t shift = exponent - kSubBucketBits;  // value >> shift in [128, 256)
+    const uint64_t sub = (value >> shift) - kSubBuckets;
+    return static_cast<size_t>(kSubBuckets + static_cast<uint64_t>(shift) * kSubBuckets + sub);
+  }
+
+  static uint64_t MidpointOf(size_t index) {
+    if (index < kSubBuckets) {
+      return index;
+    }
+    const uint64_t shift = (index - kSubBuckets) / kSubBuckets;
+    const uint64_t sub = (index - kSubBuckets) % kSubBuckets;
+    const uint64_t lower = (kSubBuckets + sub) << shift;
+    return lower + ((1ull << shift) >> 1);
+  }
+
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t min_ = kMaxTrackable;
+  uint64_t max_ = 0;
+};
+
+}  // namespace mvee
+
+#endif  // MVEE_UTIL_HISTOGRAM_H_

@@ -290,7 +290,7 @@ class BroadcastRing {
 // ratchet, and the PO slave replaces AnyUnconsumedBelow with recorded
 // (prev_tid, prev_seq) edges checked against per-thread consumed
 // watermarks (cross-thread slot reads race slot recycling — see
-// partial_order.h). Keep this class in sync with DESIGN.md §8 when the
+// partial_order.h). Keep this class in sync with docs/DESIGN.md §8 when the
 // protocol changes.
 //
 // The sharded TO/PO masters record into one ring per master thread; every

@@ -13,12 +13,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mvee/monitor/mvee.h"
+#include "mvee/server/http_server.h"
+#include "mvee/server/wrk.h"
 #include "mvee/sync/primitives.h"
 #include "mvee/util/fault_injection.h"
 
@@ -441,6 +445,95 @@ TEST(ChaosLivenessTest, SurvivorsSpawnThreadsAfterExcision) {
   EXPECT_EQ(mvee.report().excised_variants[0].variant, 2u);
   // The excision latency probe measured excise-to-next-round-open.
   EXPECT_GT(mvee.report().excision_latency_ns, 0u);
+}
+
+// --- Excision under server traffic (docs/DESIGN.md §10) ----------------------
+
+// A variant dies mid-traffic under the event-loop server; the survivors must
+// finish the whole open-loop run with byte-identical responses (every sent
+// response passed the survivors' lockstep send() comparison; the request ids
+// prove nothing was dropped or doubled) and the report must name the victim.
+TEST(ChaosServerTest, ServerSurvivesVariantExcisionMidTraffic) {
+  constexpr uint16_t kPort = 8300;
+  constexpr uint32_t kConnections = 12;
+  constexpr uint32_t kRequestsPerConn = 5;
+
+  // digest@2:45 corrupts variant 2's 45th syscall digest — startup (socket/
+  // bind/listen/pipes/spawns) takes ~15 calls, so the divergence lands while
+  // connections are in flight.
+  MveeOptions options = ChaosOptions(3, "digest@2:45");
+  options.rendezvous_timeout = std::chrono::milliseconds(20000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(60000);
+  options.blocked_call_timeout = std::chrono::milliseconds(60000);
+
+  ServerConfig config;
+  config.port = kPort;
+  config.pool_threads = 4;
+  config.page_bytes = 256;
+  config.use_event_loop = true;
+  config.connection_budget = kConnections + 1;  // + readiness probe.
+
+  OpenLoopOptions load;
+  load.port = kPort;
+  load.connections = kConnections;
+  load.requests_per_conn = kRequestsPerConn;
+  load.pipeline_depth = 2;
+  load.arrival_rate = 4000.0;
+  load.client_threads = 2;
+  load.collect_request_ids = true;
+
+  const auto serve_and_measure = [&](Mvee& mvee, OpenLoopResult* result) {
+    Status status;
+    std::thread client([&] {
+      VRef<VConnection> probe;
+      while ((probe = mvee.kernel().network().Connect(kPort)) == nullptr) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      probe->CloseClientSide();
+      *result = RunWrkOpenLoop(mvee.kernel(), load);
+    });
+    status = mvee.Run(MakeServerProgram(config));
+    client.join();
+    return status;
+  };
+
+  // Fault-free reference: the survivors' stats must match it byte for byte.
+  std::string reference_stats;
+  {
+    MveeOptions clean = options;
+    clean.fault_plan.clear();
+    Mvee mvee(clean);
+    OpenLoopResult result;
+    ASSERT_TRUE(serve_and_measure(mvee, &result).ok());
+    reference_stats = FileText(mvee.kernel(), "result/http_stats");
+    ASSERT_FALSE(reference_stats.empty());
+  }
+
+  Mvee mvee(options);
+  OpenLoopResult result;
+  const Status status = serve_and_measure(mvee, &result);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // The load run finished completely despite the mid-traffic excision.
+  EXPECT_EQ(result.responses_ok, kConnections * kRequestsPerConn);
+  EXPECT_EQ(result.responses_non2xx, 0u);
+  EXPECT_EQ(result.responses_truncated, 0u);
+  std::vector<uint64_t> ids = result.request_ids;
+  std::sort(ids.begin(), ids.end());
+  ASSERT_EQ(ids.size(), static_cast<size_t>(kConnections) * kRequestsPerConn);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], i + 1) << "request ids are not a permutation of 1..N";
+  }
+
+  // Survivors' externally visible accounting matches the fault-free run.
+  EXPECT_EQ(FileText(mvee.kernel(), "result/http_stats"), reference_stats);
+
+  // The report names the victim and the failure site.
+  const auto& excised = mvee.report().excised_variants;
+  ASSERT_EQ(excised.size(), 1u);
+  EXPECT_EQ(excised[0].variant, 2u);
+  EXPECT_EQ(excised[0].code, StatusCode::kDivergence);
+  EXPECT_FALSE(excised[0].detail.empty());
 }
 
 }  // namespace

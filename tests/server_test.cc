@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
+#include <vector>
 
 #include "mvee/monitor/mvee.h"
 #include "mvee/monitor/native.h"
@@ -182,6 +184,240 @@ TEST(HttpServerTest, MveeDetectsAttackBeforeLeak) {
     // Attacker tailored the payload to the master variant's layout.
     const uint64_t master_base = DiversityMap(0, options.seed, true).map_base();
     attack = RunAttack(mvee.kernel(), 8101, master_base);
+  });
+  status = mvee.Run(MakeServerProgram(config));
+  client.join();
+
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDivergence);
+  EXPECT_FALSE(attack.secret_leaked);
+}
+
+// --- Event-loop conformance (docs/DESIGN.md §10) -----------------------------
+
+// Reads from `conn` until one full response parses out of `in`; returns false
+// if the stream closes or produces garbage first. Complete responses are
+// erased from the front of `in`, so pipelined follow-ups stay intact.
+bool ReadOneResponse(VConnection& conn, std::string& in, HttpResponse* out) {
+  uint8_t buffer[4096];
+  for (;;) {
+    const HttpParseStatus status = TryParseHttpResponse(in, out);
+    if (status == HttpParseStatus::kComplete) {
+      in.erase(0, out->total_bytes);
+      return true;
+    }
+    if (status == HttpParseStatus::kMalformed) {
+      return false;
+    }
+    const int64_t n = conn.ClientRead(buffer, sizeof(buffer));
+    if (n <= 0) {
+      return false;
+    }
+    in.append(reinterpret_cast<const char*>(buffer), static_cast<size_t>(n));
+  }
+}
+
+bool WriteAll(VConnection& conn, const std::string& data) {
+  return conn.ClientWrite(reinterpret_cast<const uint8_t*>(data.data()), data.size()) ==
+         static_cast<int64_t>(data.size());
+}
+
+// Drains `conn` and reports whether the server actually closed it (as opposed
+// to hanging with the connection open).
+bool ServerClosed(VConnection& conn, std::string& in) {
+  uint8_t buffer[512];
+  for (;;) {
+    const int64_t n = conn.ClientRead(buffer, sizeof(buffer));
+    if (n <= 0) {
+      return true;
+    }
+    in.append(reinterpret_cast<const char*>(buffer), static_cast<size_t>(n));
+    if (in.size() > (1u << 20)) {
+      return false;
+    }
+  }
+}
+
+// Runs a native event-loop server (pinned on, regardless of the
+// MVEE_SERVER_EVENT_LOOP sweep) and a raw-socket client against it.
+// `budget` must count the readiness probe.
+template <typename ClientFn>
+void WithNativeEventServer(uint16_t port, uint32_t budget, ClientFn client_fn) {
+  NativeRunner runner;
+  ServerConfig config = SmallServer(port, /*instrument=*/true);
+  config.use_event_loop = true;
+  config.connection_budget = budget;
+  std::thread client([&] {
+    VRef<VConnection> probe;
+    while ((probe = runner.kernel().network().Connect(port)) == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    probe->CloseClientSide();
+    client_fn(runner.kernel());
+  });
+  EXPECT_TRUE(runner.Run(MakeServerProgram(config)).ok());
+  client.join();
+}
+
+TEST(EventLoopTest, KeepAliveReusesOneConnection) {
+  WithNativeEventServer(8200, /*budget=*/2, [](VirtualKernel& kernel) {
+    auto conn = kernel.network().Connect(8200);
+    ASSERT_NE(conn, nullptr);
+    std::string in;
+    uint64_t last_id = 0;
+    // Five sequential requests over the SAME connection: HTTP/1.1 defaults
+    // to keep-alive, so the server must not close between them.
+    for (int r = 0; r < 5; ++r) {
+      ASSERT_TRUE(WriteAll(*conn, "GET /index.html HTTP/1.1\r\nHost: mvee\r\n\r\n"));
+      HttpResponse response;
+      ASSERT_TRUE(ReadOneResponse(*conn, in, &response)) << "request " << r;
+      EXPECT_EQ(response.status, 200);
+      EXPECT_EQ(response.body.size(), 512u);
+      EXPECT_GT(response.request_id, last_id);
+      last_id = response.request_id;
+    }
+    conn->CloseClientSide();
+  });
+}
+
+TEST(EventLoopTest, PipelinedRequestsAnsweredInOrder) {
+  WithNativeEventServer(8201, /*budget=*/2, [](VirtualKernel& kernel) {
+    auto conn = kernel.network().Connect(8201);
+    ASSERT_NE(conn, nullptr);
+    // Four requests in a single write; the responses must come back complete
+    // and in order, with consecutive request ids (this is the only live
+    // connection, so the ids show per-connection FIFO handling).
+    std::string burst;
+    for (int r = 0; r < 4; ++r) {
+      burst += "GET /index.html HTTP/1.1\r\nHost: mvee\r\n\r\n";
+    }
+    ASSERT_TRUE(WriteAll(*conn, burst));
+    std::string in;
+    std::vector<uint64_t> ids;
+    for (int r = 0; r < 4; ++r) {
+      HttpResponse response;
+      ASSERT_TRUE(ReadOneResponse(*conn, in, &response)) << "response " << r;
+      EXPECT_EQ(response.status, 200);
+      ids.push_back(response.request_id);
+    }
+    for (size_t i = 1; i < ids.size(); ++i) {
+      EXPECT_EQ(ids[i], ids[i - 1] + 1);
+    }
+    conn->CloseClientSide();
+  });
+}
+
+TEST(EventLoopTest, MalformedRequestLineGets400AndClose) {
+  WithNativeEventServer(8202, /*budget=*/2, [](VirtualKernel& kernel) {
+    auto conn = kernel.network().Connect(8202);
+    ASSERT_NE(conn, nullptr);
+    ASSERT_TRUE(WriteAll(*conn, "BOGUS\r\n\r\n"));
+    std::string in;
+    HttpResponse response;
+    ASSERT_TRUE(ReadOneResponse(*conn, in, &response));
+    EXPECT_EQ(response.status, 400);
+    EXPECT_TRUE(ServerClosed(*conn, in));
+    conn->CloseClientSide();
+  });
+}
+
+TEST(EventLoopTest, OversizedHeadersGet413AndClose) {
+  WithNativeEventServer(8203, /*budget=*/2, [](VirtualKernel& kernel) {
+    auto conn = kernel.network().Connect(8203);
+    ASSERT_NE(conn, nullptr);
+    // 70 KiB of headers with no terminator: past max_request_bytes the
+    // server must answer 413 and close — not hang waiting for the end, and
+    // not silently truncate.
+    std::string oversized = "GET /index.html HTTP/1.1\r\nX-Junk: ";
+    oversized.append(70 * 1024, 'a');
+    ASSERT_TRUE(WriteAll(*conn, oversized));
+    std::string in;
+    HttpResponse response;
+    ASSERT_TRUE(ReadOneResponse(*conn, in, &response));
+    EXPECT_EQ(response.status, 413);
+    EXPECT_TRUE(ServerClosed(*conn, in));
+    conn->CloseClientSide();
+  });
+}
+
+TEST(EventLoopTest, MveeOpenLoopKeepAliveServesAll) {
+  // The open-loop harness against a 2-variant MVEE: keep-alive + pipelining
+  // through the replicated poll/recv path. Every request must be answered
+  // and the ids must be a permutation of 1..N (nothing lost, nothing
+  // duplicated across the pool workers).
+  MveeOptions options;
+  options.num_variants = 2;
+  options.agent = AgentKind::kWallOfClocks;
+  options.rendezvous_timeout = std::chrono::milliseconds(60000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(60000);
+  Mvee mvee(options);
+
+  ServerConfig config = SmallServer(8204, /*instrument=*/true);
+  config.use_event_loop = true;
+  config.connection_budget = 17;  // 16 open-loop connections + 1 probe.
+
+  OpenLoopOptions load;
+  load.port = 8204;
+  load.connections = 16;
+  load.requests_per_conn = 4;
+  load.pipeline_depth = 2;
+  load.arrival_rate = 4000.0;
+  load.client_threads = 2;
+  load.collect_request_ids = true;
+
+  Status status;
+  OpenLoopResult result;
+  std::thread client([&] {
+    VRef<VConnection> probe;
+    while ((probe = mvee.kernel().network().Connect(8204)) == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    probe->CloseClientSide();
+    result = RunWrkOpenLoop(mvee.kernel(), load);
+  });
+  status = mvee.Run(MakeServerProgram(config));
+  client.join();
+
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(result.responses_ok, 64u);
+  EXPECT_EQ(result.responses_non2xx, 0u);
+  EXPECT_EQ(result.responses_truncated, 0u);
+  EXPECT_EQ(result.latency_ns.Count(), 64u);
+
+  std::vector<uint64_t> ids = result.request_ids;
+  std::sort(ids.begin(), ids.end());
+  ASSERT_EQ(ids.size(), 64u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], i + 1) << "request ids are not a permutation of 1..N";
+  }
+}
+
+TEST(EventLoopTest, MveeDetectsAttackUnderEventLoop) {
+  // The §5.5 attack/divergence property must survive the serving-path
+  // rewrite: pinned use_event_loop so this holds even when the suite sweeps
+  // MVEE_SERVER_EVENT_LOOP=0.
+  MveeOptions options;
+  options.num_variants = 2;
+  options.enable_aslr = true;
+  options.agent = AgentKind::kWallOfClocks;
+  options.rendezvous_timeout = std::chrono::milliseconds(15000);
+  options.agent_config.replay_deadline = std::chrono::milliseconds(15000);
+  Mvee mvee(options);
+
+  ServerConfig config = SmallServer(8205, /*instrument=*/true, /*vuln=*/true);
+  config.use_event_loop = true;
+  config.connection_budget = 2;
+
+  AttackResult attack;
+  Status status;
+  std::thread client([&] {
+    VRef<VConnection> probe;
+    while ((probe = mvee.kernel().network().Connect(8205)) == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    probe->CloseClientSide();
+    const uint64_t master_base = DiversityMap(0, options.seed, true).map_base();
+    attack = RunAttack(mvee.kernel(), 8205, master_base);
   });
   status = mvee.Run(MakeServerProgram(config));
   client.join();

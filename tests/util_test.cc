@@ -3,12 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "mvee/util/hash.h"
+#include "mvee/util/histogram.h"
 #include "mvee/util/rng.h"
 #include "mvee/util/spsc_ring.h"
 #include "mvee/util/stats.h"
@@ -236,7 +239,7 @@ TEST(BroadcastRingTest, AdvanceToConcurrentMaxWins) {
   EXPECT_EQ(ring.ReadCursor(consumer), 4000u);
 }
 
-// --- TicketedRingMerge (the sharded TO/PO recording merge, DESIGN.md §8) ---
+// --- TicketedRingMerge (the sharded TO/PO recording merge, docs/DESIGN.md §8) ---
 
 struct TicketEntry {
   uint64_t seq = 0;
@@ -513,6 +516,160 @@ TEST(LatencyHistogramTest, RecordsAndApproximates) {
   const uint64_t p50 = histogram.ApproxPercentile(50);
   EXPECT_GE(p50, 512u);
   EXPECT_LE(p50, 2048u);
+}
+
+// --- LogHistogram (the open-loop harness's latency store) --------------------
+
+// Rank-matched reference: the same "ceil(q * n)-th smallest sample" rule
+// LogHistogram::ValueAtQuantile implements, computed on the raw samples.
+uint64_t ReferenceQuantile(std::vector<uint64_t> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(q * static_cast<double>(samples.size()))));
+  return samples[rank - 1];
+}
+
+// The histogram's answer must land within 1% of the sorted-vector reference
+// at every probed quantile (the bucket-midpoint bound is ~0.8%).
+void ExpectQuantilesMatch(const LogHistogram& histogram,
+                          const std::vector<uint64_t>& samples, const char* label) {
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const uint64_t reference = ReferenceQuantile(samples, q);
+    const uint64_t approx = histogram.ValueAtQuantile(q);
+    const double tolerance = std::max(1.0, static_cast<double>(reference) * 0.01);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(reference), tolerance)
+        << label << " q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, UniformSamplesMatchSortedReference) {
+  Rng rng(42);
+  LogHistogram histogram;
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t value = rng.NextInRange(1, 1'000'000);
+    samples.push_back(value);
+    histogram.Record(value);
+  }
+  EXPECT_EQ(histogram.Count(), samples.size());
+  ExpectQuantilesMatch(histogram, samples, "uniform");
+}
+
+TEST(LogHistogramTest, BimodalSamplesMatchSortedReference) {
+  // 85% fast path around tens of microseconds, 15% slow path around
+  // milliseconds — the shape a keep-alive server under occasional accept
+  // queueing actually produces.
+  Rng rng(43);
+  LogHistogram histogram;
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t value = rng.NextBelow(100) < 85
+                               ? rng.NextInRange(10'000, 60'000)
+                               : rng.NextInRange(2'000'000, 9'000'000);
+    samples.push_back(value);
+    histogram.Record(value);
+  }
+  ExpectQuantilesMatch(histogram, samples, "bimodal");
+}
+
+TEST(LogHistogramTest, HeavyTailSamplesMatchSortedReference) {
+  // Log-uniform spread over six orders of magnitude: the tail quantiles land
+  // in sparse high buckets, the worst case for log-bucketed error.
+  Rng rng(44);
+  LogHistogram histogram;
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t magnitude = 1ull << rng.NextInRange(7, 27);
+    const uint64_t value = magnitude + rng.NextBelow(magnitude);
+    samples.push_back(value);
+    histogram.Record(value);
+  }
+  ExpectQuantilesMatch(histogram, samples, "heavy-tail");
+}
+
+TEST(LogHistogramTest, SmallValuesAreExact) {
+  LogHistogram histogram;
+  for (uint64_t v = 0; v < 128; ++v) {
+    histogram.Record(v);
+  }
+  // Values below one sub-bucket span get their own bucket: quantiles are
+  // exact, not approximate.
+  EXPECT_EQ(histogram.ValueAtQuantile(0.5), 63u);
+  EXPECT_EQ(histogram.Min(), 0u);
+  EXPECT_EQ(histogram.Max(), 127u);
+}
+
+TEST(LogHistogramTest, MergeIsAssociativeAndExact) {
+  Rng rng(45);
+  std::vector<LogHistogram> parts(3);
+  LogHistogram all;
+  std::vector<uint64_t> samples;
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 5000; ++i) {
+      const uint64_t value = rng.NextInRange(100, 50'000'000);
+      parts[p].Record(value);
+      all.Record(value);
+      samples.push_back(value);
+    }
+  }
+
+  // (a + b) + c.
+  LogHistogram left;
+  left.Merge(parts[0]);
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  // a + (b + c).
+  LogHistogram bc;
+  bc.Merge(parts[1]);
+  bc.Merge(parts[2]);
+  LogHistogram right;
+  right.Merge(parts[0]);
+  right.Merge(bc);
+
+  EXPECT_TRUE(left == right);
+  EXPECT_TRUE(left == all);  // Merging shards == recording everything once.
+  ExpectQuantilesMatch(left, samples, "merged");
+}
+
+TEST(LogHistogramTest, BucketBoundErrorUnderOnePercentAtP99) {
+  // Adversarial placement for the p99 rank: a dense cluster just below the
+  // target and the rank sample alone in its bucket, across magnitudes.
+  for (uint64_t magnitude : {1ull << 10, 1ull << 17, 1ull << 24, 1ull << 31}) {
+    LogHistogram histogram;
+    std::vector<uint64_t> samples;
+    for (int i = 0; i < 990; ++i) {
+      samples.push_back(magnitude / 2);
+      histogram.Record(magnitude / 2);
+    }
+    for (int i = 0; i < 10; ++i) {
+      const uint64_t value = magnitude + static_cast<uint64_t>(i);
+      samples.push_back(value);
+      histogram.Record(value);
+    }
+    const uint64_t reference = ReferenceQuantile(samples, 0.99);
+    const uint64_t approx = histogram.ValueAtQuantile(0.99);
+    const double relative_error =
+        std::abs(static_cast<double>(approx) - static_cast<double>(reference)) /
+        static_cast<double>(reference);
+    EXPECT_LE(relative_error, 0.01) << "magnitude=" << magnitude;
+  }
+}
+
+TEST(LogHistogramTest, EmptyAndClampedEdges) {
+  LogHistogram histogram;
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.ValueAtQuantile(0.99), 0u);
+
+  histogram.Record(777);
+  // One sample: every quantile is that sample, exactly (min/max clamping).
+  EXPECT_EQ(histogram.ValueAtQuantile(0.0), 777u);
+  EXPECT_EQ(histogram.ValueAtQuantile(0.5), 777u);
+  EXPECT_EQ(histogram.ValueAtQuantile(1.0), 777u);
+
+  // Values beyond the trackable ceiling clamp instead of indexing out of
+  // bounds.
+  histogram.Record(~0ull);
+  EXPECT_EQ(histogram.Max(), LogHistogram::kMaxTrackable);
 }
 
 }  // namespace
