@@ -111,6 +111,11 @@ int main() {
   // (A moderate-sync-rate kernel: on the heaviest stand-ins, window <= 4
   // serializes ~1M ops through spin handoffs and trips the replay deadline
   // on this host — the PO scalability pathology in its purest form.)
+  // Pinned to the sharded recording path: the master-side window gate
+  // (GateOnReplayWindow, docs/DESIGN.md §8) bounds record run-ahead against
+  // the slaves' min replayed prefix, so po_window is enforced — and this
+  // sweep is meaningful — even without the global record lock's natural
+  // backpressure.
   {
     const WorkloadConfig* moderate = FindWorkload("streamcluster");
     const NativeRun base = RunNative(*moderate, scale);
@@ -118,7 +123,8 @@ int main() {
     for (size_t window : {1UL, 4UL, 64UL, 1024UL, 4096UL}) {
       uint64_t stalls = 0;
       const double seconds = RunWithConfig(*moderate, scale, AgentKind::kPartialOrder,
-                                           4096, 1 << 16, window, &stalls);
+                                           4096, 1 << 16, window, &stalls,
+                                           /*sharded_recording=*/true);
       if (seconds < 0) {
         std::printf("po_window=%-6zu  TIMEOUT (replay deadline; TO-like serialization "
                     "too slow at this op rate)\n", window);

@@ -59,7 +59,7 @@ mvee::bench::AgentBenchResult MeasureAgentRecordRate(mvee::AgentKind kind,
   AgentStatsSnapshot best_stalls;  // Stall deltas of the best rep, so the
                                    // JSON pairs quantities from one rep.
   for (int rep = 0; rep < 3; ++rep) {
-    const AgentStatsSnapshot before = fleet.stats()->Aggregate();
+    const AgentStatsSnapshot before = fleet.StatsSnapshot();
     double record_seconds = 0.0;
     for (size_t done = 0; done < total_ops; done += batch) {
       const auto start = std::chrono::steady_clock::now();
@@ -78,7 +78,7 @@ mvee::bench::AgentBenchResult MeasureAgentRecordRate(mvee::AgentKind kind,
     }
     if (best_seconds == 0.0 || record_seconds < best_seconds) {
       best_seconds = record_seconds;
-      const AgentStatsSnapshot after = fleet.stats()->Aggregate();
+      const AgentStatsSnapshot after = fleet.StatsSnapshot();
       best_stalls.record_stalls = after.record_stalls - before.record_stalls;
       best_stalls.replay_stalls = after.replay_stalls - before.replay_stalls;
     }
@@ -135,7 +135,7 @@ mvee::bench::AgentBenchResult MeasureRecordingScaling(mvee::AgentKind kind, bool
   AgentStatsSnapshot best_stalls;  // Stall deltas of the best rep, so the
                                    // JSON pairs quantities from one rep.
   for (int rep = 0; rep < 3; ++rep) {
-    const AgentStatsSnapshot before = fleet.stats()->Aggregate();
+    const AgentStatsSnapshot before = fleet.StatsSnapshot();
     double record_seconds = 0.0;
     for (int round = 0; round < rounds; ++round) {
       std::atomic<uint32_t> ready{0};
@@ -180,7 +180,7 @@ mvee::bench::AgentBenchResult MeasureRecordingScaling(mvee::AgentKind kind, bool
     }
     if (best_seconds == 0.0 || record_seconds < best_seconds) {
       best_seconds = record_seconds;
-      const AgentStatsSnapshot after = fleet.stats()->Aggregate();
+      const AgentStatsSnapshot after = fleet.StatsSnapshot();
       best_stalls.record_stalls = after.record_stalls - before.record_stalls;
       best_stalls.replay_stalls = after.replay_stalls - before.replay_stalls;
     }

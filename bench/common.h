@@ -5,6 +5,7 @@
 #define MVEE_BENCH_COMMON_H_
 
 #include <atomic>
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -156,6 +157,57 @@ inline void WriteAgentsJson(const std::vector<AgentBenchResult>& entries,
   std::fprintf(file, "  ]\n}\n");
   std::fclose(file);
   std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
+}
+
+// Appends `entries` to an existing BENCH_agents.json (splicing them into the
+// "agents" array), so several bench binaries can contribute to one archived
+// file. Falls back to WriteAgentsJson when the file is missing or does not
+// end with the writer's "  ]\n}" footer.
+inline void AppendAgentsJson(const std::vector<AgentBenchResult>& entries,
+                             const std::string& filename = "BENCH_agents.json") {
+  const std::string path = ResolveBenchJsonPath(filename);
+  std::string existing;
+  if (std::FILE* file = std::fopen(path.c_str(), "r")) {
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      existing.append(buffer, n);
+    }
+    std::fclose(file);
+  }
+  const size_t close = existing.rfind("\n  ]");
+  if (close == std::string::npos) {
+    WriteAgentsJson(entries, filename);
+    return;
+  }
+  // Comma-separate from the previous entry unless the array is still empty
+  // (the last non-whitespace character before the splice point is '[').
+  size_t last = close;
+  while (last > 0 && std::isspace(static_cast<unsigned char>(existing[last - 1]))) {
+    --last;
+  }
+  const bool array_empty = last > 0 && existing[last - 1] == '[';
+  std::string spliced;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const AgentBenchResult& entry = entries[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "%s\n    {\"kind\": \"%s\", \"mode\": \"%s\", \"ops_per_sec\": %.1f, "
+                  "\"record_stalls\": %llu, \"replay_stalls\": %llu}",
+                  (i == 0 && array_empty) ? "" : ",", entry.kind.c_str(), entry.mode.c_str(),
+                  entry.ops_per_sec, static_cast<unsigned long long>(entry.record_stalls),
+                  static_cast<unsigned long long>(entry.replay_stalls));
+    spliced += line;
+  }
+  existing.insert(close, spliced);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "AppendAgentsJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(existing.data(), 1, existing.size(), file);
+  std::fclose(file);
+  std::printf("appended %zu entries to %s\n", entries.size(), path.c_str());
 }
 
 inline void PrintHeader(const std::string& title) {

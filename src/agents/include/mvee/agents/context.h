@@ -45,6 +45,15 @@ struct SyncContext {
   static SyncContext* Install(SyncContext* context);
 };
 
+// Registers `addr` as the sync variable `name` with the current thread's
+// agent (adaptive routing, docs/DESIGN.md §11). Call once per variant —
+// i.e., from code every variant executes, before the variable's first sync
+// op, the paper's registration-at-allocation idiom. A no-op under
+// non-adaptive agents and native runs.
+inline void BindSyncVariable(const char* name, const void* addr) {
+  SyncContext::Current()->agent->BindVariable(name, addr);
+}
+
 // RAII: installs a context for the current scope.
 class ScopedSyncContext {
  public:

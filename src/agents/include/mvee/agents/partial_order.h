@@ -40,6 +40,7 @@
 #include "mvee/agents/record_shards.h"
 #include "mvee/agents/sync_agent.h"
 #include "mvee/util/spsc_ring.h"
+#include "mvee/util/watermark.h"
 
 namespace mvee {
 
@@ -58,6 +59,12 @@ class PartialOrderRuntime {
   // Tickets drawn so far (sharded mode; 0 under the global-lock baseline).
   uint64_t SequencesIssued() const { return record_shards_.TicketsIssued(); }
   bool sharded_recording() const { return config_.sharded_recording; }
+  // Per-thread recording rings materialized so far (lazy allocation).
+  uint64_t RecordingRingsCreated() const { return thread_rings_.CreatedCount(); }
+  // Sharded mode: every sequence below the returned value has been replayed
+  // by slave `variant` (folds the watermark first). Exposed for the po_window
+  // test; 0 under the baseline or for out-of-range variants.
+  uint64_t ReplayedPrefix(uint32_t variant);
 
   // Which recording shard an address hashes to. Exposed for tests that need
   // sync variables in provably distinct shards (shard collisions merge
@@ -112,8 +119,21 @@ class PartialOrderRuntime {
     // Sharded mode: consumed_through[t].next - 1 is the last sequence
     // thread t replayed (released in AfterSyncOp, acquired by waiters).
     std::vector<ConsumedMark> consumed_through;
+    // Sharded mode: cross-thread min-replayed-sequence watermark feeding the
+    // master's po_window gate. Marked by the replaying thread in AfterSyncOp
+    // (one release store); folded by whoever waits on it.
+    std::unique_ptr<PrefixWatermark> replay_mark;
     size_t consumer_id = 0;
   };
+
+  // Sharded po_window gate (master side, pre-Acquire). Enforces the paper's
+  // lookahead window — which the baseline gets for free from its window
+  // scan — against the shared replay watermark: stall while the next ticket
+  // would run more than po_window past the slowest live slave's replayed
+  // prefix. The check happens before the shard lock is taken, so up to
+  // max_threads threads can pass the gate and then draw tickets; the
+  // overshoot is bounded by max_threads, which sizes the watermark below.
+  void GateOnReplayWindow(uint32_t tid, AgentStats::Shard& stats);
 
   // Retires the consumed prefix of the baseline ring so the producer can
   // reuse the slots. Lock-free and safe to call from any slave thread of
@@ -131,7 +151,14 @@ class PartialOrderRuntime {
   // Sharded recording state (docs/DESIGN.md §8, shared with TO through
   // record_shards.h).
   RecordShards record_shards_;
-  std::vector<std::unique_ptr<BroadcastRing<Entry>>> thread_rings_;  // [tid]
+  LazyRingSet<Entry> thread_rings_;  // [tid], created on first touch
+  // Slave variants excised from the window gate (bit variant-1): a dead
+  // variant's frozen watermark must not stall the master forever.
+  std::atomic<uint32_t> detached_slaves_{0};
+  // Gate fast path: tickets below this limit are inside the window for every
+  // live slave. Monotone cache of min_prefix + po_window; refreshed on the
+  // slow path only.
+  alignas(64) std::atomic<uint64_t> window_limit_{0};
 };
 
 class PartialOrderAgent final : public SyncAgent {

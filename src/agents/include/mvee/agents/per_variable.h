@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "mvee/agents/record_shards.h"
 #include "mvee/agents/sync_agent.h"
 #include "mvee/util/hash.h"
 #include "mvee/util/spsc_ring.h"
@@ -43,6 +44,8 @@ class PerVariableRuntime {
 
   const AgentStats& stats() const { return stats_; }
   size_t table_capacity() const { return table_capacity_; }
+  // Per-thread recording rings materialized so far (lazy allocation).
+  uint64_t RecordingRingsCreated() const { return rings_.CreatedCount(); }
 
   // Number of distinct sync variables that received a private clock so far.
   uint64_t VariablesMapped() const {
@@ -105,7 +108,7 @@ class PerVariableRuntime {
   uint64_t overflow_mask_;
   std::vector<std::atomic<uint64_t>> overflow_keys_;
   std::vector<MasterClock> master_clocks_;
-  std::vector<std::unique_ptr<BroadcastRing<Entry>>> rings_;
+  LazyRingSet<Entry> rings_;  // [tid], created on first touch
   std::vector<std::vector<SlaveClock>> slave_clocks_;
 };
 

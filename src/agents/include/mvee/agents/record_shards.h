@@ -1,10 +1,11 @@
-// Shared machinery of the sharded TO/PO master recording path
-// (docs/DESIGN.md §8): the per-sync-variable shard locks, the global ticket
-// counter, the per-master-thread recording rings, and the
-// record-with-backpressure push. Both runtimes instantiate this rather than
-// carrying private copies, so a change to the lock/ticket/push sequence —
-// whose memory ordering the §8 soundness argument depends on — cannot
-// silently diverge between the two agents.
+// Shared machinery of the agents' recording paths (docs/DESIGN.md §8): the
+// per-sync-variable shard locks and global ticket counter of the sharded
+// TO/PO master path, the lazily-created per-master-thread recording rings
+// every runtime records into, and the record-with-backpressure pushes of
+// both the sharded and the global-lock (sharded_recording=0) baselines. The
+// runtimes instantiate this rather than carrying private copies, so a change
+// to the lock/ticket/push sequence — whose memory ordering the §8 soundness
+// argument depends on — cannot silently diverge between agents.
 
 #ifndef MVEE_AGENTS_RECORD_SHARDS_H_
 #define MVEE_AGENTS_RECORD_SHARDS_H_
@@ -89,27 +90,97 @@ class TicketedRecordShards {
   std::vector<Shard> shards_;
 };
 
-// Builds the per-master-thread recording rings: one per logical tid, one
-// consumer per slave variant (consumer v-1 belongs to slave variant v).
-// Empty when sharded recording is off.
+// The per-master-thread recording rings: one per logical tid, one consumer
+// per slave variant (consumer v-1 belongs to slave variant v), created
+// lazily on a tid's first sync op instead of eagerly for all of max_threads.
+// Eager allocation cost kinds x max_threads x buffer_capacity ring slots —
+// ~64 MiB per runtime at the defaults — which the adaptive fleet (all four
+// runtimes alive at once, docs/DESIGN.md §11) multiplies by four while a
+// typical run touches a handful of tids. Either side of a ring (the master
+// producer or a slave replayer) may be first to touch it; a CAS publishes
+// exactly one instance. The one-time allocation happens on that thread's
+// first op — bootstrap, like the thread's own creation — so the per-op path
+// stays allocation-free (§3.3; adaptive_test proves it).
 template <typename Entry>
-std::vector<std::unique_ptr<BroadcastRing<Entry>>> MakeThreadRecordingRings(
-    const AgentConfig& config) {
-  std::vector<std::unique_ptr<BroadcastRing<Entry>>> rings;
-  if (!config.sharded_recording) {
-    return rings;
-  }
-  rings.reserve(config.max_threads);
-  for (uint32_t t = 0; t < config.max_threads; ++t) {
-    auto ring = std::make_unique<BroadcastRing<Entry>>(config.buffer_capacity);
-    ring->EnableCursorCaching(config.cached_ring_cursors);
-    for (uint32_t v = 1; v < config.num_variants; ++v) {
-      ring->RegisterConsumer();
+class LazyRingSet {
+ public:
+  // `enabled` = whether this runtime records into per-thread rings at all
+  // (TO/PO pass sharded_recording; WoC/PVO always record per-thread).
+  LazyRingSet(bool enabled, const AgentConfig& config)
+      : capacity_(config.buffer_capacity),
+        caching_(config.cached_ring_cursors),
+        consumers_(config.num_variants > 0 ? config.num_variants - 1 : 0),
+        slots_(enabled ? config.max_threads : 0) {}
+
+  LazyRingSet(const LazyRingSet&) = delete;
+  LazyRingSet& operator=(const LazyRingSet&) = delete;
+
+  ~LazyRingSet() {
+    for (auto& slot : slots_) {
+      delete slot.load(std::memory_order_relaxed);
     }
-    rings.push_back(std::move(ring));
   }
-  return rings;
-}
+
+  bool enabled() const { return !slots_.empty(); }
+
+  // Rings actually materialized so far (== distinct tids that performed a
+  // sync op under this runtime).
+  uint64_t CreatedCount() const { return created_.load(std::memory_order_relaxed); }
+
+  // Hot path: returns tid's ring, creating it on first touch. The caller
+  // guarantees tid < max_threads (CheckTidBound).
+  BroadcastRing<Entry>& Get(uint32_t tid) {
+    BroadcastRing<Entry>* ring = slots_[tid].load(std::memory_order_acquire);
+    if (ring != nullptr) [[likely]] {
+      return *ring;
+    }
+    return Create(tid);
+  }
+
+  // Excision: marks `consumer` detached in every existing ring AND in every
+  // ring created later (the dead variant's consumer must not gate a ring a
+  // new thread materializes after the excision).
+  void DetachConsumer(size_t consumer) {
+    detached_.fetch_or(uint32_t{1} << consumer, std::memory_order_acq_rel);
+    for (auto& slot : slots_) {
+      if (BroadcastRing<Entry>* ring = slot.load(std::memory_order_acquire)) {
+        ring->DetachConsumer(consumer);
+      }
+    }
+  }
+
+ private:
+  BroadcastRing<Entry>& Create(uint32_t tid) {
+    auto* fresh = new BroadcastRing<Entry>(capacity_);
+    fresh->EnableCursorCaching(caching_);
+    for (size_t v = 0; v < consumers_; ++v) {
+      fresh->RegisterConsumer();
+    }
+    BroadcastRing<Entry>* expected = nullptr;
+    if (!slots_[tid].compare_exchange_strong(expected, fresh, std::memory_order_acq_rel)) {
+      delete fresh;  // Lost the publication race; the winner's ring is live.
+      return *expected;
+    }
+    created_.fetch_add(1, std::memory_order_relaxed);
+    // Detach bits published before our CAS are applied here; bits set after
+    // the CAS find the ring in the detacher's loop. Both may run for the
+    // same bit — DetachConsumer is an idempotent flag store.
+    const uint32_t mask = detached_.load(std::memory_order_acquire);
+    for (size_t v = 0; v < consumers_; ++v) {
+      if (mask & (uint32_t{1} << v)) {
+        fresh->DetachConsumer(v);
+      }
+    }
+    return *fresh;
+  }
+
+  const size_t capacity_;
+  const bool caching_;
+  const size_t consumers_;
+  std::vector<std::atomic<BroadcastRing<Entry>*>> slots_;
+  std::atomic<uint32_t> detached_{0};
+  std::atomic<uint64_t> created_{0};
+};
 
 // The tail of a sharded master's AfterSyncOp: push the stamped entry into
 // the thread's own ring (spinning while the slowest slave variant gates the
@@ -132,6 +203,50 @@ void RecordIntoRing(BroadcastRing<Entry>& ring, const Entry& entry, Shard& shard
   }
   stats.ops_recorded.fetch_add(1, std::memory_order_relaxed);
   shard.Release();
+}
+
+// The sharded_recording=false baseline's master path, shared by TO and PO
+// (the seed carried verbatim copies in both agents): one global
+// instrumentation lock held across the sync op, so the recorded order IS the
+// execution order. This read-write sharing on one cache line is the
+// scalability problem §4.5 attributes to the simple agents — kept selectable
+// for in-run A/B sweeps, and kept HERE so the baseline the sharded path is
+// measured against cannot drift between the two agents.
+inline void AcquireGlobalRecordLock(std::atomic_flag& lock, const AgentControl& control,
+                                    AgentStats::Shard& stats) {
+  SpinWait waiter;
+  while (lock.test_and_set(std::memory_order_acquire)) {
+    if (control.aborted()) {
+      throw VariantKilled{};
+    }
+    waiter.Pause();
+  }
+  if (waiter.spins() > 0) {
+    stats.record_lock_spins.fetch_add(waiter.spins(), std::memory_order_relaxed);
+  }
+}
+
+// The tail of a baseline master's AfterSyncOp: push into the single global
+// ring and release the global lock. The push must stay inside the lock — the
+// ring has one logical producer (whoever holds the lock) and its push order
+// is the recorded order.
+template <typename Entry>
+void RecordIntoGlobalRing(BroadcastRing<Entry>& ring, const Entry& entry,
+                          std::atomic_flag& lock, const AgentControl& control,
+                          AgentStats::Shard& stats) {
+  if (!ring.TryPush(entry)) {
+    stats.record_stalls.fetch_add(1, std::memory_order_relaxed);
+    SpinWait waiter;
+    while (!ring.TryPush(entry)) {
+      if (control.aborted()) {
+        lock.clear(std::memory_order_release);
+        throw VariantKilled{};
+      }
+      waiter.Pause();
+    }
+  }
+  stats.ops_recorded.fetch_add(1, std::memory_order_relaxed);
+  lock.clear(std::memory_order_release);
 }
 
 }  // namespace mvee

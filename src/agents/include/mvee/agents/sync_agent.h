@@ -108,6 +108,15 @@ inline bool DefaultShardedRecording() {
   return env == nullptr || env[0] != '0';
 }
 
+// Default for AgentConfig::adaptive_agents: on, unless the environment forces
+// the single-agent baseline (MVEE_ADAPTIVE_AGENTS=0). Same sweep contract as
+// MVEE_SHARDED_RECORDING: whole test suites can run either mode without
+// edits; explicit assignments in code always win.
+inline bool DefaultAdaptiveAgents() {
+  const char* env = std::getenv("MVEE_ADAPTIVE_AGENTS");
+  return env == nullptr || env[0] != '0';
+}
+
 // Shared configuration for agent runtimes.
 struct AgentConfig {
   uint32_t max_threads = 64;           // Max logical threads per variant.
@@ -137,6 +146,27 @@ struct AgentConfig {
   // config is unchanged). Rounded up to a power of two, clamped to
   // [64, 65536]. Exposed for the shard-collision ablation.
   size_t record_shard_count = 0;
+  // Contention-adaptive per-variable dispatch (docs/DESIGN.md §11): the
+  // fleet instantiates every agent runtime, routes each *registered* sync
+  // variable (SyncAgent::BindVariable) to its assigned runtime through the
+  // VariableAgentMap, and migrates routes at runtime quiesce points.
+  // Unregistered variables ride the default route (the fleet's configured
+  // AgentKind), so a program that never binds anything behaves exactly like
+  // the single-agent baseline modulo the dispatch gate. Off restores the
+  // seed's one-runtime fleet; MVEE_ADAPTIVE_AGENTS=0 flips the default for
+  // whole-suite baseline sweeps (PR 2-7 pattern).
+  bool adaptive_agents = DefaultAdaptiveAgents();
+  // Sample interval of the route controller that promotes/demotes bound
+  // variables from their observed contention. 0 disables the controller;
+  // plan seeding and AgentFleet::ForceMigrate still work.
+  uint32_t migrate_interval_ms = 50;
+  // Ops a bound variable must record within one controller interval before
+  // a promotion/demotion is considered (keeps cold variables parked).
+  uint64_t migrate_min_ops = 1 << 16;
+  // Deadline for one migration attempt (master quiesce + slave drain).
+  // Expiry aborts the attempt and restores the old route — always safe
+  // before the flip, because nothing was recorded under the new agent.
+  std::chrono::milliseconds migrate_timeout{1000};
 };
 
 // Clamps a config to the invariants the runtimes rely on, instead of letting
@@ -201,6 +231,19 @@ class SyncAgent {
 
   virtual AgentRole role() const = 0;
   virtual const char* name() const = 0;
+
+  // Registers `addr` as sync variable `name` for this variant. Only the
+  // adaptive dispatch agent (docs/DESIGN.md §11) overrides this: addresses
+  // differ across variants under ASLR/DCL, so per-variable routing must be
+  // keyed by a variant-invariant identity, and the program supplies it by
+  // binding each routed variable — in every variant, before the variable's
+  // first sync op — at the same program point (the paper's registration-at-
+  // allocation idiom). Unbound variables take the fleet's default route, so
+  // this is a no-op everywhere else.
+  virtual void BindVariable(const char* name, const void* addr) {
+    (void)name;
+    (void)addr;
+  }
 };
 
 // Abort/stall plumbing shared by the agent runtimes. The monitor installs

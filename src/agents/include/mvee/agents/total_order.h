@@ -51,6 +51,8 @@ class TotalOrderRuntime {
   // Tickets drawn so far (sharded mode; 0 under the global-lock baseline).
   uint64_t SequencesIssued() const { return record_shards_.TicketsIssued(); }
   bool sharded_recording() const { return config_.sharded_recording; }
+  // Per-thread recording rings materialized so far (lazy allocation).
+  uint64_t RecordingRingsCreated() const { return thread_rings_.CreatedCount(); }
 
  private:
   friend class TotalOrderAgent;
@@ -79,7 +81,7 @@ class TotalOrderRuntime {
   // Sharded recording state (docs/DESIGN.md §8, shared with PO through
   // record_shards.h).
   RecordShards record_shards_;
-  std::vector<std::unique_ptr<BroadcastRing<Entry>>> thread_rings_;  // [tid]
+  LazyRingSet<Entry> thread_rings_;  // [tid], created on first touch
   std::vector<ReplayFront> replay_fronts_;  // [variant - 1]
 };
 

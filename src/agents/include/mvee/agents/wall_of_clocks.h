@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "mvee/agents/record_shards.h"
 #include "mvee/agents/sync_agent.h"
 #include "mvee/util/hash.h"
 #include "mvee/util/spsc_ring.h"
@@ -44,6 +45,8 @@ class WallOfClocksRuntime {
 
   const AgentStats& stats() const { return stats_; }
   size_t clock_count() const { return config_.clock_count; }
+  // Per-thread recording rings materialized so far (lazy allocation).
+  uint64_t RecordingRingsCreated() const { return rings_.CreatedCount(); }
 
   // Maps a sync-variable address to its clock id (exposed for tests and the
   // collision ablation bench).
@@ -76,8 +79,9 @@ class WallOfClocksRuntime {
   AgentControl control_;
   AgentStats stats_;
   std::vector<MasterClock> master_clocks_;
-  // One ring per master thread; slaves of variant v consume with id v-1.
-  std::vector<std::unique_ptr<BroadcastRing<Entry>>> rings_;
+  // One ring per master thread, created on first touch; slaves of variant v
+  // consume with id v-1.
+  LazyRingSet<Entry> rings_;
   // local_clocks_[v-1][c] for slave variant v.
   std::vector<std::vector<SlaveClock>> slave_clocks_;
 };

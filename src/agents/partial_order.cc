@@ -13,12 +13,17 @@ PartialOrderRuntime::PartialOrderRuntime(const AgentConfig& config, AgentControl
       control_(std::move(control)),
       ring_(config_.sharded_recording ? 2 : config_.buffer_capacity),
       record_shards_(config_.sharded_recording, config_.record_shard_count),
-      thread_rings_(MakeThreadRecordingRings<Entry>(config_)) {
+      thread_rings_(config_.sharded_recording, config_) {
   ring_.EnableCursorCaching(config_.cached_ring_cursors);
   for (uint32_t v = 1; v < config_.num_variants; ++v) {
     auto slave = std::make_unique<SlaveState>();
     if (config_.sharded_recording) {
       slave->consumed_through = std::vector<ConsumedMark>(config_.max_threads);
+      // Capacity contract (watermark.h): the gate admits at most po_window
+      // outstanding sequences plus a max_threads overshoot (the gate check
+      // precedes the ticket draw), so every live mark fits.
+      slave->replay_mark = std::make_unique<PrefixWatermark>(
+          config_.po_window + config_.max_threads + 1);
     } else {
       slave->consumed = std::vector<std::atomic<uint64_t>>(config_.buffer_capacity);
       slave->next_index_by_tid = std::vector<std::atomic<uint64_t>>(config_.max_threads);
@@ -57,8 +62,65 @@ void PartialOrderRuntime::DetachVariant(uint32_t variant) {
   // Consumer v-1 belongs to slave variant v in both the baseline global ring
   // and every per-thread recording ring.
   ring_.DetachConsumer(slaves_[variant - 1]->consumer_id);
-  for (auto& ring : thread_rings_) {
-    ring->DetachConsumer(variant - 1);
+  if (thread_rings_.enabled()) {
+    thread_rings_.DetachConsumer(variant - 1);
+  }
+  // Publish before any later gate pass recomputes the minimum, so a master
+  // stalled on the dead variant's frozen watermark drops it on its next
+  // slow-path iteration.
+  detached_slaves_.fetch_or(uint32_t{1} << (variant - 1), std::memory_order_acq_rel);
+}
+
+uint64_t PartialOrderRuntime::ReplayedPrefix(uint32_t variant) {
+  if (variant == 0 || variant >= config_.num_variants || !config_.sharded_recording) {
+    return 0;
+  }
+  return slaves_[variant - 1]->replay_mark->TryAdvance();
+}
+
+void PartialOrderRuntime::GateOnReplayWindow(uint32_t tid, AgentStats::Shard& stats) {
+  // One relaxed load on the fast path: limits only grow, so a stale (small)
+  // value can only send us to the slow path, never admit an out-of-window
+  // ticket.
+  if (record_shards_.TicketsIssued() < window_limit_.load(std::memory_order_relaxed))
+      [[likely]] {
+    return;
+  }
+  SpinWait waiter;
+  bool stalled = false;
+  for (;;) {
+    const uint32_t detached = detached_slaves_.load(std::memory_order_acquire);
+    uint64_t min_prefix = ~uint64_t{0};
+    bool any_live = false;
+    for (uint32_t v = 1; v < config_.num_variants; ++v) {
+      if (detached & (uint32_t{1} << (v - 1))) {
+        continue;
+      }
+      any_live = true;
+      // The stalled side donates the fold work (watermark.h): slaves only
+      // release-store their marks.
+      const uint64_t prefix = slaves_[v - 1]->replay_mark->TryAdvance();
+      min_prefix = prefix < min_prefix ? prefix : min_prefix;
+    }
+    if (!any_live) {
+      // No replayer left to bound: the window is moot (matches the
+      // single-variant and post-excision baselines, which never stalled).
+      window_limit_.store(~uint64_t{0}, std::memory_order_relaxed);
+      return;
+    }
+    const uint64_t limit = min_prefix + config_.po_window;
+    window_limit_.store(limit, std::memory_order_relaxed);
+    if (record_shards_.TicketsIssued() < limit) {
+      return;
+    }
+    if (!stalled) {
+      stalled = true;
+      stats.record_stalls.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (control_.aborted()) {
+      throw VariantKilled{};
+    }
+    waiter.Pause();
   }
 }
 
@@ -86,23 +148,18 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   CheckTidBound(tid, runtime_->config_.max_threads, runtime_->control_, name());
   if (role_ == AgentRole::kMaster) {
     if (runtime_->config_.sharded_recording) {
+      // Window gate BEFORE the shard lock: a gated master must not stall
+      // while holding a shard other replaying-adjacent masters need.
+      runtime_->GateOnReplayWindow(tid, runtime_->stats_.shard(stats_variant_, tid));
       // Per-variable shard lock held across (op + ticket + push): see the
       // total-order agent and docs/DESIGN.md §8 for the ordering argument.
       held_shard_[tid] = &runtime_->record_shards_.Acquire(
           addr, runtime_->control_, runtime_->stats_.shard(stats_variant_, tid));
       return;
     }
-    SpinWait waiter;
-    while (runtime_->master_lock_.test_and_set(std::memory_order_acquire)) {
-      if (runtime_->control_.aborted()) {
-        throw VariantKilled{};
-      }
-      waiter.Pause();
-    }
-    if (waiter.spins() > 0) {
-      runtime_->stats_.shard(stats_variant_, tid)
-          .record_lock_spins.fetch_add(waiter.spins(), std::memory_order_relaxed);
-    }
+    // Global instrumentation lock baseline (shared helper in record_shards.h).
+    AcquireGlobalRecordLock(runtime_->master_lock_, runtime_->control_,
+                            runtime_->stats_.shard(stats_variant_, tid));
     return;
   }
 
@@ -127,7 +184,7 @@ void PartialOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     // Sharded replay (docs/DESIGN.md §8). Step 1: this thread's next entry
     // is its own ring's front — master thread t produced exactly thread t's
     // entries, in program order, so no window scan is needed to find it.
-    auto& ring = *runtime_->thread_rings_[tid];
+    auto& ring = runtime_->thread_rings_.Get(tid);
     const size_t consumer = slave_->consumer_id;
     PartialOrderRuntime::Entry mine;
     while (!ring.Peek(consumer, 0, &mine)) {
@@ -277,35 +334,30 @@ void PartialOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
       entry.prev_tid = shard.extra.last_tid;
       shard.extra.last_seq = entry.seq;
       shard.extra.last_tid = tid;
-      RecordIntoRing(*runtime_->thread_rings_[tid], entry, shard, runtime_->control_,
+      RecordIntoRing(runtime_->thread_rings_.Get(tid), entry, shard, runtime_->control_,
                      runtime_->stats_.shard(stats_variant_, tid));
       return;
     }
     PartialOrderRuntime::Entry entry;
     entry.tid = tid;
     entry.key = reinterpret_cast<uint64_t>(addr);
-    if (!runtime_->ring_.TryPush(entry)) {
-      runtime_->stats_.shard(stats_variant_, tid).record_stalls.fetch_add(1, std::memory_order_relaxed);
-      SpinWait waiter;
-      while (!runtime_->ring_.TryPush(entry)) {
-        if (runtime_->control_.aborted()) {
-          runtime_->master_lock_.clear(std::memory_order_release);
-          throw VariantKilled{};
-        }
-        waiter.Pause();
-      }
-    }
-    runtime_->stats_.shard(stats_variant_, tid).ops_recorded.fetch_add(1, std::memory_order_relaxed);
-    runtime_->master_lock_.clear(std::memory_order_release);
+    // Shared baseline tail (record_shards.h): push inside the lock, so the
+    // ring's push order is the recorded order.
+    RecordIntoGlobalRing(runtime_->ring_, entry, runtime_->master_lock_,
+                         runtime_->control_,
+                         runtime_->stats_.shard(stats_variant_, tid));
     return;
   }
 
   if (runtime_->config_.sharded_recording) {
-    runtime_->thread_rings_[tid]->Advance(slave_->consumer_id);
+    runtime_->thread_rings_.Get(tid).Advance(slave_->consumer_id);
     // The release publishes this op's effects to whichever thread acquires
     // the watermark in its dependence wait.
     slave_->consumed_through[tid].next.store(pending_index_[tid] + 1,
                                              std::memory_order_release);
+    // Feed the master's po_window gate: one release store; the gated master
+    // folds the prefix itself (watermark.h).
+    slave_->replay_mark->Mark(pending_index_[tid]);
     runtime_->stats_.shard(stats_variant_, tid).ops_replayed.fetch_add(1, std::memory_order_relaxed);
     return;
   }

@@ -52,21 +52,13 @@ PerVariableRuntime::PerVariableRuntime(const AgentConfig& config, AgentControl c
       overflow_mask_(overflow_capacity_ - 1),
       overflow_keys_(overflow_capacity_),
       master_clocks_(table_capacity_),
+      rings_(true, config_),
       slave_clocks_(config_.num_variants > 0 ? config_.num_variants - 1 : 0) {
   for (auto& key : keys_) {
     key.store(0, std::memory_order_relaxed);
   }
   for (auto& key : overflow_keys_) {
     key.store(0, std::memory_order_relaxed);
-  }
-  rings_.reserve(config_.max_threads);
-  for (uint32_t t = 0; t < config_.max_threads; ++t) {
-    auto ring = std::make_unique<BroadcastRing<Entry>>(config_.buffer_capacity);
-    ring->EnableCursorCaching(config_.cached_ring_cursors);
-    for (uint32_t v = 1; v < config_.num_variants; ++v) {
-      ring->RegisterConsumer();
-    }
-    rings_.push_back(std::move(ring));
   }
   for (auto& clocks : slave_clocks_) {
     clocks = std::vector<SlaveClock>(table_capacity_);
@@ -135,9 +127,7 @@ void PerVariableRuntime::DetachVariant(uint32_t variant) {
     return;
   }
   // Consumer v-1 of every per-thread ring belongs to slave variant v.
-  for (auto& ring : rings_) {
-    ring->DetachConsumer(variant - 1);
-  }
+  rings_.DetachConsumer(variant - 1);
 }
 
 std::unique_ptr<SyncAgent> PerVariableRuntime::CreateAgent(uint32_t variant_index) {
@@ -176,7 +166,7 @@ void PerVariableAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
   // Slave: addresses differ per variant under ASLR/DCL, so the slave never
   // consults the table — the recorded clock id alone drives replay, which is
   // what makes the agent address-space-layout agnostic (§4.5.1).
-  auto& ring = *runtime_->rings_[tid];
+  auto& ring = runtime_->rings_.Get(tid);
   const size_t consumer = variant_index_ - 1;
   DeadlineGate deadline(runtime_->config_.replay_deadline);
   SpinWait waiter;
@@ -241,7 +231,7 @@ void PerVariableAgent::AfterSyncOp(uint32_t tid, const void* addr) {
     // Publication outside the clock lock, same ordering argument as
     // wall-of-clocks: the ring is thread-private on the producer side and
     // replay is ordered by the recorded clock value.
-    auto& ring = *runtime_->rings_[tid];
+    auto& ring = runtime_->rings_.Get(tid);
     PerVariableRuntime::Entry entry;
     entry.clock_id = pending.clock_id;
     entry.time = pending.time;
@@ -263,7 +253,7 @@ void PerVariableAgent::AfterSyncOp(uint32_t tid, const void* addr) {
   const Pending pending = pending_[tid];
   runtime_->slave_clocks_[consumer][pending.clock_id].time.store(pending.time + 1,
                                                                  std::memory_order_release);
-  runtime_->rings_[tid]->Advance(consumer);
+  runtime_->rings_.Get(tid).Advance(consumer);
   runtime_->stats_.shard(variant_index_, tid).ops_replayed.fetch_add(1, std::memory_order_relaxed);
 }
 

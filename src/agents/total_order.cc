@@ -15,7 +15,7 @@ TotalOrderRuntime::TotalOrderRuntime(const AgentConfig& config, AgentControl con
       // off; shrink whichever side is idle so a runtime never pays for both.
       ring_(config_.sharded_recording ? 2 : config_.buffer_capacity),
       record_shards_(config_.sharded_recording, config_.record_shard_count),
-      thread_rings_(MakeThreadRecordingRings<Entry>(config_)),
+      thread_rings_(config_.sharded_recording, config_),
       replay_fronts_(config_.num_variants > 0 ? config_.num_variants - 1 : 0) {
   ring_.EnableCursorCaching(config_.cached_ring_cursors);
   // One consumer cursor per slave variant. All threads of a slave variant
@@ -33,8 +33,8 @@ void TotalOrderRuntime::DetachVariant(uint32_t variant) {
   // Consumer v-1 belongs to slave variant v in both the baseline global ring
   // and every per-thread recording ring.
   ring_.DetachConsumer(consumer_ids_[variant]);
-  for (auto& ring : thread_rings_) {
-    ring->DetachConsumer(variant - 1);
+  if (thread_rings_.enabled()) {
+    thread_rings_.DetachConsumer(variant - 1);
   }
 }
 
@@ -68,20 +68,10 @@ void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
           addr, runtime_->control_, runtime_->stats_.shard(stats_variant_, tid));
       return;
     }
-    // Global instrumentation lock held across the sync op: the recorded
-    // order is the execution order. This read-write sharing on one cache
-    // line is the scalability problem §4.5 attributes to the simple agents.
-    SpinWait waiter;
-    while (runtime_->master_lock_.test_and_set(std::memory_order_acquire)) {
-      if (runtime_->control_.aborted()) {
-        throw VariantKilled{};
-      }
-      waiter.Pause();
-    }
-    if (waiter.spins() > 0) {
-      runtime_->stats_.shard(stats_variant_, tid)
-          .record_lock_spins.fetch_add(waiter.spins(), std::memory_order_relaxed);
-    }
+    // Global instrumentation lock held across the sync op (shared baseline
+    // helper in record_shards.h; rationale documented there).
+    AcquireGlobalRecordLock(runtime_->master_lock_, runtime_->control_,
+                            runtime_->stats_.shard(stats_variant_, tid));
     return;
   }
 
@@ -95,7 +85,7 @@ void TotalOrderAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
     // order), and the per-variant next_seq ratchet admits the one entry
     // whose global sequence is next. Together the per-thread fronts plus
     // the ratchet ARE the deterministic merge of the per-thread rings.
-    auto& ring = *runtime_->thread_rings_[tid];
+    auto& ring = runtime_->thread_rings_.Get(tid);
     TotalOrderRuntime::Entry entry;
     while (!ring.Peek(consumer_id_, 0, &entry)) {
       if (runtime_->control_.should_unwind(stats_variant_)) {
@@ -178,31 +168,20 @@ void TotalOrderAgent::AfterSyncOp(uint32_t tid, const void* addr) {
       // later conflicting entry is guaranteed to also see every earlier one
       // (the §8 visibility argument the PO dependence wait relies on).
       const TotalOrderRuntime::Entry entry{tid, runtime_->record_shards_.DrawTicket()};
-      RecordIntoRing(*runtime_->thread_rings_[tid], entry, *held_shard_[tid],
+      RecordIntoRing(runtime_->thread_rings_.Get(tid), entry, *held_shard_[tid],
                      runtime_->control_, runtime_->stats_.shard(stats_variant_, tid));
       return;
     }
-    // The push must stay inside the instrumentation lock: the ring has one
-    // logical producer (whoever holds the lock) and its push order *is* the
-    // recorded total order.
-    if (!runtime_->ring_.TryPush(TotalOrderRuntime::Entry{tid, 0})) {
-      runtime_->stats_.shard(stats_variant_, tid).record_stalls.fetch_add(1, std::memory_order_relaxed);
-      SpinWait waiter;
-      while (!runtime_->ring_.TryPush(TotalOrderRuntime::Entry{tid, 0})) {
-        if (runtime_->control_.aborted()) {
-          runtime_->master_lock_.clear(std::memory_order_release);
-          throw VariantKilled{};
-        }
-        waiter.Pause();
-      }
-    }
-    runtime_->stats_.shard(stats_variant_, tid).ops_recorded.fetch_add(1, std::memory_order_relaxed);
-    runtime_->master_lock_.clear(std::memory_order_release);
+    // Shared baseline tail (record_shards.h): the push stays inside the
+    // instrumentation lock, so the ring's push order *is* the recorded order.
+    RecordIntoGlobalRing(runtime_->ring_, TotalOrderRuntime::Entry{tid, 0},
+                         runtime_->master_lock_, runtime_->control_,
+                         runtime_->stats_.shard(stats_variant_, tid));
     return;
   }
 
   if (runtime_->config_.sharded_recording) {
-    runtime_->thread_rings_[tid]->Advance(consumer_id_);
+    runtime_->thread_rings_.Get(tid).Advance(consumer_id_);
     // Release the ratchet: hands this op's effects to whichever thread owns
     // the next sequence (its acquire load in BeforeSyncOp pairs with this).
     runtime_->replay_fronts_[consumer_id_].next_seq.store(pending_seq_[tid] + 1,

@@ -12,17 +12,8 @@ WallOfClocksRuntime::WallOfClocksRuntime(const AgentConfig& config, AgentControl
     : config_(ValidatedAgentConfig(config)),
       control_(std::move(control)),
       master_clocks_(config_.clock_count),
+      rings_(true, config_),
       slave_clocks_(config_.num_variants > 0 ? config_.num_variants - 1 : 0) {
-  rings_.reserve(config_.max_threads);
-  for (uint32_t t = 0; t < config_.max_threads; ++t) {
-    auto ring = std::make_unique<BroadcastRing<Entry>>(config_.buffer_capacity);
-    ring->EnableCursorCaching(config_.cached_ring_cursors);
-    // Consumer v-1 of every ring belongs to slave variant v.
-    for (uint32_t v = 1; v < config_.num_variants; ++v) {
-      ring->RegisterConsumer();
-    }
-    rings_.push_back(std::move(ring));
-  }
   for (auto& clocks : slave_clocks_) {
     clocks = std::vector<SlaveClock>(config_.clock_count);
   }
@@ -33,9 +24,7 @@ void WallOfClocksRuntime::DetachVariant(uint32_t variant) {
     return;
   }
   // Consumer v-1 of every per-thread ring belongs to slave variant v.
-  for (auto& ring : rings_) {
-    ring->DetachConsumer(variant - 1);
-  }
+  rings_.DetachConsumer(variant - 1);
 }
 
 std::unique_ptr<SyncAgent> WallOfClocksRuntime::CreateAgent(uint32_t variant_index) {
@@ -77,7 +66,7 @@ void WallOfClocksAgent::BeforeSyncOp(uint32_t tid, const void* addr) {
 
   // Slave: fetch this thread's next recorded entry, then wait for the local
   // clock copy to reach the recorded time.
-  auto& ring = *runtime_->rings_[tid];
+  auto& ring = runtime_->rings_.Get(tid);
   const size_t consumer = variant_index_ - 1;
   DeadlineGate deadline(runtime_->config_.replay_deadline);
   SpinWait waiter;
@@ -144,7 +133,7 @@ void WallOfClocksAgent::AfterSyncOp(uint32_t tid, const void* addr) {
     // recorded clock value, not by push order — so a delayed push can only
     // delay, never reorder, the replay. Keeping a full-ring stall out of the
     // lock also lets other masters keep advancing this clock meanwhile.
-    auto& ring = *runtime_->rings_[tid];
+    auto& ring = runtime_->rings_.Get(tid);
     WallOfClocksRuntime::Entry entry;
     entry.clock_id = pending.clock_id;
     entry.time = pending.time;
@@ -166,7 +155,7 @@ void WallOfClocksAgent::AfterSyncOp(uint32_t tid, const void* addr) {
   const Pending pending = pending_[tid];
   runtime_->slave_clocks_[consumer][pending.clock_id].time.store(pending.time + 1,
                                                                  std::memory_order_release);
-  runtime_->rings_[tid]->Advance(consumer);
+  runtime_->rings_.Get(tid).Advance(consumer);
   runtime_->stats_.shard(variant_index_, tid).ops_replayed.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "mvee/agents/sync_agent.h"
+#include "mvee/agents/variable_map.h"
 #include "mvee/monitor/reporter.h"
 #include "mvee/vkernel/vkernel_config.h"
 
@@ -125,6 +126,12 @@ struct MveeOptions {
   std::string fault_plan = DefaultFaultPlan();
   // Agent tuning.
   AgentConfig agent_config;
+  // Static per-variable agent seeding (docs/DESIGN.md §11): routes derived
+  // by the analysis layer (DeriveAssignmentPlan) or written by hand. Only
+  // consulted when agent_config.adaptive_agents is on; variables the plan
+  // does not name (and all unbound addresses) ride the default route =
+  // `agent`.
+  AgentAssignmentPlan agent_plan;
 };
 
 }  // namespace mvee

@@ -59,7 +59,8 @@ Mvee::Mvee(const MveeOptions& options, VirtualKernel* external_kernel) : options
   control.on_stall = [this](const std::string& detail) {
     reporter_.Report(StatusCode::kTimeout, "sync-op replay stall: " + detail);
   };
-  fleet_ = std::make_unique<AgentFleet>(options_.agent, agent_config, control);
+  fleet_ = std::make_unique<AgentFleet>(options_.agent, agent_config, control,
+                                        &options_.agent_plan);
 
   // Variant states: kernel process + simulated diversity + injected agent.
   for (uint32_t v = 0; v < options_.num_variants; ++v) {
@@ -452,13 +453,16 @@ Status Mvee::Run(Program program) {
       monitor->AccumulateCounters(&report_.syscalls);
     }
   }
-  if (const AgentStats* stats = fleet_->stats()) {
-    const AgentStatsSnapshot snapshot = stats->Aggregate();
+  {
+    const AgentStatsSnapshot snapshot = fleet_->StatsSnapshot();
     report_.sync_ops_recorded = snapshot.ops_recorded;
     report_.sync_ops_replayed = snapshot.ops_replayed;
     report_.replay_stalls = snapshot.replay_stalls;
     report_.record_stalls = snapshot.record_stalls;
     report_.record_lock_spins = snapshot.record_lock_spins;
+    report_.adaptive_bound_variables = fleet_->BoundVariables();
+    report_.agent_migrations = fleet_->MigrationsCompleted();
+    report_.agent_migrations_aborted = fleet_->MigrationsAborted();
   }
   {
     // Kernel readiness counters (cumulative for shared external kernels; the

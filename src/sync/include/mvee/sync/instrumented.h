@@ -31,6 +31,11 @@ class InstrumentedAtomic {
   InstrumentedAtomic(const InstrumentedAtomic&) = delete;
   InstrumentedAtomic& operator=(const InstrumentedAtomic&) = delete;
 
+  // Registers this variable for per-variable agent routing under `name`
+  // (docs/DESIGN.md §11): call from code every variant executes, before the
+  // first sync op. No-op under non-adaptive agents and native runs.
+  void Bind(const char* name) const { BindSyncVariable(name, &value_); }
+
   // Type (iii) sync op: aligned load.
   T Load() const {
     SyncContext* ctx = SyncContext::Current();

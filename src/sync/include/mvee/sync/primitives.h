@@ -26,6 +26,10 @@ class SpinLock {
   bool TryLock();
   void Unlock();
 
+  // Registers the lock word for per-variable agent routing under `name`
+  // (docs/DESIGN.md §11); no-op under non-adaptive agents.
+  void Bind(const char* name) const { state_.Bind(name); }
+
  private:
   InstrumentedAtomic<int32_t> state_{0};
 };
@@ -48,6 +52,10 @@ class Mutex {
   void Lock();
   bool TryLock();
   void Unlock();
+
+  // Registers the mutex word for per-variable agent routing under `name`
+  // (docs/DESIGN.md §11); no-op under non-adaptive agents.
+  void Bind(const char* name) const { state_.Bind(name); }
 
   const InstrumentedAtomic<int32_t>& state() const { return state_; }
 

@@ -214,8 +214,8 @@ TEST(AgentStatsTest, RecordedEqualsReplayedPerSlave) {
     slave->BeforeSyncOp(0, &dummy);
     slave->AfterSyncOp(0, &dummy);
   }
-  EXPECT_EQ(fleet.stats()->Aggregate().ops_recorded, 10u);
-  EXPECT_EQ(fleet.stats()->Aggregate().ops_replayed, 10u);
+  EXPECT_EQ(fleet.StatsSnapshot().ops_recorded, 10u);
+  EXPECT_EQ(fleet.StatsSnapshot().ops_replayed, 10u);
 }
 
 TEST(AgentAbortTest, AbortFlagReleasesStalledSlave) {
