@@ -51,7 +51,7 @@ const char* AssignmentVerdictName(AssignmentVerdict verdict) {
 
 AssignmentPlanReport DeriveAssignmentPlan(const MirModule& module, const SyncOpReport& report,
                                           const AssignmentPlanOptions& options) {
-  AndersenAnalysis points_to(module);
+  AndersenAnalysis points_to(module, options.analysis);
   std::map<int32_t, ObjectFacts> facts;
 
   for (const auto& function : module.functions) {
@@ -59,22 +59,22 @@ AssignmentPlanReport DeriveAssignmentPlan(const MirModule& module, const SyncOpR
       if (!IsMemoryOp(inst.op) || inst.ptr < 0) {
         continue;
       }
-      const std::set<int32_t>& pts = points_to.PointsTo(inst.ptr);
       // A site is ambiguous when its pointer may reach more than one sync
       // object: the slave cannot tell from the master's per-variable clock
-      // which of the candidates the master actually serialized on.
+      // which of the candidates the master actually serialized on. Two
+      // bitmap walks — no materialized std::set per site.
       size_t sync_targets = 0;
-      for (int32_t target : pts) {
+      points_to.ForEachPointee(inst.ptr, [&](int32_t target) {
         if (report.sync_objects.count(target) != 0) {
           ++sync_targets;
         }
-      }
+      });
       if (sync_targets == 0) {
         continue;
       }
-      for (int32_t target : pts) {
+      points_to.ForEachPointee(inst.ptr, [&](int32_t target) {
         if (report.sync_objects.count(target) == 0) {
-          continue;
+          return;
         }
         ObjectFacts& object_facts = facts[target];
         ++object_facts.sites;
@@ -85,7 +85,7 @@ AssignmentPlanReport DeriveAssignmentPlan(const MirModule& module, const SyncOpR
         if (sync_targets >= 2) {
           object_facts.aliased = true;
         }
-      }
+      });
     }
   }
 

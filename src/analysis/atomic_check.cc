@@ -1,5 +1,7 @@
 #include "mvee/analysis/atomic_check.h"
 
+#include "mvee/analysis/andersen.h"
+
 namespace mvee {
 
 AtomicCheckResult CheckAtomicQualifiers(const MirModule& module,
@@ -62,6 +64,13 @@ PropagationResult PropagateQualifiers(const MirModule& module,
     }
   }
 
+  // Interprocedural def-use: argument/parameter and return/destination
+  // bindings are copies too — a qualified pointer passed into a callee (or
+  // returned from one) carries the qualifier across the call, in both
+  // directions like any Mov edge. Indirect-call callees come from the
+  // points-to fixpoint.
+  const std::vector<std::pair<int32_t, int32_t>> call_copies = ResolveCallCopies(module);
+
   // Iterate "compiles": after each one, qualify the pointers the
   // diagnostics point at (refactoring step), until clean.
   for (;;) {
@@ -98,6 +107,14 @@ PropagationResult PropagateQualifiers(const MirModule& module,
           default:
             break;
         }
+      }
+    }
+    for (const auto& [dst, src] : call_copies) {
+      if (result.qualified_regs.count(src) != 0 && result.qualified_regs.insert(dst).second) {
+        changed = true;
+      }
+      if (result.qualified_regs.count(dst) != 0 && result.qualified_regs.insert(src).second) {
+        changed = true;
       }
     }
     if (!changed) {

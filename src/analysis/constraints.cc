@@ -1,0 +1,71 @@
+#include "mvee/analysis/constraints.h"
+
+#include <algorithm>
+
+namespace mvee {
+
+size_t AppendCallCopies(const MirModule& module, int32_t callee_function, int32_t call_dst,
+                        const std::vector<int32_t>& args,
+                        std::vector<std::pair<int32_t, int32_t>>* out) {
+  if (callee_function < 0 || static_cast<size_t>(callee_function) >= module.functions.size()) {
+    return 0;
+  }
+  const MirFunction& callee = module.functions[callee_function];
+  size_t appended = 0;
+  const size_t bound = std::min(args.size(), callee.params.size());
+  for (size_t i = 0; i < bound; ++i) {
+    if (args[i] >= 0) {
+      out->emplace_back(callee.params[i], args[i]);
+      ++appended;
+    }
+  }
+  if (call_dst >= 0 && callee.return_reg >= 0) {
+    out->emplace_back(call_dst, callee.return_reg);
+    ++appended;
+  }
+  return appended;
+}
+
+ConstraintProgram BuildConstraintProgram(const MirModule& module) {
+  ConstraintProgram program;
+  program.reg_count = module.register_count;
+  program.object_function.reserve(module.objects.size());
+  for (const MirObject& object : module.objects) {
+    program.object_function.push_back(object.function_index);
+  }
+
+  for (const auto& function : module.functions) {
+    for (const auto& inst : function.instructions) {
+      switch (inst.op) {
+        case MirOp::kAddrOf:
+        case MirOp::kAlloc:
+          program.addr_of.emplace_back(inst.dst, inst.object);
+          break;
+        case MirOp::kMov:
+        case MirOp::kGep:
+          program.copies.emplace_back(inst.dst, inst.src);
+          break;
+        case MirOp::kCall: {
+          // Static callee: lower parameter/return flow to copy edges now.
+          const int32_t callee = (inst.object >= 0 &&
+                                  static_cast<size_t>(inst.object) < module.objects.size())
+                                     ? module.objects[inst.object].function_index
+                                     : -1;
+          if (callee >= 0) {
+            ++program.direct_call_edges;
+          }
+          AppendCallCopies(module, callee, inst.dst, inst.args, &program.copies);
+          break;
+        }
+        case MirOp::kIndirectCall:
+          program.indirect_calls.push_back({inst.ptr, inst.dst, inst.args});
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return program;
+}
+
+}  // namespace mvee

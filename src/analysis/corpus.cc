@@ -161,6 +161,144 @@ MirModule BuildAsmViolationModule() {
   return builder.Build();
 }
 
+InterprocCorpus BuildInterprocModule(const InterprocSpec& spec, uint64_t seed) {
+  InterprocCorpus corpus;
+  MirBuilder builder(spec.module_name);
+  Rng rng(seed ^ FnvHashBytes(spec.module_name, std::string(spec.module_name).size()));
+
+  // Shared sync-variable pool.
+  std::vector<int32_t> pool;
+  pool.reserve(spec.pool_size);
+  for (size_t i = 0; i < spec.pool_size; ++i) {
+    pool.push_back(builder.Object("pool_" + std::to_string(i), MirStorage::kGlobal));
+  }
+
+  // Declare the whole ring up front (two pointer params each: the ring value
+  // and the escape channel), then fill bodies via Select — worker_k's call
+  // target worker_{k+1} must exist before the call is emitted.
+  std::vector<int32_t> functions(spec.workers);
+  std::vector<int32_t> ring_params(spec.workers);
+  std::vector<int32_t> escape_params(spec.workers);
+  for (size_t k = 0; k < spec.workers; ++k) {
+    functions[k] = builder.Function("worker_" + std::to_string(k));
+    ring_params[k] = builder.Param();
+    escape_params[k] = builder.Param();
+  }
+
+  for (size_t k = 0; k < spec.workers; ++k) {
+    builder.Select(functions[k]);
+    const std::string tag = std::to_string(k);
+
+    // Seed the ring with pool addresses and RMW them: pool objects become
+    // sync variables, and the Mov into the param injects them into the
+    // ring-wide copy cycle.
+    for (size_t s = 0; s < spec.sites_per_worker; ++s) {
+      const int32_t object = pool[rng.NextBelow(pool.size())];
+      const int32_t pointer = builder.Reg();
+      builder.AddrOf(pointer, object, "seed.c:" + tag);
+      builder.Mov(ring_params[k], pointer);
+      builder.LockRmw(pointer, "lock.c:" + tag + "_" + std::to_string(s));
+    }
+
+    // Aliasing sites: copies of the ring param with plain memops — type
+    // (iii) against whatever the ring carries by the time the fixpoint ends.
+    for (size_t a = 0; a < spec.alias_regs_per_worker; ++a) {
+      const int32_t alias = builder.Reg();
+      builder.Mov(alias, ring_params[k]);
+      for (size_t m = 0; m < spec.memops_per_alias; ++m) {
+        if (rng.NextBool(0.5)) {
+          builder.Store(alias, "ring.c:" + tag);
+        } else {
+          builder.Load(alias, "ring.c:" + tag);
+        }
+      }
+    }
+
+    // The escape channel: store through whatever the previous worker passed.
+    builder.Store(escape_params[k], "escape.c:" + tag);
+
+    // Escaping stack local: RMW'd here, address passed to the next worker.
+    int32_t escape_arg = builder.Reg();  // Empty pts when nothing escapes.
+    if (k < spec.escaping_locals) {
+      const int32_t local = builder.Object("escaping_local_" + tag, MirStorage::kStack);
+      const int32_t local_ptr = builder.Reg();
+      builder.AddrOf(local_ptr, local, "local.c:" + tag);
+      builder.LockRmw(local_ptr, "local.c:" + tag + "_rmw");
+      corpus.escaping_objects.push_back(local);
+      escape_arg = local_ptr;
+    }
+
+    // Private noise: must stay unmarked. "noise:" source lines are the
+    // ground truth the precision metric counts against.
+    for (size_t n = 0; n < spec.noise_per_worker; ++n) {
+      const bool on_heap = rng.NextBool(0.5);
+      const int32_t object =
+          builder.Object("noise_" + tag + "_" + std::to_string(n),
+                         on_heap ? MirStorage::kHeap : MirStorage::kStack);
+      const int32_t pointer = builder.Reg();
+      if (on_heap) {
+        builder.Alloc(pointer, object);
+      } else {
+        builder.AddrOf(pointer, object);
+      }
+      if (rng.NextBool(0.5)) {
+        builder.Load(pointer, "noise:" + tag);
+      } else {
+        builder.Store(pointer, "noise:" + tag);
+      }
+      ++corpus.noise_memops;
+    }
+
+    // Conflated noise: one register holds both the ring's sync addresses and
+    // the noise object's address. Subset-based analyses keep pts(probe) =
+    // {noise}; unification merges the noise object into the ring's sync
+    // class and marks the probe access — a spurious type (iii) mark.
+    if (k < spec.conflated_noise) {
+      const int32_t object = builder.Object("conflated_noise_" + tag, MirStorage::kStack);
+      const int32_t both = builder.Reg();
+      builder.Mov(both, ring_params[k]);
+      builder.AddrOf(both, object);
+      const int32_t probe = builder.Reg();
+      builder.AddrOf(probe, object);
+      builder.Load(probe, "noise:conflated_" + tag);
+      ++corpus.noise_memops;
+    }
+
+    // Close the ring.
+    const size_t next = (k + 1) % spec.workers;
+    builder.Call(-1, builder.FunctionObject(functions[next]),
+                 {ring_params[k], escape_arg}, "call.c:" + tag);
+  }
+
+  // Dispatcher: indirect calls through fptrs holding several worker
+  // addresses — callees resolve only inside the points-to fixpoint.
+  builder.Function("dispatch");
+  for (size_t site = 0; site < spec.fp_sites; ++site) {
+    const int32_t fptr = builder.Reg();
+    for (size_t f = 0; f < spec.fp_fanout; ++f) {
+      const int32_t target = functions[rng.NextBelow(spec.workers)];
+      builder.AddrOf(fptr, builder.FunctionObject(target),
+                     "dispatch.c:" + std::to_string(site));
+    }
+    const int32_t arg = builder.Reg();
+    builder.AddrOf(arg, pool[rng.NextBelow(pool.size())]);
+    const int32_t no_escape = builder.Reg();
+    builder.CallIndirect(-1, fptr, {arg, no_escape},
+                         "dispatch.c:" + std::to_string(site));
+  }
+
+  corpus.module = builder.Build();
+  return corpus;
+}
+
+std::vector<InterprocSpec> ScaledInterprocSpecs() {
+  std::vector<InterprocSpec> specs(3);
+  specs[0] = {"interproc-10k", 32, 128, 64, 16, 2, 16, 4, 4, 3, 4};
+  specs[1] = {"interproc-40k", 64, 256, 128, 24, 4, 24, 8, 8, 3, 8};
+  specs[2] = {"interproc-120k", 128, 256, 192, 32, 6, 48, 8, 8, 3, 8};
+  return specs;
+}
+
 RefcountHeapCorpus BuildRefcountHeapModule(size_t nodes, size_t payload_fields,
                                            size_t accesses_per_field) {
   // struct node { atomic<int> refcount; /* field 0 */

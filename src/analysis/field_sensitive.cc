@@ -1,6 +1,9 @@
 #include "mvee/analysis/field_sensitive.h"
 
 #include <deque>
+#include <utility>
+
+#include "mvee/analysis/constraints.h"
 
 namespace mvee {
 
@@ -13,12 +16,34 @@ bool LocsMayAlias(const FieldLoc& a, const FieldLoc& b) {
 }
 
 FieldSensitiveAnalysis::FieldSensitiveAnalysis(const MirModule& module) {
+  stats_.solver = "field-sensitive";
   points_to_.resize(module.register_count);
   copy_targets_.resize(module.register_count);
   gep_targets_.resize(module.register_count);
 
   std::deque<int32_t> worklist;
   auto enqueue = [&](int32_t reg) { worklist.push_back(reg); };
+  auto add_copy = [&](int32_t dst, int32_t src) {
+    if (dst >= 0 && src >= 0 && dst != src &&
+        static_cast<size_t>(dst) < points_to_.size() &&
+        static_cast<size_t>(src) < points_to_.size()) {
+      copy_targets_[src].push_back(dst);
+      ++stats_.copy_edges;
+      enqueue(src);
+    }
+  };
+
+  // Indirect-call sites keyed by their function-pointer register; callees
+  // bind on the fly as function objects show up in the fptr's solution
+  // (same on-the-fly call graph as the Andersen engines, at field
+  // granularity — the fptr points at the function object's base field).
+  struct IndirectSite {
+    const MirInst* inst;
+    std::set<int32_t> resolved;  // Callee function indices already bound.
+  };
+  std::vector<IndirectSite> indirect_sites;
+  std::vector<std::vector<size_t>> sites_on_reg(module.register_count);
+  std::vector<std::pair<int32_t, int32_t>> call_copies;
 
   for (const auto& function : module.functions) {
     for (const auto& inst : function.instructions) {
@@ -26,17 +51,44 @@ FieldSensitiveAnalysis::FieldSensitiveAnalysis(const MirModule& module) {
         case MirOp::kAddrOf:
         case MirOp::kAlloc:
           // &object and fresh allocations point at the object's base field.
+          ++stats_.constraints;
           if (points_to_[inst.dst].insert({inst.object, 0}).second) {
             enqueue(inst.dst);
           }
           break;
         case MirOp::kMov:
-          copy_targets_[inst.src].push_back(inst.dst);
-          enqueue(inst.src);
+          ++stats_.constraints;
+          add_copy(inst.dst, inst.src);
           break;
         case MirOp::kGep:
+          ++stats_.constraints;
           gep_targets_[inst.src].push_back({inst.dst, inst.field});
           enqueue(inst.src);
+          break;
+        case MirOp::kCall: {
+          // Direct call: args/params and return/dst are plain copies.
+          ++stats_.constraints;
+          const int32_t callee = (inst.object >= 0 &&
+                                  static_cast<size_t>(inst.object) < module.objects.size())
+                                     ? module.objects[inst.object].function_index
+                                     : -1;
+          if (callee >= 0) {
+            ++stats_.call_edges_resolved;
+            call_copies.clear();
+            AppendCallCopies(module, callee, inst.dst, inst.args, &call_copies);
+            for (const auto& [dst, src] : call_copies) {
+              add_copy(dst, src);
+            }
+          }
+          break;
+        }
+        case MirOp::kIndirectCall:
+          ++stats_.constraints;
+          if (inst.ptr >= 0 && static_cast<size_t>(inst.ptr) < sites_on_reg.size()) {
+            sites_on_reg[inst.ptr].push_back(indirect_sites.size());
+            indirect_sites.push_back({&inst, {}});
+            enqueue(inst.ptr);
+          }
           break;
         default:
           break;
@@ -44,9 +96,9 @@ FieldSensitiveAnalysis::FieldSensitiveAnalysis(const MirModule& module) {
     }
   }
 
-  // Worklist fixpoint over copy and field-select edges.
+  // Worklist fixpoint over copy, field-select, and call-resolution edges.
   while (!worklist.empty()) {
-    ++solver_iterations_;
+    ++stats_.solver_iterations;
     const int32_t reg = worklist.front();
     worklist.pop_front();
 
@@ -57,6 +109,25 @@ FieldSensitiveAnalysis::FieldSensitiveAnalysis(const MirModule& module) {
       }
       if (changed) {
         worklist.push_back(target);
+      }
+    }
+
+    for (size_t site_index : sites_on_reg[reg]) {
+      IndirectSite& site = indirect_sites[site_index];
+      for (const FieldLoc& loc : points_to_[reg]) {
+        if (loc.object < 0 || static_cast<size_t>(loc.object) >= module.objects.size()) {
+          continue;
+        }
+        const int32_t callee = module.objects[loc.object].function_index;
+        if (callee < 0 || !site.resolved.insert(callee).second) {
+          continue;
+        }
+        ++stats_.call_edges_resolved;
+        call_copies.clear();
+        AppendCallCopies(module, callee, site.inst->dst, site.inst->args, &call_copies);
+        for (const auto& [dst, src] : call_copies) {
+          add_copy(dst, src);
+        }
       }
     }
 
@@ -81,6 +152,10 @@ FieldSensitiveAnalysis::FieldSensitiveAnalysis(const MirModule& module) {
         worklist.push_back(edge.target);
       }
     }
+  }
+
+  for (const auto& set : points_to_) {
+    stats_.points_to_bytes += sizeof(set) + set.size() * 64;
   }
 }
 
@@ -120,6 +195,7 @@ SyncOpReport IdentifySyncOpsFieldSensitive(const MirModule& module,
   report.module_name = module.name;
 
   FieldSensitiveAnalysis points_to(module);
+  report.stats = points_to.stats();
   std::set<FieldLoc> sync_locs;
 
   // Stage 1: type (i)/(ii) instructions seed the sync-variable locations at

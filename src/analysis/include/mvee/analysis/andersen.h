@@ -2,12 +2,22 @@
 //
 // The paper's second automation attempt used SVF, "an Andersen-style,
 // subset-based points-to analysis" (§4.3.1), noting it keeps more precision
-// than Steensgaard's unification but is costlier. This is the textbook
-// inclusion-constraint solver: a worklist fixpoint over
+// than Steensgaard's unification but is costlier. Cost is exactly why the
+// paper abandoned it at production scale — so this class carries two
+// engines behind AnalysisOptions::fast_solver:
 //
-//   AddrOf  p = &x      =>  {x} ⊆ pts(p)
-//   Copy    p = q       =>  pts(q) ⊆ pts(p)      (one direction only!)
-//   Gep     p = q + c   =>  pts(q) ⊆ pts(p)      (field-insensitive)
+//   fast_solver = false  the textbook inclusion-constraint worklist over
+//                        std::set (the seed implementation, kept in-binary
+//                        as the measurable baseline);
+//   fast_solver = true   the wave-propagation engine (wave_solver.h):
+//                        sparse bitmaps, difference propagation, online
+//                        cycle collapse.
+//
+// Both engines consume the same ConstraintProgram (constraints.h) — AddrOf,
+// copy, and interprocedural parameter/return flow, with indirect-call
+// targets resolved on the fly from the growing points-to solution — and
+// produce bit-identical solutions; the differential tests in
+// tests/analysis_test.cc prove per-register equality on randomized modules.
 //
 // The directionality is what distinguishes it from Steensgaard: `p = &x;
 // p = &y; q = &y` does NOT force x into pts(q). The analysis bench compares
@@ -18,31 +28,59 @@
 
 #include <cstdint>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "mvee/analysis/mir.h"
+#include "mvee/analysis/options.h"
+#include "mvee/analysis/sparse_bitmap.h"
+#include "mvee/analysis/stats.h"
 
 namespace mvee {
 
 class AndersenAnalysis {
  public:
-  explicit AndersenAnalysis(const MirModule& module);
+  explicit AndersenAnalysis(const MirModule& module, const AnalysisOptions& options = {});
 
-  // The set of object indices pointer register `reg` may point to.
-  const std::set<int32_t>& PointsTo(int32_t reg) const;
+  // The set of object indices pointer register `reg` may point to,
+  // materialized. Convenient for tests; hot paths should use ForEachPointee
+  // or PointsToObject, which query the bitmap solution directly.
+  std::set<int32_t> PointsTo(int32_t reg) const;
 
+  // Sorted pointee ids — the differential tests' comparison form.
+  std::vector<int32_t> PointsToSorted(int32_t reg) const;
+
+  template <typename Fn>
+  void ForEachPointee(int32_t reg, Fn fn) const {
+    if (reg >= 0 && static_cast<size_t>(reg) < rep_.size()) {
+      pts_[rep_[reg]].ForEach([&](uint32_t object) { fn(static_cast<int32_t>(object)); });
+    }
+  }
+
+  bool PointsToObject(int32_t reg, int32_t object) const;
   bool MayAlias(int32_t reg_a, int32_t reg_b) const;
+  // True if `reg` may point to any object in `objects`. Probes the bitmap
+  // per candidate — no set materialization.
   bool MayPointInto(int32_t reg, const std::set<int32_t>& objects) const;
 
-  // Number of worklist iterations the fixpoint took (cost metric).
-  uint64_t solver_iterations() const { return solver_iterations_; }
+  const AnalysisStats& stats() const { return stats_; }
+  // Back-compat cost metric (pre-AnalysisStats callers).
+  uint64_t solver_iterations() const { return stats_.solver_iterations; }
 
  private:
-  std::vector<std::set<int32_t>> points_to_;          // Per register.
-  std::vector<std::vector<int32_t>> copy_targets_;    // reg -> regs it flows to.
-  uint64_t solver_iterations_ = 0;
-  std::set<int32_t> empty_;
+  // rep_[r] names the constraint node holding r's solution — the wave
+  // engine collapses cycle members onto one node; the baseline maps each
+  // register to itself.
+  std::vector<int32_t> rep_;
+  std::vector<SparseBitmap> pts_;
+  AnalysisStats stats_;
 };
+
+// All call-induced def-use copy pairs (dst, src): direct calls resolved
+// statically, indirect calls from the points-to fixpoint. The _Atomic
+// qualifier propagation (atomic_check.cc) walks these like Mov edges.
+std::vector<std::pair<int32_t, int32_t>> ResolveCallCopies(const MirModule& module,
+                                                           const AnalysisOptions& options = {});
 
 }  // namespace mvee
 

@@ -1,0 +1,64 @@
+// Inclusion-constraint extraction shared by the Andersen engines.
+//
+// Both the textbook std::set solver and the wave-propagation solver
+// (wave_solver.h) must implement the *same* constraint semantics — the
+// differential tests demand bit-identical solutions — so the translation
+// from MIR to constraints lives here, once:
+//
+//   AddrOf/Alloc   p = &x          {x} ⊆ pts(p)
+//   Mov/Gep        p = q           pts(q) ⊆ pts(p)
+//   kCall          r = f(a0..an)   pts(ai) ⊆ pts(param_i(f)),
+//                                  pts(ret(f)) ⊆ pts(r)
+//   kIndirectCall  r = (*fp)(...)  for every function object F ∈ pts(fp):
+//                                  the kCall rule with callee F
+//
+// Direct calls have a static callee, so their parameter/return flow lowers
+// to plain copy edges at build time. Indirect calls stay symbolic: their
+// callee set grows with the points-to solution (the mutually-recursive
+// call-graph / points-to fixpoint), so the solvers resolve them on the fly.
+
+#ifndef MVEE_ANALYSIS_CONSTRAINTS_H_
+#define MVEE_ANALYSIS_CONSTRAINTS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mvee/analysis/mir.h"
+#include "mvee/analysis/stats.h"
+
+namespace mvee {
+
+// One unresolved indirect call site.
+struct IndirectCallConstraint {
+  int32_t fptr = -1;          // Function-pointer register.
+  int32_t dst = -1;           // Register receiving the return value (-1 = none).
+  std::vector<int32_t> args;  // Argument registers, positional.
+};
+
+struct ConstraintProgram {
+  int32_t reg_count = 0;
+  // (dst register, object): {object} ⊆ pts(dst).
+  std::vector<std::pair<int32_t, int32_t>> addr_of;
+  // (dst, src): pts(src) ⊆ pts(dst). Includes lowered direct-call edges.
+  std::vector<std::pair<int32_t, int32_t>> copies;
+  std::vector<IndirectCallConstraint> indirect_calls;
+  // object id -> function index (>= 0) for function objects, else -1.
+  std::vector<int32_t> object_function;
+  // Direct call-graph edges resolved at build time (one per kCall site with
+  // a valid callee; their copy edges are already lowered into `copies`).
+  uint64_t direct_call_edges = 0;
+};
+
+ConstraintProgram BuildConstraintProgram(const MirModule& module);
+
+// Appends the copy edges (dst, src) induced by binding call site
+// (dst, args) to `callee` (a function index): args -> params positionally,
+// callee return_reg -> dst. Returns how many edges were appended.
+size_t AppendCallCopies(const MirModule& module, int32_t callee_function, int32_t call_dst,
+                        const std::vector<int32_t>& args,
+                        std::vector<std::pair<int32_t, int32_t>>* out);
+
+}  // namespace mvee
+
+#endif  // MVEE_ANALYSIS_CONSTRAINTS_H_

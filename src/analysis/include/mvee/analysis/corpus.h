@@ -66,6 +66,56 @@ struct RefcountHeapCorpus {
 RefcountHeapCorpus BuildRefcountHeapModule(size_t nodes = 8, size_t payload_fields = 4,
                                            size_t accesses_per_field = 3);
 
+// Interprocedural corpus: a ring of worker functions passing a pointer
+// parameter around (worker_k calls worker_{k+1}, the last calls the first),
+// each seeding the ring with addresses from a shared sync-variable pool.
+// The ring's parameter copies form one large cycle through the constraint
+// graph — the shape the wave solver's SCC collapse exists for, and the shape
+// that makes the textbook worklist solver re-propagate full sets around the
+// loop. On top of the ring:
+//   - a dispatcher calls workers through function-pointer registers that
+//     each hold several function addresses, so callees only resolve via the
+//     call-graph / points-to fixpoint;
+//   - `escaping_locals` stack objects are RMW'd in their creating worker and
+//     passed by address into the next worker (which stores through them) —
+//     under an interprocedural analysis they are touched by two functions
+//     and must LOSE the kThreadLocal / kNull verdict in
+//     DeriveAssignmentPlan;
+//   - per-worker private noise objects whose accesses carry "noise:"-
+//     prefixed source lines — ground truth for counting spurious type (iii)
+//     marks (precision metric);
+//   - `conflated_noise` noise objects whose address shares a register with a
+//     pool address: Andersen keeps them apart, Steensgaard's unification
+//     smears them into the sync class (a measurable precision gap).
+struct InterprocSpec {
+  const char* module_name = "interproc";
+  size_t workers = 8;            // Ring length (call-chain depth).
+  size_t pool_size = 32;         // Shared sync-variable pool.
+  size_t sites_per_worker = 8;   // Pool addresses seeded + RMW'd per worker.
+  size_t alias_regs_per_worker = 4;  // Copies of the ring param.
+  size_t memops_per_alias = 2;   // Loads/stores through each copy.
+  size_t noise_per_worker = 4;   // Private noise objects per worker.
+  size_t conflated_noise = 2;    // Noise objects unification will smear.
+  size_t fp_sites = 2;           // Indirect-call dispatch sites.
+  size_t fp_fanout = 3;          // Function addresses per dispatch fptr.
+  size_t escaping_locals = 2;    // Stack objects passed across the call.
+};
+
+struct InterprocCorpus {
+  MirModule module;
+  size_t noise_memops = 0;  // Ground truth: memops that must stay unmarked.
+  // Stack objects whose address escapes into the next worker; their
+  // DeriveAssignmentPlan verdict must not be kThreadLocal.
+  std::vector<int32_t> escaping_objects;
+};
+
+// Deterministic for a given (spec, seed).
+InterprocCorpus BuildInterprocModule(const InterprocSpec& spec, uint64_t seed = 0xca11f10);
+
+// The analysis bench's size sweep: ~10k / ~40k / >=100k instruction rows
+// (scaled Table-3 analogues; the paper's binaries are this order of size).
+std::vector<InterprocSpec> ScaledInterprocSpecs();
+
 }  // namespace mvee
 
 #endif  // MVEE_ANALYSIS_CORPUS_H_

@@ -61,7 +61,9 @@ class FieldSensitiveAnalysis {
   // True if some location of `reg` may alias some location in `locs`.
   bool MayPointInto(int32_t reg, const std::set<FieldLoc>& locs) const;
 
-  uint64_t solver_iterations() const { return solver_iterations_; }
+  const AnalysisStats& stats() const { return stats_; }
+  // Back-compat cost metric (pre-AnalysisStats callers).
+  uint64_t solver_iterations() const { return stats_.solver_iterations; }
 
  private:
   struct GepEdge {
@@ -72,7 +74,7 @@ class FieldSensitiveAnalysis {
   std::vector<std::set<FieldLoc>> points_to_;       // Per register.
   std::vector<std::vector<int32_t>> copy_targets_;  // Mov edges.
   std::vector<std::vector<GepEdge>> gep_targets_;   // Field-select edges.
-  uint64_t solver_iterations_ = 0;
+  AnalysisStats stats_;
   std::set<FieldLoc> empty_;
 };
 

@@ -33,6 +33,8 @@ enum class MirOp : uint8_t {
   kAlloc,        // ptr_dst = malloc(...) — fresh heap object
   kCompute,      // pure computation; no pointers (noise for the analysis)
   kAsmBlock,     // opaque inline-assembly block touching `ptr`
+  kCall,         // direct call: dst = objects[object].function_index(args...)
+  kIndirectCall,  // indirect call through function-pointer register `ptr`
 };
 
 // Storage class of a memory object.
@@ -42,12 +44,18 @@ enum class MirStorage : uint8_t {
   kHeap,
 };
 
-// A named memory object (potential sync variable).
+// A named memory object (potential sync variable). Objects whose
+// function_index is >= 0 are the address-taken identities of functions:
+// `p = &f` is modelled as kAddrOf of such an object, so function pointers
+// flow through the ordinary points-to lattice and kIndirectCall targets are
+// resolved from pts(ptr) — the classic mutually-recursive call-graph /
+// points-to fixpoint.
 struct MirObject {
   std::string name;
   MirStorage storage = MirStorage::kGlobal;
   bool is_volatile = false;   // §4.3's volatile extension seed.
   bool atomic_qualified = false;  // §4.3.1's explicit _Atomic qualifier.
+  int32_t function_index = -1;    // >= 0: this object denotes functions[i].
 };
 
 // One instruction. `ptr` names the pointer register operand (for memory
@@ -67,13 +75,22 @@ struct MirInst {
   // that SVF "is overly conservative when analyzing programs containing
   // pointer arithmetic" (§4.3.1).
   int32_t field = -1;
+  // kCall / kIndirectCall only: pointer registers passed as arguments; they
+  // flow into the callee's params. `dst` receives the callee's return_reg;
+  // kCall names the callee via `object` (a function-typed MirObject),
+  // kIndirectCall resolves callees from pts(`ptr`).
+  std::vector<int32_t> args;
 };
 
 // A function: a straight-line list of instructions (control flow is
-// irrelevant to a flow-insensitive points-to analysis).
+// irrelevant to a flow-insensitive points-to analysis), plus the pointer
+// interface the interprocedural analyses propagate through: `params` receive
+// call-site arguments positionally, `return_reg` flows into call-site dsts.
 struct MirFunction {
   std::string name;
   std::vector<MirInst> instructions;
+  std::vector<int32_t> params;
+  int32_t return_reg = -1;
 };
 
 // A module ("binary" / "shared library").
@@ -100,83 +117,143 @@ class MirBuilder {
   // Declares an object; returns its index.
   int32_t Object(const std::string& name, MirStorage storage = MirStorage::kGlobal,
                  bool is_volatile = false, bool atomic_qualified = false) {
-    module_.objects.push_back({name, storage, is_volatile, atomic_qualified});
+    module_.objects.push_back({name, storage, is_volatile, atomic_qualified, -1});
+    return static_cast<int32_t>(module_.objects.size() - 1);
+  }
+
+  // Declares the address-taken identity of function `function_index`;
+  // returns the object index (use with AddrOf to take a function's address,
+  // or as the kCall target). Idempotent per function.
+  int32_t FunctionObject(int32_t function_index) {
+    for (size_t i = 0; i < module_.objects.size(); ++i) {
+      if (module_.objects[i].function_index == function_index) {
+        return static_cast<int32_t>(i);
+      }
+    }
+    module_.objects.push_back({"&" + module_.functions[function_index].name,
+                               MirStorage::kGlobal, false, false, function_index});
     return static_cast<int32_t>(module_.objects.size() - 1);
   }
 
   // Allocates a fresh pointer register.
   int32_t Reg() { return module_.register_count++; }
 
-  // Starts a new function; subsequent Emit calls append to it.
-  void Function(const std::string& name) { module_.functions.push_back({name, {}}); }
-
-  void Emit(MirInst inst) {
-    if (module_.functions.empty()) {
-      Function("f0");
-    }
-    module_.functions.back().instructions.push_back(std::move(inst));
+  // Starts a new function; subsequent Emit calls append to it. Returns the
+  // function's index (the kCall / FunctionObject handle).
+  int32_t Function(const std::string& name) {
+    module_.functions.push_back({name, {}, {}, -1});
+    current_ = static_cast<int32_t>(module_.functions.size() - 1);
+    return current_;
   }
+
+  // Redirects subsequent Emit/Param/Return calls to an already-declared
+  // function — lets corpus generators declare a mutually-recursive call
+  // graph up front and fill the bodies afterwards.
+  MirBuilder& Select(int32_t function_index) {
+    current_ = function_index;
+    return *this;
+  }
+
+  // Declares a pointer parameter of the current function; call-site argument
+  // `i` flows into the i-th declared param. Returns the param's register.
+  int32_t Param() {
+    const int32_t reg = Reg();
+    Current().params.push_back(reg);
+    return reg;
+  }
+
+  // Declares the current function's returned pointer register.
+  void Return(int32_t reg) { Current().return_reg = reg; }
+
+  void Emit(MirInst inst) { Current().instructions.push_back(std::move(inst)); }
 
   // Shorthand emitters. All return the builder for chaining.
   MirBuilder& AddrOf(int32_t dst, int32_t object, const std::string& line = "") {
-    Emit({MirOp::kAddrOf, -1, dst, -1, object, line});
+    Emit({MirOp::kAddrOf, -1, dst, -1, object, line, -1, {}});
     return *this;
   }
   MirBuilder& Mov(int32_t dst, int32_t src, const std::string& line = "") {
-    Emit({MirOp::kMov, -1, dst, src, -1, line});
+    Emit({MirOp::kMov, -1, dst, src, -1, line, -1, {}});
     return *this;
   }
   MirBuilder& Gep(int32_t dst, int32_t src, const std::string& line = "") {
-    Emit({MirOp::kGep, -1, dst, src, -1, line});
+    Emit({MirOp::kGep, -1, dst, src, -1, line, -1, {}});
     return *this;
   }
   // Field-select with a statically known field index (a struct member
   // access); plain Gep models opaque pointer arithmetic.
   MirBuilder& GepField(int32_t dst, int32_t src, int32_t field,
                        const std::string& line = "") {
-    Emit({MirOp::kGep, -1, dst, src, -1, line, field});
+    Emit({MirOp::kGep, -1, dst, src, -1, line, field, {}});
     return *this;
   }
   MirBuilder& Alloc(int32_t dst, int32_t object, const std::string& line = "") {
-    Emit({MirOp::kAlloc, -1, dst, -1, object, line});
+    Emit({MirOp::kAlloc, -1, dst, -1, object, line, -1, {}});
     return *this;
   }
   MirBuilder& LockRmw(int32_t ptr, const std::string& line = "") {
-    Emit({MirOp::kLockRmw, ptr, -1, -1, -1, line});
+    Emit({MirOp::kLockRmw, ptr, -1, -1, -1, line, -1, {}});
     return *this;
   }
   MirBuilder& Xchg(int32_t ptr, const std::string& line = "") {
-    Emit({MirOp::kXchg, ptr, -1, -1, -1, line});
+    Emit({MirOp::kXchg, ptr, -1, -1, -1, line, -1, {}});
     return *this;
   }
   MirBuilder& Load(int32_t ptr, const std::string& line = "") {
-    Emit({MirOp::kLoad, ptr, -1, -1, -1, line});
+    Emit({MirOp::kLoad, ptr, -1, -1, -1, line, -1, {}});
     return *this;
   }
   MirBuilder& Store(int32_t ptr, const std::string& line = "") {
-    Emit({MirOp::kStore, ptr, -1, -1, -1, line});
+    Emit({MirOp::kStore, ptr, -1, -1, -1, line, -1, {}});
     return *this;
   }
   MirBuilder& Compute(const std::string& line = "") {
-    Emit({MirOp::kCompute, -1, -1, -1, -1, line});
+    Emit({MirOp::kCompute, -1, -1, -1, -1, line, -1, {}});
     return *this;
   }
   MirBuilder& AsmBlock(int32_t ptr, const std::string& line = "") {
-    Emit({MirOp::kAsmBlock, ptr, -1, -1, -1, line});
+    Emit({MirOp::kAsmBlock, ptr, -1, -1, -1, line, -1, {}});
+    return *this;
+  }
+  // Direct call to the function behind `function_object` (a FunctionObject
+  // index). `dst` receives the callee's return pointer (-1 = ignored).
+  MirBuilder& Call(int32_t dst, int32_t function_object, std::vector<int32_t> args = {},
+                   const std::string& line = "") {
+    MirInst inst{MirOp::kCall, -1, dst, -1, function_object, line, -1, {}};
+    inst.args = std::move(args);
+    Emit(std::move(inst));
+    return *this;
+  }
+  // Indirect call through function-pointer register `fptr`; callees are
+  // whatever function objects pts(fptr) resolves to.
+  MirBuilder& CallIndirect(int32_t dst, int32_t fptr, std::vector<int32_t> args = {},
+                           const std::string& line = "") {
+    MirInst inst{MirOp::kIndirectCall, fptr, dst, -1, -1, line, -1, {}};
+    inst.args = std::move(args);
+    Emit(std::move(inst));
     return *this;
   }
   // An inline-assembly block simple enough for the checker to analyze —
   // §4.3.1's third proposed improvement ("permit the use of _Atomic in
   // easy-to-analyze inline assembly blocks"). Marked via src = 1.
   MirBuilder& AsmBlockAnalyzable(int32_t ptr, const std::string& line = "") {
-    Emit({MirOp::kAsmBlock, ptr, -1, 1, -1, line});
+    Emit({MirOp::kAsmBlock, ptr, -1, 1, -1, line, -1, {}});
     return *this;
   }
 
   MirModule Build() { return std::move(module_); }
 
  private:
+  MirFunction& Current() {
+    if (module_.functions.empty()) {
+      Function("f0");
+    }
+    return module_.functions[current_ < 0 ? module_.functions.size() - 1
+                                          : static_cast<size_t>(current_)];
+  }
+
   MirModule module_;
+  int32_t current_ = -1;
 };
 
 }  // namespace mvee

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "mvee/analysis/mir.h"
+#include "mvee/analysis/options.h"
+#include "mvee/analysis/stats.h"
 
 namespace mvee {
 
@@ -42,6 +44,9 @@ struct SyncOpReport {
   // Load/stores *not* marked (precision metric; the paper wastes no cycles
   // ordering non-sync accesses).
   size_t unmarked_memops = 0;
+  // Cost accounting of the points-to engine that produced this report
+  // (stats.h) — surfaced in the Table-3 output and BENCH_analysis.json.
+  AnalysisStats stats;
 
   size_t TotalSyncOps() const { return type_i.size() + type_ii.size() + type_iii.size(); }
 };
@@ -49,6 +54,8 @@ struct SyncOpReport {
 struct SyncOpAnalysisOptions {
   // §4.3 extension: also treat volatile-qualified objects as sync variables.
   bool treat_volatile_as_sync = false;
+  // Engine knobs (solver selection) for the pipelines that run Andersen.
+  AnalysisOptions analysis;
 };
 
 // Runs both stages on `module` with the Steensgaard (DSA-style) points-to —

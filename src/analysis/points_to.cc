@@ -1,8 +1,11 @@
 #include "mvee/analysis/points_to.h"
 
+#include <algorithm>
+
 namespace mvee {
 
 PointsToAnalysis::PointsToAnalysis(const MirModule& module) {
+  stats_.solver = "steensgaard";
   reg_count_ = module.register_count;
   object_count_ = static_cast<int32_t>(module.objects.size());
   const int32_t node_count = reg_count_ + object_count_;
@@ -12,15 +15,53 @@ PointsToAnalysis::PointsToAnalysis(const MirModule& module) {
   }
   successor_.assign(node_count, -1);
 
-  // One pass suffices: Steensgaard constraints are solved online by
-  // unification (each operation maintains the invariant that every class has
-  // at most one successor class).
+  // Function objects, for indirect-call target resolution (there are few:
+  // scanning them per site per pass is cheap).
+  std::vector<int32_t> function_objects;
+  for (int32_t obj = 0; obj < object_count_; ++obj) {
+    if (module.objects[obj].function_index >= 0) {
+      function_objects.push_back(obj);
+    }
+  }
+
+  // Binds a call site to `callee`: unify args with params, return with dst.
+  auto unify_call = [&](int32_t callee, int32_t dst, const std::vector<int32_t>& args) {
+    if (callee < 0 || static_cast<size_t>(callee) >= module.functions.size()) {
+      return;
+    }
+    ++stats_.call_edges_resolved;
+    const MirFunction& target = module.functions[callee];
+    const size_t bound = std::min(args.size(), target.params.size());
+    for (size_t i = 0; i < bound; ++i) {
+      if (args[i] >= 0) {
+        UnifySuccessors(target.params[i], args[i]);
+        ++stats_.copy_edges;
+      }
+    }
+    if (dst >= 0 && target.return_reg >= 0) {
+      UnifySuccessors(dst, target.return_reg);
+      ++stats_.copy_edges;
+    }
+  };
+
+  // Intraprocedural constraints and direct calls are solved online by
+  // unification (each operation maintains the invariant that every class
+  // has at most one successor class). Indirect calls need the outer
+  // fixpoint below: resolving one can grow a pointee class, which can
+  // reveal new callees at another site.
+  struct IndirectSite {
+    const MirInst* inst;
+    std::set<int32_t> resolved;  // Callee function indices already bound.
+  };
+  std::vector<IndirectSite> indirect_sites;
+
   for (const auto& function : module.functions) {
     for (const auto& inst : function.instructions) {
       switch (inst.op) {
         case MirOp::kAddrOf:
         case MirOp::kAlloc: {
           // dst may point to object: unify succ(dst) with the object class.
+          ++stats_.constraints;
           const int32_t object_node = reg_count_ + inst.object;
           const int32_t succ = SuccessorOf(inst.dst);
           Union(succ, object_node);
@@ -29,14 +70,54 @@ PointsToAnalysis::PointsToAnalysis(const MirModule& module) {
         case MirOp::kMov:
         case MirOp::kGep: {
           // dst = src (field-insensitive): unify successors.
+          ++stats_.constraints;
+          ++stats_.copy_edges;
           UnifySuccessors(inst.dst, inst.src);
           break;
         }
+        case MirOp::kCall: {
+          ++stats_.constraints;
+          const int32_t callee = (inst.object >= 0 &&
+                                  static_cast<size_t>(inst.object) < module.objects.size())
+                                     ? module.objects[inst.object].function_index
+                                     : -1;
+          unify_call(callee, inst.dst, inst.args);
+          break;
+        }
+        case MirOp::kIndirectCall:
+          ++stats_.constraints;
+          indirect_sites.push_back({&inst, {}});
+          break;
         default:
           break;
       }
     }
   }
+
+  // Indirect-call fixpoint.
+  bool changed = !indirect_sites.empty();
+  while (changed) {
+    changed = false;
+    for (IndirectSite& site : indirect_sites) {
+      const int32_t pointee_class = PointeeClassOf(site.inst->ptr);
+      if (pointee_class == -1) {
+        continue;
+      }
+      for (int32_t obj : function_objects) {
+        if (Find(reg_count_ + obj) != Find(pointee_class)) {
+          continue;
+        }
+        const int32_t callee = module.objects[obj].function_index;
+        if (!site.resolved.insert(callee).second) {
+          continue;
+        }
+        unify_call(callee, site.inst->dst, site.inst->args);
+        changed = true;
+      }
+    }
+  }
+
+  BuildMemberIndex(module);
 }
 
 int32_t PointsToAnalysis::Find(int32_t node) const {
@@ -53,6 +134,8 @@ void PointsToAnalysis::Union(int32_t a, int32_t b) {
   if (root_a == root_b) {
     return;
   }
+  ++stats_.solver_iterations;
+  ++stats_.sccs_collapsed;
   parent_[root_b] = root_a;
   // Merge successors: if both classes had one, those must unify too
   // (recursive join — the heart of Steensgaard's near-linear algorithm).
@@ -70,11 +153,10 @@ void PointsToAnalysis::Union(int32_t a, int32_t b) {
 int32_t PointsToAnalysis::SuccessorOf(int32_t node) {
   const int32_t root = Find(node);
   if (successor_[root] == -1) {
-    // Create a fresh placeholder class: use the node itself as its own
-    // successor anchor by allocating... we reuse the object-less case by
-    // pointing at a synthetic class. To stay allocation-free we lazily use
-    // the root's slot: a self-successor placeholder would corrupt alias
-    // queries, so instead grow the universe with a synthetic node.
+    // No successor yet: grow the universe with a fresh synthetic class so
+    // later unifications have a concrete node to merge with. Synthetic
+    // nodes never appear in the member index, so they cannot leak into
+    // query results.
     parent_.push_back(static_cast<int32_t>(parent_.size()));
     successor_.push_back(-1);
     successor_[root] = static_cast<int32_t>(parent_.size() - 1);
@@ -88,22 +170,37 @@ void PointsToAnalysis::UnifySuccessors(int32_t a, int32_t b) {
   Union(succ_a, succ_b);
 }
 
+int32_t PointsToAnalysis::PointeeClassOf(int32_t reg) const {
+  if (reg < 0 || reg >= reg_count_) {
+    return -1;
+  }
+  const int32_t succ = successor_[Find(reg)];
+  return succ == -1 ? -1 : Find(succ);
+}
+
+void PointsToAnalysis::BuildMemberIndex(const MirModule& module) {
+  (void)module;
+  for (int32_t obj = 0; obj < object_count_; ++obj) {
+    class_members_[Find(reg_count_ + obj)].push_back(obj);
+  }
+  for (auto& [root, members] : class_members_) {
+    std::sort(members.begin(), members.end());
+    stats_.points_to_bytes += sizeof(int32_t) * members.capacity() + sizeof(root);
+  }
+  stats_.points_to_bytes += sizeof(int32_t) * (parent_.capacity() + successor_.capacity());
+}
+
 std::set<int32_t> PointsToAnalysis::PointsTo(int32_t reg) const {
   std::set<int32_t> result;
-  if (reg < 0 || reg >= reg_count_) {
+  const int32_t pointee_class = PointeeClassOf(reg);
+  if (pointee_class == -1) {
     return result;
   }
-  const int32_t root = Find(reg);
-  const int32_t succ = successor_[root];
-  if (succ == -1) {
+  const auto it = class_members_.find(pointee_class);
+  if (it == class_members_.end()) {
     return result;
   }
-  const int32_t succ_root = Find(succ);
-  for (int32_t obj = 0; obj < object_count_; ++obj) {
-    if (Find(reg_count_ + obj) == succ_root) {
-      result.insert(obj);
-    }
-  }
+  result.insert(it->second.begin(), it->second.end());
   return result;
 }
 
@@ -120,8 +217,15 @@ bool PointsToAnalysis::MayAlias(int32_t reg_a, int32_t reg_b) const {
 }
 
 bool PointsToAnalysis::MayPointInto(int32_t reg, const std::set<int32_t>& objects) const {
-  const std::set<int32_t> pts = PointsTo(reg);
-  for (int32_t obj : pts) {
+  const int32_t pointee_class = PointeeClassOf(reg);
+  if (pointee_class == -1) {
+    return false;
+  }
+  const auto it = class_members_.find(pointee_class);
+  if (it == class_members_.end()) {
+    return false;
+  }
+  for (int32_t obj : it->second) {
     if (objects.count(obj) != 0) {
       return true;
     }

@@ -11,6 +11,7 @@ SyncOpReport IdentifySyncOps(const MirModule& module, const SyncOpAnalysisOption
   report.module_name = module.name;
 
   PointsToAnalysis points_to(module);
+  report.stats = points_to.stats();
 
   // Stage 1: mark type (i) and (ii) instructions; collect the objects their
   // pointer operands may reference — the seed set of sync variables.
@@ -60,16 +61,17 @@ SyncOpReport IdentifySyncOps(const MirModule& module, const SyncOpAnalysisOption
 
 std::string FormatTable3(const std::vector<SyncOpReport>& reports) {
   std::ostringstream out;
-  out << "Module                     (i)    (ii)   (iii)\n";
-  out << "-----------------------------------------------\n";
+  out << "Module                     (i)    (ii)   (iii)  solver\n";
+  out << "-------------------------------------------------------\n";
   for (const auto& report : reports) {
     out << report.module_name;
     for (size_t pad = report.module_name.size(); pad < 25; ++pad) {
       out << ' ';
     }
-    char row[64];
-    std::snprintf(row, sizeof(row), "%6zu %6zu %6zu\n", report.type_i.size(),
-                  report.type_ii.size(), report.type_iii.size());
+    char row[128];
+    std::snprintf(row, sizeof(row), "%6zu %6zu %6zu  %s iters=%llu\n", report.type_i.size(),
+                  report.type_ii.size(), report.type_iii.size(), report.stats.solver.c_str(),
+                  static_cast<unsigned long long>(report.stats.solver_iterations));
     out << row;
   }
   return out.str();

@@ -5,11 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "mvee/analysis/andersen.h"
+#include "mvee/analysis/assignment_plan.h"
 #include "mvee/analysis/atomic_check.h"
 #include "mvee/analysis/corpus.h"
 #include "mvee/analysis/field_sensitive.h"
 #include "mvee/analysis/points_to.h"
+#include "mvee/analysis/sparse_bitmap.h"
 #include "mvee/analysis/syncop_analysis.h"
+#include "mvee/util/rng.h"
 
 namespace mvee {
 namespace {
@@ -355,6 +361,446 @@ TEST(AtomicCheckImprovementsTest, OpaqueAsmStillRejected) {
   options.permit_analyzable_asm = true;
   const PropagationResult result = PropagateQualifiers(module, {0}, options);
   EXPECT_EQ(result.hard_errors.size(), 1u);
+}
+
+// --- Sparse bitmap (the wave solver's set representation) -------------------
+
+TEST(SparseBitmapTest, InsertTestCount) {
+  SparseBitmap bitmap;
+  EXPECT_TRUE(bitmap.Empty());
+  EXPECT_TRUE(bitmap.Insert(7));
+  EXPECT_FALSE(bitmap.Insert(7));  // Already set.
+  EXPECT_TRUE(bitmap.Insert(1000000));  // Far chunk.
+  EXPECT_TRUE(bitmap.Test(7));
+  EXPECT_TRUE(bitmap.Test(1000000));
+  EXPECT_FALSE(bitmap.Test(8));
+  EXPECT_EQ(bitmap.Count(), 2u);
+}
+
+TEST(SparseBitmapTest, ForEachAscending) {
+  SparseBitmap bitmap;
+  const std::vector<uint32_t> bits = {513, 2, 255, 256, 70000, 0};
+  for (uint32_t bit : bits) {
+    bitmap.Insert(bit);
+  }
+  std::vector<uint32_t> seen;
+  bitmap.ForEach([&](uint32_t bit) { seen.push_back(bit); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{0, 2, 255, 256, 513, 70000}));
+}
+
+TEST(SparseBitmapTest, UnionWithDeltaReportsOnlyNewBits) {
+  SparseBitmap a;
+  SparseBitmap b;
+  a.Insert(1);
+  a.Insert(300);
+  b.Insert(300);  // Already present in a.
+  b.Insert(301);
+  b.Insert(9000);
+  SparseBitmap delta;
+  EXPECT_TRUE(a.UnionWithDelta(b, &delta));
+  std::vector<uint32_t> fresh;
+  delta.ForEach([&](uint32_t bit) { fresh.push_back(bit); });
+  EXPECT_EQ(fresh, (std::vector<uint32_t>{301, 9000}));
+  // Second union is a no-op.
+  SparseBitmap empty_delta;
+  EXPECT_FALSE(a.UnionWithDelta(b, &empty_delta));
+  EXPECT_TRUE(empty_delta.Empty());
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+// --- Interprocedural MIR: direct calls, returns, indirect-call fixpoint -----
+
+TEST(InterprocTest, DirectCallBindsArgsAndReturn) {
+  // callee(p) { return p; }  caller: r = callee(&x)  =>  pts(r) = {x}.
+  MirBuilder builder("direct");
+  const int32_t callee = builder.Function("callee");
+  const int32_t param = builder.Param();
+  builder.Return(param);
+  builder.Function("caller");
+  const int32_t x = builder.Object("x");
+  const int32_t arg = builder.Reg();
+  const int32_t ret = builder.Reg();
+  builder.AddrOf(arg, x);
+  builder.Call(ret, builder.FunctionObject(callee), {arg});
+  const MirModule module = builder.Build();
+
+  for (const bool fast : {false, true}) {
+    AnalysisOptions options;
+    options.fast_solver = fast;
+    const AndersenAnalysis andersen(module, options);
+    EXPECT_EQ(andersen.PointsTo(param), std::set<int32_t>{x}) << "fast=" << fast;
+    EXPECT_EQ(andersen.PointsTo(ret), std::set<int32_t>{x}) << "fast=" << fast;
+  }
+  const PointsToAnalysis steensgaard(module);
+  EXPECT_EQ(steensgaard.PointsTo(param), std::set<int32_t>{x});
+  EXPECT_EQ(steensgaard.PointsTo(ret), std::set<int32_t>{x});
+}
+
+TEST(InterprocTest, IndirectCallResolvedThroughPointsTo) {
+  // fp receives &f and &g; the indirect call must bind BOTH callees' params.
+  MirBuilder builder("indirect");
+  const int32_t f = builder.Function("f");
+  const int32_t f_param = builder.Param();
+  const int32_t g = builder.Function("g");
+  const int32_t g_param = builder.Param();
+  builder.Function("caller");
+  const int32_t x = builder.Object("x");
+  const int32_t arg = builder.Reg();
+  const int32_t fptr = builder.Reg();
+  builder.AddrOf(arg, x);
+  builder.AddrOf(fptr, builder.FunctionObject(f));
+  builder.AddrOf(fptr, builder.FunctionObject(g));
+  builder.CallIndirect(-1, fptr, {arg});
+  const MirModule module = builder.Build();
+
+  for (const bool fast : {false, true}) {
+    AnalysisOptions options;
+    options.fast_solver = fast;
+    const AndersenAnalysis andersen(module, options);
+    EXPECT_EQ(andersen.PointsTo(f_param), std::set<int32_t>{x}) << "fast=" << fast;
+    EXPECT_EQ(andersen.PointsTo(g_param), std::set<int32_t>{x}) << "fast=" << fast;
+  }
+  const PointsToAnalysis steensgaard(module);
+  EXPECT_TRUE(steensgaard.PointsTo(f_param).count(x));
+  EXPECT_TRUE(steensgaard.PointsTo(g_param).count(x));
+}
+
+TEST(InterprocTest, CallGraphPointsToFixpoint) {
+  // The mutually-recursive case: the fptr's second target only becomes
+  // visible through a copy chain fed by ANOTHER function's param — resolving
+  // the first callee is what makes the second resolvable.
+  MirBuilder builder("fixpoint");
+  const int32_t leak = builder.Function("leak_fp");
+  const int32_t leak_param = builder.Param();  // Receives &g via the call below.
+  const int32_t leaked = builder.Reg();
+  builder.Mov(leaked, leak_param);
+  builder.Return(leaked);
+  const int32_t g = builder.Function("g");
+  const int32_t g_param = builder.Param();
+  (void)g_param;
+  builder.Function("caller");
+  const int32_t x = builder.Object("x");
+  const int32_t g_addr = builder.Reg();
+  builder.AddrOf(g_addr, builder.FunctionObject(g));
+  const int32_t fptr = builder.Reg();
+  builder.Call(fptr, builder.FunctionObject(leak), {g_addr});
+  const int32_t arg = builder.Reg();
+  builder.AddrOf(arg, x);
+  builder.CallIndirect(-1, fptr, {arg});  // Callee (g) known only post-solve.
+  const MirModule module = builder.Build();
+
+  for (const bool fast : {false, true}) {
+    AnalysisOptions options;
+    options.fast_solver = fast;
+    const AndersenAnalysis andersen(module, options);
+    EXPECT_EQ(andersen.PointsTo(g_param), std::set<int32_t>{x}) << "fast=" << fast;
+  }
+  const PointsToAnalysis steensgaard(module);
+  EXPECT_TRUE(steensgaard.PointsTo(g_param).count(x));
+}
+
+TEST(InterprocTest, SyncOpsFlowAcrossCalls) {
+  // A lock address passed into a callee: the callee's plain store must be
+  // marked type (iii) — invisible to an intraprocedural stage 2.
+  MirBuilder builder("cross");
+  const int32_t unlock = builder.Function("unlock");
+  const int32_t unlock_param = builder.Param();
+  builder.Store(unlock_param, "cross.c:9");
+  builder.Function("lock");
+  const int32_t lock_var = builder.Object("lock_var", MirStorage::kGlobal);
+  const int32_t pointer = builder.Reg();
+  builder.AddrOf(pointer, lock_var);
+  builder.LockRmw(pointer, "cross.c:4");
+  builder.Call(-1, builder.FunctionObject(unlock), {pointer});
+  const MirModule module = builder.Build();
+
+  const SyncOpReport steensgaard = IdentifySyncOps(module);
+  const SyncOpReport andersen = IdentifySyncOpsAndersen(module);
+  for (const SyncOpReport* report : {&steensgaard, &andersen}) {
+    ASSERT_EQ(report->type_iii.size(), 1u);
+    EXPECT_EQ(report->type_iii[0].function, "unlock");
+    EXPECT_EQ(report->type_iii[0].source_line, "cross.c:9");
+  }
+}
+
+TEST(InterprocTest, EscapingLocalLosesThreadLocalVerdict) {
+  // A stack object RMW'd in its creating function would be kThreadLocal /
+  // kNull; once its address escapes into a callee that stores through it,
+  // the interprocedural analysis sees two touching functions and the plan
+  // must route it to a recording agent.
+  MirBuilder builder("escape");
+  const int32_t consumer = builder.Function("consumer");
+  const int32_t consumer_param = builder.Param();
+  builder.Store(consumer_param, "escape.c:20");
+  builder.Function("producer");
+  const int32_t local = builder.Object("local_latch", MirStorage::kStack);
+  const int32_t local_ptr = builder.Reg();
+  builder.AddrOf(local_ptr, local);
+  builder.LockRmw(local_ptr, "escape.c:10");
+  builder.Call(-1, builder.FunctionObject(consumer), {local_ptr});
+  const MirModule module = builder.Build();
+
+  const SyncOpReport report = IdentifySyncOpsAndersen(module);
+  ASSERT_TRUE(report.sync_objects.count(local));
+  const AssignmentPlanReport plan = DeriveAssignmentPlan(module, report);
+  ASSERT_EQ(plan.variables.size(), 1u);
+  EXPECT_EQ(plan.variables[0].object, local);
+  EXPECT_NE(plan.variables[0].verdict, AssignmentVerdict::kThreadLocal);
+  EXPECT_NE(plan.variables[0].kind, AgentKind::kNull);
+  EXPECT_EQ(plan.variables[0].touching_functions, 2u);
+}
+
+TEST(InterprocTest, QualifierPropagatesThroughCalls) {
+  // _Atomic propagation must treat arg/param bindings as def-use edges: the
+  // callee's param (and its copies) get qualified from the caller's seed.
+  MirBuilder builder("qualcall");
+  const int32_t callee = builder.Function("callee");
+  const int32_t param = builder.Param();
+  const int32_t inner = builder.Reg();
+  builder.Mov(inner, param);
+  builder.Function("caller");
+  const int32_t var = builder.Object("flag", MirStorage::kGlobal);
+  const int32_t pointer = builder.Reg();
+  builder.AddrOf(pointer, var);
+  builder.Call(-1, builder.FunctionObject(callee), {pointer});
+  const PropagationResult result = PropagateQualifiers(builder.Build(), {var});
+  EXPECT_TRUE(result.qualified_regs.count(param));
+  EXPECT_TRUE(result.qualified_regs.count(inner));
+}
+
+// --- Interprocedural corpus ------------------------------------------------
+
+TEST(InterprocCorpusTest, DeterministicAndScales) {
+  const InterprocSpec spec;  // Defaults: small.
+  const InterprocCorpus a = BuildInterprocModule(spec);
+  const InterprocCorpus b = BuildInterprocModule(spec);
+  EXPECT_EQ(a.module.InstructionCount(), b.module.InstructionCount());
+  EXPECT_EQ(a.module.register_count, b.module.register_count);
+  EXPECT_EQ(a.noise_memops, b.noise_memops);
+  EXPECT_FALSE(a.escaping_objects.empty());
+
+  const auto scaled = ScaledInterprocSpecs();
+  ASSERT_FALSE(scaled.empty());
+  // The acceptance row: the largest spec emits a 100k+-instruction module.
+  const InterprocCorpus largest = BuildInterprocModule(scaled.back());
+  EXPECT_GE(largest.module.InstructionCount(), 100000u);
+}
+
+TEST(InterprocCorpusTest, EscapingLocalsRoutedToRecordingAgents) {
+  InterprocSpec spec;
+  spec.workers = 6;
+  spec.escaping_locals = 3;
+  const InterprocCorpus corpus = BuildInterprocModule(spec);
+  const SyncOpReport report = IdentifySyncOpsAndersen(corpus.module);
+  const AssignmentPlanReport plan = DeriveAssignmentPlan(corpus.module, report);
+  size_t escaping_seen = 0;
+  for (const auto& variable : plan.variables) {
+    for (int32_t escaping : corpus.escaping_objects) {
+      if (variable.object != escaping) {
+        continue;
+      }
+      ++escaping_seen;
+      EXPECT_NE(variable.verdict, AssignmentVerdict::kThreadLocal) << variable.name;
+      EXPECT_NE(variable.kind, AgentKind::kNull) << variable.name;
+    }
+  }
+  EXPECT_EQ(escaping_seen, corpus.escaping_objects.size());
+}
+
+TEST(InterprocCorpusTest, AndersenKeepsConflatedNoiseUnmarked) {
+  // The corpus plants noise objects whose address shares a register with a
+  // pool address: Steensgaard's unification marks their probe access
+  // (spurious), Andersen does not.
+  InterprocSpec spec;
+  spec.workers = 4;
+  spec.conflated_noise = 4;
+  const InterprocCorpus corpus = BuildInterprocModule(spec);
+  auto spurious = [](const SyncOpReport& report) {
+    size_t count = 0;
+    for (const auto& site : report.type_iii) {
+      if (site.source_line.rfind("noise:", 0) == 0) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  EXPECT_EQ(spurious(IdentifySyncOpsAndersen(corpus.module)), 0u);
+  EXPECT_GE(spurious(IdentifySyncOps(corpus.module)), spec.conflated_noise);
+}
+
+// --- Differential property tests: fast == baseline, Andersen <= Steensgaard
+
+// Randomized module with pointer chains, direct/indirect calls, params and
+// returns. Deterministic per seed; failures below print the seed.
+MirModule BuildRandomModule(uint64_t seed) {
+  Rng rng(seed);
+  MirBuilder builder("random_" + std::to_string(seed));
+  const size_t function_count = 2 + rng.NextBelow(4);
+  const size_t object_count = 3 + rng.NextBelow(8);
+
+  std::vector<int32_t> objects;
+  for (size_t i = 0; i < object_count; ++i) {
+    objects.push_back(builder.Object("o" + std::to_string(i),
+                                     rng.NextBool(0.5) ? MirStorage::kGlobal
+                                                       : MirStorage::kStack));
+  }
+
+  std::vector<int32_t> functions(function_count);
+  std::vector<std::vector<int32_t>> params(function_count);
+  std::vector<std::vector<int32_t>> regs(function_count);
+  for (size_t f = 0; f < function_count; ++f) {
+    functions[f] = builder.Function("fn" + std::to_string(f));
+    const size_t param_count = rng.NextBelow(3);
+    for (size_t i = 0; i < param_count; ++i) {
+      const int32_t param = builder.Param();
+      params[f].push_back(param);
+      regs[f].push_back(param);
+    }
+  }
+
+  for (size_t f = 0; f < function_count; ++f) {
+    builder.Select(functions[f]);
+    auto any_reg = [&]() -> int32_t {
+      if (regs[f].empty() || rng.NextBool(0.3)) {
+        const int32_t reg = builder.Reg();
+        regs[f].push_back(reg);
+        return reg;
+      }
+      return regs[f][rng.NextBelow(regs[f].size())];
+    };
+    const size_t inst_count = 5 + rng.NextBelow(20);
+    for (size_t i = 0; i < inst_count; ++i) {
+      switch (rng.NextBelow(8)) {
+        case 0:
+          builder.AddrOf(any_reg(), objects[rng.NextBelow(objects.size())]);
+          break;
+        case 1:
+          builder.Mov(any_reg(), any_reg());
+          break;
+        case 2:
+          builder.Gep(any_reg(), any_reg());
+          break;
+        case 3:
+          builder.LockRmw(any_reg(), "rmw:" + std::to_string(i));
+          break;
+        case 4:
+          if (rng.NextBool(0.5)) {
+            builder.Load(any_reg(), "mem:" + std::to_string(i));
+          } else {
+            builder.Store(any_reg(), "mem:" + std::to_string(i));
+          }
+          break;
+        case 5: {  // Direct call with positional args.
+          const size_t target = rng.NextBelow(function_count);
+          std::vector<int32_t> args;
+          for (size_t p = 0; p < params[target].size(); ++p) {
+            args.push_back(any_reg());
+          }
+          builder.Call(rng.NextBool(0.5) ? any_reg() : -1,
+                       builder.FunctionObject(functions[target]), std::move(args));
+          break;
+        }
+        case 6: {  // Indirect call: fptr gets 1-2 function addresses first.
+          const int32_t fptr = any_reg();
+          const size_t fanout = 1 + rng.NextBelow(2);
+          size_t max_params = 0;
+          for (size_t t = 0; t < fanout; ++t) {
+            const size_t target = rng.NextBelow(function_count);
+            builder.AddrOf(fptr, builder.FunctionObject(functions[target]));
+            max_params = std::max(max_params, params[target].size());
+          }
+          std::vector<int32_t> args;
+          for (size_t p = 0; p < max_params; ++p) {
+            args.push_back(any_reg());
+          }
+          builder.CallIndirect(-1, fptr, std::move(args));
+          break;
+        }
+        default:
+          builder.Alloc(any_reg(), objects[rng.NextBelow(objects.size())]);
+          break;
+      }
+    }
+    if (rng.NextBool(0.5) && !regs[f].empty()) {
+      builder.Return(regs[f][rng.NextBelow(regs[f].size())]);
+    }
+  }
+  return builder.Build();
+}
+
+TEST(DifferentialTest, FastAndersenMatchesBaselineExactly) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    const MirModule module = BuildRandomModule(seed);
+    AnalysisOptions baseline_options;
+    baseline_options.fast_solver = false;
+    AnalysisOptions fast_options;
+    fast_options.fast_solver = true;
+    const AndersenAnalysis baseline(module, baseline_options);
+    const AndersenAnalysis fast(module, fast_options);
+    for (int32_t reg = 0; reg < module.register_count; ++reg) {
+      ASSERT_EQ(fast.PointsToSorted(reg), baseline.PointsToSorted(reg))
+          << "solutions diverge at r" << reg << "; reproduce with seed=" << seed;
+    }
+  }
+}
+
+TEST(DifferentialTest, AndersenIsSubsetOfSteensgaard) {
+  // Unification only ever merges classes: per register, Steensgaard's
+  // points-to set must contain Andersen's.
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const MirModule module = BuildRandomModule(seed);
+    const AndersenAnalysis andersen(module);
+    const PointsToAnalysis steensgaard(module);
+    for (int32_t reg = 0; reg < module.register_count; ++reg) {
+      const std::set<int32_t> coarse = steensgaard.PointsTo(reg);
+      andersen.ForEachPointee(reg, [&](int32_t object) {
+        ASSERT_TRUE(coarse.count(object))
+            << "r" << reg << " -> o" << object
+            << " found by Andersen but not Steensgaard; reproduce with seed=" << seed;
+      });
+    }
+  }
+}
+
+TEST(DifferentialTest, PipelinesAgreeAcrossSolversOnReports) {
+  // End-to-end: the full two-stage report is identical under both Andersen
+  // engines (site lists, sync objects, unmarked counts).
+  for (uint64_t seed = 100; seed <= 110; ++seed) {
+    const MirModule module = BuildRandomModule(seed);
+    SyncOpAnalysisOptions baseline_options;
+    baseline_options.analysis.fast_solver = false;
+    SyncOpAnalysisOptions fast_options;
+    fast_options.analysis.fast_solver = true;
+    const SyncOpReport baseline = IdentifySyncOpsAndersen(module, baseline_options);
+    const SyncOpReport fast = IdentifySyncOpsAndersen(module, fast_options);
+    ASSERT_EQ(fast.sync_objects, baseline.sync_objects) << "seed=" << seed;
+    ASSERT_EQ(fast.type_iii.size(), baseline.type_iii.size()) << "seed=" << seed;
+    ASSERT_EQ(fast.unmarked_memops, baseline.unmarked_memops) << "seed=" << seed;
+    for (size_t i = 0; i < fast.type_iii.size(); ++i) {
+      ASSERT_EQ(fast.type_iii[i].instruction_index, baseline.type_iii[i].instruction_index)
+          << "seed=" << seed;
+    }
+  }
+}
+
+TEST(StatsTest, ReportsCarrySolverStats) {
+  const MirModule module = BuildListing1Module();
+  const SyncOpReport steensgaard = IdentifySyncOps(module);
+  EXPECT_EQ(steensgaard.stats.solver, "steensgaard");
+  EXPECT_GT(steensgaard.stats.constraints, 0u);
+  // Pin both Andersen engines explicitly — the default follows
+  // MVEE_ANALYSIS_FAST_SOLVER, which the CI sweep flips.
+  SyncOpAnalysisOptions wave_options;
+  wave_options.analysis.fast_solver = true;
+  const SyncOpReport wave = IdentifySyncOpsAndersen(module, wave_options);
+  EXPECT_EQ(wave.stats.solver, "andersen-wave");
+  SyncOpAnalysisOptions baseline_options;
+  baseline_options.analysis.fast_solver = false;
+  const SyncOpReport baseline = IdentifySyncOpsAndersen(module, baseline_options);
+  EXPECT_EQ(baseline.stats.solver, "andersen-baseline");
+  EXPECT_GT(baseline.stats.points_to_bytes, 0u);
+  const SyncOpReport sensitive = IdentifySyncOpsFieldSensitive(module);
+  EXPECT_EQ(sensitive.stats.solver, "field-sensitive");
 }
 
 }  // namespace
